@@ -1,0 +1,309 @@
+// Benchmarks regenerating each table and figure of the paper (via the
+// trace-replay platform model) and measuring the live performance of the
+// core primitives on this machine. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Table/figure benches use problem class W by default so a full -bench=.
+// sweep stays tractable; cmd/drmsbench regenerates everything at the
+// paper's class A.
+package drms_test
+
+import (
+	"sync"
+	"testing"
+
+	"drms/internal/apps"
+	"drms/internal/array"
+	"drms/internal/bench"
+	"drms/internal/ckpt"
+	"drms/internal/dist"
+	"drms/internal/drms"
+	"drms/internal/msg"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/seg"
+	"drms/internal/stream"
+)
+
+// --- Table and figure regeneration -----------------------------------------
+
+func BenchmarkTable1SourceCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1()
+		if len(rows) != 3 {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+func BenchmarkTable3SavedStateSizes(b *testing.B) {
+	var drmsTotal, spmd16 int64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table3(apps.ClassA, []int{4, 8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		drmsTotal, spmd16 = rows[0].DRMSTotal(), rows[0].SPMD[16]
+	}
+	b.ReportMetric(bench.MB(drmsTotal), "BT-drms-MB")
+	b.ReportMetric(bench.MB(spmd16), "BT-spmd16-MB")
+}
+
+func BenchmarkTable4SegmentComponents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table4(apps.ClassA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Total == 0 {
+			b.Fatal("empty model")
+		}
+	}
+}
+
+// benchTimingGrid regenerates the Table 5/6 + Figure 7 measurement grid
+// b.N times (the grid run is the benchmarked operation).
+func benchTimingGrid(b *testing.B, class apps.Class) map[string]map[int]bench.Table5Cell {
+	b.Helper()
+	var cells map[string]map[int]bench.Table5Cell
+	var err error
+	for i := 0; i < b.N; i++ {
+		cells, err = bench.Table5(class, []int{8, 16}, bench.SPPlatform())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cells
+}
+
+// cachedGrid builds the class W grid once, for benchmarks whose measured
+// operation is something downstream of it (rendering).
+var (
+	gridOnce  sync.Once
+	gridCells map[string]map[int]bench.Table5Cell
+	gridErr   error
+)
+
+func cachedGrid(b *testing.B) map[string]map[int]bench.Table5Cell {
+	b.Helper()
+	gridOnce.Do(func() {
+		gridCells, gridErr = bench.Table5(apps.ClassW, []int{8, 16}, bench.SPPlatform())
+	})
+	if gridErr != nil {
+		b.Fatal(gridErr)
+	}
+	return gridCells
+}
+
+func BenchmarkTable5CheckpointRestartTimes(b *testing.B) {
+	cells := benchTimingGrid(b, apps.ClassW)
+	c := cells["bt"][16]
+	b.ReportMetric(c.DRMS.CkSeconds, "BT16-drms-ck-s")
+	b.ReportMetric(c.SPMD.CkSeconds, "BT16-spmd-ck-s")
+}
+
+func BenchmarkTable6DRMSComponents(b *testing.B) {
+	cells := benchTimingGrid(b, apps.ClassW)
+	t := cells["bt"][8].DRMS
+	b.ReportMetric(t.CkSegSeconds, "BT8-seg-s")
+	b.ReportMetric(t.CkArrSeconds, "BT8-arr-s")
+}
+
+func BenchmarkFigure7Render(b *testing.B) {
+	cells := cachedGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := bench.RenderFigure7(apps.ClassW, cells, []int{8, 16}); len(s) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkSection6RatioModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RatioTable([][3]int{{32, 2, 3}, {16, 2, 3}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Live microbenchmarks of the core primitives ---------------------------
+
+func benchGrid(n int) rangeset.Slice {
+	return rangeset.Box([]int{0, 0, 0}, []int{n - 1, n - 1, n - 1})
+}
+
+func BenchmarkArrayAssignRedistribute(b *testing.B) {
+	const n, tasks = 48, 4
+	g := benchGrid(n)
+	bytes := int64(g.Size() * 8)
+	b.SetBytes(bytes)
+	msg.Run(tasks, func(c *msg.Comm) {
+		d1, _ := dist.Block(g, []int{4, 1, 1})
+		d2, _ := dist.Block(g, []int{1, 2, 2})
+		src, _ := array.New[float64](c, "a", d1)
+		dst, _ := array.New[float64](c, "b", d2)
+		src.Fill(func(cd []int) float64 { return float64(cd[0]) })
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		c.Barrier()
+		for i := 0; i < b.N; i++ {
+			if err := array.Assign(dst, src); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+func BenchmarkParallelStreamWrite(b *testing.B) {
+	const n, tasks = 48, 4
+	g := benchGrid(n)
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	b.SetBytes(int64(g.Size() * 8))
+	msg.Run(tasks, func(c *msg.Comm) {
+		d, _ := dist.Block(g, []int{2, 2, 1})
+		a, _ := array.New[float64](c, "u", d)
+		a.Fill(func(cd []int) float64 { return float64(cd[0] + cd[1]) })
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		c.Barrier()
+		for i := 0; i < b.N; i++ {
+			if _, err := stream.Write(a, g, fs, "out", stream.Options{}); err != nil {
+				panic(err)
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func BenchmarkSerialStreamWrite(b *testing.B) {
+	const n, tasks = 48, 4
+	g := benchGrid(n)
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	b.SetBytes(int64(g.Size() * 8))
+	msg.Run(tasks, func(c *msg.Comm) {
+		d, _ := dist.Block(g, []int{2, 2, 1})
+		a, _ := array.New[float64](c, "u", d)
+		a.Fill(func(cd []int) float64 { return float64(cd[0] + cd[1]) })
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		c.Barrier()
+		for i := 0; i < b.N; i++ {
+			if _, err := stream.Write(a, g, fs, "out", stream.Options{Writers: 1}); err != nil {
+				panic(err)
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func BenchmarkCheckpointDRMS(b *testing.B) { benchCheckpoint(b, false) }
+func BenchmarkCheckpointSPMD(b *testing.B) { benchCheckpoint(b, true) }
+
+func benchCheckpoint(b *testing.B, spmd bool) {
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	k := apps.SP()
+	var state int64
+	for i := 0; i < b.N; i++ {
+		err := drms.Run(drms.Config{Tasks: 4, FS: fs, SPMDMode: spmd},
+			k.App(apps.RunConfig{Class: apps.ClassS, Iters: 0, CkEvery: 1, Prefix: "ck"}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		state = ckpt.StateBytes(fs, "ck")
+	}
+	b.ReportMetric(bench.MB(state), "stateMB")
+}
+
+func BenchmarkReconfiguredRestart(b *testing.B) {
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	k := apps.SP()
+	err := drms.Run(drms.Config{Tasks: 4, FS: fs},
+		k.App(apps.RunConfig{Class: apps.ClassS, Iters: 0, CkEvery: 1, Prefix: "ck"}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := drms.Run(drms.Config{Tasks: 6, FS: fs, RestartFrom: "ck"},
+			k.App(apps.RunConfig{Class: apps.ClassS, Iters: 0, CkEvery: 1, Prefix: "ck2"}))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentEncodeDecode(b *testing.B) {
+	s := seg.New()
+	iter := 42
+	dt := 0.5
+	vec := make([]float64, 4096)
+	s.Register("iter", &iter)
+	s.Register("dt", &dt)
+	s.Register("vec", &vec)
+	payload, err := s.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		p, err := s.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Decode(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelStep(b *testing.B) {
+	for _, k := range apps.Kernels() {
+		k := k
+		b.Run(k.Name, func(b *testing.B) {
+			fs := pfs.NewSystem(pfs.DefaultConfig())
+			err := drms.Run(drms.Config{Tasks: 4, FS: fs}, func(t *drms.Task) error {
+				in, err := k.Setup(t, apps.ClassS)
+				if err != nil {
+					return err
+				}
+				if t.Rank() == 0 {
+					b.ResetTimer()
+				}
+				t.Comm().Barrier()
+				for i := 0; i < b.N; i++ {
+					if err := k.Step(in); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkSlicePartition(b *testing.B) {
+	s := rangeset.Box([]int{0, 0, 0}, []int{63, 63, 63})
+	for i := 0; i < b.N; i++ {
+		if p := s.Partition(64, rangeset.ColMajor); len(p) < 64 {
+			b.Fatal("short partition")
+		}
+	}
+}
+
+func BenchmarkRangeIntersect(b *testing.B) {
+	r1 := rangeset.Reg(0, 100000, 3)
+	r2 := rangeset.Reg(1, 100000, 7)
+	for i := 0; i < b.N; i++ {
+		if r1.Intersect(r2).Empty() {
+			b.Fatal("unexpected empty")
+		}
+	}
+}

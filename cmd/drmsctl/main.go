@@ -1,0 +1,192 @@
+// Command drmsctl demonstrates the DRMS controlling infrastructure (§4):
+// it brings up a resource coordinator and a pool of task coordinators,
+// then plays one of three scenarios:
+//
+//	-scenario failure      a processor fails mid-run; the RC kills the
+//	                       application and restarts it from its latest
+//	                       checkpoint on a smaller pool
+//	-scenario reconfigure  the JSA grows a running job through a
+//	                       system-initiated checkpoint and restart
+//	-scenario schedule     two jobs compete for processors; the second
+//	                       queues until the first finishes
+//
+// Events from the RC (the user-interface surface) are printed as they
+// arrive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"drms/internal/apps"
+	"drms/internal/ckpt"
+	"drms/internal/coord"
+	"drms/internal/pfs"
+)
+
+func main() {
+	scenario := flag.String("scenario", "failure", "local demo: failure, reconfigure, or schedule")
+	nodes := flag.Int("nodes", 4, "processors in the machine (local demos)")
+	connect := flag.String("connect", "", "address of a running drmsd; switches to remote mode")
+	op := flag.String("op", "apps", "remote op: nodes, apps, status, submit, checkpoint, stop, reconfigure, failnode, verify, events")
+	name := flag.String("name", "", "remote: application name")
+	kernel := flag.String("kernel", "bt", "remote submit: bt, lu, sp")
+	class := flag.String("class", "S", "remote submit: problem class")
+	minT := flag.Int("min", 1, "remote submit: minimum tasks")
+	maxT := flag.Int("max", 2, "remote submit: maximum tasks")
+	tasks := flag.Int("tasks", 0, "remote reconfigure: new task count")
+	iters := flag.Int("iters", 20, "remote submit: iterations")
+	node := flag.Int("node", 0, "remote failnode: processor")
+	prefix := flag.String("prefix", "", "remote verify: checkpoint prefix")
+	flag.Parse()
+
+	if *connect != "" {
+		remote(*connect, coord.Request{Op: *op, Name: *name, Kernel: *kernel,
+			Class: *class, Min: *minT, Max: *maxT, Tasks: *tasks, Iters: *iters,
+			Node: *node, Prefix: *prefix})
+		return
+	}
+
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	rc, err := coord.NewRC(fs, 500*time.Millisecond)
+	check(err)
+	defer rc.Close()
+
+	go func() {
+		for e := range rc.Events() {
+			if e.App != "" {
+				fmt.Printf("[rc] %-14s app=%-6s %s\n", e.Kind, e.App, e.Detail)
+			} else {
+				fmt.Printf("[rc] %-14s node=%d %s\n", e.Kind, e.Node, e.Detail)
+			}
+		}
+	}()
+
+	fmt.Printf("starting %d task coordinators...\n", *nodes)
+	tcs, err := coord.Pool(rc, *nodes, 50*time.Millisecond, 10*time.Second)
+	check(err)
+
+	switch *scenario {
+	case "failure":
+		failureScenario(fs, rc, tcs)
+	case "reconfigure":
+		reconfigureScenario(rc)
+	case "schedule":
+		scheduleScenario(rc)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	time.Sleep(100 * time.Millisecond) // let the event printer drain
+}
+
+func failureScenario(fs *pfs.System, rc *coord.RC, tcs []*coord.TC) {
+	k := apps.BT()
+	out := make(chan float64, 1)
+	s := coord.AppSpec{Name: "job", Body: k.App(apps.RunConfig{
+		Class: apps.ClassS, Iters: 400, CkEvery: 25, Prefix: "job", OnDone: out,
+	})}
+	fmt.Println("launching BT on 3 processors...")
+	check(rc.Launch(s, 3, false))
+
+	// Wait for a checkpoint, then fail a processor.
+	for !ckpt.Exists(fs, "job") {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Println("injecting failure on processor 1...")
+	tcs[1].Fail()
+	status, _ := rc.WaitApp("job")
+	fmt.Printf("application status after failure: %s\n", status)
+
+	fmt.Println("restarting from latest checkpoint on 2 processors (failed node still down)...")
+	check(rc.Launch(s, 2, true))
+	status, err := rc.WaitApp("job")
+	check(err)
+	fmt.Printf("application status after recovery: %s, checksum %.6e\n", status, <-out)
+}
+
+func reconfigureScenario(rc *coord.RC) {
+	k := apps.SP()
+	out := make(chan float64, 1)
+	s := coord.AppSpec{Name: "sim", Body: k.App(apps.RunConfig{
+		Class: apps.ClassS, Iters: 2000, CkEvery: 3, Prefix: "sim", EnableSOP: true, OnDone: out,
+	})}
+	jsa := coord.NewJSA(rc)
+	check(jsa.Submit(coord.Job{Spec: s, Min: 1, Max: 4}))
+	fmt.Println("job running; growing it to the full machine via checkpoint/restart...")
+	check(jsa.Reconfigure("sim", 4, 30*time.Second))
+	status, err := rc.WaitApp("sim")
+	check(err)
+	fmt.Printf("status: %s, checksum %.6e\n", status, <-out)
+}
+
+func scheduleScenario(rc *coord.RC) {
+	jsa := coord.NewJSA(rc)
+	k := apps.LU()
+	outA, outB := make(chan float64, 1), make(chan float64, 1)
+	a := coord.AppSpec{Name: "first", Body: k.App(apps.RunConfig{
+		Class: apps.ClassS, Iters: 30, CkEvery: 10, Prefix: "first", OnDone: outA})}
+	b := coord.AppSpec{Name: "second", Body: k.App(apps.RunConfig{
+		Class: apps.ClassS, Iters: 30, CkEvery: 10, Prefix: "second", OnDone: outB})}
+	check(jsa.Submit(coord.Job{Spec: a, Min: 4, Max: 4}))
+	check(jsa.Submit(coord.Job{Spec: b, Min: 2, Max: 4}))
+	fmt.Printf("jobs queued behind 'first': %d\n", jsa.Queued())
+	st, err := rc.WaitApp("first")
+	check(err)
+	fmt.Printf("first: %s, checksum %.6e\n", st, <-outA)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if _, ok := rc.App("second"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			check(fmt.Errorf("second job never dispatched"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, err = rc.WaitApp("second")
+	check(err)
+	fmt.Printf("second: %s, checksum %.6e\n", st, <-outB)
+}
+
+// remote executes one control-protocol request against a drmsd and prints
+// the reply.
+func remote(addr string, req coord.Request) {
+	cl, err := coord.DialControl(addr)
+	check(err)
+	defer cl.Close()
+	resp, err := cl.Do(req)
+	check(err)
+	switch req.Op {
+	case "nodes":
+		fmt.Printf("available processors: %v\n", resp.Nodes)
+	case "apps":
+		if len(resp.Apps) == 0 {
+			fmt.Println("no applications")
+		}
+		for _, a := range resp.Apps {
+			fmt.Printf("%-12s %-10s tasks=%d nodes=%v %s\n", a.Name, a.Status, a.Tasks, a.Nodes, a.Err)
+		}
+		if resp.Queued > 0 {
+			fmt.Printf("queued jobs: %d\n", resp.Queued)
+		}
+	case "status":
+		a := resp.App
+		fmt.Printf("%-12s %-10s tasks=%d nodes=%v %s\n", a.Name, a.Status, a.Tasks, a.Nodes, a.Err)
+	case "events":
+		for _, e := range resp.Events {
+			fmt.Printf("%-14s app=%-8s node=%d %s\n", e.Kind, e.App, e.Node, e.Detail)
+		}
+	default:
+		fmt.Println("ok")
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

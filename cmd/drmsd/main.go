@@ -1,0 +1,74 @@
+// Command drmsd is the DRMS installation daemon: it brings up the
+// resource coordinator, one task coordinator per processor, the job
+// scheduler, and serves the control protocol for drmsctl clients (the
+// full Figure 6 stack in one process).
+//
+// Usage:
+//
+//	drmsd -nodes 8 -listen 127.0.0.1:7070 [-state /tmp/state.pfs]
+//	drmsctl -connect 127.0.0.1:7070 -op submit -name job1 -kernel bt ...
+//
+// With -state, checkpointed application state is loaded at startup and
+// saved on shutdown (SIGINT), so jobs can be restarted across daemon
+// runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"drms/internal/coord"
+	"drms/internal/pfs"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "processors in the machine")
+	listen := flag.String("listen", "127.0.0.1:0", "control protocol listen address")
+	state := flag.String("state", "", "file-system snapshot to load at start and save at exit")
+	hbTimeout := flag.Duration("hb-timeout", 2*time.Second, "heartbeat timeout for failure detection")
+	flag.Parse()
+
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	if *state != "" {
+		if err := fs.LoadFile(*state); err == nil {
+			fmt.Printf("loaded state from %s\n", *state)
+		}
+	}
+
+	rc, err := coord.NewRC(fs, *hbTimeout)
+	check(err)
+	defer rc.Close()
+	tcs, err := coord.Pool(rc, *nodes, *hbTimeout/10, 30*time.Second)
+	check(err)
+	jsa := coord.NewJSA(rc)
+	srv := &coord.ControlServer{RC: rc, JSA: jsa, FailNode: func(n int) error {
+		if n < 0 || n >= len(tcs) {
+			return fmt.Errorf("no processor %d", n)
+		}
+		tcs[n].Fail()
+		return nil
+	}}
+	addr, err := srv.Serve(*listen)
+	check(err)
+	defer srv.Close()
+	fmt.Printf("drmsd: %d processors, control protocol on %s\n", *nodes, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	if *state != "" {
+		check(fs.SaveFile(*state))
+		fmt.Printf("\nsaved state to %s\n", *state)
+	}
+	fmt.Println("drmsd: shutting down")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+// Command drmsfsck checks the integrity of archived checkpoint state: it
+// loads a file-system snapshot (written by drmsrun -save-state), lists
+// the checkpoints it holds, and verifies every file's size and CRC-64
+// against the checkpoint metadata.
+//
+// Usage:
+//
+//	drmsrun -app bt -save-state /tmp/state.pfs
+//	drmsfsck -state /tmp/state.pfs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"drms/internal/ckpt"
+	"drms/internal/pfs"
+)
+
+func main() {
+	state := flag.String("state", "", "pfs snapshot file to check")
+	flag.Parse()
+	if *state == "" {
+		fmt.Fprintln(os.Stderr, "usage: drmsfsck -state <snapshot>")
+		os.Exit(2)
+	}
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	if err := fs.LoadFile(*state); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Discover checkpoint prefixes from their .meta files.
+	var prefixes []string
+	for _, name := range fs.List("") {
+		if strings.HasSuffix(name, ".meta") {
+			prefixes = append(prefixes, strings.TrimSuffix(name, ".meta"))
+		}
+	}
+	if len(prefixes) == 0 {
+		fmt.Println("no checkpoints in snapshot")
+		return
+	}
+	bad := 0
+	for _, p := range prefixes {
+		m, err := ckpt.ReadMeta(fs, p, 0)
+		if err != nil {
+			fmt.Printf("%-12s UNREADABLE: %v\n", p, err)
+			bad++
+			continue
+		}
+		err = ckpt.Verify(fs, p, 0)
+		status := "OK"
+		if err != nil {
+			status = "CORRUPT: " + err.Error()
+			bad++
+		}
+		fmt.Printf("%-12s mode=%-5s tasks=%-3d arrays=%-2d state=%.1fMB  %s\n",
+			p, m.Mode, m.Tasks, len(m.Arrays),
+			float64(ckpt.StateBytes(fs, p))/(1<<20), status)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

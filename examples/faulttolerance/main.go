@@ -1,0 +1,88 @@
+// Faulttolerance: the failure/recovery model of §4. A machine of four
+// processors runs a resource coordinator with one task coordinator per
+// processor; the LU benchmark executes on three of them, checkpointing
+// periodically. Mid-run, one processor "fails" (its TC connection drops
+// with no goodbye). The RC detects the loss, kills the application,
+// informs the user, and returns the surviving processors to the pool; the
+// application is then restarted from its latest checkpoint on the two
+// remaining processors — without waiting for the failed node — and
+// finishes with the exact uninterrupted result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"drms/internal/apps"
+	"drms/internal/ckpt"
+	"drms/internal/coord"
+	"drms/internal/drms"
+	"drms/internal/pfs"
+)
+
+func main() {
+	const iters, ckEvery = 200, 20
+	k := apps.LU()
+
+	// Reference checksum from an undisturbed run.
+	ref := make(chan float64, 1)
+	if err := drms.Run(drms.Config{Tasks: 3, FS: pfs.NewSystem(pfs.DefaultConfig())},
+		k.App(apps.RunConfig{Class: apps.ClassS, Iters: iters, OnDone: ref})); err != nil {
+		log.Fatal(err)
+	}
+	want := <-ref
+
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	rc, err := coord.NewRC(fs, 500*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rc.Close()
+	go func() {
+		for e := range rc.Events() {
+			fmt.Printf("  [event] %s app=%q node=%d %s\n", e.Kind, e.App, e.Node, e.Detail)
+		}
+	}()
+
+	fmt.Println("bringing up 4 task coordinators...")
+	tcs, err := coord.Pool(rc, 4, 50*time.Millisecond, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := make(chan float64, 1)
+	spec := coord.AppSpec{Name: "lu", Body: k.App(apps.RunConfig{
+		Class: apps.ClassS, Iters: iters, CkEvery: ckEvery, Prefix: "lu", OnDone: out,
+	})}
+	fmt.Println("launching LU on processors 0-2...")
+	if err := rc.Launch(spec, 3, false); err != nil {
+		log.Fatal(err)
+	}
+
+	// Let it take at least one checkpoint, then fail processor 1.
+	for !ckpt.Exists(fs, "lu") {
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Println("processor 1 fails now.")
+	tcs[1].Fail()
+
+	status, _ := rc.WaitApp("lu")
+	fmt.Printf("application status: %s\n", status)
+	fmt.Printf("processors available for restart: %v (node 1 is down)\n", rc.AvailableNodes())
+
+	fmt.Println("restarting from the latest checkpoint on 2 processors...")
+	if err := rc.Launch(spec, 2, true); err != nil {
+		log.Fatal(err)
+	}
+	if status, err := rc.WaitApp("lu"); err != nil || status != coord.StatusFinished {
+		log.Fatalf("recovery run: %s, %v", status, err)
+	}
+	got := <-out
+	fmt.Printf("recovered checksum %.12e\n", got)
+	if got == want {
+		fmt.Println("identical to the uninterrupted run — recovery is exact")
+	} else {
+		log.Fatal("recovery diverged")
+	}
+}

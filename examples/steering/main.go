@@ -1,0 +1,125 @@
+// Steering: the array-section streaming machinery (§3.2) used for
+// computational steering — the other capability DRMS built on the same
+// primitive as checkpointing. The SP kernel runs as an SPMD application,
+// publishing a 2-D plane of its solution through a steering channel each
+// iteration. An observer (the "scientist", running outside the
+// application) renders the plane and, mid-run, injects a hot patch
+// through a control channel; the application fetches it at its next
+// iteration and the disturbance shows up in subsequent frames.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"drms/internal/apps"
+	"drms/internal/array"
+	"drms/internal/drms"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/steer"
+	"drms/internal/stream"
+)
+
+const iters = 6
+
+func main() {
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	k := apps.SP()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go observer(fs, &wg)
+
+	err := drms.Run(drms.Config{Tasks: 4, FS: fs}, func(t *drms.Task) error {
+		in, err := k.Setup(t, apps.ClassS)
+		if err != nil {
+			return err
+		}
+		n := in.N
+		u := in.U()
+
+		// The observed section: component 0 on the mid-z plane. The
+		// control section: a corner patch of the same plane.
+		plane := rangeset.NewSlice(rangeset.Single(0),
+			rangeset.Span(0, n-1), rangeset.Span(0, n-1), rangeset.Single(n/2))
+
+		for in.Iter = 0; in.Iter < iters; in.Iter++ {
+			if err := k.Step(in); err != nil {
+				return err
+			}
+			if _, err := steer.Publish(u, plane, t.FS(), "plane", stream.Options{}); err != nil {
+				return err
+			}
+			// Pick up any pending control input; zero means none yet.
+			if seq, err := steer.Fetch(u, t.FS(), "knob", stream.Options{}); err != nil {
+				return err
+			} else if seq > 0 && t.Rank() == 0 {
+				fmt.Printf("-- application applied control frame %d --\n", seq)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// observer is the scientist's side: watch the plane channel, render each
+// new frame, and steer once frame 2 has been seen.
+func observer(fs *pfs.System, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ob := &steer.Observer{FS: fs, Channel: "plane"}
+	injected := false
+	for seq := int64(1); seq <= iters; seq++ {
+		h, data, err := ob.WaitSeq(seq, 30*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq = h.Seq // frames may advance faster than we render
+		render(h, data)
+		if !injected && h.Seq >= 2 {
+			n := h.Section.Axis(1).Size()
+			patch := rangeset.NewSlice(rangeset.Single(0),
+				rangeset.Span(0, n/3), rangeset.Span(0, n/3),
+				h.Section.Axis(3))
+			vals := make([]float64, patch.Size())
+			for i := range vals {
+				vals[i] = 5
+			}
+			if _, err := steer.Inject(fs, "knob", patch, rangeset.ColMajor, vals); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("-- observer injected hot patch --")
+			injected = true
+		}
+	}
+}
+
+// render draws a frame as ASCII shading: the stream is a plain
+// column-major linearization any consumer can decode.
+func render(h steer.Header, data []byte) {
+	vals := array.DecodeElems[float64](data)
+	n := h.Section.Axis(1).Size()
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo, hi = min(lo, v), max(hi, v)
+	}
+	shades := []byte(" .:-=+*#%@")
+	fmt.Printf("frame %d  (min %.3f, max %.3f)\n", h.Seq, lo, hi)
+	for y := 0; y < n; y++ {
+		line := make([]byte, 0, n)
+		for x := 0; x < n; x++ {
+			v := vals[x+y*n]
+			idx := 0
+			if hi > lo {
+				idx = int((v - lo) / (hi - lo) * float64(len(shades)-1))
+			}
+			line = append(line, shades[idx])
+		}
+		fmt.Printf("  |%s|\n", line)
+	}
+}

@@ -1,0 +1,3 @@
+module drms
+
+go 1.24

@@ -1,0 +1,77 @@
+package apps
+
+import (
+	"fmt"
+
+	"drms/internal/array"
+)
+
+// view provides O(1) dense indexing into a kernel array's local storage.
+// Block distributions of the kernels always map dense boxes (contiguous
+// index runs per axis), so element addresses reduce to strides — the same
+// addressing a Fortran compiler emits for the local arrays.
+type view struct {
+	buf    []float64
+	lo     [4]int
+	hi     [4]int
+	stride [4]int
+	// alo/ahi bound the assigned (owned) box the sweeps iterate over.
+	alo, ahi [4]int
+}
+
+// newView validates density and precomputes strides.
+func newView(a *array.Array[float64]) (*view, error) {
+	m := a.Mapped()
+	as := a.Assigned()
+	if m.Rank() != 4 {
+		return nil, fmt.Errorf("apps: array %q has rank %d, want 4", a.Name(), m.Rank())
+	}
+	v := &view{buf: a.Local()}
+	s := 1
+	for i := 0; i < 4; i++ {
+		r := m.Axis(i)
+		if !r.IsRegular() {
+			return nil, fmt.Errorf("apps: axis %d of %q is irregular", i, a.Name())
+		}
+		l, u, st := r.Bounds()
+		if st != 1 {
+			return nil, fmt.Errorf("apps: axis %d of %q is strided", i, a.Name())
+		}
+		v.lo[i], v.hi[i] = l, u
+		v.stride[i] = s // column-major: axis 0 fastest
+		s *= r.Size()
+		ar := as.Axis(i)
+		v.alo[i], v.ahi[i] = ar.Min(), ar.Max()
+	}
+	return v, nil
+}
+
+// idx computes the local buffer index of global coordinate (m, x, y, z).
+func (v *view) idx(m, x, y, z int) int {
+	return (m-v.lo[0])*v.stride[0] + (x-v.lo[1])*v.stride[1] +
+		(y-v.lo[2])*v.stride[2] + (z-v.lo[3])*v.stride[3]
+}
+
+// at reads the element at (m, x, y, z); clamp* variants substitute the
+// nearest mapped coordinate for out-of-domain neighbors (the kernels'
+// boundary treatment).
+func (v *view) at(m, x, y, z int) float64 { return v.buf[v.idx(m, x, y, z)] }
+
+func (v *view) set(m, x, y, z int, val float64) { v.buf[v.idx(m, x, y, z)] = val }
+
+// clamped reads (m, x+dx, y+dy, z+dz) with each displaced coordinate
+// clamped to the global domain [0, n-1]; within the domain the neighbor
+// is guaranteed mapped (shadow width covers the kernel stencils).
+func (v *view) clamped(n, m, x, y, z, dx, dy, dz int) float64 {
+	return v.at(m, clampInt(x+dx, 0, n-1), clampInt(y+dy, 0, n-1), clampInt(z+dz, 0, n-1))
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

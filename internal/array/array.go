@@ -1,0 +1,256 @@
+// Package array implements DRMS distributed arrays (§3.1): abstract
+// global Cartesian index spaces whose sections are concretely present in
+// the tasks of a parallel application, and the array assignment operation
+// that moves data between two arrays with arbitrary, different
+// distributions. Array assignment is the primitive on which data
+// redistribution, computational steering, inter-application communication
+// and — via the stream package — scalable checkpointing are built.
+package array
+
+import (
+	"fmt"
+
+	"drms/internal/dist"
+	"drms/internal/msg"
+	"drms/internal/rangeset"
+)
+
+// Array is one task's handle on a distributed array: the global
+// descriptor plus the local storage for this task's mapped section. SPMD
+// tasks each construct their own handle with identical name, distribution
+// and element type.
+//
+// Local storage holds the mapped section linearized in column-major order
+// of the mapped slice. Elements of the mapped section outside the
+// assigned section are shadow copies; their values are defined by the
+// owning task and refreshed by assignment operations.
+type Array[T Elem] struct {
+	name  string
+	d     *dist.Distribution
+	comm  *msg.Comm
+	local []T
+}
+
+// New allocates a task's handle on the distributed array `name` with
+// distribution d. Every task of comm must call New with equal arguments
+// (SPMD). The local storage is zeroed.
+func New[T Elem](comm *msg.Comm, name string, d *dist.Distribution) (*Array[T], error) {
+	if d.Tasks() != comm.Size() {
+		return nil, fmt.Errorf("array %q: distribution spans %d tasks but communicator has %d",
+			name, d.Tasks(), comm.Size())
+	}
+	return &Array[T]{
+		name:  name,
+		d:     d,
+		comm:  comm,
+		local: make([]T, d.Mapped(comm.Rank()).Size()),
+	}, nil
+}
+
+// Name returns the array's global name.
+func (a *Array[T]) Name() string { return a.name }
+
+// Comm returns the communicator the array lives on.
+func (a *Array[T]) Comm() *msg.Comm { return a.comm }
+
+// Dist returns the array's distribution.
+func (a *Array[T]) Dist() *dist.Distribution { return a.d }
+
+// Global returns the global index space.
+func (a *Array[T]) Global() rangeset.Slice { return a.d.Global() }
+
+// Mapped returns this task's mapped section.
+func (a *Array[T]) Mapped() rangeset.Slice { return a.d.Mapped(a.comm.Rank()) }
+
+// Assigned returns this task's assigned section.
+func (a *Array[T]) Assigned() rangeset.Slice { return a.d.Assigned(a.comm.Rank()) }
+
+// Local exposes the raw local storage (mapped section, column-major).
+// Compute kernels index it directly via LocalIndex or with precomputed
+// strides for dense sections.
+func (a *Array[T]) Local() []T { return a.local }
+
+// LocalIndex returns the local-storage position of global coordinate c,
+// which must lie in the mapped section.
+func (a *Array[T]) LocalIndex(c []int) int {
+	off, ok := a.Mapped().Offset(c, rangeset.ColMajor)
+	if !ok {
+		panic(fmt.Sprintf("array %q: coordinate %v not mapped to task %d", a.name, c, a.comm.Rank()))
+	}
+	return off
+}
+
+// Has reports whether global coordinate c is mapped to this task.
+func (a *Array[T]) Has(c []int) bool {
+	_, ok := a.Mapped().Offset(c, rangeset.ColMajor)
+	return ok
+}
+
+// At returns the local copy of the element at global coordinate c.
+func (a *Array[T]) At(c []int) T { return a.local[a.LocalIndex(c)] }
+
+// Set stores v into the local copy of the element at global coordinate c.
+func (a *Array[T]) Set(c []int, v T) { a.local[a.LocalIndex(c)] = v }
+
+// Fill sets every mapped element from f(c). Tasks fill shadow copies too,
+// so after Fill all copies are consistent iff f is a pure function of the
+// coordinate.
+func (a *Array[T]) Fill(f func(c []int) T) {
+	m := a.Mapped()
+	i := 0
+	m.Each(rangeset.ColMajor, func(c []int) {
+		a.local[i] = f(c)
+		i++
+	})
+}
+
+// PackSection linearizes the elements of section s (which must be a
+// subset of this task's mapped section) in the given order and returns
+// their wire encoding.
+func (a *Array[T]) PackSection(s rangeset.Slice, order rangeset.Order) []byte {
+	es := ElemSize[T]()
+	out := make([]byte, s.Size()*es)
+	i := 0
+	s.Each(order, func(c []int) {
+		putElem(out[i*es:], a.local[a.LocalIndex(c)])
+		i++
+	})
+	return out
+}
+
+// UnpackSection stores a wire buffer produced by PackSection with the
+// same section and order into the local storage.
+func (a *Array[T]) UnpackSection(s rangeset.Slice, order rangeset.Order, buf []byte) {
+	es := ElemSize[T]()
+	if len(buf) != s.Size()*es {
+		panic(fmt.Sprintf("array %q: section %v needs %d bytes, got %d",
+			a.name, s, s.Size()*es, len(buf)))
+	}
+	i := 0
+	s.Each(order, func(c []int) {
+		a.local[a.LocalIndex(c)] = getElem[T](buf[i*es:])
+		i++
+	})
+}
+
+// Assign implements the DRMS array assignment B <- A for this task: every
+// element of B present in any task's address space (assigned or shadow
+// copy) receives the value of the corresponding element of A, all copies
+// updated consistently. A and B must have the same global shape and live
+// on the same communicator; their distributions are arbitrary. Elements
+// of B not assigned in A (undefined in A) are left untouched. Assign is a
+// collective: every task must call it.
+func Assign[T Elem](dst, src *Array[T]) error {
+	if !dst.Global().Equal(src.Global()) {
+		return fmt.Errorf("array assign %q <- %q: global shapes %v and %v differ",
+			dst.name, src.name, dst.Global(), src.Global())
+	}
+	if dst.comm != src.comm {
+		return fmt.Errorf("array assign %q <- %q: different communicators", dst.name, src.name)
+	}
+	c := src.comm
+	p := c.Rank()
+	n := c.Size()
+
+	// Phase 1: pack, for every destination task q, the elements this task
+	// owns (assigned in A) that q maps in B.
+	send := make([][]byte, n)
+	myAssigned := src.d.Assigned(p)
+	for q := 0; q < n; q++ {
+		sec := myAssigned.Intersect(dst.d.Mapped(q))
+		if sec.Empty() {
+			continue
+		}
+		send[q] = src.PackSection(sec, rangeset.ColMajor)
+	}
+
+	// Phase 2: exchange.
+	recv := c.Alltoall(send)
+
+	// Phase 3: unpack what every owner q sent for this task's mapped
+	// section of B. Both sides computed the identical intersection slice,
+	// so the linearization orders agree.
+	myMapped := dst.d.Mapped(p)
+	for q := 0; q < n; q++ {
+		sec := src.d.Assigned(q).Intersect(myMapped)
+		if sec.Empty() {
+			continue
+		}
+		dst.UnpackSection(sec, rangeset.ColMajor, recv[q])
+	}
+	return nil
+}
+
+// Redistribute returns a new handle on the same logical array with
+// distribution nd, with all element values carried over (drms_distribute
+// after drms_adjust). Collective.
+func (a *Array[T]) Redistribute(nd *dist.Distribution) (*Array[T], error) {
+	b, err := New[T](a.comm, a.name, nd)
+	if err != nil {
+		return nil, err
+	}
+	if err := Assign(b, a); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ExchangeShadows refreshes every shadow copy (mapped but not assigned
+// element) from its owner. It is the halo exchange grid solvers perform
+// between iterations, expressed as the self-assignment A <- A.
+func (a *Array[T]) ExchangeShadows() error {
+	return Assign(a, a)
+}
+
+// Gather collects the full array at task root in the global linearization
+// order given (the distribution-independent representation). On root the
+// result has Global().Size() elements; elsewhere it is nil. Collective.
+// Unassigned (undefined) elements are zero.
+func (a *Array[T]) Gather(root int, order rangeset.Order) []T {
+	c := a.comm
+	p := c.Rank()
+	// Each task packs its assigned section in the global order together
+	// with the global offsets; root scatters them into place. Offsets are
+	// implied: root recomputes each sender's section identically.
+	buf := a.PackSection(a.Assigned(), order)
+	parts := c.Gather(root, buf)
+	if p != root {
+		return nil
+	}
+	es := ElemSize[T]()
+	out := make([]T, a.Global().Size())
+	g := a.Global()
+	for q := 0; q < c.Size(); q++ {
+		sec := a.d.Assigned(q)
+		if sec.Empty() {
+			continue
+		}
+		i := 0
+		part := parts[q]
+		sec.Each(order, func(cd []int) {
+			off, ok := g.Offset(cd, order)
+			if !ok {
+				panic("array: assigned element outside global space")
+			}
+			out[off] = getElem[T](part[i*es:])
+			i++
+		})
+	}
+	return out
+}
+
+// Checksum returns a distribution-independent checksum: the sum of all
+// assigned elements accumulated in global column-major order at task 0
+// and broadcast. Because the accumulation order is fixed by the global
+// space, two runs with different task counts or distributions of the same
+// values produce bitwise-identical checksums. Collective.
+func (a *Array[T]) Checksum() float64 {
+	full := a.Gather(0, rangeset.ColMajor)
+	var sum float64
+	if a.comm.Rank() == 0 {
+		for _, v := range full {
+			sum += float64(v)
+		}
+	}
+	return a.comm.AllreduceF64(sum, msg.Sum)
+}

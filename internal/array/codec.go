@@ -1,0 +1,99 @@
+package array
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Elem constrains the element types a distributed array may hold. Each
+// has a fixed-width little-endian on-stream encoding, which is what makes
+// checkpoint files portable across machines and distributions. The
+// constraint lists exact types (not ~approximations) because the codec
+// moves values through interface assertions.
+type Elem interface {
+	float64 | float32 | int64 | int32 | uint8
+}
+
+// ElemSize returns the encoded size in bytes of T.
+func ElemSize[T Elem]() int {
+	var z T
+	switch any(z).(type) {
+	case float64, int64:
+		return 8
+	case float32, int32:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// ElemKind returns a stable name for T, recorded in checkpoint metadata
+// so a restart can type-check the file against the declared array.
+func ElemKind[T Elem]() string {
+	var z T
+	switch any(z).(type) {
+	case float64:
+		return "float64"
+	case float32:
+		return "float32"
+	case int64:
+		return "int64"
+	case int32:
+		return "int32"
+	default:
+		return "uint8"
+	}
+}
+
+// putElem encodes v at buf (little-endian).
+func putElem[T Elem](buf []byte, v T) {
+	switch x := any(v).(type) {
+	case float64:
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+	case float32:
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(x))
+	case int64:
+		binary.LittleEndian.PutUint64(buf, uint64(x))
+	case int32:
+		binary.LittleEndian.PutUint32(buf, uint32(x))
+	case uint8:
+		buf[0] = x
+	}
+}
+
+// getElem decodes an element from buf.
+func getElem[T Elem](buf []byte) T {
+	var z T
+	switch any(z).(type) {
+	case float64:
+		return any(math.Float64frombits(binary.LittleEndian.Uint64(buf))).(T)
+	case float32:
+		return any(math.Float32frombits(binary.LittleEndian.Uint32(buf))).(T)
+	case int64:
+		return any(int64(binary.LittleEndian.Uint64(buf))).(T)
+	case int32:
+		return any(int32(binary.LittleEndian.Uint32(buf))).(T)
+	default:
+		return any(buf[0]).(T)
+	}
+}
+
+// EncodeElems packs a value slice into its wire form.
+func EncodeElems[T Elem](vs []T) []byte {
+	es := ElemSize[T]()
+	out := make([]byte, len(vs)*es)
+	for i, v := range vs {
+		putElem(out[i*es:], v)
+	}
+	return out
+}
+
+// DecodeElems unpacks a wire buffer into values.
+func DecodeElems[T Elem](buf []byte) []T {
+	es := ElemSize[T]()
+	out := make([]T, len(buf)/es)
+	for i := range out {
+		out[i] = getElem[T](buf[i*es:])
+	}
+	return out
+}

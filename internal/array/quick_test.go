@@ -1,0 +1,125 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+
+	"drms/internal/dist"
+	"drms/internal/msg"
+	"drms/internal/rangeset"
+)
+
+// randomPartition splits the positions of a range into k non-empty,
+// randomly assigned index-list groups — the general (irregular) form of a
+// DRMS per-axis decomposition.
+func randomPartition(rng *rand.Rand, ax rangeset.Range, k int) []rangeset.Range {
+	n := ax.Size()
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = i % k // guarantee non-empty groups
+	}
+	rng.Shuffle(n, func(i, j int) { owner[i], owner[j] = owner[j], owner[i] })
+	groups := make([][]int, k)
+	for pos, o := range owner {
+		groups[o] = append(groups[o], ax.At(pos))
+	}
+	out := make([]rangeset.Range, k)
+	for i, g := range groups {
+		// group values are in increasing position order already? No:
+		// shuffle reordered owners, not values; positions ascend, so
+		// each group's values ascend.
+		out[i] = rangeset.List(g...)
+	}
+	return out
+}
+
+// randomDist builds a random irregular covering distribution of g over
+// tasks = g0*g1 tasks.
+func randomDist(rng *rand.Rand, g rangeset.Slice, g0, g1 int) *dist.Distribution {
+	p0 := randomPartition(rng, g.Axis(0), g0)
+	p1 := randomPartition(rng, g.Axis(1), g1)
+	assigned := make([]rangeset.Slice, 0, g0*g1)
+	for j := 0; j < g1; j++ {
+		for i := 0; i < g0; i++ {
+			assigned = append(assigned, rangeset.NewSlice(p0[i], p1[j]))
+		}
+	}
+	d, err := dist.Irregular(g, assigned, nil)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TestAssignQuickRandomIrregularDistributions is the model-based property
+// test for the array assignment operation: for arbitrary irregular source
+// and destination distributions of the same global space, B <- A makes
+// every mapped element of B equal the coordinate function A was filled
+// with.
+func TestAssignQuickRandomIrregularDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 40; iter++ {
+		rows := 2 + rng.Intn(10)
+		cols := 2 + rng.Intn(10)
+		g := rangeset.Box([]int{0, 0}, []int{rows - 1, cols - 1})
+		g0 := 1 + rng.Intn(min(3, rows))
+		g1 := 1 + rng.Intn(min(3, cols))
+		tasks := g0 * g1
+		srcD := randomDist(rng, g, g0, g1)
+		// Destination may have a different task-grid factorization only if
+		// the task count matches; regenerate until shapes agree.
+		dstD := randomDist(rand.New(rand.NewSource(int64(iter*7+1))), g, g0, g1)
+
+		msg.Run(tasks, func(c *msg.Comm) {
+			src, err := New[float64](c, "a", srcD)
+			if err != nil {
+				panic(err)
+			}
+			dst, err := New[float64](c, "b", dstD)
+			if err != nil {
+				panic(err)
+			}
+			src.Fill(coordVal)
+			if err := Assign(dst, src); err != nil {
+				panic(err)
+			}
+			dst.Mapped().Each(rangeset.ColMajor, func(cd []int) {
+				if dst.At(cd) != coordVal(cd) {
+					panic("assign lost an element under irregular distributions")
+				}
+			})
+		})
+	}
+}
+
+// TestGatherQuickRandom checks the distribution-independent gather under
+// random irregular distributions: the linearized global array equals the
+// fill function evaluated in order.
+func TestGatherQuickRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for iter := 0; iter < 25; iter++ {
+		rows := 2 + rng.Intn(8)
+		cols := 2 + rng.Intn(8)
+		g := rangeset.Box([]int{0, 0}, []int{rows - 1, cols - 1})
+		g0 := 1 + rng.Intn(min(2, rows))
+		g1 := 1 + rng.Intn(min(3, cols))
+		d := randomDist(rng, g, g0, g1)
+		msg.Run(g0*g1, func(c *msg.Comm) {
+			a, err := New[float64](c, "u", d)
+			if err != nil {
+				panic(err)
+			}
+			a.Fill(coordVal)
+			full := a.Gather(0, rangeset.RowMajor)
+			if c.Rank() != 0 {
+				return
+			}
+			for off, v := range full {
+				cd := g.Coord(off, rangeset.RowMajor)
+				if v != coordVal(cd) {
+					panic("gather misplaced an element")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Availability study: the analysis of Wong & Franklin [19] that the paper
+// invokes in §7/§8 — "checkpoint/recovery without load redistribution has
+// limited use for applications requiring a large number of processors.
+// When recovery with load redistribution is possible, application
+// performance degradation in the presence of failures is ... negligibly
+// small, as long as the checkpointing and load redistribution overheads
+// are small." Here the claim is reproduced by deterministic virtual-time
+// simulation of one long-running application under periodic processor
+// failures, comparing reconfigurable (DRMS) recovery with rigid (SPMD)
+// recovery that must wait for the failed node's repair.
+
+// AvailConfig parameterizes the failure simulation.
+type AvailConfig struct {
+	Processors int
+	// Work is the application's total demand in processor-seconds.
+	Work float64
+	// CheckpointEvery is the wall-clock period between checkpoints.
+	CheckpointEvery float64
+	// CheckpointCost is the pause per checkpoint (DRMS: Table 5 scale).
+	CheckpointCost float64
+	// RestartCost is the restart pause after a failure.
+	RestartCost float64
+	// RepairTime is how long a failed processor stays down.
+	RepairTime float64
+	// FailureInterval is the time between successive processor failures
+	// (deterministic, so the comparison is exact). Zero disables failures.
+	FailureInterval float64
+}
+
+// AvailResult is one policy's outcome.
+type AvailResult struct {
+	Policy     string
+	Completion float64
+	Failures   int
+	// LostWork is the processor-seconds of recomputation after failures.
+	LostWork float64
+}
+
+// SimulateAvailability runs the application to completion under the
+// failure process. With reconfigurable recovery the application restarts
+// immediately on the surviving processors (repaired nodes rejoin at the
+// next checkpoint); rigid recovery must wait for repair to recover the
+// full processor count it is pinned to.
+func SimulateAvailability(cfg AvailConfig, reconfigurable bool) AvailResult {
+	res := AvailResult{Policy: "rigid"}
+	if reconfigurable {
+		res.Policy = "reconfigurable"
+	}
+	t := 0.0
+	remaining := cfg.Work
+	active := cfg.Processors // processors currently executing the app
+	down := 0                // processors awaiting repair
+	sinceCkpt := 0.0         // wall seconds of progress since last checkpoint
+	nextFail := math.Inf(1)
+	if cfg.FailureInterval > 0 {
+		nextFail = cfg.FailureInterval
+	}
+	var repairs []float64 // repair completion times
+
+	// Divergence horizon: when failures outpace repair, rigid recovery can
+	// lose every restart's progress before its first new checkpoint — the
+	// job literally never finishes ([19]'s "limited use" case). Report
+	// that as +Inf rather than simulating forever.
+	horizon := 200 * cfg.Work / float64(cfg.Processors)
+
+	for remaining > 1e-9 {
+		if t > horizon {
+			res.Completion = math.Inf(1)
+			return res
+		}
+		// Next event: checkpoint boundary, failure, or completion.
+		toCkpt := cfg.CheckpointEvery - sinceCkpt
+		toDone := remaining / float64(active)
+		dt := math.Min(toCkpt, toDone)
+		if t+dt >= nextFail {
+			dt = nextFail - t
+		}
+		// Advance.
+		remaining -= dt * float64(active)
+		sinceCkpt += dt
+		t += dt
+		if remaining <= 1e-9 {
+			break
+		}
+
+		switch {
+		case t >= nextFail && down < cfg.Processors-1:
+			// A processor fails. Work since the last checkpoint is lost.
+			lost := sinceCkpt * float64(active)
+			remaining += lost
+			res.LostWork += lost
+			res.Failures++
+			down++
+			repairs = append(repairs, t+cfg.RepairTime)
+			if reconfigurable {
+				// Restart immediately on the survivors.
+				active = cfg.Processors - down
+				t += cfg.RestartCost
+			} else {
+				// Wait for the earliest repair that restores full strength.
+				wait := 0.0
+				for _, r := range repairs {
+					if r-t > wait {
+						wait = r - t
+					}
+				}
+				t += wait
+				repairs = nil
+				down = 0
+				active = cfg.Processors
+				t += cfg.RestartCost
+			}
+			sinceCkpt = 0
+			// Failure points that elapsed while recovering are folded into
+			// this one (the machine cannot lose what is already down).
+			for nextFail <= t {
+				nextFail += cfg.FailureInterval
+			}
+
+		case t >= nextFail:
+			// Machine nearly gone; postpone further failures (keeps the
+			// simulation meaningful at extreme rates).
+			for nextFail <= t {
+				nextFail += cfg.FailureInterval
+			}
+
+		default:
+			// Checkpoint boundary: pay the cost, and (reconfigurable)
+			// fold any repaired processors back in at this SOP.
+			t += cfg.CheckpointCost
+			sinceCkpt = 0
+			if reconfigurable && down > 0 {
+				var still []float64
+				for _, r := range repairs {
+					if r <= t {
+						down--
+					} else {
+						still = append(still, r)
+					}
+				}
+				repairs = still
+				active = cfg.Processors - down
+			}
+		}
+	}
+	res.Completion = t
+	return res
+}
+
+// AvailPoint is one failure-interval sample of the study.
+type AvailPoint struct {
+	FailureInterval float64
+	Reconfigurable  AvailResult
+	Rigid           AvailResult
+	Ideal           float64 // failure-free completion
+}
+
+// AvailabilityStudy sweeps failure intervals.
+func AvailabilityStudy(cfg AvailConfig, intervals []float64) []AvailPoint {
+	base := cfg
+	base.FailureInterval = 0
+	ideal := SimulateAvailability(base, true).Completion
+	var out []AvailPoint
+	for _, f := range intervals {
+		c := cfg
+		c.FailureInterval = f
+		out = append(out, AvailPoint{
+			FailureInterval: f,
+			Reconfigurable:  SimulateAvailability(c, true),
+			Rigid:           SimulateAvailability(c, false),
+			Ideal:           ideal,
+		})
+	}
+	return out
+}
+
+// RenderAvailability formats the study.
+func RenderAvailability(cfg AvailConfig, pts []AvailPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[19]-style availability study: %d processors, repair %.0fs, checkpoint every %.0fs (cost %.0fs)\n",
+		cfg.Processors, cfg.RepairTime, cfg.CheckpointEvery, cfg.CheckpointCost)
+	fmt.Fprintf(&b, "%16s %14s %14s %12s %12s\n",
+		"failure every", "reconfig done", "rigid done", "reconfig +%", "rigid +%")
+	fnum := func(v float64) string {
+		if math.IsInf(v, 1) {
+			return "never"
+		}
+		return fmt.Sprintf("%.0fs", v)
+	}
+	fpct := func(v, ideal float64) string {
+		if math.IsInf(v, 1) {
+			return "∞"
+		}
+		return fmt.Sprintf("%.1f%%", 100*(v-ideal)/ideal)
+	}
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%15.0fs %14s %14s %12s %12s\n",
+			p.FailureInterval, fnum(p.Reconfigurable.Completion), fnum(p.Rigid.Completion),
+			fpct(p.Reconfigurable.Completion, p.Ideal), fpct(p.Rigid.Completion, p.Ideal))
+	}
+	return b.String()
+}

@@ -1,0 +1,531 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"drms/internal/apps"
+	"drms/internal/ckpt"
+	"drms/internal/drms"
+	"drms/internal/pfs"
+	"drms/internal/sim"
+)
+
+func TestTable1RowsComplete(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.PaperTotal == 0 || r.PaperAdded == 0 {
+			t.Errorf("%s: missing paper reference", r.App)
+		}
+		if r.DRMSLines == 0 || r.TotalLines == 0 {
+			t.Errorf("%s: missing measurement", r.App)
+		}
+		// The paper's point: the port is a small fraction of the code.
+		if r.PaperAdded*50 > r.PaperTotal {
+			t.Errorf("%s: paper numbers transcribed wrong", r.App)
+		}
+	}
+	if s := RenderTable1(rows); !strings.Contains(s, "BT") {
+		t.Error("render missing BT row")
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	pes := []int{4, 8, 16}
+	rows, err := Table3(apps.ClassA, pes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := map[string][3]float64{ // data, array, total (MB)
+		"bt": {63, 84, 147},
+		"lu": {85, 34, 119},
+		"sp": {53, 48, 101},
+	}
+	for _, r := range rows {
+		// SPMD grows linearly; DRMS total beats SPMD even at 4 PEs.
+		if r.SPMD[8] != 2*r.SPMD[4] || r.SPMD[16] != 4*r.SPMD[4] {
+			t.Errorf("%s: SPMD state not linear: %v", r.App, r.SPMD)
+		}
+		if r.DRMSTotal() >= r.SPMD[4] {
+			t.Errorf("%s: DRMS total %d not below SPMD at minimum partition %d",
+				r.App, r.DRMSTotal(), r.SPMD[4])
+		}
+		// Within tolerance of the paper's class A numbers.
+		p := paper[r.App]
+		checks := []struct {
+			name string
+			got  float64
+			want float64
+			tol  float64
+		}{
+			{"data", MB(r.DRMSData), p[0], 0.15},
+			{"array", MB(r.DRMSArray), p[1], 0.10},
+			{"total", MB(r.DRMSTotal()), p[2], 0.15},
+		}
+		for _, c := range checks {
+			if math.Abs(c.got-c.want)/c.want > c.tol {
+				t.Errorf("%s %s = %.1f MB, paper %.0f MB", r.App, c.name, c.got, c.want)
+			}
+		}
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	rows, err := Table4(apps.ClassA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]Table4Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+		if r.Total != r.Local+r.System+r.PrivateRepl {
+			t.Errorf("%s: components do not sum", r.App)
+		}
+		if r.System != 34_972_228 {
+			t.Errorf("%s: system bytes %d", r.App, r.System)
+		}
+	}
+	// LU: private dominates, local smallest — the paper's asymmetry.
+	if byApp["lu"].PrivateRepl < 5*byApp["bt"].PrivateRepl {
+		t.Error("LU private storage should dominate BT's")
+	}
+	if byApp["lu"].Local > byApp["bt"].Local || byApp["lu"].Local > byApp["sp"].Local {
+		t.Error("LU local sections should be the smallest")
+	}
+}
+
+// classATimings runs the full Table 5 grid once for all shape tests.
+var (
+	classAOnce  sync.Once
+	classACells map[string]map[int]Table5Cell
+	classAErr   error
+)
+
+func classA(t *testing.T) map[string]map[int]Table5Cell {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("class A timing grid skipped in -short mode")
+	}
+	classAOnce.Do(func() {
+		classACells, classAErr = Table5(apps.ClassA, []int{8, 16}, SPPlatform())
+	})
+	if classAErr != nil {
+		t.Fatal(classAErr)
+	}
+	return classACells
+}
+
+func TestTable5DRMSCheckpointAlwaysFaster(t *testing.T) {
+	cells := classA(t)
+	for app, byPE := range cells {
+		for pe, c := range byPE {
+			if c.DRMS.CkSeconds >= c.SPMD.CkSeconds {
+				t.Errorf("%s %d PEs: DRMS checkpoint %.1fs not faster than SPMD %.1fs",
+					app, pe, c.DRMS.CkSeconds, c.SPMD.CkSeconds)
+			}
+		}
+		// The gap widens from 8 to 16 PEs.
+		g8 := cells[app][8].SPMD.CkSeconds / cells[app][8].DRMS.CkSeconds
+		g16 := cells[app][16].SPMD.CkSeconds / cells[app][16].DRMS.CkSeconds
+		if g16 <= g8 {
+			t.Errorf("%s: checkpoint advantage shrank: %.2fx -> %.2fx", app, g8, g16)
+		}
+	}
+}
+
+func TestTable5DRMSCheckpointRises8To16(t *testing.T) {
+	cells := classA(t)
+	for app, byPE := range cells {
+		if byPE[16].DRMS.CkSeconds <= byPE[8].DRMS.CkSeconds {
+			t.Errorf("%s: DRMS checkpoint should rise with co-location: %.1fs -> %.1fs",
+				app, byPE[8].DRMS.CkSeconds, byPE[16].DRMS.CkSeconds)
+		}
+	}
+}
+
+func TestTable5DRMSRestartFalls8To16(t *testing.T) {
+	cells := classA(t)
+	for app, byPE := range cells {
+		if byPE[16].DRMS.RsSeconds >= byPE[8].DRMS.RsSeconds {
+			t.Errorf("%s: DRMS restart should fall with more clients: %.1fs -> %.1fs",
+				app, byPE[8].DRMS.RsSeconds, byPE[16].DRMS.RsSeconds)
+		}
+	}
+}
+
+func TestTable5SPMDRestartThreshold(t *testing.T) {
+	cells := classA(t)
+	// BT crosses the buffer-memory threshold between 8 and 16 PEs: a
+	// sharp (>2.5x) jump. LU is over the threshold already at 8, so its
+	// relative increase is mild (<1.8x).
+	btJump := cells["bt"][16].SPMD.RsSeconds / cells["bt"][8].SPMD.RsSeconds
+	if btJump < 2.5 {
+		t.Errorf("BT SPMD restart jump = %.2fx, want the sharp threshold crossing", btJump)
+	}
+	luJump := cells["lu"][16].SPMD.RsSeconds / cells["lu"][8].SPMD.RsSeconds
+	if luJump > 1.8 {
+		t.Errorf("LU SPMD restart jump = %.2fx; LU is already thrashing at 8 PEs", luJump)
+	}
+	if luJump > btJump {
+		t.Error("LU jump exceeds BT jump")
+	}
+}
+
+func TestTable5RestartCrossover(t *testing.T) {
+	cells := classA(t)
+	// Below the threshold (8 PEs) the SPMD restart of BT beats the DRMS
+	// restart (no array-read phase); above it (16 PEs) DRMS wins.
+	if cells["bt"][8].SPMD.RsSeconds >= cells["bt"][8].DRMS.RsSeconds {
+		t.Errorf("BT 8 PEs: SPMD restart %.1fs should beat DRMS %.1fs below the threshold",
+			cells["bt"][8].SPMD.RsSeconds, cells["bt"][8].DRMS.RsSeconds)
+	}
+	if cells["bt"][16].SPMD.RsSeconds <= cells["bt"][16].DRMS.RsSeconds {
+		t.Errorf("BT 16 PEs: DRMS restart %.1fs should beat SPMD %.1fs above the threshold",
+			cells["bt"][16].DRMS.RsSeconds, cells["bt"][16].SPMD.RsSeconds)
+	}
+	// LU is over the threshold even at 8 PEs: DRMS restart wins there too.
+	if cells["lu"][8].DRMS.RsSeconds >= cells["lu"][8].SPMD.RsSeconds {
+		t.Error("LU 8 PEs: DRMS restart should beat the thrashing SPMD restart")
+	}
+}
+
+func TestTable6ComponentAccounting(t *testing.T) {
+	cells := classA(t)
+	for app, byPE := range cells {
+		for pe, c := range byPE {
+			d := c.DRMS
+			// Restart components leave room for the "other" slice
+			// (85-90% in the paper).
+			frac := (d.RsSegSeconds + d.RsArrSeconds) / d.RsSeconds
+			if frac < 0.5 || frac > 0.99 {
+				t.Errorf("%s %d PEs: restart seg+arr = %.0f%% of total", app, pe, frac*100)
+			}
+			// Checkpoint components account for (almost) the whole time.
+			ckFrac := (d.CkSegSeconds + d.CkArrSeconds) / d.CkSeconds
+			if ckFrac < 0.95 || ckFrac > 1.01 {
+				t.Errorf("%s %d PEs: checkpoint components = %.0f%%", app, pe, ckFrac*100)
+			}
+			// Restart segment bytes count every task's read of the shared
+			// segment file.
+			if d.RsSegBytes < int64(pe)*d.CkSegBytes {
+				t.Errorf("%s %d PEs: restart read %d bytes of a %d-byte segment on %d tasks",
+					app, pe, d.RsSegBytes, d.CkSegBytes, pe)
+			}
+		}
+	}
+}
+
+func TestTable6SegmentReadRatesRiseWriteRatesFall(t *testing.T) {
+	cells := classA(t)
+	for app, byPE := range cells {
+		read8 := rate(byPE[8].DRMS.RsSegBytes, byPE[8].DRMS.RsSegSeconds)
+		read16 := rate(byPE[16].DRMS.RsSegBytes, byPE[16].DRMS.RsSegSeconds)
+		if read16 <= read8 {
+			t.Errorf("%s: segment read rate did not rise: %.1f -> %.1f MB/s", app, read8, read16)
+		}
+		write8 := rate(byPE[8].DRMS.CkSegBytes, byPE[8].DRMS.CkSegSeconds)
+		write16 := rate(byPE[16].DRMS.CkSegBytes, byPE[16].DRMS.CkSegSeconds)
+		if write16 > write8*1.01 {
+			t.Errorf("%s: segment write rate rose: %.1f -> %.1f MB/s", app, write8, write16)
+		}
+	}
+}
+
+func TestRenderingsNonEmpty(t *testing.T) {
+	cells := classA(t)
+	pes := []int{8, 16}
+	for name, s := range map[string]string{
+		"table5":  RenderTable5(apps.ClassA, cells, pes),
+		"table6":  RenderTable6(apps.ClassA, cells, pes),
+		"figure7": RenderFigure7(apps.ClassA, cells, pes),
+	} {
+		if len(s) < 100 || !strings.Contains(s, "BT") {
+			t.Errorf("%s rendering suspicious:\n%s", name, s)
+		}
+	}
+	if !strings.Contains(RenderFigure7(apps.ClassA, cells, pes), "csv:") {
+		t.Error("figure 7 missing CSV block")
+	}
+}
+
+func TestRatioTableMatchesModel(t *testing.T) {
+	rows, err := RatioTable([][3]int{{32, 2, 3}, {32, 2, 2}, {16, 1, 3}, {8, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.Abs(r.Analytic-r.Measured) > 1e-9 {
+			t.Errorf("n=%d β=%d d=%d: model %.4f != measured %.4f",
+				r.N, r.Beta, r.D, r.Analytic, r.Measured)
+		}
+	}
+	// The paper's headline point: for n≈32, β=2, d=3 the task-based
+	// checkpoint saves ~1.4x the global grid (the paper quotes 1.38 for
+	// its exact parameters; (36/32)^3 = 1.4238).
+	if v := RatioModel(32, 2, 3); math.Abs(v-1.4238) > 0.001 {
+		t.Errorf("r(32,2,3) = %.4f", v)
+	}
+	// And BT class C on 125 processors saves ~500 MB.
+	if mb := MB(BTClassCSavings()); mb < 400 || mb < 0 || mb > 650 {
+		t.Errorf("BT class C savings = %.0f MB, paper ~500 MB", mb)
+	}
+}
+
+func TestMeasureTimingSmallClassFunctional(t *testing.T) {
+	// A fast functional pass at class S: both schemes produce valid
+	// traces and positive modeled times.
+	p := SPPlatform()
+	for _, mode := range []ckpt.Mode{ckpt.ModeDRMS, ckpt.ModeSPMD} {
+		tm, err := MeasureTiming(apps.SP(), apps.ClassS, 4, mode, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm.CkSeconds <= 0 || tm.RsSeconds <= 0 {
+			t.Errorf("%s: nonpositive times %+v", mode, tm)
+		}
+		if tm.StateBytes <= 0 {
+			t.Errorf("%s: no state bytes", mode)
+		}
+	}
+}
+
+func TestAblationSweeps(t *testing.T) {
+	// Run at class W to stay fast; the qualitative effects are
+	// size-independent.
+	const pes = 8
+	pieces, err := PieceSizeSweep(AblationKernel(), apps.ClassW, pes,
+		[]int{16 << 10, 1 << 20, 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pieces) != 3 {
+		t.Fatalf("%d points", len(pieces))
+	}
+	// Tiny pieces mean many more operations (the overhead §3.2 warns
+	// about); ops fall monotonically as pieces grow.
+	if !(pieces[0].Ops > pieces[1].Ops && pieces[1].Ops >= pieces[2].Ops) {
+		t.Errorf("op counts not decreasing with piece size: %+v", pieces)
+	}
+
+	writers, err := WritersSweep(AblationKernel(), apps.ClassW, pes, []int{1, pes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial streaming (P=1) funnels every read through one client;
+	// parallel restart must be faster.
+	if writers[1].RsSeconds >= writers[0].RsSeconds {
+		t.Errorf("parallel restart %.1fs not faster than serial %.1fs",
+			writers[1].RsSeconds, writers[0].RsSeconds)
+	}
+	if s := RenderAblation("x", writers); len(s) < 50 {
+		t.Error("ablation render too short")
+	}
+}
+
+func TestIncrementalComparison(t *testing.T) {
+	res, err := IncrementalComparison(apps.BT(), apps.ClassW, 8, SPPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BT's lhs (20 comps) and forcing (5 comps) are untouched by Step:
+	// at least half the array bytes must be skipped.
+	arrTotal, _ := apps.BT().ArrayBytes(apps.ClassW)
+	if res.SkippedBytes < arrTotal/2 {
+		t.Errorf("skipped %d of %d array bytes", res.SkippedBytes, arrTotal)
+	}
+	if res.WrittenBytes <= 0 {
+		t.Error("incremental wrote nothing — the solution did change")
+	}
+	if res.Incremental >= res.Full {
+		t.Errorf("incremental checkpoint %.1fs not faster than full %.1fs",
+			res.Incremental, res.Full)
+	}
+}
+
+func TestSchedulingStudyMalleableWins(t *testing.T) {
+	cfg := SchedConfig{Processors: 16, ReconfigCost: 4}
+	jobs := SchedWorkload(16)
+	rigid, err := RunSchedule(cfg, jobs, PolicyRigid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mall, err := RunSchedule(cfg, jobs, PolicyMalleable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rigid.Jobs) != len(jobs) || len(mall.Jobs) != len(jobs) {
+		t.Fatalf("jobs lost: %d / %d", len(rigid.Jobs), len(mall.Jobs))
+	}
+	// The paper's §8 claim: reconfigurability gives the scheduler
+	// flexibility — queued jobs start sooner, mean response improves, and
+	// utilization does not suffer.
+	if mall.AvgResponse >= rigid.AvgResponse {
+		t.Errorf("avg response: malleable %.0fs !< rigid %.0fs", mall.AvgResponse, rigid.AvgResponse)
+	}
+	if mall.Reconfigs == 0 {
+		t.Error("malleable policy never reconfigured")
+	}
+	if mall.Utilization < rigid.Utilization*0.95 {
+		t.Errorf("utilization: malleable %.2f vs rigid %.2f", mall.Utilization, rigid.Utilization)
+	}
+	// Work conservation: total completed work identical up to overheads.
+	if mall.Makespan > rigid.Makespan*1.25 {
+		t.Errorf("malleable makespan %.0fs blew up vs rigid %.0fs", mall.Makespan, rigid.Makespan)
+	}
+	if s := RenderSched(cfg, []SchedResult{rigid, mall}); !strings.Contains(s, "malleable") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestSchedulingValidation(t *testing.T) {
+	cfg := SchedConfig{Processors: 4, ReconfigCost: 1}
+	if _, err := RunSchedule(cfg, []SchedJob{{Name: "x", Work: 10, Min: 0, Max: 2}}, PolicyRigid); err == nil {
+		t.Error("min 0 accepted")
+	}
+	if _, err := RunSchedule(cfg, []SchedJob{{Name: "x", Work: 10, Min: 2, Max: 8}}, PolicyRigid); err == nil {
+		t.Error("max beyond machine accepted")
+	}
+	if _, err := RunSchedule(cfg, []SchedJob{{Name: "x", Work: 0, Min: 1, Max: 2}}, PolicyRigid); err == nil {
+		t.Error("zero work accepted")
+	}
+}
+
+func TestSchedulingRigidEqualsMalleableWhenInflexible(t *testing.T) {
+	// Jobs pinned to a fixed width (Min == Max) cannot be reconfigured:
+	// both policies must produce identical schedules.
+	cfg := SchedConfig{Processors: 8, ReconfigCost: 10}
+	jobs := []SchedJob{
+		{Name: "a", Arrival: 0, Work: 800, Min: 8, Max: 8},
+		{Name: "b", Arrival: 10, Work: 400, Min: 8, Max: 8},
+	}
+	rigid, _ := RunSchedule(cfg, jobs, PolicyRigid)
+	mall, _ := RunSchedule(cfg, jobs, PolicyMalleable)
+	if math.Abs(rigid.Makespan-mall.Makespan) > 1e-6 {
+		t.Fatalf("makespans differ for inflexible jobs: %.1f vs %.1f", rigid.Makespan, mall.Makespan)
+	}
+	if mall.Reconfigs != 0 {
+		t.Fatalf("reconfigured pinned jobs %d times", mall.Reconfigs)
+	}
+}
+
+func availCfg() AvailConfig {
+	return AvailConfig{
+		Processors:      16,
+		Work:            16 * 100_000, // ~28 processor-hours
+		CheckpointEvery: 600,
+		CheckpointCost:  17, // BT class A DRMS checkpoint (Table 5 scale)
+		RestartCost:     42, // BT class A DRMS restart
+		RepairTime:      3600,
+	}
+}
+
+func TestAvailabilityReconfigurableDegradesGracefully(t *testing.T) {
+	pts := AvailabilityStudy(availCfg(), []float64{50_000, 20_000, 10_000, 5_000})
+	for _, p := range pts {
+		if p.Reconfigurable.Failures == 0 {
+			t.Fatalf("no failures at interval %.0f", p.FailureInterval)
+		}
+		// Reconfigurable recovery always completes sooner than rigid
+		// (which waits out every hour-long repair).
+		if p.Reconfigurable.Completion >= p.Rigid.Completion {
+			t.Errorf("interval %.0f: reconfigurable %.0fs !< rigid %.0fs",
+				p.FailureInterval, p.Reconfigurable.Completion, p.Rigid.Completion)
+		}
+	}
+	// The paper's ([19]) claim: with small overheads, degradation under
+	// infrequent failures is negligible for reconfigurable recovery.
+	mild := pts[0] // one failure per ~14 ideal hours
+	overhead := (mild.Reconfigurable.Completion - mild.Ideal) / mild.Ideal
+	if overhead > 0.15 {
+		t.Errorf("reconfigurable degradation %.1f%% at mild failure rate", overhead*100)
+	}
+	rigidOverhead := (mild.Rigid.Completion - mild.Ideal) / mild.Ideal
+	if rigidOverhead < overhead {
+		t.Errorf("rigid degradation %.1f%% unexpectedly below reconfigurable %.1f%%",
+			rigidOverhead*100, overhead*100)
+	}
+	if s := RenderAvailability(availCfg(), pts); !strings.Contains(s, "reconfig") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAvailabilityNoFailuresMatchesIdeal(t *testing.T) {
+	cfg := availCfg()
+	cfg.FailureInterval = 0
+	a := SimulateAvailability(cfg, true)
+	b := SimulateAvailability(cfg, false)
+	if a.Failures != 0 || b.Failures != 0 {
+		t.Fatal("phantom failures")
+	}
+	if math.Abs(a.Completion-b.Completion) > 1e-6 {
+		t.Fatalf("failure-free completions differ: %.1f vs %.1f", a.Completion, b.Completion)
+	}
+	// Sanity: completion ≈ work/P plus checkpoint pauses.
+	ideal := cfg.Work / float64(cfg.Processors)
+	if a.Completion < ideal || a.Completion > ideal*1.1 {
+		t.Fatalf("failure-free completion %.0f vs compute time %.0f", a.Completion, ideal)
+	}
+}
+
+func TestAvailabilityRigidDivergesWhenFailuresOutpaceRepair(t *testing.T) {
+	// With a failure every 2000s and hour-long repairs, rigid recovery
+	// loses every restart's progress before its first new checkpoint:
+	// the job never finishes. Reconfigurable recovery still completes.
+	cfg := availCfg()
+	cfg.FailureInterval = 2000
+	rigid := SimulateAvailability(cfg, false)
+	if !math.IsInf(rigid.Completion, 1) {
+		t.Fatalf("rigid completion = %v, want divergence", rigid.Completion)
+	}
+	reconf := SimulateAvailability(cfg, true)
+	if math.IsInf(reconf.Completion, 1) {
+		t.Fatal("reconfigurable recovery diverged too")
+	}
+}
+
+func TestDESAgreesWithAnalyticOnRealCheckpointTrace(t *testing.T) {
+	// The ultimate cross-check: record the REAL BT class W checkpoint
+	// trace and replay it through both the analytic phase model and the
+	// discrete-event simulator. On real striped checkpoint traffic the
+	// two must agree within a modest factor.
+	p := SPPlatform()
+	fs := pfsNewForDES(p)
+	k := apps.BT()
+	model, err := k.SegmentModel(apps.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pes = 8
+	res := make([]int64, pes)
+	for i := range res {
+		res[i] = model.Total()
+	}
+	tr := fs.StartTrace()
+	err = drms.Run(drms.Config{Tasks: pes, FS: fs},
+		k.App(apps.RunConfig{Class: apps.ClassW, Iters: 0, CkEvery: 1, Prefix: "ck"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.StopTrace()
+
+	an, err := p.Model.Replay(tr, p.FSCfg, sim.SPCluster(p.Nodes, pes), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := p.Model.DESReplay(tr, p.FSCfg, sim.SPCluster(p.Nodes, pes), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := des / an.Total()
+	if ratio < 0.6 || ratio > 2.0 {
+		t.Errorf("real-trace DES %.1fs vs analytic %.1fs (ratio %.2f)", des, an.Total(), ratio)
+	}
+	t.Logf("BT class W checkpoint: analytic %.1fs, DES %.1fs (ratio %.2f)", an.Total(), des, ratio)
+}
+
+func pfsNewForDES(p Platform) *pfs.System { return pfs.NewSystem(p.FSCfg) }

@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the study the paper defers to future work (§8:
+// "The DRMS approach of restarting applications after reconfiguration is
+// again advantageous [for scheduling] ... In a future publication, we
+// hope to quantify these results") and the availability analysis it
+// leans on ([19], cited in §7: recovery without load redistribution "has
+// limited use for applications requiring a large number of processors";
+// with redistribution, degradation under failures is "negligibly small,
+// as long as the checkpointing and load redistribution overheads are
+// small").
+//
+// Both studies run in deterministic virtual time over a simple machine
+// model: P processors; jobs with a fixed amount of work in
+// processor-seconds that execute with perfect speedup inside their
+// [Min, Max] task range (the malleability DRMS gives them); and
+// checkpoint/reconfigure/restart overheads taken from the calibrated
+// platform measurements.
+
+// SchedJob is one job of the scheduling study.
+type SchedJob struct {
+	Name    string
+	Arrival float64 // seconds
+	Work    float64 // processor-seconds
+	Min     int
+	Max     int
+}
+
+// JobOutcome reports one job's simulated fate.
+type JobOutcome struct {
+	SchedJob
+	Start      float64 // first processor-second granted
+	Completion float64
+	Reconfigs  int
+}
+
+// Response is completion minus arrival.
+func (o JobOutcome) Response() float64 { return o.Completion - o.Arrival }
+
+// SchedResult summarizes one policy run.
+type SchedResult struct {
+	Policy      string
+	Jobs        []JobOutcome
+	Makespan    float64
+	AvgResponse float64
+	// Utilization is busy processor-seconds over P * makespan.
+	Utilization float64
+	Reconfigs   int
+}
+
+// SchedPolicy selects how the simulated scheduler treats running jobs.
+type SchedPolicy int
+
+const (
+	// PolicyRigid: jobs start at their maximum task count and can never
+	// change it — conventional (SPMD-checkpoint) scheduling: queued jobs
+	// wait for enough free processors.
+	PolicyRigid SchedPolicy = iota
+	// PolicyMalleable: the scheduler may reconfigure running jobs between
+	// their Min and Max (through DRMS checkpoint/restart, paying
+	// ReconfigCost each time) to admit queued work and to soak up freed
+	// processors.
+	PolicyMalleable
+)
+
+func (p SchedPolicy) String() string {
+	if p == PolicyRigid {
+		return "rigid"
+	}
+	return "malleable"
+}
+
+// SchedConfig parameterizes the study.
+type SchedConfig struct {
+	Processors int
+	// ReconfigCost is the checkpoint+restart overhead in seconds charged
+	// to a job each time the malleable policy resizes it (from the
+	// calibrated Table 5 measurements).
+	ReconfigCost float64
+}
+
+// RunSchedule simulates one policy over the job list in virtual time.
+//
+// Event loop: at each event (arrival or completion) the scheduler
+// recomputes an allocation — rigid: FCFS, each waiting job admitted only
+// at full Max; malleable: FCFS admission at Min plus water-filling of the
+// remainder up to Max in arrival order; running jobs whose allocation
+// changes pay ReconfigCost (added to their remaining work as overhead).
+func RunSchedule(cfg SchedConfig, jobs []SchedJob, policy SchedPolicy) (SchedResult, error) {
+	res := SchedResult{Policy: policy.String()}
+	for _, j := range jobs {
+		if j.Min < 1 || j.Max < j.Min || j.Max > cfg.Processors {
+			return res, fmt.Errorf("bench: job %q range [%d,%d] invalid on %d processors",
+				j.Name, j.Min, j.Max, cfg.Processors)
+		}
+		if j.Work <= 0 {
+			return res, fmt.Errorf("bench: job %q has no work", j.Name)
+		}
+	}
+
+	type live struct {
+		job       SchedJob
+		remaining float64 // processor-seconds left (including overheads)
+		alloc     int
+		started   bool
+		start     float64
+		reconfigs int
+	}
+	pending := append([]SchedJob(nil), jobs...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+	var queue, running []*live
+	now := 0.0
+	busyIntegral := 0.0
+
+	allocate := func() {
+		free := cfg.Processors
+		for _, r := range running {
+			free -= r.alloc
+		}
+		switch policy {
+		case PolicyRigid:
+			// Admit queued jobs FCFS at exactly Max.
+			for len(queue) > 0 && queue[0].job.Max <= free {
+				j := queue[0]
+				queue = queue[1:]
+				j.alloc = j.job.Max
+				if !j.started {
+					j.started = true
+					j.start = now
+				}
+				free -= j.alloc
+				running = append(running, j)
+			}
+		case PolicyMalleable:
+			// Desired allocation over running + admissible queued jobs:
+			// every job its Min first (FCFS), then water-fill to Max.
+			cands := append([]*live{}, running...)
+			var admitted []*live
+			avail := cfg.Processors
+			for _, r := range cands {
+				avail -= r.job.Min
+			}
+			for len(queue) > 0 && queue[0].job.Min <= avail {
+				j := queue[0]
+				queue = queue[1:]
+				avail -= j.job.Min
+				cands = append(cands, j)
+				admitted = append(admitted, j)
+			}
+			desired := make(map[*live]int, len(cands))
+			for _, c := range cands {
+				desired[c] = c.job.Min
+			}
+			for avail > 0 {
+				gave := false
+				for _, c := range cands {
+					if avail == 0 {
+						break
+					}
+					if desired[c] < c.job.Max {
+						desired[c]++
+						avail--
+						gave = true
+					}
+				}
+				if !gave {
+					break
+				}
+			}
+			for _, c := range cands {
+				want := desired[c]
+				if c.alloc != want {
+					if c.started && c.alloc != 0 {
+						// A live resize: checkpoint + reconfigured restart.
+						c.remaining += cfg.ReconfigCost * float64(want)
+						c.reconfigs++
+					}
+					c.alloc = want
+				}
+				if !c.started {
+					c.started = true
+					c.start = now
+				}
+			}
+			running = append(running, admitted...)
+		}
+	}
+
+	nextArrival := func() float64 {
+		if len(pending) == 0 {
+			return -1
+		}
+		return pending[0].Arrival
+	}
+
+	for len(pending) > 0 || len(queue) > 0 || len(running) > 0 {
+		// Admit arrivals at the current time.
+		for len(pending) > 0 && pending[0].Arrival <= now {
+			j := pending[0]
+			pending = pending[1:]
+			queue = append(queue, &live{job: j, remaining: j.Work})
+		}
+		allocate()
+
+		if len(running) == 0 {
+			// Idle until the next arrival.
+			na := nextArrival()
+			if na < 0 {
+				break
+			}
+			now = na
+			continue
+		}
+
+		// Time to the next completion at current allocations.
+		dt := -1.0
+		for _, r := range running {
+			t := r.remaining / float64(r.alloc)
+			if dt < 0 || t < dt {
+				dt = t
+			}
+		}
+		if na := nextArrival(); na >= 0 && na-now < dt {
+			dt = na - now
+		}
+		// Advance.
+		for _, r := range running {
+			r.remaining -= dt * float64(r.alloc)
+			busyIntegral += dt * float64(r.alloc)
+		}
+		now += dt
+		// Retire completed jobs.
+		var still []*live
+		for _, r := range running {
+			if r.remaining <= 1e-9 {
+				res.Jobs = append(res.Jobs, JobOutcome{SchedJob: r.job,
+					Start: r.start, Completion: now, Reconfigs: r.reconfigs})
+				res.Reconfigs += r.reconfigs
+			} else {
+				still = append(still, r)
+			}
+		}
+		running = still
+	}
+
+	res.Makespan = now
+	if len(res.Jobs) > 0 {
+		sum := 0.0
+		for _, o := range res.Jobs {
+			sum += o.Response()
+		}
+		res.AvgResponse = sum / float64(len(res.Jobs))
+	}
+	if now > 0 {
+		res.Utilization = busyIntegral / (float64(cfg.Processors) * now)
+	}
+	sort.Slice(res.Jobs, func(i, j int) bool { return res.Jobs[i].Name < res.Jobs[j].Name })
+	return res, nil
+}
+
+// SchedWorkload is the study's default workload: a long-running wide job
+// in possession of the machine, followed by narrower jobs arriving behind
+// it — the situation §8 describes (long-running applications checkpointed
+// when load rises, restarted when resources free up).
+func SchedWorkload(p int) []SchedJob {
+	return []SchedJob{
+		{Name: "longA", Arrival: 0, Work: 16000, Min: p / 4, Max: p},
+		{Name: "midB", Arrival: 200, Work: 2000, Min: p / 4, Max: p / 2},
+		{Name: "midC", Arrival: 400, Work: 2000, Min: p / 4, Max: p / 2},
+		{Name: "shortD", Arrival: 600, Work: 500, Min: p / 4, Max: p / 4},
+	}
+}
+
+// RenderSched formats the scheduling study.
+func RenderSched(cfg SchedConfig, results []SchedResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§8 scheduling study: %d processors, reconfigure cost %.0f s/task\n",
+		cfg.Processors, cfg.ReconfigCost)
+	fmt.Fprintf(&b, "%-10s %10s %12s %12s %10s\n", "policy", "makespan", "avg response", "utilization", "reconfigs")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %9.0fs %11.0fs %11.0f%% %10d\n",
+			r.Policy, r.Makespan, r.AvgResponse, r.Utilization*100, r.Reconfigs)
+	}
+	for _, r := range results {
+		fmt.Fprintf(&b, "  [%s]", r.Policy)
+		for _, o := range r.Jobs {
+			fmt.Fprintf(&b, " %s: resp %.0fs", o.Name, o.Response())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

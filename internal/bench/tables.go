@@ -1,0 +1,377 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"drms/internal/apps"
+	"drms/internal/ckpt"
+	"drms/internal/dist"
+	"drms/internal/rangeset"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — source lines added to conform to the DRMS programming model.
+
+// Table1Row pairs this repository's measured counts with the paper's.
+type Table1Row struct {
+	App                    string
+	TotalLines, DRMSLines  int
+	PaperTotal, PaperAdded int
+}
+
+var paperTable1 = map[string][2]int{
+	"bt": {10973, 107},
+	"lu": {9641, 85},
+	"sp": {9561, 99},
+}
+
+// Table1 measures the DRMS footprint in this repository's ports and sets
+// it beside the paper's counts for the Fortran originals.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, c := range apps.Table1() {
+		p := paperTable1[c.App]
+		rows = append(rows, Table1Row{App: c.App, TotalLines: c.TotalLines,
+			DRMSLines: c.DRMSLines, PaperTotal: p[0], PaperAdded: p[1]})
+	}
+	return rows
+}
+
+// RenderTable1 formats Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: source lines vs. lines added for the DRMS port\n")
+	fmt.Fprintf(&b, "%-4s %14s %14s %16s %16s\n", "App",
+		"total (ours)", "DRMS (ours)", "total (paper)", "added (paper)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %14d %14d %16d %16d\n",
+			strings.ToUpper(r.App), r.TotalLines, r.DRMSLines, r.PaperTotal, r.PaperAdded)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — size of saved state.
+
+// Table3Row is one application's saved-state sizes in bytes.
+type Table3Row struct {
+	App       string
+	DRMSData  int64         // the one saved data segment
+	DRMSArray int64         // distribution-independent array files
+	SPMD      map[int]int64 // partition size -> total SPMD state
+}
+
+// DRMSTotal is the full DRMS state size.
+func (r Table3Row) DRMSTotal() int64 { return r.DRMSData + r.DRMSArray }
+
+// Table3 computes the saved-state sizes at the given class for the given
+// SPMD partition sizes. DRMS state is one compile-time-sized segment plus
+// the global arrays — independent of the partition; SPMD state is one
+// such segment per task.
+func Table3(class apps.Class, spmdPEs []int) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, k := range apps.Kernels() {
+		model, err := k.SegmentModel(class)
+		if err != nil {
+			return nil, err
+		}
+		arr, err := k.ArrayBytes(class)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{App: k.Name, DRMSData: model.Total(), DRMSArray: arr,
+			SPMD: make(map[int]int64)}
+		for _, p := range spmdPEs {
+			row.SPMD[p] = int64(p) * model.Total()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable3 formats Table 3 in the paper's layout (MB).
+func RenderTable3(class apps.Class, rows []Table3Row, spmdPEs []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: size of saved state (MB), class %c\n", class)
+	fmt.Fprintf(&b, "%-4s %10s %10s %10s |", "App", "DRMS data", "array", "total")
+	for _, p := range spmdPEs {
+		fmt.Fprintf(&b, " SPMD %2d PEs", p)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %10.0f %10.0f %10.0f |",
+			strings.ToUpper(r.App), MB(r.DRMSData), MB(r.DRMSArray), MB(r.DRMSTotal()))
+		for _, p := range spmdPEs {
+			fmt.Fprintf(&b, " %11.0f", MB(r.SPMD[p]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — components of the data segment.
+
+// Table4Row decomposes one application's data segment.
+type Table4Row struct {
+	App                               string
+	Total, Local, System, PrivateRepl int64
+}
+
+// Table4 computes the segment decomposition at the given class.
+func Table4(class apps.Class) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, k := range apps.Kernels() {
+		m, err := k.SegmentModel(class)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table4Row{App: k.Name, Total: m.Total(),
+			Local: m.LocalSectionBytes, System: m.SystemBytes, PrivateRepl: m.PrivateBytes})
+	}
+	return rows, nil
+}
+
+// RenderTable4 formats Table 4 (bytes, as in the paper).
+func RenderTable4(class apps.Class, rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: components of the data segment (bytes), class %c\n", class)
+	fmt.Fprintf(&b, "%-4s %14s %16s %16s %18s\n", "App",
+		"total data", "local sections", "system related", "private/replicated")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4s %14d %16d %16d %18d\n",
+			strings.ToUpper(r.App), r.Total, r.Local, r.System, r.PrivateRepl)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 — checkpoint and restart times.
+
+// Table5Cell holds the two times of one (app, PEs) cell.
+type Table5Cell struct {
+	DRMS, SPMD Timing
+}
+
+// Table5 runs the full measurement grid: every application, both schemes,
+// at each partition size.
+func Table5(class apps.Class, pes []int, p Platform) (map[string]map[int]Table5Cell, error) {
+	out := make(map[string]map[int]Table5Cell)
+	for _, k := range apps.Kernels() {
+		out[k.Name] = make(map[int]Table5Cell)
+		for _, n := range pes {
+			d, err := MeasureTiming(k, class, n, ckpt.ModeDRMS, p)
+			if err != nil {
+				return nil, err
+			}
+			s, err := MeasureTiming(k, class, n, ckpt.ModeSPMD, p)
+			if err != nil {
+				return nil, err
+			}
+			out[k.Name][n] = Table5Cell{DRMS: d, SPMD: s}
+		}
+	}
+	return out, nil
+}
+
+// RenderTable5 formats Table 5 in the paper's layout (seconds).
+func RenderTable5(class apps.Class, cells map[string]map[int]Table5Cell, pes []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: time to checkpoint and restart (s), class %c\n", class)
+	fmt.Fprintf(&b, "%-4s |", "App")
+	for _, op := range []string{"checkpoint", "restart"} {
+		for _, n := range pes {
+			fmt.Fprintf(&b, " %10s %2d PEs |", op, n)
+		}
+	}
+	fmt.Fprintf(&b, "\n%-4s |", "")
+	for range pes {
+		fmt.Fprintf(&b, " %8s %8s |", "DRMS", "SPMD")
+	}
+	for range pes {
+		fmt.Fprintf(&b, " %8s %8s |", "DRMS", "SPMD")
+	}
+	b.WriteByte('\n')
+	for _, k := range apps.Kernels() {
+		fmt.Fprintf(&b, "%-4s |", strings.ToUpper(k.Name))
+		for _, n := range pes {
+			c := cells[k.Name][n]
+			fmt.Fprintf(&b, " %8.0f %8.0f |", c.DRMS.CkSeconds, c.SPMD.CkSeconds)
+		}
+		for _, n := range pes {
+			c := cells[k.Name][n]
+			fmt.Fprintf(&b, " %8.0f %8.0f |", c.DRMS.RsSeconds, c.SPMD.RsSeconds)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(model is deterministic; the paper reports mean ± σ of 10 runs)\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 6 — components of DRMS checkpoint and restart.
+
+// RenderTable6 formats the component breakdown of the DRMS timings.
+func RenderTable6(class apps.Class, cells map[string]map[int]Table5Cell, pes []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6: components of DRMS checkpoint and restart, class %c\n", class)
+	fmt.Fprintf(&b, "%-4s %3s | %28s | %28s\n", "App", "PEs",
+		"checkpoint  total  seg  arrays", "restart     total  seg  arrays")
+	fmt.Fprintf(&b, "%-4s %3s | %7s %5s %4s %4s %4s %4s | %7s %5s %4s %4s %4s %4s\n",
+		"", "", "time", "MB/s", "seg%", "MB/s", "arr%", "MB/s",
+		"time", "MB/s", "seg%", "MB/s", "arr%", "MB/s")
+	for _, k := range apps.Kernels() {
+		for _, n := range pes {
+			t := cells[k.Name][n].DRMS
+			fmt.Fprintf(&b, "%-4s %3d | %7.1f %5.1f %4.0f %4.1f %4.0f %4.1f | %7.1f %5.1f %4.0f %4.1f %4.0f %4.1f\n",
+				strings.ToUpper(k.Name), n,
+				t.CkSeconds, rate(t.StateBytes, t.CkSeconds),
+				100*t.CkSegSeconds/t.CkSeconds, rate(t.CkSegBytes, t.CkSegSeconds),
+				100*t.CkArrSeconds/t.CkSeconds, rate(t.CkArrBytes, t.CkArrSeconds),
+				t.RsSeconds, rate(t.RsSegBytes+t.RsArrBytes, t.RsSeconds),
+				100*t.RsSegSeconds/t.RsSeconds, rate(t.RsSegBytes, t.RsSegSeconds),
+				100*t.RsArrSeconds/t.RsSeconds, rate(t.RsArrBytes, t.RsArrSeconds))
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — graphical decomposition of Table 6.
+
+// RenderFigure7 renders the stacked C/R component bars as ASCII plus a
+// CSV block for external plotting.
+func RenderFigure7(class apps.Class, cells map[string]map[int]Table5Cell, pes []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: components of DRMS checkpoint ('C') and restart ('R'), class %c\n", class)
+	maxSec := 0.0
+	for _, k := range apps.Kernels() {
+		for _, n := range pes {
+			t := cells[k.Name][n].DRMS
+			maxSec = max(maxSec, t.CkSeconds, t.RsSeconds)
+		}
+	}
+	const width = 50
+	scale := func(s float64) int {
+		if maxSec == 0 {
+			return 0
+		}
+		return int(s / maxSec * width)
+	}
+	for _, n := range pes {
+		fmt.Fprintf(&b, "-- %d processors --\n", n)
+		for _, k := range apps.Kernels() {
+			t := cells[k.Name][n].DRMS
+			cBar := strings.Repeat("s", scale(t.CkSegSeconds)) +
+				strings.Repeat("a", scale(t.CkArrSeconds))
+			rBar := strings.Repeat("s", scale(t.RsSegSeconds)) +
+				strings.Repeat("a", scale(t.RsArrSeconds)) +
+				strings.Repeat("o", scale(t.RsOtherSeconds))
+			fmt.Fprintf(&b, "%-3s C |%-*s| %6.1fs\n", strings.ToUpper(k.Name), width, cBar, t.CkSeconds)
+			fmt.Fprintf(&b, "%-3s R |%-*s| %6.1fs\n", strings.ToUpper(k.Name), width, rBar, t.RsSeconds)
+		}
+	}
+	b.WriteString("legend: s = data segment, a = distributed arrays, o = other (startup)\n\n")
+	b.WriteString("csv: app,pes,op,segment_s,arrays_s,other_s,total_s\n")
+	for _, k := range apps.Kernels() {
+		for _, n := range pes {
+			t := cells[k.Name][n].DRMS
+			fmt.Fprintf(&b, "csv: %s,%d,C,%.2f,%.2f,0,%.2f\n", k.Name, n, t.CkSegSeconds, t.CkArrSeconds, t.CkSeconds)
+			fmt.Fprintf(&b, "csv: %s,%d,R,%.2f,%.2f,%.2f,%.2f\n", k.Name, n, t.RsSegSeconds, t.RsArrSeconds, t.RsOtherSeconds, t.RsSeconds)
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// §6 — the shadow-region ratio model r = ((n+2β)^d)/(n^d).
+
+// RatioRow compares the analytic ratio with the ratio measured from an
+// actual distribution built by internal/dist.
+type RatioRow struct {
+	N, Beta, D, Tasks  int
+	Analytic, Measured float64
+}
+
+// RatioModel computes the paper's formula.
+func RatioModel(n, beta, d int) float64 {
+	r := 1.0
+	for i := 0; i < d; i++ {
+		r *= float64(n+2*beta) / float64(n)
+	}
+	return r
+}
+
+// RatioTable builds distributions with an interior task for several
+// (n, β, d) points and compares measured mapped/assigned storage on that
+// task against the model. The grid uses 3 tasks per axis so the center
+// task is interior (the model assumes no boundary clipping).
+func RatioTable(points [][3]int) ([]RatioRow, error) {
+	var rows []RatioRow
+	for _, p := range points {
+		n, beta, d := p[0], p[1], p[2]
+		axes := make([]rangeset.Range, d)
+		grid := make([]int, d)
+		for i := 0; i < d; i++ {
+			axes[i] = rangeset.Span(0, 3*n-1)
+			grid[i] = 3
+		}
+		dd, err := dist.Block(rangeset.NewSlice(axes...), grid)
+		if err != nil {
+			return nil, err
+		}
+		w := make([]int, d)
+		for i := range w {
+			w[i] = beta
+		}
+		dd, err = dd.WithShadow(w)
+		if err != nil {
+			return nil, err
+		}
+		// Center task: grid coordinate (1,1,...,1) column-major.
+		center := 0
+		stride := 1
+		for i := 0; i < d; i++ {
+			center += stride
+			stride *= 3
+		}
+		measured := float64(dd.Mapped(center).Size()) / float64(dd.Assigned(center).Size())
+		rows = append(rows, RatioRow{N: n, Beta: beta, D: d, Tasks: pow(3, d),
+			Analytic: RatioModel(n, beta, d), Measured: measured})
+	}
+	return rows, nil
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// BTClassCSavings reproduces the paper's closing example: NPB BT class C
+// (162^3 grid) on 125 (5^3) processors saves about 500 MB with
+// global-view checkpointing. Returns the modeled extra bytes task-based
+// checkpointing would save.
+func BTClassCSavings() int64 {
+	const nGrid, procsPerAxis, beta = 162, 5, 2
+	n := nGrid / procsPerAxis // ≈32, the paper's n=32
+	r := RatioModel(n, beta, 3)
+	arrayBytes := int64(apps.BT().TotalComps()) * nGrid * nGrid * nGrid * 8
+	return int64((r - 1) * float64(arrayBytes))
+}
+
+// RenderRatio formats the §6 comparison.
+func RenderRatio(rows []RatioRow) string {
+	var b strings.Builder
+	b.WriteString("§6 shadow-region ratio r = ((n+2β)^d)/(n^d): model vs. measured distribution\n")
+	fmt.Fprintf(&b, "%6s %5s %3s %6s %10s %10s\n", "n", "β", "d", "tasks", "model", "measured")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %5d %3d %6d %10.3f %10.3f\n", r.N, r.Beta, r.D, r.Tasks, r.Analytic, r.Measured)
+	}
+	fmt.Fprintf(&b, "BT class C on 125 PEs: task-based checkpoint saves %.0f MB more than global-view (paper: ~500 MB)\n",
+		MB(BTClassCSavings()))
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"drms/internal/array"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/stream"
+)
+
+// ArrayRef is the type-erased view of a distributed array the checkpoint
+// engine works with, so one checkpoint can hold arrays of mixed element
+// types. Obtain one with Ref.
+type ArrayRef interface {
+	// Name is the array's global name (unique within a checkpoint).
+	Name() string
+	// Kind names the element type ("float64", ...).
+	Kind() string
+	// GlobalShape is the array's index space.
+	GlobalShape() rangeset.Slice
+	// StreamWrite writes the full array in distribution-independent form.
+	StreamWrite(fs *pfs.System, file string, o stream.Options) (stream.Stats, error)
+	// StreamRead loads the full array under its current distribution.
+	StreamRead(fs *pfs.System, file string, o stream.Options) (stream.Stats, error)
+	// LocalBytes encodes this task's local (mapped) storage — what an
+	// SPMD checkpoint saves per task.
+	LocalBytes() []byte
+	// SetLocalBytes restores this task's local storage.
+	SetLocalBytes(b []byte) error
+	// MappedElems returns the local storage element count (for size
+	// models: assigned plus shadow).
+	MappedElems() int
+	// ElemSize returns the element size in bytes.
+	ElemSize() int
+}
+
+type ref[T array.Elem] struct {
+	a *array.Array[T]
+}
+
+// Ref adapts a typed distributed array to the checkpoint engine.
+func Ref[T array.Elem](a *array.Array[T]) ArrayRef { return ref[T]{a} }
+
+func (r ref[T]) Name() string                { return r.a.Name() }
+func (r ref[T]) Kind() string                { return array.ElemKind[T]() }
+func (r ref[T]) GlobalShape() rangeset.Slice { return r.a.Global() }
+func (r ref[T]) MappedElems() int            { return len(r.a.Local()) }
+func (r ref[T]) ElemSize() int               { return array.ElemSize[T]() }
+
+func (r ref[T]) StreamWrite(fs *pfs.System, file string, o stream.Options) (stream.Stats, error) {
+	return stream.Write(r.a, r.a.Global(), fs, file, o)
+}
+
+func (r ref[T]) StreamRead(fs *pfs.System, file string, o stream.Options) (stream.Stats, error) {
+	return stream.Read(r.a, r.a.Global(), fs, file, o)
+}
+
+func (r ref[T]) LocalBytes() []byte {
+	return array.EncodeElems(r.a.Local())
+}
+
+func (r ref[T]) SetLocalBytes(b []byte) error {
+	want := len(r.a.Local()) * array.ElemSize[T]()
+	if len(b) != want {
+		return fmt.Errorf("local section of %q is %d bytes, got %d", r.a.Name(), want, len(b))
+	}
+	copy(r.a.Local(), array.DecodeElems[T](b))
+	return nil
+}
+
+// LocalSectionBytes sums the mapped-section storage of a task's arrays —
+// the "Local sections" component of the Table 4 segment decomposition.
+func LocalSectionBytes(arrays []ArrayRef) int64 {
+	var n int64
+	for _, a := range arrays {
+		n += int64(a.MappedElems()) * int64(a.ElemSize())
+	}
+	return n
+}

@@ -1,0 +1,511 @@
+// Package ckpt is the checkpoint/restart engine. It implements both
+// schemes the paper evaluates (§5):
+//
+//   - DRMS checkpointing: one selected task writes its data segment (the
+//     replicated variables, execution context, and modeled padding for
+//     the regions whose contents need not survive), then all tasks
+//     cooperate to write each distributed array in a
+//     distribution-independent representation via parallel array-section
+//     streaming. The saved state is independent of the number of tasks,
+//     so a restart may use an equal, smaller, or larger task set.
+//
+//   - SPMD checkpointing (the conventional baseline): every task writes
+//     its entire data segment — replicated data, private data, and the
+//     storage of its mapped array sections including shadow regions — to
+//     its own file. The saved state grows linearly with the task count
+//     and a restart must use exactly the task count that checkpointed.
+//
+// Checkpoint files live on the parallel file system (internal/pfs). A
+// checkpoint under prefix P consists of:
+//
+//	P.meta          metadata (mode, task count, context, array table)
+//	P.seg           DRMS: the one saved segment
+//	P.arr.<name>    DRMS: one distribution-independent file per array
+//	P.task<i>.seg   SPMD: task i's segment (vars + local sections + pad)
+//
+// Different prefixes hold independent checkpoints, so an application can
+// keep several states concurrently (§3).
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"drms/internal/msg"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/seg"
+	"drms/internal/stream"
+)
+
+// Mode distinguishes the two checkpoint schemes.
+type Mode string
+
+const (
+	ModeDRMS Mode = "drms"
+	ModeSPMD Mode = "spmd"
+)
+
+// ArrayMeta records one distributed array in the checkpoint metadata.
+type ArrayMeta struct {
+	Name   string
+	Kind   string // element type name
+	Global rangeset.Slice
+	Bytes  int64 // stream size
+}
+
+// Meta is the checkpoint metadata, stored under <prefix>.meta.
+type Meta struct {
+	Version  int
+	Mode     Mode
+	Tasks    int // task count at checkpoint time
+	Ctx      seg.Context
+	Arrays   []ArrayMeta
+	SegBytes []int64  // per-task segment file sizes (one entry for DRMS)
+	SegCRC   []uint64 // CRC-64/ECMA of each segment file
+	ArrayCRC []uint64 // CRC-64/ECMA of each array stream, aligned with Arrays
+	// ArrayPieces holds each array's per-piece checksums (DRMS mode):
+	// the diff base for incremental checkpoints.
+	ArrayPieces [][]PieceSum
+}
+
+// Stats summarizes a checkpoint or restart operation on this task.
+type Stats struct {
+	SegmentBytes int64 // segment file bytes this operation covered
+	ArrayBytes   int64 // distribution-independent array bytes
+	NetBytes     int64 // redistribution traffic sent by this task
+	SkippedBytes int64 // array bytes elided by an incremental checkpoint
+}
+
+// Total returns segment plus array bytes.
+func (s Stats) Total() int64 { return s.SegmentBytes + s.ArrayBytes }
+
+const (
+	version   = 1
+	padChunk  = 1 << 20 // padding is written/read in 1 MB operations
+	segHeader = 8       // payload length prefix
+)
+
+func metaFile(prefix string) string { return prefix + ".meta" }
+func segFile(prefix string) string  { return prefix + ".seg" }
+func arrFile(prefix, name string) string {
+	return prefix + ".arr." + name
+}
+func taskSegFile(prefix string, task int) string {
+	return fmt.Sprintf("%s.task%d.seg", prefix, task)
+}
+
+// WriteDRMS takes a reconfigurable checkpoint: task 0's segment plus
+// every array, under the given prefix. Collective; all tasks pass the
+// same arguments (SPMD). Returns this task's I/O statistics.
+func WriteDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options) (Stats, error) {
+	return writeDRMS(fs, prefix, comm, sg, arrays, o, nil)
+}
+
+// WriteDRMSIncremental refreshes an existing DRMS checkpoint in place,
+// writing only the array pieces whose contents changed since the previous
+// checkpoint under the same prefix (§6's incremental-checkpointing
+// optimization, at streamed-piece granularity). The segment is always
+// rewritten. Falls back to a full write when no compatible previous
+// checkpoint exists (different mode, arrays, task count, or piece plan).
+//
+// An in-place refresh interrupted mid-way leaves a state the old metadata
+// no longer matches — Verify and restart detect this — so callers wanting
+// crash-window safety should alternate between two prefixes, using
+// incremental writes against whichever was written two checkpoints ago.
+func WriteDRMSIncremental(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options) (Stats, error) {
+	var prev *Meta
+	if Exists(fs, prefix) {
+		if m, err := ReadMeta(fs, prefix, comm.Rank()); err == nil &&
+			m.Mode == ModeDRMS && m.Tasks == comm.Size() && len(m.ArrayPieces) == len(arrays) {
+			prev = &m
+		}
+	}
+	return writeDRMS(fs, prefix, comm, sg, arrays, o, prev)
+}
+
+func writeDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options, prev *Meta) (Stats, error) {
+	var st Stats
+	me := comm.Rank()
+	sg.Ctx.Tasks = comm.Size()
+
+	// Phase 1: the selected task writes its data segment (§5: "one task
+	// saves its data segment").
+	fs.BeginPhase("segment")
+	var segBytes int64
+	var segCRC uint64
+	if me == 0 {
+		payload, err := sg.Encode()
+		if err != nil {
+			return st, err
+		}
+		segBytes = sg.FileSize(len(payload))
+		segCRC, err = writeSegmentFile(fs, segFile(prefix), me, payload, segBytes)
+		if err != nil {
+			return st, err
+		}
+		st.SegmentBytes = segBytes
+	}
+	comm.Barrier()
+
+	// Phase 2: each distributed array is written in sequence, each via
+	// parallel streaming by all tasks. Writers checksum their pieces as
+	// they go; the combined stream CRC lands in the metadata.
+	metas := make([]ArrayMeta, len(arrays))
+	crcs := make([]uint64, len(arrays))
+	pieceLists := make([][]PieceSum, len(arrays))
+	for i, a := range arrays {
+		fs.BeginPhase("arrays:" + a.Name())
+		opts := o
+		hook, pieces := crcCollector()
+		opts.PieceHook = hook
+		if prev != nil && prev.Arrays[i].Name == a.Name() {
+			// Incremental: skip pieces whose checksum matches the previous
+			// checkpoint. Offset and length must agree too — a changed
+			// piece plan numbers different extents, and a piece may only
+			// be elided if the identical byte range is already on storage.
+			base := make(map[int]PieceSum, len(prev.ArrayPieces[i]))
+			for _, p := range prev.ArrayPieces[i] {
+				base[p.Index] = p
+			}
+			opts.SkipPiece = func(idx int, off int64, data []byte) bool {
+				p, ok := base[idx]
+				return ok && p.Off == off && p.Bytes == int64(len(data)) && p.CRC == crcOf(data)
+			}
+		}
+		s, err := a.StreamWrite(fs, arrFile(prefix, a.Name()), opts)
+		if err != nil {
+			return st, fmt.Errorf("ckpt: streaming array %q: %w", a.Name(), err)
+		}
+		st.ArrayBytes += s.StreamBytes
+		st.NetBytes += s.NetBytes
+		st.SkippedBytes += s.SkippedBytes
+		metas[i] = ArrayMeta{Name: a.Name(), Kind: a.Kind(), Global: a.GlobalShape(), Bytes: s.StreamBytes}
+		comm.Barrier() // phase boundary: all of this array's I/O precedes the next phase
+		pieceLists[i] = gatherPieces(comm, 0, *pieces)
+		crcs[i] = combinePieces(pieceLists[i])
+	}
+
+	// Phase 3: metadata, written last so a crash mid-checkpoint leaves no
+	// apparently-valid state.
+	if me == 0 {
+		fs.BeginPhase("meta")
+		m := Meta{Version: version, Mode: ModeDRMS, Tasks: comm.Size(),
+			Ctx: sg.Ctx, Arrays: metas, SegBytes: []int64{segBytes},
+			SegCRC: []uint64{segCRC}, ArrayCRC: crcs, ArrayPieces: pieceLists}
+		if err := writeMeta(fs, prefix, me, m); err != nil {
+			return st, err
+		}
+	}
+	comm.Barrier()
+	return st, nil
+}
+
+// ReadDRMS restores a DRMS checkpoint into the calling application, which
+// may be running with a different number of tasks than took the
+// checkpoint. Every task loads the single saved segment (restoring
+// replicated variables and context); then each array is loaded according
+// to its handle's current distribution. The caller provides handles for
+// exactly the arrays in the checkpoint (matched by name). Returns the
+// metadata; delta is Meta.Tasks vs comm.Size(), computed by the caller.
+func ReadDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options) (Meta, Stats, error) {
+	var st Stats
+	m, err := ReadMeta(fs, prefix, comm.Rank())
+	if err != nil {
+		return m, st, err
+	}
+	if m.Mode != ModeDRMS {
+		return m, st, fmt.Errorf("ckpt: %q is a %s checkpoint; reconfigurable restart requires DRMS mode", prefix, m.Mode)
+	}
+
+	// Every task loads the one saved data segment (§2.2), verifying its
+	// checksum in passing.
+	fs.BeginPhase("segment")
+	payload, segCRC, err := readSegmentFile(fs, segFile(prefix), comm.Rank(), m.SegBytes[0])
+	if err != nil {
+		return m, st, err
+	}
+	if len(m.SegCRC) > 0 && segCRC != m.SegCRC[0] {
+		return m, st, fmt.Errorf("ckpt: segment of %q fails integrity check", prefix)
+	}
+	if err := sg.Decode(payload); err != nil {
+		return m, st, err
+	}
+	st.SegmentBytes = m.SegBytes[0]
+	comm.Barrier() // phase boundary before the array loads
+
+	// Arrays load by name under the current (possibly adjusted)
+	// distribution; the stream layout is distribution-independent.
+	byName := make(map[string]ArrayRef, len(arrays))
+	for _, a := range arrays {
+		byName[a.Name()] = a
+	}
+	for i, am := range m.Arrays {
+		a, ok := byName[am.Name]
+		if !ok {
+			return m, st, fmt.Errorf("ckpt: checkpoint has array %q but no handle was supplied", am.Name)
+		}
+		delete(byName, am.Name)
+		if a.Kind() != am.Kind {
+			return m, st, fmt.Errorf("ckpt: array %q is %s in checkpoint, %s in application", am.Name, am.Kind, a.Kind())
+		}
+		if !a.GlobalShape().Equal(am.Global) {
+			return m, st, fmt.Errorf("ckpt: array %q global shape %v differs from checkpointed %v",
+				am.Name, a.GlobalShape(), am.Global)
+		}
+		fs.BeginPhase("arrays:" + am.Name)
+		opts := o
+		hook, pieces := crcCollector()
+		opts.PieceHook = hook
+		s, err := a.StreamRead(fs, arrFile(prefix, am.Name), opts)
+		if err != nil {
+			return m, st, fmt.Errorf("ckpt: loading array %q: %w", am.Name, err)
+		}
+		st.ArrayBytes += s.StreamBytes
+		st.NetBytes += s.NetBytes
+		comm.Barrier() // phase boundary
+		if len(m.ArrayCRC) > i {
+			if err := checkStreamCRC(comm, *pieces, m.ArrayCRC[i], "array "+am.Name); err != nil {
+				return m, st, err
+			}
+		}
+	}
+	for n := range byName {
+		return m, st, fmt.Errorf("ckpt: application array %q not present in checkpoint", n)
+	}
+	comm.Barrier()
+	return m, st, nil
+}
+
+// WriteSPMD takes a conventional checkpoint: every task writes its entire
+// data segment — variables, context, and the raw storage of its local
+// array sections — to its own file. Collective.
+func WriteSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options) (Stats, error) {
+	var st Stats
+	me := comm.Rank()
+	sg.Ctx.Tasks = comm.Size()
+
+	fs.BeginPhase("segment")
+	payload, err := sg.Encode()
+	if err != nil {
+		return st, err
+	}
+	var blob bytes.Buffer
+	blob.Write(payload)
+	for _, a := range arrays {
+		blob.Write(a.LocalBytes())
+	}
+	total := sg.FileSize(blob.Len())
+	crc, err := writeSegmentFile(fs, taskSegFile(prefix, me), me, blob.Bytes(), total)
+	if err != nil {
+		return st, err
+	}
+	st.SegmentBytes = total
+	comm.Barrier() // "each task writes independently, and they all synchronize at the end" (§5)
+
+	record := append(i64Bytes(total), i64Bytes(int64(crc))...)
+	records := comm.Gather(0, record)
+	if me == 0 {
+		fs.BeginPhase("meta")
+		m := Meta{Version: version, Mode: ModeSPMD, Tasks: comm.Size(), Ctx: sg.Ctx}
+		for _, b := range records {
+			m.SegBytes = append(m.SegBytes, bytesI64(b[:8]))
+			m.SegCRC = append(m.SegCRC, uint64(bytesI64(b[8:])))
+		}
+		for _, a := range arrays {
+			m.Arrays = append(m.Arrays, ArrayMeta{Name: a.Name(), Kind: a.Kind(),
+				Global: a.GlobalShape(), Bytes: int64(len(a.LocalBytes()))})
+		}
+		if err := writeMeta(fs, prefix, me, m); err != nil {
+			return st, err
+		}
+	}
+	comm.Barrier()
+	return st, nil
+}
+
+// ReadSPMD restores a conventional checkpoint. The task count must equal
+// the checkpointing task count — SPMD checkpoints are not reconfigurable.
+func ReadSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options) (Meta, Stats, error) {
+	var st Stats
+	me := comm.Rank()
+	m, err := ReadMeta(fs, prefix, me)
+	if err != nil {
+		return m, st, err
+	}
+	if m.Mode != ModeSPMD {
+		return m, st, fmt.Errorf("ckpt: %q is a %s checkpoint, not SPMD", prefix, m.Mode)
+	}
+	if m.Tasks != comm.Size() {
+		return m, st, fmt.Errorf("ckpt: SPMD checkpoint taken with %d tasks cannot restart on %d (not reconfigurable)",
+			m.Tasks, comm.Size())
+	}
+
+	fs.BeginPhase("segment")
+	blob, crc, err := readSegmentFile(fs, taskSegFile(prefix, me), me, m.SegBytes[me])
+	if err != nil {
+		return m, st, err
+	}
+	if len(m.SegCRC) > me && crc != m.SegCRC[me] {
+		return m, st, fmt.Errorf("ckpt: task %d segment of %q fails integrity check", me, prefix)
+	}
+	st.SegmentBytes = m.SegBytes[me]
+
+	// The blob is vars-payload followed by each array's local bytes; the
+	// local sizes come from the handles, whose distributions must match
+	// the checkpointing run (enforced by the equal task count plus the
+	// deterministic SPMD construction of distributions).
+	var tail int64
+	for _, a := range arrays {
+		tail += int64(len(a.LocalBytes()))
+	}
+	varsLen := int64(len(blob)) - tail
+	if varsLen < 0 {
+		return m, st, fmt.Errorf("ckpt: task %d segment too small for local sections", me)
+	}
+	if err := sg.Decode(blob[:varsLen]); err != nil {
+		return m, st, err
+	}
+	off := varsLen
+	for _, a := range arrays {
+		n := int64(len(a.LocalBytes()))
+		if err := a.SetLocalBytes(blob[off : off+n]); err != nil {
+			return m, st, fmt.Errorf("ckpt: restoring local section of %q: %w", a.Name(), err)
+		}
+		off += n
+	}
+	comm.Barrier()
+	return m, st, nil
+}
+
+// ReadMeta loads checkpoint metadata (e.g. to learn the task count before
+// deciding a restart configuration).
+func ReadMeta(fs *pfs.System, prefix string, client int) (Meta, error) {
+	var m Meta
+	name := metaFile(prefix)
+	sz, err := fs.Size(name)
+	if err != nil {
+		return m, fmt.Errorf("ckpt: no checkpoint under prefix %q: %w", prefix, err)
+	}
+	buf := make([]byte, sz)
+	if err := fs.ReadAt(client, name, buf, 0); err != nil {
+		return m, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&m); err != nil {
+		return m, fmt.Errorf("ckpt: corrupt metadata for %q: %w", prefix, err)
+	}
+	if m.Version != version {
+		return m, fmt.Errorf("ckpt: metadata version %d unsupported", m.Version)
+	}
+	return m, nil
+}
+
+// Exists reports whether a checkpoint is present under the prefix.
+func Exists(fs *pfs.System, prefix string) bool {
+	return fs.Exists(metaFile(prefix))
+}
+
+// Remove deletes every file of the checkpoint under the prefix.
+func Remove(fs *pfs.System, prefix string) {
+	for _, f := range fs.List(prefix + ".") {
+		fs.Remove(f)
+	}
+}
+
+// StateBytes returns the total size of the saved state under a prefix:
+// every file that constitutes the checkpoint (Table 3's measure).
+func StateBytes(fs *pfs.System, prefix string) int64 {
+	var n int64
+	for _, f := range fs.List(prefix + ".") {
+		sz, err := fs.Size(f)
+		if err == nil {
+			n += sz
+		}
+	}
+	return n
+}
+
+// writeMeta encodes and writes the metadata file.
+func writeMeta(fs *pfs.System, prefix string, client int, m Meta) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return err
+	}
+	fs.Create(metaFile(prefix))
+	return fs.WriteAt(client, metaFile(prefix), buf.Bytes(), 0)
+}
+
+// writeSegmentFile lays out a segment file: an 8-byte payload length,
+// the payload, and zero padding up to total (the modeled segment size —
+// a real implementation dumps the whole image, so the file must be that
+// large for size and timing measurements to be honest). Returns the
+// CRC-64 of the whole file, computed as it is written.
+func writeSegmentFile(fs *pfs.System, name string, client int, payload []byte, total int64) (uint64, error) {
+	fs.Create(name)
+	hdr := make([]byte, segHeader)
+	binary.LittleEndian.PutUint64(hdr, uint64(len(payload)))
+	if err := fs.WriteAt(client, name, hdr, 0); err != nil {
+		return 0, err
+	}
+	if err := fs.WriteAt(client, name, payload, segHeader); err != nil {
+		return 0, err
+	}
+	crc := crcCombine(crcOf(hdr), crcOf(payload), int64(len(payload)))
+	pad := total - segHeader - int64(len(payload))
+	zeros := make([]byte, padChunk)
+	crc = crcCombine(crc, crcZeros(pad), pad)
+	for off := segHeader + int64(len(payload)); pad > 0; {
+		n := min(pad, padChunk)
+		if err := fs.WriteAt(client, name, zeros[:n], off); err != nil {
+			return 0, err
+		}
+		off += n
+		pad -= n
+	}
+	return crc, nil
+}
+
+// readSegmentFile reads an entire segment file (payload and padding — the
+// real system reads the full image) and returns the payload and the
+// file's CRC-64.
+func readSegmentFile(fs *pfs.System, name string, client int, total int64) ([]byte, uint64, error) {
+	hdr := make([]byte, segHeader)
+	if err := fs.ReadAt(client, name, hdr, 0); err != nil {
+		return nil, 0, err
+	}
+	plen := int64(binary.LittleEndian.Uint64(hdr))
+	if plen < 0 || plen+segHeader > total {
+		return nil, 0, fmt.Errorf("ckpt: segment file %q corrupt: payload %d of %d", name, plen, total)
+	}
+	payload := make([]byte, plen)
+	if err := fs.ReadAt(client, name, payload, segHeader); err != nil {
+		return nil, 0, err
+	}
+	crc := crcCombine(crcOf(hdr), crcOf(payload), plen)
+	// Stream the padding through a fixed window, as the real restore
+	// reads the full image.
+	rest := total - segHeader - plen
+	window := make([]byte, padChunk)
+	for off := segHeader + plen; rest > 0; {
+		n := min(rest, padChunk)
+		if err := fs.ReadAt(client, name, window[:n], off); err != nil {
+			return nil, 0, err
+		}
+		crc = crcCombine(crc, crcOf(window[:n]), n)
+		off += n
+		rest -= n
+	}
+	return payload, crc, nil
+}
+
+func i64Bytes(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func bytesI64(b []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,88 @@
+package ckpt
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"drms/internal/array"
+	"drms/internal/msg"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/seg"
+	"drms/internal/stream"
+)
+
+// The golden checkpoint pins the on-storage format: testdata/golden.pfs
+// holds a file-system snapshot containing one DRMS checkpoint written by
+// a known version of this code. Restores of archived state must keep
+// working as the implementation evolves; if the format must change,
+// regenerate deliberately with:
+//
+//	go test ./internal/ckpt -run Golden -regen-golden
+var regenGolden = flag.Bool("regen-golden", false, "rewrite testdata/golden.pfs")
+
+const goldenPath = "testdata/golden.pfs"
+
+func goldenFill(cd []int) float64 { return float64(cd[0]*100+cd[1]) + 0.5 }
+
+func writeGolden(t *testing.T) {
+	t.Helper()
+	fs := pfs.NewSystem(pfs.Config{Servers: 4, StripeUnit: 256})
+	msg.Run(4, func(c *msg.Comm) {
+		sg, refs, u, ids := buildApp(c, []int{2, 2})
+		iter := 77
+		sg.Register("iter", &iter)
+		sg.Ctx = seg.Context{SOP: "golden", Step: 77}
+		sg.Model = seg.SizeModel{SystemBytes: 10_000, PrivateBytes: 2_000}
+		u.Fill(goldenFill)
+		ids.Fill(func(cd []int) int32 { return int32(cd[0] - 2*cd[1]) })
+		if _, err := WriteDRMS(fs, "golden", c, sg, refs, stream.Options{PieceBytes: 300}); err != nil {
+			panic(err)
+		}
+	})
+	if err := fs.SaveFile(goldenPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoldenCheckpointStillRestores(t *testing.T) {
+	if *regenGolden {
+		writeGolden(t)
+		t.Log("regenerated", goldenPath)
+	}
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	if err := fs.LoadFile(goldenPath); err != nil {
+		t.Fatalf("golden snapshot missing (regenerate with -regen-golden): %v", err)
+	}
+	// Integrity first: byte-level drift fails loudly.
+	if err := Verify(fs, "golden", 0); err != nil {
+		t.Fatalf("golden checkpoint no longer verifies: %v", err)
+	}
+	// Reconfigured restore on a task count the writer never used.
+	g := rangeset.Box([]int{0, 0}, []int{11, 11})
+	msg.Run(3, func(c *msg.Comm) {
+		sg := seg.New()
+		var iter int
+		sg.Register("iter", &iter)
+		u, _ := array.New[float64](c, "u", mustBlock(g, []int{3, 1}))
+		ids, _ := array.New[int32](c, "ids", mustBlock(g, []int{3, 1}))
+		m, _, err := ReadDRMS(fs, "golden", c, sg, []ArrayRef{Ref(u), Ref(ids)}, stream.Options{})
+		if err != nil {
+			panic(err)
+		}
+		if m.Tasks != 4 || iter != 77 || sg.Ctx.SOP != "golden" {
+			panic(fmt.Sprintf("golden metadata drifted: tasks=%d iter=%d ctx=%+v", m.Tasks, iter, sg.Ctx))
+		}
+		u.Mapped().Each(rangeset.ColMajor, func(cd []int) {
+			if u.At(cd) != goldenFill(cd) {
+				panic(fmt.Sprintf("golden u%v = %v", cd, u.At(cd)))
+			}
+		})
+		ids.Mapped().Each(rangeset.ColMajor, func(cd []int) {
+			if ids.At(cd) != int32(cd[0]-2*cd[1]) {
+				panic("golden ids drifted")
+			}
+		})
+	})
+}

@@ -1,0 +1,154 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"drms/internal/msg"
+	"drms/internal/pfs"
+)
+
+// PieceSum records the checksum of one streamed piece; the per-array
+// piece lists in the metadata are what incremental checkpoints diff
+// against.
+type PieceSum struct {
+	Index int
+	Off   int64 // stream-relative byte offset
+	CRC   uint64
+	Bytes int64
+}
+
+// pieceCRC is the internal alias used while collecting.
+type pieceCRC = PieceSum
+
+// crcCollector returns a stream.Options.PieceHook plus the slice it
+// fills. Each task collects only the pieces it handled.
+func crcCollector() (func(int, int64, []byte), *[]pieceCRC) {
+	var pieces []pieceCRC
+	hook := func(idx int, off int64, data []byte) {
+		pieces = append(pieces, pieceCRC{Index: idx, Off: off, CRC: crcOf(data), Bytes: int64(len(data))})
+	}
+	return hook, &pieces
+}
+
+// combinePieces folds an unordered set of piece CRCs covering a whole
+// stream into the CRC of the stream. The pieces' index order is their
+// stream order; any partition of the stream combines to the same value.
+func combinePieces(pieces []pieceCRC) uint64 {
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].Index < pieces[j].Index })
+	var acc uint64
+	for _, p := range pieces {
+		acc = crcCombine(acc, p.CRC, p.Bytes)
+	}
+	return acc
+}
+
+// gatherPieces collects every task's piece CRCs at root and returns the
+// sorted full list there (nil elsewhere).
+func gatherPieces(comm *msg.Comm, root int, mine []pieceCRC) []pieceCRC {
+	buf := make([]byte, 0, len(mine)*28)
+	for _, p := range mine {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Index))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Off))
+		buf = binary.LittleEndian.AppendUint64(buf, p.CRC)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Bytes))
+	}
+	parts := comm.Gather(root, buf)
+	if comm.Rank() != root {
+		return nil
+	}
+	var all []pieceCRC
+	for _, part := range parts {
+		for len(part) >= 28 {
+			all = append(all, pieceCRC{
+				Index: int(binary.LittleEndian.Uint32(part[0:4])),
+				Off:   int64(binary.LittleEndian.Uint64(part[4:12])),
+				CRC:   binary.LittleEndian.Uint64(part[12:20]),
+				Bytes: int64(binary.LittleEndian.Uint64(part[20:28])),
+			})
+			part = part[28:]
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Index < all[j].Index })
+	return all
+}
+
+// gatherPieceCRCs collects every task's piece CRCs at root and returns
+// the combined stream CRC there (0 elsewhere).
+func gatherPieceCRCs(comm *msg.Comm, root int, mine []pieceCRC) uint64 {
+	return combinePieces(gatherPieces(comm, root, mine))
+}
+
+// checkStreamCRC validates a restored stream against the checkpointed
+// checksum: every task contributes the pieces it read; root combines and
+// compares; the verdict is broadcast so all tasks agree.
+func checkStreamCRC(comm *msg.Comm, mine []pieceCRC, want uint64, what string) error {
+	got := gatherPieceCRCs(comm, 0, mine)
+	ok := byte(1)
+	if comm.Rank() == 0 && got != want {
+		ok = 0
+	}
+	verdict := comm.Bcast(0, []byte{ok})
+	if verdict[0] == 0 {
+		return fmt.Errorf("ckpt: %s fails integrity check (CRC mismatch)", what)
+	}
+	return nil
+}
+
+// Verify re-reads every file of a checkpoint sequentially and compares
+// sizes and CRC-64 checksums against the metadata. It is the offline
+// integrity check (fsck) for archived states; restarts additionally
+// verify inline as they load.
+func Verify(fs *pfs.System, prefix string, client int) error {
+	m, err := ReadMeta(fs, prefix, client)
+	if err != nil {
+		return err
+	}
+	switch m.Mode {
+	case ModeDRMS:
+		if err := verifyFile(fs, segFile(prefix), client, m.SegBytes[0], m.SegCRC[0]); err != nil {
+			return err
+		}
+		for i, am := range m.Arrays {
+			// Array files are exactly the stream bytes.
+			if err := verifyFile(fs, arrFile(prefix, am.Name), client, am.Bytes, m.ArrayCRC[i]); err != nil {
+				return err
+			}
+		}
+	case ModeSPMD:
+		for task := 0; task < m.Tasks; task++ {
+			if err := verifyFile(fs, taskSegFile(prefix, task), client, m.SegBytes[task], m.SegCRC[task]); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("ckpt: unknown mode %q", m.Mode)
+	}
+	return nil
+}
+
+// verifyFile checks one file's size and CRC.
+func verifyFile(fs *pfs.System, name string, client int, wantSize int64, wantCRC uint64) error {
+	sz, err := fs.Size(name)
+	if err != nil {
+		return fmt.Errorf("ckpt: verify %q: %w", name, err)
+	}
+	if sz != wantSize {
+		return fmt.Errorf("ckpt: %q is %d bytes, metadata says %d", name, sz, wantSize)
+	}
+	var crc uint64
+	buf := make([]byte, padChunk)
+	for off := int64(0); off < sz; {
+		n := min(int64(len(buf)), sz-off)
+		if err := fs.ReadAt(client, name, buf[:n], off); err != nil {
+			return fmt.Errorf("ckpt: verify %q: %w", name, err)
+		}
+		crc = crcCombine(crc, crcOf(buf[:n]), n)
+		off += n
+	}
+	if crc != wantCRC {
+		return fmt.Errorf("ckpt: %q fails integrity check: crc %016x, metadata %016x", name, crc, wantCRC)
+	}
+	return nil
+}

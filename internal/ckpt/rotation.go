@@ -1,0 +1,87 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"drms/internal/pfs"
+)
+
+// Rotation manages a bounded history of checkpoints under one base
+// prefix, the operational pattern behind §3's "a different prefix can be
+// used each time, allowing the application to maintain multiple
+// checkpointed states concurrently": generation k lands under
+// "<base>.g<k>", and generations older than Keep are deleted after the
+// new one is safely on storage. With Keep >= 2 this also gives
+// incremental checkpointing a crash window: the previous generation stays
+// intact while the next is written.
+type Rotation struct {
+	Base string
+	Keep int // generations retained (minimum 1)
+}
+
+// generation returns the prefix of generation k.
+func (r Rotation) generation(k int) string {
+	return fmt.Sprintf("%s.g%d", r.Base, k)
+}
+
+// Latest returns the newest complete generation's number and prefix;
+// ok=false when none exists.
+func (r Rotation) Latest(fs *pfs.System) (k int, prefix string, ok bool) {
+	for g := r.scanMax(fs); g >= 0; g-- {
+		p := r.generation(g)
+		if Exists(fs, p) {
+			return g, p, true
+		}
+	}
+	return 0, "", false
+}
+
+// scanMax finds the highest generation number present (complete or not).
+func (r Rotation) scanMax(fs *pfs.System) int {
+	maxG := -1
+	prefix := r.Base + ".g"
+	for _, name := range fs.List(prefix) {
+		var g int
+		var rest string
+		if n, _ := fmt.Sscanf(name[len(prefix):], "%d.%s", &g, &rest); n >= 1 && g > maxG {
+			maxG = g
+		}
+	}
+	return maxG
+}
+
+// NextPrefix returns the prefix the next checkpoint should use.
+func (r Rotation) NextPrefix(fs *pfs.System) string {
+	if g, _, ok := r.Latest(fs); ok {
+		return r.generation(g + 1)
+	}
+	return r.generation(0)
+}
+
+// Prune removes generations beyond Keep, never touching the newest one.
+// Call it after a successful checkpoint (task 0 only — pruning is not
+// collective).
+func (r Rotation) Prune(fs *pfs.System) {
+	keep := max(r.Keep, 1)
+	g, _, ok := r.Latest(fs)
+	if !ok {
+		return
+	}
+	for old := g - keep; old >= 0; old-- {
+		p := r.generation(old)
+		if Exists(fs, p) {
+			Remove(fs, p)
+		}
+	}
+}
+
+// Generations lists the complete generations, oldest first.
+func (r Rotation) Generations(fs *pfs.System) []string {
+	var out []string
+	for g := 0; g <= r.scanMax(fs); g++ {
+		if p := r.generation(g); Exists(fs, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

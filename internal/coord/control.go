@@ -1,0 +1,291 @@
+package coord
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"drms/internal/apps"
+	"drms/internal/ckpt"
+)
+
+// The control protocol is the UIC surface of Figure 6 in daemon form: a
+// JSON-lines request/response protocol over TCP through which users and
+// tools drive a running DRMS installation — submit jobs (the three
+// benchmark kernels are the installed applications), query processors and
+// applications, arm system-initiated checkpoints, stop and reconfigure
+// jobs, verify archived state, and (for failure drills) take a processor
+// down. cmd/drmsd serves it; drmsctl -connect speaks it.
+
+// Request is one control message.
+type Request struct {
+	Op      string `json:"op"`
+	Name    string `json:"name,omitempty"`   // application name
+	Kernel  string `json:"kernel,omitempty"` // bt | lu | sp
+	Class   string `json:"class,omitempty"`  // S | W | A
+	Min     int    `json:"min,omitempty"`    // task range for submit
+	Max     int    `json:"max,omitempty"`
+	Tasks   int    `json:"tasks,omitempty"` // reconfigure target
+	Iters   int    `json:"iters,omitempty"`
+	CkEvery int    `json:"ck_every,omitempty"`
+	Node    int    `json:"node,omitempty"`   // failnode
+	Prefix  string `json:"prefix,omitempty"` // verify
+}
+
+// Response is the reply to one Request.
+type Response struct {
+	OK     bool      `json:"ok"`
+	Error  string    `json:"error,omitempty"`
+	Nodes  []int     `json:"nodes,omitempty"`
+	Apps   []AppInfo `json:"apps,omitempty"`
+	App    *AppInfo  `json:"app,omitempty"`
+	Events []Event   `json:"events,omitempty"`
+	Queued int       `json:"queued,omitempty"`
+}
+
+// ControlServer exposes an RC/JSA pair over the control protocol.
+type ControlServer struct {
+	RC  *RC
+	JSA *JSA
+	// FailNode, if non-nil, simulates a failure of the given processor
+	// (wired to the daemon's in-process TCs for drills).
+	FailNode func(node int) error
+
+	ln net.Listener
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// Serve starts listening on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the bound address. The server drains RC events into a
+// buffer clients poll with the "events" op.
+func (s *ControlServer) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go func() {
+		for e := range s.RC.Events() {
+			s.mu.Lock()
+			s.events = append(s.events, e)
+			if len(s.events) > 4096 {
+				s.events = s.events[len(s.events)-4096:]
+			}
+			s.mu.Unlock()
+		}
+	}()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serveConn(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting control connections.
+func (s *ControlServer) Close() {
+	if s.ln != nil {
+		s.ln.Close()
+	}
+}
+
+func (s *ControlServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp.Error = "malformed request: " + err.Error()
+		} else {
+			resp = s.handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *ControlServer) handle(req Request) Response {
+	fail := func(err error) Response { return Response{Error: err.Error()} }
+	switch req.Op {
+	case "nodes":
+		return Response{OK: true, Nodes: s.RC.AvailableNodes()}
+
+	case "apps":
+		return Response{OK: true, Apps: s.RC.Apps(), Queued: s.JSA.Queued()}
+
+	case "status":
+		info, ok := s.RC.App(req.Name)
+		if !ok {
+			return fail(fmt.Errorf("unknown application %q", req.Name))
+		}
+		return Response{OK: true, App: &info}
+
+	case "submit":
+		k, err := apps.ByName(req.Kernel)
+		if err != nil {
+			return fail(err)
+		}
+		class := apps.ClassS
+		if req.Class != "" {
+			class = apps.Class(req.Class[0])
+			if _, err := apps.GridSize(class); err != nil {
+				return fail(err)
+			}
+		}
+		iters := req.Iters
+		if iters <= 0 {
+			iters = 20
+		}
+		ckEvery := req.CkEvery
+		if ckEvery <= 0 {
+			ckEvery = 5
+		}
+		minT, maxT := req.Min, req.Max
+		if minT <= 0 {
+			minT = 1
+		}
+		if maxT < minT {
+			maxT = minT
+		}
+		spec := AppSpec{Name: req.Name, Body: k.App(apps.RunConfig{
+			Class: class, Iters: iters, CkEvery: ckEvery, Prefix: req.Name, EnableSOP: false,
+		})}
+		if err := s.JSA.Submit(Job{Spec: spec, Min: minT, Max: maxT}); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Queued: s.JSA.Queued()}
+
+	case "checkpoint":
+		h, ok := s.RC.Handle(req.Name)
+		if !ok {
+			return fail(fmt.Errorf("application %q not running", req.Name))
+		}
+		h.EnableCheckpoint()
+		return Response{OK: true}
+
+	case "stop":
+		h, ok := s.RC.Handle(req.Name)
+		if !ok {
+			return fail(fmt.Errorf("application %q not running", req.Name))
+		}
+		h.RequestStop()
+		return Response{OK: true}
+
+	case "reconfigure":
+		if err := s.JSA.Reconfigure(req.Name, req.Tasks, 60*time.Second); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+
+	case "failnode":
+		if s.FailNode == nil {
+			return fail(fmt.Errorf("failure injection not enabled"))
+		}
+		if err := s.FailNode(req.Node); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+
+	case "verify":
+		if err := ckpt.Verify(s.RC.fs, req.Prefix, 0); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+
+	case "events":
+		s.mu.Lock()
+		evs := s.events
+		s.events = nil
+		s.mu.Unlock()
+		return Response{OK: true, Events: evs}
+	}
+	return fail(fmt.Errorf("unknown op %q", req.Op))
+}
+
+// Apps returns a snapshot of every application the RC knows about.
+func (rc *RC) Apps() []AppInfo {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]AppInfo, 0, len(rc.apps))
+	for name, app := range rc.apps {
+		info := AppInfo{Name: name, Status: app.status, Tasks: app.tasks,
+			Nodes: append([]int(nil), app.nodes...)}
+		if app.err != nil {
+			info.Err = app.err.Error()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// ControlClient speaks the control protocol.
+type ControlClient struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+// DialControl connects to a control server.
+func DialControl(addr string) (*ControlClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &ControlClient{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *ControlClient) Close() { c.conn.Close() }
+
+// Do sends one request and waits for its response. A response with OK
+// false is returned as an error.
+func (c *ControlClient) Do(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	if !c.sc.Scan() {
+		return Response{}, fmt.Errorf("coord: control connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return Response{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("coord: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// WaitStatus polls until the named application leaves the running state
+// (or was never known) and returns its final status.
+func (c *ControlClient) WaitStatus(name string, timeout time.Duration) (AppStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := c.Do(Request{Op: "status", Name: name})
+		if err != nil {
+			return "", err
+		}
+		if resp.App.Status != StatusRunning {
+			return resp.App.Status, nil
+		}
+		if time.Now().After(deadline) {
+			return resp.App.Status, fmt.Errorf("coord: %q still running after %v", name, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,434 @@
+// Package coord implements the DRMS controlling infrastructure (§4,
+// Fig. 6): the resource coordinator (RC) master daemon, the per-processor
+// task coordinators (TCs) that connect to it over TCP, the TC pools
+// formed around running applications, and the job scheduler and analyzer
+// (JSA) that exploits reconfigurable checkpointing for malleable
+// scheduling.
+//
+// The failure model is exactly the paper's: the basic failure event is a
+// processor failure, detected as the loss of the connection between that
+// processor's TC and the RC (a missed heartbeat or an abrupt close). The
+// RC then (1) determines the application and TC pool involved, (2) kills
+// all other processes of that application and the pool's TCs, (3) marks
+// the application terminated and informs the user, (4) restarts the
+// killed TCs — each reactivated TC returns its processor to the free
+// pool — and the failed processor stays out until its TC reconnects. The
+// application can immediately be restarted from its latest checkpoint on
+// an equal, smaller, or larger pool: restart never waits for the failed
+// processor to be repaired.
+package coord
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"drms/internal/drms"
+	"drms/internal/pfs"
+	"drms/internal/stream"
+)
+
+// EventKind classifies RC notifications.
+type EventKind string
+
+const (
+	EventTCUp        EventKind = "tc-up"
+	EventTCDown      EventKind = "tc-down"
+	EventTCBye       EventKind = "tc-bye"
+	EventAppStarted  EventKind = "app-started"
+	EventAppKilled   EventKind = "app-killed"
+	EventAppFinished EventKind = "app-finished"
+	EventNodesFreed  EventKind = "nodes-freed"
+)
+
+// Event is a user-visible notification from the RC (the UIC surface).
+type Event struct {
+	Kind   EventKind
+	App    string
+	Node   int
+	Detail string
+}
+
+// AppSpec describes a reconfigurable application the RC can launch. By
+// convention the application checkpoints under the prefix Name, calls
+// ReconfigCheckpoint (or ReconfigChkEnable) at its SOP, and honors
+// StopRequested after each SOP.
+type AppSpec struct {
+	Name   string
+	Body   func(*drms.Task) error
+	Stream stream.Options
+	SPMD   bool
+}
+
+// AppStatus is the lifecycle state of an application under the RC.
+type AppStatus string
+
+const (
+	StatusRunning    AppStatus = "running"
+	StatusFinished   AppStatus = "finished"
+	StatusTerminated AppStatus = "terminated" // killed by a failure
+	StatusFailed     AppStatus = "failed"     // exited with an error
+)
+
+// AppInfo is a snapshot of an application's state.
+type AppInfo struct {
+	Name   string
+	Status AppStatus
+	Tasks  int
+	Nodes  []int
+	Err    string
+}
+
+type tcState struct {
+	node  int
+	conn  net.Conn
+	alive bool
+}
+
+type appState struct {
+	spec   AppSpec
+	handle *drms.Handle
+	nodes  []int
+	tasks  int
+	status AppStatus
+	err    error
+	done   chan struct{} // closed when the watcher has settled the final state
+}
+
+// RC is the resource coordinator.
+type RC struct {
+	fs        *pfs.System
+	ln        net.Listener
+	hbTimeout time.Duration
+	events    chan Event
+
+	mu     sync.Mutex
+	tcs    map[int]*tcState
+	apps   map[string]*appState
+	busy   map[int]string // node -> app name
+	notify []func()
+	closed bool
+}
+
+// NewRC starts a resource coordinator listening on loopback. hbTimeout is
+// how long a silent TC connection is tolerated before the processor is
+// declared failed.
+func NewRC(fs *pfs.System, hbTimeout time.Duration) (*RC, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rc := &RC{
+		fs:        fs,
+		ln:        ln,
+		hbTimeout: hbTimeout,
+		events:    make(chan Event, 1024),
+		tcs:       make(map[int]*tcState),
+		apps:      make(map[string]*appState),
+		busy:      make(map[int]string),
+	}
+	go rc.acceptLoop()
+	return rc, nil
+}
+
+// Addr returns the RC's listen address for TCs to dial.
+func (rc *RC) Addr() string { return rc.ln.Addr().String() }
+
+// Events returns the notification stream (the user-interface channel).
+func (rc *RC) Events() <-chan Event { return rc.events }
+
+// OnChange registers a callback invoked (without locks held) whenever
+// processors become available; the JSA uses it to dispatch queued jobs.
+func (rc *RC) OnChange(f func()) {
+	rc.mu.Lock()
+	rc.notify = append(rc.notify, f)
+	rc.mu.Unlock()
+}
+
+// Close shuts the RC down.
+func (rc *RC) Close() {
+	rc.mu.Lock()
+	rc.closed = true
+	conns := make([]net.Conn, 0, len(rc.tcs))
+	for _, tc := range rc.tcs {
+		if tc.conn != nil {
+			conns = append(conns, tc.conn)
+		}
+	}
+	rc.mu.Unlock()
+	rc.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (rc *RC) emit(e Event) {
+	select {
+	case rc.events <- e:
+	default: // never block the control plane on a slow consumer
+	}
+}
+
+func (rc *RC) changed() {
+	rc.mu.Lock()
+	fns := append([]func(){}, rc.notify...)
+	rc.mu.Unlock()
+	for _, f := range fns {
+		f()
+	}
+}
+
+// tcMsg is the TC→RC wire message (JSON lines).
+type tcMsg struct {
+	Kind string `json:"kind"` // "hello", "hb", "bye"
+	Node int    `json:"node"`
+}
+
+func (rc *RC) acceptLoop() {
+	for {
+		conn, err := rc.ln.Accept()
+		if err != nil {
+			return
+		}
+		go rc.serveTC(conn)
+	}
+}
+
+// serveTC handles one TC connection for its lifetime.
+func (rc *RC) serveTC(conn net.Conn) {
+	r := bufio.NewScanner(conn)
+	conn.SetReadDeadline(time.Now().Add(rc.hbTimeout))
+	if !r.Scan() {
+		conn.Close()
+		return
+	}
+	var hello tcMsg
+	if err := json.Unmarshal(r.Bytes(), &hello); err != nil || hello.Kind != "hello" {
+		conn.Close()
+		return
+	}
+	node := hello.Node
+
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		conn.Close()
+		return
+	}
+	rc.tcs[node] = &tcState{node: node, conn: conn, alive: true}
+	rc.mu.Unlock()
+	rc.emit(Event{Kind: EventTCUp, Node: node})
+	rc.changed()
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(rc.hbTimeout))
+		if !r.Scan() {
+			// EOF or heartbeat timeout: the processor failed.
+			rc.onTCLost(node, "connection lost")
+			conn.Close()
+			return
+		}
+		var m tcMsg
+		if err := json.Unmarshal(r.Bytes(), &m); err != nil {
+			rc.onTCLost(node, "protocol error")
+			conn.Close()
+			return
+		}
+		switch m.Kind {
+		case "hb":
+			// heartbeat: deadline already refreshed
+		case "bye":
+			// Graceful deregistration: not a failure.
+			rc.mu.Lock()
+			delete(rc.tcs, node)
+			rc.mu.Unlock()
+			rc.emit(Event{Kind: EventTCBye, Node: node})
+			conn.Close()
+			return
+		}
+	}
+}
+
+// onTCLost runs the paper's five-step failure procedure.
+func (rc *RC) onTCLost(node int, why string) {
+	rc.mu.Lock()
+	if rc.closed {
+		rc.mu.Unlock()
+		return
+	}
+	if tc, ok := rc.tcs[node]; ok {
+		tc.alive = false
+	}
+	// Step 1: which application and TC pool is involved?
+	appName, hasApp := rc.busy[node]
+	var app *appState
+	running := false
+	if hasApp {
+		app = rc.apps[appName]
+		running = app != nil && app.status == StatusRunning
+	}
+	rc.mu.Unlock()
+
+	rc.emit(Event{Kind: EventTCDown, Node: node, Detail: why})
+
+	if running {
+		// Step 2: kill all other processes of the application. (The pool's
+		// TC processes are killed and restarted by the RC; their effect —
+		// processors returning to the free pool — happens in the watcher
+		// once the application is down.)
+		app.handle.Kill()
+		// Steps 3-5 complete in watchApp when the tasks have died: the
+		// application is marked terminated, the user informed, and the
+		// surviving processors freed. The failed node stays out of the
+		// pool until its TC reconnects.
+		<-app.done
+	}
+	rc.changed()
+}
+
+// AvailableNodes returns the processors with a live TC and no application.
+func (rc *RC) AvailableNodes() []int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.availableLocked()
+}
+
+func (rc *RC) availableLocked() []int {
+	var out []int
+	for n, tc := range rc.tcs {
+		if tc.alive && rc.busy[n] == "" {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Launch starts an application on `tasks` free processors. With restart
+// true the application restores from its latest checkpoint (prefix =
+// spec.Name); reconfigurable applications may restart with any task
+// count.
+func (rc *RC) Launch(spec AppSpec, tasks int, restart bool) error {
+	rc.mu.Lock()
+	if _, exists := rc.apps[spec.Name]; exists && rc.apps[spec.Name].status == StatusRunning {
+		rc.mu.Unlock()
+		return fmt.Errorf("coord: application %q already running", spec.Name)
+	}
+	free := rc.availableLocked()
+	if len(free) < tasks {
+		rc.mu.Unlock()
+		return fmt.Errorf("coord: %d processors requested, %d available", tasks, len(free))
+	}
+	nodes := free[:tasks]
+	cfg := drms.Config{Tasks: tasks, FS: rc.fs, Stream: spec.Stream, SPMDMode: spec.SPMD}
+	if restart {
+		cfg.RestartFrom = spec.Name
+	}
+	h, err := drms.Start(cfg, spec.Body)
+	if err != nil {
+		rc.mu.Unlock()
+		return err
+	}
+	app := &appState{spec: spec, handle: h, nodes: nodes, tasks: tasks,
+		status: StatusRunning, done: make(chan struct{})}
+	rc.apps[spec.Name] = app
+	for _, n := range nodes {
+		rc.busy[n] = spec.Name
+	}
+	rc.mu.Unlock()
+
+	rc.emit(Event{Kind: EventAppStarted, App: spec.Name, Detail: fmt.Sprintf("%d tasks on %v (restart=%v)", tasks, nodes, restart)})
+	go rc.watchApp(app)
+	return nil
+}
+
+// watchApp settles an application's final state and frees its processors.
+func (rc *RC) watchApp(app *appState) {
+	err := app.handle.Wait()
+
+	rc.mu.Lock()
+	switch {
+	case app.handle.Killed():
+		app.status = StatusTerminated
+		app.err = err
+	case err != nil:
+		app.status = StatusFailed
+		app.err = err
+	default:
+		app.status = StatusFinished
+	}
+	var freed []int
+	for _, n := range app.nodes {
+		if tc, ok := rc.tcs[n]; ok && tc.alive {
+			delete(rc.busy, n)
+			freed = append(freed, n)
+		} else {
+			// The failed processor: its TC must reconnect (the node be
+			// repaired/rebooted) before it rejoins the pool.
+			delete(rc.busy, n)
+		}
+	}
+	rc.mu.Unlock()
+
+	kind := EventAppFinished
+	detail := ""
+	if app.status == StatusTerminated {
+		kind = EventAppKilled
+		detail = "terminated by processor failure; restart from checkpoint possible"
+	} else if app.status == StatusFailed && app.err != nil {
+		detail = app.err.Error()
+	}
+	rc.emit(Event{Kind: kind, App: app.spec.Name, Detail: detail})
+	if len(freed) > 0 {
+		rc.emit(Event{Kind: EventNodesFreed, Detail: fmt.Sprintf("%v", freed)})
+	}
+	close(app.done)
+	rc.changed()
+}
+
+// App returns a snapshot of the named application.
+func (rc *RC) App(name string) (AppInfo, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	app, ok := rc.apps[name]
+	if !ok {
+		return AppInfo{}, false
+	}
+	info := AppInfo{Name: name, Status: app.status, Tasks: app.tasks,
+		Nodes: append([]int(nil), app.nodes...)}
+	if app.err != nil {
+		info.Err = app.err.Error()
+	}
+	return info, true
+}
+
+// Handle exposes the control handle of a running application (for
+// system-initiated checkpoints).
+func (rc *RC) Handle(name string) (*drms.Handle, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	app, ok := rc.apps[name]
+	if !ok || app.status != StatusRunning {
+		return nil, false
+	}
+	return app.handle, true
+}
+
+// WaitApp blocks until the named application settles and returns its
+// final status.
+func (rc *RC) WaitApp(name string) (AppStatus, error) {
+	rc.mu.Lock()
+	app, ok := rc.apps[name]
+	rc.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("coord: unknown application %q", name)
+	}
+	<-app.done
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return app.status, app.err
+}

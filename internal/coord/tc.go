@@ -1,0 +1,121 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TC is the client side of a task coordinator: the daemon that runs on
+// each processor of a DRMS-managed system, registers the processor with
+// the resource coordinator, and proves liveness with heartbeats. In the
+// paper every processor runs one TC; here a TC is a goroutine holding a
+// real TCP connection, so failure detection exercises the same code path
+// a distributed deployment would.
+type TC struct {
+	node int
+	conn net.Conn
+
+	mu      sync.Mutex
+	stopped bool
+	ticker  *time.Ticker
+	done    chan struct{}
+}
+
+// StartTC connects a task coordinator for the given processor to the RC
+// and begins heartbeating at the given interval (which must be well under
+// the RC's heartbeat timeout).
+func StartTC(rcAddr string, node int, interval time.Duration) (*TC, error) {
+	conn, err := net.Dial("tcp", rcAddr)
+	if err != nil {
+		return nil, fmt.Errorf("coord: TC %d cannot reach RC: %w", node, err)
+	}
+	tc := &TC{node: node, conn: conn, ticker: time.NewTicker(interval), done: make(chan struct{})}
+	if err := tc.send(tcMsg{Kind: "hello", Node: node}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go tc.heartbeatLoop()
+	return tc, nil
+}
+
+// Node returns the processor this TC controls.
+func (tc *TC) Node() int { return tc.node }
+
+func (tc *TC) send(m tcMsg) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.stopped {
+		return fmt.Errorf("coord: TC %d stopped", tc.node)
+	}
+	_, err = tc.conn.Write(append(b, '\n'))
+	return err
+}
+
+func (tc *TC) heartbeatLoop() {
+	for {
+		select {
+		case <-tc.done:
+			return
+		case <-tc.ticker.C:
+			if err := tc.send(tcMsg{Kind: "hb", Node: tc.node}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Stop deregisters gracefully: the RC treats this as an orderly shutdown,
+// not a processor failure.
+func (tc *TC) Stop() {
+	tc.send(tcMsg{Kind: "bye", Node: tc.node})
+	tc.halt()
+}
+
+// Fail simulates a processor failure: the connection drops abruptly, with
+// no goodbye — exactly what the RC's failure detector watches for.
+func (tc *TC) Fail() {
+	tc.halt()
+}
+
+func (tc *TC) halt() {
+	tc.mu.Lock()
+	if tc.stopped {
+		tc.mu.Unlock()
+		return
+	}
+	tc.stopped = true
+	tc.mu.Unlock()
+	tc.ticker.Stop()
+	close(tc.done)
+	tc.conn.Close()
+}
+
+// Pool starts TCs for the processors [0, n) against one RC — the usual
+// bring-up of a whole machine. It waits until the RC has registered all
+// of them (via its available-node count) or the timeout elapses.
+func Pool(rc *RC, n int, interval, timeout time.Duration) ([]*TC, error) {
+	tcs := make([]*TC, n)
+	for i := 0; i < n; i++ {
+		tc, err := StartTC(rc.Addr(), i, interval)
+		if err != nil {
+			return nil, err
+		}
+		tcs[i] = tc
+	}
+	deadline := time.Now().Add(timeout)
+	for len(rc.AvailableNodes()) < n {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("coord: only %d of %d TCs registered in %v",
+				len(rc.AvailableNodes()), n, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return tcs, nil
+}

@@ -1,0 +1,84 @@
+package drms
+
+import (
+	"fmt"
+
+	"drms/internal/array"
+	"drms/internal/spec"
+)
+
+// Declared holds the distributed arrays created from a textual
+// specification (package spec — the language-extension surface). Handles
+// are fetched by name through the typed accessors.
+type Declared struct {
+	byName map[string]any
+	specs  map[string]spec.ArraySpec
+}
+
+// DeclareFromSpec parses a multi-line array specification and declares
+// every array on this task under its current task count, registering them
+// for checkpoint/restart. Collective: every task calls it with the same
+// text.
+func DeclareFromSpec(t *Task, text string) (*Declared, error) {
+	specs, err := spec.ParseAll(text)
+	if err != nil {
+		return nil, err
+	}
+	d := &Declared{byName: make(map[string]any), specs: make(map[string]spec.ArraySpec)}
+	for _, s := range specs {
+		dd, err := s.Distribution(t.Tasks())
+		if err != nil {
+			return nil, err
+		}
+		var h any
+		switch s.Kind {
+		case "float64":
+			h, err = NewArray[float64](t, s.Name, dd)
+		case "float32":
+			h, err = NewArray[float32](t, s.Name, dd)
+		case "int64":
+			h, err = NewArray[int64](t, s.Name, dd)
+		case "int32":
+			h, err = NewArray[int32](t, s.Name, dd)
+		case "uint8":
+			h, err = NewArray[uint8](t, s.Name, dd)
+		default:
+			err = fmt.Errorf("drms: spec array %q has unsupported type %q", s.Name, s.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		d.byName[s.Name] = h
+		d.specs[s.Name] = s
+	}
+	return d, nil
+}
+
+// Names returns the declared array names.
+func (d *Declared) Names() []string {
+	out := make([]string, 0, len(d.byName))
+	for _, s := range d.specs {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Spec returns the parsed specification of a declared array.
+func (d *Declared) Spec(name string) (spec.ArraySpec, bool) {
+	s, ok := d.specs[name]
+	return s, ok
+}
+
+// Get fetches a declared array with its concrete element type.
+func Get[T array.Elem](d *Declared, name string) (*array.Array[T], error) {
+	h, ok := d.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("drms: no declared array %q", name)
+	}
+	a, ok := h.(*array.Array[T])
+	if !ok {
+		return nil, fmt.Errorf("drms: declared array %q is %s, not %s",
+			name, d.specs[name].Kind, array.ElemKind[T]())
+	}
+	return a, nil
+}

@@ -1,0 +1,344 @@
+// Package drms is the Go binding of the DRMS programming model (§2-3 of
+// the paper): SPMD applications structured as schedulable and observable
+// quanta (SOQs) whose boundaries (SOPs) are the points where the
+// application can be checkpointed, reconfigured, or migrated.
+//
+// An application is a function func(*Task) error executed by every task.
+// It registers its replicated variables, declares its distributed arrays,
+// and calls ReconfigCheckpoint at its SOP. Launched fresh, the call takes
+// a checkpoint; launched with RestartFrom, the first call restores the
+// saved state — replicated variables, execution context, and every array
+// under the application's current distribution, which may span a
+// different number of tasks than took the checkpoint (reconfigurable
+// restart). This mirrors the Fortran skeleton of Figure 1:
+//
+//	iter := 0
+//	t.Register("iter", &iter)
+//	u := drms.NewArray[float64](t, "u", dist)
+//	for {
+//	    status, delta, err := t.ReconfigCheckpoint("ck")
+//	    if status == drms.Restored && delta != 0 {
+//	        // distributions were already built for the new task count;
+//	        // recompute control variables if needed
+//	    }
+//	    if iter >= maxIter { break }
+//	    ... compute one SOQ ...
+//	    iter++
+//	}
+//
+// One deviation from the Fortran binding is documented in DESIGN.md: Go
+// cannot longjmp into a restored stack, so restart re-executes the
+// application prologue (cheap, idempotent initialization) and the restore
+// happens at the first SOP call rather than inside drms_initialize.
+package drms
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"drms/internal/array"
+	"drms/internal/ckpt"
+	"drms/internal/dist"
+	"drms/internal/msg"
+	"drms/internal/pfs"
+	"drms/internal/seg"
+	"drms/internal/stream"
+)
+
+// Status reports what a checkpoint call did.
+type Status int
+
+const (
+	// Continued: a checkpoint was taken (or skipped, for the enabling
+	// variant) and execution continues.
+	Continued Status = iota
+	// Restored: the application state was just loaded from a checkpoint;
+	// execution continues from this SOP.
+	Restored
+)
+
+func (s Status) String() string {
+	if s == Restored {
+		return "restored"
+	}
+	return "continued"
+}
+
+// Config describes one launch of a DRMS application.
+type Config struct {
+	// Tasks is the task count for this run.
+	Tasks int
+	// FS is the parallel file system holding checkpoints.
+	FS *pfs.System
+	// RestartFrom, when non-empty, names the checkpoint prefix to restore
+	// at the application's first SOP.
+	RestartFrom string
+	// TCP selects the socket transport instead of in-process channels.
+	TCP bool
+	// Stream tunes the array streaming used by checkpoint and restart.
+	Stream stream.Options
+	// SPMDMode makes checkpoint calls use the conventional per-task
+	// scheme instead of the reconfigurable DRMS scheme (the paper's
+	// baseline; restart then requires the same task count).
+	SPMDMode bool
+}
+
+// Handle controls a running application (the system side of the
+// environment: the JSA uses it for system-initiated checkpoints, the
+// resource coordinator for failure handling).
+type Handle struct {
+	enable  atomic.Bool
+	errs    chan error
+	done    chan struct{}
+	stopReq atomic.Bool
+	runner  *msg.Runner
+}
+
+// EnableCheckpoint arms the next ReconfigChkEnable call: the application
+// will take a checkpoint at its next enabling SOP (system-initiated
+// checkpointing, Table 2).
+func (h *Handle) EnableCheckpoint() { h.enable.Store(true) }
+
+// RequestStop asks the application to exit at its next SOP (used by the
+// scheduler to vacate processors after archiving state).
+func (h *Handle) RequestStop() { h.stopReq.Store(true) }
+
+// Kill terminates the application immediately by tearing down its
+// message-passing transport: every task dies at its next communication.
+// This is what a processor failure does to the whole application in the
+// paper's model (§4). Wait returns an error for a killed application.
+func (h *Handle) Kill() { h.runner.Kill() }
+
+// Killed reports whether the application was killed.
+func (h *Handle) Killed() bool { return h.runner.Killed() }
+
+// Done returns a channel closed when the application has exited.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the application exits and returns its first error.
+func (h *Handle) Wait() error {
+	<-h.done
+	select {
+	case err := <-h.errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Task is one task's view of the DRMS run-time system.
+type Task struct {
+	comm    *msg.Comm
+	cfg     Config
+	handle  *Handle
+	sg      *seg.Segment
+	arrays  []ckpt.ArrayRef
+	pending bool // restore waiting for the first SOP
+	// LastMeta holds the metadata of the checkpoint most recently taken
+	// or restored by this task.
+	LastMeta ckpt.Meta
+}
+
+// Rank returns this task's rank.
+func (t *Task) Rank() int { return t.comm.Rank() }
+
+// Tasks returns the current task count.
+func (t *Task) Tasks() int { return t.comm.Size() }
+
+// Comm exposes the message-passing substrate for the computation section
+// of SOQs.
+func (t *Task) Comm() *msg.Comm { return t.comm }
+
+// FS returns the parallel file system.
+func (t *Task) FS() *pfs.System { return t.cfg.FS }
+
+// Segment exposes the task's data segment registry (size model, context).
+func (t *Task) Segment() *seg.Segment { return t.sg }
+
+// Register adds a replicated variable to the data segment (must be called
+// before the first SOP, symmetrically on all tasks).
+func (t *Task) Register(name string, ptr any) { t.sg.Register(name, ptr) }
+
+// StopRequested reports whether the system asked the application to exit
+// at its next SOP.
+func (t *Task) StopRequested() bool { return t.handle.stopReq.Load() }
+
+// NewArray declares a distributed array in the application's global data
+// set and registers it with the run-time system for checkpoint/restart
+// (drms_create_distribution + drms_distribute).
+func NewArray[T array.Elem](t *Task, name string, d *dist.Distribution) (*array.Array[T], error) {
+	a, err := array.New[T](t.comm, name, d)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range t.arrays {
+		if r.Name() == name {
+			// Re-declaration (e.g. after an explicit redistribution)
+			// replaces the handle.
+			t.arrays[i] = ckpt.Ref(a)
+			return a, nil
+		}
+	}
+	t.arrays = append(t.arrays, ckpt.Ref(a))
+	return a, nil
+}
+
+// ReconfigCheckpoint is the mandatory SOP (drms_reconfig_checkpoint): on
+// a fresh run it writes a checkpoint under the given prefix and returns
+// (Continued, 0). On the first call of a restarted run it loads the
+// RestartFrom checkpoint instead and returns (Restored, delta) where
+// delta = current tasks - checkpointing tasks. Collective.
+func (t *Task) ReconfigCheckpoint(prefix string) (Status, int, error) {
+	if t.pending {
+		return t.restore()
+	}
+	if err := t.write(prefix); err != nil {
+		return Continued, 0, err
+	}
+	return Continued, 0, nil
+}
+
+// ReconfigChkEnable is the enabling SOP (drms_reconfig_chkenable): the
+// checkpoint is taken only if the system has armed it via
+// Handle.EnableCheckpoint. Restores behave exactly as in
+// ReconfigCheckpoint. Collective: the decision is made once and agreed by
+// all tasks.
+func (t *Task) ReconfigChkEnable(prefix string) (Status, int, error) {
+	if t.pending {
+		return t.restore()
+	}
+	var armed float64
+	if t.Rank() == 0 && t.handle.enable.Swap(false) {
+		armed = 1
+	}
+	if t.comm.AllreduceF64(armed, msg.Max) == 0 {
+		return Continued, 0, nil
+	}
+	if err := t.write(prefix); err != nil {
+		return Continued, 0, err
+	}
+	return Continued, 0, nil
+}
+
+// IncrementalCheckpoint behaves like ReconfigCheckpoint but refreshes an
+// existing checkpoint under the prefix in place, writing only array
+// pieces that changed since the last checkpoint there (§6's incremental
+// optimization). Restores are identical to ReconfigCheckpoint. Not
+// available in SPMD mode.
+func (t *Task) IncrementalCheckpoint(prefix string) (Status, int, error) {
+	if t.pending {
+		return t.restore()
+	}
+	if t.cfg.SPMDMode {
+		return Continued, 0, fmt.Errorf("drms: incremental checkpointing requires the DRMS scheme")
+	}
+	t.sg.Ctx.SOP = prefix
+	if _, err := ckpt.WriteDRMSIncremental(t.cfg.FS, prefix, t.comm, t.sg, t.arrays, t.cfg.Stream); err != nil {
+		return Continued, 0, err
+	}
+	return Continued, 0, nil
+}
+
+func (t *Task) write(prefix string) error {
+	t.sg.Ctx.SOP = prefix
+	if t.cfg.SPMDMode {
+		_, err := ckpt.WriteSPMD(t.cfg.FS, prefix, t.comm, t.sg, t.arrays, t.cfg.Stream)
+		return err
+	}
+	_, err := ckpt.WriteDRMS(t.cfg.FS, prefix, t.comm, t.sg, t.arrays, t.cfg.Stream)
+	return err
+}
+
+func (t *Task) restore() (Status, int, error) {
+	t.pending = false
+	var (
+		m   ckpt.Meta
+		err error
+	)
+	if t.cfg.SPMDMode {
+		m, _, err = ckpt.ReadSPMD(t.cfg.FS, t.cfg.RestartFrom, t.comm, t.sg, t.arrays, t.cfg.Stream)
+	} else {
+		m, _, err = ckpt.ReadDRMS(t.cfg.FS, t.cfg.RestartFrom, t.comm, t.sg, t.arrays, t.cfg.Stream)
+	}
+	if err != nil {
+		return Restored, 0, fmt.Errorf("drms: restoring %q: %w", t.cfg.RestartFrom, err)
+	}
+	t.LastMeta = m
+	return Restored, t.Tasks() - m.Tasks, nil
+}
+
+// Start launches the application (drms_initialize + task spawn) and
+// returns a control handle immediately.
+func Start(cfg Config, app func(*Task) error) (*Handle, error) {
+	if cfg.Tasks < 1 {
+		return nil, fmt.Errorf("drms: %d tasks", cfg.Tasks)
+	}
+	if cfg.FS == nil {
+		return nil, fmt.Errorf("drms: no file system configured")
+	}
+	if cfg.RestartFrom != "" {
+		// Validate the checkpoint before spawning tasks, like
+		// drms_initialize does.
+		m, err := ckpt.ReadMeta(cfg.FS, cfg.RestartFrom, 0)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.SPMDMode && m.Tasks != cfg.Tasks {
+			return nil, fmt.Errorf("drms: SPMD checkpoint %q needs exactly %d tasks", cfg.RestartFrom, m.Tasks)
+		}
+	}
+	runner, err := msg.NewRunner(cfg.Tasks, cfg.TCP)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{errs: make(chan error, cfg.Tasks+1), done: make(chan struct{}), runner: runner}
+	body := func(c *msg.Comm) {
+		t := &Task{comm: c, cfg: cfg, handle: h, sg: seg.New(), pending: cfg.RestartFrom != ""}
+		if err := app(t); err != nil {
+			h.errs <- fmt.Errorf("task %d: %w", c.Rank(), err)
+		}
+	}
+	go func() {
+		defer close(h.done)
+		defer func() {
+			if p := recover(); p != nil {
+				h.errs <- fmt.Errorf("drms: application died: %v", p)
+			}
+		}()
+		runner.Run(body)
+	}()
+	return h, nil
+}
+
+// Run launches the application and blocks until it finishes.
+func Run(cfg Config, app func(*Task) error) error {
+	h, err := Start(cfg, app)
+	if err != nil {
+		return err
+	}
+	return h.Wait()
+}
+
+// WaitAll is a helper for tests and examples that run several
+// applications concurrently.
+func WaitAll(hs ...*Handle) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(hs))
+	for _, h := range hs {
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			if err := h.Wait(); err != nil {
+				errs <- err
+			}
+		}(h)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

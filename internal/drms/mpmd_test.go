@@ -1,0 +1,219 @@
+package drms
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"drms/internal/array"
+	"drms/internal/dist"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/stream"
+)
+
+// The MPMD test application: a producer component evolves a field and
+// streams it to the shared file system each cycle; a consumer component
+// reads the stream and accumulates. Cross-component data flows only
+// between group syncs, so the set of SOPs is consistent.
+
+const mpmdN = 16 // field edge
+
+func producerBody(cycles, ckEvery int) func(*Task, *Group, string) error {
+	return func(t *Task, g *Group, prefix string) error {
+		gl := rangeset.Box([]int{0, 0}, []int{mpmdN - 1, mpmdN - 1})
+		d, err := dist.Block(gl, dist.FactorGrid(t.Tasks(), 2, gl.Shape()))
+		if err != nil {
+			return err
+		}
+		a, err := NewArray[float64](t, "field", d)
+		if err != nil {
+			return err
+		}
+		cycle := 0
+		t.Register("cycle", &cycle)
+		a.Fill(func(c []int) float64 { return float64(c[0]*mpmdN + c[1]) })
+
+		for {
+			if _, _, err := t.GroupCheckpoint(g, prefix); err != nil {
+				return err
+			}
+			if cycle >= cycles {
+				break
+			}
+			// Evolve, publish, and let the consumer read before the next
+			// mutation.
+			a.Assigned().Each(rangeset.ColMajor, func(c []int) {
+				a.Set(c, a.At(c)*1.25+1)
+			})
+			if _, err := stream.Write(a, gl, t.FS(), "chan", stream.Options{}); err != nil {
+				return err
+			}
+			g.Sync(t) // publication visible
+			g.Sync(t) // consumer done reading
+			cycle++
+		}
+		_ = ckEvery
+		return nil
+	}
+}
+
+func consumerBody(cycles int, out chan<- float64) func(*Task, *Group, string) error {
+	return func(t *Task, g *Group, prefix string) error {
+		gl := rangeset.Box([]int{0, 0}, []int{mpmdN - 1, mpmdN - 1})
+		d, err := dist.Block(gl, dist.FactorGrid(t.Tasks(), 2, gl.Shape()))
+		if err != nil {
+			return err
+		}
+		acc, err := NewArray[float64](t, "acc", d)
+		if err != nil {
+			return err
+		}
+		tmp, err := array.New[float64](t.Comm(), "tmp", d) // local scratch, not checkpointed
+		if err != nil {
+			return err
+		}
+		cycle := 0
+		t.Register("cycle", &cycle)
+
+		for {
+			if _, _, err := t.GroupCheckpoint(g, prefix); err != nil {
+				return err
+			}
+			if cycle >= cycles {
+				break
+			}
+			g.Sync(t) // wait for the producer's publication
+			if _, err := stream.Read(tmp, gl, t.FS(), "chan", stream.Options{}); err != nil {
+				return err
+			}
+			acc.Assigned().Each(rangeset.ColMajor, func(c []int) {
+				acc.Set(c, acc.At(c)+tmp.At(c))
+			})
+			g.Sync(t) // reading done; producer may mutate again
+			cycle++
+		}
+		if sum := acc.Checksum(); t.Rank() == 0 && out != nil {
+			out <- sum
+		}
+		return nil
+	}
+}
+
+func runMPMDOnce(t *testing.T, fs *pfs.System, prodTasks, consTasks, cycles int, restart bool) float64 {
+	t.Helper()
+	out := make(chan float64, 1)
+	err := RunMPMD(Config{FS: fs}, "mp", restart, []Component{
+		{Name: "producer", Tasks: prodTasks, Body: producerBody(cycles, 2)},
+		{Name: "consumer", Tasks: consTasks, Body: consumerBody(cycles, out)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return <-out
+}
+
+func TestMPMDProducerConsumer(t *testing.T) {
+	fs := testFS()
+	got := runMPMDOnce(t, fs, 3, 2, 4, false)
+	if got == 0 || got != got {
+		t.Fatalf("checksum = %v", got)
+	}
+	// Deterministic across component sizes.
+	if again := runMPMDOnce(t, testFS(), 2, 4, 4, false); again != got {
+		t.Fatalf("checksum varies with component sizes: %v vs %v", again, got)
+	}
+}
+
+func TestMPMDCoordinatedCheckpointRestart(t *testing.T) {
+	const cycles = 4
+	want := runMPMDOnce(t, testFS(), 3, 2, cycles, false)
+
+	// Run to completion, leaving the final coordinated checkpoint (the
+	// state at the last set of SOPs) behind; then restart both components
+	// reconfigured — producer 3→2 tasks, consumer 2→4 — and rerun.
+	fs := testFS()
+	first := runMPMDOnce(t, fs, 3, 2, cycles, false)
+	if first != want {
+		t.Fatalf("first run checksum %v != reference %v", first, want)
+	}
+	got := runMPMDOnce(t, fs, 2, 4, cycles, true)
+	if got != want {
+		t.Fatalf("post-restart checksum %v != %v", got, want)
+	}
+}
+
+func TestMPMDMidRunRestartConsistency(t *testing.T) {
+	// Kill the application mid-run (components stop after their cycle-2
+	// checkpoint), restart reconfigured, and demand the clean result —
+	// the consistency of the *set* of SOPs is what is being tested: the
+	// producer's field and the consumer's accumulator must come from the
+	// same cycle.
+	const cycles = 5
+	want := runMPMDOnce(t, testFS(), 2, 2, cycles, false)
+
+	fs := testFS()
+	stopAt := 3
+	stopper := func(inner func(*Task, *Group, string) error) func(*Task, *Group, string) error {
+		return func(t *Task, g *Group, prefix string) error {
+			// Run the inner body but with fewer cycles: it checkpoints at
+			// its SOP for cycle `stopAt` and exits there.
+			return inner(t, g, prefix)
+		}
+	}
+	err := RunMPMD(Config{FS: fs}, "mp", false, []Component{
+		{Name: "producer", Tasks: 2, Body: stopper(producerBody(stopAt, 2))},
+		{Name: "consumer", Tasks: 2, Body: stopper(consumerBody(stopAt, nil))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume from the cycle-3 coordinated checkpoint with new shapes.
+	got := runMPMDOnce(t, fs, 4, 1, cycles, true)
+	if got != want {
+		t.Fatalf("resumed checksum %v != clean %v", got, want)
+	}
+}
+
+func TestGroupSyncIsABarrier(t *testing.T) {
+	g := NewGroup(3)
+	var mu sync.Mutex
+	entered := 0
+	var hs []*Handle
+	for i := 0; i < 3; i++ {
+		h, err := Start(Config{Tasks: 2, FS: testFS()}, func(t *Task) error {
+			for round := 0; round < 10; round++ {
+				mu.Lock()
+				entered++
+				mu.Unlock()
+				g.Sync(t)
+				mu.Lock()
+				// 2 tasks x 3 components per round: all must have entered
+				// this round before anyone exits the sync.
+				if entered < 6*(round+1) {
+					mu.Unlock()
+					return fmt.Errorf("group sync released early: %d at round %d", entered, round)
+				}
+				mu.Unlock()
+				g.Sync(t)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if err := WaitAll(hs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGroupValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("group of 0 accepted")
+		}
+	}()
+	NewGroup(0)
+}

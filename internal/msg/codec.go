@@ -1,0 +1,51 @@
+package msg
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// The wire codec used throughout the repository: little-endian fixed
+// width, matching the distribution-independent checkpoint file format.
+
+func f64Bytes(v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+func bytesF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// packFrames concatenates buffers as [count][len0][bytes0][len1]... so a
+// set of per-rank buffers can travel through a single broadcast.
+func packFrames(parts [][]byte) []byte {
+	n := 4
+	for _, p := range parts {
+		n += 4 + len(p)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(parts)))
+	for _, p := range parts {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p)))
+		out = append(out, p...)
+	}
+	return out
+}
+
+func unpackFrames(flat []byte, want int) [][]byte {
+	n := int(binary.LittleEndian.Uint32(flat))
+	if n != want {
+		panic("msg: frame count mismatch")
+	}
+	flat = flat[4:]
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		l := int(binary.LittleEndian.Uint32(flat))
+		flat = flat[4:]
+		out[i] = append([]byte(nil), flat[:l]...)
+		flat = flat[l:]
+	}
+	return out
+}

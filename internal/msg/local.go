@@ -1,0 +1,85 @@
+package msg
+
+import (
+	"sync"
+)
+
+// LocalTransport delivers messages between tasks running as goroutines in
+// one process. Each rank owns a mailbox keyed by (source, tag); senders
+// append, receivers block on a condition variable until a matching
+// message arrives. Delivery from a fixed (src, tag) is FIFO.
+type LocalTransport struct {
+	boxes []*mailbox
+}
+
+type mailKey struct {
+	src, tag int
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[mailKey][][]byte
+	closed bool
+}
+
+// NewLocalTransport creates a transport connecting n ranks.
+func NewLocalTransport(n int) *LocalTransport {
+	t := &LocalTransport{boxes: make([]*mailbox, n)}
+	for i := range t.boxes {
+		b := &mailbox{queues: make(map[mailKey][][]byte)}
+		b.cond = sync.NewCond(&b.mu)
+		t.boxes[i] = b
+	}
+	return t
+}
+
+// Send implements Transport. The payload is copied, so the caller may
+// reuse its buffer immediately (matching MPI blocking-send semantics).
+func (t *LocalTransport) Send(src, dst, tag int, data []byte) {
+	b := t.boxes[dst]
+	cp := append([]byte(nil), data...)
+	b.mu.Lock()
+	k := mailKey{src, tag}
+	b.queues[k] = append(b.queues[k], cp)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Recv implements Transport.
+func (t *LocalTransport) Recv(dst, src, tag int) []byte {
+	b := t.boxes[dst]
+	k := mailKey{src, tag}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if q := b.queues[k]; len(q) > 0 {
+			m := q[0]
+			if len(q) == 1 {
+				delete(b.queues, k)
+			} else {
+				b.queues[k] = q[1:]
+			}
+			return m
+		}
+		if b.closed {
+			panic("msg: receive on closed transport")
+		}
+		b.cond.Wait()
+	}
+}
+
+// Close implements Transport.
+func (t *LocalTransport) Close(rank int) {
+	b := t.boxes[rank]
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (t *LocalTransport) closeAll() {
+	for r := range t.boxes {
+		t.Close(r)
+	}
+}

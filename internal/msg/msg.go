@@ -1,0 +1,369 @@
+// Package msg is the message-passing substrate the DRMS reproduction runs
+// on. The paper's implementation sits on MPL/MPI on an IBM SP; this
+// package provides the equivalent primitives from scratch: tagged,
+// ordered point-to-point messages between the tasks of a parallel
+// application, plus the collectives (barrier, broadcast, gather, reduce,
+// all-to-all) the redistribution and streaming layers need.
+//
+// Two transports are provided: an in-process transport (tasks are
+// goroutines exchanging buffers through mailboxes) and a TCP transport
+// (tasks exchange length-prefixed frames over loopback sockets),
+// preserving the distributed-memory character of the original system.
+// All algorithms in this repository are written against Comm and run
+// unchanged on either transport.
+package msg
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Comm is a task's endpoint into the parallel application: its rank, the
+// task count, and the send/receive primitives. A Comm is used by exactly
+// one task (goroutine); distinct Comms may be used concurrently.
+type Comm struct {
+	rank, size int
+	tr         Transport
+	collSeq    int // per-rank collective sequence number (advances in lockstep across ranks)
+}
+
+// Transport moves byte messages between ranks. Implementations must
+// deliver messages from a fixed (src, dst, tag) triple in send order.
+type Transport interface {
+	// Send delivers data to dst. It must not retain data after returning.
+	Send(src, dst, tag int, data []byte)
+	// Recv blocks until a message with the given source and tag is
+	// available at dst and returns its payload.
+	Recv(dst, src, tag int) []byte
+	// Close releases transport resources for the given rank.
+	Close(rank int)
+}
+
+// Rank returns this task's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of tasks in the application.
+func (c *Comm) Size() int { return c.size }
+
+// Send delivers data to task dst with the given tag. Tags must be
+// non-negative; negative tags are reserved for collectives. Send is
+// buffered and does not block on the receiver.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if tag < 0 {
+		panic(fmt.Sprintf("msg: negative user tag %d", tag))
+	}
+	c.send(dst, tag, data)
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Messages from the same (src, tag) are received in
+// send order.
+func (c *Comm) Recv(src, tag int) []byte {
+	if tag < 0 {
+		panic(fmt.Sprintf("msg: negative user tag %d", tag))
+	}
+	return c.recv(src, tag)
+}
+
+func (c *Comm) send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("msg: send to rank %d of %d", dst, c.size))
+	}
+	if dst == c.rank {
+		// Self-sends short-circuit through the transport too, so ordering
+		// with remote messages stays uniform.
+		c.tr.Send(c.rank, dst, tag, data)
+		return
+	}
+	c.tr.Send(c.rank, dst, tag, data)
+}
+
+func (c *Comm) recv(src, tag int) []byte {
+	if src < 0 || src >= c.size {
+		panic(fmt.Sprintf("msg: recv from rank %d of %d", src, c.size))
+	}
+	return c.tr.Recv(c.rank, src, tag)
+}
+
+// collTag reserves a fresh internal tag for one collective operation.
+// SPMD tasks execute collectives in the same global order, so the
+// per-rank counters advance in lockstep and matching ranks use matching
+// tags.
+func (c *Comm) collTag(op int) int {
+	c.collSeq++
+	return -(c.collSeq*16 + op + 1)
+}
+
+const (
+	opBarrier = iota
+	opBcast
+	opGather
+	opAlltoall
+	opReduce
+)
+
+// Barrier blocks until every task has entered the barrier. It uses the
+// dissemination algorithm: ceil(log2 n) rounds of pairwise signals.
+func (c *Comm) Barrier() {
+	tag := c.collTag(opBarrier)
+	// One tag serves every round: the partner ranks differ per round
+	// (distinct powers of two are never congruent mod size), so (src, tag)
+	// matching stays unambiguous.
+	for dist := 1; dist < c.size; dist *= 2 {
+		to := (c.rank + dist) % c.size
+		from := (c.rank - dist%c.size + c.size) % c.size
+		c.send(to, tag, nil)
+		c.recv(from, tag)
+	}
+}
+
+// Bcast distributes root's buffer to every task and returns it. Non-root
+// callers pass nil (any value they pass is ignored). A binomial tree is
+// used, as on the SP.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	tag := c.collTag(opBcast)
+	rel := (c.rank - root + c.size) % c.size // rank relative to root
+	if rel != 0 {
+		parent := (((rel - 1) / 2) + root) % c.size
+		data = c.recv(parent, tag)
+	}
+	for _, child := range []int{2*rel + 1, 2*rel + 2} {
+		if child < c.size {
+			c.send((child+root)%c.size, tag, data)
+		}
+	}
+	return data
+}
+
+// Gather collects each task's buffer at root. At root the result has one
+// entry per rank (entry i from rank i); elsewhere it is nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	tag := c.collTag(opGather)
+	if c.rank != root {
+		c.send(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, c.size)
+	out[root] = append([]byte(nil), data...)
+	for r := 0; r < c.size; r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.recv(r, tag)
+	}
+	return out
+}
+
+// Allgather collects every task's buffer at every task.
+func (c *Comm) Allgather(data []byte) [][]byte {
+	parts := c.Gather(0, data)
+	// Broadcast the gathered set from root. Frame as length-prefixed
+	// concatenation to keep a single Bcast.
+	var flat []byte
+	if c.rank == 0 {
+		flat = packFrames(parts)
+	}
+	flat = c.Bcast(0, flat)
+	return unpackFrames(flat, c.size)
+}
+
+// Alltoall performs a personalized all-to-all exchange: send[i] goes to
+// rank i, and the result's entry i holds the buffer rank i sent to this
+// task. Entries may be nil/empty. This is the workhorse of array
+// redistribution.
+func (c *Comm) Alltoall(send [][]byte) [][]byte {
+	if len(send) != c.size {
+		panic(fmt.Sprintf("msg: Alltoall with %d buffers for %d ranks", len(send), c.size))
+	}
+	tag := c.collTag(opAlltoall)
+	recv := make([][]byte, c.size)
+	recv[c.rank] = append([]byte(nil), send[c.rank]...)
+	// Pairwise exchange schedule: in step s, rank r talks to r XOR s when
+	// size is a power of two; otherwise fall back to the linear shifted
+	// schedule, which is correct for any size.
+	for s := 1; s < c.size; s++ {
+		dst := (c.rank + s) % c.size
+		src := (c.rank - s + c.size) % c.size
+		c.send(dst, tag, send[dst])
+		recv[src] = c.recv(src, tag)
+	}
+	return recv
+}
+
+// ReduceF64 combines one float64 per task with op at root; non-root tasks
+// receive 0 and ok=false. Combination uses a fixed rank-ascending order,
+// so results are bitwise deterministic and independent of transport
+// timing.
+func (c *Comm) ReduceF64(root int, v float64, op func(a, b float64) float64) (float64, bool) {
+	tag := c.collTag(opReduce)
+	if c.rank != root {
+		c.send(root, tag, f64Bytes(v))
+		return 0, false
+	}
+	acc := 0.0
+	first := true
+	for r := 0; r < c.size; r++ {
+		var rv float64
+		if r == root {
+			rv = v
+		} else {
+			rv = bytesF64(c.recv(r, tag))
+		}
+		if first {
+			acc, first = rv, false
+		} else {
+			acc = op(acc, rv)
+		}
+	}
+	return acc, true
+}
+
+// AllreduceF64 combines one float64 per task with op and returns the
+// result on every task, with the same deterministic ordering as
+// ReduceF64.
+func (c *Comm) AllreduceF64(v float64, op func(a, b float64) float64) float64 {
+	r, ok := c.ReduceF64(0, v, op)
+	var buf []byte
+	if ok {
+		buf = f64Bytes(r)
+	}
+	return bytesF64(c.Bcast(0, buf))
+}
+
+// AllreduceF64s combines equal-length float64 vectors element-wise with
+// op, deterministically (rank-ascending order), and returns the result on
+// every task. The NPB-style verification norms use it.
+func (c *Comm) AllreduceF64s(v []float64, op func(a, b float64) float64) []float64 {
+	tag := c.collTag(opReduce)
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		copy(buf[8*i:], f64Bytes(x))
+	}
+	if c.rank != 0 {
+		c.send(0, tag, buf)
+	} else {
+		acc := append([]float64(nil), v...)
+		for r := 1; r < c.size; r++ {
+			part := c.recv(r, tag)
+			if len(part) != len(buf) {
+				panic(fmt.Sprintf("msg: AllreduceF64s length mismatch from rank %d", r))
+			}
+			for i := range acc {
+				acc[i] = op(acc[i], bytesF64(part[8*i:]))
+			}
+		}
+		for i, x := range acc {
+			copy(buf[8*i:], f64Bytes(x))
+		}
+	}
+	out := c.Bcast(0, buf)
+	res := make([]float64, len(v))
+	for i := range res {
+		res[i] = bytesF64(out[8*i:])
+	}
+	return res
+}
+
+// Sum is the addition operator for reductions.
+func Sum(a, b float64) float64 { return a + b }
+
+// Max is the maximum operator for reductions.
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min is the minimum operator for reductions.
+func Min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Run executes f as an SPMD application of n tasks over the in-process
+// transport and blocks until every task returns. A panic in any task is
+// re-raised in the caller after the remaining tasks are released.
+func Run(n int, f func(c *Comm)) {
+	r, _ := NewRunner(n, false)
+	defer r.shutdown()
+	r.Run(f)
+}
+
+// Runner executes SPMD applications over a transport it owns and supports
+// killing them from outside — the mechanism the coordination layer uses
+// when a processor failure takes an application down (§4: "it kills all
+// other processes of that application").
+type Runner struct {
+	n      int
+	tr     Transport
+	tcp    *TCPTransport
+	killed atomic.Bool
+}
+
+// NewRunner builds a runner for n tasks; tcp selects the socket transport.
+func NewRunner(n int, tcp bool) (*Runner, error) {
+	if tcp {
+		tr, err := NewTCPTransport(n)
+		if err != nil {
+			return nil, err
+		}
+		return &Runner{n: n, tr: tr, tcp: tr}, nil
+	}
+	return &Runner{n: n, tr: NewLocalTransport(n)}, nil
+}
+
+// Kill tears the transport down under the application: every blocked or
+// future receive panics, so all tasks die promptly at their next
+// communication. Idempotent.
+func (r *Runner) Kill() {
+	if r.killed.Swap(true) {
+		return
+	}
+	for rank := 0; rank < r.n; rank++ {
+		r.tr.Close(rank)
+	}
+}
+
+// Killed reports whether Kill was called.
+func (r *Runner) Killed() bool { return r.killed.Load() }
+
+func (r *Runner) shutdown() {
+	if r.tcp != nil {
+		r.tcp.Shutdown()
+		return
+	}
+	for rank := 0; rank < r.n; rank++ {
+		r.tr.Close(rank)
+	}
+}
+
+// Run executes f on every rank and blocks until all return. A panic in
+// any task (including the induced panics of Kill) is re-raised in the
+// caller after the remaining tasks finish.
+func (r *Runner) Run(f func(c *Comm)) {
+	defer r.shutdown()
+	var wg sync.WaitGroup
+	panics := make(chan any, r.n)
+	for rank := 0; rank < r.n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- fmt.Errorf("task %d: %v", rank, p)
+				}
+			}()
+			f(&Comm{rank: rank, size: r.n, tr: r.tr})
+		}(rank)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}

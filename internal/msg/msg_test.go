@@ -1,0 +1,392 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// runBoth executes the SPMD body on both transports so every collective
+// is exercised over channels and over sockets.
+func runBoth(t *testing.T, n int, f func(c *Comm)) {
+	t.Helper()
+	t.Run("local", func(t *testing.T) { Run(n, f) })
+	t.Run("tcp", func(t *testing.T) {
+		if err := RunTCP(n, f); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSendRecvOrdering(t *testing.T) {
+	runBoth(t, 2, func(c *Comm) {
+		const k = 50
+		if c.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				c.Send(1, 7, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				m := c.Recv(0, 7)
+				if len(m) != 1 || m[0] != byte(i) {
+					panic(fmt.Sprintf("message %d out of order: %v", i, m))
+				}
+			}
+		}
+	})
+}
+
+func TestSendRecvTagsIndependent(t *testing.T) {
+	runBoth(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("tag1-first"))
+			c.Send(1, 2, []byte("tag2"))
+			c.Send(1, 1, []byte("tag1-second"))
+		} else {
+			// Receive tag 2 before draining tag 1: matching is by tag.
+			if got := string(c.Recv(0, 2)); got != "tag2" {
+				panic("tag 2 payload wrong: " + got)
+			}
+			if got := string(c.Recv(0, 1)); got != "tag1-first" {
+				panic("tag 1 first payload wrong: " + got)
+			}
+			if got := string(c.Recv(0, 1)); got != "tag1-second" {
+				panic("tag 1 second payload wrong: " + got)
+			}
+		}
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	runBoth(t, 2, func(c *Comm) {
+		c.Send(c.Rank(), 3, []byte{42})
+		if m := c.Recv(c.Rank(), 3); m[0] != 42 {
+			panic("self-send payload lost")
+		}
+	})
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			c.Send(1, 0, buf)
+			buf[0] = 99 // must not affect the delivered message
+			c.Send(1, 1, nil)
+		} else {
+			m := c.Recv(0, 0)
+			c.Recv(0, 1)
+			if m[0] != 1 {
+				panic("transport aliased the sender's buffer")
+			}
+		}
+	})
+}
+
+func TestBarrierActuallySynchronizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			var entered, exited atomic.Int32
+			Run(n, func(c *Comm) {
+				for round := 0; round < 5; round++ {
+					entered.Add(1)
+					c.Barrier()
+					// Every task must have entered before any exits.
+					if int(entered.Load()) < n*(round+1) {
+						panic("barrier released early")
+					}
+					exited.Add(1)
+					c.Barrier()
+				}
+			})
+			if entered.Load() != int32(5*n) || exited.Load() != int32(5*n) {
+				t.Fatalf("entered=%d exited=%d", entered.Load(), exited.Load())
+			}
+		})
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		for root := 0; root < n; root++ {
+			n, root := n, root
+			runBoth(t, n, func(c *Comm) {
+				var payload []byte
+				if c.Rank() == root {
+					payload = []byte(fmt.Sprintf("hello from %d", root))
+				}
+				got := c.Bcast(root, payload)
+				want := fmt.Sprintf("hello from %d", root)
+				if string(got) != want {
+					panic(fmt.Sprintf("rank %d got %q", c.Rank(), got))
+				}
+			})
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	runBoth(t, 5, func(c *Comm) {
+		data := []byte{byte(c.Rank() * 10)}
+		got := c.Gather(2, data)
+		if c.Rank() != 2 {
+			if got != nil {
+				panic("non-root gather result not nil")
+			}
+			return
+		}
+		for r := 0; r < 5; r++ {
+			if got[r][0] != byte(r*10) {
+				panic(fmt.Sprintf("gather slot %d = %d", r, got[r][0]))
+			}
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	runBoth(t, 4, func(c *Comm) {
+		got := c.Allgather([]byte{byte(c.Rank() + 1)})
+		for r := 0; r < 4; r++ {
+			if len(got[r]) != 1 || got[r][0] != byte(r+1) {
+				panic(fmt.Sprintf("rank %d allgather slot %d = %v", c.Rank(), r, got[r]))
+			}
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6} {
+		n := n
+		runBoth(t, n, func(c *Comm) {
+			send := make([][]byte, n)
+			for d := 0; d < n; d++ {
+				// Rank r sends "r->d" with variable length.
+				send[d] = []byte(fmt.Sprintf("%d->%d", c.Rank(), d))
+			}
+			got := c.Alltoall(send)
+			for s := 0; s < n; s++ {
+				want := fmt.Sprintf("%d->%d", s, c.Rank())
+				if string(got[s]) != want {
+					panic(fmt.Sprintf("rank %d slot %d = %q want %q", c.Rank(), s, got[s], want))
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoallEmptyBuffers(t *testing.T) {
+	Run(3, func(c *Comm) {
+		send := make([][]byte, 3)
+		send[(c.Rank()+1)%3] = []byte{byte(c.Rank())}
+		got := c.Alltoall(send)
+		from := (c.Rank() + 2) % 3
+		for s := 0; s < 3; s++ {
+			if s == from {
+				if len(got[s]) != 1 || got[s][0] != byte(from) {
+					panic("expected payload missing")
+				}
+			} else if len(got[s]) != 0 {
+				panic("unexpected payload")
+			}
+		}
+	})
+}
+
+func TestReduceAllreduce(t *testing.T) {
+	runBoth(t, 6, func(c *Comm) {
+		v := float64(c.Rank() + 1)
+		sum, ok := c.ReduceF64(0, v, Sum)
+		if c.Rank() == 0 {
+			if !ok || sum != 21 {
+				panic(fmt.Sprintf("reduce sum = %v, ok=%v", sum, ok))
+			}
+		} else if ok {
+			panic("non-root claims reduce result")
+		}
+		if got := c.AllreduceF64(v, Sum); got != 21 {
+			panic(fmt.Sprintf("allreduce sum = %v", got))
+		}
+		if got := c.AllreduceF64(v, Max); got != 6 {
+			panic(fmt.Sprintf("allreduce max = %v", got))
+		}
+		if got := c.AllreduceF64(v, Min); got != 1 {
+			panic(fmt.Sprintf("allreduce min = %v", got))
+		}
+	})
+}
+
+func TestReduceDeterministicOrder(t *testing.T) {
+	// Floating-point sums depend on order; the reduction promises fixed
+	// rank-ascending order, so repeated runs must agree bitwise.
+	vals := []float64{1e16, 1.0, -1e16, 3.5}
+	var first float64
+	for iter := 0; iter < 20; iter++ {
+		var got atomic.Value
+		Run(4, func(c *Comm) {
+			s := c.AllreduceF64(vals[c.Rank()], Sum)
+			if c.Rank() == 0 {
+				got.Store(s)
+			}
+		})
+		if iter == 0 {
+			first = got.Load().(float64)
+		} else if got.Load().(float64) != first {
+			t.Fatalf("iteration %d: sum %v != first %v", iter, got.Load(), first)
+		}
+	}
+}
+
+func TestCollectivesBackToBack(t *testing.T) {
+	// Stress tag isolation: many different collectives in a row without
+	// intervening user traffic.
+	runBoth(t, 4, func(c *Comm) {
+		for i := 0; i < 30; i++ {
+			c.Barrier()
+			b := c.Bcast(i%4, []byte{byte(i)})
+			if b[0] != byte(i) {
+				panic("bcast corrupted under load")
+			}
+			if got := c.AllreduceF64(1, Sum); got != 4 {
+				panic("allreduce corrupted under load")
+			}
+		}
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic in task not propagated")
+		}
+	}()
+	Run(2, func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestNegativeUserTagPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative tag accepted")
+		}
+	}()
+	Run(1, func(c *Comm) { c.Send(0, -1, nil) })
+}
+
+func TestPackUnpackFrames(t *testing.T) {
+	parts := [][]byte{nil, {1}, {2, 3, 4}, {}}
+	got := unpackFrames(packFrames(parts), 4)
+	want := [][]byte{{}, {1}, {2, 3, 4}, {}}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("frame %d = %v, want %v", i, got[i], want[i])
+		}
+		if len(want[i]) > 0 && !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("frame %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestF64Codec(t *testing.T) {
+	for _, v := range []float64{0, 1, -1.5, 1e300, -1e-300} {
+		if got := bytesF64(f64Bytes(v)); got != v {
+			t.Fatalf("roundtrip %v -> %v", v, got)
+		}
+	}
+	// The encoding is little-endian IEEE-754, the checkpoint wire format.
+	b := f64Bytes(1.0)
+	if binary.LittleEndian.Uint64(b) != 0x3FF0000000000000 {
+		t.Fatalf("encoding of 1.0 = % x", b)
+	}
+}
+
+func TestRunnerKillTerminatesBlockedTasks(t *testing.T) {
+	r, err := NewRunner(3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	go func() {
+		<-started
+		r.Kill()
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("killed run did not panic")
+		}
+		if !r.Killed() {
+			t.Fatal("Killed() false after Kill")
+		}
+	}()
+	r.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			close(started)
+		}
+		// Every task blocks in a receive that will never be satisfied;
+		// Kill must release them.
+		c.Recv((c.Rank()+1)%3, 99)
+	})
+}
+
+func TestRunnerKillIdempotent(t *testing.T) {
+	r, err := NewRunner(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Kill()
+	r.Kill() // second call is a no-op
+	if !r.Killed() {
+		t.Fatal("not killed")
+	}
+}
+
+func TestRunnerTCPKill(t *testing.T) {
+	r, err := NewRunner(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	go func() {
+		<-started
+		r.Kill()
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("killed TCP run did not panic")
+		}
+	}()
+	r.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			close(started)
+		}
+		c.Recv((c.Rank()+1)%2, 99)
+	})
+}
+
+func TestAllreduceF64s(t *testing.T) {
+	runBoth(t, 5, func(c *Comm) {
+		v := []float64{float64(c.Rank()), 1, float64(-c.Rank())}
+		got := c.AllreduceF64s(v, Sum)
+		if got[0] != 10 || got[1] != 5 || got[2] != -10 {
+			panic(fmt.Sprintf("rank %d: %v", c.Rank(), got))
+		}
+		m := c.AllreduceF64s([]float64{float64(c.Rank())}, Max)
+		if m[0] != 4 {
+			panic(fmt.Sprintf("max = %v", m))
+		}
+	})
+}
+
+func TestAllreduceF64sEmpty(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if got := c.AllreduceF64s(nil, Sum); len(got) != 0 {
+			panic("empty vector grew")
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPTransport connects the ranks of an application over loopback TCP
+// sockets: a full mesh with one duplex connection per rank pair, each
+// carrying length-prefixed frames. It exists to keep the reproduction
+// honest about the paper's setting — tasks on an RS/6000 SP share no
+// memory — so every byte the algorithms exchange really crosses a socket.
+type TCPTransport struct {
+	n     int
+	boxes []*mailbox
+	mu    sync.Mutex
+	ends  map[[2]int]*frameConn // key: {owner rank, peer rank} — the endpoint owner writes to
+	wg    sync.WaitGroup
+}
+
+type frameConn struct {
+	mu sync.Mutex // serializes frame writes from one owner
+	c  net.Conn
+}
+
+// frame layout: tag int32 | len uint32 | payload. The sender and receiver
+// ranks are fixed per endpoint, so frames need not carry them.
+
+// NewTCPTransport builds a fully connected transport for n ranks on
+// loopback. It blocks until the mesh is established.
+func NewTCPTransport(n int) (*TCPTransport, error) {
+	t := &TCPTransport{
+		n:     n,
+		boxes: make([]*mailbox, n),
+		ends:  make(map[[2]int]*frameConn),
+	}
+	for i := range t.boxes {
+		b := &mailbox{queues: make(map[mailKey][][]byte)}
+		b.cond = sync.NewCond(&b.mu)
+		t.boxes[i] = b
+	}
+
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("msg: listen for rank %d: %w", i, err)
+		}
+		listeners[i] = l
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+
+	// Rank j accepts one connection from every lower rank; rank i dials
+	// every higher rank and announces itself with a 4-byte rank header.
+	errs := make(chan error, n*n)
+	var wg sync.WaitGroup
+	for j := 1; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for k := 0; k < j; k++ {
+				conn, err := listeners[j].Accept()
+				if err != nil {
+					errs <- err
+					return
+				}
+				var hdr [4]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					errs <- err
+					return
+				}
+				peer := int(binary.LittleEndian.Uint32(hdr[:]))
+				t.addEndpoint(j, peer, conn)
+			}
+		}(j)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", listeners[j].Addr().String())
+				if err != nil {
+					errs <- err
+					return
+				}
+				var hdr [4]byte
+				binary.LittleEndian.PutUint32(hdr[:], uint32(i))
+				if _, err := conn.Write(hdr[:]); err != nil {
+					errs <- err
+					return
+				}
+				t.addEndpoint(i, j, conn)
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, fmt.Errorf("msg: establishing TCP mesh: %w", err)
+	default:
+	}
+	return t, nil
+}
+
+// addEndpoint registers owner's endpoint of its connection to peer and
+// starts the reader pump: every frame read from this endpoint was sent by
+// peer to owner.
+func (t *TCPTransport) addEndpoint(owner, peer int, c net.Conn) {
+	fc := &frameConn{c: c}
+	t.mu.Lock()
+	t.ends[[2]int{owner, peer}] = fc
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			var hdr [8]byte
+			if _, err := io.ReadFull(c, hdr[:]); err != nil {
+				return // connection closed
+			}
+			tag := int(int32(binary.LittleEndian.Uint32(hdr[0:4])))
+			n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(c, payload); err != nil {
+				return
+			}
+			t.deliver(peer, owner, tag, payload)
+		}
+	}()
+}
+
+func (t *TCPTransport) deliver(src, dst, tag int, payload []byte) {
+	b := t.boxes[dst]
+	b.mu.Lock()
+	k := mailKey{src, tag}
+	b.queues[k] = append(b.queues[k], payload)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(src, dst, tag int, data []byte) {
+	if src == dst {
+		t.deliver(src, dst, tag, append([]byte(nil), data...))
+		return
+	}
+	t.mu.Lock()
+	fc := t.ends[[2]int{src, dst}]
+	t.mu.Unlock()
+	if fc == nil {
+		panic(fmt.Sprintf("msg: no connection from rank %d to %d", src, dst))
+	}
+	frame := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(data)))
+	copy(frame[8:], data)
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if _, err := fc.c.Write(frame); err != nil {
+		panic(fmt.Sprintf("msg: send %d->%d: %v", src, dst, err))
+	}
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(dst, src, tag int) []byte {
+	b := t.boxes[dst]
+	k := mailKey{src, tag}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if q := b.queues[k]; len(q) > 0 {
+			m := q[0]
+			if len(q) == 1 {
+				delete(b.queues, k)
+			} else {
+				b.queues[k] = q[1:]
+			}
+			return m
+		}
+		if b.closed {
+			panic("msg: receive on closed transport")
+		}
+		b.cond.Wait()
+	}
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close(rank int) {
+	b := t.boxes[rank]
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Shutdown tears down every socket and waits for reader pumps to exit.
+func (t *TCPTransport) Shutdown() {
+	for r := 0; r < t.n; r++ {
+		t.Close(r)
+	}
+	t.mu.Lock()
+	for _, fc := range t.ends {
+		fc.c.Close() // each endpoint is a distinct net.Conn
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+}
+
+// RunTCP executes f as an SPMD application of n tasks over the TCP
+// transport and blocks until every task returns.
+func RunTCP(n int, f func(c *Comm)) error {
+	r, err := NewRunner(n, true)
+	if err != nil {
+		return err
+	}
+	r.Run(f)
+	return nil
+}

@@ -1,0 +1,327 @@
+// Package pfs is a functional, in-memory reproduction of the parallel
+// file system the paper measures on (PIOFS on a 16-node IBM SP): files
+// are striped round-robin over a set of server nodes, multiple clients
+// read and write concurrently at arbitrary offsets (the seek capability
+// parallel streaming requires, §3.2), and every operation can be recorded
+// to an I/O trace. The trace is what internal/sim replays through a
+// calibrated queueing model of PIOFS to regenerate the paper's timing
+// tables; this package itself stores real bytes and is used by the
+// functional tests and the live benchmarks.
+package pfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Config fixes the geometry of the file system.
+type Config struct {
+	// Servers is the number of server nodes files are striped across.
+	// Server s of a file holds stripe units u with u mod Servers == s.
+	Servers int
+	// StripeUnit is the size in bytes of one stripe unit (PIOFS calls
+	// this the basic striping unit).
+	StripeUnit int
+}
+
+// DefaultConfig mirrors the paper's platform: 16 servers, 64 KiB units.
+func DefaultConfig() Config { return Config{Servers: 16, StripeUnit: 64 << 10} }
+
+// System is a striped parallel file system shared by the tasks of an
+// application. All methods are safe for concurrent use.
+type System struct {
+	cfg Config
+
+	mu    sync.Mutex
+	files map[string]*file
+	trace *Trace
+}
+
+// chunkSize is the granularity of sparse file storage. Chunks that have
+// only ever held zeros are not materialized, so the multi-megabyte
+// zero-padded regions of checkpoint segment files (the paper's class A
+// data segments run to 63-89 MB each) cost no memory while remaining
+// fully readable.
+const chunkSize = 64 << 10
+
+type file struct {
+	mu     sync.RWMutex
+	size   int64
+	chunks map[int64][]byte // chunk index -> chunkSize bytes
+}
+
+// writeLocked copies p into the file at off, materializing only chunks
+// that receive non-zero bytes (or that already exist).
+func (f *file) writeLocked(p []byte, off int64) {
+	if off+int64(len(p)) > f.size {
+		f.size = off + int64(len(p))
+	}
+	for len(p) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		n := min(int64(len(p)), chunkSize-co)
+		part := p[:n]
+		ch, ok := f.chunks[ci]
+		if !ok {
+			if allZero(part) {
+				off += n
+				p = p[n:]
+				continue
+			}
+			ch = make([]byte, chunkSize)
+			if f.chunks == nil {
+				f.chunks = make(map[int64][]byte)
+			}
+			f.chunks[ci] = ch
+		}
+		copy(ch[co:], part)
+		off += n
+		p = p[n:]
+	}
+}
+
+// readLocked fills p from the file at off; unmaterialized chunks read as
+// zeros. The caller has checked bounds.
+func (f *file) readLocked(p []byte, off int64) {
+	for len(p) > 0 {
+		ci := off / chunkSize
+		co := off % chunkSize
+		n := min(int64(len(p)), chunkSize-co)
+		if ch, ok := f.chunks[ci]; ok {
+			copy(p[:n], ch[co:co+n])
+		} else {
+			clear(p[:n])
+		}
+		off += n
+		p = p[n:]
+	}
+}
+
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewSystem creates an empty file system.
+func NewSystem(cfg Config) *System {
+	if cfg.Servers < 1 || cfg.StripeUnit < 1 {
+		panic(fmt.Sprintf("pfs: invalid config %+v", cfg))
+	}
+	return &System{cfg: cfg, files: make(map[string]*file)}
+}
+
+// Config returns the system geometry.
+func (s *System) Config() Config { return s.cfg }
+
+// StartTrace begins recording operations into a fresh trace and returns
+// it. Recording continues until StopTrace.
+func (s *System) StartTrace() *Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trace = NewTrace()
+	return s.trace
+}
+
+// StopTrace stops recording and returns the trace (nil if none active).
+func (s *System) StopTrace() *Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.trace
+	s.trace = nil
+	return t
+}
+
+// BeginPhase marks a named phase boundary in the active trace. Operations
+// recorded after BeginPhase belong to that phase. Phases are how the
+// replay model knows which operations were concurrent (within a phase)
+// versus ordered (across phases): the checkpoint engine brackets each
+// logical step — "segment write", "array u" — in a phase. SPMD tasks all
+// announce the same boundary; consecutive duplicates collapse into one
+// phase (callers barrier between phases so attribution is unambiguous).
+func (s *System) BeginPhase(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.trace != nil {
+		if n := len(s.trace.Phases); n > 0 && s.trace.Phases[n-1] == name {
+			return
+		}
+		s.trace.beginPhase(name)
+	}
+}
+
+func (s *System) record(op Op) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.trace != nil {
+		s.trace.add(op)
+	}
+}
+
+func (s *System) get(name string, create bool) (*file, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("pfs: file %q does not exist", name)
+		}
+		f = &file{}
+		s.files[name] = f
+	}
+	return f, nil
+}
+
+// Create truncates or creates the named file.
+func (s *System) Create(name string) {
+	f, _ := s.get(name, true)
+	f.mu.Lock()
+	f.size = 0
+	f.chunks = nil
+	f.mu.Unlock()
+}
+
+// Exists reports whether the named file exists.
+func (s *System) Exists(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.files[name]
+	return ok
+}
+
+// Remove deletes the named file if present.
+func (s *System) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.files, name)
+}
+
+// List returns the names of all files with the given prefix, sorted.
+func (s *System) List(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for n := range s.files {
+		if len(n) >= len(prefix) && n[:len(prefix)] == prefix {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the current length of the named file.
+func (s *System) Size(name string) (int64, error) {
+	f, err := s.get(name, false)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.size, nil
+}
+
+// WriteAt writes p into the named file at offset off on behalf of the
+// given client node, creating the file and extending it with zeros as
+// needed. Concurrent writers to disjoint byte ranges are the normal case
+// during parallel streaming.
+func (s *System) WriteAt(client int, name string, p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("pfs: negative offset %d", off)
+	}
+	f, err := s.get(name, true)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.writeLocked(p, off)
+	f.mu.Unlock()
+	s.record(Op{Client: client, Write: true, File: name, Offset: off, Bytes: int64(len(p))})
+	return nil
+}
+
+// ReadAt fills p from the named file at offset off on behalf of the given
+// client node. Reads past the end return io.ErrUnexpectedEOF.
+func (s *System) ReadAt(client int, name string, p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("pfs: negative offset %d", off)
+	}
+	f, err := s.get(name, false)
+	if err != nil {
+		return err
+	}
+	f.mu.RLock()
+	if off+int64(len(p)) > f.size {
+		f.mu.RUnlock()
+		return fmt.Errorf("pfs: read [%d,%d) past end %d of %q: %w",
+			off, off+int64(len(p)), f.size, name, io.ErrUnexpectedEOF)
+	}
+	f.readLocked(p, off)
+	f.mu.RUnlock()
+	s.record(Op{Client: client, Write: false, File: name, Offset: off, Bytes: int64(len(p))})
+	return nil
+}
+
+// RecordNet notes, in the active trace, that the given client sent n
+// bytes over the network as part of the current phase (redistribution
+// traffic during two-phase streaming). It is a no-op without an active
+// trace and never moves data itself.
+func (s *System) RecordNet(client int, n int64) {
+	s.record(Op{Client: client, Net: true, Bytes: n})
+}
+
+// ServerOf returns the server node holding the stripe unit containing
+// byte offset off.
+func (s *System) ServerOf(off int64) int {
+	return int((off / int64(s.cfg.StripeUnit)) % int64(s.cfg.Servers))
+}
+
+// SplitByServer decomposes a byte extent [off, off+n) into the per-server
+// byte counts its stripe units map to. Index i of the result is the byte
+// load on server i.
+func (s *System) SplitByServer(off, n int64) []int64 {
+	out := make([]int64, s.cfg.Servers)
+	unit := int64(s.cfg.StripeUnit)
+	for n > 0 {
+		srv := s.ServerOf(off)
+		inUnit := unit - off%unit
+		take := min(inUnit, n)
+		out[srv] += take
+		off += take
+		n -= take
+	}
+	return out
+}
+
+// TotalBytes returns the sum of all file sizes — the "size of saved
+// state" measure of Table 3 when the system holds exactly one checkpoint.
+func (s *System) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, f := range s.files {
+		f.mu.RLock()
+		n += f.size
+		f.mu.RUnlock()
+	}
+	return n
+}
+
+// StoredBytes returns the physical memory materialized across all files
+// (always <= TotalBytes thanks to sparse zero chunks).
+func (s *System) StoredBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, f := range s.files {
+		f.mu.RLock()
+		n += int64(len(f.chunks)) * chunkSize
+		f.mu.RUnlock()
+	}
+	return n
+}

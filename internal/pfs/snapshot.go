@@ -1,0 +1,98 @@
+package pfs
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot support: the file system's entire contents can be serialized
+// and restored, so checkpointed state survives process boundaries (the
+// paper's PIOFS is persistent by nature; this is our equivalent). Sparse
+// zero chunks stay sparse on the wire.
+
+type snapshotWire struct {
+	Cfg   Config
+	Files map[string]fileWire
+}
+
+type fileWire struct {
+	Size   int64
+	Chunks map[int64][]byte
+}
+
+// Save serializes the whole file system. Concurrent mutation during Save
+// is excluded by the system lock; in-flight operations complete first.
+func (s *System) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wire := snapshotWire{Cfg: s.cfg, Files: make(map[string]fileWire, len(s.files))}
+	for name, f := range s.files {
+		f.mu.RLock()
+		fw := fileWire{Size: f.size, Chunks: make(map[int64][]byte, len(f.chunks))}
+		for i, ch := range f.chunks {
+			fw.Chunks[i] = append([]byte(nil), ch...)
+		}
+		f.mu.RUnlock()
+		wire.Files[name] = fw
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// Load restores a file system from a snapshot, replacing all current
+// contents. The snapshot's geometry replaces the system's.
+func (s *System) Load(r io.Reader) error {
+	var wire snapshotWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return fmt.Errorf("pfs: corrupt snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg = wire.Cfg
+	s.files = make(map[string]*file, len(wire.Files))
+	for name, fw := range wire.Files {
+		f := &file{size: fw.Size}
+		if len(fw.Chunks) > 0 {
+			f.chunks = make(map[int64][]byte, len(fw.Chunks))
+			for i, ch := range fw.Chunks {
+				if len(ch) != chunkSize {
+					return fmt.Errorf("pfs: snapshot chunk %d of %q has %d bytes", i, name, len(ch))
+				}
+				f.chunks[i] = append([]byte(nil), ch...)
+			}
+		}
+		s.files[name] = f
+	}
+	return nil
+}
+
+// SaveFile writes a snapshot to the host file system (for tools that keep
+// checkpoint state across process runs).
+func (s *System) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := s.Save(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a snapshot written by SaveFile.
+func (s *System) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(bufio.NewReader(f))
+}

@@ -1,0 +1,36 @@
+package rangeset_test
+
+import (
+	"fmt"
+
+	"drms/internal/rangeset"
+)
+
+// ExampleSlice_Intersect reproduces the slice example of Figure 2 in the
+// paper: rows (8, 9, 10, 12) × columns (16, 18, 19, 20, 22).
+func ExampleSlice_Intersect() {
+	s := rangeset.NewSlice(
+		rangeset.List(8, 9, 10, 12),
+		rangeset.List(16, 18, 19, 20, 22),
+	)
+	block := rangeset.Box([]int{0, 0}, []int{9, 18})
+	fmt.Println("section:", s, "size", s.Size())
+	fmt.Println("∩ task block:", s.Intersect(block))
+	// Output:
+	// section: ([8 9 10 12], [16 18 19 20 22]) size 20
+	// ∩ task block: (8:9, 16:18:2)
+}
+
+// ExampleSlice_Partition shows the recursive bisection of Figure 5(a):
+// the concatenated pieces enumerate exactly like the parent section.
+func ExampleSlice_Partition() {
+	x := rangeset.Box([]int{0, 0}, []int{3, 1})
+	for i, p := range x.Partition(4, rangeset.ColMajor) {
+		fmt.Println(i, p)
+	}
+	// Output:
+	// 0 (0:1, 0)
+	// 1 (2:3, 0)
+	// 2 (0:1, 1)
+	// 3 (2:3, 1)
+}

@@ -1,0 +1,93 @@
+package rangeset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+func gobRoundTripRange(t *testing.T, r Range) Range {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		t.Fatalf("encode %v: %v", r, err)
+	}
+	var out Range
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode %v: %v", r, err)
+	}
+	return out
+}
+
+func TestGobRangeRoundTrip(t *testing.T) {
+	cases := []Range{
+		{},
+		Single(5),
+		Span(-3, 7),
+		Reg(0, 100, 7),
+		List(1, 2, 5, 9),
+		List(-10, 0, 3),
+	}
+	for _, r := range cases {
+		if got := gobRoundTripRange(t, r); !got.Equal(r) {
+			t.Errorf("roundtrip %v -> %v", r, got)
+		}
+	}
+}
+
+func TestGobRangeRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		r := randomRange(rng)
+		if got := gobRoundTripRange(t, r); !got.Equal(r) {
+			t.Fatalf("roundtrip %v -> %v", r, got)
+		}
+	}
+}
+
+func TestGobSliceRoundTrip(t *testing.T) {
+	cases := []Slice{
+		{},
+		NewSlice(Span(0, 9)),
+		NewSlice(Reg(0, 20, 2), List(1, 4, 5), Single(7)),
+		NewSlice(Range{}, Span(0, 3)), // empty axis survives
+		paperSlice(),
+	}
+	for _, s := range cases {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+			t.Fatalf("encode %v: %v", s, err)
+		}
+		var out Slice
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode %v: %v", s, err)
+		}
+		if out.Rank() != s.Rank() {
+			t.Fatalf("rank %d -> %d", s.Rank(), out.Rank())
+		}
+		if !out.Equal(s) && !(out.Empty() && s.Empty()) {
+			t.Errorf("roundtrip %v -> %v", s, out)
+		}
+	}
+}
+
+func TestGobSliceInsideStruct(t *testing.T) {
+	// Slices travel inside checkpoint metadata structs.
+	type meta struct {
+		Name   string
+		Global Slice
+	}
+	in := meta{Name: "u", Global: Box([]int{0, 0, 0}, []int{63, 63, 63})}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out meta
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "u" || !out.Global.Equal(in.Global) {
+		t.Fatalf("got %+v", out)
+	}
+}

@@ -1,0 +1,155 @@
+// Package seg models the data segment of a task: the per-process image
+// the paper's checkpoints save. For a DRMS checkpoint one task's segment
+// is saved and every restarted task loads it, restoring all replicated
+// variables and the execution context (§2.2); for the conventional SPMD
+// checkpoint every task saves its own segment.
+//
+// A real DRMS implementation dumps the process stack, heap, statics and
+// registers. Go cannot portably dump its own image, so the segment is an
+// explicit registry: applications register their replicated variables
+// (any gob-encodable value) and the runtime records the execution context
+// (which SOP, which iteration). The remaining regions of a real segment —
+// storage for the local sections of distributed arrays (including shadow
+// regions), message-passing system buffers, and private data — do not
+// need their *contents* preserved across a DRMS restart, but they
+// dominate the segment's *size*; the SizeModel accounts for them exactly
+// as Table 4 of the paper decomposes them, and checkpoint files are
+// padded to the modeled size so saved-state measurements (Table 3) and
+// replayed timings (Tables 5-6) see 1997-realistic byte counts.
+package seg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// SizeModel decomposes a task's data segment exactly as Table 4 of the
+// paper: local sections of distributed arrays, system-related storage
+// (message-passing buffers), and private/replicated application data.
+type SizeModel struct {
+	// LocalSectionBytes is the storage for the mapped sections (assigned
+	// plus shadow regions) of all distributed arrays in this task.
+	LocalSectionBytes int64
+	// SystemBytes is run-time system storage, mostly message-passing
+	// buffers; the paper measures ~33.4 MB, identical across apps.
+	SystemBytes int64
+	// PrivateBytes is private and replicated application data.
+	PrivateBytes int64
+}
+
+// Total returns the full segment size.
+func (m SizeModel) Total() int64 {
+	return m.LocalSectionBytes + m.SystemBytes + m.PrivateBytes
+}
+
+// PaperSystemBytes is the system-related storage the paper measures
+// (34,972,228 bytes for all three applications).
+const PaperSystemBytes = 34_972_228
+
+// Context is the execution context a checkpoint captures: enough to
+// re-enter the SOQ structure at the SOP where the checkpoint was taken.
+type Context struct {
+	// SOP labels the schedulable-and-observable point (the checkpoint
+	// call site) the state belongs to.
+	SOP string
+	// Step is the application's iteration counter at the SOP.
+	Step int
+	// Tasks is the number of tasks that took the checkpoint.
+	Tasks int
+}
+
+// Segment is one task's registry of replicated variables plus context
+// and size model. The zero value is unusable; use New.
+type Segment struct {
+	vars  map[string]any // name -> pointer to the variable
+	order []string       // registration order (encode determinism)
+	Model SizeModel
+	Ctx   Context
+}
+
+// New returns an empty segment.
+func New() *Segment {
+	return &Segment{vars: make(map[string]any)}
+}
+
+// Register adds a replicated variable under the given name. ptr must be
+// a non-nil pointer to a gob-encodable value; the variable's current
+// value is captured at Encode time and overwritten at Decode time.
+// Registering the same name twice replaces the pointer (a restarted task
+// re-registers its variables).
+func (s *Segment) Register(name string, ptr any) {
+	if ptr == nil {
+		panic(fmt.Sprintf("seg: nil pointer registered for %q", name))
+	}
+	if _, dup := s.vars[name]; !dup {
+		s.order = append(s.order, name)
+	}
+	s.vars[name] = ptr
+}
+
+// Names returns the registered variable names in registration order.
+func (s *Segment) Names() []string { return append([]string(nil), s.order...) }
+
+// wire is the on-file form of a segment payload.
+type wire struct {
+	Ctx   Context
+	Model SizeModel
+	Names []string
+	Blobs [][]byte
+}
+
+// Encode captures the current values of all registered variables together
+// with the context and size model. The payload is deterministic for
+// identical values (names are encoded in sorted order).
+func (s *Segment) Encode() ([]byte, error) {
+	w := wire{Ctx: s.Ctx, Model: s.Model, Names: append([]string(nil), s.order...)}
+	sort.Strings(w.Names)
+	for _, n := range w.Names {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(s.vars[n]); err != nil {
+			return nil, fmt.Errorf("seg: encoding %q: %w", n, err)
+		}
+		w.Blobs = append(w.Blobs, buf.Bytes())
+	}
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(w); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Decode restores a payload produced by Encode into the registered
+// variables. Every payload variable must be registered (with a pointer of
+// the matching type); registered variables missing from the payload are
+// an error too — the segment layout is part of the SPMD program text and
+// must agree between checkpoint and restart.
+func (s *Segment) Decode(data []byte) error {
+	var w wire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("seg: decoding payload: %w", err)
+	}
+	if len(w.Names) != len(s.vars) {
+		return fmt.Errorf("seg: payload has %d variables, %d registered", len(w.Names), len(s.vars))
+	}
+	for i, n := range w.Names {
+		ptr, ok := s.vars[n]
+		if !ok {
+			return fmt.Errorf("seg: payload variable %q not registered", n)
+		}
+		if err := gob.NewDecoder(bytes.NewReader(w.Blobs[i])).Decode(ptr); err != nil {
+			return fmt.Errorf("seg: decoding %q: %w", n, err)
+		}
+	}
+	s.Ctx = w.Ctx
+	s.Model = w.Model
+	return nil
+}
+
+// FileSize returns the size of the segment's checkpoint file: the payload
+// plus padding up to the modeled segment size (a real implementation
+// writes the whole image; the padding keeps byte counts honest).
+func (s *Segment) FileSize(payloadLen int) int64 {
+	return max(int64(payloadLen)+16, s.Model.Total())
+}

@@ -1,0 +1,147 @@
+package seg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterEncodeDecodeRoundTrip(t *testing.T) {
+	s := New()
+	iter := 42
+	dt := 0.0625
+	name := "bt.classA"
+	flags := []bool{true, false, true}
+	s.Register("iter", &iter)
+	s.Register("dt", &dt)
+	s.Register("name", &name)
+	s.Register("flags", &flags)
+	s.Ctx = Context{SOP: "mainloop", Step: 42, Tasks: 8}
+	s.Model = SizeModel{LocalSectionBytes: 100, SystemBytes: 200, PrivateBytes: 300}
+
+	payload, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh segment (a restarted task) registers the same layout with
+	// zero values, then decodes.
+	r := New()
+	var iter2 int
+	var dt2 float64
+	var name2 string
+	var flags2 []bool
+	r.Register("iter", &iter2)
+	r.Register("dt", &dt2)
+	r.Register("name", &name2)
+	r.Register("flags", &flags2)
+	if err := r.Decode(payload); err != nil {
+		t.Fatal(err)
+	}
+	if iter2 != 42 || dt2 != 0.0625 || name2 != "bt.classA" {
+		t.Fatalf("restored %d %v %q", iter2, dt2, name2)
+	}
+	if len(flags2) != 3 || !flags2[0] || flags2[1] || !flags2[2] {
+		t.Fatalf("flags = %v", flags2)
+	}
+	if r.Ctx != (Context{SOP: "mainloop", Step: 42, Tasks: 8}) {
+		t.Fatalf("ctx = %+v", r.Ctx)
+	}
+	if r.Model.Total() != 600 {
+		t.Fatalf("model total = %d", r.Model.Total())
+	}
+}
+
+func TestDecodeRejectsLayoutMismatch(t *testing.T) {
+	s := New()
+	x := 1
+	s.Register("x", &x)
+	payload, _ := s.Encode()
+
+	missing := New()
+	if err := missing.Decode(payload); err == nil {
+		t.Fatal("decode into segment with no registered vars succeeded")
+	}
+
+	extra := New()
+	var x2, y int
+	extra.Register("x", &x2)
+	extra.Register("y", &y)
+	if err := extra.Decode(payload); err == nil {
+		t.Fatal("decode with extra registered var succeeded")
+	}
+
+	renamed := New()
+	var z int
+	renamed.Register("z", &z)
+	if err := renamed.Decode(payload); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("renamed var error = %v", err)
+	}
+}
+
+func TestReRegisterReplacesPointer(t *testing.T) {
+	s := New()
+	a := 1
+	s.Register("v", &a)
+	b := 2
+	s.Register("v", &b)
+	if n := len(s.Names()); n != 1 {
+		t.Fatalf("%d names after re-register", n)
+	}
+	payload, _ := s.Encode()
+	var out int
+	r := New()
+	r.Register("v", &out)
+	r.Decode(payload)
+	if out != 2 {
+		t.Fatalf("captured %d, want the re-registered pointer's value 2", out)
+	}
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil registration accepted")
+		}
+	}()
+	New().Register("x", nil)
+}
+
+func TestFileSizePadsToModel(t *testing.T) {
+	s := New()
+	s.Model = SizeModel{PrivateBytes: 1 << 20}
+	if got := s.FileSize(100); got != 1<<20 {
+		t.Fatalf("FileSize = %d, want model total", got)
+	}
+	// Payload larger than model: file grows to fit.
+	if got := s.FileSize(2 << 20); got != 2<<20+16 {
+		t.Fatalf("FileSize = %d", got)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	build := func() *Segment {
+		s := New()
+		i, f := 7, 2.5
+		// Registration order differs between the two builds; the payload
+		// must not.
+		s.Register("b", &f)
+		s.Register("a", &i)
+		return s
+	}
+	p1, _ := build().Encode()
+	s2 := New()
+	i, f := 7, 2.5
+	s2.Register("a", &i)
+	s2.Register("b", &f)
+	p2, _ := s2.Encode()
+	if string(p1) != string(p2) {
+		t.Fatal("payload depends on registration order")
+	}
+}
+
+func TestPaperSystemBytes(t *testing.T) {
+	// Table 4's constant: keep the literal honest.
+	if PaperSystemBytes != 34972228 {
+		t.Fatal("PaperSystemBytes drifted from Table 4")
+	}
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"testing"
+
+	"drms/internal/pfs"
+)
+
+// synthTrace builds a one-phase trace where each of n clients performs
+// the given operation over `bytes` bytes of its own file region, split
+// into 1 MB ops.
+func synthTrace(name string, clients int, bytesEach int64, write, sharedFile bool) *pfs.Trace {
+	tr := pfs.NewTrace()
+	tr.Phases[0] = name
+	seq := 0
+	for c := 0; c < clients; c++ {
+		file := "seg"
+		base := int64(c) * bytesEach
+		if sharedFile {
+			base = 0 // everyone reads the same extent of the same file
+		} else {
+			file = "seg" + string(rune('A'+c))
+			base = 0
+		}
+		for off := int64(0); off < bytesEach; off += MB {
+			n := min(MB, bytesEach-off)
+			tr.Ops = append(tr.Ops, pfs.Op{
+				Phase: 0, Seq: seq, Client: c, Write: write,
+				File: file, Offset: base + off, Bytes: n,
+			})
+			seq++
+		}
+	}
+	return tr
+}
+
+func cfg16() pfs.Config { return pfs.Config{Servers: 16, StripeUnit: 64 << 10} }
+
+func resident(n int, b int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func TestWritesAreServerLimited(t *testing.T) {
+	m := Calibrated1997()
+	// 8 clients writing 50 MB each vs 16 clients writing 50 MB each on a
+	// 16-node cluster: aggregate write bandwidth is capped by the server
+	// pool, and the pool *shrinks* when all 16 nodes host tasks (no
+	// unperturbed servers remain) — the paper's 8→16 PE degradation.
+	t8, err := m.Replay(synthTrace("w", 8, 50*MB, true, false), cfg16(), SPCluster(16, 8), resident(8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t16, err := m.Replay(synthTrace("w", 16, 50*MB, true, false), cfg16(), SPCluster(16, 16), resident(16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw8 := float64(8*50*MB) / t8.Total()
+	bw16 := float64(16*50*MB) / t16.Total()
+	if bw16 >= bw8 {
+		t.Fatalf("aggregate write bandwidth grew with clients: %.1f -> %.1f MB/s", bw8/MB, bw16/MB)
+	}
+	if t8.Phases[0].Limiter != "server" {
+		t.Fatalf("8-client write limiter = %s, want server", t8.Phases[0].Limiter)
+	}
+}
+
+func TestReadsAreClientLimitedAndScale(t *testing.T) {
+	m := Calibrated1997()
+	// Unpressured reads: 8 vs 16 clients each reading 20 MB. Per-client
+	// time should be flat, so aggregate bandwidth roughly doubles.
+	r8, _ := m.Replay(synthTrace("r", 8, 20*MB, false, true), cfg16(), SPCluster(16, 8), resident(8, 0))
+	r16, _ := m.Replay(synthTrace("r", 16, 20*MB, false, true), cfg16(), SPCluster(16, 16), resident(16, 0))
+	bw8 := float64(8*20*MB) / r8.Total()
+	bw16 := float64(16*20*MB) / r16.Total()
+	if bw16 < bw8*1.4 {
+		t.Fatalf("read bandwidth did not scale with clients: %.1f -> %.1f MB/s", bw8/MB, bw16/MB)
+	}
+	if r8.Phases[0].Limiter != "client" {
+		t.Fatalf("read limiter = %s, want client", r8.Phases[0].Limiter)
+	}
+}
+
+func TestMemoryPressureThresholdOnReads(t *testing.T) {
+	m := Calibrated1997()
+	cl := SPCluster(16, 8)
+	// Each client reads a 40 MB private file. With 20 MB resident the
+	// stream fits in the 128 MB node and prefetch holds; with 100 MB
+	// resident the node thrashes and the read rate collapses.
+	tr := synthTrace("r", 8, 40*MB, false, false)
+	fast, _ := m.Replay(tr, cfg16(), cl, resident(8, 20*MB))
+	slow, _ := m.Replay(tr, cfg16(), cl, resident(8, 100*MB))
+	if slow.Total() < fast.Total()*2 {
+		t.Fatalf("memory pressure did not degrade reads: %.1fs vs %.1fs", fast.Total(), slow.Total())
+	}
+}
+
+func TestSharedFileRereadsServedFromBuffer(t *testing.T) {
+	m := Calibrated1997()
+	cl := SPCluster(16, 16)
+	// 16 clients each read the same 40 MB file (DRMS segment restore)
+	// versus 16 clients reading 16 distinct 40 MB files (SPMD restore).
+	shared, _ := m.Replay(synthTrace("r", 16, 40*MB, false, true), cfg16(), cl, resident(16, 0))
+	distinct, _ := m.Replay(synthTrace("r", 16, 40*MB, false, false), cfg16(), cl, resident(16, 0))
+	if shared.Total() > distinct.Total() {
+		t.Fatalf("shared-file reads slower than distinct: %.1fs vs %.1fs",
+			shared.Total(), distinct.Total())
+	}
+}
+
+func TestNetCeiling(t *testing.T) {
+	m := Calibrated1997()
+	tr := pfs.NewTrace()
+	tr.Phases[0] = "net"
+	for c := 0; c < 8; c++ {
+		tr.Ops = append(tr.Ops, pfs.Op{Phase: 0, Seq: c, Client: c, Net: true, Bytes: 100 * MB})
+	}
+	r, err := m.Replay(tr, cfg16(), SPCluster(16, 8), resident(8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-client cost: 100 MB at 6 MB/s link + 100 MB at 4 MB/s pack
+	// ≈ 41.7 s; the 20 MB/s aggregate switch adds 800/20 = 40 s on top.
+	if r.Total() < 80 || r.Total() > 84 {
+		t.Fatalf("net phase = %.1fs, want ~81.7s", r.Total())
+	}
+	if r.Phases[0].NetBytes != 800*MB {
+		t.Fatalf("net bytes = %d", r.Phases[0].NetBytes)
+	}
+}
+
+func TestMultiPhaseTotalsAndLookup(t *testing.T) {
+	m := Calibrated1997()
+	tr := pfs.NewTrace()
+	tr.Phases[0] = "segment"
+	tr.Ops = append(tr.Ops, pfs.Op{Phase: 0, Client: 0, Write: true, File: "s", Bytes: 10 * MB})
+	tr.Phases = append(tr.Phases, "arrays")
+	tr.Ops = append(tr.Ops, pfs.Op{Phase: 1, Seq: 1, Client: 1, Write: true, File: "a", Offset: 0, Bytes: 5 * MB})
+	tr.Ops = append(tr.Ops, pfs.Op{Phase: 1, Seq: 2, Client: 1, Net: true, Bytes: MB})
+	r, err := m.Replay(tr, cfg16(), SPCluster(16, 2), resident(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Phases) != 2 {
+		t.Fatalf("%d phases", len(r.Phases))
+	}
+	seg := r.Phase("segment")
+	if seg.WriteBytes != 10*MB || seg.Seconds <= 0 {
+		t.Fatalf("segment = %+v", seg)
+	}
+	arr := r.Phase("arrays")
+	if arr.NetBytes != MB || arr.WriteBytes != 5*MB {
+		t.Fatalf("arrays = %+v", arr)
+	}
+	if r.Total() != seg.Seconds+arr.Seconds {
+		t.Fatal("Total != sum of phases")
+	}
+}
+
+func TestEmptyPhasesSkipped(t *testing.T) {
+	m := Calibrated1997()
+	tr := pfs.NewTrace()
+	tr.Phases = append(tr.Phases, "empty", "busy")
+	tr.Ops = append(tr.Ops, pfs.Op{Phase: 2, Client: 0, Write: true, File: "f", Bytes: MB})
+	r, err := m.Replay(tr, cfg16(), SPCluster(16, 1), resident(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Phases) != 1 || r.Phases[0].Name != "busy" {
+		t.Fatalf("phases = %+v", r.Phases)
+	}
+}
+
+func TestReplayRejectsUnknownClient(t *testing.T) {
+	m := Calibrated1997()
+	tr := pfs.NewTrace()
+	tr.Ops = append(tr.Ops, pfs.Op{Phase: 0, Client: 5, Write: true, File: "f", Bytes: 1})
+	if _, err := m.Replay(tr, cfg16(), SPCluster(16, 2), resident(2, 0)); err == nil {
+		t.Fatal("op from client outside cluster accepted")
+	}
+}
+
+func TestMergeIntervals(t *testing.T) {
+	iv := []interval{{10, 20}, {0, 5}, {15, 30}, {5, 10}}
+	got := mergeIntervals(iv)
+	if len(got) != 1 || got[0].lo != 0 || got[0].hi != 30 {
+		t.Fatalf("merged = %+v", got)
+	}
+	iv2 := []interval{{0, 5}, {10, 15}}
+	got2 := mergeIntervals(iv2)
+	if len(got2) != 2 {
+		t.Fatalf("merged disjoint = %+v", got2)
+	}
+	if mergeIntervals(nil) != nil {
+		t.Fatal("empty merge not nil")
+	}
+}
+
+func TestSPClusterPlacement(t *testing.T) {
+	c := SPCluster(16, 8)
+	if c.Nodes != 16 || len(c.ServerNode) != 16 || len(c.TaskNode) != 8 {
+		t.Fatalf("cluster = %+v", c)
+	}
+	if c.TaskNode[7] != 7 || c.ServerNode[15] != 15 {
+		t.Fatal("placement wrong")
+	}
+	if c.MemBytes != 128*MB {
+		t.Fatalf("node memory = %d", c.MemBytes)
+	}
+}

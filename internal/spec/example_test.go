@@ -1,0 +1,34 @@
+package spec_test
+
+import (
+	"fmt"
+
+	"drms/internal/spec"
+)
+
+// ExampleParse shows the declaration syntax and the derived distribution.
+func ExampleParse() {
+	s, err := spec.Parse("array u float64 shape (5, 64, 64, 64) distribute (*, block, block, block) shadow (0, 2, 2, 2)")
+	if err != nil {
+		panic(err)
+	}
+	d, err := s.Distribution(8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Name, s.Kind, "on", d.Tasks(), "tasks, grid", d.Grid())
+	fmt.Println("task 0 assigned:", d.Assigned(0))
+	// Output:
+	// u float64 on 8 tasks, grid [1 2 2 2]
+	// task 0 assigned: (0:4, 0:31, 0:31, 0:31)
+}
+
+// ExampleArraySpec_Distribution_genBlock shows load-balanced explicit
+// block lengths.
+func ExampleArraySpec_Distribution_genBlock() {
+	s, _ := spec.Parse("array m float64 shape (10) distribute (block(7, 3))")
+	d, _ := s.Distribution(2)
+	fmt.Println(d.Assigned(0).Axis(0), d.Assigned(1).Axis(0))
+	// Output:
+	// 0:6 7:9
+}

@@ -1,0 +1,254 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads one array declaration.
+func Parse(line string) (ArraySpec, error) {
+	var s ArraySpec
+	toks, err := tokenize(line)
+	if err != nil {
+		return s, err
+	}
+	p := &parser{toks: toks}
+	if err := p.expectWord("array"); err != nil {
+		return s, err
+	}
+	if s.Name, err = p.word(); err != nil {
+		return s, fmt.Errorf("spec: missing array name: %w", err)
+	}
+	if s.Kind, err = p.word(); err != nil {
+		return s, fmt.Errorf("spec: array %q: missing element type: %w", s.Name, err)
+	}
+	if err := p.expectWord("shape"); err != nil {
+		return s, fmt.Errorf("spec: array %q: %w", s.Name, err)
+	}
+	if s.Shape, err = p.intList(); err != nil {
+		return s, fmt.Errorf("spec: array %q shape: %w", s.Name, err)
+	}
+	if err := p.expectWord("distribute"); err != nil {
+		return s, fmt.Errorf("spec: array %q: %w", s.Name, err)
+	}
+	if s.Axes, err = p.axisList(); err != nil {
+		return s, fmt.Errorf("spec: array %q distribute: %w", s.Name, err)
+	}
+	for {
+		w, err := p.word()
+		if err != nil {
+			break // end of line
+		}
+		switch w {
+		case "shadow":
+			if s.Shadow, err = p.intList(); err != nil {
+				return s, fmt.Errorf("spec: array %q shadow: %w", s.Name, err)
+			}
+		case "onto":
+			if s.Grid, err = p.intList(); err != nil {
+				return s, fmt.Errorf("spec: array %q onto: %w", s.Name, err)
+			}
+		default:
+			return s, fmt.Errorf("spec: array %q: unexpected clause %q", s.Name, w)
+		}
+	}
+	return s, s.Validate()
+}
+
+// ParseAll reads a multi-line specification; blank lines and lines
+// beginning with '#' are skipped. Array names must be unique.
+func ParseAll(text string) ([]ArraySpec, error) {
+	var out []ArraySpec
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("line %d: duplicate array %q", ln+1, s.Name)
+		}
+		seen[s.Name] = true
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// --- lexer/parser ----------------------------------------------------------
+
+type token struct {
+	kind byte // 'w' word, '(' , ')', ',', '*'
+	text string
+}
+
+func tokenize(line string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '*':
+			toks = append(toks, token{kind: c, text: string(c)})
+			i++
+		case isWordChar(c):
+			j := i
+			for j < len(line) && isWordChar(line[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: 'w', text: line[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("spec: unexpected character %q", string(c))
+		}
+	}
+	return toks, nil
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) next() (token, error) {
+	if p.pos >= len(p.toks) {
+		return token{}, fmt.Errorf("unexpected end of line")
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) word() (string, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if t.kind != 'w' {
+		p.pos--
+		return "", fmt.Errorf("expected word, found %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectWord(w string) error {
+	got, err := p.word()
+	if err != nil {
+		return err
+	}
+	if got != w {
+		return fmt.Errorf("expected %q, found %q", w, got)
+	}
+	return nil
+}
+
+func (p *parser) expect(kind byte) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != kind {
+		return fmt.Errorf("expected %q, found %q", string(kind), t.text)
+	}
+	return nil
+}
+
+// intList parses "( n, n, ... )".
+func (p *parser) intList() ([]int, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var out []int
+	for {
+		w, err := p.word()
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not an integer", w)
+		}
+		out = append(out, n)
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == ')' {
+			return out, nil
+		}
+		if t.kind != ',' {
+			return nil, fmt.Errorf("expected ',' or ')', found %q", t.text)
+		}
+	}
+}
+
+// axisList parses "( dir, dir, ... )" with dir one of *, block, cyclic,
+// cyclic(k).
+func (p *parser) axisList() ([]Axis, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var out []Axis
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case t.kind == '*':
+			out = append(out, Axis{Kind: AxisCollapsed})
+		case t.kind == 'w' && t.text == "block":
+			ax := Axis{Kind: AxisBlock}
+			// optional gen-block lengths: block(n1, n2, ...)
+			if p.pos < len(p.toks) && p.toks[p.pos].kind == '(' {
+				sizes, err := p.intList()
+				if err != nil {
+					return nil, err
+				}
+				ax.Sizes = sizes
+			}
+			out = append(out, ax)
+		case t.kind == 'w' && t.text == "cyclic":
+			ax := Axis{Kind: AxisCyclic, Block: 1}
+			// optional (k)
+			if p.pos < len(p.toks) && p.toks[p.pos].kind == '(' {
+				p.pos++
+				w, err := p.word()
+				if err != nil {
+					return nil, err
+				}
+				k, err := strconv.Atoi(w)
+				if err != nil || k < 1 {
+					return nil, fmt.Errorf("bad cyclic block size %q", w)
+				}
+				ax.Block = k
+				if err := p.expect(')'); err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, ax)
+		default:
+			return nil, fmt.Errorf("unknown distribution directive %q", t.text)
+		}
+		nt, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if nt.kind == ')' {
+			return out, nil
+		}
+		if nt.kind != ',' {
+			return nil, fmt.Errorf("expected ',' or ')', found %q", nt.text)
+		}
+	}
+}

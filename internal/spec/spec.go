@@ -1,0 +1,330 @@
+// Package spec implements a declarative distribution-specification
+// language for DRMS arrays — the Go analogue of the paper's Fortran 90
+// language extensions (§3: "The DRMS programming environment consists of
+// a rich set of APIs and language extensions ... Language extensions are
+// currently available only to Fortran 90 programs"). A specification
+// names an array, its element type and global shape, and per-axis
+// distribution directives in the HPF-flavoured style the DRMS examples
+// use:
+//
+//	array u float64 shape (5, 64, 64, 64) distribute (*, block, block, block) shadow (0, 2, 2, 2)
+//	array ids int32 shape (1000) distribute (cyclic(4))
+//	array v float64 shape (256, 256) distribute (block, block) onto (2, 4)
+//
+// Per-axis directives: `*` (collapsed — every task holds the full axis),
+// `block` (contiguous near-equal runs), `cyclic` (round-robin single
+// elements) and `cyclic(k)` (block-cyclic with block size k). `shadow`
+// adds ghost-region widths; `onto` pins the task grid (otherwise the grid
+// is factored automatically from the task count at declaration time).
+// Lines starting with '#' are comments.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"drms/internal/dist"
+	"drms/internal/rangeset"
+)
+
+// AxisKind is a per-axis distribution directive.
+type AxisKind int
+
+const (
+	// AxisCollapsed (`*`): the axis is not distributed.
+	AxisCollapsed AxisKind = iota
+	// AxisBlock: contiguous near-equal blocks.
+	AxisBlock
+	// AxisCyclic: round-robin with the given block size (1 for plain
+	// cyclic).
+	AxisCyclic
+)
+
+func (k AxisKind) String() string {
+	switch k {
+	case AxisCollapsed:
+		return "*"
+	case AxisBlock:
+		return "block"
+	default:
+		return "cyclic"
+	}
+}
+
+// Axis is one axis's directive.
+type Axis struct {
+	Kind  AxisKind
+	Block int   // cyclic block size (AxisCyclic only)
+	Sizes []int // explicit gen-block lengths (AxisBlock with block(n1,n2,...))
+}
+
+// ArraySpec is one parsed array declaration.
+type ArraySpec struct {
+	Name   string
+	Kind   string // element type name: float64, float32, int64, int32, uint8
+	Shape  []int
+	Axes   []Axis
+	Shadow []int // ghost widths per axis (nil = none)
+	Grid   []int // explicit task grid (nil = factor automatically)
+}
+
+// Validate checks internal consistency.
+func (s ArraySpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("spec: array with no name")
+	}
+	switch s.Kind {
+	case "float64", "float32", "int64", "int32", "uint8":
+	default:
+		return fmt.Errorf("spec: array %q has unknown element type %q", s.Name, s.Kind)
+	}
+	if len(s.Shape) == 0 {
+		return fmt.Errorf("spec: array %q has no shape", s.Name)
+	}
+	for i, n := range s.Shape {
+		if n < 1 {
+			return fmt.Errorf("spec: array %q axis %d has extent %d", s.Name, i, n)
+		}
+	}
+	if len(s.Axes) != len(s.Shape) {
+		return fmt.Errorf("spec: array %q has %d axes but %d distribution directives",
+			s.Name, len(s.Shape), len(s.Axes))
+	}
+	if s.Shadow != nil && len(s.Shadow) != len(s.Shape) {
+		return fmt.Errorf("spec: array %q shadow rank %d != %d", s.Name, len(s.Shadow), len(s.Shape))
+	}
+	for i, w := range s.Shadow {
+		if w < 0 {
+			return fmt.Errorf("spec: array %q shadow[%d] = %d", s.Name, i, w)
+		}
+		if w > 0 && s.Axes[i].Kind == AxisCyclic {
+			return fmt.Errorf("spec: array %q: shadows on cyclic axis %d are not supported", s.Name, i)
+		}
+	}
+	for i, a := range s.Axes {
+		if len(a.Sizes) == 0 {
+			continue
+		}
+		total := 0
+		for _, n := range a.Sizes {
+			if n < 1 {
+				return fmt.Errorf("spec: array %q axis %d has a zero-length block", s.Name, i)
+			}
+			total += n
+		}
+		if total != s.Shape[i] {
+			return fmt.Errorf("spec: array %q axis %d blocks sum to %d, extent is %d",
+				s.Name, i, total, s.Shape[i])
+		}
+		if s.Grid != nil && s.Grid[i] != len(a.Sizes) {
+			return fmt.Errorf("spec: array %q axis %d has %d blocks but grid says %d",
+				s.Name, i, len(a.Sizes), s.Grid[i])
+		}
+	}
+	if s.Grid != nil {
+		if len(s.Grid) != len(s.Shape) {
+			return fmt.Errorf("spec: array %q grid rank %d != %d", s.Name, len(s.Grid), len(s.Shape))
+		}
+		for i, g := range s.Grid {
+			if g < 1 {
+				return fmt.Errorf("spec: array %q grid[%d] = %d", s.Name, i, g)
+			}
+			if s.Axes[i].Kind == AxisCollapsed && g != 1 {
+				return fmt.Errorf("spec: array %q axis %d is collapsed but grid is %d", s.Name, i, g)
+			}
+		}
+	}
+	return nil
+}
+
+// Global returns the array's index space (zero-based dense box).
+func (s ArraySpec) Global() rangeset.Slice {
+	lo := make([]int, len(s.Shape))
+	hi := make([]int, len(s.Shape))
+	for i, n := range s.Shape {
+		hi[i] = n - 1
+	}
+	return rangeset.Box(lo, hi)
+}
+
+// Distribution builds the concrete distribution of the spec over the
+// given number of tasks: the task grid is the explicit `onto` grid if
+// given, otherwise tasks are factored over the distributed axes weighted
+// by their extents.
+func (s ArraySpec) Distribution(tasks int) (*dist.Distribution, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if tasks < 1 {
+		return nil, fmt.Errorf("spec: %d tasks", tasks)
+	}
+	grid := s.Grid
+	if grid == nil {
+		grid = s.factorGrid(tasks)
+	}
+	prod := 1
+	for _, g := range grid {
+		prod *= g
+	}
+	if prod != tasks {
+		return nil, fmt.Errorf("spec: array %q grid %v spans %d tasks, have %d (a fully collapsed array can live on 1 task only)",
+			s.Name, grid, prod, tasks)
+	}
+
+	hasCyclic, hasSizes := false, false
+	for _, a := range s.Axes {
+		if a.Kind == AxisCyclic {
+			hasCyclic = true
+		}
+		if len(a.Sizes) > 0 {
+			hasSizes = true
+		}
+	}
+	if hasCyclic && hasSizes {
+		return nil, fmt.Errorf("spec: array %q mixes cyclic and gen-block axes", s.Name)
+	}
+	var d *dist.Distribution
+	var err error
+	switch {
+	case hasSizes:
+		// Gen-block: every axis becomes an explicit block-length list.
+		sizes := make([][]int, len(s.Axes))
+		for i, a := range s.Axes {
+			switch {
+			case len(a.Sizes) > 0:
+				sizes[i] = a.Sizes
+			case a.Kind == AxisCollapsed:
+				sizes[i] = []int{s.Shape[i]}
+			default: // plain block: near-equal lengths over grid[i] rows
+				k := grid[i]
+				base, rem := s.Shape[i]/k, s.Shape[i]%k
+				for j := 0; j < k; j++ {
+					n := base
+					if j < rem {
+						n++
+					}
+					sizes[i] = append(sizes[i], n)
+				}
+			}
+		}
+		d, err = dist.GenBlock(s.Global(), sizes)
+	case hasCyclic:
+		blocks := make([]int, len(s.Axes))
+		for i, a := range s.Axes {
+			switch a.Kind {
+			case AxisCyclic:
+				blocks[i] = a.Block
+			default:
+				// Emulate a block axis: one block per grid row, sized to
+				// ceil(extent/grid).
+				blocks[i] = (s.Shape[i] + grid[i] - 1) / grid[i]
+			}
+		}
+		d, err = dist.BlockCyclic(s.Global(), grid, blocks)
+	default:
+		d, err = dist.Block(s.Global(), grid)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spec: array %q: %w", s.Name, err)
+	}
+	if s.Shadow != nil {
+		w := make([]int, len(s.Shadow))
+		for i, v := range s.Shadow {
+			if grid[i] > 1 {
+				w[i] = v
+			}
+		}
+		if d, err = d.WithShadow(w); err != nil {
+			return nil, fmt.Errorf("spec: array %q: %w", s.Name, err)
+		}
+	}
+	return d, nil
+}
+
+// factorGrid distributes the task count over the distributable axes.
+// Axes with explicit gen-block sizes have their grid extent pinned to the
+// block count; the remaining tasks factor over the other axes.
+func (s ArraySpec) factorGrid(tasks int) []int {
+	grid := make([]int, len(s.Shape))
+	for i := range grid {
+		grid[i] = 1
+	}
+	fixed := 1
+	for i, a := range s.Axes {
+		if len(a.Sizes) > 0 {
+			grid[i] = len(a.Sizes)
+			fixed *= grid[i]
+		}
+	}
+	if fixed > 1 {
+		if tasks%fixed != 0 {
+			return grid // product mismatch surfaces as the task-count error
+		}
+		tasks /= fixed
+	}
+	var idx []int
+	var shape []int
+	for i, a := range s.Axes {
+		if a.Kind != AxisCollapsed && len(a.Sizes) == 0 {
+			idx = append(idx, i)
+			shape = append(shape, s.Shape[i])
+		}
+	}
+	if len(idx) == 0 {
+		// Everything collapsed: only 1 task can hold it... still allow by
+		// assigning the whole array to each task? The model forbids
+		// overlapping assignment, so collapse to task count 1 semantics:
+		// grid of ones works only for tasks == 1; Distribution will fail
+		// otherwise, which is the right error.
+		return grid
+	}
+	sub := dist.FactorGrid(tasks, len(idx), shape)
+	for k, i := range idx {
+		grid[i] = sub[k]
+	}
+	return grid
+}
+
+// String renders the spec back in its source syntax.
+func (s ArraySpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "array %s %s shape (%s) distribute (", s.Name, s.Kind, joinInts(s.Shape))
+	for i, a := range s.Axes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch a.Kind {
+		case AxisCollapsed:
+			b.WriteByte('*')
+		case AxisBlock:
+			if len(a.Sizes) > 0 {
+				fmt.Fprintf(&b, "block(%s)", joinInts(a.Sizes))
+			} else {
+				b.WriteString("block")
+			}
+		case AxisCyclic:
+			if a.Block == 1 {
+				b.WriteString("cyclic")
+			} else {
+				fmt.Fprintf(&b, "cyclic(%d)", a.Block)
+			}
+		}
+	}
+	b.WriteByte(')')
+	if s.Shadow != nil {
+		fmt.Fprintf(&b, " shadow (%s)", joinInts(s.Shadow))
+	}
+	if s.Grid != nil {
+		fmt.Fprintf(&b, " onto (%s)", joinInts(s.Grid))
+	}
+	return b.String()
+}
+
+func joinInts(v []int) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,216 @@
+// Package steer builds computational steering and inter-application
+// communication on top of DRMS array-section streaming, the two other
+// uses the paper lists for the primitive (§3.1: "The array assignment
+// operation is used in DRMS to implement ... computational steering,
+// inter-application communication, and ... scalable checkpointing";
+// §3.2: streaming "has been used to implement computational steering and
+// inter-application communication capabilities").
+//
+// A Channel is a named, versioned section stream on the shared parallel
+// file system. A running SPMD application Publishes a section of a
+// distributed array (collective, parallel streaming, distribution
+// independent); any consumer — an Observer attached from outside the
+// application, or another SPMD application Fetching into its own
+// differently-distributed array — sees atomically versioned snapshots.
+// Writers alternate between two data files and commit by rewriting the
+// small header last, so a reader never observes a torn frame.
+package steer
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"drms/internal/array"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/stream"
+)
+
+// Header describes the latest committed frame of a channel.
+type Header struct {
+	Seq     int64 // frame number, starting at 1
+	Section rangeset.Slice
+	Kind    string // element type name
+	Order   rangeset.Order
+	Bytes   int64 // frame payload size
+}
+
+func hdrFile(ch string) string { return ch + ".hdr" }
+func dataFile(ch string, seq int64) string {
+	return fmt.Sprintf("%s.data%d", ch, seq%2)
+}
+
+// readHeader fetches the current header; ok=false when the channel has
+// never been published.
+func readHeader(fs *pfs.System, ch string, client int) (Header, bool, error) {
+	var h Header
+	sz, err := fs.Size(hdrFile(ch))
+	if err != nil {
+		return h, false, nil // not yet published
+	}
+	buf := make([]byte, sz)
+	if err := fs.ReadAt(client, hdrFile(ch), buf, 0); err != nil {
+		return h, false, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&h); err != nil {
+		return h, false, fmt.Errorf("steer: corrupt header on channel %q: %w", ch, err)
+	}
+	return h, true, nil
+}
+
+func writeHeader(fs *pfs.System, ch string, client int, h Header) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+		return err
+	}
+	fs.Create(hdrFile(ch))
+	return fs.WriteAt(client, hdrFile(ch), buf.Bytes(), 0)
+}
+
+// Publish commits section x of array a as the channel's next frame.
+// Collective over a's communicator; returns the committed sequence
+// number. The previous frame remains readable until the one after next
+// overwrites its buffer.
+func Publish[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, channel string, o stream.Options) (int64, error) {
+	comm := a.Comm()
+	var seq int64 = 1
+	if comm.Rank() == 0 {
+		if h, ok, err := readHeader(fs, channel, 0); err != nil {
+			return 0, err
+		} else if ok {
+			seq = h.Seq + 1
+		}
+	}
+	seq = int64(comm.AllreduceF64(float64(seq), maxOp))
+	st, err := stream.Write(a, x, fs, dataFile(channel, seq), o)
+	if err != nil {
+		return 0, fmt.Errorf("steer: publishing %q frame %d: %w", channel, seq, err)
+	}
+	comm.Barrier() // every writer's piece is on the file system
+	if comm.Rank() == 0 {
+		h := Header{Seq: seq, Section: x, Kind: array.ElemKind[T](),
+			Order: o.Order, Bytes: st.StreamBytes}
+		if err := writeHeader(fs, channel, 0, h); err != nil {
+			return 0, err
+		}
+	}
+	comm.Barrier() // commit visible before any task proceeds
+	return seq, nil
+}
+
+// Fetch loads the channel's latest frame into array a (which may have any
+// distribution and task count). Collective. Returns the frame's sequence
+// number, or 0 with no error if the channel has never been published.
+func Fetch[T array.Elem](a *array.Array[T], fs *pfs.System, channel string, o stream.Options) (int64, error) {
+	comm := a.Comm()
+	var h Header
+	var status float64 // 0 none, 1 ok, -1 error
+	var encoded []byte
+	if comm.Rank() == 0 {
+		hh, ok, err := readHeader(fs, channel, 0)
+		switch {
+		case err != nil:
+			status = -1
+		case ok:
+			status = 1
+			h = hh
+			var buf bytes.Buffer
+			gob.NewEncoder(&buf).Encode(hh)
+			encoded = buf.Bytes()
+		}
+	}
+	status = comm.AllreduceF64(status, maxOp)
+	if status < 0 {
+		return 0, fmt.Errorf("steer: channel %q header unreadable", channel)
+	}
+	if status == 0 {
+		return 0, nil
+	}
+	encoded = comm.Bcast(0, encoded)
+	if comm.Rank() != 0 {
+		if err := gob.NewDecoder(bytes.NewReader(encoded)).Decode(&h); err != nil {
+			return 0, err
+		}
+	}
+	if h.Kind != array.ElemKind[T]() {
+		return 0, fmt.Errorf("steer: channel %q carries %s, array %q holds %s",
+			channel, h.Kind, a.Name(), array.ElemKind[T]())
+	}
+	ro := o
+	ro.Order = h.Order
+	if _, err := stream.Read(a, h.Section, fs, dataFile(channel, h.Seq), ro); err != nil {
+		return 0, fmt.Errorf("steer: fetching %q frame %d: %w", channel, h.Seq, err)
+	}
+	return h.Seq, nil
+}
+
+func maxOp(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Observer is a non-collective consumer outside any SPMD application — a
+// monitoring UI, a coupler, the "scientist's" end of the steering loop.
+type Observer struct {
+	FS      *pfs.System
+	Channel string
+}
+
+// Latest returns the channel's newest frame header and raw payload (the
+// section's linearization). ok=false if nothing has been published.
+func (ob *Observer) Latest() (Header, []byte, bool, error) {
+	h, ok, err := readHeader(ob.FS, ob.Channel, 0)
+	if err != nil || !ok {
+		return h, nil, ok, err
+	}
+	buf := make([]byte, h.Bytes)
+	if err := ob.FS.ReadAt(0, dataFile(ob.Channel, h.Seq), buf, 0); err != nil {
+		return h, nil, true, err
+	}
+	return h, buf, true, nil
+}
+
+// WaitSeq polls until the channel's sequence reaches at least minSeq.
+func (ob *Observer) WaitSeq(minSeq int64, timeout time.Duration) (Header, []byte, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		h, data, ok, err := ob.Latest()
+		if err != nil {
+			return h, nil, err
+		}
+		if ok && h.Seq >= minSeq {
+			return h, data, nil
+		}
+		if time.Now().After(deadline) {
+			return h, nil, fmt.Errorf("steer: channel %q did not reach frame %d in %v",
+				ob.Channel, minSeq, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Inject publishes a frame from outside any application: the observer's
+// half of the steering loop. vals are the section's elements in the given
+// order; a running application picks them up with Fetch.
+func Inject[T array.Elem](fs *pfs.System, channel string, x rangeset.Slice, order rangeset.Order, vals []T) (int64, error) {
+	if len(vals) != x.Size() {
+		return 0, fmt.Errorf("steer: inject of %d values into a %d-element section", len(vals), x.Size())
+	}
+	var seq int64 = 1
+	if h, ok, err := readHeader(fs, channel, 0); err != nil {
+		return 0, err
+	} else if ok {
+		seq = h.Seq + 1
+	}
+	data := array.EncodeElems(vals)
+	fs.Create(dataFile(channel, seq))
+	if err := fs.WriteAt(0, dataFile(channel, seq), data, 0); err != nil {
+		return 0, err
+	}
+	h := Header{Seq: seq, Section: x, Kind: array.ElemKind[T](), Order: order, Bytes: int64(len(data))}
+	return seq, writeHeader(fs, channel, 0, h)
+}

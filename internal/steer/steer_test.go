@@ -1,0 +1,233 @@
+package steer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"drms/internal/array"
+	"drms/internal/dist"
+	"drms/internal/msg"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/stream"
+)
+
+func testFS() *pfs.System {
+	return pfs.NewSystem(pfs.Config{Servers: 4, StripeUnit: 256})
+}
+
+func coordVal(c []int) float64 {
+	v := 0.0
+	for i, x := range c {
+		v = v*100 + float64(x) + float64(i)
+	}
+	return v
+}
+
+func mustBlock(g rangeset.Slice, grid []int) *dist.Distribution {
+	d, err := dist.Block(g, grid)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestPublishObserveSequence(t *testing.T) {
+	fs := testFS()
+	g := rangeset.Box([]int{0, 0}, []int{7, 7})
+	msg.Run(4, func(c *msg.Comm) {
+		a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 2}))
+		if err != nil {
+			panic(err)
+		}
+		for frame := 1; frame <= 3; frame++ {
+			a.Fill(func(cd []int) float64 { return coordVal(cd) + float64(frame)*1000 })
+			seq, err := Publish(a, g, fs, "probe", stream.Options{PieceBytes: 128})
+			if err != nil {
+				panic(err)
+			}
+			if seq != int64(frame) {
+				panic(fmt.Sprintf("seq = %d, want %d", seq, frame))
+			}
+		}
+	})
+
+	ob := &Observer{FS: fs, Channel: "probe"}
+	h, data, ok, err := ob.Latest()
+	if err != nil || !ok {
+		t.Fatalf("Latest: %v ok=%v", err, ok)
+	}
+	if h.Seq != 3 || h.Kind != "float64" || h.Bytes != int64(g.Size()*8) {
+		t.Fatalf("header %+v", h)
+	}
+	vals := array.DecodeElems[float64](data)
+	for off, v := range vals {
+		cd := g.Coord(off, rangeset.ColMajor)
+		if v != coordVal(cd)+3000 {
+			t.Fatalf("frame 3 element %v = %v", cd, v)
+		}
+	}
+}
+
+func TestObserverOnEmptyChannel(t *testing.T) {
+	ob := &Observer{FS: testFS(), Channel: "nothing"}
+	_, _, ok, err := ob.Latest()
+	if err != nil || ok {
+		t.Fatalf("empty channel: ok=%v err=%v", ok, err)
+	}
+	if _, _, err := ob.WaitSeq(1, 5*time.Millisecond); err == nil {
+		t.Fatal("WaitSeq on silent channel succeeded")
+	}
+}
+
+func TestInterApplicationTransfer(t *testing.T) {
+	// Application A (4 tasks, one distribution) publishes; application B
+	// (3 tasks, another distribution) fetches — the paper's
+	// inter-application communication, distribution independent.
+	fs := testFS()
+	g := rangeset.Box([]int{0, 0}, []int{11, 11})
+	msg.Run(4, func(c *msg.Comm) {
+		a, err := array.New[float64](c, "u", mustBlock(g, []int{4, 1}))
+		if err != nil {
+			panic(err)
+		}
+		a.Fill(coordVal)
+		if _, err := Publish(a, g, fs, "coupling", stream.Options{}); err != nil {
+			panic(err)
+		}
+	})
+	msg.Run(3, func(c *msg.Comm) {
+		b, err := array.New[float64](c, "v", mustBlock(g, []int{1, 3}))
+		if err != nil {
+			panic(err)
+		}
+		seq, err := Fetch(b, fs, "coupling", stream.Options{})
+		if err != nil {
+			panic(err)
+		}
+		if seq != 1 {
+			panic(fmt.Sprintf("seq %d", seq))
+		}
+		b.Mapped().Each(rangeset.ColMajor, func(cd []int) {
+			if b.At(cd) != coordVal(cd) {
+				panic("inter-application transfer corrupted values")
+			}
+		})
+	})
+}
+
+func TestFetchTypeMismatchAndEmpty(t *testing.T) {
+	fs := testFS()
+	g := rangeset.Box([]int{0}, []int{9})
+	msg.Run(2, func(c *msg.Comm) {
+		a, _ := array.New[float64](c, "u", mustBlock(g, []int{2}))
+		// Empty channel: seq 0, no error.
+		if seq, err := Fetch(a, fs, "silent", stream.Options{}); err != nil || seq != 0 {
+			panic(fmt.Sprintf("empty fetch: %d, %v", seq, err))
+		}
+		if _, err := Publish(a, g, fs, "floats", stream.Options{}); err != nil {
+			panic(err)
+		}
+		wrong, _ := array.New[int32](c, "w", mustBlock(g, []int{2}))
+		if _, err := Fetch(wrong, fs, "floats", stream.Options{}); err == nil {
+			panic("type mismatch accepted")
+		}
+	})
+}
+
+func TestSteeringLoopInjectFetch(t *testing.T) {
+	// The full steering loop: the application publishes, the observer
+	// watches and injects a control section, the application fetches and
+	// applies it — concurrently.
+	fs := testFS()
+	g := rangeset.Box([]int{0}, []int{15})
+	ctl := rangeset.NewSlice(rangeset.Span(0, 3))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	obErr := make(chan error, 1)
+	go func() { // the scientist
+		defer wg.Done()
+		ob := &Observer{FS: fs, Channel: "state"}
+		if _, _, err := ob.WaitSeq(1, 10*time.Second); err != nil {
+			obErr <- err
+			return
+		}
+		if _, err := Inject(fs, "knob", ctl, rangeset.ColMajor, []float64{9, 9, 9, 9}); err != nil {
+			obErr <- err
+		}
+	}()
+
+	msg.Run(2, func(c *msg.Comm) {
+		a, err := array.New[float64](c, "u", mustBlock(g, []int{2}))
+		if err != nil {
+			panic(err)
+		}
+		a.Fill(func(cd []int) float64 { return float64(cd[0]) })
+		if _, err := Publish(a, g, fs, "state", stream.Options{}); err != nil {
+			panic(err)
+		}
+		// Poll the knob channel until the injection lands.
+		for {
+			seq, err := Fetch(a, fs, "knob", stream.Options{})
+			if err != nil {
+				panic(err)
+			}
+			if seq > 0 {
+				break
+			}
+			c.Barrier()
+		}
+		// The steered section took the injected values; the rest did not.
+		a.Mapped().Each(rangeset.ColMajor, func(cd []int) {
+			want := float64(cd[0])
+			if cd[0] <= 3 {
+				want = 9
+			}
+			if a.At(cd) != want {
+				panic(fmt.Sprintf("element %v = %v, want %v", cd, a.At(cd), want))
+			}
+		})
+	})
+	wg.Wait()
+	select {
+	case err := <-obErr:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestDoubleBufferKeepsPreviousFrameIntactDuringWrite(t *testing.T) {
+	// Frames alternate between two data files; publishing frame n+1 does
+	// not touch frame n's bytes, so a reader holding the old header can
+	// still read a consistent frame.
+	fs := testFS()
+	g := rangeset.Box([]int{0}, []int{31})
+	msg.Run(2, func(c *msg.Comm) {
+		a, _ := array.New[float64](c, "u", mustBlock(g, []int{2}))
+		a.Fill(func(cd []int) float64 { return 1 })
+		if _, err := Publish(a, g, fs, "ch", stream.Options{}); err != nil {
+			panic(err)
+		}
+		a.Fill(func(cd []int) float64 { return 2 })
+		if _, err := Publish(a, g, fs, "ch", stream.Options{}); err != nil {
+			panic(err)
+		}
+	})
+	// Frame 1 lives in data1, frame 2 in data0 — both present.
+	b1 := make([]byte, 8)
+	if err := fs.ReadAt(0, "ch.data1", b1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if array.DecodeElems[float64](b1)[0] != 1 {
+		t.Fatal("frame 1 overwritten")
+	}
+	if err := fs.ReadAt(0, "ch.data0", b1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if array.DecodeElems[float64](b1)[0] != 2 {
+		t.Fatal("frame 2 missing")
+	}
+}

@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"drms/internal/array"
+	"drms/internal/dist"
+	"drms/internal/msg"
+	"drms/internal/rangeset"
+)
+
+// Sequential-channel streaming (§3.2): "serial streaming does not require
+// seek capability for the output stream, as each streaming operation can
+// simply append to the previous one. Because of this characteristic,
+// serial streaming can be performed through a sequential channel, such as
+// a UNIX socket or tape drive."
+//
+// WriteTo and ReadFrom implement exactly that: the same
+// partition/redistribute machinery as parallel streaming, but with one
+// designated I/O task appending to (or consuming from) a plain io.Writer
+// / io.Reader — a TCP connection, a pipe, a tape. Only the I/O task's
+// channel argument is used; the other tasks pass nil and participate in
+// the redistribution rounds.
+
+// WriteTo streams section x of a in linearization order to w, which only
+// task ioTask needs to provide. Collective. Returns this task's stats.
+func WriteTo[T array.Elem](a *array.Array[T], x rangeset.Slice, w io.Writer, ioTask int, o Options) (Stats, error) {
+	comm, err := commOf(a, x)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := checkIOTask(comm, ioTask); err != nil {
+		return Stats{}, err
+	}
+	if comm.Rank() == ioTask && w == nil {
+		return Stats{}, fmt.Errorf("stream: I/O task %d has no writer", ioTask)
+	}
+	es := array.ElemSize[T]()
+	pieces, _, total := plan(x, es, 1, o)
+	st := Stats{StreamBytes: total, Pieces: len(pieces)}
+	me := comm.Rank()
+
+	for i, piece := range pieces {
+		aux, ad, err := auxOnTask[T](a, piece, ioTask)
+		if err != nil {
+			return st, err
+		}
+		st.NetBytes += assignTraffic(a.Dist(), ad, me, es, nil)
+		if err := array.Assign(aux, a); err != nil {
+			return st, err
+		}
+		if me == ioTask && !piece.Empty() {
+			buf := aux.PackSection(piece, o.Order)
+			if o.PieceHook != nil {
+				o.PieceHook(i, 0, buf)
+			}
+			if _, err := w.Write(buf); err != nil {
+				return st, fmt.Errorf("stream: sequential write of piece %d: %w", i, err)
+			}
+		}
+	}
+	return st, nil
+}
+
+// ReadFrom streams section x into a from r, the inverse of WriteTo. The
+// channel must deliver the section's linearization (same order, element
+// type and piece-independent layout). Collective.
+func ReadFrom[T array.Elem](a *array.Array[T], x rangeset.Slice, r io.Reader, ioTask int, o Options) (Stats, error) {
+	comm, err := commOf(a, x)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := checkIOTask(comm, ioTask); err != nil {
+		return Stats{}, err
+	}
+	if comm.Rank() == ioTask && r == nil {
+		return Stats{}, fmt.Errorf("stream: I/O task %d has no reader", ioTask)
+	}
+	es := array.ElemSize[T]()
+	pieces, _, total := plan(x, es, 1, o)
+	st := Stats{StreamBytes: total, Pieces: len(pieces)}
+	me := comm.Rank()
+
+	for i, piece := range pieces {
+		aux, ad, err := auxOnTask[T](a, piece, ioTask)
+		if err != nil {
+			return st, err
+		}
+		if me == ioTask && !piece.Empty() {
+			buf := make([]byte, piece.Size()*es)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return st, fmt.Errorf("stream: sequential read of piece %d: %w", i, err)
+			}
+			if o.PieceHook != nil {
+				o.PieceHook(i, 0, buf)
+			}
+			aux.UnpackSection(piece, o.Order, buf)
+		}
+		st.NetBytes += assignTraffic(ad, a.Dist(), me, es, nil)
+		if err := array.Assign(a, aux); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+func checkIOTask(comm *msg.Comm, ioTask int) error {
+	if ioTask < 0 || ioTask >= comm.Size() {
+		return fmt.Errorf("stream: I/O task %d outside 0..%d", ioTask, comm.Size()-1)
+	}
+	return nil
+}
+
+// auxOnTask builds the canonical one-piece auxiliary array with the piece
+// assigned to the designated I/O task.
+func auxOnTask[T array.Elem](a *array.Array[T], piece rangeset.Slice, ioTask int) (*array.Array[T], *dist.Distribution, error) {
+	n := a.Comm().Size()
+	assigned := make([]rangeset.Slice, n)
+	empty := a.Global().EmptyLike()
+	for i := range assigned {
+		if i == ioTask {
+			assigned[i] = piece
+		} else {
+			assigned[i] = empty
+		}
+	}
+	ad, err := dist.Irregular(a.Global(), assigned, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	aux, err := array.New[T](a.Comm(), a.Name()+".seq", ad)
+	if err != nil {
+		return nil, nil, err
+	}
+	return aux, ad, nil
+}

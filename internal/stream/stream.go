@@ -1,0 +1,260 @@
+// Package stream implements DRMS parallel array-section streaming (§3.2
+// of the paper): moving the elements of a section of a distributed array
+// in or out of an application in a distribution-independent linear order.
+//
+// The output stream of a section depends only on the section and the
+// chosen element order (FORTRAN column-major or C row-major), never on
+// how the array is distributed — that property is what lets an
+// application checkpointed on t1 tasks restart on t2.
+//
+// Write implements the paper's two algorithms: the section is recursively
+// bisected into ~1 MB pieces whose concatenated linearizations equal the
+// section's linearization (partition, Fig. 5a); then rounds of P pieces
+// are first redistributed so that piece i+p lands wholly on task p (an
+// auxiliary array with a one-piece-per-writer canonical distribution) and
+// written by that task at the piece's exact byte offset in the stream
+// (parstream, Fig. 5b — the two-phase access strategy). Parallel
+// streaming needs seek capability on the target; with Writers=1 the
+// stream degenerates to pure appends, suitable for sequential channels.
+package stream
+
+import (
+	"fmt"
+
+	"drms/internal/array"
+	"drms/internal/dist"
+	"drms/internal/msg"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+)
+
+// DefaultPieceBytes is the target size of one streamed piece. The paper
+// chooses pieces of approximately 1 MB: large enough to amortize
+// per-operation overhead, small enough to bound intermediate buffer
+// memory.
+const DefaultPieceBytes = 1 << 20
+
+// Options control a streaming operation.
+type Options struct {
+	// Writers is P, the number of tasks performing file I/O. 0 means all
+	// tasks; values above the task count are clamped. Writers=1 is serial
+	// streaming (append-only, no seek needed).
+	Writers int
+	// Order is the element linearization convention. The zero value is
+	// FORTRAN-style column-major, matching the paper's presentation.
+	Order rangeset.Order
+	// PieceBytes is the target piece size (DefaultPieceBytes if 0).
+	PieceBytes int
+	// BaseOffset is the byte position in the file where the stream
+	// begins; the checkpoint layer places headers before it.
+	BaseOffset int64
+	// PieceHook, if non-nil, is invoked by the writing (or reading) task
+	// with each piece's index, stream-relative byte offset, and contents,
+	// before the buffer is reused. The checkpoint layer uses it to
+	// compute integrity checksums without a second pass over the data.
+	PieceHook func(index int, offset int64, data []byte)
+	// SkipPiece, if non-nil, lets a writer elide the file write of a
+	// piece whose bytes are already on the stream target (incremental
+	// checkpointing): return true to skip. offset is the piece's
+	// stream-relative byte position — skip decisions must match on it,
+	// not just the index, because different piece plans number different
+	// extents. The redistribution still happens and PieceHook still
+	// fires, so checksums stay complete. Ignored by Read.
+	SkipPiece func(index int, offset int64, data []byte) bool
+}
+
+// Stats reports what a streaming operation moved.
+type Stats struct {
+	// StreamBytes is the size of the streamed section in bytes.
+	StreamBytes int64
+	// NetBytes is the redistribution traffic this task sent to other
+	// tasks during the two-phase exchange.
+	NetBytes int64
+	// Pieces is the number of pieces the section was partitioned into.
+	Pieces int
+	// SkippedBytes counts piece bytes this task elided via SkipPiece.
+	SkippedBytes int64
+}
+
+func (o Options) pieceBytes() int {
+	if o.PieceBytes <= 0 {
+		return DefaultPieceBytes
+	}
+	return o.PieceBytes
+}
+
+func (o Options) writers(tasks int) int {
+	if o.Writers <= 0 || o.Writers > tasks {
+		return tasks
+	}
+	return o.Writers
+}
+
+// plan computes the piece decomposition and per-piece byte offsets for
+// section x of an array with the given element size. m is chosen so each
+// piece is at most ~PieceBytes, but never below the writer count, "in
+// order to exploit parallelism" (§3.2). The byte layout of the stream is
+// independent of m: offsets are prefix sums over a partition whose
+// concatenated linearizations equal the section's linearization, so a
+// reader may replan with any m and still address the same bytes.
+func plan(x rangeset.Slice, elemSize, writers int, o Options) (pieces []rangeset.Slice, offsets []int64, total int64) {
+	if x.Empty() {
+		return nil, nil, 0
+	}
+	bytes := int64(x.Size()) * int64(elemSize)
+	m := int((bytes + int64(o.pieceBytes()) - 1) / int64(o.pieceBytes()))
+	m = max(m, writers)
+	pieces = x.Partition(m, o.Order)
+	offsets = make([]int64, len(pieces))
+	off := o.BaseOffset
+	for i, p := range pieces {
+		offsets[i] = off
+		off += int64(p.Size()) * int64(elemSize)
+	}
+	return pieces, offsets, bytes
+}
+
+// Write streams section x of array a to the named file on fs. It is a
+// collective operation: every task of a's communicator must call it with
+// identical arguments. The resulting file bytes depend only on x, the
+// element type and the order — not on a's distribution or on Writers.
+func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, name string, o Options) (Stats, error) {
+	comm, err := commOf(a, x)
+	if err != nil {
+		return Stats{}, err
+	}
+	es := array.ElemSize[T]()
+	p := o.writers(comm.Size())
+	pieces, offsets, total := plan(x, es, p, o)
+	st := Stats{StreamBytes: total, Pieces: len(pieces)}
+	me := comm.Rank()
+
+	for base := 0; base < len(pieces); base += p {
+		round := pieces[base:min(base+p, len(pieces))]
+		aux, ad, err := auxArray[T](a, round)
+		if err != nil {
+			return st, err
+		}
+		st.NetBytes += assignTraffic(a.Dist(), ad, me, es, fs)
+		if err := array.Assign(aux, a); err != nil {
+			return st, err
+		}
+		// Each writer holds its piece contiguously; emit it at the exact
+		// stream offset (parallel streaming requires seek, §3.2).
+		if me < len(round) && !round[me].Empty() {
+			buf := aux.PackSection(round[me], o.Order)
+			if o.PieceHook != nil {
+				o.PieceHook(base+me, offsets[base+me]-o.BaseOffset, buf)
+			}
+			if o.SkipPiece != nil && o.SkipPiece(base+me, offsets[base+me]-o.BaseOffset, buf) {
+				st.SkippedBytes += int64(len(buf))
+			} else if err := fs.WriteAt(me, name, buf, offsets[base+me]); err != nil {
+				return st, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// Read streams section x into array a from the named file on fs, the
+// inverse of Write. The file must hold the section's linearization (same
+// order and element type) starting at BaseOffset — it may have been
+// written with a different distribution and a different number of tasks.
+// Elements of a outside x are untouched. Collective.
+func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, name string, o Options) (Stats, error) {
+	comm, err := commOf(a, x)
+	if err != nil {
+		return Stats{}, err
+	}
+	es := array.ElemSize[T]()
+	p := o.writers(comm.Size())
+	pieces, offsets, total := plan(x, es, p, o)
+	st := Stats{StreamBytes: total, Pieces: len(pieces)}
+	me := comm.Rank()
+
+	for base := 0; base < len(pieces); base += p {
+		round := pieces[base:min(base+p, len(pieces))]
+		aux, ad, err := auxArray[T](a, round)
+		if err != nil {
+			return st, err
+		}
+		if me < len(round) && !round[me].Empty() {
+			buf := make([]byte, round[me].Size()*es)
+			if err := fs.ReadAt(me, name, buf, offsets[base+me]); err != nil {
+				return st, err
+			}
+			if o.PieceHook != nil {
+				o.PieceHook(base+me, offsets[base+me]-o.BaseOffset, buf)
+			}
+			aux.UnpackSection(round[me], o.Order, buf)
+		}
+		st.NetBytes += assignTraffic(ad, a.Dist(), me, es, fs)
+		if err := array.Assign(a, aux); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// commOf validates the section against the array and returns the
+// communicator.
+func commOf[T array.Elem](a *array.Array[T], x rangeset.Slice) (*msg.Comm, error) {
+	if x.Rank() != a.Global().Rank() {
+		return nil, fmt.Errorf("stream: section rank %d != array rank %d", x.Rank(), a.Global().Rank())
+	}
+	if !x.Intersect(a.Global()).Equal(x) {
+		return nil, fmt.Errorf("stream: section %v exceeds array space %v", x, a.Global())
+	}
+	return a.Comm(), nil
+}
+
+// auxArray builds the canonical auxiliary array A' for one streaming
+// round: task p's assigned and mapped section is round[p]; tasks beyond
+// the round get empty sections (they still participate in the
+// redistribution, as they may hold elements of the pieces — Fig. 5b
+// resets their slices to empty each iteration).
+func auxArray[T array.Elem](a *array.Array[T], round []rangeset.Slice) (*array.Array[T], *dist.Distribution, error) {
+	n := a.Comm().Size()
+	assigned := make([]rangeset.Slice, n)
+	empty := a.Global().EmptyLike()
+	for i := range assigned {
+		if i < len(round) {
+			assigned[i] = round[i]
+		} else {
+			assigned[i] = empty
+		}
+	}
+	ad, err := dist.Irregular(a.Global(), assigned, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("stream: building canonical distribution: %w", err)
+	}
+	aux, err := array.New[T](a.Comm(), a.Name()+".stream", ad)
+	if err != nil {
+		return nil, nil, err
+	}
+	return aux, ad, nil
+}
+
+// assignTraffic computes the bytes this task will send to *other* tasks
+// during Assign(dst←src) and records them in the file system's I/O trace
+// for the performance model. It returns the byte count.
+func assignTraffic(src, dst *dist.Distribution, me, elemSize int, fs *pfs.System) int64 {
+	var n int64
+	mine := src.Assigned(me)
+	if mine.Empty() {
+		return 0
+	}
+	for q := 0; q < dst.Tasks(); q++ {
+		if q == me {
+			continue
+		}
+		sec := mine.Intersect(dst.Mapped(q))
+		if !sec.Empty() {
+			n += int64(sec.Size()) * int64(elemSize)
+		}
+	}
+	if n > 0 && fs != nil {
+		fs.RecordNet(me, n)
+	}
+	return n
+}
