@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check fmt vet test race bench
+
+# The full pre-merge gauntlet: formatting, static checks, all tests,
+# and the race detector over the concurrency-bearing packages.
+check: fmt vet test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/stream ./internal/array ./internal/msg
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

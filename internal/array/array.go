@@ -104,32 +104,68 @@ func (a *Array[T]) Fill(f func(c []int) T) {
 	})
 }
 
+// runStride returns the distance in a column-major local storage of the
+// mapped section m between elements consecutive along the fastest-varying
+// axis of the given linearization order. Runs produced by
+// rangeset.Slice.Runs step by exactly this stride in local storage:
+// consecutive integers have consecutive ranks in m's fast-axis range, so
+// the stride is the constant layout stride of that axis.
+func runStride(m rangeset.Slice, order rangeset.Order) int {
+	d := m.Rank()
+	if order == rangeset.ColMajor || d <= 1 {
+		return 1 // axis 0 is the fastest-varying axis of the storage itself
+	}
+	stride := 1
+	for i := 0; i < d-1; i++ {
+		stride *= m.Axis(i).Size()
+	}
+	return stride
+}
+
 // PackSection linearizes the elements of section s (which must be a
 // subset of this task's mapped section) in the given order and returns
 // their wire encoding.
 func (a *Array[T]) PackSection(s rangeset.Slice, order rangeset.Order) []byte {
-	es := ElemSize[T]()
-	out := make([]byte, s.Size()*es)
-	i := 0
-	s.Each(order, func(c []int) {
-		putElem(out[i*es:], a.local[a.LocalIndex(c)])
-		i++
-	})
+	out := make([]byte, s.Size()*ElemSize[T]())
+	a.PackSectionInto(s, order, out)
 	return out
 }
 
+// PackSectionInto is PackSection into a caller-supplied buffer of exactly
+// the section's wire size, so hot paths (assignment, streaming) can reuse
+// buffers across operations. It moves data one maximal stride-1 run at a
+// time: a single global-to-local offset computation and a single type
+// dispatch per run, then a dense encode loop.
+func (a *Array[T]) PackSectionInto(s rangeset.Slice, order rangeset.Order, buf []byte) {
+	es := ElemSize[T]()
+	if len(buf) != s.Size()*es {
+		panic(fmt.Sprintf("array %q: section %v needs %d bytes, got %d",
+			a.name, s, s.Size()*es, len(buf)))
+	}
+	stride := runStride(a.Mapped(), order)
+	local := any(a.local) // boxed once; the per-run type switch is then free of allocation
+	o := 0
+	s.Runs(order, func(c []int, n int) {
+		encodeRun(local, buf[o:], a.LocalIndex(c), n, stride)
+		o += n * es
+	})
+}
+
 // UnpackSection stores a wire buffer produced by PackSection with the
-// same section and order into the local storage.
+// same section and order into the local storage, run by run (the exact
+// inverse of PackSectionInto).
 func (a *Array[T]) UnpackSection(s rangeset.Slice, order rangeset.Order, buf []byte) {
 	es := ElemSize[T]()
 	if len(buf) != s.Size()*es {
 		panic(fmt.Sprintf("array %q: section %v needs %d bytes, got %d",
 			a.name, s, s.Size()*es, len(buf)))
 	}
-	i := 0
-	s.Each(order, func(c []int) {
-		a.local[a.LocalIndex(c)] = getElem[T](buf[i*es:])
-		i++
+	stride := runStride(a.Mapped(), order)
+	local := any(a.local)
+	o := 0
+	s.Runs(order, func(c []int, n int) {
+		decodeRun(local, buf[o:], a.LocalIndex(c), n, stride)
+		o += n * es
 	})
 }
 
@@ -151,9 +187,12 @@ func Assign[T Elem](dst, src *Array[T]) error {
 	c := src.comm
 	p := c.Rank()
 	n := c.Size()
+	es := ElemSize[T]()
 
 	// Phase 1: pack, for every destination task q, the elements this task
-	// owns (assigned in A) that q maps in B.
+	// owns (assigned in A) that q maps in B. Buffers come from the pool;
+	// the transport copies on send, so they are recycled right after the
+	// exchange.
 	send := make([][]byte, n)
 	myAssigned := src.d.Assigned(p)
 	for q := 0; q < n; q++ {
@@ -161,15 +200,20 @@ func Assign[T Elem](dst, src *Array[T]) error {
 		if sec.Empty() {
 			continue
 		}
-		send[q] = src.PackSection(sec, rangeset.ColMajor)
+		send[q] = getBuf(sec.Size() * es)
+		src.PackSectionInto(sec, rangeset.ColMajor, send[q])
 	}
 
 	// Phase 2: exchange.
 	recv := c.Alltoall(send)
+	for _, b := range send {
+		putBuf(b)
+	}
 
 	// Phase 3: unpack what every owner q sent for this task's mapped
 	// section of B. Both sides computed the identical intersection slice,
-	// so the linearization orders agree.
+	// so the linearization orders agree. Received buffers feed the pool
+	// for the next operation's packing.
 	myMapped := dst.d.Mapped(p)
 	for q := 0; q < n; q++ {
 		sec := src.d.Assigned(q).Intersect(myMapped)
@@ -177,7 +221,30 @@ func Assign[T Elem](dst, src *Array[T]) error {
 			continue
 		}
 		dst.UnpackSection(sec, rangeset.ColMajor, recv[q])
+		putBuf(recv[q])
 	}
+	return nil
+}
+
+// Reset rebinds the handle to distribution nd, discarding all element
+// values: the local storage is resized (reusing capacity when possible)
+// and zeroed, exactly as a freshly New'd array. The streaming layer uses
+// it to recycle one auxiliary array across redistribution rounds instead
+// of allocating a fresh array per round. Every task must Reset with the
+// same distribution (SPMD), like New.
+func (a *Array[T]) Reset(nd *dist.Distribution) error {
+	if nd.Tasks() != a.comm.Size() {
+		return fmt.Errorf("array %q: distribution spans %d tasks but communicator has %d",
+			a.name, nd.Tasks(), a.comm.Size())
+	}
+	n := nd.Mapped(a.comm.Rank()).Size()
+	if cap(a.local) >= n {
+		a.local = a.local[:n]
+		clear(a.local) // fresh-array semantics: undefined elements read as zero
+	} else {
+		a.local = make([]T, n)
+	}
+	a.d = nd
 	return nil
 }
 
@@ -209,32 +276,39 @@ func (a *Array[T]) ExchangeShadows() error {
 func (a *Array[T]) Gather(root int, order rangeset.Order) []T {
 	c := a.comm
 	p := c.Rank()
-	// Each task packs its assigned section in the global order together
-	// with the global offsets; root scatters them into place. Offsets are
-	// implied: root recomputes each sender's section identically.
-	buf := a.PackSection(a.Assigned(), order)
+	es := ElemSize[T]()
+	// Each task packs its assigned section in the global order; root
+	// scatters them into place. Offsets are implied: root recomputes each
+	// sender's section identically.
+	buf := getBuf(a.Assigned().Size() * es)
+	a.PackSectionInto(a.Assigned(), order, buf)
 	parts := c.Gather(root, buf)
+	putBuf(buf)
 	if p != root {
 		return nil
 	}
-	es := ElemSize[T]()
 	out := make([]T, a.Global().Size())
+	boxed := any(out)
 	g := a.Global()
 	for q := 0; q < c.Size(); q++ {
 		sec := a.d.Assigned(q)
 		if sec.Empty() {
 			continue
 		}
+		// The destination is the dense global space linearized in the same
+		// order the runs follow, so each run lands at consecutive global
+		// offsets: one offset computation and one bulk decode per run.
 		i := 0
 		part := parts[q]
-		sec.Each(order, func(cd []int) {
+		sec.Runs(order, func(cd []int, n int) {
 			off, ok := g.Offset(cd, order)
 			if !ok {
 				panic("array: assigned element outside global space")
 			}
-			out[off] = getElem[T](part[i*es:])
-			i++
+			decodeRun(boxed, part[i*es:], off, n, 1)
+			i += n
 		})
+		putBuf(part)
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package array
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 )
 
@@ -82,9 +83,7 @@ func getElem[T Elem](buf []byte) T {
 func EncodeElems[T Elem](vs []T) []byte {
 	es := ElemSize[T]()
 	out := make([]byte, len(vs)*es)
-	for i, v := range vs {
-		putElem(out[i*es:], v)
-	}
+	encodeRun(any(vs), out, 0, len(vs), 1)
 	return out
 }
 
@@ -92,8 +91,126 @@ func EncodeElems[T Elem](vs []T) []byte {
 func DecodeElems[T Elem](buf []byte) []T {
 	es := ElemSize[T]()
 	out := make([]T, len(buf)/es)
-	for i := range out {
-		out[i] = getElem[T](buf[i*es:])
-	}
+	decodeRun(any(out), buf, 0, len(out), 1)
 	return out
+}
+
+// encodeRun is the bulk encoder behind the pack fast path: it encodes n
+// elements of the boxed slice src (one of the Elem slice types), starting
+// at index base and stepping by stride, into dst little-endian. The type
+// switch runs once per run instead of once per element; src is passed
+// pre-boxed so hot loops pay no per-run interface conversion either.
+// stride 1 is the overwhelmingly common case (column-major packing of a
+// column-major section) and gets dedicated dense loops.
+func encodeRun(src any, dst []byte, base, n, stride int) {
+	switch s := src.(type) {
+	case []float64:
+		if stride == 1 {
+			for i, v := range s[base : base+n] {
+				binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+			}
+			return
+		}
+		for i, j := 0, base; i < n; i, j = i+1, j+stride {
+			binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(s[j]))
+		}
+	case []float32:
+		if stride == 1 {
+			for i, v := range s[base : base+n] {
+				binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+			}
+			return
+		}
+		for i, j := 0, base; i < n; i, j = i+1, j+stride {
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(s[j]))
+		}
+	case []int64:
+		if stride == 1 {
+			for i, v := range s[base : base+n] {
+				binary.LittleEndian.PutUint64(dst[8*i:], uint64(v))
+			}
+			return
+		}
+		for i, j := 0, base; i < n; i, j = i+1, j+stride {
+			binary.LittleEndian.PutUint64(dst[8*i:], uint64(s[j]))
+		}
+	case []int32:
+		if stride == 1 {
+			for i, v := range s[base : base+n] {
+				binary.LittleEndian.PutUint32(dst[4*i:], uint32(v))
+			}
+			return
+		}
+		for i, j := 0, base; i < n; i, j = i+1, j+stride {
+			binary.LittleEndian.PutUint32(dst[4*i:], uint32(s[j]))
+		}
+	case []uint8:
+		if stride == 1 {
+			copy(dst[:n], s[base:base+n])
+			return
+		}
+		for i, j := 0, base; i < n; i, j = i+1, j+stride {
+			dst[i] = s[j]
+		}
+	default:
+		panic(fmt.Sprintf("array: encodeRun of unsupported type %T", src))
+	}
+}
+
+// decodeRun is the inverse of encodeRun: it decodes n little-endian
+// elements from src into the boxed slice dst, starting at index base and
+// stepping by stride.
+func decodeRun(dst any, src []byte, base, n, stride int) {
+	switch d := dst.(type) {
+	case []float64:
+		if stride == 1 {
+			for i := range d[base : base+n] {
+				d[base+i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+			}
+			return
+		}
+		for i, j := 0, base; i < n; i, j = i+1, j+stride {
+			d[j] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+	case []float32:
+		if stride == 1 {
+			for i := range d[base : base+n] {
+				d[base+i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+			}
+			return
+		}
+		for i, j := 0, base; i < n; i, j = i+1, j+stride {
+			d[j] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+	case []int64:
+		if stride == 1 {
+			for i := range d[base : base+n] {
+				d[base+i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+			}
+			return
+		}
+		for i, j := 0, base; i < n; i, j = i+1, j+stride {
+			d[j] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+	case []int32:
+		if stride == 1 {
+			for i := range d[base : base+n] {
+				d[base+i] = int32(binary.LittleEndian.Uint32(src[4*i:]))
+			}
+			return
+		}
+		for i, j := 0, base; i < n; i, j = i+1, j+stride {
+			d[j] = int32(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+	case []uint8:
+		if stride == 1 {
+			copy(d[base:base+n], src[:n])
+			return
+		}
+		for i, j := 0, base; i < n; i, j = i+1, j+stride {
+			d[j] = src[i]
+		}
+	default:
+		panic(fmt.Sprintf("array: decodeRun of unsupported type %T", dst))
+	}
 }

@@ -32,6 +32,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"drms/internal/msg"
 	"drms/internal/pfs"
@@ -454,11 +455,10 @@ func writeSegmentFile(fs *pfs.System, name string, client int, payload []byte, t
 	}
 	crc := crcCombine(crcOf(hdr), crcOf(payload), int64(len(payload)))
 	pad := total - segHeader - int64(len(payload))
-	zeros := make([]byte, padChunk)
 	crc = crcCombine(crc, crcZeros(pad), pad)
 	for off := segHeader + int64(len(payload)); pad > 0; {
 		n := min(pad, padChunk)
-		if err := fs.WriteAt(client, name, zeros[:n], off); err != nil {
+		if err := fs.WriteAt(client, name, zeroPad[:n], off); err != nil {
 			return 0, err
 		}
 		off += n
@@ -487,18 +487,29 @@ func readSegmentFile(fs *pfs.System, name string, client int, total int64) ([]by
 	// Stream the padding through a fixed window, as the real restore
 	// reads the full image.
 	rest := total - segHeader - plen
-	window := make([]byte, padChunk)
+	window := windowPool.Get().(*[]byte)
 	for off := segHeader + plen; rest > 0; {
 		n := min(rest, padChunk)
-		if err := fs.ReadAt(client, name, window[:n], off); err != nil {
+		if err := fs.ReadAt(client, name, (*window)[:n], off); err != nil {
+			windowPool.Put(window)
 			return nil, 0, err
 		}
-		crc = crcCombine(crc, crcOf(window[:n]), n)
+		crc = crcCombine(crc, crcOf((*window)[:n]), n)
 		off += n
 		rest -= n
 	}
+	windowPool.Put(window)
 	return payload, crc, nil
 }
+
+// zeroPad is the shared read-only source of padding bytes: segment files
+// of every task pad from the same megabyte of zeros instead of allocating
+// one each (the paper's class A segments pad by tens of megabytes).
+var zeroPad = make([]byte, padChunk)
+
+// windowPool recycles the fixed read windows restores stream padding
+// through; concurrent tasks each borrow one.
+var windowPool = sync.Pool{New: func() any { b := make([]byte, padChunk); return &b }}
 
 func i64Bytes(v int64) []byte {
 	b := make([]byte, 8)

@@ -10,10 +10,12 @@
 package pfs
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Config fixes the geometry of the file system.
@@ -36,7 +38,13 @@ type System struct {
 
 	mu    sync.Mutex
 	files map[string]*file
-	trace *Trace
+
+	// traceMu orders trace mutations; tr doubles as the lock-free "is a
+	// trace active?" gate, so recording an operation with no trace active
+	// (the common case outside measurement runs) costs one atomic load
+	// instead of contending on a global mutex from every client.
+	traceMu sync.Mutex
+	tr      atomic.Pointer[Trace]
 }
 
 // chunkSize is the granularity of sparse file storage. Chunks that have
@@ -99,7 +107,16 @@ func (f *file) readLocked(p []byte, off int64) {
 	}
 }
 
+// allZero reports whether p contains only zero bytes. It gates chunk
+// materialization on every write, so it runs over each checkpoint pad
+// byte; comparing eight bytes per iteration keeps it off the profile.
 func allZero(p []byte) bool {
+	for len(p) >= 8 {
+		if binary.LittleEndian.Uint64(p) != 0 {
+			return false
+		}
+		p = p[8:]
+	}
 	for _, b := range p {
 		if b != 0 {
 			return false
@@ -122,18 +139,21 @@ func (s *System) Config() Config { return s.cfg }
 // StartTrace begins recording operations into a fresh trace and returns
 // it. Recording continues until StopTrace.
 func (s *System) StartTrace() *Trace {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.trace = NewTrace()
-	return s.trace
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	t := NewTrace()
+	s.tr.Store(t)
+	return t
 }
 
 // StopTrace stops recording and returns the trace (nil if none active).
+// Once StopTrace returns, no further operation can land in the returned
+// trace, so the caller may read it without synchronization.
 func (s *System) StopTrace() *Trace {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t := s.trace
-	s.trace = nil
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	t := s.tr.Load()
+	s.tr.Store(nil)
 	return t
 }
 
@@ -145,21 +165,29 @@ func (s *System) StopTrace() *Trace {
 // announce the same boundary; consecutive duplicates collapse into one
 // phase (callers barrier between phases so attribution is unambiguous).
 func (s *System) BeginPhase(name string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.trace != nil {
-		if n := len(s.trace.Phases); n > 0 && s.trace.Phases[n-1] == name {
-			return
-		}
-		s.trace.beginPhase(name)
+	if s.tr.Load() == nil {
+		return
 	}
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	t := s.tr.Load() // reload: the trace may have stopped before the lock
+	if t == nil {
+		return
+	}
+	if n := len(t.Phases); n > 0 && t.Phases[n-1] == name {
+		return
+	}
+	t.beginPhase(name)
 }
 
 func (s *System) record(op Op) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.trace != nil {
-		s.trace.add(op)
+	if s.tr.Load() == nil {
+		return // no trace active: the hot path skips the lock entirely
+	}
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if t := s.tr.Load(); t != nil {
+		t.add(op)
 	}
 }
 

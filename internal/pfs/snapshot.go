@@ -3,6 +3,7 @@ package pfs
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -41,11 +42,34 @@ func (s *System) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(wire)
 }
 
+// ErrLegacySnapshot identifies snapshot files written by a retired
+// pre-release encoder revision that stripped gob's type identifiers.
+// Such files are not recoverable — the type definitions are gone — but
+// they are reliably distinguishable from ordinary corruption, so callers
+// can report "regenerate this snapshot" instead of "bad data".
+var ErrLegacySnapshot = errors.New("pfs: legacy snapshot format (gob type identifiers stripped); regenerate the snapshot with the current encoder")
+
+// isLegacyHead reports whether the first gob message of a snapshot starts
+// with type id 0. Every stream encoding/gob produces opens with a type
+// definition carrying a negative id (the first user-defined id is -64,
+// wire byte 0x7f); a zero in that position is the signature of the
+// retired stripped-id encoder, whose output today's decoder rejects with
+// errors like "duplicate type received".
+func isLegacyHead(head []byte) bool {
+	return len(head) == 2 && head[0] > 0 && head[0] <= 0x7f && head[1] == 0
+}
+
 // Load restores a file system from a snapshot, replacing all current
-// contents. The snapshot's geometry replaces the system's.
+// contents. The snapshot's geometry replaces the system's. A snapshot in
+// the retired stripped-id format is reported as ErrLegacySnapshot.
 func (s *System) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	head, _ := br.Peek(2)
 	var wire snapshotWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+	if err := gob.NewDecoder(br).Decode(&wire); err != nil {
+		if isLegacyHead(head) {
+			return fmt.Errorf("%w (decode: %v)", ErrLegacySnapshot, err)
+		}
 		return fmt.Errorf("pfs: corrupt snapshot: %w", err)
 	}
 	s.mu.Lock()

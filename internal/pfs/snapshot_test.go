@@ -1,0 +1,64 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestLoadDetectsLegacySnapshot checks the forensic signature of the
+// retired stripped-id snapshot encoder: a gob stream whose first type
+// definition carries id 0 instead of -64. Such files must surface as
+// ErrLegacySnapshot ("regenerate"), while ordinary corruption keeps its
+// generic error.
+func TestLoadDetectsLegacySnapshot(t *testing.T) {
+	s := NewSystem(DefaultConfig())
+	if err := s.WriteAt(0, "f", []byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) < 2 || b[1] != 0x7f {
+		t.Fatalf("unexpected gob stream head % x — first typedef id is not -64", b[:min(len(b), 4)])
+	}
+
+	// A genuine snapshot round-trips.
+	if err := NewSystem(DefaultConfig()).Load(bytes.NewReader(b)); err != nil {
+		t.Fatalf("genuine snapshot failed to load: %v", err)
+	}
+
+	// Strip the first type id the way the retired encoder did.
+	legacy := append([]byte(nil), b...)
+	legacy[1] = 0
+	err := NewSystem(DefaultConfig()).Load(bytes.NewReader(legacy))
+	if !errors.Is(err, ErrLegacySnapshot) {
+		t.Fatalf("stripped-id snapshot: got %v, want ErrLegacySnapshot", err)
+	}
+
+	// Truncation is ordinary corruption, not the legacy format.
+	err = NewSystem(DefaultConfig()).Load(bytes.NewReader(b[:len(b)/2]))
+	if err == nil || errors.Is(err, ErrLegacySnapshot) {
+		t.Fatalf("truncated snapshot: got %v, want a plain corruption error", err)
+	}
+}
+
+// TestAllZero pins the word-at-a-time zero scan against every
+// length/content combination around the 8-byte boundary.
+func TestAllZero(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		p := make([]byte, n)
+		if !allZero(p) {
+			t.Fatalf("allZero(zeros[%d]) = false", n)
+		}
+		for i := 0; i < n; i++ {
+			p[i] = 1
+			if allZero(p) {
+				t.Fatalf("allZero missed a non-zero at %d of %d", i, n)
+			}
+			p[i] = 0
+		}
+	}
+}

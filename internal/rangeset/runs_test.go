@@ -1,0 +1,104 @@
+package rangeset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// expandRuns enumerates the coordinates Runs produces, expanding each
+// run back into its n consecutive fast-axis coordinates.
+func expandRuns(s Slice, order Order) [][]int {
+	out := [][]int{}
+	ax := 0
+	if order == RowMajor {
+		ax = s.Rank() - 1
+	}
+	s.Runs(order, func(c []int, n int) {
+		if s.Rank() == 0 {
+			out = append(out, []int{})
+			return
+		}
+		for i := 0; i < n; i++ {
+			cc := append([]int(nil), c...)
+			cc[ax] += i
+			out = append(out, cc)
+		}
+	})
+	return out
+}
+
+func expandEach(s Slice, order Order) [][]int {
+	out := [][]int{}
+	s.Each(order, func(c []int) {
+		out = append(out, append([]int(nil), c...))
+	})
+	return out
+}
+
+// TestRunsMatchesEach is the contract test for the run decomposition:
+// over random slices of rank 1..3 mixing every range shape, the
+// concatenated runs must enumerate exactly the coordinates Each does, in
+// the same order, for both linearization orders.
+func TestRunsMatchesEach(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		d := 1 + rng.Intn(3)
+		rs := make([]Range, d)
+		for i := range rs {
+			rs[i] = randomRange(rng)
+		}
+		s := NewSlice(rs...)
+		for _, order := range []Order{ColMajor, RowMajor} {
+			want := expandEach(s, order)
+			got := expandRuns(s, order)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v %v: runs enumerate %v, each enumerates %v", s, order, got, want)
+			}
+		}
+	}
+}
+
+func TestRunsEdgeCases(t *testing.T) {
+	// Rank-0: the scalar section is a single run of one element.
+	calls := 0
+	Slice{}.Runs(ColMajor, func(c []int, n int) {
+		calls++
+		if len(c) != 0 || n != 1 {
+			t.Fatalf("rank-0 run = (%v, %d)", c, n)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("rank-0 slice yielded %d runs", calls)
+	}
+
+	// Empty sections yield no runs at all.
+	empty := NewSlice(Span(0, 5), Range{})
+	empty.Runs(ColMajor, func(c []int, n int) {
+		t.Fatalf("empty slice yielded run (%v, %d)", c, n)
+	})
+
+	// A dense box is one run per fast-axis line.
+	s := Box([]int{0, 0}, []int{7, 2})
+	var lens []int
+	s.Runs(ColMajor, func(c []int, n int) { lens = append(lens, n) })
+	if !reflect.DeepEqual(lens, []int{8, 8, 8}) {
+		t.Fatalf("dense box runs = %v", lens)
+	}
+
+	// A stride-2 fast axis degenerates to single-element runs.
+	s = NewSlice(Reg(0, 6, 2), Span(0, 0))
+	lens = nil
+	s.Runs(ColMajor, func(c []int, n int) { lens = append(lens, n) })
+	if !reflect.DeepEqual(lens, []int{1, 1, 1, 1}) {
+		t.Fatalf("strided runs = %v", lens)
+	}
+
+	// An index list with mixed gaps splits at exactly the gaps.
+	s = NewSlice(List(0, 1, 2, 5, 6, 9))
+	var got [][2]int
+	s.Runs(ColMajor, func(c []int, n int) { got = append(got, [2]int{c[0], n}) })
+	if !reflect.DeepEqual(got, [][2]int{{0, 3}, {5, 2}, {9, 1}}) {
+		t.Fatalf("list runs = %v", got)
+	}
+}

@@ -41,8 +41,14 @@ func WriteTo[T array.Elem](a *array.Array[T], x rangeset.Slice, w io.Writer, ioT
 	st := Stats{StreamBytes: total, Pieces: len(pieces)}
 	me := comm.Rank()
 
+	var (
+		aux      *array.Array[T]
+		assigned = make([]rangeset.Slice, comm.Size())
+		buf      []byte
+	)
 	for i, piece := range pieces {
-		aux, ad, err := auxOnTask[T](a, piece, ioTask)
+		var ad *dist.Distribution
+		aux, ad, err = auxOnTask(a, aux, piece, ioTask, assigned)
 		if err != nil {
 			return st, err
 		}
@@ -51,11 +57,12 @@ func WriteTo[T array.Elem](a *array.Array[T], x rangeset.Slice, w io.Writer, ioT
 			return st, err
 		}
 		if me == ioTask && !piece.Empty() {
-			buf := aux.PackSection(piece, o.Order)
+			b := sizeBuf(&buf, piece.Size()*es)
+			aux.PackSectionInto(piece, o.Order, b)
 			if o.PieceHook != nil {
-				o.PieceHook(i, 0, buf)
+				o.PieceHook(i, 0, b)
 			}
-			if _, err := w.Write(buf); err != nil {
+			if _, err := w.Write(b); err != nil {
 				return st, fmt.Errorf("stream: sequential write of piece %d: %w", i, err)
 			}
 		}
@@ -82,20 +89,26 @@ func ReadFrom[T array.Elem](a *array.Array[T], x rangeset.Slice, r io.Reader, io
 	st := Stats{StreamBytes: total, Pieces: len(pieces)}
 	me := comm.Rank()
 
+	var (
+		aux      *array.Array[T]
+		assigned = make([]rangeset.Slice, comm.Size())
+		buf      []byte
+	)
 	for i, piece := range pieces {
-		aux, ad, err := auxOnTask[T](a, piece, ioTask)
+		var ad *dist.Distribution
+		aux, ad, err = auxOnTask(a, aux, piece, ioTask, assigned)
 		if err != nil {
 			return st, err
 		}
 		if me == ioTask && !piece.Empty() {
-			buf := make([]byte, piece.Size()*es)
-			if _, err := io.ReadFull(r, buf); err != nil {
+			b := sizeBuf(&buf, piece.Size()*es)
+			if _, err := io.ReadFull(r, b); err != nil {
 				return st, fmt.Errorf("stream: sequential read of piece %d: %w", i, err)
 			}
 			if o.PieceHook != nil {
-				o.PieceHook(i, 0, buf)
+				o.PieceHook(i, 0, b)
 			}
-			aux.UnpackSection(piece, o.Order, buf)
+			aux.UnpackSection(piece, o.Order, b)
 		}
 		st.NetBytes += assignTraffic(ad, a.Dist(), me, es, nil)
 		if err := array.Assign(a, aux); err != nil {
@@ -112,11 +125,11 @@ func checkIOTask(comm *msg.Comm, ioTask int) error {
 	return nil
 }
 
-// auxOnTask builds the canonical one-piece auxiliary array with the piece
-// assigned to the designated I/O task.
-func auxOnTask[T array.Elem](a *array.Array[T], piece rangeset.Slice, ioTask int) (*array.Array[T], *dist.Distribution, error) {
-	n := a.Comm().Size()
-	assigned := make([]rangeset.Slice, n)
+// auxOnTask binds the recycled canonical one-piece auxiliary array, with
+// the piece assigned to the designated I/O task. Like bindRound, aux is
+// allocated on the first piece and Reset on later ones; assigned is a
+// caller-owned scratch vector of communicator-size length.
+func auxOnTask[T array.Elem](a, aux *array.Array[T], piece rangeset.Slice, ioTask int, assigned []rangeset.Slice) (*array.Array[T], *dist.Distribution, error) {
 	empty := a.Global().EmptyLike()
 	for i := range assigned {
 		if i == ioTask {
@@ -129,7 +142,11 @@ func auxOnTask[T array.Elem](a *array.Array[T], piece rangeset.Slice, ioTask int
 	if err != nil {
 		return nil, nil, err
 	}
-	aux, err := array.New[T](a.Comm(), a.Name()+".seq", ad)
+	if aux == nil {
+		aux, err = array.New[T](a.Comm(), a.Name()+".seq", ad)
+	} else {
+		err = aux.Reset(ad)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

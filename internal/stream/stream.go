@@ -20,6 +20,7 @@ package stream
 
 import (
 	"fmt"
+	"sync"
 
 	"drms/internal/array"
 	"drms/internal/dist"
@@ -129,9 +130,28 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 	st := Stats{StreamBytes: total, Pieces: len(pieces)}
 	me := comm.Rank()
 
+	// Round state is allocated once and recycled: one auxiliary array
+	// rebound per round, two piece buffers, and at most one write in
+	// flight, so the file I/O of round r overlaps the redistribution of
+	// round r+1 — the overlap the two-phase access strategy is after.
+	var (
+		aux      *array.Array[T]
+		assigned = make([]rangeset.Slice, comm.Size())
+		bufs     [2][]byte
+		flip     int
+		wg       sync.WaitGroup
+		werr     error
+	)
+	defer wg.Wait() // never leak an in-flight write, even on error returns
+	join := func() error {
+		wg.Wait()
+		return werr
+	}
+
 	for base := 0; base < len(pieces); base += p {
 		round := pieces[base:min(base+p, len(pieces))]
-		aux, ad, err := auxArray[T](a, round)
+		var ad *dist.Distribution
+		aux, ad, err = bindRound(a, aux, round, assigned)
 		if err != nil {
 			return st, err
 		}
@@ -140,20 +160,35 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 			return st, err
 		}
 		// Each writer holds its piece contiguously; emit it at the exact
-		// stream offset (parallel streaming requires seek, §3.2).
+		// stream offset (parallel streaming requires seek, §3.2). The pack
+		// targets the buffer the in-flight write is not reading from, and
+		// the write itself is issued asynchronously, to be joined just
+		// before the next one (or the return).
 		if me < len(round) && !round[me].Empty() {
-			buf := aux.PackSection(round[me], o.Order)
+			buf := sizeBuf(&bufs[flip], round[me].Size()*es)
+			aux.PackSectionInto(round[me], o.Order, buf)
+			off := offsets[base+me]
 			if o.PieceHook != nil {
-				o.PieceHook(base+me, offsets[base+me]-o.BaseOffset, buf)
+				o.PieceHook(base+me, off-o.BaseOffset, buf)
 			}
-			if o.SkipPiece != nil && o.SkipPiece(base+me, offsets[base+me]-o.BaseOffset, buf) {
+			if o.SkipPiece != nil && o.SkipPiece(base+me, off-o.BaseOffset, buf) {
 				st.SkippedBytes += int64(len(buf))
-			} else if err := fs.WriteAt(me, name, buf, offsets[base+me]); err != nil {
-				return st, err
+			} else {
+				if err := join(); err != nil {
+					return st, err
+				}
+				wg.Add(1)
+				go func(buf []byte, off int64) {
+					defer wg.Done()
+					if err := fs.WriteAt(me, name, buf, off); err != nil {
+						werr = err
+					}
+				}(buf, off)
+				flip = 1 - flip
 			}
 		}
 	}
-	return st, nil
+	return st, join()
 }
 
 // Read streams section x into array a from the named file on fs, the
@@ -172,17 +207,59 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 	st := Stats{StreamBytes: total, Pieces: len(pieces)}
 	me := comm.Rank()
 
+	// Mirror image of Write's pipeline: this task's piece of round r+1 is
+	// prefetched from the file while round r's redistribution runs.
+	var (
+		aux      *array.Array[T]
+		assigned = make([]rangeset.Slice, comm.Size())
+		bufs     [2][]byte
+		flip     int
+		wg       sync.WaitGroup
+		perr     error
+		pending  bool
+	)
+	defer wg.Wait() // never leak an in-flight prefetch, even on error returns
+
 	for base := 0; base < len(pieces); base += p {
 		round := pieces[base:min(base+p, len(pieces))]
-		aux, ad, err := auxArray[T](a, round)
+		var ad *dist.Distribution
+		aux, ad, err = bindRound(a, aux, round, assigned)
 		if err != nil {
 			return st, err
 		}
-		if me < len(round) && !round[me].Empty() {
-			buf := make([]byte, round[me].Size()*es)
-			if err := fs.ReadAt(me, name, buf, offsets[base+me]); err != nil {
-				return st, err
+		hasPiece := me < len(round) && !round[me].Empty()
+		var buf []byte
+		if hasPiece {
+			n := round[me].Size() * es
+			if pending {
+				// The prefetch issued last round read exactly this piece.
+				wg.Wait()
+				pending = false
+				if perr != nil {
+					return st, perr
+				}
+				buf = bufs[flip][:n]
+			} else {
+				buf = sizeBuf(&bufs[flip], n)
+				if err := fs.ReadAt(me, name, buf, offsets[base+me]); err != nil {
+					return st, err
+				}
 			}
+		}
+		// Issue the prefetch of this task's next piece into the spare
+		// buffer before entering the collective below, so the file read
+		// overlaps the redistribution.
+		if idx := base + p + me; me < p && idx < len(pieces) && !pieces[idx].Empty() {
+			nbuf := sizeBuf(&bufs[1-flip], pieces[idx].Size()*es)
+			wg.Add(1)
+			pending = true
+			go func(off int64) {
+				defer wg.Done()
+				perr = fs.ReadAt(me, name, nbuf, off)
+			}(offsets[idx])
+			flip = 1 - flip
+		}
+		if hasPiece {
 			if o.PieceHook != nil {
 				o.PieceHook(base+me, offsets[base+me]-o.BaseOffset, buf)
 			}
@@ -208,14 +285,15 @@ func commOf[T array.Elem](a *array.Array[T], x rangeset.Slice) (*msg.Comm, error
 	return a.Comm(), nil
 }
 
-// auxArray builds the canonical auxiliary array A' for one streaming
-// round: task p's assigned and mapped section is round[p]; tasks beyond
-// the round get empty sections (they still participate in the
-// redistribution, as they may hold elements of the pieces — Fig. 5b
-// resets their slices to empty each iteration).
-func auxArray[T array.Elem](a *array.Array[T], round []rangeset.Slice) (*array.Array[T], *dist.Distribution, error) {
-	n := a.Comm().Size()
-	assigned := make([]rangeset.Slice, n)
+// bindRound binds the recycled auxiliary array A' to the canonical
+// distribution of one streaming round: task p's assigned and mapped
+// section is round[p]; tasks beyond the round get empty sections (they
+// still participate in the redistribution, as they may hold elements of
+// the pieces — Fig. 5b resets their slices to empty each iteration). aux
+// is allocated on the first round and Reset (storage recycled, values
+// zeroed) on later ones; assigned is a caller-owned scratch vector of
+// communicator-size length (dist.Irregular copies it).
+func bindRound[T array.Elem](a, aux *array.Array[T], round, assigned []rangeset.Slice) (*array.Array[T], *dist.Distribution, error) {
 	empty := a.Global().EmptyLike()
 	for i := range assigned {
 		if i < len(round) {
@@ -228,11 +306,25 @@ func auxArray[T array.Elem](a *array.Array[T], round []rangeset.Slice) (*array.A
 	if err != nil {
 		return nil, nil, fmt.Errorf("stream: building canonical distribution: %w", err)
 	}
-	aux, err := array.New[T](a.Comm(), a.Name()+".stream", ad)
+	if aux == nil {
+		aux, err = array.New[T](a.Comm(), a.Name()+".stream", ad)
+	} else {
+		err = aux.Reset(ad)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
 	return aux, ad, nil
+}
+
+// sizeBuf returns *b resized to n bytes, reallocating only when the
+// capacity is insufficient, so piece buffers are recycled across rounds.
+func sizeBuf(b *[]byte, n int) []byte {
+	if cap(*b) < n {
+		*b = make([]byte, n)
+	}
+	*b = (*b)[:n]
+	return *b
 }
 
 // assignTraffic computes the bytes this task will send to *other* tasks
