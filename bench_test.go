@@ -399,3 +399,101 @@ func BenchmarkRangeIntersect(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAssignPlanned measures the redistribution of
+// BenchmarkArrayAssignRedistribute's exact shape with the plan cache
+// under explicit control: "cold" flushes the cache before every
+// assignment (each iteration rebuilds intersections, runs, and offsets —
+// the pre-plan cost), "warm" leaves it in place so every iteration
+// replays the cached plan. The warm/cold ratio is the plan layer's
+// payoff; hit/miss counters confirm what each variant exercised.
+func BenchmarkAssignPlanned(b *testing.B) {
+	const n, tasks = 48, 4
+	g := benchGrid(n)
+	bytes := int64(g.Size() * 8)
+	for _, mode := range []string{"cold", "warm"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			b.SetBytes(bytes)
+			array.FlushPlans()
+			array.ResetPlanCacheStats()
+			msg.Run(tasks, func(c *msg.Comm) {
+				d1, _ := dist.Block(g, []int{4, 1, 1})
+				d2, _ := dist.Block(g, []int{1, 2, 2})
+				src, _ := array.New[float64](c, "a", d1)
+				dst, _ := array.New[float64](c, "b", d2)
+				src.Fill(func(cd []int) float64 { return float64(cd[0]) })
+				if err := array.Assign(dst, src); err != nil { // prime / first build
+					panic(err)
+				}
+				if c.Rank() == 0 {
+					b.ResetTimer()
+				}
+				c.Barrier()
+				for i := 0; i < b.N; i++ {
+					if mode == "cold" {
+						if c.Rank() == 0 {
+							array.FlushPlans()
+						}
+						c.Barrier()
+					}
+					if err := array.Assign(dst, src); err != nil {
+						panic(err)
+					}
+				}
+			})
+			h, m := array.PlanCacheStats()
+			b.ReportMetric(float64(h), "plan-hits")
+			b.ReportMetric(float64(m), "plan-misses")
+		})
+	}
+}
+
+// BenchmarkCheckpointDRMSSteadyState measures the paper's periodic
+// checkpointing regime: one application instance taking a checkpoint
+// every interval, so every checkpoint after the first replays cached
+// streaming and redistribution plans. Counters from both plan caches
+// verify the steady state is plan-hits, not rebuilds.
+func BenchmarkCheckpointDRMSSteadyState(b *testing.B) {
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	k := apps.SP()
+	array.FlushPlans()
+	array.ResetPlanCacheStats()
+	stream.FlushPlans()
+	stream.ResetPlanCacheStats()
+	var state int64
+	err := drms.Run(drms.Config{Tasks: 4, FS: fs}, func(t *drms.Task) error {
+		in, err := k.Setup(t, apps.ClassS)
+		if err != nil {
+			return err
+		}
+		// Prime: the first checkpoint of the run builds every plan.
+		if _, _, err := t.ReconfigCheckpoint("ck"); err != nil {
+			return err
+		}
+		if t.Rank() == 0 {
+			b.ResetTimer()
+		}
+		t.Comm().Barrier()
+		for i := 0; i < b.N; i++ {
+			if err := k.Step(in); err != nil {
+				return err
+			}
+			if _, _, err := t.ReconfigCheckpoint("ck"); err != nil {
+				return err
+			}
+		}
+		state = ckpt.StateBytes(fs, "ck")
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(bench.MB(state), "stateMB")
+	ah, am := array.PlanCacheStats()
+	sh, sm := stream.PlanCacheStats()
+	b.ReportMetric(float64(ah), "arr-plan-hits")
+	b.ReportMetric(float64(am), "arr-plan-misses")
+	b.ReportMetric(float64(sh), "stream-plan-hits")
+	b.ReportMetric(float64(sm), "stream-plan-misses")
+}

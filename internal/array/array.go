@@ -176,7 +176,75 @@ func (a *Array[T]) UnpackSection(s rangeset.Slice, order rangeset.Order, buf []b
 // on the same communicator; their distributions are arbitrary. Elements
 // of B not assigned in A (undefined in A) are left untouched. Assign is a
 // collective: every task must call it.
+//
+// Assign executes a cached communication plan (see plan.go): the first
+// assignment between a given pair of distributions computes the schedule
+// — per-peer intersection runs, buffer sizes, and the sparse exchange
+// graph — and every repeat replays it, which is what makes steady-state
+// periodic checkpointing and per-iteration shadow exchanges cheap.
 func Assign[T Elem](dst, src *Array[T]) error {
+	if !dst.Global().Equal(src.Global()) {
+		return fmt.Errorf("array assign %q <- %q: global shapes %v and %v differ",
+			dst.name, src.name, dst.Global(), src.Global())
+	}
+	if dst.comm != src.comm {
+		return fmt.Errorf("array assign %q <- %q: different communicators", dst.name, src.name)
+	}
+	c := src.comm
+	es := ElemSize[T]()
+	pl := assignPlanFor(src.d, dst.d, c, es)
+
+	// Phase 1: pack this task's contribution to every active peer at the
+	// plan's precomputed offsets. Buffers come from the pool; the
+	// transport copies on send, so they are recycled right after the
+	// exchange.
+	srcLocal := any(src.local)
+	for i := range pl.send {
+		px := &pl.send[i]
+		buf := getBuf(px.bytes)
+		packRuns(srcLocal, buf, px.runs, es, 1)
+		pl.sendBufs[px.peer] = buf
+	}
+
+	// Phase 2: sparse exchange — only the peers the plan marks active are
+	// framed and touched.
+	recv := c.AlltoallSparse(pl.sendBufs, pl.sendTo, pl.recvFrom)
+	for i := range pl.send {
+		putBuf(pl.sendBufs[pl.send[i].peer])
+		pl.sendBufs[pl.send[i].peer] = nil
+	}
+
+	// The self-overlap never leaves the task: both sides planned the same
+	// section, so its runs align 1:1 and copy element-typed, skipping the
+	// wire codec entirely. (For the self-assignment A <- A the offsets
+	// coincide and the copies are identities.)
+	for i, r := range pl.selfSrc {
+		d := pl.selfDst[i]
+		copy(dst.local[d.off:d.off+r.n], src.local[r.off:r.off+r.n])
+	}
+
+	// Phase 3: unpack what every active owner sent for this task's mapped
+	// section of B. Received buffers feed the pool for the next
+	// operation's packing.
+	dstLocal := any(dst.local)
+	for i := range pl.recv {
+		px := &pl.recv[i]
+		if len(recv[px.peer]) != px.bytes {
+			return fmt.Errorf("array assign %q <- %q: peer %d sent %d bytes, plan expects %d",
+				dst.name, src.name, px.peer, len(recv[px.peer]), px.bytes)
+		}
+		unpackRuns(dstLocal, recv[px.peer], px.runs, es, 1)
+		putBuf(recv[px.peer])
+	}
+	return nil
+}
+
+// assignReference is the plan-free assignment: intersections, run
+// decompositions, and offsets recomputed on every call, exchanged with
+// the dense all-to-all. It is the semantic reference the plan-cached
+// Assign is property-tested against (and the baseline its benchmarks are
+// measured from); keep the two in lockstep when the model changes.
+func assignReference[T Elem](dst, src *Array[T]) error {
 	if !dst.Global().Equal(src.Global()) {
 		return fmt.Errorf("array assign %q <- %q: global shapes %v and %v differ",
 			dst.name, src.name, dst.Global(), src.Global())
@@ -189,10 +257,6 @@ func Assign[T Elem](dst, src *Array[T]) error {
 	n := c.Size()
 	es := ElemSize[T]()
 
-	// Phase 1: pack, for every destination task q, the elements this task
-	// owns (assigned in A) that q maps in B. Buffers come from the pool;
-	// the transport copies on send, so they are recycled right after the
-	// exchange.
 	send := make([][]byte, n)
 	myAssigned := src.d.Assigned(p)
 	for q := 0; q < n; q++ {
@@ -204,16 +268,11 @@ func Assign[T Elem](dst, src *Array[T]) error {
 		src.PackSectionInto(sec, rangeset.ColMajor, send[q])
 	}
 
-	// Phase 2: exchange.
 	recv := c.Alltoall(send)
 	for _, b := range send {
 		putBuf(b)
 	}
 
-	// Phase 3: unpack what every owner q sent for this task's mapped
-	// section of B. Both sides computed the identical intersection slice,
-	// so the linearization orders agree. Received buffers feed the pool
-	// for the next operation's packing.
 	myMapped := dst.d.Mapped(p)
 	for q := 0; q < n; q++ {
 		sec := src.d.Assigned(q).Intersect(myMapped)
@@ -232,6 +291,11 @@ func Assign[T Elem](dst, src *Array[T]) error {
 // it to recycle one auxiliary array across redistribution rounds instead
 // of allocating a fresh array per round. Every task must Reset with the
 // same distribution (SPMD), like New.
+//
+// Reset needs no plan-cache invalidation: communication plans are keyed
+// by distribution identity, not by array handle, so plans involving the
+// old distribution stay correct for any array still bound to it and
+// simply age out of the bounded cache once nothing rebuilds them.
 func (a *Array[T]) Reset(nd *dist.Distribution) error {
 	if nd.Tasks() != a.comm.Size() {
 		return fmt.Errorf("array %q: distribution spans %d tasks but communicator has %d",
@@ -273,15 +337,17 @@ func (a *Array[T]) ExchangeShadows() error {
 // order given (the distribution-independent representation). On root the
 // result has Global().Size() elements; elsewhere it is nil. Collective.
 // Unassigned (undefined) elements are zero.
+//
+// Like Assign, Gather executes a cached plan: each task's pack runs and
+// root's per-sender scatter runs into the dense global space are computed
+// once per (distribution, root, order) and replayed on every repeat.
 func (a *Array[T]) Gather(root int, order rangeset.Order) []T {
 	c := a.comm
 	p := c.Rank()
 	es := ElemSize[T]()
-	// Each task packs its assigned section in the global order; root
-	// scatters them into place. Offsets are implied: root recomputes each
-	// sender's section identically.
-	buf := getBuf(a.Assigned().Size() * es)
-	a.PackSectionInto(a.Assigned(), order, buf)
+	pl := gatherPlanFor(a.d, c, root, order, es)
+	buf := getBuf(pl.packBytes)
+	packRuns(any(a.local), buf, pl.packRuns, es, pl.packStride)
 	parts := c.Gather(root, buf)
 	putBuf(buf)
 	if p != root {
@@ -289,26 +355,9 @@ func (a *Array[T]) Gather(root int, order rangeset.Order) []T {
 	}
 	out := make([]T, a.Global().Size())
 	boxed := any(out)
-	g := a.Global()
 	for q := 0; q < c.Size(); q++ {
-		sec := a.d.Assigned(q)
-		if sec.Empty() {
-			continue
-		}
-		// The destination is the dense global space linearized in the same
-		// order the runs follow, so each run lands at consecutive global
-		// offsets: one offset computation and one bulk decode per run.
-		i := 0
-		part := parts[q]
-		sec.Runs(order, func(cd []int, n int) {
-			off, ok := g.Offset(cd, order)
-			if !ok {
-				panic("array: assigned element outside global space")
-			}
-			decodeRun(boxed, part[i*es:], off, n, 1)
-			i += n
-		})
-		putBuf(part)
+		unpackRuns(boxed, parts[q], pl.scatter[q], es, 1)
+		putBuf(parts[q])
 	}
 	return out
 }

@@ -1,0 +1,261 @@
+package array
+
+import (
+	"fmt"
+
+	"drms/internal/dist"
+	"drms/internal/lru"
+	"drms/internal/msg"
+	"drms/internal/rangeset"
+)
+
+// This file is the communication-plan layer. An array assignment between
+// two fixed distributions always moves the same sections between the same
+// peers: the n² rangeset intersections, their run decompositions, and the
+// local-storage offsets of every run are pure functions of the
+// (source distribution, destination distribution, rank) triple. Periodic
+// checkpointing and iterative shadow exchanges repeat the identical
+// assignment every interval, so the schedule is computed once, cached by
+// identity, and every later collective merely executes it: a flat loop of
+// bulk encodes at precomputed offsets, and a sparse exchange that touches
+// only the peers that actually trade bytes.
+//
+// Cache keys hold *pointers* to distributions and communicators.
+// Distributions are immutable once constructed, so pointer identity is a
+// sound (and free) equality test; two structurally equal distributions
+// built separately simply plan twice. Invalidation falls out of the same
+// choice: Array.Reset rebinds a handle to a different distribution
+// pointer, and a reconfigured restart builds fresh communicators, so
+// stale entries are never reachable again and age out of the bounded LRU.
+
+// xferRun is one maximal stride-1 run of a transfer section, resolved to
+// an element offset in a task's local storage (pack side: the source
+// array's mapped section; unpack side: the destination's).
+type xferRun struct{ off, n int }
+
+// peerXfer is the per-peer piece of a plan: the runs to pack (or unpack)
+// for one remote peer and their exact wire size in bytes.
+type peerXfer struct {
+	peer  int
+	bytes int
+	runs  []xferRun
+}
+
+// assignPlan is the precomputed schedule of Assign(dst <- src) for one
+// rank: the sparse communication graph, the pack/unpack runs per active
+// remote peer, and the self-overlap, which is copied element-typed
+// without touching the transport or the wire codec.
+type assignPlan struct {
+	send, recv       []peerXfer
+	sendTo, recvFrom []bool    // communication graph masks (self excluded)
+	selfSrc, selfDst []xferRun // aligned 1:1, equal run lengths
+	remoteBytes      int64     // bytes this rank sends to other ranks
+
+	// sendBufs is per-call scratch for the exchange. A Comm is owned by
+	// exactly one task goroutine and collectives on it are serial, so the
+	// plan (keyed by that Comm) is never executed concurrently.
+	sendBufs [][]byte
+}
+
+// gatherPlan is the precomputed schedule of Gather(root, order) for one
+// rank: the runs packing its own assigned section, and — on root — the
+// per-sender scatter runs into the dense global output.
+type gatherPlan struct {
+	packRuns   []xferRun
+	packStride int
+	packBytes  int
+	scatter    [][]xferRun // root only; offsets into the global space, stride 1
+}
+
+type assignKey struct {
+	src, dst *dist.Distribution
+	comm     *msg.Comm
+	es       int
+}
+
+type gatherKey struct {
+	d     *dist.Distribution
+	comm  *msg.Comm
+	root  int
+	order rangeset.Order
+	es    int
+}
+
+// The caches are package-global and shared by all in-process tasks; keys
+// embed the per-task Comm pointer, so ranks never share entries. Sizing:
+// a streaming operation uses one plan per redistribution round (a class A
+// array is ~20 rounds), and an application cycles through a handful of
+// arrays and a shadow exchange — 256 entries hold the steady state of
+// everything in this repository with a wide margin.
+var (
+	assignPlans = lru.New[assignKey, *assignPlan](256)
+	gatherPlans = lru.New[gatherKey, *gatherPlan](64)
+)
+
+// PlanCacheStats returns the cumulative hit/miss counts of the assignment
+// and gather plan caches combined. Benchmarks and the steady-state
+// checkpoint tests use it to prove the hot path replays cached schedules.
+func PlanCacheStats() (hits, misses uint64) {
+	ah, am := assignPlans.Stats()
+	gh, gm := gatherPlans.Stats()
+	return ah + gh, am + gm
+}
+
+// ResetPlanCacheStats zeroes the plan cache counters.
+func ResetPlanCacheStats() {
+	assignPlans.ResetStats()
+	gatherPlans.ResetStats()
+}
+
+// FlushPlans drops every cached plan, forcing the next collective to
+// recompute its schedule. Tests and cold-path benchmarks use it; the
+// steady state never needs it (eviction and key identity handle
+// invalidation).
+func FlushPlans() {
+	assignPlans.Flush()
+	gatherPlans.Flush()
+}
+
+// sectionRuns decomposes sec (a subset of the mapped section) into its
+// maximal stride-1 runs under order, each resolved to the element offset
+// of its first element in the column-major local storage of mapped.
+func sectionRuns(sec, mapped rangeset.Slice, order rangeset.Order) []xferRun {
+	if sec.Empty() {
+		return nil
+	}
+	runs := make([]xferRun, 0, 8)
+	sec.Runs(order, func(c []int, n int) {
+		off, ok := mapped.Offset(c, rangeset.ColMajor)
+		if !ok {
+			panic(fmt.Sprintf("array: plan section %v escapes mapped storage %v", sec, mapped))
+		}
+		runs = append(runs, xferRun{off, n})
+	})
+	return runs
+}
+
+// assignPlanFor returns the cached plan of Assign(dst <- src) on c for
+// element size es, building and caching it on a miss.
+func assignPlanFor(src, dst *dist.Distribution, c *msg.Comm, es int) *assignPlan {
+	k := assignKey{src: src, dst: dst, comm: c, es: es}
+	if pl, ok := assignPlans.Get(k); ok {
+		return pl
+	}
+	pl := buildAssignPlan(src, dst, c.Rank(), c.Size(), es)
+	assignPlans.Add(k, pl)
+	return pl
+}
+
+// buildAssignPlan computes rank's full schedule for Assign(dst <- src):
+// exactly the intersections the plan-free reference path computes per
+// call, stored as flat run lists. Both sides of every transfer derive the
+// same intersection section, so the run decompositions (and hence the
+// wire bytes) agree pair-wise by construction.
+func buildAssignPlan(src, dst *dist.Distribution, rank, size, es int) *assignPlan {
+	pl := &assignPlan{
+		sendTo:   make([]bool, size),
+		recvFrom: make([]bool, size),
+		sendBufs: make([][]byte, size),
+	}
+	myAssigned := src.Assigned(rank)
+	srcMapped := src.Mapped(rank)
+	for q := 0; q < size; q++ {
+		sec := myAssigned.Intersect(dst.Mapped(q))
+		if sec.Empty() {
+			continue
+		}
+		runs := sectionRuns(sec, srcMapped, rangeset.ColMajor)
+		if q == rank {
+			pl.selfSrc = runs
+			continue
+		}
+		pl.send = append(pl.send, peerXfer{peer: q, bytes: sec.Size() * es, runs: runs})
+		pl.sendTo[q] = true
+		pl.remoteBytes += int64(sec.Size()) * int64(es)
+	}
+	dstMapped := dst.Mapped(rank)
+	for q := 0; q < size; q++ {
+		sec := src.Assigned(q).Intersect(dstMapped)
+		if sec.Empty() {
+			continue
+		}
+		runs := sectionRuns(sec, dstMapped, rangeset.ColMajor)
+		if q == rank {
+			pl.selfDst = runs
+			continue
+		}
+		pl.recv = append(pl.recv, peerXfer{peer: q, bytes: sec.Size() * es, runs: runs})
+		pl.recvFrom[q] = true
+	}
+	return pl
+}
+
+// gatherPlanFor returns the cached plan of Gather(root, order) on c for
+// distribution d and element size es.
+func gatherPlanFor(d *dist.Distribution, c *msg.Comm, root int, order rangeset.Order, es int) *gatherPlan {
+	k := gatherKey{d: d, comm: c, root: root, order: order, es: es}
+	if pl, ok := gatherPlans.Get(k); ok {
+		return pl
+	}
+	pl := buildGatherPlan(d, c.Rank(), c.Size(), root, order, es)
+	gatherPlans.Add(k, pl)
+	return pl
+}
+
+func buildGatherPlan(d *dist.Distribution, rank, size, root int, order rangeset.Order, es int) *gatherPlan {
+	mine := d.Assigned(rank)
+	pl := &gatherPlan{
+		packRuns:   sectionRuns(mine, d.Mapped(rank), order),
+		packStride: runStride(d.Mapped(rank), order),
+		packBytes:  mine.Size() * es,
+	}
+	if rank != root {
+		return pl
+	}
+	g := d.Global()
+	pl.scatter = make([][]xferRun, size)
+	for q := 0; q < size; q++ {
+		sec := d.Assigned(q)
+		if sec.Empty() {
+			continue
+		}
+		runs := make([]xferRun, 0, 8)
+		sec.Runs(order, func(c []int, n int) {
+			off, ok := g.Offset(c, order)
+			if !ok {
+				panic("array: assigned element outside global space")
+			}
+			runs = append(runs, xferRun{off, n})
+		})
+		pl.scatter[q] = runs
+	}
+	return pl
+}
+
+// packRuns bulk-encodes the planned runs of boxed local storage into buf
+// in schedule order; unpackRuns is the inverse. stride is the layout
+// stride of the run axis (1 for the column-major assignment paths).
+func packRuns(local any, buf []byte, runs []xferRun, es, stride int) {
+	o := 0
+	for _, r := range runs {
+		encodeRun(local, buf[o:], r.off, r.n, stride)
+		o += r.n * es
+	}
+}
+
+func unpackRuns(local any, buf []byte, runs []xferRun, es, stride int) {
+	o := 0
+	for _, r := range runs {
+		decodeRun(local, buf[o:], r.off, r.n, stride)
+		o += r.n * es
+	}
+}
+
+// PlanRemoteBytes returns the number of bytes this rank sends to other
+// ranks during Assign between the given distributions — computed from the
+// same cached plan the assignment executes, so the streaming layer's
+// traffic model costs one cache probe instead of a fresh set of
+// intersections per round.
+func PlanRemoteBytes(src, dst *dist.Distribution, c *msg.Comm, es int) int64 {
+	return assignPlanFor(src, dst, c, es).remoteBytes
+}

@@ -1,0 +1,199 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+
+	"drms/internal/dist"
+	"drms/internal/msg"
+	"drms/internal/rangeset"
+)
+
+// randomSizes splits extent n into k random positive block lengths — a
+// GenBlock axis decomposition.
+func randomSizes(rng *rand.Rand, n, k int) []int {
+	sizes := make([]int, k)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	for extra := n - k; extra > 0; extra-- {
+		sizes[rng.Intn(k)]++
+	}
+	return sizes
+}
+
+// randomDistAnyKind draws a distribution of g over a g0×g1 task grid from
+// the three families the paper supports: regular block, generalized
+// block, and fully irregular index-list distributions, occasionally with
+// a shadow region so mapped sections strictly contain assigned ones.
+func randomDistAnyKind(rng *rand.Rand, g rangeset.Slice, g0, g1 int) *dist.Distribution {
+	var d *dist.Distribution
+	var err error
+	switch rng.Intn(3) {
+	case 0:
+		d, err = dist.Block(g, []int{g0, g1})
+	case 1:
+		d, err = dist.GenBlock(g, [][]int{
+			randomSizes(rng, g.Axis(0).Size(), g0),
+			randomSizes(rng, g.Axis(1).Size(), g1),
+		})
+	default:
+		return randomDist(rng, g, g0, g1)
+	}
+	if err != nil {
+		panic(err)
+	}
+	if rng.Intn(3) == 0 {
+		if sd, serr := d.WithShadow([]int{1, 1}); serr == nil {
+			d = sd
+		}
+	}
+	return d
+}
+
+// TestAssignPlannedMatchesReferenceQuick is the oracle for the plan
+// cache: for random (src, dst) distribution pairs across all three
+// distribution families, the plan-driven Assign and the plan-free
+// reference implementation must produce bitwise-identical destination
+// storage — cold (first use of the pair builds the plan) and warm (second
+// use replays it).
+func TestAssignPlannedMatchesReferenceQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for iter := 0; iter < 30; iter++ {
+		rows := 3 + rng.Intn(9)
+		cols := 3 + rng.Intn(9)
+		g := rangeset.Box([]int{0, 0}, []int{rows - 1, cols - 1})
+		g0 := 1 + rng.Intn(min(3, rows))
+		g1 := 1 + rng.Intn(min(3, cols))
+		srcD := randomDistAnyKind(rng, g, g0, g1)
+		dstD := randomDistAnyKind(rng, g, g0, g1)
+
+		FlushPlans()
+		msg.Run(g0*g1, func(c *msg.Comm) {
+			src, err := New[float64](c, "a", srcD)
+			if err != nil {
+				panic(err)
+			}
+			planned, err := New[float64](c, "b", dstD)
+			if err != nil {
+				panic(err)
+			}
+			reference, err := New[float64](c, "c", dstD)
+			if err != nil {
+				panic(err)
+			}
+			for pass := 0; pass < 2; pass++ { // cold, then warm
+				fill := func(cd []int) float64 { return coordVal(cd) + float64(pass)*1000 }
+				src.Fill(fill)
+				if err := Assign(planned, src); err != nil {
+					panic(err)
+				}
+				if err := assignReference(reference, src); err != nil {
+					panic(err)
+				}
+				pl, rl := planned.Local(), reference.Local()
+				if len(pl) != len(rl) {
+					panic("planned and reference local sizes differ")
+				}
+				for i := range pl {
+					if pl[i] != rl[i] {
+						panic("planned Assign diverges from reference")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAssignPlanCacheHitsAndEviction pins the cache mechanics: within one
+// application instance a repeated (src, dst, comm) triple misses once and
+// then hits; FlushPlans forces a rebuild; and a fresh application
+// instance (new communicators, e.g. a reconfigured restart) never sees
+// stale plans because its comm pointers key fresh entries.
+func TestAssignPlanCacheHitsAndEviction(t *testing.T) {
+	g := rangeset.Box([]int{0, 0}, []int{7, 7})
+	srcD, err := dist.Block(g, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstD, err := dist.Block(g, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(assigns int) {
+		msg.Run(2, func(c *msg.Comm) {
+			src, _ := New[float64](c, "a", srcD)
+			dst, _ := New[float64](c, "b", dstD)
+			src.Fill(coordVal)
+			for k := 0; k < assigns; k++ {
+				if err := Assign(dst, src); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	FlushPlans()
+	ResetPlanCacheStats()
+	run(3)
+	// One miss per rank on the first assignment, hits on the other two.
+	if h, m := PlanCacheStats(); h != 4 || m != 2 {
+		t.Fatalf("single instance: hits=%d misses=%d, want 4/2", h, m)
+	}
+	// A new application instance has new communicators: its first
+	// assignment must miss (no cross-instance plan reuse).
+	run(1)
+	if h, m := PlanCacheStats(); h != 4 || m != 4 {
+		t.Fatalf("second instance: hits=%d misses=%d, want 4/4", h, m)
+	}
+}
+
+// TestAssignPlannedAfterReset reconfigures an array with Reset (the
+// streaming layer's recycling idiom) and checks that assignments keep
+// matching the reference: new distribution pointers key new plans, old
+// plans age out — no explicit invalidation, no staleness.
+func TestAssignPlannedAfterReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	g := rangeset.Box([]int{0, 0}, []int{9, 11})
+	srcD := randomDistAnyKind(rng, g, 2, 2)
+	dists := []*dist.Distribution{
+		randomDistAnyKind(rng, g, 2, 2),
+		randomDistAnyKind(rng, g, 2, 2),
+		randomDistAnyKind(rng, g, 2, 2),
+	}
+	msg.Run(4, func(c *msg.Comm) {
+		src, err := New[float64](c, "a", srcD)
+		if err != nil {
+			panic(err)
+		}
+		src.Fill(coordVal)
+		dst, err := New[float64](c, "b", dists[0])
+		if err != nil {
+			panic(err)
+		}
+		reference, err := New[float64](c, "c", dists[0])
+		if err != nil {
+			panic(err)
+		}
+		for round := 0; round < 6; round++ {
+			d := dists[round%len(dists)]
+			if err := dst.Reset(d); err != nil {
+				panic(err)
+			}
+			if err := reference.Reset(d); err != nil {
+				panic(err)
+			}
+			if err := Assign(dst, src); err != nil {
+				panic(err)
+			}
+			if err := assignReference(reference, src); err != nil {
+				panic(err)
+			}
+			pl, rl := dst.Local(), reference.Local()
+			for i := range pl {
+				if pl[i] != rl[i] {
+					panic("planned Assign diverges from reference after Reset")
+				}
+			}
+		}
+	})
+}

@@ -70,6 +70,14 @@ type Meta struct {
 	// ArrayPieces holds each array's per-piece checksums (DRMS mode):
 	// the diff base for incremental checkpoints.
 	ArrayPieces [][]PieceSum
+	// PlanSigs holds each array's streaming-plan signature
+	// (stream.PlanSig), aligned with Arrays. Two checkpoints with equal
+	// signatures used the identical piece decomposition and byte offsets,
+	// so the signature is a cheap "did the plan change?" identity test:
+	// the incremental path only trusts per-piece diffing against a
+	// previous checkpoint whose signature matches. Decodes as empty from
+	// older metadata, which simply forces a full write.
+	PlanSigs []string
 }
 
 // Stats summarizes a checkpoint or restart operation on this task.
@@ -157,16 +165,21 @@ func writeDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 	metas := make([]ArrayMeta, len(arrays))
 	crcs := make([]uint64, len(arrays))
 	pieceLists := make([][]PieceSum, len(arrays))
+	sigs := make([]string, len(arrays))
 	for i, a := range arrays {
 		fs.BeginPhase("arrays:" + a.Name())
 		opts := o
 		hook, pieces := crcCollector()
 		opts.PieceHook = hook
-		if prev != nil && prev.Arrays[i].Name == a.Name() {
+		sigs[i] = stream.PlanSig(a.GlobalShape(), a.ElemSize(), comm.Size(), o)
+		if prev != nil && prev.Arrays[i].Name == a.Name() &&
+			len(prev.PlanSigs) > i && prev.PlanSigs[i] == sigs[i] {
 			// Incremental: skip pieces whose checksum matches the previous
-			// checkpoint. Offset and length must agree too — a changed
-			// piece plan numbers different extents, and a piece may only
-			// be elided if the identical byte range is already on storage.
+			// checkpoint, but only when the stored plan signature proves
+			// both checkpoints use the identical piece decomposition — the
+			// same identity the plan caches key on. Offset and length must
+			// agree too: a piece may only be elided if the identical byte
+			// range is already on storage.
 			base := make(map[int]PieceSum, len(prev.ArrayPieces[i]))
 			for _, p := range prev.ArrayPieces[i] {
 				base[p.Index] = p
@@ -195,7 +208,8 @@ func writeDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 		fs.BeginPhase("meta")
 		m := Meta{Version: version, Mode: ModeDRMS, Tasks: comm.Size(),
 			Ctx: sg.Ctx, Arrays: metas, SegBytes: []int64{segBytes},
-			SegCRC: []uint64{segCRC}, ArrayCRC: crcs, ArrayPieces: pieceLists}
+			SegCRC: []uint64{segCRC}, ArrayCRC: crcs, ArrayPieces: pieceLists,
+			PlanSigs: sigs}
 		if err := writeMeta(fs, prefix, me, m); err != nil {
 			return st, err
 		}

@@ -307,3 +307,50 @@ func TestIncrementalWithoutBaseIsFullWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIncrementalRequiresPlanSig(t *testing.T) {
+	// Metadata written before plan signatures existed decodes with an
+	// empty PlanSigs; per-piece diffing must not be trusted against it —
+	// the refresh falls back to a full write (and records fresh sigs).
+	fs := testFS()
+	msg.Run(2, func(c *msg.Comm) {
+		sg, refs, u, ids := buildApp(c, []int{2, 1})
+		u.Fill(coordVal)
+		ids.Fill(func(cd []int) int32 { return 3 })
+		if _, err := WriteDRMS(fs, "ck", c, sg, refs, stream.Options{PieceBytes: 200}); err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			m, err := ReadMeta(fs, "ck", 0)
+			if err != nil {
+				panic(err)
+			}
+			if len(m.PlanSigs) != len(m.Arrays) {
+				panic("checkpoint missing plan signatures")
+			}
+			m.PlanSigs = nil // simulate a pre-signature checkpoint
+			if err := writeMeta(fs, "ck", 0, m); err != nil {
+				panic(err)
+			}
+		}
+		c.Barrier()
+		st, err := WriteDRMSIncremental(fs, "ck", c, sg, refs, stream.Options{PieceBytes: 200})
+		if err != nil {
+			panic(err)
+		}
+		if st.SkippedBytes != 0 {
+			panic("trusted piece diffs without a matching plan signature")
+		}
+		// The refresh restored the signatures, so the next one skips again.
+		st, err = WriteDRMSIncremental(fs, "ck", c, sg, refs, stream.Options{PieceBytes: 200})
+		if err != nil {
+			panic(err)
+		}
+		if c.AllreduceF64(float64(st.SkippedBytes), msg.Sum) == 0 {
+			panic("no pieces skipped once signatures are back")
+		}
+	})
+	if err := Verify(fs, "ck", 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,33 +18,53 @@ func bytesF64(b []byte) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b))
 }
 
-// packFrames concatenates buffers as [count][len0][bytes0][len1]... so a
-// set of per-rank buffers can travel through a single broadcast.
+// packFrames concatenates per-rank buffers for a single broadcast as
+// [count][active][idx0][len0][bytes0][idx1]... — only non-empty frames
+// are indexed and copied, so sparse sets (most ranks contributing
+// nothing, the common shape under plan-driven collectives) cost no
+// framing work for the empty entries.
 func packFrames(parts [][]byte) []byte {
-	n := 4
+	n := 8
+	active := 0
 	for _, p := range parts {
-		n += 4 + len(p)
+		if len(p) > 0 {
+			n += 8 + len(p)
+			active++
+		}
 	}
 	out := make([]byte, 0, n)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(parts)))
-	for _, p := range parts {
+	out = binary.LittleEndian.AppendUint32(out, uint32(active))
+	for i, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(i))
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(p)))
 		out = append(out, p...)
 	}
 	return out
 }
 
+// unpackFrames splits a packFrames buffer back into per-rank frames.
+// Frames alias flat — no per-frame defensive copy. Every caller of this
+// pair unpacks a buffer it owns outright (a fresh transport receive or
+// its own packFrames output, neither pooled), so the copy the previous
+// version made per frame bought nothing. Callers that recycle flat must
+// copy frames they retain. Absent (empty) frames decode as nil.
 func unpackFrames(flat []byte, want int) [][]byte {
 	n := int(binary.LittleEndian.Uint32(flat))
 	if n != want {
 		panic("msg: frame count mismatch")
 	}
-	flat = flat[4:]
+	active := int(binary.LittleEndian.Uint32(flat[4:]))
+	flat = flat[8:]
 	out := make([][]byte, n)
-	for i := 0; i < n; i++ {
-		l := int(binary.LittleEndian.Uint32(flat))
-		flat = flat[4:]
-		out[i] = append([]byte(nil), flat[:l]...)
+	for k := 0; k < active; k++ {
+		i := int(binary.LittleEndian.Uint32(flat))
+		l := int(binary.LittleEndian.Uint32(flat[4:]))
+		flat = flat[8:]
+		out[i] = flat[:l:l]
 		flat = flat[l:]
 	}
 	return out

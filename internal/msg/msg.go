@@ -155,7 +155,9 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 	return out
 }
 
-// Allgather collects every task's buffer at every task.
+// Allgather collects every task's buffer at every task. The returned
+// frames share one backing buffer (the broadcast payload); callers that
+// mutate one frame must copy it first.
 func (c *Comm) Allgather(data []byte) [][]byte {
 	parts := c.Gather(0, data)
 	// Broadcast the gathered set from root. Frame as length-prefixed
@@ -187,6 +189,45 @@ func (c *Comm) Alltoall(send [][]byte) [][]byte {
 		src := (c.rank - s + c.size) % c.size
 		c.send(dst, tag, send[dst])
 		recv[src] = c.recv(src, tag)
+	}
+	return recv
+}
+
+// AlltoallSparse is Alltoall restricted to a known communication graph,
+// the exchange a precomputed redistribution plan drives: this task sends
+// send[q] to exactly the ranks q with sendTo[q] true and receives from
+// exactly the ranks q with recvFrom[q] true; all other peers are skipped
+// entirely — no message, no empty-frame transport round-trip. The graph
+// must be globally consistent (sendTo[q] here iff recvFrom[here] at q —
+// guaranteed when both sides derive it from the same pair of
+// distributions); an inconsistent graph deadlocks or misroutes, exactly
+// as mismatched point-to-point calls would. The self entry travels only
+// if sendTo[rank] is set. Result entries for inactive peers are nil.
+// Collective: every task must call it, even with all-false masks.
+func (c *Comm) AlltoallSparse(send [][]byte, sendTo, recvFrom []bool) [][]byte {
+	if len(send) != c.size || len(sendTo) != c.size || len(recvFrom) != c.size {
+		panic(fmt.Sprintf("msg: AlltoallSparse with %d/%d/%d entries for %d ranks",
+			len(send), len(sendTo), len(recvFrom), c.size))
+	}
+	tag := c.collTag(opAlltoall)
+	recv := make([][]byte, c.size)
+	if sendTo[c.rank] {
+		recv[c.rank] = append([]byte(nil), send[c.rank]...)
+	}
+	// Same shifted pairwise schedule as Alltoall: in step s this rank's
+	// partner pair is (rank+s, rank-s), and the peer that would send to us
+	// in this step is exactly the one our recvFrom mask covers, so the
+	// skip decisions pair up across ranks. Sends are buffered, so a step
+	// with a send and no receive (or vice versa) cannot deadlock.
+	for s := 1; s < c.size; s++ {
+		dst := (c.rank + s) % c.size
+		src := (c.rank - s + c.size) % c.size
+		if sendTo[dst] {
+			c.send(dst, tag, send[dst])
+		}
+		if recvFrom[src] {
+			recv[src] = c.recv(src, tag)
+		}
 	}
 	return recv
 }

@@ -390,3 +390,147 @@ func TestAllreduceF64sEmpty(t *testing.T) {
 		}
 	})
 }
+
+func TestAlltoallSparse(t *testing.T) {
+	// Graph: rank r sends to r+1 and r+2 (mod n) and, when r is even, to
+	// itself — sparse, asymmetric, and deterministic, so every task can
+	// derive both its send mask and the matching receive mask locally,
+	// exactly as plan-driven collectives derive both from one distribution
+	// pair.
+	for _, n := range []int{1, 2, 3, 6} {
+		n := n
+		sends := func(from, to int) bool {
+			if from == to {
+				return from%2 == 0
+			}
+			d := (to - from + n) % n
+			return d == 1 || d == 2%n
+		}
+		runBoth(t, n, func(c *Comm) {
+			send := make([][]byte, n)
+			sendTo := make([]bool, n)
+			recvFrom := make([]bool, n)
+			for q := 0; q < n; q++ {
+				sendTo[q] = sends(c.Rank(), q)
+				recvFrom[q] = sends(q, c.Rank())
+				if sendTo[q] {
+					send[q] = []byte(fmt.Sprintf("%d->%d", c.Rank(), q))
+				}
+			}
+			got := c.AlltoallSparse(send, sendTo, recvFrom)
+			for s := 0; s < n; s++ {
+				if !recvFrom[s] {
+					if got[s] != nil {
+						panic(fmt.Sprintf("rank %d: inactive peer %d delivered %q", c.Rank(), s, got[s]))
+					}
+					continue
+				}
+				want := fmt.Sprintf("%d->%d", s, c.Rank())
+				if string(got[s]) != want {
+					panic(fmt.Sprintf("rank %d slot %d = %q want %q", c.Rank(), s, got[s], want))
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoallSparseMatchesDense(t *testing.T) {
+	// With all-true masks the sparse exchange is the dense one.
+	runBoth(t, 4, func(c *Comm) {
+		n := c.Size()
+		send := make([][]byte, n)
+		all := make([]bool, n)
+		for q := 0; q < n; q++ {
+			send[q] = []byte{byte(c.Rank()), byte(q)}
+			all[q] = true
+		}
+		dense := c.Alltoall(send)
+		sparse := c.AlltoallSparse(send, all, all)
+		for s := 0; s < n; s++ {
+			if !reflect.DeepEqual(dense[s], sparse[s]) {
+				panic(fmt.Sprintf("rank %d slot %d: dense %v sparse %v", c.Rank(), s, dense[s], sparse[s]))
+			}
+		}
+	})
+}
+
+func TestAlltoallSparseEmptyGraph(t *testing.T) {
+	// All-false masks are a legal degenerate call: no traffic, all-nil
+	// result, and the collective still lines up across tasks.
+	Run(3, func(c *Comm) {
+		masks := make([]bool, 3)
+		got := c.AlltoallSparse(make([][]byte, 3), masks, masks)
+		for s, b := range got {
+			if b != nil {
+				panic(fmt.Sprintf("slot %d non-nil under empty graph", s))
+			}
+		}
+	})
+}
+
+func TestAlltoallSparseLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short mask accepted")
+		}
+	}()
+	Run(2, func(c *Comm) {
+		c.AlltoallSparse(make([][]byte, 2), make([]bool, 1), make([]bool, 2))
+	})
+}
+
+func TestPackFramesSparseLayout(t *testing.T) {
+	// Only non-empty frames are indexed and copied: the header records the
+	// active count and the body holds one [idx][len][bytes] record per
+	// non-empty frame, so a mostly-empty set costs O(active), not O(ranks).
+	parts := [][]byte{nil, {7, 8}, nil, nil, {9}, nil}
+	flat := packFrames(parts)
+	if got := int(binary.LittleEndian.Uint32(flat)); got != 6 {
+		t.Fatalf("frame count = %d, want 6", got)
+	}
+	if got := int(binary.LittleEndian.Uint32(flat[4:])); got != 2 {
+		t.Fatalf("active count = %d, want 2", got)
+	}
+	if want := 8 + (8 + 2) + (8 + 1); len(flat) != want {
+		t.Fatalf("packed %d bytes, want %d", len(flat), want)
+	}
+	got := unpackFrames(flat, 6)
+	for i, p := range parts {
+		if len(p) == 0 {
+			if got[i] != nil {
+				t.Fatalf("frame %d = %v, want nil", i, got[i])
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got[i], p) {
+			t.Fatalf("frame %d = %v, want %v", i, got[i], p)
+		}
+	}
+}
+
+func TestUnpackFramesAliasesInput(t *testing.T) {
+	// The contract: frames are subslices of flat, no defensive copy, and
+	// each is capacity-clipped so appending to one cannot clobber the next.
+	flat := packFrames([][]byte{{1, 2}, {3}})
+	got := unpackFrames(flat, 2)
+	flat[8+8] = 99 // first payload byte of frame 0
+	if got[0][0] != 99 {
+		t.Fatal("unpackFrames copied; expected aliasing")
+	}
+	if cap(got[0]) != len(got[0]) {
+		t.Fatal("frame capacity not clipped to its length")
+	}
+	_ = append(got[0], 42)
+	if got[1][0] != 3 {
+		t.Fatal("append to frame 0 clobbered frame 1")
+	}
+}
+
+func TestUnpackFramesCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("count mismatch accepted")
+		}
+	}()
+	unpackFrames(packFrames(make([][]byte, 3)), 4)
+}

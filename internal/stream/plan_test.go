@@ -1,0 +1,172 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"drms/internal/array"
+	"drms/internal/dist"
+	"drms/internal/msg"
+	"drms/internal/rangeset"
+)
+
+// TestStreamWarmPlanByteIdentity is the oracle for the streaming plan
+// cache: within one application instance, the first Write of a
+// configuration builds the plan and every later Write replays it — and
+// warm output must be byte-identical to cold output, for both element
+// orders and for random sections, distributions, and piece sizes.
+func TestStreamWarmPlanByteIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 20; iter++ {
+		rows := 3 + rng.Intn(10)
+		cols := 3 + rng.Intn(10)
+		g := rangeset.Box([]int{0, 0}, []int{rows - 1, cols - 1})
+		x := randomSection(rng, g)
+		order := rangeset.Order(rng.Intn(2))
+		tasks := 1 + rng.Intn(4)
+		o := Options{
+			Order:      order,
+			Writers:    rng.Intn(tasks + 1),
+			PieceBytes: 8 * (1 + rng.Intn(40)),
+		}
+		fs := testFS()
+		FlushPlans()
+		ResetPlanCacheStats()
+		grid := dist.FactorGrid(tasks, 2, g.Shape())
+		msg.Run(tasks, func(c *msg.Comm) {
+			d, err := dist.Block(g, grid)
+			if err != nil {
+				panic(err)
+			}
+			a, err := array.New[float64](c, "u", d)
+			if err != nil {
+				panic(err)
+			}
+			a.Fill(coordVal)
+			if _, err := Write(a, x, fs, "cold", o); err != nil {
+				panic(err)
+			}
+			if _, err := Write(a, x, fs, "warm", o); err != nil {
+				panic(err)
+			}
+		})
+		if h, _ := PlanCacheStats(); h < uint64(tasks) {
+			t.Fatalf("iter %d: second Write hit the plan cache only %d times for %d tasks", iter, h, tasks)
+		}
+		want := referenceStream(x, order)
+		for _, name := range []string{"cold", "warm"} {
+			got := make([]byte, len(want))
+			if err := fs.ReadAt(0, name, got, 0); err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("iter %d: %s stream of %v differs from linearization", iter, name, x)
+			}
+		}
+	}
+}
+
+// TestStreamWarmPlanReadBack checks the read side of plan reuse: a warm
+// Read (same configuration as a preceding Write within one instance)
+// restores the section exactly.
+func TestStreamWarmPlanReadBack(t *testing.T) {
+	g := rangeset.Box([]int{0, 0}, []int{11, 9})
+	x := rangeset.Box([]int{1, 1}, []int{10, 8})
+	for _, order := range []rangeset.Order{rangeset.ColMajor, rangeset.RowMajor} {
+		o := Options{Order: order, PieceBytes: 256}
+		fs := testFS()
+		msg.Run(4, func(c *msg.Comm) {
+			a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 2}))
+			if err != nil {
+				panic(err)
+			}
+			a.Fill(coordVal)
+			if _, err := Write(a, x, fs, "s", o); err != nil {
+				panic(err)
+			}
+			b, err := array.New[float64](c, "v", mustBlock(g, []int{4, 1}))
+			if err != nil {
+				panic(err)
+			}
+			for round := 0; round < 3; round++ { // cold read, then warm replays
+				b.Fill(func([]int) float64 { return -1 })
+				if _, err := Read(b, x, fs, "s", o); err != nil {
+					panic(err)
+				}
+				x.Each(rangeset.ColMajor, func(cd []int) {
+					if b.Has(cd) && b.At(cd) != coordVal(cd) {
+						panic(fmt.Sprintf("warm read round %d corrupted element %v", round, cd))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSequentialWarmPlanByteIdentity covers the sequential-channel path's
+// plan reuse: repeated WriteTo within one instance replays the cached
+// one-piece rounds and appends identical bytes.
+func TestSequentialWarmPlanByteIdentity(t *testing.T) {
+	g := rangeset.Box([]int{0, 0}, []int{9, 9})
+	x := rangeset.Box([]int{0, 2}, []int{9, 7})
+	o := Options{PieceBytes: 128}
+	var cold, warm bytes.Buffer
+	FlushPlans()
+	msg.Run(3, func(c *msg.Comm) {
+		a, err := array.New[float64](c, "u", mustBlock(g, []int{3, 1}))
+		if err != nil {
+			panic(err)
+		}
+		a.Fill(coordVal)
+		for _, sink := range []*bytes.Buffer{&cold, &warm} {
+			var w io.Writer
+			if c.Rank() == 1 {
+				w = sink
+			}
+			if _, err := WriteTo(a, x, w, 1, o); err != nil {
+				panic(err)
+			}
+		}
+	})
+	want := referenceStream(x, rangeset.ColMajor)
+	if !bytes.Equal(cold.Bytes(), want) {
+		t.Fatal("cold sequential stream differs from linearization")
+	}
+	if !bytes.Equal(warm.Bytes(), want) {
+		t.Fatal("warm sequential stream differs from linearization")
+	}
+}
+
+// TestPlanSigIdentity pins the plan-signature contract the checkpoint
+// layer relies on: equal configurations produce equal signatures, and any
+// change of section, element size, writer count, piece size, order, or
+// base offset changes the signature.
+func TestPlanSigIdentity(t *testing.T) {
+	g := rangeset.Box([]int{0, 0}, []int{15, 15})
+	x := rangeset.Box([]int{0, 0}, []int{7, 15})
+	base := PlanSig(g, 8, 4, Options{PieceBytes: 512})
+	if got := PlanSig(g, 8, 4, Options{PieceBytes: 512}); got != base {
+		t.Fatal("equal configurations produced different signatures")
+	}
+	variants := map[string]string{
+		"section":    PlanSig(x, 8, 4, Options{PieceBytes: 512}),
+		"elem size":  PlanSig(g, 4, 4, Options{PieceBytes: 512}),
+		"writers":    PlanSig(g, 8, 4, Options{Writers: 2, PieceBytes: 512}),
+		"pieces":     PlanSig(g, 8, 4, Options{PieceBytes: 256}),
+		"order":      PlanSig(g, 8, 4, Options{Order: rangeset.RowMajor, PieceBytes: 512}),
+		"baseoffset": PlanSig(g, 8, 4, Options{PieceBytes: 512, BaseOffset: 64}),
+	}
+	for what, sig := range variants {
+		if sig == base {
+			t.Fatalf("changing %s left the plan signature unchanged", what)
+		}
+	}
+	// Task count matters only through the effective writer count.
+	if PlanSig(g, 8, 2, Options{Writers: 2, PieceBytes: 512}) !=
+		PlanSig(g, 8, 4, Options{Writers: 2, PieceBytes: 512}) {
+		t.Fatal("same effective writers, different signature")
+	}
+}

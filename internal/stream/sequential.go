@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"drms/internal/array"
-	"drms/internal/dist"
 	"drms/internal/msg"
 	"drms/internal/rangeset"
 )
@@ -21,7 +20,9 @@ import (
 // designated I/O task appending to (or consuming from) a plain io.Writer
 // / io.Reader — a TCP connection, a pipe, a tape. Only the I/O task's
 // channel argument is used; the other tasks pass nil and participate in
-// the redistribution rounds.
+// the redistribution rounds. The per-piece canonical distributions come
+// from the same plan cache as parallel streaming, keyed with the I/O
+// task, so repeated sequential streams replay cached rounds too.
 
 // WriteTo streams section x of a in linearization order to w, which only
 // task ioTask needs to provide. Collective. Returns this task's stats.
@@ -37,22 +38,23 @@ func WriteTo[T array.Elem](a *array.Array[T], x rangeset.Slice, w io.Writer, ioT
 		return Stats{}, fmt.Errorf("stream: I/O task %d has no writer", ioTask)
 	}
 	es := array.ElemSize[T]()
-	pieces, _, total := plan(x, es, 1, o)
-	st := Stats{StreamBytes: total, Pieces: len(pieces)}
+	sp, err := planForSeq(comm, a.Global(), x, es, ioTask, o)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{StreamBytes: sp.total, Pieces: len(sp.pieces)}
 	me := comm.Rank()
 
 	var (
-		aux      *array.Array[T]
-		assigned = make([]rangeset.Slice, comm.Size())
-		buf      []byte
+		aux *array.Array[T]
+		buf []byte
 	)
-	for i, piece := range pieces {
-		var ad *dist.Distribution
-		aux, ad, err = auxOnTask(a, aux, piece, ioTask, assigned)
-		if err != nil {
+	for i, piece := range sp.pieces {
+		ad := sp.rounds[i]
+		if aux, err = bindAux(a, aux, ad); err != nil {
 			return st, err
 		}
-		st.NetBytes += assignTraffic(a.Dist(), ad, me, es, nil)
+		st.NetBytes += assignTraffic(a.Dist(), ad, comm, es, nil)
 		if err := array.Assign(aux, a); err != nil {
 			return st, err
 		}
@@ -85,19 +87,20 @@ func ReadFrom[T array.Elem](a *array.Array[T], x rangeset.Slice, r io.Reader, io
 		return Stats{}, fmt.Errorf("stream: I/O task %d has no reader", ioTask)
 	}
 	es := array.ElemSize[T]()
-	pieces, _, total := plan(x, es, 1, o)
-	st := Stats{StreamBytes: total, Pieces: len(pieces)}
+	sp, err := planForSeq(comm, a.Global(), x, es, ioTask, o)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{StreamBytes: sp.total, Pieces: len(sp.pieces)}
 	me := comm.Rank()
 
 	var (
-		aux      *array.Array[T]
-		assigned = make([]rangeset.Slice, comm.Size())
-		buf      []byte
+		aux *array.Array[T]
+		buf []byte
 	)
-	for i, piece := range pieces {
-		var ad *dist.Distribution
-		aux, ad, err = auxOnTask(a, aux, piece, ioTask, assigned)
-		if err != nil {
+	for i, piece := range sp.pieces {
+		ad := sp.rounds[i]
+		if aux, err = bindAux(a, aux, ad); err != nil {
 			return st, err
 		}
 		if me == ioTask && !piece.Empty() {
@@ -110,7 +113,7 @@ func ReadFrom[T array.Elem](a *array.Array[T], x rangeset.Slice, r io.Reader, io
 			}
 			aux.UnpackSection(piece, o.Order, b)
 		}
-		st.NetBytes += assignTraffic(ad, a.Dist(), me, es, nil)
+		st.NetBytes += assignTraffic(ad, a.Dist(), comm, es, nil)
 		if err := array.Assign(a, aux); err != nil {
 			return st, err
 		}
@@ -123,32 +126,4 @@ func checkIOTask(comm *msg.Comm, ioTask int) error {
 		return fmt.Errorf("stream: I/O task %d outside 0..%d", ioTask, comm.Size()-1)
 	}
 	return nil
-}
-
-// auxOnTask binds the recycled canonical one-piece auxiliary array, with
-// the piece assigned to the designated I/O task. Like bindRound, aux is
-// allocated on the first piece and Reset on later ones; assigned is a
-// caller-owned scratch vector of communicator-size length.
-func auxOnTask[T array.Elem](a, aux *array.Array[T], piece rangeset.Slice, ioTask int, assigned []rangeset.Slice) (*array.Array[T], *dist.Distribution, error) {
-	empty := a.Global().EmptyLike()
-	for i := range assigned {
-		if i == ioTask {
-			assigned[i] = piece
-		} else {
-			assigned[i] = empty
-		}
-	}
-	ad, err := dist.Irregular(a.Global(), assigned, nil)
-	if err != nil {
-		return nil, nil, err
-	}
-	if aux == nil {
-		aux, err = array.New[T](a.Comm(), a.Name()+".seq", ad)
-	} else {
-		err = aux.Reset(ad)
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	return aux, ad, nil
 }

@@ -91,34 +91,16 @@ func (o Options) writers(tasks int) int {
 	return o.Writers
 }
 
-// plan computes the piece decomposition and per-piece byte offsets for
-// section x of an array with the given element size. m is chosen so each
-// piece is at most ~PieceBytes, but never below the writer count, "in
-// order to exploit parallelism" (§3.2). The byte layout of the stream is
-// independent of m: offsets are prefix sums over a partition whose
-// concatenated linearizations equal the section's linearization, so a
-// reader may replan with any m and still address the same bytes.
-func plan(x rangeset.Slice, elemSize, writers int, o Options) (pieces []rangeset.Slice, offsets []int64, total int64) {
-	if x.Empty() {
-		return nil, nil, 0
-	}
-	bytes := int64(x.Size()) * int64(elemSize)
-	m := int((bytes + int64(o.pieceBytes()) - 1) / int64(o.pieceBytes()))
-	m = max(m, writers)
-	pieces = x.Partition(m, o.Order)
-	offsets = make([]int64, len(pieces))
-	off := o.BaseOffset
-	for i, p := range pieces {
-		offsets[i] = off
-		off += int64(p.Size()) * int64(elemSize)
-	}
-	return pieces, offsets, bytes
-}
-
 // Write streams section x of array a to the named file on fs. It is a
 // collective operation: every task of a's communicator must call it with
 // identical arguments. The resulting file bytes depend only on x, the
 // element type and the order — not on a's distribution or on Writers.
+//
+// The piece partition, byte offsets, and per-round canonical
+// distributions come from a cached plan (see plan.go): the first stream
+// of a configuration builds them, every later checkpoint of the same run
+// replays them, and — because the cached rounds are stable pointers — the
+// per-round redistributions execute cached array plans too.
 func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, name string, o Options) (Stats, error) {
 	comm, err := commOf(a, x)
 	if err != nil {
@@ -126,8 +108,11 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 	}
 	es := array.ElemSize[T]()
 	p := o.writers(comm.Size())
-	pieces, offsets, total := plan(x, es, p, o)
-	st := Stats{StreamBytes: total, Pieces: len(pieces)}
+	sp, err := planFor(comm, a.Global(), x, es, o)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{StreamBytes: sp.total, Pieces: len(sp.pieces)}
 	me := comm.Rank()
 
 	// Round state is allocated once and recycled: one auxiliary array
@@ -135,12 +120,11 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 	// flight, so the file I/O of round r overlaps the redistribution of
 	// round r+1 — the overlap the two-phase access strategy is after.
 	var (
-		aux      *array.Array[T]
-		assigned = make([]rangeset.Slice, comm.Size())
-		bufs     [2][]byte
-		flip     int
-		wg       sync.WaitGroup
-		werr     error
+		aux  *array.Array[T]
+		bufs [2][]byte
+		flip int
+		wg   sync.WaitGroup
+		werr error
 	)
 	defer wg.Wait() // never leak an in-flight write, even on error returns
 	join := func() error {
@@ -148,14 +132,13 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 		return werr
 	}
 
-	for base := 0; base < len(pieces); base += p {
-		round := pieces[base:min(base+p, len(pieces))]
-		var ad *dist.Distribution
-		aux, ad, err = bindRound(a, aux, round, assigned)
-		if err != nil {
+	for ri, base := 0, 0; base < len(sp.pieces); ri, base = ri+1, base+p {
+		round := sp.pieces[base:min(base+p, len(sp.pieces))]
+		ad := sp.rounds[ri]
+		if aux, err = bindAux(a, aux, ad); err != nil {
 			return st, err
 		}
-		st.NetBytes += assignTraffic(a.Dist(), ad, me, es, fs)
+		st.NetBytes += assignTraffic(a.Dist(), ad, comm, es, fs)
 		if err := array.Assign(aux, a); err != nil {
 			return st, err
 		}
@@ -167,11 +150,11 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 		if me < len(round) && !round[me].Empty() {
 			buf := sizeBuf(&bufs[flip], round[me].Size()*es)
 			aux.PackSectionInto(round[me], o.Order, buf)
-			off := offsets[base+me]
+			rel := sp.offsets[base+me]
 			if o.PieceHook != nil {
-				o.PieceHook(base+me, off-o.BaseOffset, buf)
+				o.PieceHook(base+me, rel, buf)
 			}
-			if o.SkipPiece != nil && o.SkipPiece(base+me, off-o.BaseOffset, buf) {
+			if o.SkipPiece != nil && o.SkipPiece(base+me, rel, buf) {
 				st.SkippedBytes += int64(len(buf))
 			} else {
 				if err := join(); err != nil {
@@ -183,7 +166,7 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 					if err := fs.WriteAt(me, name, buf, off); err != nil {
 						werr = err
 					}
-				}(buf, off)
+				}(buf, rel+o.BaseOffset)
 				flip = 1 - flip
 			}
 		}
@@ -203,28 +186,29 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 	}
 	es := array.ElemSize[T]()
 	p := o.writers(comm.Size())
-	pieces, offsets, total := plan(x, es, p, o)
-	st := Stats{StreamBytes: total, Pieces: len(pieces)}
+	sp, err := planFor(comm, a.Global(), x, es, o)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{StreamBytes: sp.total, Pieces: len(sp.pieces)}
 	me := comm.Rank()
 
 	// Mirror image of Write's pipeline: this task's piece of round r+1 is
 	// prefetched from the file while round r's redistribution runs.
 	var (
-		aux      *array.Array[T]
-		assigned = make([]rangeset.Slice, comm.Size())
-		bufs     [2][]byte
-		flip     int
-		wg       sync.WaitGroup
-		perr     error
-		pending  bool
+		aux     *array.Array[T]
+		bufs    [2][]byte
+		flip    int
+		wg      sync.WaitGroup
+		perr    error
+		pending bool
 	)
 	defer wg.Wait() // never leak an in-flight prefetch, even on error returns
 
-	for base := 0; base < len(pieces); base += p {
-		round := pieces[base:min(base+p, len(pieces))]
-		var ad *dist.Distribution
-		aux, ad, err = bindRound(a, aux, round, assigned)
-		if err != nil {
+	for ri, base := 0, 0; base < len(sp.pieces); ri, base = ri+1, base+p {
+		round := sp.pieces[base:min(base+p, len(sp.pieces))]
+		ad := sp.rounds[ri]
+		if aux, err = bindAux(a, aux, ad); err != nil {
 			return st, err
 		}
 		hasPiece := me < len(round) && !round[me].Empty()
@@ -241,7 +225,7 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 				buf = bufs[flip][:n]
 			} else {
 				buf = sizeBuf(&bufs[flip], n)
-				if err := fs.ReadAt(me, name, buf, offsets[base+me]); err != nil {
+				if err := fs.ReadAt(me, name, buf, sp.offsets[base+me]+o.BaseOffset); err != nil {
 					return st, err
 				}
 			}
@@ -249,23 +233,23 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 		// Issue the prefetch of this task's next piece into the spare
 		// buffer before entering the collective below, so the file read
 		// overlaps the redistribution.
-		if idx := base + p + me; me < p && idx < len(pieces) && !pieces[idx].Empty() {
-			nbuf := sizeBuf(&bufs[1-flip], pieces[idx].Size()*es)
+		if idx := base + p + me; me < p && idx < len(sp.pieces) && !sp.pieces[idx].Empty() {
+			nbuf := sizeBuf(&bufs[1-flip], sp.pieces[idx].Size()*es)
 			wg.Add(1)
 			pending = true
 			go func(off int64) {
 				defer wg.Done()
 				perr = fs.ReadAt(me, name, nbuf, off)
-			}(offsets[idx])
+			}(sp.offsets[idx] + o.BaseOffset)
 			flip = 1 - flip
 		}
 		if hasPiece {
 			if o.PieceHook != nil {
-				o.PieceHook(base+me, offsets[base+me]-o.BaseOffset, buf)
+				o.PieceHook(base+me, sp.offsets[base+me], buf)
 			}
 			aux.UnpackSection(round[me], o.Order, buf)
 		}
-		st.NetBytes += assignTraffic(ad, a.Dist(), me, es, fs)
+		st.NetBytes += assignTraffic(ad, a.Dist(), comm, es, fs)
 		if err := array.Assign(a, aux); err != nil {
 			return st, err
 		}
@@ -285,36 +269,15 @@ func commOf[T array.Elem](a *array.Array[T], x rangeset.Slice) (*msg.Comm, error
 	return a.Comm(), nil
 }
 
-// bindRound binds the recycled auxiliary array A' to the canonical
-// distribution of one streaming round: task p's assigned and mapped
-// section is round[p]; tasks beyond the round get empty sections (they
-// still participate in the redistribution, as they may hold elements of
-// the pieces — Fig. 5b resets their slices to empty each iteration). aux
-// is allocated on the first round and Reset (storage recycled, values
-// zeroed) on later ones; assigned is a caller-owned scratch vector of
-// communicator-size length (dist.Irregular copies it).
-func bindRound[T array.Elem](a, aux *array.Array[T], round, assigned []rangeset.Slice) (*array.Array[T], *dist.Distribution, error) {
-	empty := a.Global().EmptyLike()
-	for i := range assigned {
-		if i < len(round) {
-			assigned[i] = round[i]
-		} else {
-			assigned[i] = empty
-		}
-	}
-	ad, err := dist.Irregular(a.Global(), assigned, nil)
-	if err != nil {
-		return nil, nil, fmt.Errorf("stream: building canonical distribution: %w", err)
-	}
+// bindAux binds the recycled auxiliary array A' to the (cached) canonical
+// distribution of one streaming round. aux is allocated on the first
+// round and Reset (storage recycled, values zeroed, handle rebound to the
+// round's distribution pointer) on later ones.
+func bindAux[T array.Elem](a, aux *array.Array[T], ad *dist.Distribution) (*array.Array[T], error) {
 	if aux == nil {
-		aux, err = array.New[T](a.Comm(), a.Name()+".stream", ad)
-	} else {
-		err = aux.Reset(ad)
+		return array.New[T](a.Comm(), a.Name()+".stream", ad)
 	}
-	if err != nil {
-		return nil, nil, err
-	}
-	return aux, ad, nil
+	return aux, aux.Reset(ad)
 }
 
 // sizeBuf returns *b resized to n bytes, reallocating only when the
@@ -327,26 +290,16 @@ func sizeBuf(b *[]byte, n int) []byte {
 	return *b
 }
 
-// assignTraffic computes the bytes this task will send to *other* tasks
+// assignTraffic reports the bytes this task will send to *other* tasks
 // during Assign(dst←src) and records them in the file system's I/O trace
-// for the performance model. It returns the byte count.
-func assignTraffic(src, dst *dist.Distribution, me, elemSize int, fs *pfs.System) int64 {
-	var n int64
-	mine := src.Assigned(me)
-	if mine.Empty() {
-		return 0
-	}
-	for q := 0; q < dst.Tasks(); q++ {
-		if q == me {
-			continue
-		}
-		sec := mine.Intersect(dst.Mapped(q))
-		if !sec.Empty() {
-			n += int64(sec.Size()) * int64(elemSize)
-		}
-	}
+// for the performance model. The count comes from the same cached
+// communication plan the assignment is about to execute, so at steady
+// state the traffic model costs one cache probe per round instead of a
+// fresh set of intersections.
+func assignTraffic(src, dst *dist.Distribution, comm *msg.Comm, elemSize int, fs *pfs.System) int64 {
+	n := array.PlanRemoteBytes(src, dst, comm, elemSize)
 	if n > 0 && fs != nil {
-		fs.RecordNet(me, n)
+		fs.RecordNet(comm.Rank(), n)
 	}
 	return n
 }
