@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet test race bench
+.PHONY: check fmt vet lint test race bench
 
 # The full pre-merge gauntlet: formatting, static checks, all tests,
 # and the race detector over the concurrency-bearing packages.
-check: fmt vet test race
+check: fmt vet lint test race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -13,11 +13,26 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# The fallible runtime core (transport, streaming, checkpointing) reports
+# failures as errors, never by panicking: a panic in these packages would
+# take down survivors that are supposed to unwind with ErrRevoked and
+# restart. Tests are exempt — they may panic inside SPMD bodies as their
+# assertion mechanism.
+lint:
+	@out=$$(grep -rn 'panic(' --include='*.go' internal/msg internal/stream internal/ckpt | grep -v '_test\.go' || true); \
+	if [ -n "$$out" ]; then \
+		echo "panic() in fallible runtime code (must return errors):"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
+# Race coverage spans every layer that exercises real concurrency: the
+# transport (including its TCP mesh and fault injector), parallel
+# streaming, arrays, the checkpoint engine, the run-time system, and the
+# coordinator's heartbeat/revocation path.
 race:
-	$(GO) test -race ./internal/stream ./internal/array ./internal/msg
+	$(GO) test -race ./internal/stream ./internal/array ./internal/msg \
+		./internal/ckpt ./internal/drms ./internal/coord
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -141,7 +141,7 @@ func BenchmarkArrayAssignRedistribute(b *testing.B) {
 	g := benchGrid(n)
 	bytes := int64(g.Size() * 8)
 	b.SetBytes(bytes)
-	msg.Run(tasks, func(c *msg.Comm) {
+	mustRun(b, tasks, func(c *msg.Comm) {
 		d1, _ := dist.Block(g, []int{4, 1, 1})
 		d2, _ := dist.Block(g, []int{1, 2, 2})
 		src, _ := array.New[float64](c, "a", d1)
@@ -164,7 +164,7 @@ func BenchmarkParallelStreamWrite(b *testing.B) {
 	g := benchGrid(n)
 	fs := pfs.NewSystem(pfs.DefaultConfig())
 	b.SetBytes(int64(g.Size() * 8))
-	msg.Run(tasks, func(c *msg.Comm) {
+	mustRun(b, tasks, func(c *msg.Comm) {
 		d, _ := dist.Block(g, []int{2, 2, 1})
 		a, _ := array.New[float64](c, "u", d)
 		a.Fill(func(cd []int) float64 { return float64(cd[0] + cd[1]) })
@@ -186,7 +186,7 @@ func BenchmarkSerialStreamWrite(b *testing.B) {
 	g := benchGrid(n)
 	fs := pfs.NewSystem(pfs.DefaultConfig())
 	b.SetBytes(int64(g.Size() * 8))
-	msg.Run(tasks, func(c *msg.Comm) {
+	mustRun(b, tasks, func(c *msg.Comm) {
 		d, _ := dist.Block(g, []int{2, 2, 1})
 		a, _ := array.New[float64](c, "u", d)
 		a.Fill(func(cd []int) float64 { return float64(cd[0] + cd[1]) })
@@ -210,7 +210,7 @@ func BenchmarkSerialStreamWrite(b *testing.B) {
 func BenchmarkPackSection(b *testing.B) {
 	g := benchGrid(64) // 64^3 float64 = 2 MB
 	b.Run("bulk", func(b *testing.B) {
-		msg.Run(1, func(c *msg.Comm) {
+		mustRun(b, 1, func(c *msg.Comm) {
 			d, _ := dist.Block(g, []int{1, 1, 1})
 			a, _ := array.New[float64](c, "p", d)
 			a.Fill(func(cd []int) float64 { return float64(cd[0] - cd[2]) })
@@ -223,7 +223,7 @@ func BenchmarkPackSection(b *testing.B) {
 		})
 	})
 	b.Run("elementwise", func(b *testing.B) {
-		msg.Run(1, func(c *msg.Comm) {
+		mustRun(b, 1, func(c *msg.Comm) {
 			d, _ := dist.Block(g, []int{1, 1, 1})
 			a, _ := array.New[float64](c, "p", d)
 			a.Fill(func(cd []int) float64 { return float64(cd[0] - cd[2]) })
@@ -249,7 +249,7 @@ func BenchmarkAssignBulk(b *testing.B) {
 	const n, tasks = 64, 4
 	g := benchGrid(n)
 	b.SetBytes(int64(g.Size() * 8))
-	msg.Run(tasks, func(c *msg.Comm) {
+	mustRun(b, tasks, func(c *msg.Comm) {
 		d1, _ := dist.Block(g, []int{tasks, 1, 1})
 		d2, _ := dist.Block(g, []int{1, 1, tasks})
 		src, _ := array.New[float64](c, "a", d1)
@@ -275,7 +275,7 @@ func BenchmarkStreamPipelined(b *testing.B) {
 	g := benchGrid(n)
 	fs := pfs.NewSystem(pfs.DefaultConfig())
 	b.SetBytes(int64(g.Size() * 8))
-	msg.Run(tasks, func(c *msg.Comm) {
+	mustRun(b, tasks, func(c *msg.Comm) {
 		d, _ := dist.Block(g, []int{2, 2, 1})
 		a, _ := array.New[float64](c, "u", d)
 		a.Fill(func(cd []int) float64 { return float64(cd[0] + cd[1]) })
@@ -417,7 +417,7 @@ func BenchmarkAssignPlanned(b *testing.B) {
 			b.SetBytes(bytes)
 			array.FlushPlans()
 			array.ResetPlanCacheStats()
-			msg.Run(tasks, func(c *msg.Comm) {
+			mustRun(b, tasks, func(c *msg.Comm) {
 				d1, _ := dist.Block(g, []int{4, 1, 1})
 				d2, _ := dist.Block(g, []int{1, 2, 2})
 				src, _ := array.New[float64](c, "a", d1)

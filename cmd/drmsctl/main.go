@@ -30,7 +30,7 @@ func main() {
 	scenario := flag.String("scenario", "failure", "local demo: failure, reconfigure, or schedule")
 	nodes := flag.Int("nodes", 4, "processors in the machine (local demos)")
 	connect := flag.String("connect", "", "address of a running drmsd; switches to remote mode")
-	op := flag.String("op", "apps", "remote op: nodes, apps, status, submit, checkpoint, stop, reconfigure, failnode, verify, events")
+	op := flag.String("op", "apps", "remote op: nodes, apps, status, wait, submit, checkpoint, stop, reconfigure, failnode, verify, events")
 	name := flag.String("name", "", "remote: application name")
 	kernel := flag.String("kernel", "bt", "remote submit: bt, lu, sp")
 	class := flag.String("class", "S", "remote submit: problem class")
@@ -40,9 +40,21 @@ func main() {
 	iters := flag.Int("iters", 20, "remote submit: iterations")
 	node := flag.Int("node", 0, "remote failnode: processor")
 	prefix := flag.String("prefix", "", "remote verify: checkpoint prefix")
+	timeout := flag.Duration("timeout", 60*time.Second, "remote wait: how long to block for the application to settle")
 	flag.Parse()
 
 	if *connect != "" {
+		if *op == "wait" {
+			// The event-driven wait: one blocking round trip parks the
+			// server on the application's settle channel — no polling.
+			cl, err := coord.DialControl(*connect)
+			check(err)
+			defer cl.Close()
+			status, err := cl.WaitStatus(*name, *timeout)
+			check(err)
+			fmt.Printf("%-12s %s\n", *name, status)
+			return
+		}
 		remote(*connect, coord.Request{Op: *op, Name: *name, Kernel: *kernel,
 			Class: *class, Min: *minT, Max: *maxT, Tasks: *tasks, Iters: *iters,
 			Node: *node, Prefix: *prefix})

@@ -72,8 +72,12 @@ func ocean(t *drms.Task, g *drms.Group, prefix string) error {
 		if _, err := steer.Publish(sst, global, t.FS(), "sst", stream.Options{}); err != nil {
 			return err
 		}
-		g.Sync(t) // publication visible to the atmosphere
-		g.Sync(t) // atmosphere done consuming
+		if err := g.Sync(t); err != nil { // publication visible to the atmosphere
+			return err
+		}
+		if err := g.Sync(t); err != nil { // atmosphere done consuming
+			return err
+		}
 		cycle++
 	}
 	return nil
@@ -103,17 +107,25 @@ func atmos(out chan<- float64) func(*drms.Task, *drms.Group, string) error {
 			if cycle >= cycles {
 				break
 			}
-			g.Sync(t) // wait for the ocean's publication
+			if err := g.Sync(t); err != nil { // wait for the ocean's publication
+				return err
+			}
 			if _, err := steer.Fetch(forcing, t.FS(), "sst", stream.Options{}); err != nil {
 				return err
 			}
 			acc.Assigned().Each(rangeset.ColMajor, func(c []int) {
 				acc.Set(c, acc.At(c)+forcing.At(c))
 			})
-			g.Sync(t) // consumption done; ocean may evolve again
+			if err := g.Sync(t); err != nil { // consumption done; ocean may evolve again
+				return err
+			}
 			cycle++
 		}
-		if sum := acc.Checksum(); t.Rank() == 0 && out != nil {
+		sum, err := acc.Checksum()
+		if err != nil {
+			return err
+		}
+		if t.Rank() == 0 && out != nil {
 			out <- sum
 		}
 		return nil

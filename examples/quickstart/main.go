@@ -70,7 +70,11 @@ func simulate(maxIters int, out chan<- float64) func(*drms.Task) error {
 			})
 			iter++
 		}
-		if sum := u.Checksum(); t.Rank() == 0 {
+		sum, err := u.Checksum()
+		if err != nil {
+			return err
+		}
+		if t.Rank() == 0 {
 			out <- sum
 		}
 		return nil

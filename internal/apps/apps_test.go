@@ -313,7 +313,10 @@ func TestResidualsDeterministicAcrossTaskCounts(t *testing.T) {
 					return err
 				}
 			}
-			r := in.Residuals()
+			r, err := in.Residuals()
+			if err != nil {
+				return err
+			}
 			if tk.Rank() == 0 {
 				res = r
 			}

@@ -271,7 +271,7 @@ func (in *Instance) initialize() {
 
 // Checksum returns the distribution-independent checksum of the solution
 // array (the verification value). Collective.
-func (in *Instance) Checksum() float64 { return in.U().Checksum() }
+func (in *Instance) Checksum() (float64, error) { return in.U().Checksum() }
 
 // Residuals returns the per-component root-mean-square of the second
 // array (the right-hand side / residual array), the quantity the NPB
@@ -281,7 +281,7 @@ func (in *Instance) Checksum() float64 { return in.U().Checksum() }
 // tolerance — the same property the NPB verification epsilon accounts
 // for. (Checksum, by contrast, is bitwise decomposition-independent.)
 // Collective.
-func (in *Instance) Residuals() []float64 {
+func (in *Instance) Residuals() ([]float64, error) {
 	r := in.Arrays[in.K.Decls[1].Name]
 	comps := in.K.Decls[1].Comps
 	partial := make([]float64, comps)
@@ -291,12 +291,15 @@ func (in *Instance) Residuals() []float64 {
 		partial[c[0]] += v * v
 		i++
 	})
-	total := in.Task.Comm().AllreduceF64s(partial, msg.Sum)
+	total, err := in.Task.Comm().AllreduceF64s(partial, msg.Sum)
+	if err != nil {
+		return nil, err
+	}
 	n := float64(in.N)
 	for m := range total {
 		total[m] = math.Sqrt(total[m] / (n * n * n))
 	}
-	return total
+	return total, nil
 }
 
 // RunConfig drives a kernel as a complete DRMS application.
@@ -346,7 +349,10 @@ func (k *Kernel) App(rc RunConfig) func(*drms.Task) error {
 				rc.OnStep(in.Iter)
 			}
 		}
-		sum := in.Checksum()
+		sum, err := in.Checksum()
+		if err != nil {
+			return err
+		}
 		if rc.OnDone != nil && t.Rank() == 0 {
 			rc.OnDone <- sum
 		}

@@ -125,10 +125,12 @@ func runStride(m rangeset.Slice, order rangeset.Order) int {
 // PackSection linearizes the elements of section s (which must be a
 // subset of this task's mapped section) in the given order and returns
 // their wire encoding.
-func (a *Array[T]) PackSection(s rangeset.Slice, order rangeset.Order) []byte {
+func (a *Array[T]) PackSection(s rangeset.Slice, order rangeset.Order) ([]byte, error) {
 	out := make([]byte, s.Size()*ElemSize[T]())
-	a.PackSectionInto(s, order, out)
-	return out
+	if err := a.PackSectionInto(s, order, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // PackSectionInto is PackSection into a caller-supplied buffer of exactly
@@ -136,11 +138,11 @@ func (a *Array[T]) PackSection(s rangeset.Slice, order rangeset.Order) []byte {
 // buffers across operations. It moves data one maximal stride-1 run at a
 // time: a single global-to-local offset computation and a single type
 // dispatch per run, then a dense encode loop.
-func (a *Array[T]) PackSectionInto(s rangeset.Slice, order rangeset.Order, buf []byte) {
+func (a *Array[T]) PackSectionInto(s rangeset.Slice, order rangeset.Order, buf []byte) error {
 	es := ElemSize[T]()
 	if len(buf) != s.Size()*es {
-		panic(fmt.Sprintf("array %q: section %v needs %d bytes, got %d",
-			a.name, s, s.Size()*es, len(buf)))
+		return fmt.Errorf("array %q: section %v needs %d bytes, got %d",
+			a.name, s, s.Size()*es, len(buf))
 	}
 	stride := runStride(a.Mapped(), order)
 	local := any(a.local) // boxed once; the per-run type switch is then free of allocation
@@ -149,16 +151,17 @@ func (a *Array[T]) PackSectionInto(s rangeset.Slice, order rangeset.Order, buf [
 		encodeRun(local, buf[o:], a.LocalIndex(c), n, stride)
 		o += n * es
 	})
+	return nil
 }
 
 // UnpackSection stores a wire buffer produced by PackSection with the
 // same section and order into the local storage, run by run (the exact
 // inverse of PackSectionInto).
-func (a *Array[T]) UnpackSection(s rangeset.Slice, order rangeset.Order, buf []byte) {
+func (a *Array[T]) UnpackSection(s rangeset.Slice, order rangeset.Order, buf []byte) error {
 	es := ElemSize[T]()
 	if len(buf) != s.Size()*es {
-		panic(fmt.Sprintf("array %q: section %v needs %d bytes, got %d",
-			a.name, s, s.Size()*es, len(buf)))
+		return fmt.Errorf("array %q: section %v needs %d bytes, got %d",
+			a.name, s, s.Size()*es, len(buf))
 	}
 	stride := runStride(a.Mapped(), order)
 	local := any(a.local)
@@ -167,6 +170,7 @@ func (a *Array[T]) UnpackSection(s rangeset.Slice, order rangeset.Order, buf []b
 		decodeRun(local, buf[o:], a.LocalIndex(c), n, stride)
 		o += n * es
 	})
+	return nil
 }
 
 // Assign implements the DRMS array assignment B <- A for this task: every
@@ -207,11 +211,16 @@ func Assign[T Elem](dst, src *Array[T]) error {
 	}
 
 	// Phase 2: sparse exchange — only the peers the plan marks active are
-	// framed and touched.
-	recv := c.AlltoallSparse(pl.sendBufs, pl.sendTo, pl.recvFrom)
+	// framed and touched. On failure (revoked comm, dead peer) the scratch
+	// buffers are recycled and the plan's per-call state cleared, so the
+	// cached schedule itself stays pristine for a later retry or restart.
+	recv, xerr := c.AlltoallSparse(pl.sendBufs, pl.sendTo, pl.recvFrom)
 	for i := range pl.send {
 		putBuf(pl.sendBufs[pl.send[i].peer])
 		pl.sendBufs[pl.send[i].peer] = nil
+	}
+	if xerr != nil {
+		return fmt.Errorf("array assign %q <- %q: %w", dst.name, src.name, xerr)
 	}
 
 	// The self-overlap never leaves the task: both sides planned the same
@@ -265,12 +274,17 @@ func assignReference[T Elem](dst, src *Array[T]) error {
 			continue
 		}
 		send[q] = getBuf(sec.Size() * es)
-		src.PackSectionInto(sec, rangeset.ColMajor, send[q])
+		if err := src.PackSectionInto(sec, rangeset.ColMajor, send[q]); err != nil {
+			return err
+		}
 	}
 
-	recv := c.Alltoall(send)
+	recv, err := c.Alltoall(send)
 	for _, b := range send {
 		putBuf(b)
+	}
+	if err != nil {
+		return fmt.Errorf("array assign %q <- %q: %w", dst.name, src.name, err)
 	}
 
 	myMapped := dst.d.Mapped(p)
@@ -279,7 +293,9 @@ func assignReference[T Elem](dst, src *Array[T]) error {
 		if sec.Empty() {
 			continue
 		}
-		dst.UnpackSection(sec, rangeset.ColMajor, recv[q])
+		if err := dst.UnpackSection(sec, rangeset.ColMajor, recv[q]); err != nil {
+			return err
+		}
 		putBuf(recv[q])
 	}
 	return nil
@@ -341,17 +357,20 @@ func (a *Array[T]) ExchangeShadows() error {
 // Like Assign, Gather executes a cached plan: each task's pack runs and
 // root's per-sender scatter runs into the dense global space are computed
 // once per (distribution, root, order) and replayed on every repeat.
-func (a *Array[T]) Gather(root int, order rangeset.Order) []T {
+func (a *Array[T]) Gather(root int, order rangeset.Order) ([]T, error) {
 	c := a.comm
 	p := c.Rank()
 	es := ElemSize[T]()
 	pl := gatherPlanFor(a.d, c, root, order, es)
 	buf := getBuf(pl.packBytes)
 	packRuns(any(a.local), buf, pl.packRuns, es, pl.packStride)
-	parts := c.Gather(root, buf)
+	parts, err := c.Gather(root, buf)
 	putBuf(buf)
+	if err != nil {
+		return nil, fmt.Errorf("array %q: gather: %w", a.name, err)
+	}
 	if p != root {
-		return nil
+		return nil, nil
 	}
 	out := make([]T, a.Global().Size())
 	boxed := any(out)
@@ -359,7 +378,7 @@ func (a *Array[T]) Gather(root int, order rangeset.Order) []T {
 		unpackRuns(boxed, parts[q], pl.scatter[q], es, 1)
 		putBuf(parts[q])
 	}
-	return out
+	return out, nil
 }
 
 // Checksum returns a distribution-independent checksum: the sum of all
@@ -367,8 +386,11 @@ func (a *Array[T]) Gather(root int, order rangeset.Order) []T {
 // and broadcast. Because the accumulation order is fixed by the global
 // space, two runs with different task counts or distributions of the same
 // values produce bitwise-identical checksums. Collective.
-func (a *Array[T]) Checksum() float64 {
-	full := a.Gather(0, rangeset.ColMajor)
+func (a *Array[T]) Checksum() (float64, error) {
+	full, err := a.Gather(0, rangeset.ColMajor)
+	if err != nil {
+		return 0, err
+	}
 	var sum float64
 	if a.comm.Rank() == 0 {
 		for _, v := range full {

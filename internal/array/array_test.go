@@ -20,6 +20,15 @@ func coordVal(c []int) float64 {
 	return v
 }
 
+// mustRun executes the SPMD body, converting assertion panics inside it
+// (and any task error) into test failures.
+func mustRun(t testing.TB, n int, f func(c *msg.Comm)) {
+	t.Helper()
+	if err := msg.Run(n, func(c *msg.Comm) error { f(c); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func mustBlock(t testing.TB, g rangeset.Slice, grid []int) *dist.Distribution {
 	t.Helper()
 	d, err := dist.Block(g, grid)
@@ -31,7 +40,7 @@ func mustBlock(t testing.TB, g rangeset.Slice, grid []int) *dist.Distribution {
 
 func TestFillAtSet(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{7, 7})
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		d := mustBlock(t, g, []int{2, 2})
 		a, err := New[float64](c, "u", d)
 		if err != nil {
@@ -53,7 +62,7 @@ func TestFillAtSet(t *testing.T) {
 
 func TestNewRejectsWrongTaskCount(t *testing.T) {
 	g := rangeset.Box([]int{0}, []int{9})
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		d := mustBlock(t, g, []int{4}) // 4 tasks but comm has 2
 		if _, err := New[float64](c, "u", d); err == nil {
 			panic("mismatched task count accepted")
@@ -63,7 +72,7 @@ func TestNewRejectsWrongTaskCount(t *testing.T) {
 
 func TestAssignBlockToBlockDifferentGrids(t *testing.T) {
 	g := rangeset.Box([]int{0, 0, 0}, []int{5, 7, 3})
-	msg.Run(6, func(c *msg.Comm) {
+	mustRun(t, 6, func(c *msg.Comm) {
 		src, err := New[float64](c, "a", mustBlock(t, g, []int{3, 2, 1}))
 		if err != nil {
 			panic(err)
@@ -86,7 +95,7 @@ func TestAssignBlockToBlockDifferentGrids(t *testing.T) {
 
 func TestAssignToBlockCyclic(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{15, 15})
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		src, err := New[float64](c, "a", mustBlock(t, g, []int{2, 2}))
 		if err != nil {
 			panic(err)
@@ -113,7 +122,7 @@ func TestAssignToBlockCyclic(t *testing.T) {
 
 func TestAssignUpdatesShadowCopiesConsistently(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{11, 11})
-	msg.Run(3, func(c *msg.Comm) {
+	mustRun(t, 3, func(c *msg.Comm) {
 		base := mustBlock(t, g, []int{3, 1})
 		shadowed, err := base.WithShadow([]int{1, 0})
 		if err != nil {
@@ -144,7 +153,7 @@ func TestAssignUpdatesShadowCopiesConsistently(t *testing.T) {
 
 func TestExchangeShadows(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{11, 11})
-	msg.Run(3, func(c *msg.Comm) {
+	mustRun(t, 3, func(c *msg.Comm) {
 		d, err := mustBlock(t, g, []int{3, 1}).WithShadow([]int{1, 0})
 		if err != nil {
 			panic(err)
@@ -171,7 +180,7 @@ func TestExchangeShadows(t *testing.T) {
 
 func TestAssignLeavesUndefinedUntouched(t *testing.T) {
 	g := rangeset.NewSlice(rangeset.Span(0, 9))
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		// Source assigns only elements 0-4; 5-9 are undefined.
 		partial, err := dist.Irregular(g, []rangeset.Slice{
 			rangeset.NewSlice(rangeset.Span(0, 4)),
@@ -209,7 +218,7 @@ func TestAssignLeavesUndefinedUntouched(t *testing.T) {
 }
 
 func TestAssignShapeMismatchRejected(t *testing.T) {
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		g1 := rangeset.NewSlice(rangeset.Span(0, 9))
 		g2 := rangeset.NewSlice(rangeset.Span(0, 8))
 		a, _ := New[float64](c, "a", mustBlock(t, g1, []int{2}))
@@ -225,13 +234,16 @@ func TestGatherGlobalOrder(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{3, 4})
 	for _, order := range []rangeset.Order{rangeset.ColMajor, rangeset.RowMajor} {
 		order := order
-		msg.Run(4, func(c *msg.Comm) {
+		mustRun(t, 4, func(c *msg.Comm) {
 			a, err := New[float64](c, "u", mustBlock(t, g, []int{2, 2}))
 			if err != nil {
 				panic(err)
 			}
 			a.Fill(coordVal)
-			full := a.Gather(0, order)
+			full, err := a.Gather(0, order)
+			if err != nil {
+				panic(err)
+			}
 			if c.Rank() != 0 {
 				if full != nil {
 					panic("non-root gather not nil")
@@ -266,7 +278,7 @@ func TestChecksumDistributionIndependent(t *testing.T) {
 	}
 	for _, cfg := range configs {
 		cfg := cfg
-		msg.Run(cfg.tasks, func(c *msg.Comm) {
+		mustRun(t, cfg.tasks, func(c *msg.Comm) {
 			a, err := New[float64](c, "u", mustBlock(t, g, cfg.grid))
 			if err != nil {
 				panic(err)
@@ -275,7 +287,10 @@ func TestChecksumDistributionIndependent(t *testing.T) {
 			a.Fill(func(cd []int) float64 {
 				return math.Sin(coordVal(cd)) * 1e10
 			})
-			s := a.Checksum()
+			s, err := a.Checksum()
+			if err != nil {
+				panic(err)
+			}
 			if c.Rank() == 0 {
 				sums[cfg.name] = s
 			}
@@ -291,7 +306,7 @@ func TestChecksumDistributionIndependent(t *testing.T) {
 
 func TestPackUnpackRoundTrip(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{7, 7})
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := New[float64](c, "u", mustBlock(t, g, []int{2, 1}))
 		if err != nil {
 			panic(err)
@@ -301,12 +316,17 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 		if sub.Empty() {
 			return
 		}
-		buf := a.PackSection(sub, rangeset.ColMajor)
+		buf, err := a.PackSection(sub, rangeset.ColMajor)
+		if err != nil {
+			panic(err)
+		}
 		b, err := New[float64](c, "v", a.Dist())
 		if err != nil {
 			panic(err)
 		}
-		b.UnpackSection(sub, rangeset.ColMajor, buf)
+		if err := b.UnpackSection(sub, rangeset.ColMajor, buf); err != nil {
+			panic(err)
+		}
 		sub.Each(rangeset.ColMajor, func(cd []int) {
 			if b.At(cd) != coordVal(cd) {
 				panic(fmt.Sprintf("roundtrip lost %v", cd))
@@ -317,7 +337,7 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 
 func TestIntTypesRoundTrip(t *testing.T) {
 	g := rangeset.NewSlice(rangeset.Span(0, 99))
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := New[int32](c, "ids", mustBlock(t, g, []int{2}))
 		if err != nil {
 			panic(err)
@@ -389,21 +409,22 @@ func TestCodecAllTypes(t *testing.T) {
 
 func TestRedistributeOverTCP(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{9, 9})
-	err := msg.RunTCP(4, func(c *msg.Comm) {
+	err := msg.RunTCP(4, func(c *msg.Comm) error {
 		a, err := New[float64](c, "u", mustBlock(t, g, []int{4, 1}))
 		if err != nil {
-			panic(err)
+			return err
 		}
 		a.Fill(coordVal)
 		b, err := a.Redistribute(mustBlock(t, g, []int{1, 4}))
 		if err != nil {
-			panic(err)
+			return err
 		}
 		b.Mapped().Each(rangeset.ColMajor, func(cd []int) {
 			if b.At(cd) != coordVal(cd) {
 				panic("TCP redistribute corrupted values")
 			}
 		})
+		return nil
 	})
 	if err != nil {
 		t.Fatal(err)

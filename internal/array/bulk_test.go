@@ -81,7 +81,7 @@ func testPackUnpackBulk[T Elem](t *testing.T, seed int64) {
 		fill := make([]byte, 1024)
 		rng.Read(fill)
 
-		msg.Run(g0*g1, func(c *msg.Comm) {
+		mustRun(t, g0*g1, func(c *msg.Comm) {
 			a, err := New[T](c, "u", d)
 			if err != nil {
 				panic(err)
@@ -92,7 +92,10 @@ func testPackUnpackBulk[T Elem](t *testing.T, seed int64) {
 			sec := want.Intersect(a.Mapped())
 
 			// Pack: fast path vs reference, byte for byte.
-			got := a.PackSection(sec, order)
+			got, err := a.PackSection(sec, order)
+			if err != nil {
+				panic(err)
+			}
 			ref := packRef(a, sec, order)
 			if !bytes.Equal(got, ref) {
 				panic("bulk pack differs from element-wise reference")
@@ -102,7 +105,9 @@ func testPackUnpackBulk[T Elem](t *testing.T, seed int64) {
 			// identical storage.
 			b1, _ := New[T](c, "v1", d)
 			b2, _ := New[T](c, "v2", d)
-			b1.UnpackSection(sec, order, got)
+			if err := b1.UnpackSection(sec, order, got); err != nil {
+				panic(err)
+			}
 			unpackRef(b2, sec, order, got)
 			for i := range b1.local {
 				if b1.local[i] != b2.local[i] {
@@ -137,13 +142,17 @@ func TestPackBulk3D(t *testing.T) {
 	for iter := 0; iter < 40; iter++ {
 		want := randomSection(rng, g)
 		order := rangeset.Order(rng.Intn(2))
-		msg.Run(1, func(c *msg.Comm) {
+		mustRun(t, 1, func(c *msg.Comm) {
 			a, _ := New[float64](c, "w", d)
 			for i := range a.local {
 				a.local[i] = float64(i)*0.5 - 7
 			}
 			sec := want.Intersect(a.Mapped())
-			if got, ref := a.PackSection(sec, order), packRef(a, sec, order); !bytes.Equal(got, ref) {
+			got, err := a.PackSection(sec, order)
+			if err != nil {
+				panic(err)
+			}
+			if ref := packRef(a, sec, order); !bytes.Equal(got, ref) {
 				panic("3-D bulk pack differs from element-wise reference")
 			}
 		})
@@ -151,26 +160,29 @@ func TestPackBulk3D(t *testing.T) {
 }
 
 // TestPackEmptySection checks the degenerate sections: empty produces an
-// empty buffer, and a buffer-length mismatch still panics.
+// empty buffer, and a buffer-length mismatch is rejected with an error.
 func TestPackEmptySection(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{3, 3})
 	d, err := dist.Irregular(g, []rangeset.Slice{g}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	msg.Run(1, func(c *msg.Comm) {
+	mustRun(t, 1, func(c *msg.Comm) {
 		a, _ := New[float64](c, "e", d)
 		empty := g.EmptyLike()
-		if got := a.PackSection(empty, rangeset.ColMajor); len(got) != 0 {
+		got, err := a.PackSection(empty, rangeset.ColMajor)
+		if err != nil {
+			panic(err)
+		}
+		if len(got) != 0 {
 			panic("empty section packed to non-empty buffer")
 		}
-		a.UnpackSection(empty, rangeset.ColMajor, nil)
-		defer func() {
-			if recover() == nil {
-				panic("undersized buffer did not panic")
-			}
-		}()
-		a.PackSectionInto(g, rangeset.ColMajor, make([]byte, 8))
+		if err := a.UnpackSection(empty, rangeset.ColMajor, nil); err != nil {
+			panic(err)
+		}
+		if err := a.PackSectionInto(g, rangeset.ColMajor, make([]byte, 8)); err == nil {
+			panic("undersized buffer accepted")
+		}
 	})
 }
 
@@ -189,7 +201,7 @@ func TestAssignMatchesReferenceBytes(t *testing.T) {
 		g1 := 1 + rng.Intn(min(3, cols))
 		srcD := randomDist(rng, g, g0, g1)
 		dstD := randomDist(rand.New(rand.NewSource(int64(iter*13+5))), g, g0, g1)
-		msg.Run(g0*g1, func(c *msg.Comm) {
+		mustRun(t, g0*g1, func(c *msg.Comm) {
 			src, _ := New[int64](c, "a", srcD)
 			dst, _ := New[int64](c, "b", dstD)
 			src.Fill(func(cd []int) int64 { return int64(cd[0]*1000 + cd[1]) })

@@ -69,7 +69,7 @@ func TestAssignPlannedMatchesReferenceQuick(t *testing.T) {
 		dstD := randomDistAnyKind(rng, g, g0, g1)
 
 		FlushPlans()
-		msg.Run(g0*g1, func(c *msg.Comm) {
+		mustRun(t, g0*g1, func(c *msg.Comm) {
 			src, err := New[float64](c, "a", srcD)
 			if err != nil {
 				panic(err)
@@ -121,7 +121,7 @@ func TestAssignPlanCacheHitsAndEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(assigns int) {
-		msg.Run(2, func(c *msg.Comm) {
+		mustRun(t, 2, func(c *msg.Comm) {
 			src, _ := New[float64](c, "a", srcD)
 			dst, _ := New[float64](c, "b", dstD)
 			src.Fill(coordVal)
@@ -160,7 +160,7 @@ func TestAssignPlannedAfterReset(t *testing.T) {
 		randomDistAnyKind(rng, g, 2, 2),
 		randomDistAnyKind(rng, g, 2, 2),
 	}
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		src, err := New[float64](c, "a", srcD)
 		if err != nil {
 			panic(err)

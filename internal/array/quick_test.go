@@ -70,7 +70,7 @@ func TestAssignQuickRandomIrregularDistributions(t *testing.T) {
 		// the task count matches; regenerate until shapes agree.
 		dstD := randomDist(rand.New(rand.NewSource(int64(iter*7+1))), g, g0, g1)
 
-		msg.Run(tasks, func(c *msg.Comm) {
+		mustRun(t, tasks, func(c *msg.Comm) {
 			src, err := New[float64](c, "a", srcD)
 			if err != nil {
 				panic(err)
@@ -104,13 +104,16 @@ func TestGatherQuickRandom(t *testing.T) {
 		g0 := 1 + rng.Intn(min(2, rows))
 		g1 := 1 + rng.Intn(min(3, cols))
 		d := randomDist(rng, g, g0, g1)
-		msg.Run(g0*g1, func(c *msg.Comm) {
+		mustRun(t, g0*g1, func(c *msg.Comm) {
 			a, err := New[float64](c, "u", d)
 			if err != nil {
 				panic(err)
 			}
 			a.Fill(coordVal)
-			full := a.Gather(0, rangeset.RowMajor)
+			full, err := a.Gather(0, rangeset.RowMajor)
+			if err != nil {
+				panic(err)
+			}
 			if c.Rank() != 0 {
 				return
 			}

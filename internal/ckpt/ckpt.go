@@ -157,7 +157,9 @@ func writeDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 		}
 		st.SegmentBytes = segBytes
 	}
-	comm.Barrier()
+	if err := comm.Barrier(); err != nil {
+		return st, err
+	}
 
 	// Phase 2: each distributed array is written in sequence, each via
 	// parallel streaming by all tasks. Writers checksum their pieces as
@@ -170,10 +172,12 @@ func writeDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 		fs.BeginPhase("arrays:" + a.Name())
 		opts := o
 		hook, pieces := crcCollector()
-		opts.PieceHook = hook
+		opts.PieceHook = chainPieceHooks(o.PieceHook, hook)
 		sigs[i] = stream.PlanSig(a.GlobalShape(), a.ElemSize(), comm.Size(), o)
+		incremental := false
 		if prev != nil && prev.Arrays[i].Name == a.Name() &&
 			len(prev.PlanSigs) > i && prev.PlanSigs[i] == sigs[i] {
+			incremental = true
 			// Incremental: skip pieces whose checksum matches the previous
 			// checkpoint, but only when the stored plan signature proves
 			// both checkpoints use the identical piece decomposition — the
@@ -189,6 +193,19 @@ func writeDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 				return ok && p.Off == off && p.Bytes == int64(len(data)) && p.CRC == crcOf(data)
 			}
 		}
+		if !incremental {
+			// Full rewrite: truncate first, so overwriting a longer file left
+			// by an interrupted earlier attempt cannot leave stale tail bytes
+			// that would make the file disagree with the new metadata.
+			// (Incremental refreshes must NOT truncate: elided pieces rely on
+			// their bytes already being in place.)
+			if me == 0 {
+				fs.Create(arrFile(prefix, a.Name()))
+			}
+			if err := comm.Barrier(); err != nil {
+				return st, err
+			}
+		}
 		s, err := a.StreamWrite(fs, arrFile(prefix, a.Name()), opts)
 		if err != nil {
 			return st, fmt.Errorf("ckpt: streaming array %q: %w", a.Name(), err)
@@ -197,13 +214,19 @@ func writeDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 		st.NetBytes += s.NetBytes
 		st.SkippedBytes += s.SkippedBytes
 		metas[i] = ArrayMeta{Name: a.Name(), Kind: a.Kind(), Global: a.GlobalShape(), Bytes: s.StreamBytes}
-		comm.Barrier() // phase boundary: all of this array's I/O precedes the next phase
-		pieceLists[i] = gatherPieces(comm, 0, *pieces)
+		if err := comm.Barrier(); err != nil { // phase boundary: all of this array's I/O precedes the next phase
+			return st, err
+		}
+		if pieceLists[i], err = gatherPieces(comm, 0, *pieces); err != nil {
+			return st, err
+		}
 		crcs[i] = combinePieces(pieceLists[i])
 	}
 
-	// Phase 3: metadata, written last so a crash mid-checkpoint leaves no
-	// apparently-valid state.
+	// Phase 3: metadata, written last — and committed atomically via
+	// rename — so a crash anywhere mid-checkpoint leaves no
+	// apparently-valid state: the checkpoint exists the instant its meta
+	// file appears, complete, or not at all.
 	if me == 0 {
 		fs.BeginPhase("meta")
 		m := Meta{Version: version, Mode: ModeDRMS, Tasks: comm.Size(),
@@ -214,8 +237,24 @@ func writeDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 			return st, err
 		}
 	}
-	comm.Barrier()
+	if err := comm.Barrier(); err != nil {
+		return st, err
+	}
 	return st, nil
+}
+
+// chainPieceHooks composes a caller-supplied piece hook with the
+// checkpoint layer's CRC collector, so fault-injection tests (and any
+// other instrumentation) can observe streaming progress during a
+// checkpoint without displacing the integrity machinery.
+func chainPieceHooks(user, crc func(int, int64, []byte)) func(int, int64, []byte) {
+	if user == nil {
+		return crc
+	}
+	return func(idx int, off int64, data []byte) {
+		user(idx, off, data)
+		crc(idx, off, data)
+	}
 }
 
 // ReadDRMS restores a DRMS checkpoint into the calling application, which
@@ -249,7 +288,9 @@ func ReadDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, ar
 		return m, st, err
 	}
 	st.SegmentBytes = m.SegBytes[0]
-	comm.Barrier() // phase boundary before the array loads
+	if err := comm.Barrier(); err != nil { // phase boundary before the array loads
+		return m, st, err
+	}
 
 	// Arrays load by name under the current (possibly adjusted)
 	// distribution; the stream layout is distribution-independent.
@@ -273,14 +314,16 @@ func ReadDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, ar
 		fs.BeginPhase("arrays:" + am.Name)
 		opts := o
 		hook, pieces := crcCollector()
-		opts.PieceHook = hook
+		opts.PieceHook = chainPieceHooks(o.PieceHook, hook)
 		s, err := a.StreamRead(fs, arrFile(prefix, am.Name), opts)
 		if err != nil {
 			return m, st, fmt.Errorf("ckpt: loading array %q: %w", am.Name, err)
 		}
 		st.ArrayBytes += s.StreamBytes
 		st.NetBytes += s.NetBytes
-		comm.Barrier() // phase boundary
+		if err := comm.Barrier(); err != nil { // phase boundary
+			return m, st, err
+		}
 		if len(m.ArrayCRC) > i {
 			if err := checkStreamCRC(comm, *pieces, m.ArrayCRC[i], "array "+am.Name); err != nil {
 				return m, st, err
@@ -290,7 +333,9 @@ func ReadDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, ar
 	for n := range byName {
 		return m, st, fmt.Errorf("ckpt: application array %q not present in checkpoint", n)
 	}
-	comm.Barrier()
+	if err := comm.Barrier(); err != nil {
+		return m, st, err
+	}
 	return m, st, nil
 }
 
@@ -318,10 +363,15 @@ func WriteSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 		return st, err
 	}
 	st.SegmentBytes = total
-	comm.Barrier() // "each task writes independently, and they all synchronize at the end" (§5)
+	if err := comm.Barrier(); err != nil { // "each task writes independently, and they all synchronize at the end" (§5)
+		return st, err
+	}
 
 	record := append(i64Bytes(total), i64Bytes(int64(crc))...)
-	records := comm.Gather(0, record)
+	records, err := comm.Gather(0, record)
+	if err != nil {
+		return st, err
+	}
 	if me == 0 {
 		fs.BeginPhase("meta")
 		m := Meta{Version: version, Mode: ModeSPMD, Tasks: comm.Size(), Ctx: sg.Ctx}
@@ -337,7 +387,9 @@ func WriteSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 			return st, err
 		}
 	}
-	comm.Barrier()
+	if err := comm.Barrier(); err != nil {
+		return st, err
+	}
 	return st, nil
 }
 
@@ -391,7 +443,9 @@ func ReadSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, ar
 		}
 		off += n
 	}
-	comm.Barrier()
+	if err := comm.Barrier(); err != nil {
+		return m, st, err
+	}
 	return m, st, nil
 }
 
@@ -417,9 +471,33 @@ func ReadMeta(fs *pfs.System, prefix string, client int) (Meta, error) {
 	return m, nil
 }
 
-// Exists reports whether a checkpoint is present under the prefix.
+// Exists reports whether a committed checkpoint is reachable from the
+// prefix: either the prefix itself or, when the run-time system rotates
+// generations under it, the newest committed generation.
 func Exists(fs *pfs.System, prefix string) bool {
+	_, ok := Resolve(fs, prefix)
+	return ok
+}
+
+// existsDirect reports whether the prefix itself holds a committed
+// checkpoint (its meta file — the commit record — is present).
+func existsDirect(fs *pfs.System, prefix string) bool {
 	return fs.Exists(metaFile(prefix))
+}
+
+// Resolve maps a user-facing checkpoint prefix to the prefix that holds
+// the committed state to read: the prefix itself when its meta file
+// exists, otherwise the newest committed generation of a rotation rooted
+// at it ("<prefix>.gN"). ok=false when neither exists; the prefix is then
+// returned unchanged so error paths can still name it.
+func Resolve(fs *pfs.System, prefix string) (string, bool) {
+	if existsDirect(fs, prefix) {
+		return prefix, true
+	}
+	if _, p, ok := (Rotation{Base: prefix}).Latest(fs); ok {
+		return p, true
+	}
+	return prefix, false
 }
 
 // Remove deletes every file of the checkpoint under the prefix.
@@ -442,14 +520,22 @@ func StateBytes(fs *pfs.System, prefix string) int64 {
 	return n
 }
 
-// writeMeta encodes and writes the metadata file.
+// writeMeta encodes and writes the metadata file. The write goes to a
+// temporary name and is renamed into place: the meta file is the commit
+// record of the whole checkpoint (Exists and Rotation.Latest key on it),
+// so it must appear fully written or not at all — a crash between the
+// two steps leaves at worst a .tmp file no reader ever consults.
 func writeMeta(fs *pfs.System, prefix string, client int, m Meta) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
 		return err
 	}
-	fs.Create(metaFile(prefix))
-	return fs.WriteAt(client, metaFile(prefix), buf.Bytes(), 0)
+	tmp := metaFile(prefix) + ".tmp"
+	fs.Create(tmp)
+	if err := fs.WriteAt(client, tmp, buf.Bytes(), 0); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, metaFile(prefix))
 }
 
 // writeSegmentFile lays out a segment file: an 8-byte payload length,

@@ -52,7 +52,7 @@ func buildApp(c *msg.Comm, grid []int) (*seg.Segment, []ArrayRef, *array.Array[f
 
 func TestDRMSCheckpointRestartSameTasks(t *testing.T) {
 	fs := testFS()
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 2})
 		iter := 37
 		sg.Register("iter", &iter)
@@ -63,7 +63,7 @@ func TestDRMSCheckpointRestartSameTasks(t *testing.T) {
 			panic(err)
 		}
 	})
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 2})
 		var iter int
 		sg.Register("iter", &iter)
@@ -92,7 +92,7 @@ func TestDRMSReconfiguredRestart(t *testing.T) {
 	// t2 ∈ {2, 3, 4, 8, 12} tasks and different grids; all state must be
 	// identical.
 	fs := testFS()
-	msg.Run(6, func(c *msg.Comm) {
+	mustRun(t, 6, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{3, 2})
 		iter := 50
 		sg.Register("iter", &iter)
@@ -109,7 +109,7 @@ func TestDRMSReconfiguredRestart(t *testing.T) {
 		{2, []int{2, 1}}, {3, []int{1, 3}}, {4, []int{2, 2}}, {8, []int{4, 2}}, {12, []int{3, 4}},
 	} {
 		cfg := cfg
-		msg.Run(cfg.tasks, func(c *msg.Comm) {
+		mustRun(t, cfg.tasks, func(c *msg.Comm) {
 			sg, refs, u, ids := buildApp(c, cfg.grid)
 			var iter int
 			sg.Register("iter", &iter)
@@ -146,7 +146,7 @@ func TestDRMSStateSizeIndependentOfTasks(t *testing.T) {
 		fs := testFS()
 		tasks := tasks
 		grid := map[int][]int{2: {2, 1}, 4: {2, 2}, 6: {3, 2}}[tasks]
-		msg.Run(tasks, func(c *msg.Comm) {
+		mustRun(t, tasks, func(c *msg.Comm) {
 			sg, refs, u, _ := buildApp(c, grid)
 			sg.Model = seg.SizeModel{SystemBytes: 1000, PrivateBytes: 500}
 			u.Fill(coordVal)
@@ -185,7 +185,7 @@ func TestSPMDStateSizeGrowsLinearly(t *testing.T) {
 		fs := testFS()
 		tasks := tasks
 		grid := map[int][]int{2: {2, 1}, 4: {2, 2}}[tasks]
-		msg.Run(tasks, func(c *msg.Comm) {
+		mustRun(t, tasks, func(c *msg.Comm) {
 			sg, refs, u, _ := buildApp(c, grid)
 			// Fixed per-task overhead dominates, as in Fortran codes with
 			// compile-time storage.
@@ -204,7 +204,7 @@ func TestSPMDStateSizeGrowsLinearly(t *testing.T) {
 
 func TestSPMDRoundTrip(t *testing.T) {
 	fs := testFS()
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 2})
 		iter := 9
 		sg.Register("iter", &iter)
@@ -214,7 +214,7 @@ func TestSPMDRoundTrip(t *testing.T) {
 			panic(err)
 		}
 	})
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 2})
 		var iter int
 		sg.Register("iter", &iter)
@@ -240,14 +240,14 @@ func TestSPMDRoundTrip(t *testing.T) {
 
 func TestSPMDRejectsReconfiguredRestart(t *testing.T) {
 	fs := testFS()
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, u, _ := buildApp(c, []int{2, 2})
 		u.Fill(coordVal)
 		if _, err := WriteSPMD(fs, "ck", c, sg, refs, stream.Options{}); err != nil {
 			panic(err)
 		}
 	})
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, _, _ := buildApp(c, []int{2, 1})
 		_, _, err := ReadSPMD(fs, "ck", c, sg, refs, stream.Options{})
 		if err == nil || !strings.Contains(err.Error(), "not reconfigurable") {
@@ -258,14 +258,14 @@ func TestSPMDRejectsReconfiguredRestart(t *testing.T) {
 
 func TestDRMSValidatesArrayTable(t *testing.T) {
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, _ := buildApp(c, []int{2, 1})
 		u.Fill(coordVal)
 		if _, err := WriteDRMS(fs, "ck", c, sg, refs, stream.Options{}); err != nil {
 			panic(err)
 		}
 	})
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		g := rangeset.Box([]int{0, 0}, []int{11, 11})
 		sg := seg.New()
 		u, _ := array.New[float64](c, "u", mustBlock(g, []int{2, 1}))
@@ -298,7 +298,7 @@ func TestMultiplePrefixesCoexist(t *testing.T) {
 	fs := testFS()
 	for _, step := range []int{10, 20} {
 		step := step
-		msg.Run(2, func(c *msg.Comm) {
+		mustRun(t, 2, func(c *msg.Comm) {
 			sg, refs, u, ids := buildApp(c, []int{2, 1})
 			iter := step
 			sg.Register("iter", &iter)
@@ -311,7 +311,7 @@ func TestMultiplePrefixesCoexist(t *testing.T) {
 		})
 	}
 	// Restart from the older state: multiple concurrent checkpoints (§3).
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, _ := buildApp(c, []int{2, 1})
 		var iter int
 		sg.Register("iter", &iter)
@@ -331,7 +331,7 @@ func TestMultiplePrefixesCoexist(t *testing.T) {
 func TestSegmentFilePaddedToModelSize(t *testing.T) {
 	fs := testFS()
 	const modelTotal = 3 << 20
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, _ := buildApp(c, []int{2, 1})
 		sg.Model = seg.SizeModel{LocalSectionBytes: 1 << 20, SystemBytes: 1 << 20, PrivateBytes: 1 << 20}
 		u.Fill(coordVal)
@@ -351,7 +351,7 @@ func TestSegmentFilePaddedToModelSize(t *testing.T) {
 		t.Fatalf("padding materialized %d bytes", fs.StoredBytes())
 	}
 	// And the padded file restores fine.
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, _, _ := buildApp(c, []int{2, 1})
 		if _, _, err := ReadDRMS(fs, "ck", c, sg, refs, stream.Options{}); err != nil {
 			panic(err)
@@ -362,7 +362,7 @@ func TestSegmentFilePaddedToModelSize(t *testing.T) {
 func TestTracePhasesSeparateSegmentAndArrays(t *testing.T) {
 	fs := testFS()
 	tr := fs.StartTrace()
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 2})
 		u.Fill(coordVal)
 		ids.Fill(func(cd []int) int32 { return 1 })
@@ -406,7 +406,7 @@ func TestTracePhasesSeparateSegmentAndArrays(t *testing.T) {
 
 func TestExistsRemove(t *testing.T) {
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, _ := buildApp(c, []int{2, 1})
 		u.Fill(coordVal)
 		if _, err := WriteDRMS(fs, "ck", c, sg, refs, stream.Options{}); err != nil {
@@ -431,7 +431,7 @@ func TestReadMetaMissing(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 1})
 		u.Fill(coordVal)
 		ids.Fill(func(cd []int) int32 { return 2 })
@@ -462,7 +462,7 @@ func TestMigrationAcrossSystems(t *testing.T) {
 	// onto system B with a completely different file-system geometry, and
 	// restart there with a different task count.
 	sysA := pfs.NewSystem(pfs.Config{Servers: 4, StripeUnit: 256})
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 2})
 		iter := 11
 		sg.Register("iter", &iter)
@@ -491,7 +491,7 @@ func TestMigrationAcrossSystems(t *testing.T) {
 	if err := Verify(sysB, "ck", 0); err != nil {
 		t.Fatalf("migrated state fails verification: %v", err)
 	}
-	msg.Run(6, func(c *msg.Comm) {
+	mustRun(t, 6, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{3, 2})
 		var iter int
 		sg.Register("iter", &iter)
@@ -520,7 +520,7 @@ func TestRestartUnderGenBlockAndIrregular(t *testing.T) {
 	// and fully irregular index-list sections.
 	fs := testFS()
 	g := rangeset.Box([]int{0, 0}, []int{11, 11})
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 2})
 		u.Fill(coordVal)
 		ids.Fill(func(cd []int) int32 { return int32(cd[0] * cd[1]) })
@@ -529,7 +529,7 @@ func TestRestartUnderGenBlockAndIrregular(t *testing.T) {
 		}
 	})
 	// Gen-block restart (uneven 3-way row split x 1).
-	msg.Run(3, func(c *msg.Comm) {
+	mustRun(t, 3, func(c *msg.Comm) {
 		gb, err := dist.GenBlock(g, [][]int{{6, 2, 4}, {12}})
 		if err != nil {
 			panic(err)
@@ -547,7 +547,7 @@ func TestRestartUnderGenBlockAndIrregular(t *testing.T) {
 		})
 	})
 	// Fully irregular restart: interleaved row ownership.
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a0 := rangeset.NewSlice(rangeset.List(0, 2, 3, 7, 8, 11), rangeset.Span(0, 11))
 		a1 := rangeset.NewSlice(rangeset.List(1, 4, 5, 6, 9, 10), rangeset.Span(0, 11))
 		ir, err := dist.Irregular(g, []rangeset.Slice{a0, a1}, nil)
@@ -573,7 +573,7 @@ func TestRowMajorCheckpointRoundTrip(t *testing.T) {
 	// row-major streams (§3.2 supports both conventions).
 	fs := testFS()
 	opts := stream.Options{Order: rangeset.RowMajor}
-	msg.Run(3, func(c *msg.Comm) {
+	mustRun(t, 3, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{3, 1})
 		u.Fill(coordVal)
 		ids.Fill(func(cd []int) int32 { return int32(cd[1] - cd[0]) })
@@ -584,7 +584,7 @@ func TestRowMajorCheckpointRoundTrip(t *testing.T) {
 	if err := Verify(fs, "rm", 0); err != nil {
 		t.Fatal(err)
 	}
-	msg.Run(5, func(c *msg.Comm) {
+	mustRun(t, 5, func(c *msg.Comm) {
 		g := rangeset.Box([]int{0, 0}, []int{11, 11})
 		sg := seg.New()
 		u, _ := array.New[float64](c, "u", mustBlock(g, []int{5, 1}))
@@ -614,7 +614,7 @@ func TestRotationLifecycle(t *testing.T) {
 			t.Fatalf("generation %d prefix = %q, want %q", gen, prefix, want)
 		}
 		gen := gen
-		msg.Run(2, func(c *msg.Comm) {
+		mustRun(t, 2, func(c *msg.Comm) {
 			sg, refs, u, ids := buildApp(c, []int{2, 1})
 			iter := gen * 10
 			sg.Register("iter", &iter)
@@ -636,7 +636,7 @@ func TestRotationLifecycle(t *testing.T) {
 		t.Fatalf("latest = %d %q %v", g, prefix, ok)
 	}
 	// The retained older generation restores (multiple concurrent states).
-	msg.Run(3, func(c *msg.Comm) {
+	mustRun(t, 3, func(c *msg.Comm) {
 		g := rangeset.Box([]int{0, 0}, []int{11, 11})
 		sg := seg.New()
 		var iter int

@@ -29,7 +29,7 @@ func goldenFill(cd []int) float64 { return float64(cd[0]*100+cd[1]) + 0.5 }
 func writeGolden(t *testing.T) {
 	t.Helper()
 	fs := pfs.NewSystem(pfs.Config{Servers: 4, StripeUnit: 256})
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 2})
 		iter := 77
 		sg.Register("iter", &iter)
@@ -61,7 +61,7 @@ func TestGoldenCheckpointStillRestores(t *testing.T) {
 	}
 	// Reconfigured restore on a task count the writer never used.
 	g := rangeset.Box([]int{0, 0}, []int{11, 11})
-	msg.Run(3, func(c *msg.Comm) {
+	mustRun(t, 3, func(c *msg.Comm) {
 		sg := seg.New()
 		var iter int
 		sg.Register("iter", &iter)

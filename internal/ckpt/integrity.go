@@ -46,7 +46,7 @@ func combinePieces(pieces []pieceCRC) uint64 {
 
 // gatherPieces collects every task's piece CRCs at root and returns the
 // sorted full list there (nil elsewhere).
-func gatherPieces(comm *msg.Comm, root int, mine []pieceCRC) []pieceCRC {
+func gatherPieces(comm *msg.Comm, root int, mine []pieceCRC) ([]pieceCRC, error) {
 	buf := make([]byte, 0, len(mine)*28)
 	for _, p := range mine {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Index))
@@ -54,9 +54,12 @@ func gatherPieces(comm *msg.Comm, root int, mine []pieceCRC) []pieceCRC {
 		buf = binary.LittleEndian.AppendUint64(buf, p.CRC)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Bytes))
 	}
-	parts := comm.Gather(root, buf)
+	parts, err := comm.Gather(root, buf)
+	if err != nil {
+		return nil, err
+	}
 	if comm.Rank() != root {
-		return nil
+		return nil, nil
 	}
 	var all []pieceCRC
 	for _, part := range parts {
@@ -71,25 +74,35 @@ func gatherPieces(comm *msg.Comm, root int, mine []pieceCRC) []pieceCRC {
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Index < all[j].Index })
-	return all
+	return all, nil
 }
 
 // gatherPieceCRCs collects every task's piece CRCs at root and returns
 // the combined stream CRC there (0 elsewhere).
-func gatherPieceCRCs(comm *msg.Comm, root int, mine []pieceCRC) uint64 {
-	return combinePieces(gatherPieces(comm, root, mine))
+func gatherPieceCRCs(comm *msg.Comm, root int, mine []pieceCRC) (uint64, error) {
+	all, err := gatherPieces(comm, root, mine)
+	if err != nil {
+		return 0, err
+	}
+	return combinePieces(all), nil
 }
 
 // checkStreamCRC validates a restored stream against the checkpointed
 // checksum: every task contributes the pieces it read; root combines and
 // compares; the verdict is broadcast so all tasks agree.
 func checkStreamCRC(comm *msg.Comm, mine []pieceCRC, want uint64, what string) error {
-	got := gatherPieceCRCs(comm, 0, mine)
+	got, err := gatherPieceCRCs(comm, 0, mine)
+	if err != nil {
+		return err
+	}
 	ok := byte(1)
 	if comm.Rank() == 0 && got != want {
 		ok = 0
 	}
-	verdict := comm.Bcast(0, []byte{ok})
+	verdict, err := comm.Bcast(0, []byte{ok})
+	if err != nil {
+		return err
+	}
 	if verdict[0] == 0 {
 		return fmt.Errorf("ckpt: %s fails integrity check (CRC mismatch)", what)
 	}
@@ -101,6 +114,9 @@ func checkStreamCRC(comm *msg.Comm, mine []pieceCRC, want uint64, what string) e
 // integrity check (fsck) for archived states; restarts additionally
 // verify inline as they load.
 func Verify(fs *pfs.System, prefix string, client int) error {
+	// Accept a user-facing prefix for a rotated checkpoint: verify the
+	// newest committed generation.
+	prefix, _ = Resolve(fs, prefix)
 	m, err := ReadMeta(fs, prefix, client)
 	if err != nil {
 		return err

@@ -82,7 +82,7 @@ func TestCombinePiecesAnyPartition(t *testing.T) {
 
 func TestVerifyCleanCheckpoint(t *testing.T) {
 	fs := testFS()
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 2})
 		u.Fill(coordVal)
 		ids.Fill(func(cd []int) int32 { return int32(cd[0]) })
@@ -95,7 +95,7 @@ func TestVerifyCleanCheckpoint(t *testing.T) {
 	}
 
 	// SPMD mode too.
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, _ := buildApp(c, []int{2, 1})
 		u.Fill(coordVal)
 		if _, err := WriteSPMD(fs, "sp", c, sg, refs, stream.Options{}); err != nil {
@@ -109,7 +109,7 @@ func TestVerifyCleanCheckpoint(t *testing.T) {
 
 func TestVerifyDetectsCorruption(t *testing.T) {
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 1})
 		u.Fill(coordVal)
 		ids.Fill(func(cd []int) int32 { return 7 })
@@ -126,7 +126,7 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 		t.Fatalf("corruption not detected: %v", err)
 	}
 	// And the restart refuses to load the damaged array.
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, _, _ := buildApp(c, []int{2, 1})
 		_, _, err := ReadDRMS(fs, "ck", c, sg, refs, stream.Options{})
 		if err == nil || !strings.Contains(err.Error(), "integrity") {
@@ -137,7 +137,7 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 
 func TestRestartDetectsCorruptSegment(t *testing.T) {
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, _ := buildApp(c, []int{2, 1})
 		iter := 3
 		sg.Register("iter", &iter)
@@ -152,7 +152,7 @@ func TestRestartDetectsCorruptSegment(t *testing.T) {
 	if err := fs.WriteAt(0, "ck.seg", []byte{1}, sz-10); err != nil {
 		t.Fatal(err)
 	}
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, _, _ := buildApp(c, []int{2, 1})
 		var iter int
 		sg.Register("iter", &iter)
@@ -168,7 +168,7 @@ func TestRestartDetectsCorruptSegment(t *testing.T) {
 
 func TestVerifyDetectsTruncation(t *testing.T) {
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, _ := buildApp(c, []int{2, 1})
 		u.Fill(coordVal)
 		if _, err := WriteDRMS(fs, "ck", c, sg, refs, stream.Options{}); err != nil {
@@ -188,7 +188,7 @@ func TestReconfiguredRestartStillVerifies(t *testing.T) {
 	// The reader partitions the stream differently (different task count
 	// and piece size) yet the combined CRC must still match.
 	fs := testFS()
-	msg.Run(6, func(c *msg.Comm) {
+	mustRun(t, 6, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{3, 2})
 		u.Fill(coordVal)
 		ids.Fill(func(cd []int) int32 { return int32(cd[1]) })
@@ -196,7 +196,7 @@ func TestReconfiguredRestartStillVerifies(t *testing.T) {
 			panic(err)
 		}
 	})
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, _, _ := buildApp(c, []int{2, 2})
 		if _, _, err := ReadDRMS(fs, "ck", c, sg, refs, stream.Options{PieceBytes: 999}); err != nil {
 			panic(err)
@@ -213,7 +213,7 @@ func errStr(err error) string {
 
 func TestIncrementalSkipsUnchangedPieces(t *testing.T) {
 	fs := testFS()
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 2})
 		u.Fill(coordVal)
 		ids.Fill(func(cd []int) int32 { return int32(cd[0]) })
@@ -226,7 +226,10 @@ func TestIncrementalSkipsUnchangedPieces(t *testing.T) {
 		if err != nil {
 			panic(err)
 		}
-		total := c.AllreduceF64(float64(st.SkippedBytes), msg.Sum)
+		total, err := c.AllreduceF64(float64(st.SkippedBytes), msg.Sum)
+		if err != nil {
+			panic(err)
+		}
 		if int64(total) != 144*8+144*4 {
 			panic(fmt.Sprintf("skipped %v bytes, want the full array state", total))
 		}
@@ -238,7 +241,11 @@ func TestIncrementalSkipsUnchangedPieces(t *testing.T) {
 		if err != nil {
 			panic(err)
 		}
-		skipped := int64(c.AllreduceF64(float64(st.SkippedBytes), msg.Sum))
+		skippedF, err := c.AllreduceF64(float64(st.SkippedBytes), msg.Sum)
+		if err != nil {
+			panic(err)
+		}
+		skipped := int64(skippedF)
 		if skipped == 0 {
 			panic("no pieces skipped after a one-element change")
 		}
@@ -251,7 +258,7 @@ func TestIncrementalSkipsUnchangedPieces(t *testing.T) {
 		t.Fatal(err)
 	}
 	// And restores the *new* value, reconfigured.
-	msg.Run(3, func(c *msg.Comm) {
+	mustRun(t, 3, func(c *msg.Comm) {
 		g := rangeset.Box([]int{0, 0}, []int{11, 11})
 		sg := seg.New()
 		u, _ := array.New[float64](c, "u", mustBlock(g, []int{3, 1}))
@@ -267,7 +274,7 @@ func TestIncrementalSkipsUnchangedPieces(t *testing.T) {
 
 func TestIncrementalFallsBackOnPlanChange(t *testing.T) {
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 1})
 		u.Fill(coordVal)
 		ids.Fill(func(cd []int) int32 { return 9 })
@@ -291,7 +298,7 @@ func TestIncrementalFallsBackOnPlanChange(t *testing.T) {
 
 func TestIncrementalWithoutBaseIsFullWrite(t *testing.T) {
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 1})
 		u.Fill(coordVal)
 		ids.Fill(func(cd []int) int32 { return 1 })
@@ -313,7 +320,7 @@ func TestIncrementalRequiresPlanSig(t *testing.T) {
 	// empty PlanSigs; per-piece diffing must not be trusted against it —
 	// the refresh falls back to a full write (and records fresh sigs).
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		sg, refs, u, ids := buildApp(c, []int{2, 1})
 		u.Fill(coordVal)
 		ids.Fill(func(cd []int) int32 { return 3 })
@@ -346,7 +353,11 @@ func TestIncrementalRequiresPlanSig(t *testing.T) {
 		if err != nil {
 			panic(err)
 		}
-		if c.AllreduceF64(float64(st.SkippedBytes), msg.Sum) == 0 {
+		back, err := c.AllreduceF64(float64(st.SkippedBytes), msg.Sum)
+		if err != nil {
+			panic(err)
+		}
+		if back == 0 {
 			panic("no pieces skipped once signatures are back")
 		}
 	})

@@ -29,7 +29,7 @@ func (r Rotation) generation(k int) string {
 func (r Rotation) Latest(fs *pfs.System) (k int, prefix string, ok bool) {
 	for g := r.scanMax(fs); g >= 0; g-- {
 		p := r.generation(g)
-		if Exists(fs, p) {
+		if existsDirect(fs, p) {
 			return g, p, true
 		}
 	}
@@ -69,17 +69,36 @@ func (r Rotation) Prune(fs *pfs.System) {
 	}
 	for old := g - keep; old >= 0; old-- {
 		p := r.generation(old)
-		if Exists(fs, p) {
+		if existsDirect(fs, p) {
 			Remove(fs, p)
 		}
 	}
+}
+
+// CleanIncomplete deletes the files of generations that were started but
+// never committed — data or temporary files present with no meta file, as
+// a checkpoint interrupted by a failure leaves them. Meta commits are
+// atomic (see writeMeta), so "no meta" is a reliable torn-state marker.
+// Call it on restart, before taking new checkpoints; it must not run
+// concurrently with a checkpoint in progress, whose generation is
+// legitimately meta-less until commit. Returns the prefixes cleaned.
+func (r Rotation) CleanIncomplete(fs *pfs.System) []string {
+	var cleaned []string
+	for g := 0; g <= r.scanMax(fs); g++ {
+		p := r.generation(g)
+		if !existsDirect(fs, p) && len(fs.List(p+".")) > 0 {
+			Remove(fs, p)
+			cleaned = append(cleaned, p)
+		}
+	}
+	return cleaned
 }
 
 // Generations lists the complete generations, oldest first.
 func (r Rotation) Generations(fs *pfs.System) []string {
 	var out []string
 	for g := 0; g <= r.scanMax(fs); g++ {
-		if p := r.generation(g); Exists(fs, p) {
+		if p := r.generation(g); existsDirect(fs, p) {
 			out = append(out, p)
 		}
 	}

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -33,6 +34,9 @@ type Request struct {
 	CkEvery int    `json:"ck_every,omitempty"`
 	Node    int    `json:"node,omitempty"`   // failnode
 	Prefix  string `json:"prefix,omitempty"` // verify
+	// TimeoutMS bounds a blocking op ("wait"): how long the server may
+	// park before replying with the still-running state.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Response is the reply to one Request.
@@ -127,6 +131,27 @@ func (s *ControlServer) handle(req Request) Response {
 		return Response{OK: true, Apps: s.RC.Apps(), Queued: s.JSA.Queued()}
 
 	case "status":
+		info, ok := s.RC.App(req.Name)
+		if !ok {
+			return fail(fmt.Errorf("unknown application %q", req.Name))
+		}
+		return Response{OK: true, App: &info}
+
+	case "wait":
+		// Blocking status: parks on the application's settle channel (no
+		// polling) and replies once it leaves the running state or the
+		// request's timeout elapses. Blocks only this connection — each
+		// control connection is served by its own goroutine.
+		timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout <= 0 {
+			timeout = 60 * time.Second
+		}
+		// A settled application's own terminal error (e.g. it was killed
+		// after a processor failure) is part of the reported state, not a
+		// failure of the wait itself.
+		if _, settled, err := s.RC.WaitAppSettled(req.Name, timeout); err != nil && !settled {
+			return fail(err)
+		}
 		info, ok := s.RC.App(req.Name)
 		if !ok {
 			return fail(fmt.Errorf("unknown application %q", req.Name))
@@ -271,21 +296,47 @@ func (c *ControlClient) Do(req Request) (Response, error) {
 	return resp, nil
 }
 
-// WaitStatus polls until the named application leaves the running state
-// (or was never known) and returns its final status.
+// WaitStatus blocks until the named application leaves the running state
+// and returns its final status. The wait is event-driven end to end: a
+// single "wait" round-trip parks the server on the application's settle
+// channel (no polling on either side), bounded by a context deadline
+// derived from timeout.
 func (c *ControlClient) WaitStatus(name string, timeout time.Duration) (AppStatus, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		resp, err := c.Do(Request{Op: "status", Name: name})
-		if err != nil {
-			return "", err
-		}
-		if resp.App.Status != StatusRunning {
-			return resp.App.Status, nil
-		}
-		if time.Now().After(deadline) {
-			return resp.App.Status, fmt.Errorf("coord: %q still running after %v", name, timeout)
-		}
-		time.Sleep(5 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.WaitStatusCtx(ctx, name)
+}
+
+// WaitStatusCtx is WaitStatus bounded by a caller-supplied context. The
+// context deadline becomes both the server-side wait bound and the
+// connection's read deadline, so even a hung server cannot block the
+// caller past it.
+func (c *ControlClient) WaitStatusCtx(ctx context.Context, name string) (AppStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
 	}
+	deadline, bounded := ctx.Deadline()
+	if !bounded {
+		deadline = time.Now().Add(24 * time.Hour)
+	}
+	remain := time.Until(deadline)
+	if remain <= 0 {
+		return "", context.DeadlineExceeded
+	}
+	// The server replies at its own bound; the extra second covers the
+	// wire so a healthy reply is never cut off by our deadline.
+	c.conn.SetReadDeadline(deadline.Add(time.Second))
+	defer c.conn.SetReadDeadline(time.Time{})
+	resp, err := c.Do(Request{Op: "wait", Name: name, TimeoutMS: remain.Milliseconds()})
+	if err != nil {
+		return "", err
+	}
+	if resp.App == nil {
+		return "", fmt.Errorf("coord: wait reply carries no application state")
+	}
+	if resp.App.Status == StatusRunning {
+		return StatusRunning, fmt.Errorf("coord: %q still running after %v",
+			name, remain.Round(time.Millisecond))
+	}
+	return resp.App.Status, nil
 }

@@ -81,17 +81,24 @@ func (p appParams) spec(name string) AppSpec {
 			}
 			if p.gate != nil && iter == p.gateAt {
 				for !p.gate.Load() {
-					t.Comm().Barrier() // killable spin
+					if err := t.Comm().Barrier(); err != nil { // killable spin
+						return err
+					}
 				}
 			}
 			u.Assigned().Each(rangeset.ColMajor, func(c []int) {
 				u.Set(c, u.At(c)*0.75+float64(c[0])*0.01)
 			})
 			iter++
-			t.Comm().Barrier()
+			if err := t.Comm().Barrier(); err != nil {
+				return err
+			}
 		}
 		if p.result != nil {
-			s := u.Checksum()
+			s, err := u.Checksum()
+			if err != nil {
+				return err
+			}
 			if t.Rank() == 0 {
 				p.result <- s
 			}

@@ -1,0 +1,64 @@
+package coord
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drms/internal/msg"
+)
+
+// TestHeartbeatLossRevokesBlockedAppWithinTimeout pins the timing
+// contract of the §4 failure procedure: when a processor's TC goes
+// silent, the RC revokes the application's communicator before reclaiming
+// the pool, so even tasks blocked inside a collective unwind with
+// msg.ErrRevoked and the application settles within roughly one heartbeat
+// timeout — it does not hang until some unrelated event.
+func TestHeartbeatLossRevokesBlockedAppWithinTimeout(t *testing.T) {
+	_, rc, tcs := newCluster(t, 3)
+	var gate atomic.Bool // never opened: every task blocks in a barrier spin
+	p := appParams{n: 16, iters: 1000, ckEvery: 1 << 20, gateAt: 0, gate: &gate}
+	if err := rc.Launch(p.spec("stuck"), 2, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "stuck running", func() bool {
+		info, ok := rc.App("stuck")
+		return ok && info.Status == StatusRunning
+	})
+	info, _ := rc.App("stuck")
+
+	start := time.Now()
+	tcs[info.Nodes[0]].Fail()
+	status, settled, appErr := rc.WaitAppSettled("stuck", 10*time.Second)
+	elapsed := time.Since(start)
+
+	if !settled {
+		t.Fatal("application never settled after heartbeat loss")
+	}
+	if status != StatusTerminated {
+		t.Fatalf("status = %s, want terminated", status)
+	}
+	if !errors.Is(appErr, msg.ErrRevoked) {
+		t.Fatalf("application error = %v, want ErrRevoked (tasks unwound via revocation)", appErr)
+	}
+	// Detection costs at most one heartbeat timeout; the revocation-driven
+	// unwind is immediate. The extra second absorbs scheduler noise only.
+	if limit := hbTimeout + time.Second; elapsed > limit {
+		t.Fatalf("settle took %v, want under %v", elapsed, limit)
+	}
+
+	// Steps 3-5: the surviving processor returns to the pool, the failed
+	// one stays out until its TC is restarted.
+	waitFor(t, "survivor reclaimed", func() bool { return len(rc.AvailableNodes()) == 2 })
+	for _, free := range rc.AvailableNodes() {
+		if free == info.Nodes[0] {
+			t.Fatal("failed processor rejoined the pool without a TC")
+		}
+	}
+	for n, tc := range tcs {
+		if n != info.Nodes[0] {
+			tc.Stop()
+		}
+	}
+}

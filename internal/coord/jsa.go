@@ -126,20 +126,14 @@ func (j *JSA) Reconfigure(name string, newTasks int, timeout time.Duration) erro
 }
 
 // waitSettle waits (bounded) for an application to leave the running
-// state.
+// state — event-driven through the RC's settle channel, no polling.
 func waitSettle(rc *RC, name string, timeout time.Duration) (AppStatus, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		info, ok := rc.App(name)
-		if !ok {
-			return "", fmt.Errorf("jsa: unknown application %q", name)
-		}
-		if info.Status != StatusRunning {
-			return info.Status, nil
-		}
-		if time.Now().After(deadline) {
-			return info.Status, fmt.Errorf("jsa: application %q did not stop within %v", name, timeout)
-		}
-		time.Sleep(time.Millisecond)
+	status, settled, err := rc.WaitAppSettled(name, timeout)
+	if err != nil && !settled {
+		return "", fmt.Errorf("jsa: unknown application %q", name)
 	}
+	if !settled {
+		return status, fmt.Errorf("jsa: application %q did not stop within %v", name, timeout)
+	}
+	return status, nil
 }

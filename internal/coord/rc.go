@@ -276,15 +276,18 @@ func (rc *RC) onTCLost(node int, why string) {
 	rc.emit(Event{Kind: EventTCDown, Node: node, Detail: why})
 
 	if running {
-		// Step 2: kill all other processes of the application. (The pool's
-		// TC processes are killed and restarted by the RC; their effect —
-		// processors returning to the free pool — happens in the watcher
-		// once the application is down.)
+		// Step 2: kill all other processes of the application — by revoking
+		// its communicator first. Every task's pending and future operation
+		// returns msg.ErrRevoked, so tasks observe the failure and unwind to
+		// a clean state within the heartbeat timeout instead of being shot
+		// mid-I/O. (The pool's TC processes are killed and restarted by the
+		// RC; their effect — processors returning to the free pool — happens
+		// in the watcher once the application is down.)
 		app.handle.Kill()
-		// Steps 3-5 complete in watchApp when the tasks have died: the
-		// application is marked terminated, the user informed, and the
-		// surviving processors freed. The failed node stays out of the
-		// pool until its TC reconnects.
+		// Steps 3-5 complete in watchApp when the tasks have unwound: the
+		// application is marked terminated, the user informed, and only then
+		// are the surviving processors reclaimed for the free pool. The
+		// failed node stays out of the pool until its TC reconnects.
 		<-app.done
 	}
 	rc.changed()
@@ -431,4 +434,27 @@ func (rc *RC) WaitApp(name string) (AppStatus, error) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	return app.status, app.err
+}
+
+// WaitAppSettled blocks until the named application settles or the
+// timeout passes, whichever is first — event-driven (it selects on the
+// app's done channel; no polling). settled=false with a nil error means
+// the application was still running when the timeout expired.
+func (rc *RC) WaitAppSettled(name string, timeout time.Duration) (status AppStatus, settled bool, err error) {
+	rc.mu.Lock()
+	app, ok := rc.apps[name]
+	rc.mu.Unlock()
+	if !ok {
+		return "", false, fmt.Errorf("coord: unknown application %q", name)
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-app.done:
+	case <-t.C:
+		return StatusRunning, false, nil
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return app.status, true, app.err
 }

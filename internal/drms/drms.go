@@ -56,13 +56,25 @@ const (
 	// Restored: the application state was just loaded from a checkpoint;
 	// execution continues from this SOP.
 	Restored
+	// Failed: the checkpoint or restore did not complete — a peer died,
+	// the communicator was revoked, or storage failed. Nothing was
+	// promoted: an interrupted checkpoint never becomes "latest" (meta
+	// commits are atomic and written last), so the previous checkpoint
+	// remains the restart point. The accompanying error says why; the
+	// task should unwind and let the system take the restart path
+	// (Table 2 failure semantics).
+	Failed
 )
 
 func (s Status) String() string {
-	if s == Restored {
+	switch s {
+	case Restored:
 		return "restored"
+	case Failed:
+		return "failed"
+	default:
+		return "continued"
 	}
-	return "continued"
 }
 
 // Config describes one launch of a DRMS application.
@@ -82,6 +94,11 @@ type Config struct {
 	// scheme instead of the reconfigurable DRMS scheme (the paper's
 	// baseline; restart then requires the same task count).
 	SPMDMode bool
+	// Fault, when non-nil, wraps the application's transport in a
+	// deterministic fault injector (tests): the victim rank dies at the
+	// configured operation, or when the injector is armed. The injector
+	// is available on the Handle.
+	Fault *msg.FaultSpec
 }
 
 // Handle controls a running application (the system side of the
@@ -93,7 +110,13 @@ type Handle struct {
 	done    chan struct{}
 	stopReq atomic.Bool
 	runner  *msg.Runner
+	fault   *msg.FaultTransport
 }
+
+// Fault returns the fault injector configured via Config.Fault (nil
+// otherwise). Tests arm it to kill the victim at a precise protocol
+// point.
+func (h *Handle) Fault() *msg.FaultTransport { return h.fault }
 
 // EnableCheckpoint arms the next ReconfigChkEnable call: the application
 // will take a checkpoint at its next enabling SOP (system-initiated
@@ -104,10 +127,12 @@ func (h *Handle) EnableCheckpoint() { h.enable.Store(true) }
 // scheduler to vacate processors after archiving state).
 func (h *Handle) RequestStop() { h.stopReq.Store(true) }
 
-// Kill terminates the application immediately by tearing down its
-// message-passing transport: every task dies at its next communication.
-// This is what a processor failure does to the whole application in the
-// paper's model (§4). Wait returns an error for a killed application.
+// Kill terminates the application by revoking its communicator: every
+// task's pending and future communication returns msg.ErrRevoked, so
+// all tasks unwind promptly to their error paths instead of dying
+// mid-I/O. This is what a processor failure does to the whole
+// application in the paper's model (§4). Wait returns an error for a
+// killed application.
 func (h *Handle) Kill() { h.runner.Kill() }
 
 // Killed reports whether the application was killed.
@@ -188,13 +213,16 @@ func NewArray[T array.Elem](t *Task, name string, d *dist.Distribution) (*array.
 // a fresh run it writes a checkpoint under the given prefix and returns
 // (Continued, 0). On the first call of a restarted run it loads the
 // RestartFrom checkpoint instead and returns (Restored, delta) where
-// delta = current tasks - checkpointing tasks. Collective.
+// delta = current tasks - checkpointing tasks. A checkpoint or restore
+// that cannot complete — peer death, revoked communicator, storage
+// failure — returns (Failed, 0, err) with nothing promoted: the previous
+// checkpoint remains the valid restart point. Collective.
 func (t *Task) ReconfigCheckpoint(prefix string) (Status, int, error) {
 	if t.pending {
 		return t.restore()
 	}
 	if err := t.write(prefix); err != nil {
-		return Continued, 0, err
+		return Failed, 0, err
 	}
 	return Continued, 0, nil
 }
@@ -212,11 +240,15 @@ func (t *Task) ReconfigChkEnable(prefix string) (Status, int, error) {
 	if t.Rank() == 0 && t.handle.enable.Swap(false) {
 		armed = 1
 	}
-	if t.comm.AllreduceF64(armed, msg.Max) == 0 {
+	agreed, err := t.comm.AllreduceF64(armed, msg.Max)
+	if err != nil {
+		return Failed, 0, err
+	}
+	if agreed == 0 {
 		return Continued, 0, nil
 	}
 	if err := t.write(prefix); err != nil {
-		return Continued, 0, err
+		return Failed, 0, err
 	}
 	return Continued, 0, nil
 }
@@ -231,23 +263,51 @@ func (t *Task) IncrementalCheckpoint(prefix string) (Status, int, error) {
 		return t.restore()
 	}
 	if t.cfg.SPMDMode {
-		return Continued, 0, fmt.Errorf("drms: incremental checkpointing requires the DRMS scheme")
+		return Failed, 0, fmt.Errorf("drms: incremental checkpointing requires the DRMS scheme")
 	}
+	// Refresh the newest committed state reachable from the prefix —
+	// the rotated generation when ReconfigCheckpoint wrote it, the
+	// prefix itself otherwise. In-place refresh is this call's contract
+	// (§6 trades the crash window for writing only changed pieces).
+	target, _ := ckpt.Resolve(t.cfg.FS, prefix)
 	t.sg.Ctx.SOP = prefix
-	if _, err := ckpt.WriteDRMSIncremental(t.cfg.FS, prefix, t.comm, t.sg, t.arrays, t.cfg.Stream); err != nil {
-		return Continued, 0, err
+	if _, err := ckpt.WriteDRMSIncremental(t.cfg.FS, target, t.comm, t.sg, t.arrays, t.cfg.Stream); err != nil {
+		return Failed, 0, err
 	}
 	return Continued, 0, nil
 }
 
+// write archives the application state under a fresh generation of the
+// prefix ("<prefix>.gN"): a committed checkpoint is never overwritten in
+// place, so a failure landing mid-checkpoint can only tear the
+// uncommitted generation — the previous one stays restorable (the crash
+// window of Table 2). Rank 0 picks the generation and broadcasts it (one
+// agreed name, no dependence on concurrent file-system scans), and only
+// after the new generation's meta commit are older ones pruned.
 func (t *Task) write(prefix string) error {
-	t.sg.Ctx.SOP = prefix
-	if t.cfg.SPMDMode {
-		_, err := ckpt.WriteSPMD(t.cfg.FS, prefix, t.comm, t.sg, t.arrays, t.cfg.Stream)
+	rot := ckpt.Rotation{Base: prefix, Keep: 1}
+	var gen string
+	if t.Rank() == 0 {
+		gen = rot.NextPrefix(t.cfg.FS)
+	}
+	b, err := t.comm.Bcast(0, []byte(gen))
+	if err != nil {
 		return err
 	}
-	_, err := ckpt.WriteDRMS(t.cfg.FS, prefix, t.comm, t.sg, t.arrays, t.cfg.Stream)
-	return err
+	gen = string(b)
+	t.sg.Ctx.SOP = prefix
+	if t.cfg.SPMDMode {
+		_, err = ckpt.WriteSPMD(t.cfg.FS, gen, t.comm, t.sg, t.arrays, t.cfg.Stream)
+	} else {
+		_, err = ckpt.WriteDRMS(t.cfg.FS, gen, t.comm, t.sg, t.arrays, t.cfg.Stream)
+	}
+	if err != nil {
+		return err
+	}
+	if t.Rank() == 0 {
+		rot.Prune(t.cfg.FS)
+	}
+	return nil
 }
 
 func (t *Task) restore() (Status, int, error) {
@@ -262,7 +322,7 @@ func (t *Task) restore() (Status, int, error) {
 		m, _, err = ckpt.ReadDRMS(t.cfg.FS, t.cfg.RestartFrom, t.comm, t.sg, t.arrays, t.cfg.Stream)
 	}
 	if err != nil {
-		return Restored, 0, fmt.Errorf("drms: restoring %q: %w", t.cfg.RestartFrom, err)
+		return Failed, 0, fmt.Errorf("drms: restoring %q: %w", t.cfg.RestartFrom, err)
 	}
 	t.LastMeta = m
 	return Restored, t.Tasks() - m.Tasks, nil
@@ -278,6 +338,14 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 		return nil, fmt.Errorf("drms: no file system configured")
 	}
 	if cfg.RestartFrom != "" {
+		// Discard generations torn by the failure being recovered from
+		// (meta-less files), then resolve the user-facing prefix to the
+		// newest committed generation. Safe here: tasks are not running
+		// yet, so no checkpoint is concurrently in progress.
+		ckpt.Rotation{Base: cfg.RestartFrom}.CleanIncomplete(cfg.FS)
+		if p, ok := ckpt.Resolve(cfg.FS, cfg.RestartFrom); ok {
+			cfg.RestartFrom = p
+		}
 		// Validate the checkpoint before spawning tasks, like
 		// drms_initialize does.
 		m, err := ckpt.ReadMeta(cfg.FS, cfg.RestartFrom, 0)
@@ -292,21 +360,25 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &Handle{errs: make(chan error, cfg.Tasks+1), done: make(chan struct{}), runner: runner}
-	body := func(c *msg.Comm) {
+	h := &Handle{errs: make(chan error, 1), done: make(chan struct{}), runner: runner}
+	if cfg.Fault != nil {
+		h.fault = runner.InjectFault(*cfg.Fault)
+	}
+	body := func(c *msg.Comm) error {
 		t := &Task{comm: c, cfg: cfg, handle: h, sg: seg.New(), pending: cfg.RestartFrom != ""}
-		if err := app(t); err != nil {
-			h.errs <- fmt.Errorf("task %d: %w", c.Rank(), err)
-		}
+		return app(t)
 	}
 	go func() {
 		defer close(h.done)
-		defer func() {
-			if p := recover(); p != nil {
-				h.errs <- fmt.Errorf("drms: application died: %v", p)
-			}
-		}()
-		runner.Run(body)
+		// The runner folds every task's outcome into one root-cause error:
+		// the first real failure, with peers' secondary revocation errors
+		// subsumed (a task failing revokes the communicator, so the others
+		// unwind with msg.ErrRevoked). That single cause is the
+		// application's exit status — the input to the restart-at-first-SOP
+		// decision.
+		if err := runner.Run(body); err != nil {
+			h.errs <- fmt.Errorf("drms: application died: %w", err)
+		}
 	}()
 	return h, nil
 }

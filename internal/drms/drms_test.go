@@ -80,10 +80,14 @@ func diffusionApp(n, iters, ckEvery int, prefix string, out chan<- float64, stop
 			})
 			iter++
 		}
-		if out != nil && t.Rank() == 0 {
-			out <- u.Checksum()
-		} else if out != nil {
-			u.Checksum() // collective
+		if out != nil {
+			sum, err := u.Checksum() // collective
+			if err != nil {
+				return err
+			}
+			if t.Rank() == 0 {
+				out <- sum
+			}
 		}
 		return nil
 	}
@@ -232,7 +236,9 @@ func TestChkEnableOnlyWhenArmed(t *testing.T) {
 				sops <- iter // signal the "system" half-way
 				<-sops       // wait for it to arm
 			}
-			t.Comm().Barrier()
+			if err := t.Comm().Barrier(); err != nil {
+				return err
+			}
 		}
 		return nil
 	})
@@ -251,7 +257,11 @@ func TestChkEnableOnlyWhenArmed(t *testing.T) {
 	if !ckpt.Exists(fs, "sysck") {
 		t.Fatal("armed checkpoint never taken")
 	}
-	m, err := ckpt.ReadMeta(fs, "sysck", 0)
+	p, ok := ckpt.Resolve(fs, "sysck")
+	if !ok {
+		t.Fatal("no committed checkpoint under sysck")
+	}
+	m, err := ckpt.ReadMeta(fs, p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +276,9 @@ func TestStopRequested(t *testing.T) {
 		iter := 0
 		t.Register("iter", &iter)
 		for {
-			t.Comm().Barrier()
+			if err := t.Comm().Barrier(); err != nil {
+				return err
+			}
 			if t.StopRequested() {
 				return nil
 			}
@@ -339,7 +351,11 @@ func TestNewArrayRedeclarationReplacesHandle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := ckpt.ReadMeta(fs, "ck", 0)
+	p, ok := ckpt.Resolve(fs, "ck")
+	if !ok {
+		t.Fatal("no committed checkpoint under ck")
+	}
+	m, err := ckpt.ReadMeta(fs, p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +398,11 @@ func TestSegmentModelSurvivesCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sz, err := fs.Size("ck.seg")
+	p, ok := ckpt.Resolve(fs, "ck")
+	if !ok {
+		t.Fatal("no committed checkpoint under ck")
+	}
+	sz, err := fs.Size(p + ".seg")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +458,10 @@ func TestIncrementalCheckpointLifecycle(t *testing.T) {
 				iter++
 			}
 			if out != nil {
-				s := u.Checksum()
+				s, err := u.Checksum()
+				if err != nil {
+					return err
+				}
 				if tk.Rank() == 0 {
 					out <- s
 				}

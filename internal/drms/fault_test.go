@@ -1,0 +1,266 @@
+package drms
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drms/internal/ckpt"
+	"drms/internal/dist"
+	"drms/internal/msg"
+	"drms/internal/rangeset"
+)
+
+// sopRecord captures what each task's SOP returned during the faulted
+// checkpoint, so the test can assert the per-rank failure contract.
+type sopRecord struct {
+	mu       sync.Mutex
+	statuses map[int]Status
+	errs     map[int]error
+}
+
+func (r *sopRecord) set(rank int, st Status, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.statuses[rank] = st
+	r.errs[rank] = err
+}
+
+// rotationApp is the diffusion application of drms_test.go checkpointing
+// at iterations 2 and 5 under one user-facing prefix; the run-time system
+// rotates generations under it (iteration 2 lands in .g0, iteration 5 in
+// .g1). When arm is non-nil the task flips it just before the iteration-5
+// checkpoint (after ready closes), so a stream PieceHook can trigger the
+// fault injector mid-checkpoint.
+func rotationApp(n, iters int, prefix string, ready <-chan struct{}, arm *atomic.Bool, rec *sopRecord, out chan<- float64) func(*Task) error {
+	return func(t *Task) error {
+		g := rangeset.Box([]int{0, 0}, []int{n - 1, n - 1})
+		grid := dist.FactorGrid(t.Tasks(), 2, g.Shape())
+		d, err := dist.Block(g, grid)
+		if err != nil {
+			return err
+		}
+		d, err = d.WithShadow([]int{1, 1})
+		if err != nil {
+			return err
+		}
+		u, err := NewArray[float64](t, "u", d)
+		if err != nil {
+			return err
+		}
+		iter := 0
+		t.Register("iter", &iter)
+		u.Fill(func(c []int) float64 { return float64(c[0]*n+c[1]) * 0.001 })
+
+		for {
+			if iter == 2 || iter == 5 {
+				if iter == 5 && arm != nil {
+					<-ready
+					arm.Store(true)
+				}
+				st, _, err := t.ReconfigCheckpoint(prefix)
+				if iter == 5 && rec != nil {
+					rec.set(t.Rank(), st, err)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			if iter >= iters {
+				break
+			}
+			if err := u.ExchangeShadows(); err != nil {
+				return err
+			}
+			next := make([]float64, u.Assigned().Size())
+			i := 0
+			u.Assigned().Each(rangeset.ColMajor, func(c []int) {
+				next[i] = stencil(u, c, n)
+				i++
+			})
+			i = 0
+			u.Assigned().Each(rangeset.ColMajor, func(c []int) {
+				u.Set(c, next[i])
+				i++
+			})
+			iter++
+		}
+		if out != nil {
+			sum, err := u.Checksum() // collective
+			if err != nil {
+				return err
+			}
+			if t.Rank() == 0 {
+				out <- sum
+			}
+		}
+		return nil
+	}
+}
+
+// TestFaultMidCheckpointLeavesPreviousGenerationRestorable is the paper's
+// failure scenario end to end at the run-time-system level: a rank dies
+// while generation 1 of a rotated checkpoint is being written. Every
+// survivor's SOP must return Failed with msg.ErrRevoked (promptly — no
+// hang), the torn generation must never be promoted (no meta file, so
+// Rotation.Latest still names generation 0), CleanIncomplete must remove
+// the torn files, and a reconfigured restart from generation 0 on a
+// smaller pool must finish with the checksum of an uninterrupted run.
+func TestFaultMidCheckpointLeavesPreviousGenerationRestorable(t *testing.T) {
+	const n, iters, tasks, victim = 12, 8, 4, 2
+	want := runToCompletion(t, tasks, n, iters)
+
+	fs := testFS()
+	rot := ckpt.Rotation{Base: "rot"}
+	rec := &sopRecord{statuses: map[int]Status{}, errs: map[int]error{}}
+	var arm atomic.Bool
+	ready := make(chan struct{})
+
+	cfg := Config{Tasks: tasks, FS: fs, Fault: &msg.FaultSpec{Victim: victim}}
+	// The injector kills the victim at its next transport operation once a
+	// checkpoint piece has been streamed with arm set — i.e. strictly
+	// after generation 1's files started and strictly before its meta
+	// commit (barriers and piece gathers still separate the two).
+	var ft atomic.Pointer[msg.FaultTransport]
+	cfg.Stream.PieceHook = func(int, int64, []byte) {
+		if arm.Load() {
+			ft.Load().Arm()
+		}
+	}
+	h, err := Start(cfg, rotationApp(n, iters, "rot", ready, &arm, rec, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Store(h.Fault())
+	close(ready)
+
+	select {
+	case <-h.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("application hung after mid-checkpoint failure")
+	}
+	waitErr := h.Wait()
+	if !errors.Is(waitErr, msg.ErrKilled) {
+		t.Fatalf("run error = %v, want the injected kill as root cause", waitErr)
+	}
+
+	// Per-rank contract: the victim saw its own death; every survivor's
+	// SOP returned Failed with the revocation error, not a hang or panic.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.statuses) != tasks {
+		t.Fatalf("%d of %d tasks reached the faulted SOP", len(rec.statuses), tasks)
+	}
+	for rank := 0; rank < tasks; rank++ {
+		if rec.statuses[rank] != Failed {
+			t.Fatalf("rank %d SOP status = %s, want failed", rank, rec.statuses[rank])
+		}
+		if rank == victim {
+			if !errors.Is(rec.errs[rank], msg.ErrKilled) {
+				t.Fatalf("victim error = %v, want ErrKilled", rec.errs[rank])
+			}
+		} else if !errors.Is(rec.errs[rank], msg.ErrRevoked) {
+			t.Fatalf("survivor rank %d error = %v, want ErrRevoked", rank, rec.errs[rank])
+		}
+	}
+
+	// The torn generation was never promoted: its files exist but it has
+	// no meta, so the rotation still points at generation 0.
+	if ckpt.Exists(fs, "rot.g1") {
+		t.Fatal("interrupted checkpoint committed a meta file")
+	}
+	if len(fs.List("rot.g1.")) == 0 {
+		t.Fatal("fault fired before generation 1 started writing (arm point wrong)")
+	}
+	if _, prefix, ok := rot.Latest(fs); !ok || prefix != "rot.g0" {
+		t.Fatalf("latest generation = %q, want rot.g0", prefix)
+	}
+	cleaned := rot.CleanIncomplete(fs)
+	if len(cleaned) != 1 || cleaned[0] != "rot.g1" {
+		t.Fatalf("CleanIncomplete removed %v, want [rot.g1]", cleaned)
+	}
+	if len(fs.List("rot.g1.")) != 0 {
+		t.Fatal("torn generation files survived CleanIncomplete")
+	}
+
+	// Restart from the user-facing prefix on a smaller pool: Start must
+	// resolve it to the surviving generation 0, and the continued run's
+	// checksum must be byte-identical to the uninterrupted run.
+	out := make(chan float64, 1)
+	err = Run(Config{Tasks: tasks - 1, FS: fs, RestartFrom: "rot"},
+		rotationApp(n, iters, "rot", nil, nil, nil, out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-out; got != want {
+		t.Fatalf("post-recovery checksum %v != clean run %v", got, want)
+	}
+}
+
+// TestFaultDeterministicKillAtOp pins the injector to an absolute
+// operation count and checks the whole failure path is reproducible: the
+// same victim dies at the same protocol point on every run, and the
+// application's root-cause error is always the kill, never a secondary
+// revocation.
+func TestFaultDeterministicKillAtOp(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		fs := testFS()
+		err := Run(Config{Tasks: 4, FS: fs, Fault: &msg.FaultSpec{Victim: 1, AtOp: 9}},
+			rotationApp(12, 8, "rot", nil, nil, nil, nil))
+		if !errors.Is(err, msg.ErrKilled) {
+			t.Fatalf("run %d: error = %v, want ErrKilled root cause", run, err)
+		}
+	}
+}
+
+// TestKillDuringCheckpointOverTCP is the socket-transport variant: the
+// system kills the whole application (Handle.Kill, the §4 response to a
+// processor failure) while tasks are inside a checkpoint, and every task
+// must unwind with the revocation error instead of blocking in socket
+// reads.
+func TestKillDuringCheckpointOverTCP(t *testing.T) {
+	fs := testFS()
+	started := make(chan struct{}, 16)
+	cfg := Config{Tasks: 3, FS: fs, TCP: true}
+	cfg.Stream.PieceHook = func(int, int64, []byte) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+	}
+	h, err := Start(cfg, func(t *Task) error {
+		g := rangeset.NewSlice(rangeset.Span(0, 255))
+		d, err := dist.Block(g, []int{t.Tasks()})
+		if err != nil {
+			return err
+		}
+		u, err := NewArray[float64](t, "u", d)
+		if err != nil {
+			return err
+		}
+		u.Fill(func(c []int) float64 { return float64(c[0]) })
+		for {
+			if _, _, err := t.ReconfigCheckpoint("ck"); err != nil {
+				return err
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // at least one piece is streaming: tasks are mid-checkpoint
+	h.Kill()
+	select {
+	case <-h.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("killed application hung")
+	}
+	if err := h.Wait(); !errors.Is(err, msg.ErrRevoked) {
+		t.Fatalf("killed app error = %v, want ErrRevoked", err)
+	}
+	if !h.Killed() {
+		t.Fatal("Killed() = false after Kill")
+	}
+}

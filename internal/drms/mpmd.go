@@ -29,6 +29,7 @@ type Group struct {
 	cond    *sync.Cond
 	arrived int
 	gen     int
+	err     error // sticky: set by Abort, returned by every later arrival
 }
 
 // NewGroup creates a coordination group for n components.
@@ -44,34 +45,63 @@ func NewGroup(n int) *Group {
 // Components returns the group's component count.
 func (g *Group) Components() int { return g.n }
 
+// Abort marks the group dead: every pending and future arrival returns
+// err instead of waiting for components that will never come. RunMPMD
+// aborts the group when any component fails, so the survivors' group
+// barriers unwind instead of hanging — the MPMD analogue of communicator
+// revocation. Idempotent; the first error sticks.
+func (g *Group) Abort(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
 // arrive blocks the calling component until all n components arrive,
-// then releases them together. Reusable (generation-counted).
-func (g *Group) arrive() {
+// then releases them together. Reusable (generation-counted). Returns
+// the group's abort error if it is (or becomes) dead.
+func (g *Group) arrive() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.err != nil {
+		return g.err
+	}
 	gen := g.gen
 	g.arrived++
 	if g.arrived == g.n {
 		g.arrived = 0
 		g.gen++
 		g.cond.Broadcast()
-		return
+		return nil
 	}
-	for gen == g.gen {
+	for gen == g.gen && g.err == nil {
 		g.cond.Wait()
 	}
+	return g.err
 }
 
 // Sync is a barrier across every task of every component: no task
 // returns until all components have entered. Each component's task 0
 // represents it at the group rendezvous; the other tasks wait on an
-// intra-component broadcast.
-func (g *Group) Sync(t *Task) {
-	t.comm.Barrier() // all of this component's tasks have entered
-	if t.Rank() == 0 {
-		g.arrive()
+// intra-component broadcast. A dead group (see Abort) or revoked
+// communicator unwinds every task with an error.
+func (g *Group) Sync(t *Task) error {
+	if err := t.comm.Barrier(); err != nil { // all of this component's tasks have entered
+		return err
 	}
-	t.comm.Bcast(0, nil) // released only after task 0 clears the rendezvous
+	if t.Rank() == 0 {
+		if err := g.arrive(); err != nil {
+			// The rendezvous failed; revoke the component's communicator so
+			// the peer tasks blocked in the release broadcast below unwind
+			// too, then report why.
+			t.comm.Revoke()
+			return err
+		}
+	}
+	_, err := t.comm.Bcast(0, nil) // released only after task 0 clears the rendezvous
+	return err
 }
 
 // GroupCheckpoint is the MPMD SOP: the component checkpoints under the
@@ -85,11 +115,15 @@ func (t *Task) GroupCheckpoint(g *Group, prefix string) (Status, int, error) {
 	if t.pending {
 		return t.restore()
 	}
-	g.Sync(t) // every component is at its SOP: the set is consistent
-	if err := t.write(prefix); err != nil {
-		return Continued, 0, err
+	if err := g.Sync(t); err != nil { // every component is at its SOP: the set is consistent
+		return Failed, 0, err
 	}
-	g.Sync(t) // all archives complete before anyone moves on
+	if err := t.write(prefix); err != nil {
+		return Failed, 0, err
+	}
+	if err := g.Sync(t); err != nil { // all archives complete before anyone moves on
+		return Failed, 0, err
+	}
 	return Continued, 0, nil
 }
 
@@ -124,7 +158,13 @@ func RunMPMD(cfg Config, appPrefix string, restart bool, comps []Component) erro
 			ccfg.RestartFrom = prefix
 		}
 		h, err := Start(ccfg, func(t *Task) error {
-			return comp.Body(t, g, prefix)
+			if err := comp.Body(t, g, prefix); err != nil {
+				// A failed component aborts the group so sibling components
+				// blocked at a rendezvous unwind instead of waiting forever.
+				g.Abort(fmt.Errorf("drms: component %q: %w", comp.Name, err))
+				return err
+			}
+			return nil
 		})
 		if err != nil {
 			// Components already launched must be torn down, or their

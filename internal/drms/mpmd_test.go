@@ -93,7 +93,11 @@ func consumerBody(cycles int, out chan<- float64) func(*Task, *Group, string) er
 			g.Sync(t) // reading done; producer may mutate again
 			cycle++
 		}
-		if sum := acc.Checksum(); t.Rank() == 0 && out != nil {
+		sum, err := acc.Checksum()
+		if err != nil {
+			return err
+		}
+		if t.Rank() == 0 && out != nil {
 			out <- sum
 		}
 		return nil

@@ -2,6 +2,7 @@ package msg
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 )
 
@@ -52,20 +53,29 @@ func packFrames(parts [][]byte) []byte {
 // its own packFrames output, neither pooled), so the copy the previous
 // version made per frame bought nothing. Callers that recycle flat must
 // copy frames they retain. Absent (empty) frames decode as nil.
-func unpackFrames(flat []byte, want int) [][]byte {
+func unpackFrames(flat []byte, want int) ([][]byte, error) {
+	if len(flat) < 8 {
+		return nil, fmt.Errorf("msg: frame header truncated (%d bytes)", len(flat))
+	}
 	n := int(binary.LittleEndian.Uint32(flat))
 	if n != want {
-		panic("msg: frame count mismatch")
+		return nil, fmt.Errorf("msg: frame count %d, want %d", n, want)
 	}
 	active := int(binary.LittleEndian.Uint32(flat[4:]))
 	flat = flat[8:]
 	out := make([][]byte, n)
 	for k := 0; k < active; k++ {
+		if len(flat) < 8 {
+			return nil, fmt.Errorf("msg: frame %d header truncated", k)
+		}
 		i := int(binary.LittleEndian.Uint32(flat))
 		l := int(binary.LittleEndian.Uint32(flat[4:]))
 		flat = flat[8:]
+		if i < 0 || i >= n || l < 0 || l > len(flat) {
+			return nil, fmt.Errorf("msg: frame %d malformed (idx %d, len %d)", k, i, l)
+		}
 		out[i] = flat[:l:l]
 		flat = flat[l:]
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,105 @@
+package msg
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultSpec configures deterministic fault injection: Victim is the rank
+// to kill, AtOp its 1-based transport-operation count (sends and receives
+// both count) at which the kill fires. AtOp = 0 builds a wrapper that
+// kills at the victim's first operation after Arm is called instead —
+// the hook-driven mode tests use to kill a rank at an exact point of a
+// higher-level protocol (for example, mid-checkpoint, from a streaming
+// piece hook).
+type FaultSpec struct {
+	Victim int
+	AtOp   int64
+}
+
+// FaultTransport wraps a Transport and kills one rank at a deterministic
+// point: once the victim reaches its configured operation count (or its
+// first operation after Arm), the victim's own operations return
+// ErrKilled forever after — the process is "dead": it neither sends nor
+// receives — while every other rank keeps running until the runner or
+// the coordination layer revokes the communicator. This reproduces the
+// paper's failure model (§4) as an observable, replayable event instead
+// of an actual process crash.
+type FaultTransport struct {
+	Transport
+	spec FaultSpec
+
+	mu     sync.Mutex
+	ops    int64 // victim's transport operations so far
+	armed  bool  // AtOp == 0 mode: kill at next victim op
+	dead   bool
+	onKill func() // fired exactly once, outside the lock
+}
+
+// NewFaultTransport wraps tr with the fault described by spec.
+func NewFaultTransport(tr Transport, spec FaultSpec) *FaultTransport {
+	return &FaultTransport{Transport: tr, spec: spec}
+}
+
+// Arm requests the victim's death at its next transport operation. Only
+// meaningful with AtOp = 0; idempotent and safe from any goroutine.
+func (t *FaultTransport) Arm() {
+	t.mu.Lock()
+	t.armed = true
+	t.mu.Unlock()
+}
+
+// OnKill registers a hook invoked exactly once, from the victim's
+// goroutine, at the moment of death — before the victim's operation
+// returns ErrKilled. Tests use it to revoke the communicator the way the
+// resource coordinator would, or to record timing. Must be set before
+// the run starts.
+func (t *FaultTransport) OnKill(f func()) { t.onKill = f }
+
+// Dead reports whether the victim has died.
+func (t *FaultTransport) Dead() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dead
+}
+
+// check counts one operation by rank and decides whether it dies now.
+func (t *FaultTransport) check(rank int) error {
+	if rank != t.spec.Victim {
+		return nil
+	}
+	t.mu.Lock()
+	if t.dead {
+		t.mu.Unlock()
+		return fmt.Errorf("rank %d: %w", rank, ErrKilled)
+	}
+	t.ops++
+	kill := (t.spec.AtOp > 0 && t.ops >= t.spec.AtOp) || (t.spec.AtOp == 0 && t.armed)
+	if !kill {
+		t.mu.Unlock()
+		return nil
+	}
+	t.dead = true
+	hook := t.onKill
+	t.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	return fmt.Errorf("rank %d: %w", rank, ErrKilled)
+}
+
+// Send implements Transport.
+func (t *FaultTransport) Send(src, dst, tag int, data []byte) error {
+	if err := t.check(src); err != nil {
+		return err
+	}
+	return t.Transport.Send(src, dst, tag, data)
+}
+
+// Recv implements Transport.
+func (t *FaultTransport) Recv(dst, src, tag int, cancel <-chan struct{}) ([]byte, error) {
+	if err := t.check(dst); err != nil {
+		return nil, err
+	}
+	return t.Transport.Recv(dst, src, tag, cancel)
+}

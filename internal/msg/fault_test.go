@@ -1,0 +1,307 @@
+package msg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// perRankErrs collects each rank's returned error so tests can assert on
+// the full failure picture, not just the run's root cause.
+type perRankErrs struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+func newPerRankErrs(n int) *perRankErrs { return &perRankErrs{errs: make([]error, n)} }
+
+func (p *perRankErrs) set(rank int, err error) error {
+	p.mu.Lock()
+	p.errs[rank] = err
+	p.mu.Unlock()
+	return err
+}
+
+// barrierLoop is the standard entangled workload: every rank runs rounds
+// of the dissemination barrier, so no rank can make progress once any
+// rank stops participating.
+func barrierLoop(rounds int, completed []int64) func(c *Comm) error {
+	return func(c *Comm) error {
+		for i := 0; i < rounds; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if completed != nil {
+				completed[c.Rank()]++
+			}
+		}
+		return nil
+	}
+}
+
+func TestRevokeReleasesBlockedPeers(t *testing.T) {
+	for _, tcp := range []bool{false, true} {
+		name := "local"
+		if tcp {
+			name = "tcp"
+		}
+		t.Run(name, func(t *testing.T) {
+			const n = 4
+			r, err := NewRunner(n, tcp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			per := newPerRankErrs(n)
+			parked := make(chan struct{}, n-1)
+			runErr := r.Run(func(c *Comm) error {
+				if c.Rank() == 0 {
+					// Wait until every peer is about to park, then revoke.
+					for i := 0; i < n-1; i++ {
+						<-parked
+					}
+					c.Revoke()
+					if err := c.Err(); !errors.Is(err, ErrRevoked) {
+						return fmt.Errorf("Err() after Revoke = %v", err)
+					}
+					return per.set(0, ErrRevoked)
+				}
+				parked <- struct{}{}
+				// A receive that will never be satisfied: only revocation
+				// can release it.
+				_, err := c.Recv(0, 42)
+				return per.set(c.Rank(), err)
+			})
+			if !errors.Is(runErr, ErrRevoked) {
+				t.Fatalf("run error = %v, want ErrRevoked", runErr)
+			}
+			for rank := 1; rank < n; rank++ {
+				if !errors.Is(per.errs[rank], ErrRevoked) {
+					t.Errorf("rank %d returned %v, want ErrRevoked", rank, per.errs[rank])
+				}
+			}
+		})
+	}
+}
+
+func TestFaultKillAtOpIsDeterministic(t *testing.T) {
+	// Kill rank 2 at its 5th transport operation. With 4 ranks a barrier
+	// costs 4 operations (2 dissemination rounds x send+recv), so the
+	// victim completes exactly 1 barrier and dies on the first operation
+	// of its 2nd — on every run.
+	const (
+		n      = 4
+		victim = 2
+		atOp   = 5
+	)
+	for run := 0; run < 3; run++ {
+		r, err := NewRunner(n, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft := r.InjectFault(FaultSpec{Victim: victim, AtOp: atOp})
+		completed := make([]int64, n)
+		runErr := r.Run(barrierLoop(10, completed))
+		if !errors.Is(runErr, ErrKilled) {
+			t.Fatalf("run %d: error = %v, want ErrKilled as root cause", run, runErr)
+		}
+		if !ft.Dead() {
+			t.Fatalf("run %d: victim not marked dead", run)
+		}
+		if completed[victim] != 1 {
+			t.Fatalf("run %d: victim completed %d barriers, want exactly 1", run, completed[victim])
+		}
+	}
+}
+
+func TestFaultSurvivorsObserveRevocation(t *testing.T) {
+	// The paper's §4 failure sequence at transport scale: one rank dies
+	// mid-collective, the runner revokes the communicator, and every
+	// survivor's in-flight operation returns ErrRevoked instead of
+	// blocking forever. Exercised over real sockets as well as channels.
+	for _, tcp := range []bool{false, true} {
+		name := "local"
+		if tcp {
+			name = "tcp"
+		}
+		t.Run(name, func(t *testing.T) {
+			const (
+				n      = 4
+				victim = 1
+			)
+			r, err := NewRunner(n, tcp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.InjectFault(FaultSpec{Victim: victim, AtOp: 3})
+			per := newPerRankErrs(n)
+			runErr := r.Run(func(c *Comm) error {
+				return per.set(c.Rank(), barrierLoop(10, nil)(c))
+			})
+			if !errors.Is(runErr, ErrKilled) {
+				t.Fatalf("run error = %v, want ErrKilled as root cause", runErr)
+			}
+			if !errors.Is(per.errs[victim], ErrKilled) {
+				t.Fatalf("victim returned %v, want ErrKilled", per.errs[victim])
+			}
+			for rank := 0; rank < n; rank++ {
+				if rank == victim {
+					continue
+				}
+				if !errors.Is(per.errs[rank], ErrRevoked) {
+					t.Errorf("survivor %d returned %v, want ErrRevoked", rank, per.errs[rank])
+				}
+			}
+		})
+	}
+}
+
+func TestFaultArmKillsAtNextOp(t *testing.T) {
+	// AtOp = 0 is the hook-driven mode: the victim dies at its first
+	// transport operation after Arm, letting tests place the death at an
+	// exact point of a higher-level protocol.
+	const (
+		n      = 3
+		victim = 2
+	)
+	r, err := NewRunner(n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := r.InjectFault(FaultSpec{Victim: victim})
+	killed := false
+	ft.OnKill(func() { killed = true })
+	armAfter := 3
+	completed := make([]int64, n)
+	runErr := r.Run(func(c *Comm) error {
+		for i := 0; i < 10; i++ {
+			if c.Rank() == 0 && i == armAfter {
+				ft.Arm()
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			completed[c.Rank()]++
+		}
+		return nil
+	})
+	if !errors.Is(runErr, ErrKilled) {
+		t.Fatalf("run error = %v, want ErrKilled", runErr)
+	}
+	if !killed {
+		t.Fatal("OnKill hook did not fire")
+	}
+	if !ft.Dead() {
+		t.Fatal("victim not marked dead")
+	}
+	// Before arming, the victim makes normal progress.
+	if completed[victim] < 1 {
+		t.Fatalf("victim completed %d barriers before dying, want >= 1", completed[victim])
+	}
+}
+
+func TestFaultVictimStaysDead(t *testing.T) {
+	// Once dead, every further operation of the victim fails — the process
+	// is gone, it cannot half-participate.
+	tr := NewLocalTransport(2)
+	ft := NewFaultTransport(tr, FaultSpec{Victim: 0, AtOp: 1})
+	if err := ft.Send(0, 1, 0, nil); !errors.Is(err, ErrKilled) {
+		t.Fatalf("first victim op = %v, want ErrKilled", err)
+	}
+	if err := ft.Send(0, 1, 0, nil); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-death victim send = %v, want ErrKilled", err)
+	}
+	if _, err := ft.Recv(0, 1, 0, nil); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-death victim recv = %v, want ErrKilled", err)
+	}
+	// Non-victims are untouched.
+	if err := ft.Send(1, 1, 0, []byte{1}); err != nil {
+		t.Fatalf("non-victim send = %v", err)
+	}
+}
+
+func TestDropConnFailsSendAndRevokesRun(t *testing.T) {
+	// Severing one socket pair is the transport-level "lost connection"
+	// event: the next send on the pair fails, the runner revokes, and the
+	// peer parked in Recv is released rather than hung.
+	const n = 2
+	r, err := NewRunner(n, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := make(chan struct{})
+	per := newPerRankErrs(n)
+	runErr := r.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			r.tcp.DropConn(0, 1)
+			close(dropped)
+			// The socket to rank 1 is gone; this send must fail, not block.
+			err := c.Send(1, 7, []byte("after drop"))
+			if err == nil {
+				return fmt.Errorf("send over a dropped connection succeeded")
+			}
+			return per.set(0, err)
+		}
+		<-dropped
+		_, err := c.Recv(0, 7)
+		return per.set(1, err)
+	})
+	if runErr == nil {
+		t.Fatal("run with a dropped connection reported success")
+	}
+	if per.errs[0] == nil || errors.Is(per.errs[0], ErrRevoked) {
+		t.Fatalf("rank 0 send error = %v, want a socket-layer failure", per.errs[0])
+	}
+	if !errors.Is(per.errs[1], ErrRevoked) {
+		t.Fatalf("rank 1 recv error = %v, want ErrRevoked", per.errs[1])
+	}
+}
+
+func TestWithContextDeadlineReleasesRecv(t *testing.T) {
+	// A context-bound Comm aborts a blocked receive at the deadline while
+	// leaving the underlying communicator healthy for further use.
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			cc := c.WithContext(ctx)
+			if _, err := cc.Recv(0, 9); !errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("recv under expired context = %v, want DeadlineExceeded", err)
+			}
+			if err := c.Err(); err != nil {
+				return fmt.Errorf("communicator dead after context cancel: %v", err)
+			}
+		}
+		// Both ranks still collectively usable afterwards. The derived Comm
+		// shares the collective sequence, so the ranks stay matched.
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithContextCancelPropagatesToCollectives(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() != 0 {
+			// Ranks 1, 2 never enter the barrier, so rank 0's must block
+			// until its context fires; afterwards everyone must agree to
+			// stop using the revoked sequence, so they just return.
+			return nil
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+		}()
+		if err := c.WithContext(ctx).Barrier(); !errors.Is(err, context.Canceled) {
+			return fmt.Errorf("barrier under canceled context = %v, want Canceled", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

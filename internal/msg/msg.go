@@ -11,34 +11,98 @@
 // preserving the distributed-memory character of the original system.
 // All algorithms in this repository are written against Comm and run
 // unchanged on either transport.
+//
+// # Failure semantics
+//
+// The substrate is fallible and cancelable, matching the paper's failure
+// model (§4: loss of a task's connection kills the application, which
+// restarts from its latest checkpoint). Every operation returns an error
+// instead of panicking or blocking forever:
+//
+//   - Comm.Revoke (ULFM-style) marks the communicator revoked: every
+//     pending and future operation on it — on every rank — returns
+//     ErrRevoked instead of blocking. The resource coordinator revokes an
+//     application's communicator when it detects a processor failure, so
+//     tasks unwind to a clean state the restart path can trust.
+//   - Comm.WithContext derives a communicator whose operations also abort
+//     when the context is canceled or its deadline passes.
+//   - The Runner revokes the communicator when any task fails (error or
+//     panic), so a death mid-collective propagates to every peer rather
+//     than leaving them blocked in Recv.
 package msg
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
 
+// Sentinel errors of the substrate. Operations wrap these, so callers
+// test with errors.Is.
+var (
+	// ErrRevoked reports that the communicator was revoked: a rank died
+	// (or the system declared it dead) and every surviving operation
+	// unwinds instead of blocking.
+	ErrRevoked = errors.New("msg: communicator revoked")
+	// ErrClosed reports an operation on a transport that was shut down.
+	ErrClosed = errors.New("msg: transport closed")
+	// ErrKilled is what a fault-injected victim observes from its own
+	// operations once its configured death point is reached.
+	ErrKilled = errors.New("msg: rank killed by fault injection")
+)
+
 // Comm is a task's endpoint into the parallel application: its rank, the
 // task count, and the send/receive primitives. A Comm is used by exactly
-// one task (goroutine); distinct Comms may be used concurrently.
+// one task (goroutine); distinct Comms may be used concurrently. Comms
+// derived with WithContext share the collective sequence with their
+// parent, so a task may interleave plain and context-bound collectives
+// and still match its peers.
 type Comm struct {
 	rank, size int
 	tr         Transport
-	collSeq    int // per-rank collective sequence number (advances in lockstep across ranks)
+	st         *commState
+	ctx        context.Context // nil: no cancellation
+}
+
+// commState is the per-task state shared by a Comm and every Comm
+// derived from it.
+type commState struct {
+	collSeq int // per-rank collective sequence number (advances in lockstep across ranks)
+}
+
+// NewComm builds the endpoint of one rank over a transport. The runner
+// calls it once per task; tests building custom harnesses may too.
+func NewComm(rank, size int, tr Transport) *Comm {
+	return &Comm{rank: rank, size: size, tr: tr, st: &commState{}}
 }
 
 // Transport moves byte messages between ranks. Implementations must
-// deliver messages from a fixed (src, dst, tag) triple in send order.
+// deliver messages from a fixed (src, dst, tag) triple in send order,
+// and must fail — never block forever — once aborted.
 type Transport interface {
 	// Send delivers data to dst. It must not retain data after returning.
-	Send(src, dst, tag int, data []byte)
+	Send(src, dst, tag int, data []byte) error
 	// Recv blocks until a message with the given source and tag is
-	// available at dst and returns its payload.
-	Recv(dst, src, tag int) []byte
-	// Close releases transport resources for the given rank.
+	// available at dst and returns its payload. A receive on an aborted
+	// (or per-rank closed) transport returns the abort error; a receive
+	// canceled through the cancel channel returns errRecvCanceled.
+	Recv(dst, src, tag int, cancel <-chan struct{}) ([]byte, error)
+	// Close releases transport resources for the given rank; pending and
+	// future receives at that rank return ErrClosed.
 	Close(rank int)
+	// Abort revokes the whole transport: every pending and future
+	// operation on any rank returns err. Idempotent; the first error
+	// sticks.
+	Abort(err error)
+	// Err returns the abort error, or nil while the transport is healthy.
+	Err() error
 }
+
+// errRecvCanceled is the transport-level marker for a receive interrupted
+// by its cancel channel; Comm maps it to the context's error.
+var errRecvCanceled = errors.New("msg: receive canceled")
 
 // Rank returns this task's rank in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
@@ -46,44 +110,81 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of tasks in the application.
 func (c *Comm) Size() int { return c.size }
 
+// WithContext derives a communicator whose operations additionally abort
+// (with the context's error) when ctx is canceled or its deadline
+// passes. The derived Comm shares rank, transport, and the collective
+// sequence with its parent; use it to bound a phase — a checkpoint, a
+// drain — without revoking the communicator for good.
+func (c *Comm) WithContext(ctx context.Context) *Comm {
+	cc := *c
+	cc.ctx = ctx
+	return &cc
+}
+
+// Revoke marks the communicator revoked (ULFM MPI_Comm_revoke): every
+// pending and future operation on it, on every rank, returns ErrRevoked.
+// Any task — or the system, through the same transport handle — may
+// revoke; revocation is idempotent and irreversible.
+func (c *Comm) Revoke() { c.tr.Abort(ErrRevoked) }
+
+// Err returns ErrRevoked (or the transport's abort error) once the
+// communicator is dead, nil while it is healthy.
+func (c *Comm) Err() error { return c.tr.Err() }
+
+// cancelCh returns the channel that cancels blocking receives, nil when
+// the Comm is not context-bound.
+func (c *Comm) cancelCh() <-chan struct{} {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Done()
+}
+
 // Send delivers data to task dst with the given tag. Tags must be
 // non-negative; negative tags are reserved for collectives. Send is
 // buffered and does not block on the receiver.
-func (c *Comm) Send(dst, tag int, data []byte) {
+func (c *Comm) Send(dst, tag int, data []byte) error {
 	if tag < 0 {
-		panic(fmt.Sprintf("msg: negative user tag %d", tag))
+		return fmt.Errorf("msg: negative user tag %d", tag)
 	}
-	c.send(dst, tag, data)
+	return c.send(dst, tag, data)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. Messages from the same (src, tag) are received in
-// send order.
-func (c *Comm) Recv(src, tag int) []byte {
+// send order. Recv returns ErrRevoked when the communicator is revoked
+// and the context's error when a WithContext-derived Comm is canceled.
+func (c *Comm) Recv(src, tag int) ([]byte, error) {
 	if tag < 0 {
-		panic(fmt.Sprintf("msg: negative user tag %d", tag))
+		return nil, fmt.Errorf("msg: negative user tag %d", tag)
 	}
 	return c.recv(src, tag)
 }
 
-func (c *Comm) send(dst, tag int, data []byte) {
+func (c *Comm) send(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= c.size {
-		panic(fmt.Sprintf("msg: send to rank %d of %d", dst, c.size))
+		return fmt.Errorf("msg: send to rank %d of %d", dst, c.size)
 	}
-	if dst == c.rank {
-		// Self-sends short-circuit through the transport too, so ordering
-		// with remote messages stays uniform.
-		c.tr.Send(c.rank, dst, tag, data)
-		return
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return fmt.Errorf("msg: send %d->%d: %w", c.rank, dst, err)
+		}
 	}
-	c.tr.Send(c.rank, dst, tag, data)
+	return c.tr.Send(c.rank, dst, tag, data)
 }
 
-func (c *Comm) recv(src, tag int) []byte {
+func (c *Comm) recv(src, tag int) ([]byte, error) {
 	if src < 0 || src >= c.size {
-		panic(fmt.Sprintf("msg: recv from rank %d of %d", src, c.size))
+		return nil, fmt.Errorf("msg: recv from rank %d of %d", src, c.size)
 	}
-	return c.tr.Recv(c.rank, src, tag)
+	m, err := c.tr.Recv(c.rank, src, tag, c.cancelCh())
+	if err != nil {
+		if errors.Is(err, errRecvCanceled) && c.ctx != nil {
+			return nil, fmt.Errorf("msg: recv %d<-%d: %w", c.rank, src, c.ctx.Err())
+		}
+		return nil, err
+	}
+	return m, nil
 }
 
 // collTag reserves a fresh internal tag for one collective operation.
@@ -91,8 +192,8 @@ func (c *Comm) recv(src, tag int) []byte {
 // per-rank counters advance in lockstep and matching ranks use matching
 // tags.
 func (c *Comm) collTag(op int) int {
-	c.collSeq++
-	return -(c.collSeq*16 + op + 1)
+	c.st.collSeq++
+	return -(c.st.collSeq*16 + op + 1)
 }
 
 const (
@@ -105,7 +206,7 @@ const (
 
 // Barrier blocks until every task has entered the barrier. It uses the
 // dissemination algorithm: ceil(log2 n) rounds of pairwise signals.
-func (c *Comm) Barrier() {
+func (c *Comm) Barrier() error {
 	tag := c.collTag(opBarrier)
 	// One tag serves every round: the partner ranks differ per round
 	// (distinct powers of two are never congruent mod size), so (src, tag)
@@ -113,36 +214,48 @@ func (c *Comm) Barrier() {
 	for dist := 1; dist < c.size; dist *= 2 {
 		to := (c.rank + dist) % c.size
 		from := (c.rank - dist%c.size + c.size) % c.size
-		c.send(to, tag, nil)
-		c.recv(from, tag)
+		if err := c.send(to, tag, nil); err != nil {
+			return err
+		}
+		if _, err := c.recv(from, tag); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Bcast distributes root's buffer to every task and returns it. Non-root
 // callers pass nil (any value they pass is ignored). A binomial tree is
 // used, as on the SP.
-func (c *Comm) Bcast(root int, data []byte) []byte {
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	tag := c.collTag(opBcast)
 	rel := (c.rank - root + c.size) % c.size // rank relative to root
 	if rel != 0 {
 		parent := (((rel - 1) / 2) + root) % c.size
-		data = c.recv(parent, tag)
+		var err error
+		if data, err = c.recv(parent, tag); err != nil {
+			return nil, err
+		}
 	}
 	for _, child := range []int{2*rel + 1, 2*rel + 2} {
 		if child < c.size {
-			c.send((child+root)%c.size, tag, data)
+			if err := c.send((child+root)%c.size, tag, data); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return data
+	return data, nil
 }
 
 // Gather collects each task's buffer at root. At root the result has one
 // entry per rank (entry i from rank i); elsewhere it is nil.
-func (c *Comm) Gather(root int, data []byte) [][]byte {
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	tag := c.collTag(opGather)
 	if c.rank != root {
-		c.send(root, tag, data)
-		return nil
+		if err := c.send(root, tag, data); err != nil {
+			return nil, err
+		}
+		return nil, nil
 	}
 	out := make([][]byte, c.size)
 	out[root] = append([]byte(nil), data...)
@@ -150,23 +263,32 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 		if r == root {
 			continue
 		}
-		out[r] = c.recv(r, tag)
+		m, err := c.recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = m
 	}
-	return out
+	return out, nil
 }
 
 // Allgather collects every task's buffer at every task. The returned
 // frames share one backing buffer (the broadcast payload); callers that
 // mutate one frame must copy it first.
-func (c *Comm) Allgather(data []byte) [][]byte {
-	parts := c.Gather(0, data)
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	parts, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
 	// Broadcast the gathered set from root. Frame as length-prefixed
 	// concatenation to keep a single Bcast.
 	var flat []byte
 	if c.rank == 0 {
 		flat = packFrames(parts)
 	}
-	flat = c.Bcast(0, flat)
+	if flat, err = c.Bcast(0, flat); err != nil {
+		return nil, err
+	}
 	return unpackFrames(flat, c.size)
 }
 
@@ -174,9 +296,9 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 // rank i, and the result's entry i holds the buffer rank i sent to this
 // task. Entries may be nil/empty. This is the workhorse of array
 // redistribution.
-func (c *Comm) Alltoall(send [][]byte) [][]byte {
+func (c *Comm) Alltoall(send [][]byte) ([][]byte, error) {
 	if len(send) != c.size {
-		panic(fmt.Sprintf("msg: Alltoall with %d buffers for %d ranks", len(send), c.size))
+		return nil, fmt.Errorf("msg: Alltoall with %d buffers for %d ranks", len(send), c.size)
 	}
 	tag := c.collTag(opAlltoall)
 	recv := make([][]byte, c.size)
@@ -187,10 +309,16 @@ func (c *Comm) Alltoall(send [][]byte) [][]byte {
 	for s := 1; s < c.size; s++ {
 		dst := (c.rank + s) % c.size
 		src := (c.rank - s + c.size) % c.size
-		c.send(dst, tag, send[dst])
-		recv[src] = c.recv(src, tag)
+		if err := c.send(dst, tag, send[dst]); err != nil {
+			return nil, err
+		}
+		m, err := c.recv(src, tag)
+		if err != nil {
+			return nil, err
+		}
+		recv[src] = m
 	}
-	return recv
+	return recv, nil
 }
 
 // AlltoallSparse is Alltoall restricted to a known communication graph,
@@ -204,10 +332,10 @@ func (c *Comm) Alltoall(send [][]byte) [][]byte {
 // as mismatched point-to-point calls would. The self entry travels only
 // if sendTo[rank] is set. Result entries for inactive peers are nil.
 // Collective: every task must call it, even with all-false masks.
-func (c *Comm) AlltoallSparse(send [][]byte, sendTo, recvFrom []bool) [][]byte {
+func (c *Comm) AlltoallSparse(send [][]byte, sendTo, recvFrom []bool) ([][]byte, error) {
 	if len(send) != c.size || len(sendTo) != c.size || len(recvFrom) != c.size {
-		panic(fmt.Sprintf("msg: AlltoallSparse with %d/%d/%d entries for %d ranks",
-			len(send), len(sendTo), len(recvFrom), c.size))
+		return nil, fmt.Errorf("msg: AlltoallSparse with %d/%d/%d entries for %d ranks",
+			len(send), len(sendTo), len(recvFrom), c.size)
 	}
 	tag := c.collTag(opAlltoall)
 	recv := make([][]byte, c.size)
@@ -223,24 +351,32 @@ func (c *Comm) AlltoallSparse(send [][]byte, sendTo, recvFrom []bool) [][]byte {
 		dst := (c.rank + s) % c.size
 		src := (c.rank - s + c.size) % c.size
 		if sendTo[dst] {
-			c.send(dst, tag, send[dst])
+			if err := c.send(dst, tag, send[dst]); err != nil {
+				return nil, err
+			}
 		}
 		if recvFrom[src] {
-			recv[src] = c.recv(src, tag)
+			m, err := c.recv(src, tag)
+			if err != nil {
+				return nil, err
+			}
+			recv[src] = m
 		}
 	}
-	return recv
+	return recv, nil
 }
 
 // ReduceF64 combines one float64 per task with op at root; non-root tasks
 // receive 0 and ok=false. Combination uses a fixed rank-ascending order,
 // so results are bitwise deterministic and independent of transport
 // timing.
-func (c *Comm) ReduceF64(root int, v float64, op func(a, b float64) float64) (float64, bool) {
+func (c *Comm) ReduceF64(root int, v float64, op func(a, b float64) float64) (float64, bool, error) {
 	tag := c.collTag(opReduce)
 	if c.rank != root {
-		c.send(root, tag, f64Bytes(v))
-		return 0, false
+		if err := c.send(root, tag, f64Bytes(v)); err != nil {
+			return 0, false, err
+		}
+		return 0, false, nil
 	}
 	acc := 0.0
 	first := true
@@ -249,7 +385,11 @@ func (c *Comm) ReduceF64(root int, v float64, op func(a, b float64) float64) (fl
 		if r == root {
 			rv = v
 		} else {
-			rv = bytesF64(c.recv(r, tag))
+			m, err := c.recv(r, tag)
+			if err != nil {
+				return 0, false, err
+			}
+			rv = bytesF64(m)
 		}
 		if first {
 			acc, first = rv, false
@@ -257,38 +397,50 @@ func (c *Comm) ReduceF64(root int, v float64, op func(a, b float64) float64) (fl
 			acc = op(acc, rv)
 		}
 	}
-	return acc, true
+	return acc, true, nil
 }
 
 // AllreduceF64 combines one float64 per task with op and returns the
 // result on every task, with the same deterministic ordering as
 // ReduceF64.
-func (c *Comm) AllreduceF64(v float64, op func(a, b float64) float64) float64 {
-	r, ok := c.ReduceF64(0, v, op)
+func (c *Comm) AllreduceF64(v float64, op func(a, b float64) float64) (float64, error) {
+	r, ok, err := c.ReduceF64(0, v, op)
+	if err != nil {
+		return 0, err
+	}
 	var buf []byte
 	if ok {
 		buf = f64Bytes(r)
 	}
-	return bytesF64(c.Bcast(0, buf))
+	out, err := c.Bcast(0, buf)
+	if err != nil {
+		return 0, err
+	}
+	return bytesF64(out), nil
 }
 
 // AllreduceF64s combines equal-length float64 vectors element-wise with
 // op, deterministically (rank-ascending order), and returns the result on
 // every task. The NPB-style verification norms use it.
-func (c *Comm) AllreduceF64s(v []float64, op func(a, b float64) float64) []float64 {
+func (c *Comm) AllreduceF64s(v []float64, op func(a, b float64) float64) ([]float64, error) {
 	tag := c.collTag(opReduce)
 	buf := make([]byte, 8*len(v))
 	for i, x := range v {
 		copy(buf[8*i:], f64Bytes(x))
 	}
 	if c.rank != 0 {
-		c.send(0, tag, buf)
+		if err := c.send(0, tag, buf); err != nil {
+			return nil, err
+		}
 	} else {
 		acc := append([]float64(nil), v...)
 		for r := 1; r < c.size; r++ {
-			part := c.recv(r, tag)
+			part, err := c.recv(r, tag)
+			if err != nil {
+				return nil, err
+			}
 			if len(part) != len(buf) {
-				panic(fmt.Sprintf("msg: AllreduceF64s length mismatch from rank %d", r))
+				return nil, fmt.Errorf("msg: AllreduceF64s length mismatch from rank %d", r)
 			}
 			for i := range acc {
 				acc[i] = op(acc[i], bytesF64(part[8*i:]))
@@ -298,12 +450,15 @@ func (c *Comm) AllreduceF64s(v []float64, op func(a, b float64) float64) []float
 			copy(buf[8*i:], f64Bytes(x))
 		}
 	}
-	out := c.Bcast(0, buf)
+	out, err := c.Bcast(0, buf)
+	if err != nil {
+		return nil, err
+	}
 	res := make([]float64, len(v))
 	for i := range res {
 		res[i] = bytesF64(out[8*i:])
 	}
-	return res
+	return res, nil
 }
 
 // Sum is the addition operator for reductions.
@@ -326,12 +481,15 @@ func Min(a, b float64) float64 {
 }
 
 // Run executes f as an SPMD application of n tasks over the in-process
-// transport and blocks until every task returns. A panic in any task is
-// re-raised in the caller after the remaining tasks are released.
-func Run(n int, f func(c *Comm)) {
-	r, _ := NewRunner(n, false)
-	defer r.shutdown()
-	r.Run(f)
+// transport and blocks until every task returns. The first task failure
+// (error or panic) revokes the communicator — releasing every peer
+// blocked in a collective — and is returned as the run's error.
+func Run(n int, f func(c *Comm) error) error {
+	r, err := NewRunner(n, false)
+	if err != nil {
+		return err
+	}
+	return r.Run(f)
 }
 
 // Runner executes SPMD applications over a transport it owns and supports
@@ -343,10 +501,16 @@ type Runner struct {
 	tr     Transport
 	tcp    *TCPTransport
 	killed atomic.Bool
+
+	mu    sync.Mutex
+	cause error // root cause of an aborted run
 }
 
 // NewRunner builds a runner for n tasks; tcp selects the socket transport.
 func NewRunner(n int, tcp bool) (*Runner, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("msg: runner of %d tasks", n)
+	}
 	if tcp {
 		tr, err := NewTCPTransport(n)
 		if err != nil {
@@ -357,16 +521,24 @@ func NewRunner(n int, tcp bool) (*Runner, error) {
 	return &Runner{n: n, tr: NewLocalTransport(n)}, nil
 }
 
-// Kill tears the transport down under the application: every blocked or
-// future receive panics, so all tasks die promptly at their next
-// communication. Idempotent.
+// InjectFault wraps the runner's transport in a deterministic
+// fault-injection layer (see FaultTransport) and returns it for arming.
+// Must be called before Run.
+func (r *Runner) InjectFault(spec FaultSpec) *FaultTransport {
+	ft := NewFaultTransport(r.tr, spec)
+	r.tr = ft
+	return ft
+}
+
+// Kill revokes the application's communicator from outside: every blocked
+// or future operation returns ErrRevoked, so all tasks unwind promptly at
+// their next communication. This is the paper's processor-failure action
+// (§4). Idempotent.
 func (r *Runner) Kill() {
 	if r.killed.Swap(true) {
 		return
 	}
-	for rank := 0; rank < r.n; rank++ {
-		r.tr.Close(rank)
-	}
+	r.tr.Abort(ErrRevoked)
 }
 
 // Killed reports whether Kill was called.
@@ -382,29 +554,48 @@ func (r *Runner) shutdown() {
 	}
 }
 
-// Run executes f on every rank and blocks until all return. A panic in
-// any task (including the induced panics of Kill) is re-raised in the
-// caller after the remaining tasks finish.
-func (r *Runner) Run(f func(c *Comm)) {
+// fail records a task failure and revokes the communicator so every peer
+// unwinds. The root cause is the first failure that is not itself a
+// revocation echo: when task 3 dies and tasks 0-2 then observe
+// ErrRevoked, the run's error is task 3's.
+func (r *Runner) fail(err error) {
+	r.mu.Lock()
+	if r.cause == nil || (errors.Is(r.cause, ErrRevoked) && !errors.Is(err, ErrRevoked)) {
+		r.cause = err
+	}
+	r.mu.Unlock()
+	r.tr.Abort(ErrRevoked)
+}
+
+// Err returns the run's root-cause error (nil while healthy or after a
+// clean run).
+func (r *Runner) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cause
+}
+
+// Run executes f on every rank and blocks until all return. The first
+// task failure — a returned error or a panic — revokes the communicator
+// (releasing peers blocked mid-collective) and becomes the returned
+// error; peers' secondary ErrRevoked errors are subsumed by it.
+func (r *Runner) Run(f func(c *Comm) error) error {
 	defer r.shutdown()
 	var wg sync.WaitGroup
-	panics := make(chan any, r.n)
 	for rank := 0; rank < r.n; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics <- fmt.Errorf("task %d: %v", rank, p)
+					r.fail(fmt.Errorf("task %d panicked: %v", rank, p))
 				}
 			}()
-			f(&Comm{rank: rank, size: r.n, tr: r.tr})
+			if err := f(NewComm(rank, r.n, r.tr)); err != nil {
+				r.fail(fmt.Errorf("task %d: %w", rank, err))
+			}
 		}(rank)
 	}
 	wg.Wait()
-	select {
-	case p := <-panics:
-		panic(p)
-	default:
-	}
+	return r.Err()
 }

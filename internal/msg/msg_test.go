@@ -2,17 +2,24 @@ package msg
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
 
 // runBoth executes the SPMD body on both transports so every collective
-// is exercised over channels and over sockets.
-func runBoth(t *testing.T, n int, f func(c *Comm)) {
+// is exercised over channels and over sockets. The body returns an error
+// on any mismatch; a clean run must return nil on every rank.
+func runBoth(t *testing.T, n int, f func(c *Comm) error) {
 	t.Helper()
-	t.Run("local", func(t *testing.T) { Run(n, f) })
+	t.Run("local", func(t *testing.T) {
+		if err := Run(n, f); err != nil {
+			t.Fatal(err)
+		}
+	})
 	t.Run("tcp", func(t *testing.T) {
 		if err := RunTCP(n, f); err != nil {
 			t.Fatal(err)
@@ -21,68 +28,93 @@ func runBoth(t *testing.T, n int, f func(c *Comm)) {
 }
 
 func TestSendRecvOrdering(t *testing.T) {
-	runBoth(t, 2, func(c *Comm) {
+	runBoth(t, 2, func(c *Comm) error {
 		const k = 50
 		if c.Rank() == 0 {
 			for i := 0; i < k; i++ {
-				c.Send(1, 7, []byte{byte(i)})
+				if err := c.Send(1, 7, []byte{byte(i)}); err != nil {
+					return err
+				}
 			}
 		} else {
 			for i := 0; i < k; i++ {
-				m := c.Recv(0, 7)
+				m, err := c.Recv(0, 7)
+				if err != nil {
+					return err
+				}
 				if len(m) != 1 || m[0] != byte(i) {
-					panic(fmt.Sprintf("message %d out of order: %v", i, m))
+					return fmt.Errorf("message %d out of order: %v", i, m)
 				}
 			}
 		}
+		return nil
 	})
 }
 
 func TestSendRecvTagsIndependent(t *testing.T) {
-	runBoth(t, 2, func(c *Comm) {
+	runBoth(t, 2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			c.Send(1, 1, []byte("tag1-first"))
 			c.Send(1, 2, []byte("tag2"))
 			c.Send(1, 1, []byte("tag1-second"))
-		} else {
-			// Receive tag 2 before draining tag 1: matching is by tag.
-			if got := string(c.Recv(0, 2)); got != "tag2" {
-				panic("tag 2 payload wrong: " + got)
+			return nil
+		}
+		// Receive tag 2 before draining tag 1: matching is by tag.
+		for _, want := range []struct {
+			tag int
+			pay string
+		}{{2, "tag2"}, {1, "tag1-first"}, {1, "tag1-second"}} {
+			m, err := c.Recv(0, want.tag)
+			if err != nil {
+				return err
 			}
-			if got := string(c.Recv(0, 1)); got != "tag1-first" {
-				panic("tag 1 first payload wrong: " + got)
-			}
-			if got := string(c.Recv(0, 1)); got != "tag1-second" {
-				panic("tag 1 second payload wrong: " + got)
+			if string(m) != want.pay {
+				return fmt.Errorf("tag %d payload = %q, want %q", want.tag, m, want.pay)
 			}
 		}
+		return nil
 	})
 }
 
 func TestSelfSend(t *testing.T) {
-	runBoth(t, 2, func(c *Comm) {
-		c.Send(c.Rank(), 3, []byte{42})
-		if m := c.Recv(c.Rank(), 3); m[0] != 42 {
-			panic("self-send payload lost")
+	runBoth(t, 2, func(c *Comm) error {
+		if err := c.Send(c.Rank(), 3, []byte{42}); err != nil {
+			return err
 		}
+		m, err := c.Recv(c.Rank(), 3)
+		if err != nil {
+			return err
+		}
+		if m[0] != 42 {
+			return fmt.Errorf("self-send payload lost")
+		}
+		return nil
 	})
 }
 
 func TestSendCopiesBuffer(t *testing.T) {
-	Run(2, func(c *Comm) {
+	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			buf := []byte{1, 2, 3}
 			c.Send(1, 0, buf)
 			buf[0] = 99 // must not affect the delivered message
-			c.Send(1, 1, nil)
-		} else {
-			m := c.Recv(0, 0)
-			c.Recv(0, 1)
-			if m[0] != 1 {
-				panic("transport aliased the sender's buffer")
-			}
+			return c.Send(1, 1, nil)
 		}
+		m, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Recv(0, 1); err != nil {
+			return err
+		}
+		if m[0] != 1 {
+			return fmt.Errorf("transport aliased the sender's buffer")
+		}
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestBarrierActuallySynchronizes(t *testing.T) {
@@ -90,18 +122,26 @@ func TestBarrierActuallySynchronizes(t *testing.T) {
 		n := n
 		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
 			var entered, exited atomic.Int32
-			Run(n, func(c *Comm) {
+			err := Run(n, func(c *Comm) error {
 				for round := 0; round < 5; round++ {
 					entered.Add(1)
-					c.Barrier()
+					if err := c.Barrier(); err != nil {
+						return err
+					}
 					// Every task must have entered before any exits.
 					if int(entered.Load()) < n*(round+1) {
-						panic("barrier released early")
+						return fmt.Errorf("barrier released early")
 					}
 					exited.Add(1)
-					c.Barrier()
+					if err := c.Barrier(); err != nil {
+						return err
+					}
 				}
+				return nil
 			})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if entered.Load() != int32(5*n) || exited.Load() != int32(5*n) {
 				t.Fatalf("entered=%d exited=%d", entered.Load(), exited.Load())
 			}
@@ -113,108 +153,135 @@ func TestBcast(t *testing.T) {
 	for _, n := range []int{1, 2, 4, 7} {
 		for root := 0; root < n; root++ {
 			n, root := n, root
-			runBoth(t, n, func(c *Comm) {
+			runBoth(t, n, func(c *Comm) error {
 				var payload []byte
 				if c.Rank() == root {
 					payload = []byte(fmt.Sprintf("hello from %d", root))
 				}
-				got := c.Bcast(root, payload)
+				got, err := c.Bcast(root, payload)
+				if err != nil {
+					return err
+				}
 				want := fmt.Sprintf("hello from %d", root)
 				if string(got) != want {
-					panic(fmt.Sprintf("rank %d got %q", c.Rank(), got))
+					return fmt.Errorf("rank %d got %q", c.Rank(), got)
 				}
+				return nil
 			})
 		}
 	}
 }
 
 func TestGather(t *testing.T) {
-	runBoth(t, 5, func(c *Comm) {
+	runBoth(t, 5, func(c *Comm) error {
 		data := []byte{byte(c.Rank() * 10)}
-		got := c.Gather(2, data)
+		got, err := c.Gather(2, data)
+		if err != nil {
+			return err
+		}
 		if c.Rank() != 2 {
 			if got != nil {
-				panic("non-root gather result not nil")
+				return fmt.Errorf("non-root gather result not nil")
 			}
-			return
+			return nil
 		}
 		for r := 0; r < 5; r++ {
 			if got[r][0] != byte(r*10) {
-				panic(fmt.Sprintf("gather slot %d = %d", r, got[r][0]))
+				return fmt.Errorf("gather slot %d = %d", r, got[r][0])
 			}
 		}
+		return nil
 	})
 }
 
 func TestAllgather(t *testing.T) {
-	runBoth(t, 4, func(c *Comm) {
-		got := c.Allgather([]byte{byte(c.Rank() + 1)})
+	runBoth(t, 4, func(c *Comm) error {
+		got, err := c.Allgather([]byte{byte(c.Rank() + 1)})
+		if err != nil {
+			return err
+		}
 		for r := 0; r < 4; r++ {
 			if len(got[r]) != 1 || got[r][0] != byte(r+1) {
-				panic(fmt.Sprintf("rank %d allgather slot %d = %v", c.Rank(), r, got[r]))
+				return fmt.Errorf("rank %d allgather slot %d = %v", c.Rank(), r, got[r])
 			}
 		}
+		return nil
 	})
 }
 
 func TestAlltoall(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 6} {
 		n := n
-		runBoth(t, n, func(c *Comm) {
+		runBoth(t, n, func(c *Comm) error {
 			send := make([][]byte, n)
 			for d := 0; d < n; d++ {
 				// Rank r sends "r->d" with variable length.
 				send[d] = []byte(fmt.Sprintf("%d->%d", c.Rank(), d))
 			}
-			got := c.Alltoall(send)
+			got, err := c.Alltoall(send)
+			if err != nil {
+				return err
+			}
 			for s := 0; s < n; s++ {
 				want := fmt.Sprintf("%d->%d", s, c.Rank())
 				if string(got[s]) != want {
-					panic(fmt.Sprintf("rank %d slot %d = %q want %q", c.Rank(), s, got[s], want))
+					return fmt.Errorf("rank %d slot %d = %q want %q", c.Rank(), s, got[s], want)
 				}
 			}
+			return nil
 		})
 	}
 }
 
 func TestAlltoallEmptyBuffers(t *testing.T) {
-	Run(3, func(c *Comm) {
+	err := Run(3, func(c *Comm) error {
 		send := make([][]byte, 3)
 		send[(c.Rank()+1)%3] = []byte{byte(c.Rank())}
-		got := c.Alltoall(send)
+		got, err := c.Alltoall(send)
+		if err != nil {
+			return err
+		}
 		from := (c.Rank() + 2) % 3
 		for s := 0; s < 3; s++ {
 			if s == from {
 				if len(got[s]) != 1 || got[s][0] != byte(from) {
-					panic("expected payload missing")
+					return fmt.Errorf("expected payload missing")
 				}
 			} else if len(got[s]) != 0 {
-				panic("unexpected payload")
+				return fmt.Errorf("unexpected payload")
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestReduceAllreduce(t *testing.T) {
-	runBoth(t, 6, func(c *Comm) {
+	runBoth(t, 6, func(c *Comm) error {
 		v := float64(c.Rank() + 1)
-		sum, ok := c.ReduceF64(0, v, Sum)
+		sum, ok, err := c.ReduceF64(0, v, Sum)
+		if err != nil {
+			return err
+		}
 		if c.Rank() == 0 {
 			if !ok || sum != 21 {
-				panic(fmt.Sprintf("reduce sum = %v, ok=%v", sum, ok))
+				return fmt.Errorf("reduce sum = %v, ok=%v", sum, ok)
 			}
 		} else if ok {
-			panic("non-root claims reduce result")
+			return fmt.Errorf("non-root claims reduce result")
 		}
-		if got := c.AllreduceF64(v, Sum); got != 21 {
-			panic(fmt.Sprintf("allreduce sum = %v", got))
+		if got, err := c.AllreduceF64(v, Sum); err != nil || got != 21 {
+			return fmt.Errorf("allreduce sum = %v, err=%v", got, err)
 		}
-		if got := c.AllreduceF64(v, Max); got != 6 {
-			panic(fmt.Sprintf("allreduce max = %v", got))
+		if got, err := c.AllreduceF64(v, Max); err != nil || got != 6 {
+			return fmt.Errorf("allreduce max = %v, err=%v", got, err)
 		}
-		if got := c.AllreduceF64(v, Min); got != 1 {
-			panic(fmt.Sprintf("allreduce min = %v", got))
+		if got, err := c.AllreduceF64(v, Min); err != nil || got != 1 {
+			return fmt.Errorf("allreduce min = %v, err=%v", got, err)
 		}
+		return nil
 	})
 }
 
@@ -225,12 +292,19 @@ func TestReduceDeterministicOrder(t *testing.T) {
 	var first float64
 	for iter := 0; iter < 20; iter++ {
 		var got atomic.Value
-		Run(4, func(c *Comm) {
-			s := c.AllreduceF64(vals[c.Rank()], Sum)
+		err := Run(4, func(c *Comm) error {
+			s, err := c.AllreduceF64(vals[c.Rank()], Sum)
+			if err != nil {
+				return err
+			}
 			if c.Rank() == 0 {
 				got.Store(s)
 			}
+			return nil
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if iter == 0 {
 			first = got.Load().(float64)
 		} else if got.Load().(float64) != first {
@@ -242,46 +316,74 @@ func TestReduceDeterministicOrder(t *testing.T) {
 func TestCollectivesBackToBack(t *testing.T) {
 	// Stress tag isolation: many different collectives in a row without
 	// intervening user traffic.
-	runBoth(t, 4, func(c *Comm) {
+	runBoth(t, 4, func(c *Comm) error {
 		for i := 0; i < 30; i++ {
-			c.Barrier()
-			b := c.Bcast(i%4, []byte{byte(i)})
-			if b[0] != byte(i) {
-				panic("bcast corrupted under load")
+			if err := c.Barrier(); err != nil {
+				return err
 			}
-			if got := c.AllreduceF64(1, Sum); got != 4 {
-				panic("allreduce corrupted under load")
+			b, err := c.Bcast(i%4, []byte{byte(i)})
+			if err != nil {
+				return err
+			}
+			if b[0] != byte(i) {
+				return fmt.Errorf("bcast corrupted under load")
+			}
+			if got, err := c.AllreduceF64(1, Sum); err != nil || got != 4 {
+				return fmt.Errorf("allreduce corrupted under load: %v, err=%v", got, err)
 			}
 		}
+		return nil
 	})
 }
 
 func TestRunPropagatesPanic(t *testing.T) {
-	defer func() {
-		p := recover()
-		if p == nil {
-			t.Fatal("panic in task not propagated")
-		}
-	}()
-	Run(2, func(c *Comm) {
+	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 1 {
 			panic("boom")
 		}
+		return nil
 	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic in task not propagated as error: %v", err)
+	}
 }
 
-func TestNegativeUserTagPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("negative tag accepted")
+func TestRunPropagatesError(t *testing.T) {
+	sentinel := errors.New("task failure")
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return sentinel
 		}
-	}()
-	Run(1, func(c *Comm) { c.Send(0, -1, nil) })
+		// The other ranks block; the failure must release them.
+		_, err := c.Recv((c.Rank()+1)%3, 5)
+		return err
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("run error = %v, want the task's own error as root cause", err)
+	}
+}
+
+func TestNegativeUserTagRejected(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if err := c.Send(0, -1, nil); err == nil {
+			return fmt.Errorf("negative send tag accepted")
+		}
+		if _, err := c.Recv(0, -1); err == nil {
+			return fmt.Errorf("negative recv tag accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestPackUnpackFrames(t *testing.T) {
 	parts := [][]byte{nil, {1}, {2, 3, 4}, {}}
-	got := unpackFrames(packFrames(parts), 4)
+	got, err := unpackFrames(packFrames(parts), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := [][]byte{{}, {1}, {2, 3, 4}, {}}
 	for i := range want {
 		if len(got[i]) != len(want[i]) {
@@ -316,22 +418,21 @@ func TestRunnerKillTerminatesBlockedTasks(t *testing.T) {
 		<-started
 		r.Kill()
 	}()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("killed run did not panic")
-		}
-		if !r.Killed() {
-			t.Fatal("Killed() false after Kill")
-		}
-	}()
-	r.Run(func(c *Comm) {
+	runErr := r.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
 			close(started)
 		}
 		// Every task blocks in a receive that will never be satisfied;
-		// Kill must release them.
-		c.Recv((c.Rank()+1)%3, 99)
+		// Kill must release them all with ErrRevoked.
+		_, err := c.Recv((c.Rank()+1)%3, 99)
+		return err
 	})
+	if !errors.Is(runErr, ErrRevoked) {
+		t.Fatalf("killed run returned %v, want ErrRevoked", runErr)
+	}
+	if !r.Killed() {
+		t.Fatal("Killed() false after Kill")
+	}
 }
 
 func TestRunnerKillIdempotent(t *testing.T) {
@@ -356,39 +457,53 @@ func TestRunnerTCPKill(t *testing.T) {
 		<-started
 		r.Kill()
 	}()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("killed TCP run did not panic")
-		}
-	}()
-	r.Run(func(c *Comm) {
+	runErr := r.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
 			close(started)
 		}
-		c.Recv((c.Rank()+1)%2, 99)
+		_, err := c.Recv((c.Rank()+1)%2, 99)
+		return err
 	})
+	if !errors.Is(runErr, ErrRevoked) {
+		t.Fatalf("killed TCP run returned %v, want ErrRevoked", runErr)
+	}
 }
 
 func TestAllreduceF64s(t *testing.T) {
-	runBoth(t, 5, func(c *Comm) {
+	runBoth(t, 5, func(c *Comm) error {
 		v := []float64{float64(c.Rank()), 1, float64(-c.Rank())}
-		got := c.AllreduceF64s(v, Sum)
+		got, err := c.AllreduceF64s(v, Sum)
+		if err != nil {
+			return err
+		}
 		if got[0] != 10 || got[1] != 5 || got[2] != -10 {
-			panic(fmt.Sprintf("rank %d: %v", c.Rank(), got))
+			return fmt.Errorf("rank %d: %v", c.Rank(), got)
 		}
-		m := c.AllreduceF64s([]float64{float64(c.Rank())}, Max)
+		m, err := c.AllreduceF64s([]float64{float64(c.Rank())}, Max)
+		if err != nil {
+			return err
+		}
 		if m[0] != 4 {
-			panic(fmt.Sprintf("max = %v", m))
+			return fmt.Errorf("max = %v", m)
 		}
+		return nil
 	})
 }
 
 func TestAllreduceF64sEmpty(t *testing.T) {
-	Run(2, func(c *Comm) {
-		if got := c.AllreduceF64s(nil, Sum); len(got) != 0 {
-			panic("empty vector grew")
+	err := Run(2, func(c *Comm) error {
+		got, err := c.AllreduceF64s(nil, Sum)
+		if err != nil {
+			return err
 		}
+		if len(got) != 0 {
+			return fmt.Errorf("empty vector grew")
+		}
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestAlltoallSparse(t *testing.T) {
@@ -406,7 +521,7 @@ func TestAlltoallSparse(t *testing.T) {
 			d := (to - from + n) % n
 			return d == 1 || d == 2%n
 		}
-		runBoth(t, n, func(c *Comm) {
+		runBoth(t, n, func(c *Comm) error {
 			send := make([][]byte, n)
 			sendTo := make([]bool, n)
 			recvFrom := make([]bool, n)
@@ -417,26 +532,30 @@ func TestAlltoallSparse(t *testing.T) {
 					send[q] = []byte(fmt.Sprintf("%d->%d", c.Rank(), q))
 				}
 			}
-			got := c.AlltoallSparse(send, sendTo, recvFrom)
+			got, err := c.AlltoallSparse(send, sendTo, recvFrom)
+			if err != nil {
+				return err
+			}
 			for s := 0; s < n; s++ {
 				if !recvFrom[s] {
 					if got[s] != nil {
-						panic(fmt.Sprintf("rank %d: inactive peer %d delivered %q", c.Rank(), s, got[s]))
+						return fmt.Errorf("rank %d: inactive peer %d delivered %q", c.Rank(), s, got[s])
 					}
 					continue
 				}
 				want := fmt.Sprintf("%d->%d", s, c.Rank())
 				if string(got[s]) != want {
-					panic(fmt.Sprintf("rank %d slot %d = %q want %q", c.Rank(), s, got[s], want))
+					return fmt.Errorf("rank %d slot %d = %q want %q", c.Rank(), s, got[s], want)
 				}
 			}
+			return nil
 		})
 	}
 }
 
 func TestAlltoallSparseMatchesDense(t *testing.T) {
 	// With all-true masks the sparse exchange is the dense one.
-	runBoth(t, 4, func(c *Comm) {
+	runBoth(t, 4, func(c *Comm) error {
 		n := c.Size()
 		send := make([][]byte, n)
 		all := make([]bool, n)
@@ -444,39 +563,54 @@ func TestAlltoallSparseMatchesDense(t *testing.T) {
 			send[q] = []byte{byte(c.Rank()), byte(q)}
 			all[q] = true
 		}
-		dense := c.Alltoall(send)
-		sparse := c.AlltoallSparse(send, all, all)
+		dense, err := c.Alltoall(send)
+		if err != nil {
+			return err
+		}
+		sparse, err := c.AlltoallSparse(send, all, all)
+		if err != nil {
+			return err
+		}
 		for s := 0; s < n; s++ {
 			if !reflect.DeepEqual(dense[s], sparse[s]) {
-				panic(fmt.Sprintf("rank %d slot %d: dense %v sparse %v", c.Rank(), s, dense[s], sparse[s]))
+				return fmt.Errorf("rank %d slot %d: dense %v sparse %v", c.Rank(), s, dense[s], sparse[s])
 			}
 		}
+		return nil
 	})
 }
 
 func TestAlltoallSparseEmptyGraph(t *testing.T) {
 	// All-false masks are a legal degenerate call: no traffic, all-nil
 	// result, and the collective still lines up across tasks.
-	Run(3, func(c *Comm) {
+	err := Run(3, func(c *Comm) error {
 		masks := make([]bool, 3)
-		got := c.AlltoallSparse(make([][]byte, 3), masks, masks)
+		got, err := c.AlltoallSparse(make([][]byte, 3), masks, masks)
+		if err != nil {
+			return err
+		}
 		for s, b := range got {
 			if b != nil {
-				panic(fmt.Sprintf("slot %d non-nil under empty graph", s))
+				return fmt.Errorf("slot %d non-nil under empty graph", s)
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
-func TestAlltoallSparseLengthPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("short mask accepted")
+func TestAlltoallSparseLengthRejected(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if _, err := c.AlltoallSparse(make([][]byte, 2), make([]bool, 1), make([]bool, 2)); err == nil {
+			return fmt.Errorf("short mask accepted")
 		}
-	}()
-	Run(2, func(c *Comm) {
-		c.AlltoallSparse(make([][]byte, 2), make([]bool, 1), make([]bool, 2))
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestPackFramesSparseLayout(t *testing.T) {
@@ -494,7 +628,10 @@ func TestPackFramesSparseLayout(t *testing.T) {
 	if want := 8 + (8 + 2) + (8 + 1); len(flat) != want {
 		t.Fatalf("packed %d bytes, want %d", len(flat), want)
 	}
-	got := unpackFrames(flat, 6)
+	got, err := unpackFrames(flat, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, p := range parts {
 		if len(p) == 0 {
 			if got[i] != nil {
@@ -512,7 +649,10 @@ func TestUnpackFramesAliasesInput(t *testing.T) {
 	// The contract: frames are subslices of flat, no defensive copy, and
 	// each is capacity-clipped so appending to one cannot clobber the next.
 	flat := packFrames([][]byte{{1, 2}, {3}})
-	got := unpackFrames(flat, 2)
+	got, err := unpackFrames(flat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	flat[8+8] = 99 // first payload byte of frame 0
 	if got[0][0] != 99 {
 		t.Fatal("unpackFrames copied; expected aliasing")
@@ -526,11 +666,8 @@ func TestUnpackFramesAliasesInput(t *testing.T) {
 	}
 }
 
-func TestUnpackFramesCountMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("count mismatch accepted")
-		}
-	}()
-	unpackFrames(packFrames(make([][]byte, 3)), 4)
+func TestUnpackFramesCountMismatchRejected(t *testing.T) {
+	if _, err := unpackFrames(packFrames(make([][]byte, 3)), 4); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
 }

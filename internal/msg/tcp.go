@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // TCPTransport connects the ranks of an application over loopback TCP
@@ -14,11 +15,12 @@ import (
 // honest about the paper's setting — tasks on an RS/6000 SP share no
 // memory — so every byte the algorithms exchange really crosses a socket.
 type TCPTransport struct {
-	n     int
-	boxes []*mailbox
-	mu    sync.Mutex
-	ends  map[[2]int]*frameConn // key: {owner rank, peer rank} — the endpoint owner writes to
-	wg    sync.WaitGroup
+	n       int
+	boxes   []*mailbox
+	mu      sync.Mutex
+	ends    map[[2]int]*frameConn // key: {owner rank, peer rank} — the endpoint owner writes to
+	wg      sync.WaitGroup
+	aborted atomic.Pointer[abortErr]
 }
 
 type frameConn struct {
@@ -38,9 +40,7 @@ func NewTCPTransport(n int) (*TCPTransport, error) {
 		ends:  make(map[[2]int]*frameConn),
 	}
 	for i := range t.boxes {
-		b := &mailbox{queues: make(map[mailKey][][]byte)}
-		b.cond = sync.NewCond(&b.mu)
-		t.boxes[i] = b
+		t.boxes[i] = newMailbox()
 	}
 
 	listeners := make([]net.Listener, n)
@@ -139,25 +139,26 @@ func (t *TCPTransport) addEndpoint(owner, peer int, c net.Conn) {
 }
 
 func (t *TCPTransport) deliver(src, dst, tag int, payload []byte) {
-	b := t.boxes[dst]
-	b.mu.Lock()
-	k := mailKey{src, tag}
-	b.queues[k] = append(b.queues[k], payload)
-	b.mu.Unlock()
-	b.cond.Broadcast()
+	t.boxes[dst].deliver(mailKey{src, tag}, payload)
 }
 
-// Send implements Transport.
-func (t *TCPTransport) Send(src, dst, tag int, data []byte) {
+// Send implements Transport. A write failure on the underlying socket
+// means the peer's connection is gone — the paper's processor-failure
+// signal — and is returned to the caller; the coordination layer decides
+// whether to revoke.
+func (t *TCPTransport) Send(src, dst, tag int, data []byte) error {
+	if err := t.Err(); err != nil {
+		return err
+	}
 	if src == dst {
 		t.deliver(src, dst, tag, append([]byte(nil), data...))
-		return
+		return nil
 	}
 	t.mu.Lock()
 	fc := t.ends[[2]int{src, dst}]
 	t.mu.Unlock()
 	if fc == nil {
-		panic(fmt.Sprintf("msg: no connection from rank %d to %d", src, dst))
+		return fmt.Errorf("msg: no connection from rank %d to %d", src, dst)
 	}
 	frame := make([]byte, 8+len(data))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(int32(tag)))
@@ -166,40 +167,53 @@ func (t *TCPTransport) Send(src, dst, tag int, data []byte) {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	if _, err := fc.c.Write(frame); err != nil {
-		panic(fmt.Sprintf("msg: send %d->%d: %v", src, dst, err))
+		return fmt.Errorf("msg: send %d->%d: %w", src, dst, err)
 	}
+	return nil
 }
 
 // Recv implements Transport.
-func (t *TCPTransport) Recv(dst, src, tag int) []byte {
-	b := t.boxes[dst]
-	k := mailKey{src, tag}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for {
-		if q := b.queues[k]; len(q) > 0 {
-			m := q[0]
-			if len(q) == 1 {
-				delete(b.queues, k)
-			} else {
-				b.queues[k] = q[1:]
-			}
-			return m
-		}
-		if b.closed {
-			panic("msg: receive on closed transport")
-		}
-		b.cond.Wait()
+func (t *TCPTransport) Recv(dst, src, tag int, cancel <-chan struct{}) ([]byte, error) {
+	return t.boxes[dst].recv(mailKey{src, tag}, cancel)
+}
+
+// Close implements Transport: pending and future receives at rank return
+// ErrClosed.
+func (t *TCPTransport) Close(rank int) {
+	t.boxes[rank].fail(ErrClosed)
+}
+
+// Abort implements Transport: every rank's pending and future operations
+// fail with err. The sockets are left to Shutdown — survivors are parked
+// in mailboxes, not socket reads, so failing the boxes is what unblocks
+// them.
+func (t *TCPTransport) Abort(err error) {
+	t.aborted.CompareAndSwap(nil, &abortErr{err})
+	err = t.Err()
+	for _, b := range t.boxes {
+		b.fail(err)
 	}
 }
 
-// Close implements Transport.
-func (t *TCPTransport) Close(rank int) {
-	b := t.boxes[rank]
-	b.mu.Lock()
-	b.closed = true
-	b.mu.Unlock()
-	b.cond.Broadcast()
+// Err implements Transport.
+func (t *TCPTransport) Err() error {
+	if a := t.aborted.Load(); a != nil {
+		return a.err
+	}
+	return nil
+}
+
+// DropConn severs the socket pair between ranks a and b without touching
+// mailboxes — the fault injector's "lost TC connection": subsequent
+// sends on the pair fail at the socket layer and the reader pumps exit.
+func (t *TCPTransport) DropConn(a, b int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, key := range [][2]int{{a, b}, {b, a}} {
+		if fc := t.ends[key]; fc != nil {
+			fc.c.Close()
+		}
+	}
 }
 
 // Shutdown tears down every socket and waits for reader pumps to exit.
@@ -216,12 +230,12 @@ func (t *TCPTransport) Shutdown() {
 }
 
 // RunTCP executes f as an SPMD application of n tasks over the TCP
-// transport and blocks until every task returns.
-func RunTCP(n int, f func(c *Comm)) error {
+// transport and blocks until every task returns, with the same failure
+// semantics as Run.
+func RunTCP(n int, f func(c *Comm) error) error {
 	r, err := NewRunner(n, true)
 	if err != nil {
 		return err
 	}
-	r.Run(f)
-	return nil
+	return r.Run(f)
 }

@@ -229,6 +229,22 @@ func (s *System) Remove(name string) {
 	delete(s.files, name)
 }
 
+// Rename atomically renames a file, replacing any existing file at the
+// new name, like POSIX rename(2). It is the commit primitive of the
+// checkpoint layer: a fully written file appears under its final name in
+// one step, so no reader ever observes a half-written version.
+func (s *System) Rename(oldName, newName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[oldName]
+	if !ok {
+		return fmt.Errorf("pfs: rename %q: file does not exist", oldName)
+	}
+	delete(s.files, oldName)
+	s.files[newName] = f
+	return nil
+}
+
 // List returns the names of all files with the given prefix, sorted.
 func (s *System) List(prefix string) []string {
 	s.mu.Lock()

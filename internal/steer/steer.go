@@ -83,12 +83,18 @@ func Publish[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, 
 			seq = h.Seq + 1
 		}
 	}
-	seq = int64(comm.AllreduceF64(float64(seq), maxOp))
+	agreed, err := comm.AllreduceF64(float64(seq), maxOp)
+	if err != nil {
+		return 0, err
+	}
+	seq = int64(agreed)
 	st, err := stream.Write(a, x, fs, dataFile(channel, seq), o)
 	if err != nil {
 		return 0, fmt.Errorf("steer: publishing %q frame %d: %w", channel, seq, err)
 	}
-	comm.Barrier() // every writer's piece is on the file system
+	if err := comm.Barrier(); err != nil { // every writer's piece is on the file system
+		return 0, err
+	}
 	if comm.Rank() == 0 {
 		h := Header{Seq: seq, Section: x, Kind: array.ElemKind[T](),
 			Order: o.Order, Bytes: st.StreamBytes}
@@ -96,7 +102,9 @@ func Publish[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, 
 			return 0, err
 		}
 	}
-	comm.Barrier() // commit visible before any task proceeds
+	if err := comm.Barrier(); err != nil { // commit visible before any task proceeds
+		return 0, err
+	}
 	return seq, nil
 }
 
@@ -121,14 +129,20 @@ func Fetch[T array.Elem](a *array.Array[T], fs *pfs.System, channel string, o st
 			encoded = buf.Bytes()
 		}
 	}
-	status = comm.AllreduceF64(status, maxOp)
+	status, err := comm.AllreduceF64(status, maxOp)
+	if err != nil {
+		return 0, err
+	}
 	if status < 0 {
 		return 0, fmt.Errorf("steer: channel %q header unreadable", channel)
 	}
 	if status == 0 {
 		return 0, nil
 	}
-	encoded = comm.Bcast(0, encoded)
+	encoded, err = comm.Bcast(0, encoded)
+	if err != nil {
+		return 0, err
+	}
 	if comm.Rank() != 0 {
 		if err := gob.NewDecoder(bytes.NewReader(encoded)).Decode(&h); err != nil {
 			return 0, err

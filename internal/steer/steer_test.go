@@ -37,7 +37,7 @@ func mustBlock(g rangeset.Slice, grid []int) *dist.Distribution {
 func TestPublishObserveSequence(t *testing.T) {
 	fs := testFS()
 	g := rangeset.Box([]int{0, 0}, []int{7, 7})
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 2}))
 		if err != nil {
 			panic(err)
@@ -88,7 +88,7 @@ func TestInterApplicationTransfer(t *testing.T) {
 	// inter-application communication, distribution independent.
 	fs := testFS()
 	g := rangeset.Box([]int{0, 0}, []int{11, 11})
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{4, 1}))
 		if err != nil {
 			panic(err)
@@ -98,7 +98,7 @@ func TestInterApplicationTransfer(t *testing.T) {
 			panic(err)
 		}
 	})
-	msg.Run(3, func(c *msg.Comm) {
+	mustRun(t, 3, func(c *msg.Comm) {
 		b, err := array.New[float64](c, "v", mustBlock(g, []int{1, 3}))
 		if err != nil {
 			panic(err)
@@ -121,7 +121,7 @@ func TestInterApplicationTransfer(t *testing.T) {
 func TestFetchTypeMismatchAndEmpty(t *testing.T) {
 	fs := testFS()
 	g := rangeset.Box([]int{0}, []int{9})
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, _ := array.New[float64](c, "u", mustBlock(g, []int{2}))
 		// Empty channel: seq 0, no error.
 		if seq, err := Fetch(a, fs, "silent", stream.Options{}); err != nil || seq != 0 {
@@ -160,7 +160,7 @@ func TestSteeringLoopInjectFetch(t *testing.T) {
 		}
 	}()
 
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2}))
 		if err != nil {
 			panic(err)
@@ -178,7 +178,9 @@ func TestSteeringLoopInjectFetch(t *testing.T) {
 			if seq > 0 {
 				break
 			}
-			c.Barrier()
+			if err := c.Barrier(); err != nil {
+				panic(err)
+			}
 		}
 		// The steered section took the injected values; the rest did not.
 		a.Mapped().Each(rangeset.ColMajor, func(cd []int) {
@@ -205,7 +207,7 @@ func TestDoubleBufferKeepsPreviousFrameIntactDuringWrite(t *testing.T) {
 	// still read a consistent frame.
 	fs := testFS()
 	g := rangeset.Box([]int{0}, []int{31})
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, _ := array.New[float64](c, "u", mustBlock(g, []int{2}))
 		a.Fill(func(cd []int) float64 { return 1 })
 		if _, err := Publish(a, g, fs, "ch", stream.Options{}); err != nil {

@@ -1,0 +1,16 @@
+package stream
+
+import (
+	"testing"
+
+	"drms/internal/msg"
+)
+
+// mustRun executes the SPMD body, converting assertion panics inside it
+// (and any task error) into test failures.
+func mustRun(t testing.TB, n int, f func(c *msg.Comm)) {
+	t.Helper()
+	if err := msg.Run(n, func(c *msg.Comm) error { f(c); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,7 +36,7 @@ func TestStreamWarmPlanByteIdentity(t *testing.T) {
 		FlushPlans()
 		ResetPlanCacheStats()
 		grid := dist.FactorGrid(tasks, 2, g.Shape())
-		msg.Run(tasks, func(c *msg.Comm) {
+		mustRun(t, tasks, func(c *msg.Comm) {
 			d, err := dist.Block(g, grid)
 			if err != nil {
 				panic(err)
@@ -78,7 +78,7 @@ func TestStreamWarmPlanReadBack(t *testing.T) {
 	for _, order := range []rangeset.Order{rangeset.ColMajor, rangeset.RowMajor} {
 		o := Options{Order: order, PieceBytes: 256}
 		fs := testFS()
-		msg.Run(4, func(c *msg.Comm) {
+		mustRun(t, 4, func(c *msg.Comm) {
 			a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 2}))
 			if err != nil {
 				panic(err)
@@ -115,7 +115,7 @@ func TestSequentialWarmPlanByteIdentity(t *testing.T) {
 	o := Options{PieceBytes: 128}
 	var cold, warm bytes.Buffer
 	FlushPlans()
-	msg.Run(3, func(c *msg.Comm) {
+	mustRun(t, 3, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{3, 1}))
 		if err != nil {
 			panic(err)

@@ -68,7 +68,7 @@ func TestStreamQuickRandomSectionsRoundTrip(t *testing.T) {
 		fs := pfs.NewSystem(pfs.Config{Servers: 1 + rng.Intn(5), StripeUnit: 32 + rng.Intn(200)})
 
 		wGrid := dist.FactorGrid(wTasks, 2, g.Shape())
-		msg.Run(wTasks, func(c *msg.Comm) {
+		mustRun(t, wTasks, func(c *msg.Comm) {
 			d, err := dist.Block(g, wGrid)
 			if err != nil {
 				panic(err)
@@ -95,7 +95,7 @@ func TestStreamQuickRandomSectionsRoundTrip(t *testing.T) {
 
 		// Property 2: roundtrip into a different configuration.
 		rGrid := dist.FactorGrid(rTasks, 2, g.Shape())
-		msg.Run(rTasks, func(c *msg.Comm) {
+		mustRun(t, rTasks, func(c *msg.Comm) {
 			d, err := dist.Block(g, rGrid)
 			if err != nil {
 				panic(err)

@@ -60,7 +60,9 @@ func WriteTo[T array.Elem](a *array.Array[T], x rangeset.Slice, w io.Writer, ioT
 		}
 		if me == ioTask && !piece.Empty() {
 			b := sizeBuf(&buf, piece.Size()*es)
-			aux.PackSectionInto(piece, o.Order, b)
+			if err := aux.PackSectionInto(piece, o.Order, b); err != nil {
+				return st, err
+			}
 			if o.PieceHook != nil {
 				o.PieceHook(i, 0, b)
 			}
@@ -111,7 +113,9 @@ func ReadFrom[T array.Elem](a *array.Array[T], x rangeset.Slice, r io.Reader, io
 			if o.PieceHook != nil {
 				o.PieceHook(i, 0, b)
 			}
-			aux.UnpackSection(piece, o.Order, b)
+			if err := aux.UnpackSection(piece, o.Order, b); err != nil {
+				return st, err
+			}
 		}
 		st.NetBytes += assignTraffic(ad, a.Dist(), comm, es, nil)
 		if err := array.Assign(a, aux); err != nil {

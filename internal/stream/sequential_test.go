@@ -16,7 +16,7 @@ func TestWriteToBufferMatchesLinearization(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{9, 9})
 	x := rangeset.NewSlice(rangeset.Reg(1, 9, 2), rangeset.Span(2, 7))
 	var buf bytes.Buffer
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 2}))
 		if err != nil {
 			panic(err)
@@ -59,7 +59,7 @@ func TestSequentialOverRealSocket(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		msg.Run(3, func(c *msg.Comm) {
+		mustRun(t, 3, func(c *msg.Comm) {
 			a, err := array.New[float64](c, "v", mustBlock(g, []int{3, 1}))
 			if err != nil {
 				panic(err)
@@ -84,7 +84,7 @@ func TestSequentialOverRealSocket(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	msg.Run(4, func(c *msg.Comm) { // sending application: 4 tasks
+	mustRun(t, 4, func(c *msg.Comm) { // sending application: 4 tasks
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 2}))
 		if err != nil {
 			panic(err)
@@ -106,7 +106,7 @@ func TestSequentialOverRealSocket(t *testing.T) {
 
 func TestSequentialValidation(t *testing.T) {
 	g := rangeset.Box([]int{0}, []int{7})
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2}))
 		if err != nil {
 			panic(err)
@@ -125,7 +125,7 @@ func TestSequentialValidation(t *testing.T) {
 func TestSequentialRoundTripWithinOneApp(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{7, 7})
 	var buf bytes.Buffer
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 1}))
 		if err != nil {
 			panic(err)

@@ -149,7 +149,9 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 		// before the next one (or the return).
 		if me < len(round) && !round[me].Empty() {
 			buf := sizeBuf(&bufs[flip], round[me].Size()*es)
-			aux.PackSectionInto(round[me], o.Order, buf)
+			if err := aux.PackSectionInto(round[me], o.Order, buf); err != nil {
+				return st, err
+			}
 			rel := sp.offsets[base+me]
 			if o.PieceHook != nil {
 				o.PieceHook(base+me, rel, buf)
@@ -247,7 +249,9 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 			if o.PieceHook != nil {
 				o.PieceHook(base+me, sp.offsets[base+me], buf)
 			}
-			aux.UnpackSection(round[me], o.Order, buf)
+			if err := aux.UnpackSection(round[me], o.Order, buf); err != nil {
+				return st, err
+			}
 		}
 		st.NetBytes += assignTraffic(ad, a.Dist(), comm, es, fs)
 		if err := array.Assign(a, aux); err != nil {

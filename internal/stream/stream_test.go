@@ -54,7 +54,7 @@ func TestWriteMatchesLinearization(t *testing.T) {
 			x, order := x, order
 			t.Run(fmt.Sprintf("%s/%v", sname, order), func(t *testing.T) {
 				fs := testFS()
-				msg.Run(4, func(c *msg.Comm) {
+				mustRun(t, 4, func(c *msg.Comm) {
 					a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 2}))
 					if err != nil {
 						panic(err)
@@ -104,7 +104,7 @@ func TestStreamIndependentOfDistributionAndWriters(t *testing.T) {
 	for i, cfg := range configs {
 		fs := testFS()
 		cfg := cfg
-		msg.Run(cfg.tasks, func(c *msg.Comm) {
+		mustRun(t, cfg.tasks, func(c *msg.Comm) {
 			a, err := array.New[float64](c, "u", mustBlock(g, cfg.grid))
 			if err != nil {
 				panic(err)
@@ -139,7 +139,7 @@ func TestWriteThenReadDifferentTaskCount(t *testing.T) {
 	// grid, verify every element.
 	g := rangeset.Box([]int{0, 0}, []int{11, 11})
 	fs := testFS()
-	msg.Run(6, func(c *msg.Comm) {
+	mustRun(t, 6, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{3, 2}))
 		if err != nil {
 			panic(err)
@@ -149,7 +149,7 @@ func TestWriteThenReadDifferentTaskCount(t *testing.T) {
 			panic(err)
 		}
 	})
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 2}))
 		if err != nil {
 			panic(err)
@@ -169,7 +169,7 @@ func TestWriteThenReadDifferentTaskCount(t *testing.T) {
 func TestReadFillsShadowRegionsToo(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{11, 11})
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 1}))
 		if err != nil {
 			panic(err)
@@ -179,7 +179,7 @@ func TestReadFillsShadowRegionsToo(t *testing.T) {
 			panic(err)
 		}
 	})
-	msg.Run(3, func(c *msg.Comm) {
+	mustRun(t, 3, func(c *msg.Comm) {
 		d, err := mustBlock(g, []int{3, 1}).WithShadow([]int{1, 0})
 		if err != nil {
 			panic(err)
@@ -204,7 +204,7 @@ func TestPartialSectionReadLeavesRestUntouched(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{7, 7})
 	x := rangeset.Box([]int{0, 0}, []int{7, 3}) // left half only
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 1}))
 		if err != nil {
 			panic(err)
@@ -214,7 +214,7 @@ func TestPartialSectionReadLeavesRestUntouched(t *testing.T) {
 			panic(err)
 		}
 	})
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{1, 2}))
 		if err != nil {
 			panic(err)
@@ -242,7 +242,7 @@ func TestBaseOffsetRespected(t *testing.T) {
 	g := rangeset.NewSlice(rangeset.Span(0, 63))
 	fs := testFS()
 	const hdr = 100
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2}))
 		if err != nil {
 			panic(err)
@@ -264,7 +264,7 @@ func TestBaseOffsetRespected(t *testing.T) {
 	if string(got) != string(want) {
 		t.Fatal("stream not placed at BaseOffset")
 	}
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2}))
 		if err != nil {
 			panic(err)
@@ -283,7 +283,7 @@ func TestBaseOffsetRespected(t *testing.T) {
 func TestEmptySectionIsNoOp(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{3, 3})
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 1}))
 		if err != nil {
 			panic(err)
@@ -305,7 +305,7 @@ func TestEmptySectionIsNoOp(t *testing.T) {
 func TestSectionValidation(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{3, 3})
 	fs := testFS()
-	msg.Run(1, func(c *msg.Comm) {
+	mustRun(t, 1, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{1, 1}))
 		if err != nil {
 			panic(err)
@@ -323,7 +323,7 @@ func TestNetBytesRecordedInTrace(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{15, 15})
 	fs := testFS()
 	tr := fs.StartTrace()
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2, 2}))
 		if err != nil {
 			panic(err)
@@ -359,7 +359,7 @@ func TestSerialStreamingAppendsOnly(t *testing.T) {
 	g := rangeset.Box([]int{0, 0}, []int{15, 15})
 	fs := testFS()
 	tr := fs.StartTrace()
-	msg.Run(4, func(c *msg.Comm) {
+	mustRun(t, 4, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{4, 1}))
 		if err != nil {
 			panic(err)
@@ -391,7 +391,7 @@ func TestSerialStreamingAppendsOnly(t *testing.T) {
 func TestStatsPieceTargetRespected(t *testing.T) {
 	g := rangeset.NewSlice(rangeset.Span(0, 1023))
 	fs := testFS()
-	msg.Run(2, func(c *msg.Comm) {
+	mustRun(t, 2, func(c *msg.Comm) {
 		a, err := array.New[float64](c, "u", mustBlock(g, []int{2}))
 		if err != nil {
 			panic(err)
