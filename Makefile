@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint test race bench
+.PHONY: check fmt vet lint test race chaos bench
 
 # The full pre-merge gauntlet: formatting, static checks, all tests,
 # and the race detector over the concurrency-bearing packages.
@@ -33,6 +33,16 @@ test:
 race:
 	$(GO) test -race ./internal/stream ./internal/array ./internal/msg \
 		./internal/ckpt ./internal/drms ./internal/coord
+
+# The chaos soak: the recovery supervisor under a seeded fault injector
+# that kills random ranks mid-compute, mid-checkpoint, and during
+# recovery itself, across shrinking and growing pools, with the race
+# detector on. The seed is fixed in the test, so a failure here is
+# reproducible, and the whole drill is bounded well under two minutes.
+chaos:
+	$(GO) test -race -count=1 -timeout 110s \
+		-run 'TestChaosSoakConvergesUnderRandomKills|TestSupervisor' \
+		./internal/coord
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -2,9 +2,10 @@
 // it brings up a resource coordinator and a pool of task coordinators,
 // then plays one of three scenarios:
 //
-//	-scenario failure      a processor fails mid-run; the RC kills the
-//	                       application and restarts it from its latest
-//	                       checkpoint on a smaller pool
+//	-scenario failure      a processor fails mid-run; the recovery
+//	                       supervisor autonomously restarts the
+//	                       application from its newest verified
+//	                       checkpoint on the surviving processors
 //	-scenario reconfigure  the JSA grows a running job through a
 //	                       system-initiated checkpoint and restart
 //	-scenario schedule     two jobs compete for processors; the second
@@ -41,6 +42,7 @@ func main() {
 	node := flag.Int("node", 0, "remote failnode: processor")
 	prefix := flag.String("prefix", "", "remote verify: checkpoint prefix")
 	timeout := flag.Duration("timeout", 60*time.Second, "remote wait: how long to block for the application to settle")
+	recoverJob := flag.Bool("recover", false, "remote submit: run the job under the recovery supervisor")
 	flag.Parse()
 
 	if *connect != "" {
@@ -57,7 +59,7 @@ func main() {
 		}
 		remote(*connect, coord.Request{Op: *op, Name: *name, Kernel: *kernel,
 			Class: *class, Min: *minT, Max: *maxT, Tasks: *tasks, Iters: *iters,
-			Node: *node, Prefix: *prefix})
+			Node: *node, Prefix: *prefix, Recover: *recoverJob})
 		return
 	}
 
@@ -69,7 +71,7 @@ func main() {
 	go func() {
 		for e := range rc.Events() {
 			if e.App != "" {
-				fmt.Printf("[rc] %-14s app=%-6s %s\n", e.Kind, e.App, e.Detail)
+				fmt.Printf("[rc] %-14s app=%-6s %s%s\n", e.Kind, e.App, e.Detail, recoveryInfo(e))
 			} else {
 				fmt.Printf("[rc] %-14s node=%d %s\n", e.Kind, e.Node, e.Detail)
 			}
@@ -99,24 +101,20 @@ func failureScenario(fs *pfs.System, rc *coord.RC, tcs []*coord.TC) {
 	out := make(chan float64, 1)
 	s := coord.AppSpec{Name: "job", Body: k.App(apps.RunConfig{
 		Class: apps.ClassS, Iters: 400, CkEvery: 25, Prefix: "job", OnDone: out,
-	})}
-	fmt.Println("launching BT on 3 processors...")
+	}), Recovery: &coord.RecoveryPolicy{}}
+	fmt.Println("launching BT on 3 processors under the recovery supervisor...")
 	check(rc.Launch(s, 3, false))
 
-	// Wait for a checkpoint, then fail a processor.
+	// Wait for a checkpoint, then fail a processor; the supervisor
+	// reconfigures onto the survivors and restarts on its own.
 	for !ckpt.Exists(fs, "job") {
 		time.Sleep(5 * time.Millisecond)
 	}
 	fmt.Println("injecting failure on processor 1...")
 	tcs[1].Fail()
-	status, _ := rc.WaitApp("job")
-	fmt.Printf("application status after failure: %s\n", status)
-
-	fmt.Println("restarting from latest checkpoint on 2 processors (failed node still down)...")
-	check(rc.Launch(s, 2, true))
 	status, err := rc.WaitApp("job")
 	check(err)
-	fmt.Printf("application status after recovery: %s, checksum %.6e\n", status, <-out)
+	fmt.Printf("application status after autonomous recovery: %s, checksum %.6e\n", status, <-out)
 }
 
 func reconfigureScenario(rc *coord.RC) {
@@ -179,21 +177,44 @@ func remote(addr string, req coord.Request) {
 			fmt.Println("no applications")
 		}
 		for _, a := range resp.Apps {
-			fmt.Printf("%-12s %-10s tasks=%d nodes=%v %s\n", a.Name, a.Status, a.Tasks, a.Nodes, a.Err)
+			printApp(a)
 		}
 		if resp.Queued > 0 {
 			fmt.Printf("queued jobs: %d\n", resp.Queued)
 		}
 	case "status":
-		a := resp.App
-		fmt.Printf("%-12s %-10s tasks=%d nodes=%v %s\n", a.Name, a.Status, a.Tasks, a.Nodes, a.Err)
+		printApp(*resp.App)
 	case "events":
 		for _, e := range resp.Events {
-			fmt.Printf("%-14s app=%-8s node=%d %s\n", e.Kind, e.App, e.Node, e.Detail)
+			fmt.Printf("%-14s app=%-8s node=%d %s%s\n", e.Kind, e.App, e.Node, e.Detail, recoveryInfo(e))
 		}
 	default:
 		fmt.Println("ok")
 	}
+}
+
+// printApp renders one application line; the incarnation counts the
+// supervisor's restarts (0 = the original launch).
+func printApp(a coord.AppInfo) {
+	fmt.Printf("%-12s %-10s tasks=%d inc=%d nodes=%v %s\n",
+		a.Name, a.Status, a.Tasks, a.Incarnation, a.Nodes, a.Err)
+}
+
+// recoveryInfo renders the recovery telemetry an event may carry: the
+// restart attempt, the pool it relaunched on, the generation restored
+// (-1 = from scratch), and the failure-to-recovery latency.
+func recoveryInfo(e coord.Event) string {
+	if e.Attempt == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("  [attempt=%d", e.Attempt)
+	if e.Tasks > 0 {
+		s += fmt.Sprintf(" tasks=%d", e.Tasks)
+	}
+	if e.Kind == coord.EventAppRecovered {
+		s += fmt.Sprintf(" gen=%d ttr=%s", e.Gen, e.TTR.Round(time.Millisecond))
+	}
+	return s + "]"
 }
 
 func check(err error) {

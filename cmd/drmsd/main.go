@@ -11,6 +11,13 @@
 // With -state, checkpointed application state is loaded at startup and
 // saved on shutdown (SIGINT), so jobs can be restarted across daemon
 // runs.
+//
+// With -auto-recover, every submitted job runs under the recovery
+// supervisor: when a processor failure kills it, the RC re-sizes the
+// pool from the survivors, restores the newest checkpoint generation
+// that passes integrity verification (quarantining corrupt ones), and
+// restarts — retrying under an exponential-backoff budget set by
+// -max-retries and -backoff before declaring the job stalled.
 package main
 
 import (
@@ -29,6 +36,9 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "control protocol listen address")
 	state := flag.String("state", "", "file-system snapshot to load at start and save at exit")
 	hbTimeout := flag.Duration("hb-timeout", 2*time.Second, "heartbeat timeout for failure detection")
+	autoRecover := flag.Bool("auto-recover", false, "supervise submitted jobs: restart from the newest verified checkpoint after failures")
+	maxRetries := flag.Int("max-retries", 5, "restart budget per supervised job before it is declared stalled")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "initial restart backoff; doubles per attempt with jitter")
 	flag.Parse()
 
 	fs := pfs.NewSystem(pfs.DefaultConfig())
@@ -51,10 +61,17 @@ func main() {
 		tcs[n].Fail()
 		return nil
 	}}
+	if *autoRecover {
+		srv.Recovery = &coord.RecoveryPolicy{Budget: *maxRetries, Backoff: *backoff}
+	}
 	addr, err := srv.Serve(*listen)
 	check(err)
 	defer srv.Close()
-	fmt.Printf("drmsd: %d processors, control protocol on %s\n", *nodes, addr)
+	mode := ""
+	if *autoRecover {
+		mode = fmt.Sprintf(", auto-recover on (budget %d, backoff %s)", *maxRetries, *backoff)
+	}
+	fmt.Printf("drmsd: %d processors, control protocol on %s%s\n", *nodes, addr, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

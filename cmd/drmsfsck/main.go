@@ -1,67 +1,173 @@
 // Command drmsfsck checks the integrity of archived checkpoint state: it
-// loads a file-system snapshot (written by drmsrun -save-state), lists
-// the checkpoints it holds, and verifies every file's size and CRC-64
-// against the checkpoint metadata.
+// loads a file-system snapshot (written by drmsrun -save-state or drmsd
+// -state), resolves each user-facing checkpoint prefix to its rotated
+// generations, and verifies every file's size and CRC-64 against the
+// checkpoint metadata — all generations, not just the newest, because an
+// older generation is the recovery supervisor's fallback when the newest
+// turns out to be corrupt.
 //
 // Usage:
 //
 //	drmsrun -app bt -save-state /tmp/state.pfs
-//	drmsfsck -state /tmp/state.pfs
+//	drmsfsck -state /tmp/state.pfs [-repair] [prefix ...]
+//
+// With no prefixes, every checkpoint base in the snapshot is checked.
+// With -repair, corrupt generations are quarantined (renamed under
+// "<gen>.bad.") exactly as the recovery supervisor would do at restart
+// time, and the snapshot is saved back.
+//
+// Exit codes:
+//
+//	0  clean: every committed generation of every prefix verifies
+//	1  unrecoverable: some prefix has no verifiable generation at all
+//	2  usage error
+//	3  repaired by fallback: corruption found, but every prefix still
+//	   has a verifiable generation to restart from
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"drms/internal/ckpt"
 	"drms/internal/pfs"
 )
 
+const (
+	exitClean         = 0
+	exitUnrecoverable = 1
+	exitUsage         = 2
+	exitRepaired      = 3
+)
+
 func main() {
 	state := flag.String("state", "", "pfs snapshot file to check")
+	repair := flag.Bool("repair", false, "quarantine corrupt generations and save the snapshot back")
 	flag.Parse()
 	if *state == "" {
-		fmt.Fprintln(os.Stderr, "usage: drmsfsck -state <snapshot>")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: drmsfsck -state <snapshot> [-repair] [prefix ...]")
+		os.Exit(exitUsage)
 	}
 	fs := pfs.NewSystem(pfs.DefaultConfig())
 	if err := fs.LoadFile(*state); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitUsage)
 	}
 
-	// Discover checkpoint prefixes from their .meta files.
-	var prefixes []string
-	for _, name := range fs.List("") {
-		if strings.HasSuffix(name, ".meta") {
-			prefixes = append(prefixes, strings.TrimSuffix(name, ".meta"))
+	prefixes := flag.Args()
+	if len(prefixes) == 0 {
+		prefixes = discoverPrefixes(fs)
+		if len(prefixes) == 0 {
+			fmt.Println("no checkpoints in snapshot")
+			return
 		}
 	}
-	if len(prefixes) == 0 {
-		fmt.Println("no checkpoints in snapshot")
-		return
-	}
-	bad := 0
+
+	exit := exitClean
+	repaired := false
 	for _, p := range prefixes {
-		m, err := ckpt.ReadMeta(fs, p, 0)
-		if err != nil {
-			fmt.Printf("%-12s UNREADABLE: %v\n", p, err)
-			bad++
+		switch checkPrefix(fs, p, *repair, &repaired) {
+		case exitUnrecoverable:
+			exit = exitUnrecoverable
+		case exitRepaired:
+			if exit == exitClean {
+				exit = exitRepaired
+			}
+		}
+	}
+	if *repair && repaired {
+		if err := fs.SaveFile(*state); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(exitUnrecoverable)
+		}
+		fmt.Printf("snapshot saved to %s\n", *state)
+	}
+	os.Exit(exit)
+}
+
+// discoverPrefixes lists the user-facing checkpoint prefixes in the
+// snapshot: each meta file marks a committed checkpoint, and rotated
+// generations ("<base>.gN") collapse onto their base so the whole
+// rotation is checked as one unit.
+func discoverPrefixes(fs *pfs.System) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, name := range fs.List("") {
+		if !strings.HasSuffix(name, ".meta") {
 			continue
 		}
-		err = ckpt.Verify(fs, p, 0)
+		p := strings.TrimSuffix(name, ".meta")
+		if strings.Contains(p, ".bad") {
+			continue // quarantined: out of the committed namespace
+		}
+		if base, _, ok := ckpt.GenOf(p); ok {
+			p = base
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkPrefix verifies every committed generation reachable from one
+// user-facing prefix and returns its classification. repair quarantines
+// the corrupt generations; *dirty is set when it moved anything.
+func checkPrefix(fs *pfs.System, prefix string, repair bool, dirty *bool) int {
+	// A plain (non-rotated) checkpoint is a single generation with no
+	// fallback behind it.
+	var gens []string
+	if fs.Exists(prefix + ".meta") {
+		gens = []string{prefix}
+	} else {
+		gens = ckpt.Rotation{Base: prefix}.Generations(fs)
+	}
+	if len(gens) == 0 {
+		fmt.Printf("%-12s UNRECOVERABLE: no committed generations\n", prefix)
+		return exitUnrecoverable
+	}
+
+	good := 0
+	var corrupt []string
+	for _, g := range gens {
+		m, err := ckpt.ReadMeta(fs, g, 0)
+		if err == nil {
+			err = ckpt.Verify(fs, g, 0)
+		}
 		status := "OK"
 		if err != nil {
 			status = "CORRUPT: " + err.Error()
-			bad++
+			corrupt = append(corrupt, g)
+		} else {
+			good++
+			fmt.Printf("%-12s mode=%-5s tasks=%-3d arrays=%-2d state=%.1fMB  %s\n",
+				g, m.Mode, m.Tasks, len(m.Arrays),
+				float64(ckpt.StateBytes(fs, g))/(1<<20), status)
+			continue
 		}
-		fmt.Printf("%-12s mode=%-5s tasks=%-3d arrays=%-2d state=%.1fMB  %s\n",
-			p, m.Mode, m.Tasks, len(m.Arrays),
-			float64(ckpt.StateBytes(fs, p))/(1<<20), status)
+		fmt.Printf("%-12s %s\n", g, status)
 	}
-	if bad > 0 {
-		os.Exit(1)
+
+	if good == 0 {
+		fmt.Printf("%-12s UNRECOVERABLE: all %d generations corrupt\n", prefix, len(gens))
+		return exitUnrecoverable
 	}
+	if len(corrupt) == 0 {
+		return exitClean
+	}
+	for _, g := range corrupt {
+		if repair && g != prefix { // a bare prefix has nothing to fall back to
+			moved := ckpt.Quarantine(fs, g)
+			*dirty = *dirty || len(moved) > 0
+			fmt.Printf("%-12s quarantined (%d files -> %s.bad.*)\n", g, len(moved), g)
+		} else {
+			fmt.Printf("%-12s fallback available (run with -repair to quarantine)\n", g)
+		}
+	}
+	return exitRepaired
 }

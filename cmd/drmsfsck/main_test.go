@@ -1,0 +1,107 @@
+package main
+
+import (
+	"testing"
+
+	"drms/internal/ckpt"
+	"drms/internal/drms"
+	"drms/internal/pfs"
+)
+
+// buildSnapshot runs a tiny application that commits gens rotated
+// checkpoint generations under prefix, giving the checker a realistic
+// rotation to walk.
+func buildSnapshot(t *testing.T, fs *pfs.System, prefix string, gens int) {
+	t.Helper()
+	err := drms.Run(drms.Config{Tasks: 2, FS: fs, Keep: gens}, func(tk *drms.Task) error {
+		iter := 0
+		tk.Register("iter", &iter)
+		for iter < gens {
+			if _, _, err := tk.ReconfigCheckpoint(prefix); err != nil {
+				return err
+			}
+			iter++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func corrupt(t *testing.T, fs *pfs.System, name string) {
+	t.Helper()
+	if err := fs.WriteAt(0, name, []byte{0xba, 0xad, 0xf0, 0x0d}, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscoverPrefixesCollapsesRotations(t *testing.T) {
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	buildSnapshot(t, fs, "alpha", 2)
+	buildSnapshot(t, fs, "beta", 1)
+	got := discoverPrefixes(fs)
+	want := []string{"alpha", "beta"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("discoverPrefixes = %v, want %v", got, want)
+	}
+}
+
+func TestCheckPrefixClean(t *testing.T) {
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	buildSnapshot(t, fs, "ck", 3)
+	dirty := false
+	if code := checkPrefix(fs, "ck", false, &dirty); code != exitClean {
+		t.Fatalf("clean rotation classified %d, want %d", code, exitClean)
+	}
+	if dirty {
+		t.Fatal("clean check marked the snapshot dirty")
+	}
+}
+
+func TestCheckPrefixFallbackAndRepair(t *testing.T) {
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	buildSnapshot(t, fs, "ck", 3)
+	corrupt(t, fs, "ck.g2.seg")
+
+	// Report-only: classified repairable, nothing moved.
+	dirty := false
+	if code := checkPrefix(fs, "ck", false, &dirty); code != exitRepaired {
+		t.Fatalf("corrupt newest classified %d, want %d", code, exitRepaired)
+	}
+	if dirty || len(fs.List("ck.g2.bad.")) != 0 {
+		t.Fatal("report-only run quarantined files")
+	}
+
+	// Repair: the corrupt generation leaves the committed namespace and
+	// the rotation comes back clean, falling back to g1.
+	if code := checkPrefix(fs, "ck", true, &dirty); code != exitRepaired {
+		t.Fatalf("repair run classified %d, want %d", code, exitRepaired)
+	}
+	if !dirty {
+		t.Fatal("repair did not mark the snapshot dirty")
+	}
+	if len(fs.List("ck.g2.bad.")) == 0 {
+		t.Fatal("repair left no quarantined files")
+	}
+	if code := checkPrefix(fs, "ck", false, &dirty); code != exitClean {
+		t.Fatal("rotation not clean after repair")
+	}
+	if _, p, ok := (ckpt.Rotation{Base: "ck"}).Latest(fs); !ok || p != "ck.g1" {
+		t.Fatalf("fallback generation = %q ok=%v, want ck.g1", p, ok)
+	}
+}
+
+func TestCheckPrefixUnrecoverable(t *testing.T) {
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	buildSnapshot(t, fs, "ck", 2)
+	corrupt(t, fs, "ck.g0.seg")
+	corrupt(t, fs, "ck.g1.seg")
+	dirty := false
+	if code := checkPrefix(fs, "ck", false, &dirty); code != exitUnrecoverable {
+		t.Fatalf("all-corrupt rotation classified %d, want %d", code, exitUnrecoverable)
+	}
+	if code := checkPrefix(fs, "missing", false, &dirty); code != exitUnrecoverable {
+		t.Fatalf("missing prefix classified %d, want %d", code, exitUnrecoverable)
+	}
+}

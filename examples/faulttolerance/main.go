@@ -1,12 +1,15 @@
-// Faulttolerance: the failure/recovery model of §4. A machine of four
-// processors runs a resource coordinator with one task coordinator per
-// processor; the LU benchmark executes on three of them, checkpointing
-// periodically. Mid-run, one processor "fails" (its TC connection drops
-// with no goodbye). The RC detects the loss, kills the application,
-// informs the user, and returns the surviving processors to the pool; the
-// application is then restarted from its latest checkpoint on the two
-// remaining processors — without waiting for the failed node — and
-// finishes with the exact uninterrupted result.
+// Faulttolerance: the failure/recovery model of §4 under the autonomous
+// recovery supervisor. A machine of four processors runs a resource
+// coordinator with one task coordinator per processor; the LU benchmark
+// executes on three of them, checkpointing periodically into rotated
+// generations. Mid-run, two processors "fail" (their TC connections drop
+// with no goodbye). The RC detects the loss, kills the application, and —
+// because the job carries a RecoveryPolicy — restarts it on its own: it
+// re-sizes the pool onto the two survivors, restores the newest
+// checkpoint generation that passes integrity verification, and resumes.
+// No manual re-launch happens anywhere; the program just waits for the
+// terminal status and checks that the result matches an uninterrupted
+// run exactly.
 package main
 
 import (
@@ -41,7 +44,17 @@ func main() {
 	defer rc.Close()
 	go func() {
 		for e := range rc.Events() {
-			fmt.Printf("  [event] %s app=%q node=%d %s\n", e.Kind, e.App, e.Node, e.Detail)
+			extra := ""
+			if e.Attempt > 0 {
+				extra = fmt.Sprintf(" attempt=%d", e.Attempt)
+				if e.Tasks > 0 {
+					extra += fmt.Sprintf(" tasks=%d", e.Tasks)
+				}
+				if e.Kind == coord.EventAppRecovered {
+					extra += fmt.Sprintf(" gen=%d ttr=%s", e.Gen, e.TTR.Round(time.Millisecond))
+				}
+			}
+			fmt.Printf("  [event] %s app=%q node=%d %s%s\n", e.Kind, e.App, e.Node, e.Detail, extra)
 		}
 	}()
 
@@ -52,32 +65,40 @@ func main() {
 	}
 
 	out := make(chan float64, 1)
-	spec := coord.AppSpec{Name: "lu", Body: k.App(apps.RunConfig{
-		Class: apps.ClassS, Iters: iters, CkEvery: ckEvery, Prefix: "lu", OnDone: out,
-	})}
-	fmt.Println("launching LU on processors 0-2...")
+	spec := coord.AppSpec{
+		Name: "lu",
+		Body: k.App(apps.RunConfig{
+			Class: apps.ClassS, Iters: iters, CkEvery: ckEvery, Prefix: "lu", OnDone: out,
+		}),
+		// The policy is what makes recovery autonomous: up to 5 restart
+		// attempts, 50ms initial backoff doubling per attempt, pool
+		// re-sized to whatever survives.
+		Recovery: &coord.RecoveryPolicy{Budget: 5, Backoff: 50 * time.Millisecond},
+	}
+	fmt.Println("launching LU on processors 0-2 under the recovery supervisor...")
 	if err := rc.Launch(spec, 3, false); err != nil {
 		log.Fatal(err)
 	}
 
-	// Let it take at least one checkpoint, then fail processor 1.
+	// Let it commit at least one checkpoint generation, then take two
+	// processors down at once.
 	for !ckpt.Exists(fs, "lu") {
 		time.Sleep(2 * time.Millisecond)
 	}
-	fmt.Println("processor 1 fails now.")
+	fmt.Println("processors 1 and 2 fail now.")
 	tcs[1].Fail()
+	tcs[2].Fail()
 
-	status, _ := rc.WaitApp("lu")
-	fmt.Printf("application status: %s\n", status)
-	fmt.Printf("processors available for restart: %v (node 1 is down)\n", rc.AvailableNodes())
+	// Nothing to do: the supervisor reconfigures onto the survivors and
+	// restarts from the newest verified generation by itself.
+	status, err := rc.WaitApp("lu")
+	if err != nil || status != coord.StatusFinished {
+		log.Fatalf("supervised run: %s, %v", status, err)
+	}
+	info, _ := rc.App("lu")
+	fmt.Printf("final status: %s after %d autonomous restart(s) on %d processors\n",
+		status, info.Incarnation, info.Tasks)
 
-	fmt.Println("restarting from the latest checkpoint on 2 processors...")
-	if err := rc.Launch(spec, 2, true); err != nil {
-		log.Fatal(err)
-	}
-	if status, err := rc.WaitApp("lu"); err != nil || status != coord.StatusFinished {
-		log.Fatalf("recovery run: %s, %v", status, err)
-	}
 	got := <-out
 	fmt.Printf("recovered checksum %.12e\n", got)
 	if got == want {

@@ -257,6 +257,18 @@ func chainPieceHooks(user, crc func(int, int64, []byte)) func(int, int64, []byte
 	}
 }
 
+// RestoreOptions tune a restore beyond the streaming options.
+type RestoreOptions struct {
+	// Verify makes the restore check every streamed piece's CRC against
+	// the checkpoint's per-piece checksums as it reads, returning a typed
+	// *CorruptError naming the guilty generation and piece instead of
+	// silently loading torn bytes. The whole-stream CRC is always checked
+	// regardless; Verify adds attribution (which piece) and catches
+	// damage the moment it is read. The recovery supervisor and drmsfsck
+	// share this path.
+	Verify bool
+}
+
 // ReadDRMS restores a DRMS checkpoint into the calling application, which
 // may be running with a different number of tasks than took the
 // checkpoint. Every task loads the single saved segment (restoring
@@ -265,6 +277,12 @@ func chainPieceHooks(user, crc func(int, int64, []byte)) func(int, int64, []byte
 // exactly the arrays in the checkpoint (matched by name). Returns the
 // metadata; delta is Meta.Tasks vs comm.Size(), computed by the caller.
 func ReadDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options) (Meta, Stats, error) {
+	return ReadDRMSOpts(fs, prefix, comm, sg, arrays, o, RestoreOptions{})
+}
+
+// ReadDRMSOpts is ReadDRMS with restore options (piece-level
+// verification).
+func ReadDRMSOpts(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options, ro RestoreOptions) (Meta, Stats, error) {
 	var st Stats
 	m, err := ReadMeta(fs, prefix, comm.Rank())
 	if err != nil {
@@ -282,7 +300,7 @@ func ReadDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, ar
 		return m, st, err
 	}
 	if len(m.SegCRC) > 0 && segCRC != m.SegCRC[0] {
-		return m, st, fmt.Errorf("ckpt: segment of %q fails integrity check", prefix)
+		return m, st, corrupt(prefix, segFile(prefix), -1, "segment crc %016x, metadata %016x", segCRC, m.SegCRC[0])
 	}
 	if err := sg.Decode(payload); err != nil {
 		return m, st, err
@@ -311,11 +329,23 @@ func ReadDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, ar
 			return m, st, fmt.Errorf("ckpt: array %q global shape %v differs from checkpointed %v",
 				am.Name, a.GlobalShape(), am.Global)
 		}
+		file := arrFile(prefix, am.Name)
 		fs.BeginPhase("arrays:" + am.Name)
 		opts := o
 		hook, pieces := crcCollector()
 		opts.PieceHook = chainPieceHooks(o.PieceHook, hook)
-		s, err := a.StreamRead(fs, arrFile(prefix, am.Name), opts)
+		var pieceVerify *pieceVerifier
+		if ro.Verify && len(m.ArrayPieces) > i {
+			// Piece-level verification: compare each piece the moment it
+			// is read against the checkpointed per-piece checksums. Only
+			// pieces whose extent (index, offset, length) matches the
+			// stored plan are attributable — a restore with different
+			// streaming options partitions differently and falls back to
+			// the whole-stream check below.
+			pieceVerify = newPieceVerifier(m.ArrayPieces[i])
+			opts.PieceHook = chainPieceHooks(opts.PieceHook, pieceVerify.hook)
+		}
+		s, err := a.StreamRead(fs, file, opts)
 		if err != nil {
 			return m, st, fmt.Errorf("ckpt: loading array %q: %w", am.Name, err)
 		}
@@ -324,9 +354,24 @@ func ReadDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, ar
 		if err := comm.Barrier(); err != nil { // phase boundary
 			return m, st, err
 		}
-		if len(m.ArrayCRC) > i {
-			if err := checkStreamCRC(comm, *pieces, m.ArrayCRC[i], "array "+am.Name); err != nil {
+		if pieceVerify != nil {
+			// Agree on the verdict collectively: any task that read a
+			// corrupt piece fails the restore on every task.
+			bad, err := agreeWorstPiece(comm, pieceVerify.badPiece())
+			if err != nil {
 				return m, st, err
+			}
+			if bad >= 0 {
+				return m, st, corrupt(prefix, file, bad, "piece crc mismatch on read")
+			}
+		}
+		if len(m.ArrayCRC) > i {
+			mismatch, err := checkStreamCRC(comm, *pieces, m.ArrayCRC[i])
+			if err != nil {
+				return m, st, err
+			}
+			if mismatch {
+				return m, st, corrupt(prefix, file, -1, "array %q stream crc mismatch", am.Name)
 			}
 		}
 	}

@@ -2,8 +2,10 @@ package ckpt
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"drms/internal/msg"
 	"drms/internal/pfs"
@@ -89,11 +91,13 @@ func gatherPieceCRCs(comm *msg.Comm, root int, mine []pieceCRC) (uint64, error) 
 
 // checkStreamCRC validates a restored stream against the checkpointed
 // checksum: every task contributes the pieces it read; root combines and
-// compares; the verdict is broadcast so all tasks agree.
-func checkStreamCRC(comm *msg.Comm, mine []pieceCRC, want uint64, what string) error {
+// compares; the verdict is broadcast so all tasks agree. mismatch=true
+// (with a nil error) reports an integrity failure; a non-nil error is a
+// communication failure of the check itself.
+func checkStreamCRC(comm *msg.Comm, mine []pieceCRC, want uint64) (mismatch bool, err error) {
 	got, err := gatherPieceCRCs(comm, 0, mine)
 	if err != nil {
-		return err
+		return false, err
 	}
 	ok := byte(1)
 	if comm.Rank() == 0 && got != want {
@@ -101,18 +105,95 @@ func checkStreamCRC(comm *msg.Comm, mine []pieceCRC, want uint64, what string) e
 	}
 	verdict, err := comm.Bcast(0, []byte{ok})
 	if err != nil {
-		return err
+		return false, err
 	}
-	if verdict[0] == 0 {
-		return fmt.Errorf("ckpt: %s fails integrity check (CRC mismatch)", what)
+	return verdict[0] == 0, nil
+}
+
+// pieceVerifier checks pieces against a checkpoint's per-piece checksums
+// as a stream read delivers them, recording the first corrupt piece.
+// Pieces outside the stored plan (different extent) are ignored — the
+// whole-stream check still covers them.
+type pieceVerifier struct {
+	want map[int]PieceSum
+	bad  int64 // atomic: first corrupt piece index + 1; 0 = none
+}
+
+func newPieceVerifier(pieces []PieceSum) *pieceVerifier {
+	v := &pieceVerifier{want: make(map[int]PieceSum, len(pieces))}
+	for _, p := range pieces {
+		v.want[p.Index] = p
 	}
-	return nil
+	return v
+}
+
+func (v *pieceVerifier) hook(idx int, off int64, data []byte) {
+	p, ok := v.want[idx]
+	if !ok || p.Off != off || p.Bytes != int64(len(data)) {
+		return
+	}
+	if crcOf(data) != p.CRC {
+		atomic.CompareAndSwapInt64(&v.bad, 0, int64(idx)+1)
+	}
+}
+
+// badPiece returns the first corrupt piece this task saw, or -1.
+func (v *pieceVerifier) badPiece() int {
+	return int(atomic.LoadInt64(&v.bad)) - 1
+}
+
+// agreeWorstPiece agrees collectively on a corrupt piece index: the
+// maximum over all tasks' verdicts (-1 = clean everywhere).
+func agreeWorstPiece(comm *msg.Comm, mine int) (int, error) {
+	v, err := comm.AllreduceF64(float64(mine), msg.Max)
+	if err != nil {
+		return -1, err
+	}
+	return int(v), nil
+}
+
+// CorruptError reports a checkpoint whose bytes on storage no longer
+// match its metadata — torn by an in-place refresh interrupted mid-way,
+// or damaged at rest. It is typed so the recovery supervisor and
+// drmsfsck can distinguish "this generation is corrupt, fall back to an
+// older one" from environmental failures (missing files, transport
+// errors), and it attributes the damage as precisely as the metadata
+// allows: the file, and for arrays with per-piece checksums, the guilty
+// piece.
+type CorruptError struct {
+	Prefix string // the generation prefix that failed verification
+	Gen    int    // generation number; -1 for non-rotated prefixes
+	Piece  int    // index of the corrupt streamed piece; -1 if unattributed
+	File   string // the file whose contents disagree with the metadata
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	where := e.File
+	if e.Piece >= 0 {
+		where = fmt.Sprintf("%s piece %d", e.File, e.Piece)
+	}
+	return fmt.Sprintf("ckpt: %q fails integrity check (%s): %s", e.Prefix, where, e.Detail)
+}
+
+// corrupt builds a CorruptError for a file of the given checkpoint,
+// deriving the generation number from the prefix.
+func corrupt(prefix, file string, piece int, format string, args ...any) *CorruptError {
+	gen := -1
+	if _, g, ok := GenOf(prefix); ok {
+		gen = g
+	}
+	return &CorruptError{Prefix: prefix, Gen: gen, Piece: piece, File: file,
+		Detail: fmt.Sprintf(format, args...)}
 }
 
 // Verify re-reads every file of a checkpoint sequentially and compares
 // sizes and CRC-64 checksums against the metadata. It is the offline
 // integrity check (fsck) for archived states; restarts additionally
-// verify inline as they load.
+// verify inline as they load. Integrity failures return *CorruptError —
+// with the guilty piece attributed when the metadata carries per-piece
+// checksums — so callers (the recovery supervisor, drmsfsck) can
+// quarantine the generation and fall back.
 func Verify(fs *pfs.System, prefix string, client int) error {
 	// Accept a user-facing prefix for a rotated checkpoint: verify the
 	// newest committed generation.
@@ -123,18 +204,26 @@ func Verify(fs *pfs.System, prefix string, client int) error {
 	}
 	switch m.Mode {
 	case ModeDRMS:
-		if err := verifyFile(fs, segFile(prefix), client, m.SegBytes[0], m.SegCRC[0]); err != nil {
+		if err := verifyFile(fs, prefix, segFile(prefix), client, m.SegBytes[0], m.SegCRC[0]); err != nil {
 			return err
 		}
 		for i, am := range m.Arrays {
 			// Array files are exactly the stream bytes.
-			if err := verifyFile(fs, arrFile(prefix, am.Name), client, am.Bytes, m.ArrayCRC[i]); err != nil {
+			file := arrFile(prefix, am.Name)
+			if err := verifyFile(fs, prefix, file, client, am.Bytes, m.ArrayCRC[i]); err != nil {
+				var ce *CorruptError
+				if errors.As(err, &ce) && len(m.ArrayPieces) > i {
+					// Attribute the damage to the first corrupt piece.
+					if p, perr := findCorruptPiece(fs, file, client, m.ArrayPieces[i]); perr == nil && p >= 0 {
+						ce.Piece = p
+					}
+				}
 				return err
 			}
 		}
 	case ModeSPMD:
 		for task := 0; task < m.Tasks; task++ {
-			if err := verifyFile(fs, taskSegFile(prefix, task), client, m.SegBytes[task], m.SegCRC[task]); err != nil {
+			if err := verifyFile(fs, prefix, taskSegFile(prefix, task), client, m.SegBytes[task], m.SegCRC[task]); err != nil {
 				return err
 			}
 		}
@@ -144,14 +233,34 @@ func Verify(fs *pfs.System, prefix string, client int) error {
 	return nil
 }
 
+// findCorruptPiece re-reads the extents named by the per-piece checksums
+// and returns the index of the first piece whose CRC disagrees (-1 when
+// every piece matches — the damage then lies outside the piece map).
+func findCorruptPiece(fs *pfs.System, name string, client int, pieces []PieceSum) (int, error) {
+	buf := make([]byte, 0, padChunk)
+	for _, p := range pieces {
+		if int64(cap(buf)) < p.Bytes {
+			buf = make([]byte, p.Bytes)
+		}
+		b := buf[:p.Bytes]
+		if err := fs.ReadAt(client, name, b, p.Off); err != nil {
+			return p.Index, nil // unreadable extent: attribute it here
+		}
+		if crcOf(b) != p.CRC {
+			return p.Index, nil
+		}
+	}
+	return -1, nil
+}
+
 // verifyFile checks one file's size and CRC.
-func verifyFile(fs *pfs.System, name string, client int, wantSize int64, wantCRC uint64) error {
+func verifyFile(fs *pfs.System, prefix, name string, client int, wantSize int64, wantCRC uint64) error {
 	sz, err := fs.Size(name)
 	if err != nil {
 		return fmt.Errorf("ckpt: verify %q: %w", name, err)
 	}
 	if sz != wantSize {
-		return fmt.Errorf("ckpt: %q is %d bytes, metadata says %d", name, sz, wantSize)
+		return corrupt(prefix, name, -1, "%d bytes, metadata says %d", sz, wantSize)
 	}
 	var crc uint64
 	buf := make([]byte, padChunk)
@@ -164,7 +273,7 @@ func verifyFile(fs *pfs.System, name string, client int, wantSize int64, wantCRC
 		off += n
 	}
 	if crc != wantCRC {
-		return fmt.Errorf("ckpt: %q fails integrity check: crc %016x, metadata %016x", name, crc, wantCRC)
+		return corrupt(prefix, name, -1, "crc %016x, metadata %016x", crc, wantCRC)
 	}
 	return nil
 }

@@ -2,6 +2,8 @@ package ckpt
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"drms/internal/pfs"
 )
@@ -13,65 +15,112 @@ import (
 // "<base>.g<k>", and generations older than Keep are deleted after the
 // new one is safely on storage. With Keep >= 2 this also gives
 // incremental checkpointing a crash window: the previous generation stays
-// intact while the next is written.
+// intact while the next is written — and gives the recovery supervisor a
+// fallback when the newest generation turns out to be corrupt.
+//
+// Generation numbers may have gaps: a corrupt generation quarantined by
+// the supervisor (renamed under "<gen>.bad") leaves a hole, and every
+// operation here counts committed generations, never numeric distance.
 type Rotation struct {
 	Base string
 	Keep int // generations retained (minimum 1)
 }
+
+// quarantineMark is the path component that moves a generation's files
+// out of the committed namespace: "<base>.g2.meta" becomes
+// "<base>.g2.bad.meta". Quarantined files are invisible to Latest,
+// CleanIncomplete, and Prune, but stay on storage for forensics.
+const quarantineMark = ".bad."
 
 // generation returns the prefix of generation k.
 func (r Rotation) generation(k int) string {
 	return fmt.Sprintf("%s.g%d", r.Base, k)
 }
 
-// Latest returns the newest complete generation's number and prefix;
-// ok=false when none exists.
-func (r Rotation) Latest(fs *pfs.System) (k int, prefix string, ok bool) {
-	for g := r.scanMax(fs); g >= 0; g-- {
-		p := r.generation(g)
-		if existsDirect(fs, p) {
-			return g, p, true
-		}
+// GenOf parses a rotated generation prefix "<base>.g<k>" into its base
+// and generation number. ok=false when the prefix is not generation-
+// shaped (a plain user prefix).
+func GenOf(prefix string) (base string, gen int, ok bool) {
+	i := strings.LastIndex(prefix, ".g")
+	if i < 0 {
+		return prefix, 0, false
 	}
-	return 0, "", false
+	var g int
+	if n, err := fmt.Sscanf(prefix[i+2:], "%d", &g); n != 1 || err != nil ||
+		prefix[i+2:] != fmt.Sprintf("%d", g) {
+		return prefix, 0, false
+	}
+	return prefix[:i], g, true
 }
 
-// scanMax finds the highest generation number present (complete or not).
+// committed lists the committed (meta-bearing, non-quarantined)
+// generation numbers under the base, ascending. Gaps are natural:
+// quarantine and pruning both leave holes in the numbering.
+func (r Rotation) committed(fs *pfs.System) []int {
+	prefix := r.Base + ".g"
+	var gens []int
+	seen := map[int]bool{}
+	for _, name := range fs.List(prefix) {
+		if strings.Contains(name, quarantineMark) {
+			continue
+		}
+		var g int
+		if n, _ := fmt.Sscanf(name[len(prefix):], "%d.", &g); n != 1 {
+			continue
+		}
+		if !seen[g] && existsDirect(fs, r.generation(g)) {
+			seen[g] = true
+			gens = append(gens, g)
+		}
+	}
+	sort.Ints(gens)
+	return gens
+}
+
+// Latest returns the newest complete generation's number and prefix;
+// ok=false when none exists. Gaps in the numbering (pruned or
+// quarantined generations) are skipped over.
+func (r Rotation) Latest(fs *pfs.System) (k int, prefix string, ok bool) {
+	gens := r.committed(fs)
+	if len(gens) == 0 {
+		return 0, "", false
+	}
+	g := gens[len(gens)-1]
+	return g, r.generation(g), true
+}
+
+// scanMax finds the highest generation number present (complete, torn, or
+// quarantined) — the next checkpoint must land above every number ever
+// used, so a quarantined newest generation is never overwritten.
 func (r Rotation) scanMax(fs *pfs.System) int {
 	maxG := -1
 	prefix := r.Base + ".g"
 	for _, name := range fs.List(prefix) {
 		var g int
-		var rest string
-		if n, _ := fmt.Sscanf(name[len(prefix):], "%d.%s", &g, &rest); n >= 1 && g > maxG {
+		if n, _ := fmt.Sscanf(name[len(prefix):], "%d.", &g); n >= 1 && g > maxG {
 			maxG = g
 		}
 	}
 	return maxG
 }
 
-// NextPrefix returns the prefix the next checkpoint should use.
+// NextPrefix returns the prefix the next checkpoint should use: one past
+// every generation number in use, committed or not.
 func (r Rotation) NextPrefix(fs *pfs.System) string {
-	if g, _, ok := r.Latest(fs); ok {
-		return r.generation(g + 1)
-	}
-	return r.generation(0)
+	return r.generation(r.scanMax(fs) + 1)
 }
 
-// Prune removes generations beyond Keep, never touching the newest one.
-// Call it after a successful checkpoint (task 0 only — pruning is not
-// collective).
+// Prune removes committed generations beyond Keep, newest retained
+// first — counting generations that actually exist, not numeric
+// distance, so a gap (e.g. a quarantined generation between two live
+// ones) never causes the fallback generation to be deleted. Call it
+// after a successful checkpoint (task 0 only — pruning is not
+// collective). Quarantined generations are never touched.
 func (r Rotation) Prune(fs *pfs.System) {
 	keep := max(r.Keep, 1)
-	g, _, ok := r.Latest(fs)
-	if !ok {
-		return
-	}
-	for old := g - keep; old >= 0; old-- {
-		p := r.generation(old)
-		if existsDirect(fs, p) {
-			Remove(fs, p)
-		}
+	gens := r.committed(fs)
+	for i := 0; i < len(gens)-keep; i++ {
+		Remove(fs, r.generation(gens[i]))
 	}
 }
 
@@ -79,15 +128,26 @@ func (r Rotation) Prune(fs *pfs.System) {
 // never committed — data or temporary files present with no meta file, as
 // a checkpoint interrupted by a failure leaves them. Meta commits are
 // atomic (see writeMeta), so "no meta" is a reliable torn-state marker.
-// Call it on restart, before taking new checkpoints; it must not run
-// concurrently with a checkpoint in progress, whose generation is
-// legitimately meta-less until commit. Returns the prefixes cleaned.
+// Quarantined generations are deliberately meta-less under their
+// committed name and are left alone. Call it on restart, before taking
+// new checkpoints; it must not run concurrently with a checkpoint in
+// progress, whose generation is legitimately meta-less until commit.
+// Returns the prefixes cleaned.
 func (r Rotation) CleanIncomplete(fs *pfs.System) []string {
 	var cleaned []string
 	for g := 0; g <= r.scanMax(fs); g++ {
 		p := r.generation(g)
-		if !existsDirect(fs, p) && len(fs.List(p+".")) > 0 {
-			Remove(fs, p)
+		if existsDirect(fs, p) {
+			continue
+		}
+		torn := false
+		for _, name := range fs.List(p + ".") {
+			if !strings.HasPrefix(name, p+quarantineMark) {
+				fs.Remove(name)
+				torn = true
+			}
+		}
+		if torn {
 			cleaned = append(cleaned, p)
 		}
 	}
@@ -97,10 +157,62 @@ func (r Rotation) CleanIncomplete(fs *pfs.System) []string {
 // Generations lists the complete generations, oldest first.
 func (r Rotation) Generations(fs *pfs.System) []string {
 	var out []string
-	for g := 0; g <= r.scanMax(fs); g++ {
-		if p := r.generation(g); existsDirect(fs, p) {
-			out = append(out, p)
-		}
+	for _, g := range r.committed(fs) {
+		out = append(out, r.generation(g))
 	}
 	return out
+}
+
+// Quarantine moves every file of the checkpoint under prefix out of the
+// committed namespace: "<prefix>.X" becomes "<prefix>.bad.X". The
+// generation stops being resolvable (its meta no longer exists under the
+// committed name) but its bytes stay on storage for diagnosis. Returns
+// the quarantined file names (their new names).
+func Quarantine(fs *pfs.System, prefix string) []string {
+	var moved []string
+	for _, name := range fs.List(prefix + ".") {
+		if strings.HasPrefix(name, prefix+quarantineMark) {
+			continue // already quarantined
+		}
+		dst := prefix + quarantineMark + name[len(prefix)+1:]
+		if err := fs.Rename(name, dst); err == nil {
+			moved = append(moved, dst)
+		}
+	}
+	return moved
+}
+
+// ResolveVerified maps a user-facing checkpoint prefix to the newest
+// committed generation that passes a full integrity check, quarantining
+// every newer generation that fails it (rename to "<gen>.bad.*") so the
+// next resolution — and the next checkpoint numbering — skips it. This is
+// the restart point the recovery supervisor uses: a corrupt newest
+// generation falls back to the next-older one instead of failing the
+// recovery. Non-rotated prefixes verify in place (no quarantine: there is
+// nothing to fall back to). Returns the chosen prefix, the prefixes
+// quarantined along the way, and ok=false when no verifiable state
+// exists — firstErr then carries the first integrity failure seen, the
+// root cause to report upward.
+func ResolveVerified(fs *pfs.System, prefix string) (chosen string, quarantined []string, ok bool, firstErr error) {
+	if existsDirect(fs, prefix) {
+		if err := Verify(fs, prefix, 0); err != nil {
+			return prefix, nil, false, err
+		}
+		return prefix, nil, true, nil
+	}
+	rot := Rotation{Base: prefix}
+	gens := rot.committed(fs)
+	for i := len(gens) - 1; i >= 0; i-- {
+		p := rot.generation(gens[i])
+		err := Verify(fs, p, 0)
+		if err == nil {
+			return p, quarantined, true, firstErr
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		Quarantine(fs, p)
+		quarantined = append(quarantined, p)
+	}
+	return prefix, quarantined, false, firstErr
 }

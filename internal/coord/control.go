@@ -34,6 +34,11 @@ type Request struct {
 	CkEvery int    `json:"ck_every,omitempty"`
 	Node    int    `json:"node,omitempty"`   // failnode
 	Prefix  string `json:"prefix,omitempty"` // verify
+	// Recover puts the submitted job under the recovery supervisor even
+	// when the daemon was not started with -auto-recover: failures then
+	// trigger autonomous reconfigure-and-restart from the newest
+	// verified checkpoint generation instead of a terminal status.
+	Recover bool `json:"recover,omitempty"`
 	// TimeoutMS bounds a blocking op ("wait"): how long the server may
 	// park before replying with the still-running state.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -57,6 +62,12 @@ type ControlServer struct {
 	// FailNode, if non-nil, simulates a failure of the given processor
 	// (wired to the daemon's in-process TCs for drills).
 	FailNode func(node int) error
+	// Recovery, if non-nil, is the default recovery policy applied to
+	// every submitted job (drmsd -auto-recover): jobs become supervised
+	// and restart autonomously after failures. A submit with "recover"
+	// set opts a single job in even when this is nil, under the zero
+	// policy (all defaults).
+	Recovery *RecoveryPolicy
 
 	ln net.Listener
 
@@ -188,6 +199,13 @@ func (s *ControlServer) handle(req Request) Response {
 		spec := AppSpec{Name: req.Name, Body: k.App(apps.RunConfig{
 			Class: class, Iters: iters, CkEvery: ckEvery, Prefix: req.Name, EnableSOP: false,
 		})}
+		switch {
+		case s.Recovery != nil:
+			p := *s.Recovery // copy: policies are per-application state
+			spec.Recovery = &p
+		case req.Recover:
+			spec.Recovery = &RecoveryPolicy{}
+		}
 		if err := s.JSA.Submit(Job{Spec: spec, Min: minT, Max: maxT}); err != nil {
 			return fail(err)
 		}
@@ -247,7 +265,7 @@ func (rc *RC) Apps() []AppInfo {
 	out := make([]AppInfo, 0, len(rc.apps))
 	for name, app := range rc.apps {
 		info := AppInfo{Name: name, Status: app.status, Tasks: app.tasks,
-			Nodes: append([]int(nil), app.nodes...)}
+			Nodes: append([]int(nil), app.nodes...), Incarnation: app.incarnation}
 		if app.err != nil {
 			info.Err = app.err.Error()
 		}

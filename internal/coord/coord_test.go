@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"math"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -80,10 +81,22 @@ func (p appParams) spec(name string) AppSpec {
 				break
 			}
 			if p.gate != nil && iter == p.gateAt {
-				for !p.gate.Load() {
-					if err := t.Comm().Barrier(); err != nil { // killable spin
+				// The gate flag flips asynchronously, so each rank's local
+				// read can disagree mid-flip; agree collectively (min over
+				// ranks) so every rank leaves the spin at the same point.
+				for {
+					open := 0.0
+					if p.gate.Load() {
+						open = 1
+					}
+					agree, err := t.Comm().AllreduceF64(open, math.Min) // killable spin
+					if err != nil {
 						return err
 					}
+					if agree == 1 {
+						break
+					}
+					time.Sleep(200 * time.Microsecond) // don't starve the control plane
 				}
 			}
 			u.Assigned().Each(rangeset.ColMajor, func(c []int) {

@@ -21,13 +21,18 @@ package coord
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"drms/internal/ckpt"
 	"drms/internal/drms"
+	"drms/internal/msg"
 	"drms/internal/pfs"
 	"drms/internal/stream"
 )
@@ -43,14 +48,81 @@ const (
 	EventAppKilled   EventKind = "app-killed"
 	EventAppFinished EventKind = "app-finished"
 	EventNodesFreed  EventKind = "nodes-freed"
+	// Recovery supervisor events: the autonomous restart cycle of a
+	// supervised application. app-recovering fires when a failed
+	// application enters the restart cycle, app-recovered when a new
+	// incarnation is running, ckpt-quarantined when a corrupt generation
+	// is moved aside during restart-point resolution, and app-stalled
+	// when the retry budget is exhausted — the terminal give-up.
+	EventAppRecovering   EventKind = "app-recovering"
+	EventAppRecovered    EventKind = "app-recovered"
+	EventAppStalled      EventKind = "app-stalled"
+	EventCkptQuarantined EventKind = "ckpt-quarantined"
 )
 
 // Event is a user-visible notification from the RC (the UIC surface).
+// Recovery events carry structured telemetry: the attempt number, the
+// pool the new incarnation runs on, the generation it restarted from
+// (-1 when restarting from scratch), and — on app-recovered — the time
+// from failure to the relaunch.
 type Event struct {
 	Kind   EventKind
 	App    string
 	Node   int
 	Detail string
+
+	Attempt int           `json:",omitempty"` // restart attempt number (1-based)
+	Tasks   int           `json:",omitempty"` // pool size of the new incarnation
+	Gen     int           `json:",omitempty"` // generation restarted from; -1 = scratch
+	TTR     time.Duration `json:",omitempty"` // failure-to-recovery latency
+}
+
+// RecoveryPolicy makes an application supervised: after a failure kills
+// it, the RC autonomously restarts it from the newest verified
+// checkpoint generation on whatever processors survive, under an
+// exponential-backoff retry budget. The zero value of each field picks
+// a sensible default.
+type RecoveryPolicy struct {
+	// Budget is the total cost the supervisor may spend on restarts
+	// before declaring the application stalled. A normal attempt costs
+	// 1; an attempt whose restart point has not advanced since the last
+	// one (the livelock signature: crash, restore the same generation,
+	// crash again) costs 1+StallPenalty, so a non-converging loop burns
+	// the budget faster than honest progress does. Default 5.
+	Budget int
+	// Backoff is the delay before the first restart attempt; each
+	// further attempt doubles it up to BackoffMax, with ±25% jitter so
+	// restart storms decorrelate. Defaults 50ms and 2s.
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// StallPenalty is the extra budget cost of a non-advancing attempt.
+	// Default 1.
+	StallPenalty int
+	// Pool picks the task count for the next incarnation given the free
+	// processors and the previous incarnation's size. nil defaults to
+	// min(previous, available): hold the pool if possible, shrink onto
+	// the survivors otherwise. Growing (e.g. return available) is
+	// equally valid — reconfigurable restart does not care.
+	Pool func(available, previous int) int
+}
+
+func (p RecoveryPolicy) withDefaults() RecoveryPolicy {
+	if p.Budget <= 0 {
+		p.Budget = 5
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 50 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 2 * time.Second
+	}
+	if p.StallPenalty <= 0 {
+		p.StallPenalty = 1
+	}
+	if p.Pool == nil {
+		p.Pool = func(available, previous int) int { return min(previous, available) }
+	}
+	return p
 }
 
 // AppSpec describes a reconfigurable application the RC can launch. By
@@ -62,6 +134,26 @@ type AppSpec struct {
 	Body   func(*drms.Task) error
 	Stream stream.Options
 	SPMD   bool
+
+	// Recovery, when non-nil, puts the application under the recovery
+	// supervisor: failures trigger autonomous reconfigure-and-restart
+	// instead of a terminal "terminated" status. Supervised applications
+	// keep at least 2 checkpoint generations (fallback depth) and verify
+	// checkpoints on the read path during restarts.
+	Recovery *RecoveryPolicy
+	// Keep is how many committed checkpoint generations the application
+	// retains (drms.Config.Keep); supervised applications keep >= 2.
+	Keep int
+	// Verify forces read-path CRC verification on restore even for
+	// unsupervised launches.
+	Verify bool
+	// FaultNext, when non-nil, injects a deterministic fault into each
+	// incarnation (the chaos harness): it is asked once per launch, with
+	// the incarnation number and pool size, and may return nil for "let
+	// this incarnation live". Injected deaths run the same §4 failure
+	// procedure as a real processor failure — the RC revokes the
+	// communicator and the supervisor restarts the application.
+	FaultNext func(incarnation, tasks int) *msg.FaultSpec
 }
 
 // AppStatus is the lifecycle state of an application under the RC.
@@ -72,15 +164,21 @@ const (
 	StatusFinished   AppStatus = "finished"
 	StatusTerminated AppStatus = "terminated" // killed by a failure
 	StatusFailed     AppStatus = "failed"     // exited with an error
+	// Supervised lifecycle: recovering = between a failure and the next
+	// incarnation; stalled = the retry budget is exhausted, terminal.
+	StatusRecovering AppStatus = "recovering"
+	StatusStalled    AppStatus = "stalled"
 )
 
-// AppInfo is a snapshot of an application's state.
+// AppInfo is a snapshot of an application's state. Incarnation counts
+// supervised restarts: 0 for the initial launch, +1 per recovery.
 type AppInfo struct {
-	Name   string
-	Status AppStatus
-	Tasks  int
-	Nodes  []int
-	Err    string
+	Name        string
+	Status      AppStatus
+	Tasks       int
+	Nodes       []int
+	Err         string
+	Incarnation int
 }
 
 type tcState struct {
@@ -96,7 +194,21 @@ type appState struct {
 	tasks  int
 	status AppStatus
 	err    error
-	done   chan struct{} // closed when the watcher has settled the final state
+	done   chan struct{} // closed when the app reaches a terminal state
+
+	// Supervisor state. unwound belongs to the current incarnation: it
+	// closes when that incarnation's tasks have fully unwound and its
+	// surviving processors are back in the pool — the point onTCLost
+	// waits for (a supervised app's done channel may not close for many
+	// incarnations). lastResolved is the generation the last recovery
+	// restarted from (-1 scratch, -2 no recovery yet): an attempt that
+	// cannot beat it is livelock-shaped and burns extra budget.
+	incarnation  int
+	unwound      chan struct{}
+	budget       int
+	attempts     int
+	lastResolved int
+	firstCause   error // root cause of the first failure, kept for Stalled
 }
 
 // RC is the resource coordinator.
@@ -105,6 +217,7 @@ type RC struct {
 	ln        net.Listener
 	hbTimeout time.Duration
 	events    chan Event
+	stop      chan struct{} // closed by Close; aborts recovery backoffs
 
 	mu     sync.Mutex
 	tcs    map[int]*tcState
@@ -127,6 +240,7 @@ func NewRC(fs *pfs.System, hbTimeout time.Duration) (*RC, error) {
 		ln:        ln,
 		hbTimeout: hbTimeout,
 		events:    make(chan Event, 1024),
+		stop:      make(chan struct{}),
 		tcs:       make(map[int]*tcState),
 		apps:      make(map[string]*appState),
 		busy:      make(map[int]string),
@@ -149,9 +263,13 @@ func (rc *RC) OnChange(f func()) {
 	rc.mu.Unlock()
 }
 
-// Close shuts the RC down.
+// Close shuts the RC down. In-flight recoveries abort: their
+// applications settle as terminated.
 func (rc *RC) Close() {
 	rc.mu.Lock()
+	if !rc.closed {
+		close(rc.stop)
+	}
 	rc.closed = true
 	conns := make([]net.Conn, 0, len(rc.tcs))
 	for _, tc := range rc.tcs {
@@ -201,7 +319,11 @@ func (rc *RC) acceptLoop() {
 // serveTC handles one TC connection for its lifetime.
 func (rc *RC) serveTC(conn net.Conn) {
 	r := bufio.NewScanner(conn)
-	conn.SetReadDeadline(time.Now().Add(rc.hbTimeout))
+	// Registration gets a grace period independent of the (tight) liveness
+	// deadline: a TC dialing into a loaded system may need longer than one
+	// heartbeat interval to get its hello out, and dropping it here would
+	// silently keep a repaired processor out of the pool.
+	conn.SetReadDeadline(time.Now().Add(max(10*rc.hbTimeout, time.Second)))
 	if !r.Scan() {
 		conn.Close()
 		return
@@ -219,7 +341,8 @@ func (rc *RC) serveTC(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	rc.tcs[node] = &tcState{node: node, conn: conn, alive: true}
+	st := &tcState{node: node, conn: conn, alive: true}
+	rc.tcs[node] = st
 	rc.mu.Unlock()
 	rc.emit(Event{Kind: EventTCUp, Node: node})
 	rc.changed()
@@ -228,13 +351,13 @@ func (rc *RC) serveTC(conn net.Conn) {
 		conn.SetReadDeadline(time.Now().Add(rc.hbTimeout))
 		if !r.Scan() {
 			// EOF or heartbeat timeout: the processor failed.
-			rc.onTCLost(node, "connection lost")
+			rc.onTCLost(st, "connection lost")
 			conn.Close()
 			return
 		}
 		var m tcMsg
 		if err := json.Unmarshal(r.Bytes(), &m); err != nil {
-			rc.onTCLost(node, "protocol error")
+			rc.onTCLost(st, "protocol error")
 			conn.Close()
 			return
 		}
@@ -244,7 +367,9 @@ func (rc *RC) serveTC(conn net.Conn) {
 		case "bye":
 			// Graceful deregistration: not a failure.
 			rc.mu.Lock()
-			delete(rc.tcs, node)
+			if rc.tcs[node] == st {
+				delete(rc.tcs, node)
+			}
 			rc.mu.Unlock()
 			rc.emit(Event{Kind: EventTCBye, Node: node})
 			conn.Close()
@@ -253,29 +378,37 @@ func (rc *RC) serveTC(conn net.Conn) {
 	}
 }
 
-// onTCLost runs the paper's five-step failure procedure.
-func (rc *RC) onTCLost(node int, why string) {
+// onTCLost runs the paper's five-step failure procedure for one lost TC
+// registration. Failure detection is per-connection: a loss notice is
+// acted on only while its registration still owns the node's slot. If
+// the node has since re-registered a fresh TC (repaired processors
+// rejoin exactly this way during autonomous recovery), the stale loss
+// must not clobber the new registration's liveness — the blip it
+// reports was already handled, or superseded, when the new TC said
+// hello.
+func (rc *RC) onTCLost(st *tcState, why string) {
+	node := st.node
 	rc.mu.Lock()
-	if rc.closed {
+	if rc.closed || rc.tcs[node] != st {
 		rc.mu.Unlock()
 		return
 	}
-	if tc, ok := rc.tcs[node]; ok {
-		tc.alive = false
-	}
+	st.alive = false
 	// Step 1: which application and TC pool is involved?
 	appName, hasApp := rc.busy[node]
-	var app *appState
-	running := false
+	var handle *drms.Handle
+	var unwound chan struct{}
 	if hasApp {
-		app = rc.apps[appName]
-		running = app != nil && app.status == StatusRunning
+		if app := rc.apps[appName]; app != nil && app.status == StatusRunning {
+			handle = app.handle
+			unwound = app.unwound
+		}
 	}
 	rc.mu.Unlock()
 
 	rc.emit(Event{Kind: EventTCDown, Node: node, Detail: why})
 
-	if running {
+	if handle != nil {
 		// Step 2: kill all other processes of the application — by revoking
 		// its communicator first. Every task's pending and future operation
 		// returns msg.ErrRevoked, so tasks observe the failure and unwind to
@@ -283,12 +416,14 @@ func (rc *RC) onTCLost(node int, why string) {
 		// mid-I/O. (The pool's TC processes are killed and restarted by the
 		// RC; their effect — processors returning to the free pool — happens
 		// in the watcher once the application is down.)
-		app.handle.Kill()
+		handle.Kill()
 		// Steps 3-5 complete in watchApp when the tasks have unwound: the
-		// application is marked terminated, the user informed, and only then
-		// are the surviving processors reclaimed for the free pool. The
-		// failed node stays out of the pool until its TC reconnects.
-		<-app.done
+		// application is marked terminated (or handed to the recovery
+		// supervisor), the user informed, and only then are the surviving
+		// processors reclaimed. We wait on the incarnation's unwind, not
+		// the app's terminal settle: a supervised app may live through
+		// many more incarnations before its done channel ever closes.
+		<-unwound
 	}
 	rc.changed()
 }
@@ -314,10 +449,12 @@ func (rc *RC) availableLocked() []int {
 // Launch starts an application on `tasks` free processors. With restart
 // true the application restores from its latest checkpoint (prefix =
 // spec.Name); reconfigurable applications may restart with any task
-// count.
+// count. A spec with a RecoveryPolicy launches supervised: later
+// failures restart it autonomously instead of settling "terminated".
 func (rc *RC) Launch(spec AppSpec, tasks int, restart bool) error {
 	rc.mu.Lock()
-	if _, exists := rc.apps[spec.Name]; exists && rc.apps[spec.Name].status == StatusRunning {
+	if _, exists := rc.apps[spec.Name]; exists &&
+		(rc.apps[spec.Name].status == StatusRunning || rc.apps[spec.Name].status == StatusRecovering) {
 		rc.mu.Unlock()
 		return fmt.Errorf("coord: application %q already running", spec.Name)
 	}
@@ -326,71 +463,278 @@ func (rc *RC) Launch(spec AppSpec, tasks int, restart bool) error {
 		rc.mu.Unlock()
 		return fmt.Errorf("coord: %d processors requested, %d available", tasks, len(free))
 	}
-	nodes := free[:tasks]
-	cfg := drms.Config{Tasks: tasks, FS: rc.fs, Stream: spec.Stream, SPMDMode: spec.SPMD}
+	restartFrom := ""
 	if restart {
-		cfg.RestartFrom = spec.Name
+		restartFrom = spec.Name
 	}
-	h, err := drms.Start(cfg, spec.Body)
-	if err != nil {
+	app := &appState{spec: spec, status: StatusRunning, done: make(chan struct{}),
+		lastResolved: -2}
+	if spec.Recovery != nil {
+		app.budget = spec.Recovery.withDefaults().Budget
+	}
+	if err := rc.launchIncarnationLocked(app, free[:tasks], restartFrom); err != nil {
 		rc.mu.Unlock()
 		return err
 	}
-	app := &appState{spec: spec, handle: h, nodes: nodes, tasks: tasks,
-		status: StatusRunning, done: make(chan struct{})}
 	rc.apps[spec.Name] = app
-	for _, n := range nodes {
-		rc.busy[n] = spec.Name
-	}
 	rc.mu.Unlock()
 
-	rc.emit(Event{Kind: EventAppStarted, App: spec.Name, Detail: fmt.Sprintf("%d tasks on %v (restart=%v)", tasks, nodes, restart)})
+	rc.emit(Event{Kind: EventAppStarted, App: spec.Name,
+		Detail: fmt.Sprintf("%d tasks on %v (restart=%v)", tasks, app.nodes, restart)})
 	go rc.watchApp(app)
 	return nil
 }
 
-// watchApp settles an application's final state and frees its processors.
-func (rc *RC) watchApp(app *appState) {
-	err := app.handle.Wait()
-
-	rc.mu.Lock()
-	switch {
-	case app.handle.Killed():
-		app.status = StatusTerminated
-		app.err = err
-	case err != nil:
-		app.status = StatusFailed
-		app.err = err
-	default:
-		app.status = StatusFinished
+// launchIncarnationLocked starts one incarnation of an application on
+// the given nodes, restoring from restartFrom ("" = from scratch). It
+// updates the app's handle/pool state and busy map; rc.mu must be held.
+func (rc *RC) launchIncarnationLocked(app *appState, nodes []int, restartFrom string) error {
+	spec := app.spec
+	tasks := len(nodes)
+	supervised := spec.Recovery != nil
+	keep := spec.Keep
+	if supervised && keep < 2 {
+		keep = 2 // a corrupt newest generation needs an older fallback
 	}
-	var freed []int
-	for _, n := range app.nodes {
-		if tc, ok := rc.tcs[n]; ok && tc.alive {
-			delete(rc.busy, n)
-			freed = append(freed, n)
-		} else {
-			// The failed processor: its TC must reconnect (the node be
-			// repaired/rebooted) before it rejoins the pool.
-			delete(rc.busy, n)
+	cfg := drms.Config{Tasks: tasks, FS: rc.fs, Stream: spec.Stream, SPMDMode: spec.SPMD,
+		RestartFrom: restartFrom, Keep: keep, Verify: spec.Verify || supervised}
+	var cell atomic.Pointer[drms.Handle]
+	if spec.FaultNext != nil {
+		if f := spec.FaultNext(app.incarnation, tasks); f != nil {
+			cfg.Fault = f
+			// An injected death must be observable the way a processor
+			// failure is: run step 2 of the §4 procedure (revoke the
+			// communicator) so the whole application unwinds and the
+			// watcher takes over. The handle cell closes the tiny window
+			// between the victim's death and Start returning.
+			cfg.OnFault = func() {
+				for {
+					if h := cell.Load(); h != nil {
+						h.Kill()
+						return
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
 		}
 	}
-	rc.mu.Unlock()
+	h, err := drms.Start(cfg, spec.Body)
+	if err != nil {
+		return err
+	}
+	cell.Store(h)
+	app.handle = h
+	app.nodes = nodes
+	app.tasks = tasks
+	app.unwound = make(chan struct{})
+	for _, n := range nodes {
+		rc.busy[n] = spec.Name
+	}
+	return nil
+}
 
-	kind := EventAppFinished
-	detail := ""
-	if app.status == StatusTerminated {
-		kind = EventAppKilled
-		detail = "terminated by processor failure; restart from checkpoint possible"
-	} else if app.status == StatusFailed && app.err != nil {
-		detail = app.err.Error()
+// watchApp drives an application to its terminal state. For a plain
+// application that is one Wait; for a supervised one it is the recovery
+// loop: each failed incarnation is unwound, its survivors reclaimed,
+// and — budget permitting — a new incarnation launched from the newest
+// verified checkpoint generation.
+func (rc *RC) watchApp(app *appState) {
+	for {
+		err := app.handle.Wait()
+		// A failure event (processor loss, injected fault) shows up as a
+		// revoked/killed unwind; an application returning its own error
+		// is a logic failure and never recovered from.
+		failure := app.handle.Killed() ||
+			errors.Is(err, msg.ErrKilled) || errors.Is(err, msg.ErrRevoked)
+
+		rc.mu.Lock()
+		recovering := failure && app.spec.Recovery != nil && !rc.closed
+		switch {
+		case recovering:
+			app.status = StatusRecovering
+			app.err = err
+		case failure:
+			app.status = StatusTerminated
+			app.err = err
+		case err != nil:
+			app.status = StatusFailed
+			app.err = err
+		default:
+			app.status = StatusFinished
+		}
+		if app.firstCause == nil {
+			app.firstCause = err
+		}
+		var freed []int
+		for _, n := range app.nodes {
+			if tc, ok := rc.tcs[n]; ok && tc.alive {
+				delete(rc.busy, n)
+				freed = append(freed, n)
+			} else {
+				// The failed processor: its TC must reconnect (the node be
+				// repaired/rebooted) before it rejoins the pool.
+				delete(rc.busy, n)
+			}
+		}
+		unwound := app.unwound
+		rc.mu.Unlock()
+
+		kind := EventAppFinished
+		detail := ""
+		switch {
+		case recovering:
+			kind = EventAppKilled
+			detail = "terminated by processor failure; recovery supervisor engaged"
+		case app.status == StatusTerminated:
+			kind = EventAppKilled
+			detail = "terminated by processor failure; restart from checkpoint possible"
+		case app.status == StatusFailed && app.err != nil:
+			detail = app.err.Error()
+		}
+		rc.emit(Event{Kind: kind, App: app.spec.Name, Detail: detail})
+		if len(freed) > 0 {
+			rc.emit(Event{Kind: EventNodesFreed, Detail: fmt.Sprintf("%v", freed)})
+		}
+		// The incarnation is fully down and its survivors reclaimed:
+		// release onTCLost waiters before any recovery work.
+		close(unwound)
+
+		if !recovering {
+			close(app.done)
+			rc.changed()
+			return
+		}
+		if !rc.recoverApp(app, err) {
+			close(app.done)
+			rc.changed()
+			return
+		}
+		// A new incarnation is running; watch it.
 	}
-	rc.emit(Event{Kind: kind, App: app.spec.Name, Detail: detail})
-	if len(freed) > 0 {
-		rc.emit(Event{Kind: EventNodesFreed, Detail: fmt.Sprintf("%v", freed)})
+}
+
+// recoverApp runs the restart cycle for one failure of a supervised
+// application: resolve the newest verified generation (quarantining
+// corrupt ones), pick the next pool per policy, back off, and relaunch —
+// repeating on placement or launch trouble until the budget runs out.
+// Returns true when a new incarnation is running; false when the
+// application settled terminally (stalled, or the RC closed).
+func (rc *RC) recoverApp(app *appState, cause error) bool {
+	policy := app.spec.Recovery.withDefaults()
+	failedAt := time.Now()
+	rc.emit(Event{Kind: EventAppRecovering, App: app.spec.Name,
+		Attempt: app.attempts + 1, Detail: fmt.Sprintf("cause: %v", cause)})
+
+	backoff := policy.Backoff
+	for {
+		// Back off before every attempt (with jitter); give up promptly
+		// if the RC shuts down mid-recovery.
+		t := time.NewTimer(jitter(backoff))
+		select {
+		case <-rc.stop:
+			t.Stop()
+			rc.mu.Lock()
+			app.status = StatusTerminated
+			app.err = cause
+			rc.mu.Unlock()
+			return false
+		case <-t.C:
+		}
+		backoff = min(backoff*2, policy.BackoffMax)
+
+		// The dead incarnation may have been killed mid-checkpoint: sweep
+		// its torn (meta-less) generation first. Safe here — the
+		// incarnation has fully unwound, so no checkpoint is in flight.
+		ckpt.Rotation{Base: app.spec.Name}.CleanIncomplete(rc.fs)
+
+		// Restart point: the newest generation that passes a full
+		// integrity check. Corrupt generations are quarantined (renamed
+		// under ".bad", their numbers burned) and the next older one is
+		// tried. No verifiable checkpoint at all means restarting from
+		// scratch — all progress to date is lost but the run continues.
+		chosen, quarantined, ok, verr := ckpt.ResolveVerified(rc.fs, app.spec.Name)
+		for _, q := range quarantined {
+			d := "failed integrity check; moved aside"
+			if verr != nil {
+				d = verr.Error()
+			}
+			rc.emit(Event{Kind: EventCkptQuarantined, App: app.spec.Name, Detail: d + ": " + q})
+		}
+		restartFrom, gen := "", -1
+		if ok {
+			restartFrom = chosen
+			if _, g, isGen := ckpt.GenOf(chosen); isGen {
+				gen = g
+			}
+		}
+
+		rc.mu.Lock()
+		if verr != nil && app.firstCause == nil {
+			app.firstCause = verr
+		}
+		// Budget: a normal attempt costs 1. An attempt that cannot beat
+		// the last recovery's restart point — same generation again, or
+		// worse after a quarantine — is livelock-shaped (§4 restarts are
+		// only useful when checkpoints advance between failures) and
+		// costs extra, so a crash loop stalls out well before a slowly
+		// progressing application would.
+		cost := 1
+		if app.lastResolved != -2 && gen <= app.lastResolved {
+			cost += policy.StallPenalty
+		}
+		if app.budget < cost {
+			app.status = StatusStalled
+			app.err = fmt.Errorf("coord: recovery budget exhausted after %d restarts of %q (last restart point: gen %d): %w",
+				app.attempts, app.spec.Name, app.lastResolved, app.firstCause)
+			err := app.err
+			rc.mu.Unlock()
+			rc.emit(Event{Kind: EventAppStalled, App: app.spec.Name,
+				Attempt: app.attempts, Gen: gen, Detail: err.Error()})
+			return false
+		}
+		app.budget -= cost
+		app.attempts++
+		app.lastResolved = gen
+
+		// Pool: reconfigure onto whatever the policy picks from the
+		// survivors — equal, smaller, or larger than the last pool.
+		avail := rc.availableLocked()
+		want := policy.Pool(len(avail), app.tasks)
+		if want < 1 || want > len(avail) {
+			rc.mu.Unlock()
+			cause = fmt.Errorf("coord: no viable pool for %q (%d available, policy wants %d)",
+				app.spec.Name, len(avail), want)
+			continue
+		}
+		app.incarnation++
+		if err := rc.launchIncarnationLocked(app, avail[:want], restartFrom); err != nil {
+			app.incarnation--
+			rc.mu.Unlock()
+			cause = err
+			continue
+		}
+		app.status = StatusRunning
+		app.err = nil
+		attempt, inc := app.attempts, app.incarnation
+		rc.mu.Unlock()
+
+		rc.emit(Event{Kind: EventAppRecovered, App: app.spec.Name,
+			Attempt: attempt, Tasks: want, Gen: gen, TTR: time.Since(failedAt),
+			Detail: fmt.Sprintf("incarnation %d on %d tasks from %s", inc, want, restartPoint(restartFrom))})
+		return true
 	}
-	close(app.done)
-	rc.changed()
+}
+
+func restartPoint(prefix string) string {
+	if prefix == "" {
+		return "scratch"
+	}
+	return prefix
+}
+
+// jitter spreads a backoff ±25% so simultaneous recoveries decorrelate.
+func jitter(d time.Duration) time.Duration {
+	return d + time.Duration((rand.Float64()-0.5)*0.5*float64(d))
 }
 
 // App returns a snapshot of the named application.
@@ -402,7 +746,7 @@ func (rc *RC) App(name string) (AppInfo, bool) {
 		return AppInfo{}, false
 	}
 	info := AppInfo{Name: name, Status: app.status, Tasks: app.tasks,
-		Nodes: append([]int(nil), app.nodes...)}
+		Nodes: append([]int(nil), app.nodes...), Incarnation: app.incarnation}
 	if app.err != nil {
 		info.Err = app.err.Error()
 	}
@@ -452,7 +796,11 @@ func (rc *RC) WaitAppSettled(name string, timeout time.Duration) (status AppStat
 	select {
 	case <-app.done:
 	case <-t.C:
-		return StatusRunning, false, nil
+		// Not settled: report the state as it stands — a supervised app
+		// may be "running" again under a new incarnation, or mid-recovery.
+		rc.mu.Lock()
+		defer rc.mu.Unlock()
+		return app.status, false, nil
 	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()

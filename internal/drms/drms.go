@@ -84,8 +84,20 @@ type Config struct {
 	// FS is the parallel file system holding checkpoints.
 	FS *pfs.System
 	// RestartFrom, when non-empty, names the checkpoint prefix to restore
-	// at the application's first SOP.
+	// at the application's first SOP. A user-facing prefix resolves to
+	// its newest committed generation; a generation prefix ("job.g3")
+	// pins the restart to exactly that generation — the recovery
+	// supervisor uses pinning to restart from the newest *verified*
+	// generation after quarantining a corrupt one.
 	RestartFrom string
+	// Keep is how many committed checkpoint generations each prefix
+	// retains (minimum 1, the default). Supervised applications keep at
+	// least 2, so a corrupt newest generation leaves an older fallback.
+	Keep int
+	// Verify makes restores check every streamed piece's CRC as it is
+	// read, surfacing a typed *ckpt.CorruptError naming the guilty
+	// generation and piece instead of loading torn bytes.
+	Verify bool
 	// TCP selects the socket transport instead of in-process channels.
 	TCP bool
 	// Stream tunes the array streaming used by checkpoint and restart.
@@ -99,6 +111,13 @@ type Config struct {
 	// configured operation, or when the injector is armed. The injector
 	// is available on the Handle.
 	Fault *msg.FaultSpec
+	// OnFault, with Fault set, fires exactly once at the moment of the
+	// injected death, from the victim's goroutine, before the victim's
+	// operation returns ErrKilled. The recovery supervisor uses it to run
+	// the paper's failure procedure (revoke the communicator, then
+	// restart) on injected faults; wiring it here, before tasks launch,
+	// avoids the registration race a post-Start OnKill call would have.
+	OnFault func()
 }
 
 // Handle controls a running application (the system side of the
@@ -111,6 +130,34 @@ type Handle struct {
 	stopReq atomic.Bool
 	runner  *msg.Runner
 	fault   *msg.FaultTransport
+	// committed is 1 + the newest generation number this run has
+	// committed (written and promoted) or restored from; 0 = none yet.
+	// The recovery supervisor reads it after a failure to decide whether
+	// the application made checkpoint progress since the last restart —
+	// the livelock signal that burns the retry budget faster.
+	committed atomic.Int64
+}
+
+// noteGeneration records checkpoint progress: the newest generation this
+// run committed or restored.
+func (h *Handle) noteGeneration(prefix string) {
+	if _, g, ok := ckpt.GenOf(prefix); ok {
+		for {
+			cur := h.committed.Load()
+			if int64(g)+1 <= cur || h.committed.CompareAndSwap(cur, int64(g)+1) {
+				return
+			}
+		}
+	}
+}
+
+// CommittedGen reports the newest checkpoint generation number this run
+// has committed (or restored from); ok=false when no rotated generation
+// has been seen. This is the progress signal the recovery supervisor
+// compares across failures.
+func (h *Handle) CommittedGen() (int, bool) {
+	v := h.committed.Load()
+	return int(v - 1), v > 0
 }
 
 // Fault returns the fault injector configured via Config.Fault (nil
@@ -285,7 +332,7 @@ func (t *Task) IncrementalCheckpoint(prefix string) (Status, int, error) {
 // agreed name, no dependence on concurrent file-system scans), and only
 // after the new generation's meta commit are older ones pruned.
 func (t *Task) write(prefix string) error {
-	rot := ckpt.Rotation{Base: prefix, Keep: 1}
+	rot := ckpt.Rotation{Base: prefix, Keep: max(t.cfg.Keep, 1)}
 	var gen string
 	if t.Rank() == 0 {
 		gen = rot.NextPrefix(t.cfg.FS)
@@ -307,6 +354,7 @@ func (t *Task) write(prefix string) error {
 	if t.Rank() == 0 {
 		rot.Prune(t.cfg.FS)
 	}
+	t.handle.noteGeneration(gen)
 	return nil
 }
 
@@ -319,12 +367,14 @@ func (t *Task) restore() (Status, int, error) {
 	if t.cfg.SPMDMode {
 		m, _, err = ckpt.ReadSPMD(t.cfg.FS, t.cfg.RestartFrom, t.comm, t.sg, t.arrays, t.cfg.Stream)
 	} else {
-		m, _, err = ckpt.ReadDRMS(t.cfg.FS, t.cfg.RestartFrom, t.comm, t.sg, t.arrays, t.cfg.Stream)
+		m, _, err = ckpt.ReadDRMSOpts(t.cfg.FS, t.cfg.RestartFrom, t.comm, t.sg, t.arrays,
+			t.cfg.Stream, ckpt.RestoreOptions{Verify: t.cfg.Verify})
 	}
 	if err != nil {
 		return Failed, 0, fmt.Errorf("drms: restoring %q: %w", t.cfg.RestartFrom, err)
 	}
 	t.LastMeta = m
+	t.handle.noteGeneration(t.cfg.RestartFrom)
 	return Restored, t.Tasks() - m.Tasks, nil
 }
 
@@ -341,8 +391,12 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 		// Discard generations torn by the failure being recovered from
 		// (meta-less files), then resolve the user-facing prefix to the
 		// newest committed generation. Safe here: tasks are not running
-		// yet, so no checkpoint is concurrently in progress.
-		ckpt.Rotation{Base: cfg.RestartFrom}.CleanIncomplete(cfg.FS)
+		// yet, so no checkpoint is concurrently in progress. A pinned
+		// generation ("job.g3") skips the cleanup: the caller chose an
+		// exact state, and sibling generations are not ours to touch.
+		if _, _, pinned := ckpt.GenOf(cfg.RestartFrom); !pinned {
+			ckpt.Rotation{Base: cfg.RestartFrom}.CleanIncomplete(cfg.FS)
+		}
 		if p, ok := ckpt.Resolve(cfg.FS, cfg.RestartFrom); ok {
 			cfg.RestartFrom = p
 		}
@@ -363,6 +417,9 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 	h := &Handle{errs: make(chan error, 1), done: make(chan struct{}), runner: runner}
 	if cfg.Fault != nil {
 		h.fault = runner.InjectFault(*cfg.Fault)
+		if cfg.OnFault != nil {
+			h.fault.OnKill(cfg.OnFault)
+		}
 	}
 	body := func(c *msg.Comm) error {
 		t := &Task{comm: c, cfg: cfg, handle: h, sg: seg.New(), pending: cfg.RestartFrom != ""}

@@ -597,3 +597,107 @@ func TestDeclareFromSpecBadInput(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestKeepAndCommittedGen runs with Keep=2, checkpointing three times, and
+// checks (a) the rotation retains exactly the two newest generations,
+// (b) the handle reports the newest committed generation upward — the
+// signal the recovery supervisor uses to tell progress from livelock.
+func TestKeepAndCommittedGen(t *testing.T) {
+	fs := testFS()
+	h, err := Start(Config{Tasks: 2, FS: fs, Keep: 2}, func(tk *Task) error {
+		iter := 0
+		tk.Register("iter", &iter)
+		g := rangeset.Box([]int{0}, []int{7})
+		d, _ := dist.Block(g, []int{2})
+		u, _ := NewArray[float64](tk, "u", d)
+		u.Fill(func(c []int) float64 { return float64(c[0]) })
+		for iter = 0; iter < 3; iter++ {
+			if _, _, err := tk.ReconfigCheckpoint("ck"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.CommittedGen(); ok {
+		t.Fatal("CommittedGen reported a generation before any checkpoint")
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	gens := (ckpt.Rotation{Base: "ck", Keep: 2}).Generations(fs)
+	if len(gens) != 2 || gens[0] != "ck.g1" || gens[1] != "ck.g2" {
+		t.Fatalf("generations after Keep=2 run: %v", gens)
+	}
+	g, ok := h.CommittedGen()
+	if !ok || g != 2 {
+		t.Fatalf("CommittedGen = %d ok=%v, want 2", g, ok)
+	}
+}
+
+// TestRestartFromPinnedGeneration restarts from an explicitly pinned
+// older generation ("ck.gN") rather than the newest, and checks the run
+// resumes from that state — the fallback path the recovery supervisor
+// takes when the newest generation is quarantined.
+func TestRestartFromPinnedGeneration(t *testing.T) {
+	fs := testFS()
+	if err := Run(Config{Tasks: 2, FS: fs, Keep: 3}, func(tk *Task) error {
+		iter := 0
+		tk.Register("iter", &iter)
+		g := rangeset.Box([]int{0}, []int{7})
+		d, _ := dist.Block(g, []int{2})
+		u, _ := NewArray[float64](tk, "u", d)
+		u.Fill(func(c []int) float64 { return float64(c[0]) })
+		for iter = 10; iter < 13; iter++ {
+			if _, _, err := tk.ReconfigCheckpoint("ck"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Three generations committed with iter = 10, 11, 12. Pin the middle.
+	var restored int
+	h, err := Start(Config{Tasks: 3, FS: fs, RestartFrom: "ck.g1", Verify: true},
+		func(tk *Task) error {
+			iter := 0
+			tk.Register("iter", &iter)
+			g := rangeset.Box([]int{0}, []int{7})
+			d, _ := dist.Block(g, []int{3})
+			if _, err := NewArray[float64](tk, "u", d); err != nil {
+				return err
+			}
+			status, _, err := tk.ReconfigCheckpoint("ck")
+			if err != nil {
+				return err
+			}
+			if status != Restored {
+				return fmt.Errorf("pinned restart status %v", status)
+			}
+			if tk.Rank() == 0 {
+				restored = iter
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if restored != 11 {
+		t.Fatalf("pinned restart restored iter=%d, want 11 (generation g1)", restored)
+	}
+	if g, ok := h.CommittedGen(); !ok || g != 1 {
+		t.Fatalf("CommittedGen after pinned restore = %d ok=%v, want 1", g, ok)
+	}
+	// Pinning must not clean or disturb sibling generations.
+	for _, p := range []string{"ck.g0", "ck.g1", "ck.g2"} {
+		if !ckpt.Exists(fs, p) {
+			t.Fatalf("pinned restart disturbed sibling generation %s", p)
+		}
+	}
+}

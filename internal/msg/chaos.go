@@ -1,0 +1,64 @@
+package msg
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// ChaosPlan derives a replayable sequence of fault injections from a
+// seed: each Next call yields the FaultSpec for one incarnation of an
+// application — a random victim rank and a random operation count at
+// which it dies. The soak harness and the recovery supervisor share one
+// plan so the same seed replays the same kill schedule across restarts,
+// pool reconfigurations included (the victim is drawn modulo the pool
+// size current at each incarnation). A kill budget bounds the chaos:
+// once Kills hits Budget, Next returns nil and the run is left alone to
+// converge.
+type ChaosPlan struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	budget int
+	kills  int
+	opLo   int64 // inclusive bounds on the fatal operation count
+	opHi   int64
+}
+
+// NewChaosPlan builds a plan killing up to budget incarnations, each at
+// a uniformly random transport-operation count in [opLo, opHi]. The low
+// bound should sit above the collective fan-in of a restore so the
+// victim survives its own recovery at least sometimes; a tight low
+// bound (a handful of ops) kills during recovery itself — both regimes
+// are valid chaos, chosen by the bounds.
+func NewChaosPlan(seed int64, budget int, opLo, opHi int64) *ChaosPlan {
+	if opLo < 1 {
+		opLo = 1
+	}
+	if opHi < opLo {
+		opHi = opLo
+	}
+	return &ChaosPlan{rng: rand.New(rand.NewSource(seed)), budget: budget, opLo: opLo, opHi: opHi}
+}
+
+// Next draws the fault for the next incarnation on a pool of the given
+// size, or nil when the kill budget is exhausted (or tasks < 1). The
+// sequence of draws is a pure function of the seed and the successive
+// tasks arguments.
+func (p *ChaosPlan) Next(tasks int) *FaultSpec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.kills >= p.budget || tasks < 1 {
+		return nil
+	}
+	p.kills++
+	return &FaultSpec{
+		Victim: p.rng.Intn(tasks),
+		AtOp:   p.opLo + p.rng.Int63n(p.opHi-p.opLo+1),
+	}
+}
+
+// Kills reports how many fault specs the plan has issued.
+func (p *ChaosPlan) Kills() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.kills
+}

@@ -305,3 +305,43 @@ func TestWithContextCancelPropagatesToCollectives(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestChaosPlanReplaysFromSeed checks a chaos plan is a pure function of
+// its seed and the successive pool sizes: the same seed replays the same
+// kill schedule, the budget bounds the kills, and victims always fit the
+// pool they were drawn for.
+func TestChaosPlanReplaysFromSeed(t *testing.T) {
+	pools := []int{8, 4, 4, 8, 2, 6, 3}
+	draw := func() []FaultSpec {
+		p := NewChaosPlan(42, 5, 10, 300)
+		var specs []FaultSpec
+		for _, n := range pools {
+			if s := p.Next(n); s != nil {
+				specs = append(specs, *s)
+			}
+		}
+		if p.Kills() != 5 {
+			t.Fatalf("Kills = %d, want budget 5", p.Kills())
+		}
+		return specs
+	}
+	a, b := draw(), draw()
+	if len(a) != 5 {
+		t.Fatalf("budget 5 issued %d specs", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across replays: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Victim < 0 || a[i].Victim >= pools[i] {
+			t.Fatalf("draw %d victim %d outside pool of %d", i, a[i].Victim, pools[i])
+		}
+		if a[i].AtOp < 10 || a[i].AtOp > 300 {
+			t.Fatalf("draw %d AtOp %d outside [10,300]", i, a[i].AtOp)
+		}
+	}
+	if NewChaosPlan(43, 5, 10, 300).Next(8).AtOp == a[0].AtOp &&
+		NewChaosPlan(43, 5, 10, 300).Next(8).Victim == a[0].Victim {
+		t.Fatal("different seeds produced an identical first draw (suspicious)")
+	}
+}
