@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet lint test race chaos bench
+.PHONY: check fmt vet lint test race chaos bench smoke
 
 # The full pre-merge gauntlet: formatting, static checks, all tests,
-# and the race detector over the concurrency-bearing packages.
-check: fmt vet lint test race
+# the race detector over the concurrency-bearing packages, and the
+# observability scrape smoke test.
+check: fmt vet lint test race smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,6 +23,9 @@ lint:
 	@out=$$(grep -rn 'panic(' --include='*.go' internal/msg internal/stream internal/ckpt | grep -v '_test\.go' || true); \
 	if [ -n "$$out" ]; then \
 		echo "panic() in fallible runtime code (must return errors):"; echo "$$out"; exit 1; fi
+	@out=$$(grep -rn '"drms/' --include='*.go' internal/obs || true); \
+	if [ -n "$$out" ]; then \
+		echo "internal/obs must stay stdlib-only (every layer imports it):"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -32,7 +36,7 @@ test:
 # coordinator's heartbeat/revocation path.
 race:
 	$(GO) test -race ./internal/stream ./internal/array ./internal/msg \
-		./internal/ckpt ./internal/drms ./internal/coord
+		./internal/ckpt ./internal/drms ./internal/coord ./internal/obs
 
 # The chaos soak: the recovery supervisor under a seeded fault injector
 # that kills random ranks mid-compute, mid-checkpoint, and during
@@ -43,6 +47,13 @@ chaos:
 	$(GO) test -race -count=1 -timeout 110s \
 		-run 'TestChaosSoakConvergesUnderRandomKills|TestSupervisor' \
 		./internal/coord
+
+# The scrape smoke test: the full daemon stack through a
+# checkpoint/fail/recover cycle with /metrics, /healthz, and the stats
+# op asserted at the end — the live proof that the instrumentation
+# observes what the system actually does.
+smoke:
+	$(GO) test -count=1 -run TestDaemonObservabilityEndToEnd ./cmd/drmsd
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

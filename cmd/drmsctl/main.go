@@ -31,7 +31,7 @@ func main() {
 	scenario := flag.String("scenario", "failure", "local demo: failure, reconfigure, or schedule")
 	nodes := flag.Int("nodes", 4, "processors in the machine (local demos)")
 	connect := flag.String("connect", "", "address of a running drmsd; switches to remote mode")
-	op := flag.String("op", "apps", "remote op: nodes, apps, status, wait, submit, checkpoint, stop, reconfigure, failnode, verify, events")
+	op := flag.String("op", "apps", "remote op: nodes, apps, status, wait, submit, checkpoint, stop, reconfigure, failnode, verify, events, stats")
 	name := flag.String("name", "", "remote: application name")
 	kernel := flag.String("kernel", "bt", "remote submit: bt, lu, sp")
 	class := flag.String("class", "S", "remote submit: problem class")
@@ -188,6 +188,10 @@ func remote(addr string, req coord.Request) {
 		for _, e := range resp.Events {
 			fmt.Printf("%-14s app=%-8s node=%d %s%s\n", e.Kind, e.App, e.Node, e.Detail, recoveryInfo(e))
 		}
+	case "stats":
+		// The daemon's metrics registry in the Prometheus text format —
+		// the same snapshot the -obs listener serves at /metrics.
+		fmt.Print(resp.Stats)
 	default:
 		fmt.Println("ok")
 	}

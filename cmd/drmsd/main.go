@@ -23,11 +23,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"drms/internal/coord"
+	"drms/internal/obs"
 	"drms/internal/pfs"
 )
 
@@ -39,6 +42,7 @@ func main() {
 	autoRecover := flag.Bool("auto-recover", false, "supervise submitted jobs: restart from the newest verified checkpoint after failures")
 	maxRetries := flag.Int("max-retries", 5, "restart budget per supervised job before it is declared stalled")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "initial restart backoff; doubles per attempt with jitter")
+	obsAddr := flag.String("obs", "", "observability listen address (e.g. 127.0.0.1:9090): serves /metrics, /healthz, and /debug/pprof; off when empty")
 	flag.Parse()
 
 	fs := pfs.NewSystem(pfs.DefaultConfig())
@@ -67,6 +71,18 @@ func main() {
 	addr, err := srv.Serve(*listen)
 	check(err)
 	defer srv.Close()
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		check(err)
+		defer ln.Close()
+		go http.Serve(ln, obs.Default.Handler(func() error {
+			if rc.Closed() {
+				return fmt.Errorf("resource coordinator is shut down")
+			}
+			return nil
+		}))
+		fmt.Printf("drmsd: observability on http://%s/metrics\n", ln.Addr())
+	}
 	mode := ""
 	if *autoRecover {
 		mode = fmt.Sprintf(", auto-recover on (budget %d, backoff %s)", *maxRetries, *backoff)

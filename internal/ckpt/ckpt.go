@@ -33,6 +33,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"time"
 
 	"drms/internal/msg"
 	"drms/internal/pfs"
@@ -135,9 +136,10 @@ func WriteDRMSIncremental(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg
 	return writeDRMS(fs, prefix, comm, sg, arrays, o, prev)
 }
 
-func writeDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options, prev *Meta) (Stats, error) {
-	var st Stats
+func writeDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options, prev *Meta) (st Stats, err error) {
 	me := comm.Rank()
+	start := time.Now()
+	defer func() { observeWrite(me, st, start, err) }()
 	sg.Ctx.Tasks = comm.Size()
 
 	// Phase 1: the selected task writes its data segment (§5: "one task
@@ -282,9 +284,10 @@ func ReadDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, ar
 
 // ReadDRMSOpts is ReadDRMS with restore options (piece-level
 // verification).
-func ReadDRMSOpts(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options, ro RestoreOptions) (Meta, Stats, error) {
-	var st Stats
-	m, err := ReadMeta(fs, prefix, comm.Rank())
+func ReadDRMSOpts(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options, ro RestoreOptions) (m Meta, st Stats, err error) {
+	start := time.Now()
+	defer func() { observeRead(comm.Rank(), start, err) }()
+	m, err = ReadMeta(fs, prefix, comm.Rank())
 	if err != nil {
 		return m, st, err
 	}
@@ -387,9 +390,10 @@ func ReadDRMSOpts(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment
 // WriteSPMD takes a conventional checkpoint: every task writes its entire
 // data segment — variables, context, and the raw storage of its local
 // array sections — to its own file. Collective.
-func WriteSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options) (Stats, error) {
-	var st Stats
+func WriteSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options) (st Stats, err error) {
 	me := comm.Rank()
+	start := time.Now()
+	defer func() { observeWrite(me, st, start, err) }()
 	sg.Ctx.Tasks = comm.Size()
 
 	fs.BeginPhase("segment")
@@ -440,10 +444,11 @@ func WriteSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 
 // ReadSPMD restores a conventional checkpoint. The task count must equal
 // the checkpointing task count — SPMD checkpoints are not reconfigurable.
-func ReadSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options) (Meta, Stats, error) {
-	var st Stats
+func ReadSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options) (m Meta, st Stats, err error) {
 	me := comm.Rank()
-	m, err := ReadMeta(fs, prefix, me)
+	start := time.Now()
+	defer func() { observeRead(me, start, err) }()
+	m, err = ReadMeta(fs, prefix, me)
 	if err != nil {
 		return m, st, err
 	}

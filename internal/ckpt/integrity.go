@@ -177,8 +177,11 @@ func (e *CorruptError) Error() string {
 }
 
 // corrupt builds a CorruptError for a file of the given checkpoint,
-// deriving the generation number from the prefix.
+// deriving the generation number from the prefix. Every integrity
+// failure flows through here, so this is also where the verify-failure
+// counter ticks.
 func corrupt(prefix, file string, piece int, format string, args ...any) *CorruptError {
+	ckptVerifyFailures.Inc()
 	gen := -1
 	if _, g, ok := GenOf(prefix); ok {
 		gen = g

@@ -179,6 +179,9 @@ func Quarantine(fs *pfs.System, prefix string) []string {
 			moved = append(moved, dst)
 		}
 	}
+	if len(moved) > 0 {
+		ckptQuarantines.Inc()
+	}
 	return moved
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"drms/internal/apps"
 	"drms/internal/ckpt"
+	"drms/internal/obs"
 )
 
 // The control protocol is the UIC surface of Figure 6 in daemon form: a
@@ -20,6 +21,14 @@ import (
 // applications, arm system-initiated checkpoints, stop and reconfigure
 // jobs, verify archived state, and (for failure drills) take a processor
 // down. cmd/drmsd serves it; drmsctl -connect speaks it.
+
+// maxProtoLine bounds one JSON line on the coordination wire — both the
+// control protocol (requests carry application specs, responses carry
+// event batches) and the RC/TC channel. The bufio.Scanner default of
+// 64 KiB silently kills the connection under a large message as a
+// spurious "protocol error"; 16 MiB comfortably covers any spec or
+// event batch while still bounding a hostile peer's memory use.
+const maxProtoLine = 16 << 20
 
 // Request is one control message.
 type Request struct {
@@ -53,6 +62,10 @@ type Response struct {
 	App    *AppInfo  `json:"app,omitempty"`
 	Events []Event   `json:"events,omitempty"`
 	Queued int       `json:"queued,omitempty"`
+	// Stats is the "stats" op's snapshot of the daemon's metrics
+	// registry, rendered in the Prometheus text format — the same view
+	// the opt-in /metrics listener serves.
+	Stats string `json:"stats,omitempty"`
 }
 
 // ControlServer exposes an RC/JSA pair over the control protocol.
@@ -116,7 +129,7 @@ func (s *ControlServer) Close() {
 func (s *ControlServer) serveConn(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), maxProtoLine)
 	enc := json.NewEncoder(conn)
 	for sc.Scan() {
 		var req Request
@@ -254,6 +267,12 @@ func (s *ControlServer) handle(req Request) Response {
 		s.events = nil
 		s.mu.Unlock()
 		return Response{OK: true, Events: evs}
+
+	case "stats":
+		// Snapshot of the daemon's metrics registry (drmsctl -op stats):
+		// checkpoint/recovery latency histograms, plan-cache hit rates,
+		// pool size — the Tables 3-5 quantities, live.
+		return Response{OK: true, Stats: obs.Default.Render()}
 	}
 	return fail(fmt.Errorf("unknown op %q", req.Op))
 }
@@ -288,7 +307,7 @@ func DialControl(addr string) (*ControlClient, error) {
 		return nil, err
 	}
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), maxProtoLine)
 	return &ControlClient{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
 }
 
@@ -325,36 +344,82 @@ func (c *ControlClient) WaitStatus(name string, timeout time.Duration) (AppStatu
 	return c.WaitStatusCtx(ctx, name)
 }
 
-// WaitStatusCtx is WaitStatus bounded by a caller-supplied context. The
-// context deadline becomes both the server-side wait bound and the
-// connection's read deadline, so even a hung server cannot block the
-// caller past it.
+// waitChunk bounds one server-side park of the chunked wait loop; a
+// package variable so tests can compress the loop.
+var waitChunk = 10 * time.Second
+
+// WaitStatusCtx is WaitStatus bounded by a caller-supplied context. A
+// context without a deadline waits indefinitely — the wait is a loop of
+// bounded server-side parks (each one event-driven, no polling between
+// round trips), re-parking as long as the application is running. The
+// context is honored throughout: cancellation interrupts even a
+// mid-flight round trip, at the cost of the connection (an interrupted
+// read leaves the protocol stream unsynchronized, so the client must
+// redial for further requests).
 func (c *ControlClient) WaitStatusCtx(ctx context.Context, name string) (AppStatus, error) {
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
+	start := time.Now()
 	deadline, bounded := ctx.Deadline()
-	if !bounded {
-		deadline = time.Now().Add(24 * time.Hour)
+	for {
+		chunk := waitChunk
+		if bounded {
+			if remain := time.Until(deadline); remain < chunk {
+				chunk = remain
+			}
+		}
+		ms := chunk.Milliseconds()
+		if ms <= 0 {
+			ms = 1 // the server treats <=0 as "pick a default"
+		}
+		resp, err := c.doInterruptible(ctx, Request{Op: "wait", Name: name, TimeoutMS: ms})
+		if err != nil {
+			if ctx.Err() != nil {
+				return "", ctx.Err()
+			}
+			return "", err
+		}
+		if resp.App == nil {
+			return "", fmt.Errorf("coord: wait reply carries no application state")
+		}
+		if resp.App.Status != StatusRunning {
+			return resp.App.Status, nil
+		}
+		if bounded && time.Until(deadline) <= 0 {
+			return StatusRunning, fmt.Errorf("coord: %q still running after %v",
+				name, time.Since(start).Round(time.Millisecond))
+		}
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
 	}
-	remain := time.Until(deadline)
-	if remain <= 0 {
-		return "", context.DeadlineExceeded
+}
+
+// doInterruptible is Do with cancellation. A healthy round trip is
+// untouched; once ctx is done a watcher gives the in-flight reply one
+// second of wire grace (the server replies at its own bound, so a
+// bounded wait's final answer is never cut off) and then closes the
+// connection to force the blocked read to return.
+func (c *ControlClient) doInterruptible(ctx context.Context, req Request) (Response, error) {
+	if ctx.Done() == nil {
+		return c.Do(req)
 	}
-	// The server replies at its own bound; the extra second covers the
-	// wire so a healthy reply is never cut off by our deadline.
-	c.conn.SetReadDeadline(deadline.Add(time.Second))
-	defer c.conn.SetReadDeadline(time.Time{})
-	resp, err := c.Do(Request{Op: "wait", Name: name, TimeoutMS: remain.Milliseconds()})
-	if err != nil {
-		return "", err
-	}
-	if resp.App == nil {
-		return "", fmt.Errorf("coord: wait reply carries no application state")
-	}
-	if resp.App.Status == StatusRunning {
-		return StatusRunning, fmt.Errorf("coord: %q still running after %v",
-			name, remain.Round(time.Millisecond))
-	}
-	return resp.App.Status, nil
+	finished := make(chan struct{})
+	defer close(finished)
+	go func() {
+		select {
+		case <-finished:
+			return
+		case <-ctx.Done():
+		}
+		grace := time.NewTimer(time.Second)
+		defer grace.Stop()
+		select {
+		case <-finished:
+		case <-grace.C:
+			c.conn.Close()
+		}
+	}()
+	return c.Do(req)
 }

@@ -1,0 +1,52 @@
+package coord
+
+import "drms/internal/obs"
+
+// Control-plane metrics (drms_coord_*). Gauges reflect the most recent
+// RC update in this process: drmsd runs exactly one RC, so they are the
+// daemon's pool and application state; tests running several RCs see
+// last-writer-wins values and assert counter deltas instead.
+var (
+	coordTCsLive = obs.GetGauge("drms_coord_tcs_live",
+		"Task coordinators with a live registration (the processor pool size).")
+	coordAppsRunning = obs.GetGauge("drms_coord_apps_running",
+		"Applications currently in the running state.")
+	coordTCFailures = obs.GetCounter("drms_coord_tc_failures_total",
+		"Processor failures detected (heartbeat timeout or connection loss).")
+	coordRecoveryAttempts = obs.GetCounter("drms_coord_recovery_attempts_total",
+		"Restart attempts charged against recovery budgets.")
+	coordRecoveries = obs.GetCounter("drms_coord_recoveries_total",
+		"Successful autonomous recoveries (a new incarnation running).")
+	coordStalls = obs.GetCounter("drms_coord_stalls_total",
+		"Supervised applications that exhausted their recovery budget.")
+	coordRecoverySeconds = obs.GetHistogram("drms_coord_recovery_seconds",
+		"Failure-to-recovery latency (TTR, Tables 3-5).", obs.LatencyBuckets)
+	coordLastTTR = obs.GetGauge("drms_coord_last_ttr_seconds",
+		"TTR of the most recent successful recovery.")
+	coordRestartGen = obs.GetGauge("drms_coord_restart_generation",
+		"Checkpoint generation the last recovery restarted from (-1 = scratch).")
+	coordRestartGenAge = obs.GetGauge("drms_coord_restart_gen_age_seconds",
+		"Age of the restart point at the last recovery: seconds from its commit to the relaunch.")
+	coordEventsDropped = obs.GetCounter("drms_coord_events_dropped_total",
+		"Control-plane events dropped on slow consumers (non-terminal only; coalesced oldest-first).")
+	coordTerminalEventsDropped = obs.GetCounter("drms_coord_terminal_events_dropped_total",
+		"Terminal/settle events dropped — must stay 0; delivery of terminal telemetry is guaranteed.")
+)
+
+// statsLocked refreshes the pool/application gauges. rc.mu must be held.
+func (rc *RC) statsLocked() {
+	live := 0
+	for _, tc := range rc.tcs {
+		if tc.alive {
+			live++
+		}
+	}
+	coordTCsLive.Set(float64(live))
+	running := 0
+	for _, app := range rc.apps {
+		if app.status == StatusRunning {
+			running++
+		}
+	}
+	coordAppsRunning.Set(float64(running))
+}

@@ -216,8 +216,11 @@ type RC struct {
 	fs        *pfs.System
 	ln        net.Listener
 	hbTimeout time.Duration
-	events    chan Event
 	stop      chan struct{} // closed by Close; aborts recovery backoffs
+
+	subMu      sync.Mutex
+	subs       []*eventSub
+	defaultSub *eventSub
 
 	mu     sync.Mutex
 	tcs    map[int]*tcState
@@ -239,12 +242,13 @@ func NewRC(fs *pfs.System, hbTimeout time.Duration) (*RC, error) {
 		fs:        fs,
 		ln:        ln,
 		hbTimeout: hbTimeout,
-		events:    make(chan Event, 1024),
 		stop:      make(chan struct{}),
 		tcs:       make(map[int]*tcState),
 		apps:      make(map[string]*appState),
 		busy:      make(map[int]string),
 	}
+	rc.defaultSub = newEventSub(defaultEventBound)
+	rc.subs = append(rc.subs, rc.defaultSub)
 	go rc.acceptLoop()
 	return rc, nil
 }
@@ -253,7 +257,13 @@ func NewRC(fs *pfs.System, hbTimeout time.Duration) (*RC, error) {
 func (rc *RC) Addr() string { return rc.ln.Addr().String() }
 
 // Events returns the notification stream (the user-interface channel).
-func (rc *RC) Events() <-chan Event { return rc.events }
+// Delivery is two-tier: terminal/settle events (app-finished,
+// app-killed, app-stalled, ckpt-quarantined) are never dropped however
+// slow the consumer; non-terminal events are coalesced oldest-first
+// once a bounded backlog fills, each drop counted in
+// drms_coord_events_dropped_total. Use Subscribe for an independent
+// stream.
+func (rc *RC) Events() <-chan Event { return rc.defaultSub.ch }
 
 // OnChange registers a callback invoked (without locks held) whenever
 // processors become available; the JSA uses it to dispatch queued jobs.
@@ -282,13 +292,20 @@ func (rc *RC) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	rc.subMu.Lock()
+	subs := append([]*eventSub(nil), rc.subs...)
+	rc.subMu.Unlock()
+	for _, s := range subs {
+		s.close()
+	}
 }
 
-func (rc *RC) emit(e Event) {
-	select {
-	case rc.events <- e:
-	default: // never block the control plane on a slow consumer
-	}
+// Closed reports whether Close has been called (the daemon's liveness
+// probe).
+func (rc *RC) Closed() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.closed
 }
 
 func (rc *RC) changed() {
@@ -319,6 +336,10 @@ func (rc *RC) acceptLoop() {
 // serveTC handles one TC connection for its lifetime.
 func (rc *RC) serveTC(conn net.Conn) {
 	r := bufio.NewScanner(conn)
+	// Explicit line bound: the default 64 KiB cap would kill the
+	// connection under a large JSON message as a spurious "protocol
+	// error" (same bound as the control protocol).
+	r.Buffer(make([]byte, 64<<10), maxProtoLine)
 	// Registration gets a grace period independent of the (tight) liveness
 	// deadline: a TC dialing into a loaded system may need longer than one
 	// heartbeat interval to get its hello out, and dropping it here would
@@ -341,9 +362,19 @@ func (rc *RC) serveTC(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	// Same-node re-registration supersedes the old TC: close its
+	// connection now so the old conn and its serveTC goroutine are
+	// released immediately instead of leaking until the heartbeat
+	// timeout. The old goroutine's loss notice is a no-op — onTCLost
+	// acts only while its registration still owns the node's slot.
+	old := rc.tcs[node]
 	st := &tcState{node: node, conn: conn, alive: true}
 	rc.tcs[node] = st
+	rc.statsLocked()
 	rc.mu.Unlock()
+	if old != nil && old.conn != nil && old.conn != conn {
+		old.conn.Close()
+	}
 	rc.emit(Event{Kind: EventTCUp, Node: node})
 	rc.changed()
 
@@ -370,6 +401,7 @@ func (rc *RC) serveTC(conn net.Conn) {
 			if rc.tcs[node] == st {
 				delete(rc.tcs, node)
 			}
+			rc.statsLocked()
 			rc.mu.Unlock()
 			rc.emit(Event{Kind: EventTCBye, Node: node})
 			conn.Close()
@@ -394,6 +426,8 @@ func (rc *RC) onTCLost(st *tcState, why string) {
 		return
 	}
 	st.alive = false
+	coordTCFailures.Inc()
+	rc.statsLocked()
 	// Step 1: which application and TC pool is involved?
 	appName, hasApp := rc.busy[node]
 	var handle *drms.Handle
@@ -477,6 +511,7 @@ func (rc *RC) Launch(spec AppSpec, tasks int, restart bool) error {
 		return err
 	}
 	rc.apps[spec.Name] = app
+	rc.statsLocked()
 	rc.mu.Unlock()
 
 	rc.emit(Event{Kind: EventAppStarted, App: spec.Name,
@@ -577,6 +612,7 @@ func (rc *RC) watchApp(app *appState) {
 			}
 		}
 		unwound := app.unwound
+		rc.statsLocked()
 		rc.mu.Unlock()
 
 		kind := EventAppFinished
@@ -687,6 +723,8 @@ func (rc *RC) recoverApp(app *appState, cause error) bool {
 			app.err = fmt.Errorf("coord: recovery budget exhausted after %d restarts of %q (last restart point: gen %d): %w",
 				app.attempts, app.spec.Name, app.lastResolved, app.firstCause)
 			err := app.err
+			coordStalls.Inc()
+			rc.statsLocked()
 			rc.mu.Unlock()
 			rc.emit(Event{Kind: EventAppStalled, App: app.spec.Name,
 				Attempt: app.attempts, Gen: gen, Detail: err.Error()})
@@ -695,6 +733,7 @@ func (rc *RC) recoverApp(app *appState, cause error) bool {
 		app.budget -= cost
 		app.attempts++
 		app.lastResolved = gen
+		coordRecoveryAttempts.Inc()
 
 		// Pool: reconfigure onto whatever the policy picks from the
 		// survivors — equal, smaller, or larger than the last pool.
@@ -716,10 +755,22 @@ func (rc *RC) recoverApp(app *appState, cause error) bool {
 		app.status = StatusRunning
 		app.err = nil
 		attempt, inc := app.attempts, app.incarnation
+		rc.statsLocked()
 		rc.mu.Unlock()
 
+		// Stamp the recovery telemetry the paper's Tables 3-5 measure:
+		// TTR, the generation restarted from, and how stale that restart
+		// point was at relaunch time (the work-lost bound).
+		ttr := time.Since(failedAt)
+		coordRecoveries.Inc()
+		coordRecoverySeconds.Observe(ttr.Seconds())
+		coordLastTTR.Set(ttr.Seconds())
+		coordRestartGen.Set(float64(gen))
+		if commit := ckpt.LastCommitTime(); !commit.IsZero() && gen >= 0 {
+			coordRestartGenAge.Set(time.Since(commit).Seconds())
+		}
 		rc.emit(Event{Kind: EventAppRecovered, App: app.spec.Name,
-			Attempt: attempt, Tasks: want, Gen: gen, TTR: time.Since(failedAt),
+			Attempt: attempt, Tasks: want, Gen: gen, TTR: ttr,
 			Detail: fmt.Sprintf("incarnation %d on %d tasks from %s", inc, want, restartPoint(restartFrom))})
 		return true
 	}

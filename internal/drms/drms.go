@@ -321,6 +321,9 @@ func (t *Task) IncrementalCheckpoint(prefix string) (Status, int, error) {
 	if _, err := ckpt.WriteDRMSIncremental(t.cfg.FS, target, t.comm, t.sg, t.arrays, t.cfg.Stream); err != nil {
 		return Failed, 0, err
 	}
+	if t.Rank() == 0 {
+		rtsCheckpoints.Inc()
+	}
 	return Continued, 0, nil
 }
 
@@ -353,6 +356,7 @@ func (t *Task) write(prefix string) error {
 	}
 	if t.Rank() == 0 {
 		rot.Prune(t.cfg.FS)
+		rtsCheckpoints.Inc()
 	}
 	t.handle.noteGeneration(gen)
 	return nil
@@ -375,6 +379,10 @@ func (t *Task) restore() (Status, int, error) {
 	}
 	t.LastMeta = m
 	t.handle.noteGeneration(t.cfg.RestartFrom)
+	if t.Rank() == 0 {
+		rtsRestores.Inc()
+		rtsLastReconfigDelta.Set(float64(t.Tasks() - m.Tasks))
+	}
 	return Restored, t.Tasks() - m.Tasks, nil
 }
 

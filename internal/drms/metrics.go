@@ -1,0 +1,15 @@
+package drms
+
+import "drms/internal/obs"
+
+// Runtime-system metrics (drms_rts_*): the SOP-level view, one tier
+// above ckpt's per-file timings. Observed on rank 0 only, so one
+// collective operation counts once.
+var (
+	rtsCheckpoints = obs.GetCounter("drms_rts_checkpoints_total",
+		"SOP checkpoints committed (ReconfigCheckpoint/ChkEnable/Incremental).")
+	rtsRestores = obs.GetCounter("drms_rts_restores_total",
+		"SOP restores completed (restarted incarnations reaching Restored).")
+	rtsLastReconfigDelta = obs.GetGauge("drms_rts_last_reconfig_delta",
+		"Task-count delta of the last restore: current tasks - checkpointing tasks.")
+)

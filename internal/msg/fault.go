@@ -82,6 +82,7 @@ func (t *FaultTransport) check(rank int) error {
 	t.dead = true
 	hook := t.onKill
 	t.mu.Unlock()
+	msgFaultsInjected.Inc()
 	if hook != nil {
 		hook()
 	}

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Sentinel errors of the substrate. Operations wrap these, so callers
@@ -170,7 +171,13 @@ func (c *Comm) send(dst, tag int, data []byte) error {
 			return fmt.Errorf("msg: send %d->%d: %w", c.rank, dst, err)
 		}
 	}
-	return c.tr.Send(c.rank, dst, tag, data)
+	if err := c.tr.Send(c.rank, dst, tag, data); err != nil {
+		msgOpErrors.Inc()
+		return err
+	}
+	msgSends.Inc()
+	msgSendBytes.Add(uint64(len(data)))
+	return nil
 }
 
 func (c *Comm) recv(src, tag int) ([]byte, error) {
@@ -179,11 +186,14 @@ func (c *Comm) recv(src, tag int) ([]byte, error) {
 	}
 	m, err := c.tr.Recv(c.rank, src, tag, c.cancelCh())
 	if err != nil {
+		msgOpErrors.Inc()
 		if errors.Is(err, errRecvCanceled) && c.ctx != nil {
 			return nil, fmt.Errorf("msg: recv %d<-%d: %w", c.rank, src, c.ctx.Err())
 		}
 		return nil, err
 	}
+	msgRecvs.Inc()
+	msgRecvBytes.Add(uint64(len(m)))
 	return m, nil
 }
 
@@ -207,6 +217,7 @@ const (
 // Barrier blocks until every task has entered the barrier. It uses the
 // dissemination algorithm: ceil(log2 n) rounds of pairwise signals.
 func (c *Comm) Barrier() error {
+	defer observeCollective(time.Now())
 	tag := c.collTag(opBarrier)
 	// One tag serves every round: the partner ranks differ per round
 	// (distinct powers of two are never congruent mod size), so (src, tag)
@@ -228,6 +239,7 @@ func (c *Comm) Barrier() error {
 // callers pass nil (any value they pass is ignored). A binomial tree is
 // used, as on the SP.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	defer observeCollective(time.Now())
 	tag := c.collTag(opBcast)
 	rel := (c.rank - root + c.size) % c.size // rank relative to root
 	if rel != 0 {
@@ -250,6 +262,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // Gather collects each task's buffer at root. At root the result has one
 // entry per rank (entry i from rank i); elsewhere it is nil.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	defer observeCollective(time.Now())
 	tag := c.collTag(opGather)
 	if c.rank != root {
 		if err := c.send(root, tag, data); err != nil {
@@ -297,6 +310,7 @@ func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 // task. Entries may be nil/empty. This is the workhorse of array
 // redistribution.
 func (c *Comm) Alltoall(send [][]byte) ([][]byte, error) {
+	defer observeCollective(time.Now())
 	if len(send) != c.size {
 		return nil, fmt.Errorf("msg: Alltoall with %d buffers for %d ranks", len(send), c.size)
 	}
@@ -333,6 +347,7 @@ func (c *Comm) Alltoall(send [][]byte) ([][]byte, error) {
 // if sendTo[rank] is set. Result entries for inactive peers are nil.
 // Collective: every task must call it, even with all-false masks.
 func (c *Comm) AlltoallSparse(send [][]byte, sendTo, recvFrom []bool) ([][]byte, error) {
+	defer observeCollective(time.Now())
 	if len(send) != c.size || len(sendTo) != c.size || len(recvFrom) != c.size {
 		return nil, fmt.Errorf("msg: AlltoallSparse with %d/%d/%d entries for %d ranks",
 			len(send), len(sendTo), len(recvFrom), c.size)
@@ -371,6 +386,7 @@ func (c *Comm) AlltoallSparse(send [][]byte, sendTo, recvFrom []bool) ([][]byte,
 // so results are bitwise deterministic and independent of transport
 // timing.
 func (c *Comm) ReduceF64(root int, v float64, op func(a, b float64) float64) (float64, bool, error) {
+	defer observeCollective(time.Now())
 	tag := c.collTag(opReduce)
 	if c.rank != root {
 		if err := c.send(root, tag, f64Bytes(v)); err != nil {
@@ -423,6 +439,7 @@ func (c *Comm) AllreduceF64(v float64, op func(a, b float64) float64) (float64, 
 // op, deterministically (rank-ascending order), and returns the result on
 // every task. The NPB-style verification norms use it.
 func (c *Comm) AllreduceF64s(v []float64, op func(a, b float64) float64) ([]float64, error) {
+	defer observeCollective(time.Now())
 	tag := c.collTag(opReduce)
 	buf := make([]byte, 8*len(v))
 	for i, x := range v {

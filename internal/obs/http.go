@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+var processStart = time.Now()
+
+// Handler returns the registry's HTTP surface:
+//
+//	/metrics      Prometheus text exposition of every registered metric
+//	/healthz      liveness: 200 {"status":"ok"} or 503 with the error
+//	/debug/pprof  the standard runtime profiles
+//
+// health may be nil (always healthy). drmsd serves this on the opt-in
+// -obs listener; tests mount it on httptest servers.
+func (r *Registry) Handler(health func() error) http.Handler {
+	r.GaugeFunc("drms_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(processStart).Seconds() })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		body := map[string]string{"status": "ok"}
+		code := http.StatusOK
+		if health != nil {
+			if err := health(); err != nil {
+				body = map[string]string{"status": "unhealthy", "error": err.Error()}
+				code = http.StatusServiceUnavailable
+			}
+		}
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(body)
+	})
+	// net/http/pprof only self-registers on http.DefaultServeMux; mount
+	// its handlers explicitly so the profiles ride the opt-in listener.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("drms_test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("drms_test_pool", "pool")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+
+	h := r.Histogram("drms_test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-5.555) > 1e-9 {
+		t.Fatalf("histogram sum = %v, want 5.555", h.Sum())
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("drms_test_x_total", "x")
+	b := r.Counter("drms_test_x_total", "x")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-type re-registration did not panic")
+		}
+	}()
+	r.Gauge("drms_test_x_total", "x")
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("drms_test_b_total", "second").Add(2)
+	r.Gauge("drms_test_a", "first").Set(7)
+	h := r.Histogram("drms_test_h_seconds", "hist", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(50)
+	r.GaugeFunc("drms_test_f", "func", func() float64 { return 1.25 })
+
+	out := r.Render()
+	for _, want := range []string{
+		"# TYPE drms_test_a gauge\ndrms_test_a 7\n",
+		"# TYPE drms_test_b_total counter\ndrms_test_b_total 2\n",
+		"drms_test_h_seconds_bucket{le=\"0.1\"} 1\n",
+		"drms_test_h_seconds_bucket{le=\"1\"} 2\n",
+		"drms_test_h_seconds_bucket{le=\"+Inf\"} 3\n",
+		"drms_test_h_seconds_sum 50.55\n",
+		"drms_test_h_seconds_count 3\n",
+		"drms_test_f 1.25\n",
+		"# HELP drms_test_a first\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, out)
+		}
+	}
+	// Sorted: drms_test_a before drms_test_b_total.
+	if strings.Index(out, "drms_test_a ") > strings.Index(out, "drms_test_b_total ") {
+		t.Error("metrics not sorted by name")
+	}
+}
+
+func TestFuncReplacementAndValue(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("drms_test_hits_total", "hits", func() float64 { return 1 })
+	r.CounterFunc("drms_test_hits_total", "hits", func() float64 { return 9 })
+	if v, ok := r.Value("drms_test_hits_total"); !ok || v != 9 {
+		t.Fatalf("Value = %v,%v; want 9,true", v, ok)
+	}
+	if _, ok := r.Value("drms_test_missing"); ok {
+		t.Fatal("Value found a metric that was never registered")
+	}
+}
+
+// TestConcurrentWriters hammers every metric type from many goroutines;
+// run under -race this is the registry's data-race proof, and the
+// final counts prove no increment was lost.
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const writers, perWriter = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Registration races with updates and scrapes by design.
+			c := r.Counter("drms_test_conc_total", "c")
+			g := r.Gauge("drms_test_conc_gauge", "g")
+			h := r.Histogram("drms_test_conc_seconds", "h", LatencyBuckets)
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) * 1e-4)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent scraper
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Render()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const want = writers * perWriter
+	if v, _ := r.Value("drms_test_conc_total"); v != want {
+		t.Fatalf("counter lost updates: %v != %d", v, want)
+	}
+	if v, _ := r.Value("drms_test_conc_gauge"); v != want {
+		t.Fatalf("gauge lost updates: %v != %d", v, want)
+	}
+	if v, _ := r.Value("drms_test_conc_seconds"); v != want {
+		t.Fatalf("histogram lost samples: %v != %d", v, want)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("drms_test_cum_seconds", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	out := r.Render()
+	// le="1" includes 0.5 and the exactly-1 sample (upper bounds inclusive).
+	for _, want := range []string{
+		`le="1"} 2`, `le="2"} 3`, `le="4"} 4`, `le="+Inf"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("drms_test_served_total", "served").Inc()
+	healthy := true
+	var mu sync.Mutex
+	srv := httptest.NewServer(r.Handler(func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if !healthy {
+			return errFailed
+		}
+		return nil
+	}))
+	defer srv.Close()
+
+	body, code, ctype := get(t, srv.URL+"/metrics")
+	if code != 200 || !strings.Contains(body, "drms_test_served_total 1") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ctype)
+	}
+	if !strings.Contains(body, "drms_uptime_seconds") {
+		t.Fatal("/metrics missing uptime gauge")
+	}
+
+	body, code, _ = get(t, srv.URL+"/healthz")
+	if code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("/healthz healthy: code=%d body=%q", code, body)
+	}
+	mu.Lock()
+	healthy = false
+	mu.Unlock()
+	body, code, _ = get(t, srv.URL+"/healthz")
+	if code != 503 || !strings.Contains(body, "deliberately failed") {
+		t.Fatalf("/healthz unhealthy: code=%d body=%q", code, body)
+	}
+
+	if _, code, _ := get(t, srv.URL+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: code=%d", code)
+	}
+}
+
+// TestObsOverheadBudget is a coarse regression guard: the per-op cost
+// of the three hot-path primitives must stay far below a microsecond
+// so instrumented pack/stream paths (>= tens of µs per piece) cannot
+// regress measurably. The 2µs bound is ~50x the expected cost — loose
+// enough never to flake, tight enough to catch an accidental mutex.
+func TestObsOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	r := NewRegistry()
+	c := r.Counter("drms_test_budget_total", "")
+	g := r.Gauge("drms_test_budget_gauge", "")
+	h := r.Histogram("drms_test_budget_seconds", "", LatencyBuckets)
+	const n = 200000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		c.Add(64)
+		g.Set(float64(i))
+		h.Observe(1e-4)
+	}
+	perTriple := time.Since(start) / n
+	t.Logf("counter+gauge+histogram: %v per update triple", perTriple)
+	if perTriple > 2*time.Microsecond {
+		t.Fatalf("obs hot path too slow: %v per counter+gauge+histogram triple (budget 2µs)", perTriple)
+	}
+}
+
+var errFailed = errString("health check deliberately failed")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func get(t *testing.T, url string) (body string, code int, contentType string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(b), resp.StatusCode, resp.Header.Get("Content-Type")
+}

@@ -1,0 +1,63 @@
+package stream
+
+import (
+	"time"
+
+	"drms/internal/obs"
+)
+
+// Streaming metrics (drms_stream_*). Calls are counted per task (every
+// task of the communicator enters a collective stream op); pieces and
+// piece bytes are counted once each, by the task that performed the
+// file I/O. The stall histograms are the pipeline-overlap signal of the
+// two-phase strategy: how long round r+1 had to wait on round r's
+// in-flight I/O — near zero while file I/O fully overlaps
+// redistribution.
+var (
+	streamWrites = obs.GetCounter("drms_stream_writes_total",
+		"Stream write operations completed (per task call).")
+	streamReads = obs.GetCounter("drms_stream_reads_total",
+		"Stream read operations completed (per task call).")
+	streamErrors = obs.GetCounter("drms_stream_errors_total",
+		"Stream operations that returned an error.")
+	streamWriteSeconds = obs.GetHistogram("drms_stream_write_seconds",
+		"Wall time of one task's stream write call.", obs.LatencyBuckets)
+	streamReadSeconds = obs.GetHistogram("drms_stream_read_seconds",
+		"Wall time of one task's stream read call.", obs.LatencyBuckets)
+	streamWriteStall = obs.GetHistogram("drms_stream_write_stall_seconds",
+		"Time a write round waited for the previous round's in-flight file write.", obs.LatencyBuckets)
+	streamReadStall = obs.GetHistogram("drms_stream_read_stall_seconds",
+		"Time a read round waited for its prefetched piece.", obs.LatencyBuckets)
+	streamPieces = obs.GetCounter("drms_stream_pieces_total",
+		"Pieces moved through file I/O by this process.")
+	streamPieceBytes = obs.GetCounter("drms_stream_piece_bytes_total",
+		"Bytes of pieces moved through file I/O by this process.")
+	streamNetBytes = obs.GetCounter("drms_stream_net_bytes_total",
+		"Redistribution bytes sent during two-phase exchanges.")
+	streamSkippedBytes = obs.GetCounter("drms_stream_skipped_bytes_total",
+		"Piece bytes elided by incremental checkpoints (SkipPiece).")
+)
+
+func init() {
+	// The streaming plan cache keeps its own counters (tests reset them);
+	// export them as reads so the scrape sees the live values.
+	obs.CounterFunc("drms_stream_plan_cache_hits_total",
+		"Streaming plan cache hits (replayed piece partitions and round distributions).",
+		func() float64 { h, _ := PlanCacheStats(); return float64(h) })
+	obs.CounterFunc("drms_stream_plan_cache_misses_total",
+		"Streaming plan cache misses (plans built from scratch).",
+		func() float64 { _, m := PlanCacheStats(); return float64(m) })
+}
+
+// observeStream records one stream call's outcome from a defer:
+// latency, traffic, and elisions from the task's Stats.
+func observeStream(ops *obs.Counter, seconds *obs.Histogram, start time.Time, st *Stats, err *error) {
+	if *err != nil {
+		streamErrors.Inc()
+		return
+	}
+	ops.Inc()
+	seconds.ObserveSince(start)
+	streamNetBytes.Add(uint64(st.NetBytes))
+	streamSkippedBytes.Add(uint64(st.SkippedBytes))
+}

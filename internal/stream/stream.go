@@ -21,6 +21,7 @@ package stream
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"drms/internal/array"
 	"drms/internal/dist"
@@ -101,7 +102,8 @@ func (o Options) writers(tasks int) int {
 // of a configuration builds them, every later checkpoint of the same run
 // replays them, and — because the cached rounds are stable pointers — the
 // per-round redistributions execute cached array plans too.
-func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, name string, o Options) (Stats, error) {
+func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, name string, o Options) (st Stats, err error) {
+	defer observeStream(streamWrites, streamWriteSeconds, time.Now(), &st, &err)
 	comm, err := commOf(a, x)
 	if err != nil {
 		return Stats{}, err
@@ -112,7 +114,7 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 	if err != nil {
 		return Stats{}, err
 	}
-	st := Stats{StreamBytes: sp.total, Pieces: len(sp.pieces)}
+	st = Stats{StreamBytes: sp.total, Pieces: len(sp.pieces)}
 	me := comm.Rank()
 
 	// Round state is allocated once and recycled: one auxiliary array
@@ -128,7 +130,9 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 	)
 	defer wg.Wait() // never leak an in-flight write, even on error returns
 	join := func() error {
+		t0 := time.Now()
 		wg.Wait()
+		streamWriteStall.ObserveSince(t0)
 		return werr
 	}
 
@@ -162,6 +166,8 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 				if err := join(); err != nil {
 					return st, err
 				}
+				streamPieces.Inc()
+				streamPieceBytes.Add(uint64(len(buf)))
 				wg.Add(1)
 				go func(buf []byte, off int64) {
 					defer wg.Done()
@@ -181,7 +187,8 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 // order and element type) starting at BaseOffset — it may have been
 // written with a different distribution and a different number of tasks.
 // Elements of a outside x are untouched. Collective.
-func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, name string, o Options) (Stats, error) {
+func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, name string, o Options) (st Stats, err error) {
+	defer observeStream(streamReads, streamReadSeconds, time.Now(), &st, &err)
 	comm, err := commOf(a, x)
 	if err != nil {
 		return Stats{}, err
@@ -192,7 +199,7 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 	if err != nil {
 		return Stats{}, err
 	}
-	st := Stats{StreamBytes: sp.total, Pieces: len(sp.pieces)}
+	st = Stats{StreamBytes: sp.total, Pieces: len(sp.pieces)}
 	me := comm.Rank()
 
 	// Mirror image of Write's pipeline: this task's piece of round r+1 is
@@ -219,7 +226,9 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 			n := round[me].Size() * es
 			if pending {
 				// The prefetch issued last round read exactly this piece.
+				t0 := time.Now()
 				wg.Wait()
+				streamReadStall.ObserveSince(t0)
 				pending = false
 				if perr != nil {
 					return st, perr
@@ -246,6 +255,8 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 			flip = 1 - flip
 		}
 		if hasPiece {
+			streamPieces.Inc()
+			streamPieceBytes.Add(uint64(len(buf)))
 			if o.PieceHook != nil {
 				o.PieceHook(base+me, sp.offsets[base+me], buf)
 			}
