@@ -26,6 +26,9 @@ lint:
 	@out=$$(grep -rn '"drms/' --include='*.go' internal/obs || true); \
 	if [ -n "$$out" ]; then \
 		echo "internal/obs must stay stdlib-only (every layer imports it):"; echo "$$out"; exit 1; fi
+	@out=$$(grep -rn '"drms/' --include='*.go' internal/codec || true); \
+	if [ -n "$$out" ]; then \
+		echo "internal/codec must stay stdlib-only (piece codecs decode anywhere, including fsck):"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -55,5 +58,8 @@ chaos:
 smoke:
 	$(GO) test -count=1 -run TestDaemonObservabilityEndToEnd ./cmd/drmsd
 
+# Benchmarks plus the chained-checkpoint steady-state comparison, whose
+# JSON artifact (BENCH_6.json) CI archives for before/after tracking.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) run ./cmd/drmsbench -bench6 BENCH_6.json

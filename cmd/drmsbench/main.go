@@ -26,7 +26,20 @@ func main() {
 	figure := flag.String("figure", "", "figure to regenerate: 7")
 	classFlag := flag.String("class", "A", "problem class: S, W, A, or B")
 	ablation := flag.Bool("ablation", false, "also run the §3.2 design-choice ablations (piece size, writer count)")
+	bench6 := flag.String("bench6", "", "run the chained-checkpoint steady-state comparison and write its JSON artifact to this path")
 	flag.Parse()
+
+	if *bench6 != "" {
+		fmt.Fprintln(os.Stderr, "running the chained-checkpoint steady-state comparison (both schemes)...")
+		r, err := bench.MeasureBench6(bench.DefaultBench6())
+		check(err)
+		js, err := bench.Bench6JSON(r)
+		check(err)
+		check(os.WriteFile(*bench6, append(js, '\n'), 0o644))
+		fmt.Print(bench.RenderBench6(r))
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *bench6)
+		return
+	}
 
 	class := apps.Class((*classFlag)[0])
 	if _, err := apps.GridSize(class); err != nil {

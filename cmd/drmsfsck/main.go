@@ -16,6 +16,14 @@
 // "<gen>.bad.") exactly as the recovery supervisor would do at restart
 // time, and the snapshot is saved back.
 //
+// With -squash, each prefix whose newest generation is a chained delta
+// is folded into a fresh self-contained anchor (ckpt.Squash): every
+// referenced piece extent is copied — codec preserved — into the new
+// generation's own files, the chain's older generations become
+// prunable, and the snapshot is saved back. The new anchor is verified
+// before the snapshot is written; chains are verified before squashing,
+// so a broken dependency is reported rather than baked into an anchor.
+//
 // Exit codes:
 //
 //	0  clean: every committed generation of every prefix verifies
@@ -46,9 +54,10 @@ const (
 func main() {
 	state := flag.String("state", "", "pfs snapshot file to check")
 	repair := flag.Bool("repair", false, "quarantine corrupt generations and save the snapshot back")
+	squash := flag.Bool("squash", false, "fold each verified delta chain into a self-contained anchor and save the snapshot back")
 	flag.Parse()
 	if *state == "" {
-		fmt.Fprintln(os.Stderr, "usage: drmsfsck -state <snapshot> [-repair] [prefix ...]")
+		fmt.Fprintln(os.Stderr, "usage: drmsfsck -state <snapshot> [-repair] [-squash] [prefix ...]")
 		os.Exit(exitUsage)
 	}
 	fs := pfs.NewSystem(pfs.DefaultConfig())
@@ -69,7 +78,8 @@ func main() {
 	exit := exitClean
 	repaired := false
 	for _, p := range prefixes {
-		switch checkPrefix(fs, p, *repair, &repaired) {
+		res := checkPrefix(fs, p, *repair, &repaired)
+		switch res {
 		case exitUnrecoverable:
 			exit = exitUnrecoverable
 		case exitRepaired:
@@ -77,8 +87,13 @@ func main() {
 				exit = exitRepaired
 			}
 		}
+		if *squash && res == exitClean {
+			if !squashPrefix(fs, p, &repaired) {
+				exit = exitUnrecoverable
+			}
+		}
 	}
-	if *repair && repaired {
+	if (*repair || *squash) && repaired {
 		if err := fs.SaveFile(*state); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(exitUnrecoverable)
@@ -86,6 +101,36 @@ func main() {
 		fmt.Printf("snapshot saved to %s\n", *state)
 	}
 	os.Exit(exit)
+}
+
+// squashPrefix folds prefix's newest (already verified) generation into
+// a self-contained anchor, verifies the result, and compacts the
+// rotation down to that single anchor. Only called on prefixes whose
+// every generation verified clean. Reports success; *dirty is set when
+// the snapshot changed.
+func squashPrefix(fs *pfs.System, prefix string, dirty *bool) bool {
+	if fs.Exists(prefix + ".meta") {
+		// A bare (non-rotated) checkpoint has no chain to fold.
+		return true
+	}
+	dst, squashed, err := ckpt.Squash(fs, prefix, 0)
+	if err != nil {
+		fmt.Printf("%-12s SQUASH FAILED: %v\n", prefix, err)
+		return false
+	}
+	if !squashed {
+		fmt.Printf("%-12s already self-contained, nothing to squash\n", dst)
+		return true
+	}
+	if err := ckpt.Verify(fs, dst, 0); err != nil {
+		fmt.Printf("%-12s SQUASH FAILED: new anchor does not verify: %v\n", dst, err)
+		return false
+	}
+	// The chain the anchor replaced is fully contained in it; retire it.
+	ckpt.Rotation{Base: prefix, Keep: 1}.Prune(fs)
+	*dirty = true
+	fmt.Printf("%-12s squashed chain into self-contained anchor %s\n", prefix, dst)
+	return true
 }
 
 // discoverPrefixes lists the user-facing checkpoint prefixes in the

@@ -4,8 +4,11 @@ import (
 	"testing"
 
 	"drms/internal/ckpt"
+	"drms/internal/dist"
 	"drms/internal/drms"
 	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/stream"
 )
 
 // buildSnapshot runs a tiny application that commits gens rotated
@@ -103,5 +106,82 @@ func TestCheckPrefixUnrecoverable(t *testing.T) {
 	}
 	if code := checkPrefix(fs, "missing", false, &dirty); code != exitUnrecoverable {
 		t.Fatalf("missing prefix classified %d, want %d", code, exitUnrecoverable)
+	}
+}
+
+// buildChainedSnapshot commits a short delta chain: an array updated
+// sparsely between checkpoints, written in the chained format.
+func buildChainedSnapshot(t *testing.T, fs *pfs.System, prefix string, gens int) {
+	t.Helper()
+	err := drms.Run(drms.Config{Tasks: 2, FS: fs, Keep: gens,
+		AnchorEvery: gens + 1, Codec: ckpt.CodecFlate,
+		Stream: stream.Options{PieceBytes: 64}},
+		func(tk *drms.Task) error {
+			g := rangeset.NewSlice(rangeset.Span(0, 63))
+			d, err := dist.Block(g, []int{tk.Tasks()})
+			if err != nil {
+				return err
+			}
+			u, err := drms.NewArray[float64](tk, "u", d)
+			if err != nil {
+				return err
+			}
+			iter := 0
+			tk.Register("iter", &iter)
+			u.Fill(func(c []int) float64 { return float64(c[0]) })
+			for iter < gens {
+				if _, _, err := tk.ReconfigCheckpoint(prefix); err != nil {
+					return err
+				}
+				first := u.Assigned().Coord(0, rangeset.ColMajor)
+				u.Set(first, float64(iter)*2.5)
+				iter++
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquashPrefixFoldsChainIntoAnchor(t *testing.T) {
+	fs := pfs.NewSystem(pfs.DefaultConfig())
+	buildChainedSnapshot(t, fs, "ck", 3)
+
+	m, err := ckpt.ReadMeta(fs, "ck.g2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Deps) == 0 {
+		t.Fatal("newest generation has no chain to squash")
+	}
+
+	dirty := false
+	if !squashPrefix(fs, "ck", &dirty) {
+		t.Fatal("squash of a clean chain failed")
+	}
+	if !dirty {
+		t.Fatal("squash did not mark the snapshot dirty")
+	}
+	gens := (ckpt.Rotation{Base: "ck"}).Generations(fs)
+	if len(gens) != 1 {
+		t.Fatalf("generations after squash = %v, want exactly the new anchor", gens)
+	}
+	sm, err := ckpt.ReadMeta(fs, gens[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sm.Chained() || sm.ChainLen != 0 || len(sm.Deps) != 0 {
+		t.Fatalf("squashed meta: chained %v len %d deps %v, want self-contained anchor",
+			sm.Chained(), sm.ChainLen, sm.Deps)
+	}
+	if err := ckpt.Verify(fs, gens[0], 0); err != nil {
+		t.Fatalf("squashed anchor fails verification: %v", err)
+	}
+
+	// Idempotent: a second squash finds nothing to fold.
+	dirty = false
+	if !squashPrefix(fs, "ck", &dirty) || dirty {
+		t.Fatal("second squash was not a clean no-op")
 	}
 }

@@ -23,6 +23,10 @@ type ArrayRef interface {
 	StreamWrite(fs *pfs.System, file string, o stream.Options) (stream.Stats, error)
 	// StreamRead loads the full array under its current distribution.
 	StreamRead(fs *pfs.System, file string, o stream.Options) (stream.Stats, error)
+	// SectionSums fingerprints this task's contribution to every piece
+	// of the full-array write plan (stream.SectionSums) — the owner-side
+	// dirtiness test of chained delta checkpoints. Purely local.
+	SectionSums(o stream.Options) ([]stream.SectionSum, error)
 	// LocalBytes encodes this task's local (mapped) storage — what an
 	// SPMD checkpoint saves per task.
 	LocalBytes() []byte
@@ -54,6 +58,10 @@ func (r ref[T]) StreamWrite(fs *pfs.System, file string, o stream.Options) (stre
 
 func (r ref[T]) StreamRead(fs *pfs.System, file string, o stream.Options) (stream.Stats, error) {
 	return stream.Read(r.a, r.a.Global(), fs, file, o)
+}
+
+func (r ref[T]) SectionSums(o stream.Options) ([]stream.SectionSum, error) {
+	return stream.SectionSums(r.a, r.a.Global(), o)
 }
 
 func (r ref[T]) LocalBytes() []byte {

@@ -1,0 +1,885 @@
+package ckpt
+
+// Chained checkpoints (metadata version 2): incremental delta
+// generations with per-piece codecs.
+//
+// A v1 checkpoint stores each array as one file holding the raw
+// distribution-independent stream. A chained checkpoint instead stores
+// *pieces*: each writer task appends the pieces it streamed — raw or
+// flate-compressed, chosen per piece — to its own compacted piece file
+// "<prefix>.arr.<name>.p<task>", and the metadata records every piece's
+// location (generation, task, file extent, codec, stored CRC) alongside
+// its logical identity (index, stream offset, length, logical CRC).
+//
+// That location table is what makes deltas possible: a piece unchanged
+// since the previous generation is not rewritten — its location record
+// is copied verbatim, still pointing into the earlier generation's piece
+// file. Whether a piece changed is decided from owner-side contribution
+// fingerprints (stream.SectionSums, stored in the metadata): each task
+// hashes its own contribution to each piece locally, one gather+
+// broadcast unions the per-task diffs, and only the dirty pieces are
+// streamed — clean pieces skip the two-phase redistribution entirely,
+// so a delta's cost scales with what changed, not with the array size.
+// Copying locations flat (rather than chaining metas) keeps every
+// generation's metadata self-contained: resolving any piece costs one
+// file read regardless of chain length, and a generation's dependency
+// set is exactly the set of generation numbers appearing in its
+// locations. Periodic anchors (ChainLen 0, no dependencies) bound chain
+// length; Rotation.Prune keeps dependencies alive; Squash folds a chain
+// back into a fresh anchor.
+//
+// Restores are distribution- AND layout-independent: a restart may
+// replan the stream with a different task count, so its piece extents
+// need not match the stored ones. The piece fetcher serves arbitrary
+// logical extents, reading raw sub-ranges directly and decoding
+// compressed pieces whole (with a small cache for straddling reads).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drms/internal/codec"
+	"drms/internal/msg"
+	"drms/internal/pfs"
+	"drms/internal/seg"
+	"drms/internal/stream"
+)
+
+// PieceLoc locates one streamed piece's stored bytes in a chained
+// checkpoint. It embeds the piece's logical identity and checksum
+// (PieceSum); the remaining fields say where — and in what form — the
+// bytes sit on storage.
+type PieceLoc struct {
+	PieceSum
+	Gen       int    // generation whose piece file holds the bytes (-1: non-rotated prefix)
+	Task      int    // writer task, selecting the piece file
+	FileOff   int64  // offset of the stored bytes within the piece file
+	FileBytes int64  // stored length (== Bytes raw, usually smaller under flate)
+	Codec     uint8  // codec.ID of the stored representation
+	StoredCRC uint64 // CRC-64/ECMA of the stored bytes as they sit in the file
+}
+
+// CodecMode selects how chained checkpoints encode pieces.
+type CodecMode int
+
+const (
+	// CodecAuto lets the bytes-saved-per-second model decide per array
+	// write whether flate pays, from observed storage bandwidth and
+	// compression throughput (see chooseCodec).
+	CodecAuto CodecMode = iota
+	// CodecRaw stores every piece verbatim.
+	CodecRaw
+	// CodecFlate compresses every piece (with an automatic per-piece raw
+	// fallback when compression would expand it).
+	CodecFlate
+)
+
+func (m CodecMode) String() string {
+	switch m {
+	case CodecRaw:
+		return "raw"
+	case CodecFlate:
+		return "flate"
+	default:
+		return "auto"
+	}
+}
+
+// ChainOptions configure WriteDRMSChained.
+type ChainOptions struct {
+	// Prev names the previous committed generation of the same rotation
+	// ("" = none): the delta base and the chain predecessor.
+	Prev string
+	// Delta requests a delta generation: pieces unchanged since Prev are
+	// carried forward by location instead of rewritten. Silently demoted
+	// to a full anchor when Prev is missing or incompatible (different
+	// task count, arrays, plan, or a v1 checkpoint).
+	Delta bool
+	// Codec is the piece codec policy.
+	Codec CodecMode
+	// PrevMeta, if non-nil at task 0, supplies Prev's metadata without a
+	// storage read — the commit path passes back what it cached from its
+	// own previous write (Stats.Meta). It must be the committed metadata
+	// of Prev; compatibility is still validated. Ignored on other tasks,
+	// which receive the delta base by broadcast either way.
+	PrevMeta *Meta
+}
+
+// locPieceFile resolves the piece file a location points into: the
+// checkpoint's own prefix for its own generation, a sibling generation
+// of the same rotation base otherwise.
+func locPieceFile(base, self string, selfGen int, arr string, l PieceLoc) string {
+	p := self
+	if l.Gen != selfGen && l.Gen >= 0 {
+		p = fmt.Sprintf("%s.g%d", base, l.Gen)
+	}
+	return pieceFile(p, arr, l.Task)
+}
+
+// WriteDRMSChained takes a reconfigurable checkpoint in the chained
+// format: the segment plus every array's pieces, compressed per the
+// codec policy and — when ChainOptions request a delta and the previous
+// generation is compatible — with unchanged pieces carried forward by
+// back-pointer. Collective; all tasks pass the same arguments. The
+// resulting checkpoint restores exactly like a v1 one, including on a
+// different task count.
+func WriteDRMSChained(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options, co ChainOptions) (st Stats, err error) {
+	me := comm.Rank()
+	start := time.Now()
+	defer func() { observeWrite(me, st, start, err) }()
+	sg.Ctx.Tasks = comm.Size()
+
+	base, selfGen, rotated := GenOf(prefix)
+	if !rotated {
+		base, selfGen = prefix, -1
+	}
+
+	// Load the delta base: rank 0 reads the previous meta (one small read
+	// on the shared store instead of one per task) and broadcasts it, so
+	// every task decides delta eligibility from identical bytes.
+	prev, err := bcastPrevMeta(fs, comm, base, co.Prev, co.PrevMeta, len(arrays))
+	if err != nil {
+		return st, err
+	}
+	delta := co.Delta && prev != nil
+
+	// Owner-side dirtiness: every task fingerprints its own contribution
+	// to every piece of every array (purely local, stream.SectionSums),
+	// diffs against the previous generation's fingerprints, and a single
+	// gather+broadcast merges the per-task dirty sets. A piece must be
+	// rewritten iff some task's contribution to it changed — in content,
+	// extent, or existence — so clean pieces are carried forward by
+	// back-pointer without being redistributed, packed, or hashed again.
+	sums := make([][]stream.SectionSum, len(arrays))
+	sigs := make([]string, len(arrays))
+	eligible := make([]bool, len(arrays))
+	for i, a := range arrays {
+		sigs[i] = stream.PlanSig(a.GlobalShape(), a.ElemSize(), comm.Size(), o)
+		if sums[i], err = a.SectionSums(o); err != nil {
+			return st, err
+		}
+		// Plan-signature equality guarantees both generations use the
+		// identical piece decomposition and offsets, so per-piece diffing
+		// across them is sound.
+		eligible[i] = delta && prev.Arrays[i].Name == a.Name() &&
+			len(prev.PlanSigs) > i && prev.PlanSigs[i] == sigs[i] &&
+			len(prev.Sections) > i
+	}
+	dirty := make([][]int, len(arrays))
+	if anyTrue(eligible) { // all tasks agree: eligibility is computed from broadcast state
+		if dirty, err = mergeDirty(comm, prev, sums, eligible); err != nil {
+			return st, err
+		}
+	}
+
+	// Phase 1: the selected task writes the data segment (always raw,
+	// always rewritten — it is small next to the arrays).
+	segBytes, segCRC, err := writeSegmentPhase(fs, prefix, comm, sg)
+	if err != nil {
+		return st, err
+	}
+	st.SegmentBytes = segBytes
+
+	// Phase 2: arrays, streamed with the encode stage in the pipeline.
+	// Delta-eligible arrays stream only their dirty pieces.
+	metas := make([]ArrayMeta, len(arrays))
+	crcs := make([]uint64, len(arrays))
+	locLists := make([][]PieceLoc, len(arrays))
+	secLists := make([][]stream.SectionSum, len(arrays))
+	for i, a := range arrays {
+		fs.BeginPhase("arrays:" + a.Name())
+		opts := o
+		col := &locCollector{
+			fs:   fs,
+			file: pieceFile(prefix, a.Name(), me),
+			gen:  selfGen,
+			task: me,
+			id:   chooseCodec(co.Codec),
+		}
+		opts.PieceHook = chainPieceHooks(o.PieceHook, col.hook)
+		opts.EncodePiece = col.encode
+		if eligible[i] {
+			opts.Pieces = dirty[i]
+			if opts.Pieces == nil {
+				opts.Pieces = []int{} // nothing dirty: stream no pieces at all
+			}
+		}
+		s, err := a.StreamWrite(fs, arrFile(prefix, a.Name()), opts)
+		if err != nil {
+			return st, fmt.Errorf("ckpt: streaming array %q: %w", a.Name(), err)
+		}
+		st.ArrayBytes += s.StreamBytes
+		st.NetBytes += s.NetBytes
+		st.StoredBytes += s.StoredBytes
+		metas[i] = ArrayMeta{Name: a.Name(), Kind: a.Kind(), Global: a.GlobalShape(), Bytes: s.StreamBytes}
+		if err := comm.Barrier(); err != nil { // phase boundary
+			return st, err
+		}
+		if locLists[i], secLists[i], err = gatherLocSums(comm, 0, col.locs, sums[i]); err != nil {
+			return st, err
+		}
+		if me == 0 && eligible[i] {
+			// Clean pieces become back-pointers: the previous generation's
+			// location records are carried forward verbatim — same extent,
+			// same codec, same stored bytes, wherever they already live.
+			ds := make(map[int]bool, len(dirty[i]))
+			for _, pi := range dirty[i] {
+				ds[pi] = true
+			}
+			for _, l := range prev.PieceLocs[i] {
+				if !ds[l.Index] {
+					locLists[i] = append(locLists[i], l)
+					st.SkippedBytes += l.Bytes
+					ckptPiecesReferenced.Inc()
+				}
+			}
+			sort.Slice(locLists[i], func(a, b int) bool { return locLists[i][a].Index < locLists[i][b].Index })
+		}
+		crcs[i] = combineLocs(locLists[i])
+	}
+
+	// Phase 3: metadata, committed atomically via rename, written last.
+	if me == 0 {
+		fs.BeginPhase("meta")
+		chainLen := 0
+		if delta {
+			chainLen = prev.ChainLen + 1
+		}
+		m := Meta{Version: chainVersion, Mode: ModeDRMS, Tasks: comm.Size(),
+			Ctx: sg.Ctx, Arrays: metas, SegBytes: []int64{segBytes},
+			SegCRC: []uint64{segCRC}, ArrayCRC: crcs, PlanSigs: sigs,
+			ChainLen: chainLen, Deps: depsOf(locLists, selfGen),
+			PieceLocs: locLists, Sections: secLists}
+		if err := writeMeta(fs, prefix, me, m); err != nil {
+			return st, err
+		}
+		st.Meta = &m
+		if len(m.Deps) > 0 {
+			ckptDeltaWrites.Inc()
+		} else {
+			ckptAnchorWrites.Inc()
+		}
+	}
+	if err := comm.Barrier(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// writeSegmentPhase runs checkpoint phase 1 — the selected task writes
+// the single data segment — and synchronizes. segBytes/segCRC are
+// meaningful on rank 0 only.
+func writeSegmentPhase(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment) (segBytes int64, segCRC uint64, err error) {
+	fs.BeginPhase("segment")
+	if comm.Rank() == 0 {
+		payload, err := sg.Encode()
+		if err != nil {
+			return 0, 0, err
+		}
+		segBytes = sg.FileSize(len(payload))
+		if segCRC, err = writeSegmentFile(fs, segFile(prefix), comm.Rank(), payload, segBytes); err != nil {
+			return 0, 0, err
+		}
+	}
+	return segBytes, segCRC, comm.Barrier()
+}
+
+// locCollector accumulates one task's piece locations for one array
+// during a chained write: its hook records each handled piece's logical
+// checksum, and its encode callback compresses written pieces and
+// appends them to this task's piece file. Encode output is double
+// buffered — the stream keeps at most one write in flight, so a buffer
+// is reusable two encodes later.
+type locCollector struct {
+	fs   *pfs.System
+	file string
+	gen  int
+	task int
+	id   codec.ID
+
+	locs    []PieceLoc
+	last    PieceSum // logical identity of the piece most recently hooked
+	off     int64    // append cursor in this task's piece file
+	created bool
+	enc     [2][]byte
+	flip    int
+}
+
+// hook computes the logical CRC of every handled piece (written or
+// skipped) — the one CRC pass both the skip decision and the location
+// record share.
+func (c *locCollector) hook(idx int, off int64, data []byte) {
+	c.last = PieceSum{Index: idx, Off: off, CRC: crcOf(data), Bytes: int64(len(data))}
+}
+
+// encode is the stream's EncodePiece stage: choose the stored form,
+// compress if it pays, and place the piece at the file append cursor.
+// It runs while the previous piece's file write is still in flight.
+func (c *locCollector) encode(idx int, off int64, data []byte) (stream.Encoded, error) {
+	loc := PieceLoc{PieceSum: c.last, Gen: c.gen, Task: c.task, FileOff: c.off}
+	id, out := c.id, data
+	if id == codec.Flate {
+		t0 := time.Now()
+		enc, err := codec.Encode(codec.Flate, c.enc[c.flip], data)
+		if err != nil {
+			return stream.Encoded{}, fmt.Errorf("ckpt: encoding piece %d: %w", idx, err)
+		}
+		ckptCodecSeconds.ObserveSince(t0)
+		ckptCodecInBytes.Add(uint64(len(data)))
+		ckptCodecOutBytes.Add(uint64(len(enc)))
+		if len(enc) < len(data) {
+			c.enc[c.flip] = enc
+			c.flip = 1 - c.flip
+			out = enc
+		} else {
+			id = codec.Raw // incompressible piece: store verbatim
+		}
+	}
+	loc.Codec = uint8(id)
+	loc.FileBytes = int64(len(out))
+	if id == codec.Raw {
+		loc.StoredCRC = loc.CRC // stored form == logical form
+	} else {
+		loc.StoredCRC = crcOf(out)
+	}
+	if !c.created {
+		// Truncate lazily on first write: a reused (non-rotated) prefix
+		// may hold a longer piece file from an earlier checkpoint.
+		c.fs.Create(c.file)
+		c.created = true
+	}
+	c.off += loc.FileBytes
+	c.locs = append(c.locs, loc)
+	return stream.Encoded{Data: out, File: c.file, Off: loc.FileOff}, nil
+}
+
+// bcastPrevMeta loads the delta base: rank 0 reads the previous
+// generation's metadata, validates compatibility (same rotation base,
+// chained format, same task count, same array count), and broadcasts
+// the result — nil when there is no usable base. Collective.
+func bcastPrevMeta(fs *pfs.System, comm *msg.Comm, base, prevName string, prevMeta *Meta, nArrays int) (*Meta, error) {
+	if prevName == "" {
+		return nil, nil
+	}
+	var payload []byte
+	if comm.Rank() == 0 {
+		if pb, _, ok := GenOf(prevName); ok && pb == base {
+			m, err := prevMeta, error(nil)
+			if m == nil {
+				var read Meta
+				if read, err = ReadMeta(fs, prevName, comm.Rank()); err == nil {
+					m = &read
+				}
+			}
+			if err == nil && m.Mode == ModeDRMS && m.Version >= chainVersion &&
+				m.Tasks == comm.Size() && len(m.PieceLocs) == nArrays {
+				var buf bytes.Buffer
+				if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+					return nil, fmt.Errorf("ckpt: encoding delta base: %w", err)
+				}
+				payload = buf.Bytes()
+			}
+		}
+	}
+	payload, err := comm.Bcast(0, payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	var m Meta
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("ckpt: decoding delta base: %w", err)
+	}
+	return &m, nil
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// localDirty diffs one task's current piece fingerprints against the
+// previous generation's entries for the same task: a piece is locally
+// dirty when this task's contribution changed content or extent,
+// appeared, or disappeared. The union over tasks is exactly the set of
+// pieces whose stream bytes may differ — any content change lives in
+// some owner's contribution, and any ownership change alters at least
+// one task's extent or existence.
+func localDirty(prevSums, cur []stream.SectionSum, task int) []int {
+	old := make(map[int]stream.SectionSum, len(prevSums))
+	for _, s := range prevSums {
+		if s.Task == task {
+			old[s.Piece] = s
+		}
+	}
+	var dirty []int
+	seen := make(map[int]bool, len(cur))
+	for _, s := range cur {
+		if p, ok := old[s.Piece]; !ok || p.Bytes != s.Bytes || p.CRC != s.CRC {
+			dirty = append(dirty, s.Piece)
+		}
+		seen[s.Piece] = true
+	}
+	for pi := range old {
+		if !seen[pi] {
+			dirty = append(dirty, pi)
+		}
+	}
+	return dirty
+}
+
+// mergeDirty runs the one collective of the delta decision: gather every
+// task's per-array dirty piece sets at rank 0, union them, and broadcast
+// the sorted result, so all tasks stream identical filtered piece sets.
+// Entries for non-eligible arrays are unused (those stream in full).
+func mergeDirty(comm *msg.Comm, prev *Meta, sums [][]stream.SectionSum, eligible []bool) ([][]int, error) {
+	mine := make([][]int, len(sums))
+	for i := range sums {
+		if eligible[i] {
+			mine[i] = localDirty(prev.Sections[i], sums[i], comm.Rank())
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(mine); err != nil {
+		return nil, err
+	}
+	parts, err := comm.Gather(0, buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var payload []byte
+	if comm.Rank() == 0 {
+		union := make([]map[int]bool, len(sums))
+		for i := range union {
+			union[i] = map[int]bool{}
+		}
+		for _, part := range parts {
+			var d [][]int
+			if err := gob.NewDecoder(bytes.NewReader(part)).Decode(&d); err != nil {
+				return nil, fmt.Errorf("ckpt: gathering dirty piece sets: %w", err)
+			}
+			for i, ps := range d {
+				for _, pi := range ps {
+					union[i][pi] = true
+				}
+			}
+		}
+		merged := make([][]int, len(sums))
+		for i, m := range union {
+			merged[i] = make([]int, 0, len(m))
+			for pi := range m {
+				merged[i] = append(merged[i], pi)
+			}
+			sort.Ints(merged[i])
+		}
+		buf.Reset()
+		if err := gob.NewEncoder(&buf).Encode(merged); err != nil {
+			return nil, err
+		}
+		payload = buf.Bytes()
+	}
+	payload, err = comm.Bcast(0, payload)
+	if err != nil {
+		return nil, err
+	}
+	var merged [][]int
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&merged); err != nil {
+		return nil, fmt.Errorf("ckpt: decoding merged dirty piece sets: %w", err)
+	}
+	return merged, nil
+}
+
+// gatherLocSums collects every task's piece locations and contribution
+// fingerprints at root and returns them there (nil elsewhere): the
+// locations sorted by piece index, the fingerprints by piece then task.
+func gatherLocSums(comm *msg.Comm, root int, locs []PieceLoc, sums []stream.SectionSum) ([]PieceLoc, []stream.SectionSum, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(struct {
+		Locs []PieceLoc
+		Sums []stream.SectionSum
+	}{locs, sums}); err != nil {
+		return nil, nil, err
+	}
+	parts, err := comm.Gather(root, buf.Bytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	if comm.Rank() != root {
+		return nil, nil, nil
+	}
+	var allLocs []PieceLoc
+	var allSums []stream.SectionSum
+	for _, part := range parts {
+		var p struct {
+			Locs []PieceLoc
+			Sums []stream.SectionSum
+		}
+		if err := gob.NewDecoder(bytes.NewReader(part)).Decode(&p); err != nil {
+			return nil, nil, fmt.Errorf("ckpt: gathering piece locations: %w", err)
+		}
+		allLocs = append(allLocs, p.Locs...)
+		allSums = append(allSums, p.Sums...)
+	}
+	sort.Slice(allLocs, func(i, j int) bool { return allLocs[i].Index < allLocs[j].Index })
+	sort.Slice(allSums, func(i, j int) bool {
+		if allSums[i].Piece != allSums[j].Piece {
+			return allSums[i].Piece < allSums[j].Piece
+		}
+		return allSums[i].Task < allSums[j].Task
+	})
+	return allLocs, allSums, nil
+}
+
+// combineLocs folds the locations' logical piece CRCs into the whole-
+// stream CRC, exactly as combinePieces does for v1 piece lists.
+func combineLocs(locs []PieceLoc) uint64 {
+	ps := make([]PieceSum, len(locs))
+	for i, l := range locs {
+		ps[i] = l.PieceSum
+	}
+	return combinePieces(ps)
+}
+
+// depsOf extracts the sorted set of foreign generation numbers the
+// location lists reference — the checkpoint's chain dependencies.
+func depsOf(locLists [][]PieceLoc, selfGen int) []int {
+	seen := map[int]bool{}
+	for _, locs := range locLists {
+		for _, l := range locs {
+			if l.Gen != selfGen && l.Gen >= 0 {
+				seen[l.Gen] = true
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	deps := make([]int, 0, len(seen))
+	for g := range seen {
+		deps = append(deps, g)
+	}
+	sort.Ints(deps)
+	return deps
+}
+
+// codecProbe counts codec-policy decisions, to periodically re-explore
+// flate so the model's throughput and ratio estimates stay current.
+var codecProbe atomic.Uint64
+
+// chooseCodec implements the bytes-saved-per-second model for CodecAuto.
+// Compressing a piece pays when the storage write time it saves exceeds
+// the time spent compressing:
+//
+//	savedBytes/writeBW > inputBytes/flateBW  ⇔  (1-ratio)·flateBW > writeBW
+//
+// Both rates come from this process's own observations: storage
+// bandwidth from the stream layer's piece-write service times, flate
+// ratio and throughput from the checkpoint layer's codec metrics. Until
+// enough encoded bytes exist — and periodically thereafter — the model
+// explores (returns Flate) so its estimates are grounded in, and track,
+// real measurements.
+func chooseCodec(mode CodecMode) codec.ID {
+	switch mode {
+	case CodecRaw:
+		return codec.Raw
+	case CodecFlate:
+		return codec.Flate
+	}
+	if codecProbe.Add(1)%64 == 0 {
+		return codec.Flate
+	}
+	in := float64(ckptCodecInBytes.Value())
+	if in < 4<<20 {
+		return codec.Flate
+	}
+	encSec := ckptCodecSeconds.Sum()
+	writeBW, ok := stream.WriteBandwidth()
+	if encSec <= 0 || !ok {
+		return codec.Flate
+	}
+	ratio := float64(ckptCodecOutBytes.Value()) / in
+	flateBW := in / encSec
+	if (1-ratio)*flateBW > writeBW {
+		return codec.Flate
+	}
+	return codec.Raw
+}
+
+// pieceFetcher serves arbitrary logical stream extents of one array
+// from a chained checkpoint's stored pieces. A restore may replan the
+// stream with a different task count, so requested extents need not
+// align with stored piece boundaries: raw pieces are served by direct
+// sub-range file reads; compressed pieces are decoded whole — straight
+// into the destination on an exact match, via a small decoded cache for
+// straddling reads. Safe for concurrent use (Read prefetches).
+type pieceFetcher struct {
+	fs      *pfs.System
+	client  int
+	base    string
+	self    string
+	selfGen int
+	arr     string
+	locs    []PieceLoc // sorted by stream offset
+
+	mu    sync.Mutex
+	cache map[int][]byte // piece index -> decoded bytes
+	order []int          // FIFO eviction
+}
+
+// fetcherCacheSize bounds the decoded-piece cache: straddling reads walk
+// the stream in order, so a piece is re-read only by its immediate
+// neighbors' extents — a few entries suffice.
+const fetcherCacheSize = 4
+
+func newPieceFetcher(fs *pfs.System, prefix, arr string, locs []PieceLoc, client int) *pieceFetcher {
+	base, selfGen, ok := GenOf(prefix)
+	if !ok {
+		base, selfGen = prefix, -1
+	}
+	sorted := append([]PieceLoc(nil), locs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Off < sorted[j].Off })
+	return &pieceFetcher{fs: fs, client: client, base: base, self: prefix,
+		selfGen: selfGen, arr: arr, locs: sorted, cache: map[int][]byte{}}
+}
+
+func (f *pieceFetcher) fileOf(l PieceLoc) string {
+	return locPieceFile(f.base, f.self, f.selfGen, f.arr, l)
+}
+
+// fetch fills dst with the stream bytes [off, off+len(dst)).
+func (f *pieceFetcher) fetch(_ int, off int64, dst []byte) error {
+	pos, end := off, off+int64(len(dst))
+	i := sort.Search(len(f.locs), func(i int) bool { return f.locs[i].Off+f.locs[i].Bytes > pos })
+	for pos < end {
+		if i >= len(f.locs) || f.locs[i].Off > pos {
+			return fmt.Errorf("ckpt: array %q has no stored piece covering stream offset %d", f.arr, pos)
+		}
+		l := f.locs[i]
+		lo := pos - l.Off
+		n := min(end, l.Off+l.Bytes) - pos
+		out := dst[pos-off : pos-off+n]
+		switch {
+		case codec.ID(l.Codec) == codec.Raw:
+			if err := f.fs.ReadAt(f.client, f.fileOf(l), out, l.FileOff+lo); err != nil {
+				return fmt.Errorf("ckpt: reading piece %d of %q: %w", l.Index, f.arr, err)
+			}
+		case lo == 0 && n == l.Bytes:
+			// Exact-piece request: decode straight into the destination.
+			if err := f.decodeInto(l, out); err != nil {
+				return err
+			}
+		default:
+			dec, err := f.decoded(l)
+			if err != nil {
+				return err
+			}
+			copy(out, dec[lo:lo+n])
+		}
+		pos += n
+		i++
+	}
+	return nil
+}
+
+// decodeInto reads and decodes one stored piece into dst (len == Bytes).
+func (f *pieceFetcher) decodeInto(l PieceLoc, dst []byte) error {
+	stored := borrowStored(l.FileBytes)
+	defer recycleStored(stored)
+	if err := f.fs.ReadAt(f.client, f.fileOf(l), stored, l.FileOff); err != nil {
+		return fmt.Errorf("ckpt: reading piece %d of %q: %w", l.Index, f.arr, err)
+	}
+	if err := codec.Decode(codec.ID(l.Codec), dst, stored); err != nil {
+		return fmt.Errorf("ckpt: piece %d of %q: %w", l.Index, f.arr, err)
+	}
+	return nil
+}
+
+// decoded returns one piece's decoded bytes through the cache.
+func (f *pieceFetcher) decoded(l PieceLoc) ([]byte, error) {
+	f.mu.Lock()
+	if b, ok := f.cache[l.Index]; ok {
+		f.mu.Unlock()
+		return b, nil
+	}
+	f.mu.Unlock()
+	out := make([]byte, l.Bytes)
+	if err := f.decodeInto(l, out); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	if _, ok := f.cache[l.Index]; !ok {
+		f.cache[l.Index] = out
+		f.order = append(f.order, l.Index)
+		if len(f.order) > fetcherCacheSize {
+			delete(f.cache, f.order[0])
+			f.order = f.order[1:]
+		}
+	}
+	f.mu.Unlock()
+	return out, nil
+}
+
+// storedPool recycles the compressed-piece read buffers the fetcher and
+// verifier stream stored bytes through.
+var storedPool = sync.Pool{New: func() any { b := []byte(nil); return &b }}
+
+func borrowStored(n int64) []byte {
+	p := storedPool.Get().(*[]byte)
+	if int64(cap(*p)) < n {
+		*p = make([]byte, n)
+	}
+	return (*p)[:n]
+}
+
+func recycleStored(b []byte) {
+	b = b[:cap(b)]
+	storedPool.Put(&b)
+}
+
+// verifyChained checks every stored piece extent of a chained
+// checkpoint — including extents referenced in earlier generations — so
+// a broken chain (a corrupt, truncated, or quarantined dependency)
+// fails verification of every generation built on it. For each piece:
+// the stored bytes must match StoredCRC, compressed pieces must decode
+// to exactly their logical length and CRC, and the pieces together must
+// tile the array's stream.
+func verifyChained(fs *pfs.System, prefix string, m *Meta, client int) error {
+	base, selfGen, ok := GenOf(prefix)
+	if !ok {
+		base, selfGen = prefix, -1
+	}
+	var logical []byte
+	for i, am := range m.Arrays {
+		locs := append([]PieceLoc(nil), m.PieceLocs[i]...)
+		sort.Slice(locs, func(a, b int) bool { return locs[a].Off < locs[b].Off })
+		var next int64
+		for _, l := range locs {
+			name := locPieceFile(base, prefix, selfGen, am.Name, l)
+			if l.Off != next {
+				return corrupt(prefix, name, l.Index, "array %q pieces leave a gap at stream offset %d", am.Name, next)
+			}
+			next = l.Off + l.Bytes
+			stored := borrowStored(l.FileBytes)
+			if err := fs.ReadAt(client, name, stored, l.FileOff); err != nil {
+				recycleStored(stored)
+				return corrupt(prefix, name, l.Index, "stored piece unreadable (broken chain?): %v", err)
+			}
+			if crcOf(stored) != l.StoredCRC {
+				recycleStored(stored)
+				return corrupt(prefix, name, l.Index, "stored piece crc mismatch")
+			}
+			if codec.ID(l.Codec) != codec.Raw {
+				if int64(cap(logical)) < l.Bytes {
+					logical = make([]byte, l.Bytes)
+				}
+				logical = logical[:l.Bytes]
+				if err := codec.Decode(codec.ID(l.Codec), logical, stored); err != nil {
+					recycleStored(stored)
+					return corrupt(prefix, name, l.Index, "stored piece does not decode: %v", err)
+				}
+				if crcOf(logical) != l.CRC {
+					recycleStored(stored)
+					return corrupt(prefix, name, l.Index, "decoded piece crc mismatch")
+				}
+			}
+			recycleStored(stored)
+		}
+		if next != am.Bytes {
+			return corrupt(prefix, arrFile(prefix, am.Name), -1,
+				"array %q pieces cover %d of %d stream bytes", am.Name, next, am.Bytes)
+		}
+		if len(m.ArrayCRC) > i && combineLocs(locs) != m.ArrayCRC[i] {
+			return corrupt(prefix, arrFile(prefix, am.Name), -1, "array %q combined stream crc mismatch", am.Name)
+		}
+	}
+	return nil
+}
+
+// Squash folds the newest committed generation's chain into a fresh,
+// self-contained anchor generation: every referenced stored extent is
+// copied verbatim (codec preserved, no re-encode) into the new
+// generation's own piece files, and the new metadata carries no
+// dependencies. The old chain becomes prunable. Returns the new
+// anchor's prefix; squashed=false (nil error) when the newest
+// generation is already self-contained. Offline, single-client —
+// drmsfsck's repair path, not a collective.
+func Squash(fs *pfs.System, base string, client int) (prefix string, squashed bool, err error) {
+	rot := Rotation{Base: base}
+	_, cur, ok := rot.Latest(fs)
+	if !ok {
+		return "", false, fmt.Errorf("ckpt: no committed generation under %q", base)
+	}
+	m, err := ReadMeta(fs, cur, client)
+	if err != nil {
+		return "", false, err
+	}
+	if m.Version < chainVersion || len(m.Deps) == 0 {
+		return cur, false, nil
+	}
+	_, curGen, _ := GenOf(cur)
+	dst := rot.NextPrefix(fs)
+	_, dstGen, _ := GenOf(dst)
+
+	if err := copyFile(fs, client, segFile(cur), segFile(dst), m.SegBytes[0]); err != nil {
+		return "", false, err
+	}
+	newLocs := make([][]PieceLoc, len(m.Arrays))
+	for i, am := range m.Arrays {
+		file := pieceFile(dst, am.Name, 0)
+		fs.Create(file)
+		var off int64
+		locs := append([]PieceLoc(nil), m.PieceLocs[i]...)
+		for j, l := range locs {
+			src := locPieceFile(base, cur, curGen, am.Name, l)
+			stored := borrowStored(l.FileBytes)
+			if err := fs.ReadAt(client, src, stored, l.FileOff); err != nil {
+				recycleStored(stored)
+				return "", false, fmt.Errorf("ckpt: squash: reading piece %d of %q: %w", l.Index, am.Name, err)
+			}
+			if err := fs.WriteAt(client, file, stored, off); err != nil {
+				recycleStored(stored)
+				return "", false, err
+			}
+			recycleStored(stored)
+			l.Gen, l.Task, l.FileOff = dstGen, 0, off
+			off += l.FileBytes
+			locs[j] = l
+		}
+		newLocs[i] = locs
+	}
+	m.ChainLen, m.Deps, m.PieceLocs = 0, nil, newLocs
+	if err := writeMeta(fs, dst, client, m); err != nil {
+		return "", false, err
+	}
+	ckptSquashes.Inc()
+	return dst, true, nil
+}
+
+// copyFile copies a whole file byte for byte through a pooled window.
+func copyFile(fs *pfs.System, client int, src, dst string, size int64) error {
+	fs.Create(dst)
+	window := windowPool.Get().(*[]byte)
+	defer windowPool.Put(window)
+	for off := int64(0); off < size; {
+		n := min(size-off, padChunk)
+		if err := fs.ReadAt(client, src, (*window)[:n], off); err != nil {
+			return err
+		}
+		if err := fs.WriteAt(client, dst, (*window)[:n], off); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}

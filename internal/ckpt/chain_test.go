@@ -1,0 +1,343 @@
+package ckpt
+
+import (
+	"fmt"
+	"testing"
+
+	"drms/internal/codec"
+	"drms/internal/msg"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/stream"
+)
+
+// chainFill is the sparse-update workload: step k rewrites only column
+// k%12 of u (12 consecutive elements in the col-major stream, so the
+// change stays localized to one or two pieces) and leaves ids constant
+// (fully unchanged and highly compressible).
+func chainFill(step int) (func([]int) float64, func([]int) int32) {
+	uf := func(cd []int) float64 {
+		if cd[1] == step%12 {
+			return coordVal(cd) + 1000*float64(step+1)
+		}
+		return coordVal(cd)
+	}
+	idf := func(cd []int) int32 { return 7 }
+	return uf, idf
+}
+
+func writeChainGen(t *testing.T, fs *pfs.System, prefix string, co ChainOptions, step, tasks int, grid []int) {
+	t.Helper()
+	mustRun(t, tasks, func(c *msg.Comm) {
+		sg, refs, u, ids := buildApp(c, grid)
+		iter := step
+		sg.Register("iter", &iter)
+		uf, idf := chainFill(step)
+		u.Fill(uf)
+		ids.Fill(idf)
+		if _, err := WriteDRMSChained(fs, prefix, c, sg, refs, stream.Options{PieceBytes: 300}, co); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// checkChainRestore restores from and verifies the state chainFill(step)
+// wrote, on an arbitrary task count and read piece size — the stored
+// piece extents need not match the requested ones.
+func checkChainRestore(t *testing.T, fs *pfs.System, from string, step, tasks int, grid []int, readPieceBytes int) {
+	t.Helper()
+	from, ok := Resolve(fs, from) // a base prefix resolves to its newest generation
+	if !ok {
+		t.Fatalf("no checkpoint reachable from %q", from)
+	}
+	mustRun(t, tasks, func(c *msg.Comm) {
+		sg, refs, u, ids := buildApp(c, grid)
+		var iter int
+		sg.Register("iter", &iter)
+		_, _, err := ReadDRMSOpts(fs, from, c, sg, refs,
+			stream.Options{PieceBytes: readPieceBytes}, RestoreOptions{Verify: true})
+		if err != nil {
+			panic(err)
+		}
+		if iter != step {
+			panic(fmt.Sprintf("iter = %d, want %d", iter, step))
+		}
+		uf, idf := chainFill(step)
+		u.Mapped().Each(rangeset.ColMajor, func(cd []int) {
+			if u.At(cd) != uf(cd) {
+				panic(fmt.Sprintf("u%v = %v, want %v", cd, u.At(cd), uf(cd)))
+			}
+		})
+		ids.Mapped().Each(rangeset.ColMajor, func(cd []int) {
+			if ids.At(cd) != idf(cd) {
+				panic("ids corrupted")
+			}
+		})
+	})
+}
+
+func TestChainedAnchorDeltaRoundTrip(t *testing.T) {
+	for _, cm := range []CodecMode{CodecRaw, CodecFlate} {
+		cm := cm
+		t.Run(cm.String(), func(t *testing.T) {
+			fs := testFS()
+			writeChainGen(t, fs, "job.g0", ChainOptions{Codec: cm}, 0, 4, []int{2, 2})
+			writeChainGen(t, fs, "job.g1", ChainOptions{Prev: "job.g0", Delta: true, Codec: cm}, 1, 4, []int{2, 2})
+			writeChainGen(t, fs, "job.g2", ChainOptions{Prev: "job.g1", Delta: true, Codec: cm}, 2, 4, []int{2, 2})
+
+			m, err := ReadMeta(fs, "job.g2", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.Chained() || m.ChainLen != 2 || len(m.Deps) == 0 {
+				t.Fatalf("chain meta = len %d deps %v chained %v", m.ChainLen, m.Deps, m.Chained())
+			}
+			// The deltas actually elide: a delta generation stores far less
+			// than the anchor.
+			if a, d := StateBytes(fs, "job.g0"), StateBytes(fs, "job.g1"); d >= a {
+				t.Fatalf("delta generation %d bytes >= anchor %d bytes", d, a)
+			}
+			if cm == CodecFlate {
+				m0, _ := ReadMeta(fs, "job.g0", 0)
+				compressed := false
+				for _, l := range m0.PieceLocs[1] { // ids: constant, compressible
+					if codec.ID(l.Codec) == codec.Flate && l.FileBytes < l.Bytes {
+						compressed = true
+					}
+				}
+				if !compressed {
+					t.Fatal("no ids piece stored compressed")
+				}
+			}
+			for _, gen := range []string{"job.g0", "job.g1", "job.g2"} {
+				if err := Verify(fs, gen, 0); err != nil {
+					t.Fatalf("%s: %v", gen, err)
+				}
+			}
+			// Restore the newest state via the base prefix, reconfigured to
+			// several task counts and read piece sizes.
+			checkChainRestore(t, fs, "job", 2, 4, []int{2, 2}, 300)
+			checkChainRestore(t, fs, "job", 2, 3, []int{1, 3}, 128)
+			checkChainRestore(t, fs, "job", 2, 8, []int{4, 2}, 128)
+			// A retained mid-chain generation restores too.
+			checkChainRestore(t, fs, "job.g1", 1, 2, []int{2, 1}, 200)
+		})
+	}
+}
+
+func TestChainedDeltaDemotedOnV1Prev(t *testing.T) {
+	// Cross-version chain start: the previous generation predates the
+	// chained format, so a requested delta silently becomes an anchor —
+	// and both eras keep restoring through the same resolver.
+	fs := testFS()
+	mustRun(t, 4, func(c *msg.Comm) {
+		sg, refs, u, ids := buildApp(c, []int{2, 2})
+		iter := 0
+		sg.Register("iter", &iter)
+		uf, idf := chainFill(0)
+		u.Fill(uf)
+		ids.Fill(idf)
+		if _, err := WriteDRMS(fs, "job.g0", c, sg, refs, stream.Options{PieceBytes: 300}); err != nil {
+			panic(err)
+		}
+	})
+	writeChainGen(t, fs, "job.g1", ChainOptions{Prev: "job.g0", Delta: true, Codec: CodecRaw}, 1, 4, []int{2, 2})
+	m, err := ReadMeta(fs, "job.g1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ChainLen != 0 || m.Deps != nil {
+		t.Fatalf("delta against a v1 checkpoint not demoted: len %d deps %v", m.ChainLen, m.Deps)
+	}
+	// Newest (chained) and older (v1) both restore bit-exact.
+	checkChainRestore(t, fs, "job", 1, 3, []int{3, 1}, 128)
+	checkChainRestore(t, fs, "job.g0", 0, 2, []int{2, 1}, 128)
+}
+
+func TestChainedVerifyDetectsBrokenChain(t *testing.T) {
+	fs := testFS()
+	writeChainGen(t, fs, "job.g0", ChainOptions{Codec: CodecRaw}, 0, 4, []int{2, 2})
+	writeChainGen(t, fs, "job.g1", ChainOptions{Prev: "job.g0", Delta: true, Codec: CodecRaw}, 1, 4, []int{2, 2})
+
+	// Flip one byte of an anchor piece the delta carries forward (ids is
+	// fully referenced, never rewritten).
+	m1, err := ReadMeta(fs, "job.g1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *PieceLoc
+	for i := range m1.PieceLocs[1] {
+		if m1.PieceLocs[1][i].Gen == 0 {
+			hit = &m1.PieceLocs[1][i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatal("delta carries no ids piece forward")
+	}
+	file := pieceFile("job.g0", "ids", hit.Task)
+	b := make([]byte, 1)
+	if err := fs.ReadAt(0, file, b, hit.FileOff); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteAt(0, file, []byte{b[0] ^ 0xff}, hit.FileOff); err != nil {
+		t.Fatal(err)
+	}
+
+	// The delta's verification walks the chain and finds the damage even
+	// though the delta's own files are intact.
+	if err := Verify(fs, "job.g1", 0); err == nil {
+		t.Fatal("broken chain passed verification")
+	}
+	// Resolution cascade: the delta fails, its anchor fails for the same
+	// corruption, nothing restorable remains.
+	_, quarantined, ok, firstErr := ResolveVerified(fs, "job")
+	if ok || len(quarantined) != 2 || firstErr == nil {
+		t.Fatalf("resolve = ok %v quarantined %v err %v", ok, quarantined, firstErr)
+	}
+}
+
+func TestResolveVerifiedFallsBackPastCorruptDelta(t *testing.T) {
+	fs := testFS()
+	writeChainGen(t, fs, "job.g0", ChainOptions{Codec: CodecRaw}, 0, 4, []int{2, 2})
+	writeChainGen(t, fs, "job.g1", ChainOptions{Prev: "job.g0", Delta: true, Codec: CodecRaw}, 1, 4, []int{2, 2})
+
+	// Damage a piece the delta itself wrote (a u piece with Gen 1).
+	m1, err := ReadMeta(fs, "job.g1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *PieceLoc
+	for i := range m1.PieceLocs[0] {
+		if m1.PieceLocs[0][i].Gen == 1 {
+			hit = &m1.PieceLocs[0][i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatal("delta wrote no u piece of its own")
+	}
+	file := pieceFile("job.g1", "u", hit.Task)
+	if err := fs.WriteAt(0, file, []byte{0xde, 0xad}, hit.FileOff); err != nil {
+		t.Fatal(err)
+	}
+
+	chosen, quarantined, ok, _ := ResolveVerified(fs, "job")
+	if !ok || chosen != "job.g0" || len(quarantined) != 1 || quarantined[0] != "job.g1" {
+		t.Fatalf("resolve = %q ok %v quarantined %v", chosen, ok, quarantined)
+	}
+	// The surviving anchor restores the pre-delta state.
+	checkChainRestore(t, fs, chosen, 0, 3, []int{3, 1}, 128)
+}
+
+func TestChainedPruneKeepsDependencies(t *testing.T) {
+	fs := testFS()
+	writeChainGen(t, fs, "job.g0", ChainOptions{Codec: CodecRaw}, 0, 4, []int{2, 2})
+	writeChainGen(t, fs, "job.g1", ChainOptions{Prev: "job.g0", Delta: true, Codec: CodecRaw}, 1, 4, []int{2, 2})
+	writeChainGen(t, fs, "job.g2", ChainOptions{Prev: "job.g1", Delta: true, Codec: CodecRaw}, 2, 4, []int{2, 2})
+
+	rot := Rotation{Base: "job", Keep: 1}
+	rot.Prune(fs)
+	// Keep=1 retains only g2, but g2 still references pieces stored in
+	// g0, so g0 must survive. g1 holds nothing g2 needs — every piece g1
+	// rewrote was rewritten again or carried with its original g0
+	// location (flat back-pointers) — so it is correctly pruned.
+	if gens := rot.Generations(fs); len(gens) != 2 || gens[0] != "job.g0" || gens[1] != "job.g2" {
+		t.Fatalf("prune kept %v, want [job.g0 job.g2]", gens)
+	}
+	if err := Verify(fs, "job.g2", 0); err != nil {
+		t.Fatal(err)
+	}
+	checkChainRestore(t, fs, "job", 2, 3, []int{3, 1}, 128)
+
+	// A fresh anchor cuts the chain: the next prune removes all of it.
+	writeChainGen(t, fs, "job.g3", ChainOptions{Codec: CodecRaw}, 3, 4, []int{2, 2})
+	rot.Prune(fs)
+	if gens := rot.Generations(fs); len(gens) != 1 || gens[0] != "job.g3" {
+		t.Fatalf("generations after anchor prune = %v", gens)
+	}
+	if n := StateBytes(fs, "job.g0") + StateBytes(fs, "job.g1") + StateBytes(fs, "job.g2"); n != 0 {
+		t.Fatalf("pruned chain left %d bytes", n)
+	}
+	checkChainRestore(t, fs, "job", 3, 2, []int{2, 1}, 128)
+}
+
+func TestSquashFoldsChainIntoAnchor(t *testing.T) {
+	fs := testFS()
+	writeChainGen(t, fs, "job.g0", ChainOptions{Codec: CodecFlate}, 0, 4, []int{2, 2})
+	writeChainGen(t, fs, "job.g1", ChainOptions{Prev: "job.g0", Delta: true, Codec: CodecFlate}, 1, 4, []int{2, 2})
+
+	dst, squashed, err := Squash(fs, "job", 0)
+	if err != nil || !squashed || dst != "job.g2" {
+		t.Fatalf("squash = %q %v %v", dst, squashed, err)
+	}
+	m, err := ReadMeta(fs, dst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ChainLen != 0 || m.Deps != nil || !m.Chained() {
+		t.Fatalf("squashed meta = len %d deps %v", m.ChainLen, m.Deps)
+	}
+	if err := Verify(fs, dst, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Squashing twice is a no-op: the newest generation is self-contained.
+	if p, again, err := Squash(fs, "job", 0); err != nil || again || p != dst {
+		t.Fatalf("re-squash = %q %v %v", p, again, err)
+	}
+	checkChainRestore(t, fs, dst, 1, 3, []int{3, 1}, 128)
+
+	// With the anchor in place the old chain is prunable.
+	Rotation{Base: "job", Keep: 1}.Prune(fs)
+	if n := StateBytes(fs, "job.g0") + StateBytes(fs, "job.g1"); n != 0 {
+		t.Fatalf("old chain survived squash+prune: %d bytes", n)
+	}
+	checkChainRestore(t, fs, "job", 1, 2, []int{2, 1}, 200)
+}
+
+func TestRotationViewCachesScan(t *testing.T) {
+	fs := testFS()
+	rot := Rotation{Base: "v", Keep: 2}
+	view := NewRotationView(rot)
+	if _, _, ok := view.Latest(fs); ok {
+		t.Fatal("latest on empty history")
+	}
+	for gen := 0; gen < 4; gen++ {
+		prefix := view.NextPrefix(fs)
+		if want := fmt.Sprintf("v.g%d", gen); prefix != want {
+			t.Fatalf("next prefix = %q, want %q", prefix, want)
+		}
+		gen := gen
+		mustRun(t, 2, func(c *msg.Comm) {
+			sg, refs, u, ids := buildApp(c, []int{2, 1})
+			iter := gen
+			sg.Register("iter", &iter)
+			u.Fill(coordVal)
+			ids.Fill(func([]int) int32 { return int32(gen) })
+			if _, err := WriteDRMS(fs, prefix, c, sg, refs, stream.Options{}); err != nil {
+				panic(err)
+			}
+		})
+		view.NoteCommitted(prefix)
+		view.Prune(fs)
+		if _, latest, ok := view.Latest(fs); !ok || latest != prefix {
+			t.Fatalf("latest after commit = %q %v", latest, ok)
+		}
+	}
+	// The cached view and a fresh directory scan agree.
+	if gens := rot.Generations(fs); len(gens) != 2 || gens[0] != "v.g2" || gens[1] != "v.g3" {
+		t.Fatalf("generations = %v", gens)
+	}
+	// A reserved number is never reused, even when its attempt dies
+	// before committing anything.
+	_ = view.NextPrefix(fs) // v.g4 reserved, never written
+	if p := view.NextPrefix(fs); p != "v.g5" {
+		t.Fatalf("reserved generation reused: %q", p)
+	}
+	// Out-of-band mutations are picked up after Invalidate.
+	Quarantine(fs, "v.g3")
+	view.Invalidate()
+	if _, latest, ok := view.Latest(fs); !ok || latest != "v.g2" {
+		t.Fatalf("latest after quarantine+invalidate = %q %v", latest, ok)
+	}
+}

@@ -79,6 +79,56 @@ type Meta struct {
 	// previous checkpoint whose signature matches. Decodes as empty from
 	// older metadata, which simply forces a full write.
 	PlanSigs []string
+
+	// The remaining fields belong to chained checkpoints (Version >= 2,
+	// WriteDRMSChained) and decode as zero from v1 metadata.
+
+	// ChainLen is this checkpoint's distance from its chain's anchor:
+	// 0 for an anchor (every piece stored under this generation's own
+	// prefix), k for the k-th consecutive delta. The run-time system
+	// compares it against the configured anchor interval.
+	ChainLen int
+	// Deps lists the generation numbers whose piece files this
+	// checkpoint's locations reference (ascending, excluding its own).
+	// Pruning keeps them alive; verification walks into them. Flat by
+	// construction: locations are copied verbatim when a piece is
+	// carried forward, so a delta's dependencies never require reading
+	// intermediate metadata.
+	Deps []int
+	// PieceLocs holds, per array, where every piece's stored bytes live
+	// (aligned with Arrays). The meta is self-contained: resolving any
+	// piece costs exactly one piece-file read.
+	PieceLocs [][]PieceLoc
+	// Sections holds, per array, every task's contribution fingerprint
+	// to every piece (stream.SectionSums, sorted by piece then task) —
+	// the delta base the NEXT chained generation diffs against to decide
+	// which pieces to rewrite without redistributing anything. Decodes
+	// empty from older metadata, which simply forces a full write.
+	Sections [][]stream.SectionSum
+}
+
+// Chained reports whether the checkpoint uses the chained piece format
+// (per-piece locations, possibly compressed or referencing earlier
+// generations).
+func (m *Meta) Chained() bool {
+	return m.Version >= chainVersion && len(m.PieceLocs) > 0
+}
+
+// PieceSums returns array i's per-piece logical checksums regardless of
+// metadata version: v1 stores them directly, chained metadata embeds
+// them in the piece locations. Nil when the checkpoint has neither.
+func (m *Meta) PieceSums(i int) []PieceSum {
+	if len(m.ArrayPieces) > i && m.ArrayPieces[i] != nil {
+		return m.ArrayPieces[i]
+	}
+	if len(m.PieceLocs) > i && m.PieceLocs[i] != nil {
+		ps := make([]PieceSum, len(m.PieceLocs[i]))
+		for j, l := range m.PieceLocs[i] {
+			ps[j] = l.PieceSum
+		}
+		return ps
+	}
+	return nil
 }
 
 // Stats summarizes a checkpoint or restart operation on this task.
@@ -87,15 +137,25 @@ type Stats struct {
 	ArrayBytes   int64 // distribution-independent array bytes
 	NetBytes     int64 // redistribution traffic sent by this task
 	SkippedBytes int64 // array bytes elided by an incremental checkpoint
+	// StoredBytes is the array bytes this task actually put on storage:
+	// after piece elision and compression. Delta back-pointers cost
+	// nothing; the segment is always stored raw.
+	StoredBytes int64
+	// Meta is the committed metadata, set at task 0 of a chained write
+	// only (nil elsewhere and for v1 writes). The commit path caches it
+	// so the next delta's base — which task 0 itself just wrote — needs
+	// no storage read.
+	Meta *Meta
 }
 
 // Total returns segment plus array bytes.
 func (s Stats) Total() int64 { return s.SegmentBytes + s.ArrayBytes }
 
 const (
-	version   = 1
-	padChunk  = 1 << 20 // padding is written/read in 1 MB operations
-	segHeader = 8       // payload length prefix
+	version      = 1       // full-image metadata (WriteDRMS / WriteSPMD)
+	chainVersion = 2       // chained metadata with piece locations (WriteDRMSChained)
+	padChunk     = 1 << 20 // padding is written/read in 1 MB operations
+	segHeader    = 8       // payload length prefix
 )
 
 func metaFile(prefix string) string { return prefix + ".meta" }
@@ -105,6 +165,13 @@ func arrFile(prefix, name string) string {
 }
 func taskSegFile(prefix string, task int) string {
 	return fmt.Sprintf("%s.task%d.seg", prefix, task)
+}
+
+// pieceFile names one writer task's piece file of a chained checkpoint:
+// the compacted, append-only store of every piece that task wrote for
+// the array in that generation.
+func pieceFile(prefix, name string, task int) string {
+	return fmt.Sprintf("%s.arr.%s.p%d", prefix, name, task)
 }
 
 // WriteDRMS takes a reconfigurable checkpoint: task 0's segment plus
@@ -215,6 +282,7 @@ func writeDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 		st.ArrayBytes += s.StreamBytes
 		st.NetBytes += s.NetBytes
 		st.SkippedBytes += s.SkippedBytes
+		st.StoredBytes += s.StoredBytes
 		metas[i] = ArrayMeta{Name: a.Name(), Kind: a.Kind(), Global: a.GlobalShape(), Bytes: s.StreamBytes}
 		if err := comm.Barrier(); err != nil { // phase boundary: all of this array's I/O precedes the next phase
 			return st, err
@@ -337,16 +405,25 @@ func ReadDRMSOpts(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment
 		opts := o
 		hook, pieces := crcCollector()
 		opts.PieceHook = chainPieceHooks(o.PieceHook, hook)
+		if m.Version >= chainVersion && len(m.PieceLocs) > i {
+			// Chained checkpoint: the array's bytes live in per-writer
+			// piece files, possibly compressed and possibly in earlier
+			// generations (deltas). The fetcher maps whatever extents this
+			// restore's own piece plan asks for onto the stored pieces.
+			opts.FetchPiece = newPieceFetcher(fs, prefix, am.Name, m.PieceLocs[i], comm.Rank()).fetch
+		}
 		var pieceVerify *pieceVerifier
-		if ro.Verify && len(m.ArrayPieces) > i {
-			// Piece-level verification: compare each piece the moment it
-			// is read against the checkpointed per-piece checksums. Only
-			// pieces whose extent (index, offset, length) matches the
-			// stored plan are attributable — a restore with different
-			// streaming options partitions differently and falls back to
-			// the whole-stream check below.
-			pieceVerify = newPieceVerifier(m.ArrayPieces[i])
-			opts.PieceHook = chainPieceHooks(opts.PieceHook, pieceVerify.hook)
+		if ro.Verify {
+			if sums := m.PieceSums(i); sums != nil {
+				// Piece-level verification: compare each piece the moment it
+				// is read against the checkpointed per-piece checksums. Only
+				// pieces whose extent (index, offset, length) matches the
+				// stored plan are attributable — a restore with different
+				// streaming options partitions differently and falls back to
+				// the whole-stream check below.
+				pieceVerify = newPieceVerifier(sums)
+				opts.PieceHook = chainPieceHooks(opts.PieceHook, pieceVerify.hook)
+			}
 		}
 		s, err := a.StreamRead(fs, file, opts)
 		if err != nil {
@@ -515,7 +592,7 @@ func ReadMeta(fs *pfs.System, prefix string, client int) (Meta, error) {
 	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&m); err != nil {
 		return m, fmt.Errorf("ckpt: corrupt metadata for %q: %w", prefix, err)
 	}
-	if m.Version != version {
+	if m.Version < version || m.Version > chainVersion {
 		return m, fmt.Errorf("ckpt: metadata version %d unsupported", m.Version)
 	}
 	return m, nil

@@ -210,6 +210,11 @@ func Verify(fs *pfs.System, prefix string, client int) error {
 		if err := verifyFile(fs, prefix, segFile(prefix), client, m.SegBytes[0], m.SegCRC[0]); err != nil {
 			return err
 		}
+		if m.Version >= chainVersion && len(m.PieceLocs) > 0 {
+			// Chained checkpoints store pieces, not whole array files;
+			// verify each stored extent, across the whole chain.
+			return verifyChained(fs, prefix, &m, client)
+		}
 		for i, am := range m.Arrays {
 			// Array files are exactly the stream bytes.
 			file := arrFile(prefix, am.Name)

@@ -33,6 +33,22 @@ var (
 		"Integrity-check failures (every *CorruptError constructed).")
 	ckptQuarantines = obs.GetCounter("drms_ckpt_quarantines_total",
 		"Checkpoint generations quarantined (renamed aside as corrupt).")
+	ckptStoredBytes = obs.GetCounter("drms_ckpt_stored_bytes_total",
+		"Bytes of checkpoint state actually written to storage per commit, summed over tasks (after delta elision and compression).")
+	ckptAnchorWrites = obs.GetCounter("drms_ckpt_anchor_writes_total",
+		"Committed chained generations that are self-contained anchors (no dependencies).")
+	ckptDeltaWrites = obs.GetCounter("drms_ckpt_delta_writes_total",
+		"Committed chained generations that reference earlier generations for unchanged pieces.")
+	ckptPiecesReferenced = obs.GetCounter("drms_ckpt_pieces_referenced_total",
+		"Pieces carried into a delta generation by back-pointer instead of being rewritten.")
+	ckptCodecInBytes = obs.GetCounter("drms_ckpt_codec_in_bytes_total",
+		"Logical piece bytes fed to the flate encoder.")
+	ckptCodecOutBytes = obs.GetCounter("drms_ckpt_codec_out_bytes_total",
+		"Encoded piece bytes the flate encoder produced (before the raw fallback for expanding pieces).")
+	ckptCodecSeconds = obs.GetHistogram("drms_ckpt_codec_seconds",
+		"Wall time of individual piece encodes.", obs.LatencyBuckets)
+	ckptSquashes = obs.GetCounter("drms_ckpt_squashes_total",
+		"Delta chains folded into fresh self-contained anchors (Squash).")
 )
 
 // lastCommitNano is the wall time of the most recent checkpoint commit
@@ -65,7 +81,13 @@ func init() {
 }
 
 // observeWrite records one checkpoint attempt's outcome on rank 0.
+// Stored bytes are the exception: each task's Stats cover only the
+// pieces that task wrote, so every rank contributes its share (in-
+// process tasks share the registry, making the counter the cluster sum).
 func observeWrite(rank int, st Stats, start time.Time, err error) {
+	if err == nil {
+		ckptStoredBytes.Add(uint64(st.SegmentBytes + st.StoredBytes))
+	}
 	if rank != 0 {
 		return
 	}

@@ -113,15 +113,69 @@ func (r Rotation) NextPrefix(fs *pfs.System) string {
 // Prune removes committed generations beyond Keep, newest retained
 // first — counting generations that actually exist, not numeric
 // distance, so a gap (e.g. a quarantined generation between two live
-// ones) never causes the fallback generation to be deleted. Call it
-// after a successful checkpoint (task 0 only — pruning is not
-// collective). Quarantined generations are never touched.
+// ones) never causes the fallback generation to be deleted. Chained
+// generations pin their dependencies: a generation a retained one
+// back-points into survives pruning even when older than the Keep
+// horizon. Call it after a successful checkpoint (task 0 only —
+// pruning is not collective). Quarantined generations are never
+// touched.
 func (r Rotation) Prune(fs *pfs.System) {
-	keep := max(r.Keep, 1)
-	gens := r.committed(fs)
-	for i := 0; i < len(gens)-keep; i++ {
-		Remove(fs, r.generation(gens[i]))
+	r.pruneGens(fs, r.committed(fs), nil)
+}
+
+// pruneGens removes the prunable prefix of gens (the committed
+// generations, ascending), retaining the newest Keep plus —
+// transitively — every generation a retained one depends on for
+// carried-forward pieces. The walk is a fixpoint because retained
+// dependencies are themselves fallback candidates for recovery, so
+// their own dependencies must survive too. deps, if non-nil, resolves a
+// generation's chain dependencies (a caller-side cache); nil reads the
+// meta. Returns the generations actually removed.
+func (r Rotation) pruneGens(fs *pfs.System, gens []int, deps func(g int) []int) []int {
+	if deps == nil {
+		deps = func(g int) []int { return chainDeps(fs, r.generation(g)) }
 	}
+	keep := max(r.Keep, 1)
+	if len(gens) <= keep {
+		return nil
+	}
+	need := map[int]bool{}
+	frontier := gens[len(gens)-keep:]
+	for _, g := range frontier {
+		need[g] = true
+	}
+	for len(frontier) > 0 {
+		var next []int
+		for _, g := range frontier {
+			for _, d := range deps(g) {
+				if !need[d] {
+					need[d] = true
+					next = append(next, d)
+				}
+			}
+		}
+		frontier = next
+	}
+	var removed []int
+	for _, g := range gens[:len(gens)-keep] {
+		if !need[g] {
+			Remove(fs, r.generation(g))
+			removed = append(removed, g)
+		}
+	}
+	return removed
+}
+
+// chainDeps returns the generations a checkpoint depends on for
+// carried-forward pieces: nil for v1 checkpoints, anchors, and
+// unreadable metas (a committed generation's meta is atomic, so an
+// unreadable one is already unrecoverable — nothing to pin).
+func chainDeps(fs *pfs.System, prefix string) []int {
+	m, err := ReadMeta(fs, prefix, 0)
+	if err != nil {
+		return nil
+	}
+	return m.Deps
 }
 
 // CleanIncomplete deletes the files of generations that were started but
@@ -218,4 +272,156 @@ func ResolveVerified(fs *pfs.System, prefix string) (chosen string, quarantined 
 		quarantined = append(quarantined, p)
 	}
 	return prefix, quarantined, false, firstErr
+}
+
+// RotationView is a Rotation plus a cached directory scan, for the
+// checkpoint commit path, which consults the rotation several times per
+// generation (the delta base, the next prefix, the post-commit prune).
+// Rotation's primitives re-list the checkpoint directory on every call —
+// a cost that grows with the number of files per generation and with
+// Keep — so a long-running SOP would pay an O(files) scan per
+// checkpoint several times over. The view lists once, then maintains
+// the cached state through the mutations it itself performs.
+//
+// Correct only under the invariant the rotation already requires: a
+// single writer (rank 0) creates, commits, and prunes generations. An
+// out-of-band mutation (quarantine by a supervisor, fsck repair) must
+// be followed by Invalidate. Not safe for concurrent use.
+type RotationView struct {
+	Rot     Rotation
+	scanned bool
+	gens    []int // committed generations, ascending
+	maxSeen int   // highest generation number ever observed or reserved
+	// deps caches each committed generation's chain dependencies: the
+	// meta of a committed generation is immutable, so its Deps list is
+	// too. Without the cache the chain-aware prune re-reads one meta per
+	// retained generation per commit — on a long chain that is the
+	// dominant metadata cost of a delta checkpoint.
+	deps map[int][]int
+	// lastMeta/lastGen cache the newest committed generation's metadata
+	// when the writer hands it over (NoteCommittedMeta): the next delta
+	// checkpoint's base is exactly what this writer just wrote, so the
+	// commit path never re-reads its own output.
+	lastMeta *Meta
+	lastGen  int
+}
+
+// NewRotationView returns a view over rot; storage is not touched until
+// the first query.
+func NewRotationView(rot Rotation) *RotationView { return &RotationView{Rot: rot} }
+
+func (v *RotationView) load(fs *pfs.System) {
+	if v.scanned {
+		return
+	}
+	v.gens = v.Rot.committed(fs)
+	v.maxSeen = v.Rot.scanMax(fs)
+	v.scanned = true
+}
+
+// Invalidate drops the cached scan — and the cached metadata and
+// dependency lists, since an out-of-band mutation may have quarantined
+// or repaired what they describe — so the next query re-lists storage.
+func (v *RotationView) Invalidate() {
+	v.scanned = false
+	v.deps = nil
+	v.lastMeta = nil
+}
+
+// Latest mirrors Rotation.Latest on the cached listing.
+func (v *RotationView) Latest(fs *pfs.System) (k int, prefix string, ok bool) {
+	v.load(fs)
+	if len(v.gens) == 0 {
+		return 0, "", false
+	}
+	g := v.gens[len(v.gens)-1]
+	return g, v.Rot.generation(g), true
+}
+
+// NextPrefix reserves and returns the next generation prefix. The
+// reservation advances the cached high-water mark immediately, so a
+// failed attempt's number is never reused — exactly what
+// Rotation.NextPrefix would conclude from the attempt's torn files.
+func (v *RotationView) NextPrefix(fs *pfs.System) string {
+	v.load(fs)
+	v.maxSeen++
+	return v.Rot.generation(v.maxSeen)
+}
+
+// NoteCommitted records that prefix's generation committed. The single
+// writer calls it after its meta rename, keeping the cache current
+// without a re-scan.
+func (v *RotationView) NoteCommitted(prefix string) {
+	if !v.scanned {
+		return // next load sees the commit on storage
+	}
+	if _, g, ok := GenOf(prefix); ok {
+		v.gens = append(v.gens, g) // reservations are monotonic: stays sorted
+		if g > v.maxSeen {
+			v.maxSeen = g
+		}
+	}
+}
+
+// NoteCommittedMeta is NoteCommitted plus a metadata hand-over: the
+// writer passes the meta it just committed (Stats.Meta), priming the
+// dependency cache and the delta-base cache so the next checkpoint's
+// prune and base resolution cost no storage reads.
+func (v *RotationView) NoteCommittedMeta(prefix string, m *Meta) {
+	v.NoteCommitted(prefix)
+	if m == nil {
+		return
+	}
+	if _, g, ok := GenOf(prefix); ok {
+		if v.deps == nil {
+			v.deps = map[int][]int{}
+		}
+		v.deps[g] = m.Deps
+		v.lastMeta, v.lastGen = m, g
+	}
+}
+
+// CommittedMeta returns the cached metadata of prefix, if it is the
+// newest generation this view saw committed (nil otherwise — callers
+// fall back to ReadMeta).
+func (v *RotationView) CommittedMeta(prefix string) *Meta {
+	if v.lastMeta != nil && prefix == v.Rot.generation(v.lastGen) {
+		return v.lastMeta
+	}
+	return nil
+}
+
+// Prune mirrors Rotation.Prune (chain-aware) on the cached listing and
+// removes the pruned generations from the cache. Chain dependencies are
+// resolved through the view's dep cache, so at steady state each commit
+// costs one meta read (the new generation's) instead of one per
+// retained generation.
+func (v *RotationView) Prune(fs *pfs.System) {
+	v.load(fs)
+	if v.deps == nil {
+		v.deps = map[int][]int{}
+	}
+	removed := v.Rot.pruneGens(fs, v.gens, func(g int) []int {
+		d, ok := v.deps[g]
+		if !ok {
+			d = chainDeps(fs, v.Rot.generation(g))
+			v.deps[g] = d
+		}
+		return d
+	})
+	if len(removed) == 0 {
+		return
+	}
+	rm := map[int]bool{}
+	for _, g := range removed {
+		rm[g] = true
+		delete(v.deps, g)
+	}
+	kept := v.gens[:0]
+	for _, g := range v.gens {
+		if !rm[g] {
+			kept = append(kept, g)
+		}
+	}
+	v.gens = kept
 }

@@ -1,0 +1,114 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, id ID, src []byte) {
+	t.Helper()
+	enc, err := Encode(id, nil, src)
+	if err != nil {
+		t.Fatalf("%v encode: %v", id, err)
+	}
+	dst := make([]byte, len(src))
+	if err := Decode(id, dst, enc); err != nil {
+		t.Fatalf("%v decode: %v", id, err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("%v round trip changed %d bytes", id, len(src))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	payloads := [][]byte{
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte{0}, 4096),
+		bytes.Repeat([]byte("abcd"), 1000),
+	}
+	noisy := make([]byte, 100_000)
+	rng.Read(noisy)
+	payloads = append(payloads, noisy)
+	for _, p := range payloads {
+		roundTrip(t, Raw, p)
+		roundTrip(t, Flate, p)
+	}
+}
+
+func TestFlateCompressesRedundantData(t *testing.T) {
+	src := bytes.Repeat([]byte{42}, 1<<16)
+	enc, err := Encode(Flate, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) >= len(src)/10 {
+		t.Fatalf("flate left %d of %d bytes", len(enc), len(src))
+	}
+}
+
+func TestEncodeReusesDst(t *testing.T) {
+	src := bytes.Repeat([]byte("hello"), 500)
+	first, err := Encode(Flate, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Encode(Flate, first, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &second[0] {
+		t.Error("second encode did not reuse the scratch buffer")
+	}
+	dst := make([]byte, len(src))
+	if err := Decode(Flate, dst, second); err != nil || !bytes.Equal(dst, src) {
+		t.Fatalf("reused-buffer encode corrupted data: %v", err)
+	}
+}
+
+func TestRawIsZeroCopy(t *testing.T) {
+	src := []byte("payload")
+	enc, err := Encode(Raw, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &enc[0] != &src[0] {
+		t.Error("raw encode copied the input")
+	}
+}
+
+func TestDecodeLengthMismatch(t *testing.T) {
+	src := bytes.Repeat([]byte("z"), 256)
+	enc, err := Encode(Flate, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Decode(Flate, make([]byte, 255), enc); err == nil {
+		t.Error("short dst: want error, got nil")
+	}
+	if err := Decode(Flate, make([]byte, 257), enc); err == nil {
+		t.Error("long dst: want error, got nil")
+	}
+	if err := Decode(Raw, make([]byte, 3), []byte("ab")); err == nil {
+		t.Error("raw length mismatch: want error, got nil")
+	}
+}
+
+func TestCorruptFlateStreamFails(t *testing.T) {
+	src := bytes.Repeat([]byte("q"), 1024)
+	enc, err := Encode(Flate, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[len(enc)/2] ^= 0xFF
+	dst := make([]byte, len(src))
+	// Either a decode error or wrong bytes; both must be detectable. The
+	// checkpoint layer additionally CRCs the decoded piece, so a decode
+	// that silently yields wrong bytes is still caught there — here we
+	// only require Decode not to succeed with the *right* bytes.
+	if err := Decode(Flate, dst, enc); err == nil && bytes.Equal(dst, src) {
+		t.Error("corrupt stream decoded to the original bytes")
+	}
+}

@@ -147,6 +147,12 @@ type AppSpec struct {
 	// Verify forces read-path CRC verification on restore even for
 	// unsupervised launches.
 	Verify bool
+	// AnchorEvery enables chained (delta) checkpointing with the given
+	// anchor interval (drms.Config.AnchorEvery).
+	AnchorEvery int
+	// Codec selects the piece codec for chained checkpoints
+	// (drms.Config.Codec).
+	Codec ckpt.CodecMode
 	// FaultNext, when non-nil, injects a deterministic fault into each
 	// incarnation (the chaos harness): it is asked once per launch, with
 	// the incarnation number and pool size, and may return nil for "let
@@ -532,7 +538,8 @@ func (rc *RC) launchIncarnationLocked(app *appState, nodes []int, restartFrom st
 		keep = 2 // a corrupt newest generation needs an older fallback
 	}
 	cfg := drms.Config{Tasks: tasks, FS: rc.fs, Stream: spec.Stream, SPMDMode: spec.SPMD,
-		RestartFrom: restartFrom, Keep: keep, Verify: spec.Verify || supervised}
+		RestartFrom: restartFrom, Keep: keep, Verify: spec.Verify || supervised,
+		AnchorEvery: spec.AnchorEvery, Codec: spec.Codec}
 	var cell atomic.Pointer[drms.Handle]
 	if spec.FaultNext != nil {
 		if f := spec.FaultNext(app.incarnation, tasks); f != nil {

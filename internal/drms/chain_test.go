@@ -1,0 +1,256 @@
+package drms
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drms/internal/ckpt"
+	"drms/internal/dist"
+	"drms/internal/msg"
+	"drms/internal/rangeset"
+)
+
+// chainApp is the sparse-update workload at the run-time-system level: a
+// static lookup table (never touched after the prologue, so delta
+// generations carry its pieces forward by back-pointer) plus an
+// element-wise iterate that changes every step. The update is
+// element-wise with a fixed operand order, so the checksum is bitwise
+// independent of pool size and checkpoint scheme.
+func chainApp(n, iters, ckEvery int, prefix string, out chan<- float64) func(*Task) error {
+	return func(t *Task) error {
+		g := rangeset.Box([]int{0, 0}, []int{n - 1, n - 1})
+		grid := dist.FactorGrid(t.Tasks(), 2, g.Shape())
+		d, err := dist.Block(g, grid)
+		if err != nil {
+			return err
+		}
+		u, err := NewArray[float64](t, "u", d)
+		if err != nil {
+			return err
+		}
+		tab, err := NewArray[int32](t, "tab", d)
+		if err != nil {
+			return err
+		}
+		iter := 0
+		t.Register("iter", &iter)
+		u.Fill(func(c []int) float64 { return float64(c[0]*n+c[1]) * 0.001 })
+		tab.Fill(func(c []int) int32 { return int32(c[0]*n + c[1]) })
+
+		for {
+			if iter%ckEvery == 0 {
+				if _, _, err := t.ReconfigCheckpoint(prefix); err != nil {
+					return err
+				}
+			}
+			if iter >= iters {
+				break
+			}
+			u.Assigned().Each(rangeset.ColMajor, func(c []int) {
+				u.Set(c, u.At(c)*0.5+float64(tab.At(c))*0.01)
+			})
+			iter++
+		}
+		sum, err := u.Checksum()
+		if err != nil {
+			return err
+		}
+		if t.Rank() == 0 {
+			out <- sum
+		}
+		return nil
+	}
+}
+
+func TestChainedConfigLifecycleAndRestart(t *testing.T) {
+	const n, iters, ckEvery = 12, 8, 2
+
+	// Fault-free reference with the classic scheme.
+	ref := make(chan float64, 1)
+	if err := Run(Config{Tasks: 3, FS: testFS()}, chainApp(n, iters, ckEvery, "ck", ref)); err != nil {
+		t.Fatal(err)
+	}
+	want := <-ref
+
+	// Chained run: checkpoints at iterations 0,2,4,6,8 land in g0..g4
+	// with anchors every 3rd generation (chain lengths 0,1,2,0,1).
+	fs := testFS()
+	out := make(chan float64, 1)
+	err := Run(Config{Tasks: 4, FS: fs, Keep: 2, AnchorEvery: 3, Codec: ckpt.CodecFlate},
+		chainApp(n, iters, ckEvery, "ck", out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-out; got != want {
+		t.Fatalf("chained-run checksum %v != classic %v", got, want)
+	}
+
+	// Chain-aware pruning kept exactly the tail of the chain: the g3
+	// anchor and the g4 delta depending on it.
+	rot := ckpt.Rotation{Base: "ck", Keep: 2}
+	gens := rot.Generations(fs)
+	if len(gens) != 2 || gens[0] != "ck.g3" || gens[1] != "ck.g4" {
+		t.Fatalf("generations = %v, want [ck.g3 ck.g4]", gens)
+	}
+	m, err := ckpt.ReadMeta(fs, "ck.g4", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Chained() || m.ChainLen != 1 || len(m.Deps) != 1 || m.Deps[0] != 3 {
+		t.Fatalf("newest meta: chained %v len %d deps %v", m.Chained(), m.ChainLen, m.Deps)
+	}
+	if err := ckpt.Verify(fs, "ck.g4", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconfigured restart from the delta generation on a smaller pool.
+	out2 := make(chan float64, 1)
+	err = Run(Config{Tasks: 2, FS: fs, RestartFrom: "ck", Verify: true},
+		chainApp(n, iters, ckEvery, "ck", out2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-out2; got != want {
+		t.Fatalf("restored checksum %v != classic %v", got, want)
+	}
+}
+
+func TestIncrementalCheckpointOnChainedTargetExtendsChain(t *testing.T) {
+	// IncrementalCheckpoint cannot refresh a chained generation in place
+	// (other generations back-point into its piece files); it must append
+	// a delta generation to the chain instead.
+	const n = 12
+	fs := testFS()
+	out := make(chan float64, 1)
+	err := Run(Config{Tasks: 2, FS: fs, Keep: 3, AnchorEvery: 8, Codec: ckpt.CodecRaw},
+		func(t *Task) error {
+			app := chainApp(n, 2, 1, "inc", out)
+			return app(t)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-out
+	before := ckpt.Rotation{Base: "inc"}.Generations(fs)
+
+	err = Run(Config{Tasks: 2, FS: fs, Keep: 3, AnchorEvery: 8, Codec: ckpt.CodecRaw},
+		func(t *Task) error {
+			if _, err := NewArray[float64](t, "u", mustDist(t, n)); err != nil {
+				return err
+			}
+			if _, err := NewArray[int32](t, "tab", mustDist(t, n)); err != nil {
+				return err
+			}
+			iter := 0
+			t.Register("iter", &iter)
+			_, _, err := t.IncrementalCheckpoint("inc")
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ckpt.Rotation{Base: "inc"}.Generations(fs)
+	if len(after) != len(before)+1 {
+		t.Fatalf("incremental on a chained target: generations %v -> %v, want one appended", before, after)
+	}
+	m, err := ckpt.ReadMeta(fs, after[len(after)-1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Chained() {
+		t.Fatal("appended generation is not chained")
+	}
+	if err := ckpt.Verify(fs, after[len(after)-1], 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustDist(t *Task, n int) *dist.Distribution {
+	g := rangeset.Box([]int{0, 0}, []int{n - 1, n - 1})
+	d, err := dist.Block(g, dist.FactorGrid(t.Tasks(), 2, g.Shape()))
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TestChainedFaultMidDeltaFallsBack replays the paper's failure scenario
+// against a delta generation: a rank dies while the g1 delta is being
+// written. The torn delta must never be promoted, CleanIncomplete must
+// remove its partial piece files, and a reconfigured restart must land
+// on the g0 anchor and converge to the fault-free checksum.
+func TestChainedFaultMidDeltaFallsBack(t *testing.T) {
+	const n, iters, tasks, victim = 12, 8, 4, 2
+	want := runToCompletion(t, tasks, n, iters)
+
+	fs := testFS()
+	rot := ckpt.Rotation{Base: "rot"}
+	rec := &sopRecord{statuses: map[int]Status{}, errs: map[int]error{}}
+	var arm atomic.Bool
+	ready := make(chan struct{})
+
+	cfg := Config{Tasks: tasks, FS: fs, Keep: 2, AnchorEvery: 4, Codec: ckpt.CodecFlate,
+		Fault: &msg.FaultSpec{Victim: victim}}
+	var ft atomic.Pointer[msg.FaultTransport]
+	cfg.Stream.PieceHook = func(int, int64, []byte) {
+		if arm.Load() {
+			ft.Load().Arm()
+		}
+	}
+	h, err := Start(cfg, rotationApp(n, iters, "rot", ready, &arm, rec, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Store(h.Fault())
+	close(ready)
+
+	select {
+	case <-h.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("application hung after mid-delta failure")
+	}
+	if waitErr := h.Wait(); !errors.Is(waitErr, msg.ErrKilled) {
+		t.Fatalf("run error = %v, want the injected kill as root cause", waitErr)
+	}
+
+	// The torn delta never committed; the anchor is still the restart
+	// point, and it is a chained-format checkpoint.
+	if ckpt.Exists(fs, "rot.g1") {
+		t.Fatal("interrupted delta committed a meta file")
+	}
+	if _, prefix, ok := rot.Latest(fs); !ok || prefix != "rot.g0" {
+		t.Fatalf("latest generation = %q, want rot.g0", prefix)
+	}
+	m, err := ckpt.ReadMeta(fs, "rot.g0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Chained() || m.ChainLen != 0 {
+		t.Fatalf("anchor meta: chained %v len %d", m.Chained(), m.ChainLen)
+	}
+	cleaned := rot.CleanIncomplete(fs)
+	if len(cleaned) != 1 || cleaned[0] != "rot.g1" {
+		t.Fatalf("CleanIncomplete removed %v, want [rot.g1]", cleaned)
+	}
+	if len(fs.List("rot.g1.")) != 0 {
+		t.Fatal("torn delta piece files survived CleanIncomplete")
+	}
+	if err := ckpt.Verify(fs, "rot.g0", 0); err != nil {
+		t.Fatalf("surviving anchor fails verification: %v", err)
+	}
+
+	// Reconfigured restart on a smaller pool from the anchor; bitwise
+	// convergence with the uninterrupted run.
+	out := make(chan float64, 1)
+	err = Run(Config{Tasks: tasks - 1, FS: fs, RestartFrom: "rot", Verify: true,
+		Keep: 2, AnchorEvery: 4, Codec: ckpt.CodecFlate},
+		rotationApp(n, iters, "rot", nil, nil, nil, out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-out; got != want {
+		t.Fatalf("post-recovery checksum %v != clean run %v", got, want)
+	}
+}

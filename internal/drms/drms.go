@@ -33,6 +33,8 @@
 package drms
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -106,6 +108,19 @@ type Config struct {
 	// scheme instead of the reconfigurable DRMS scheme (the paper's
 	// baseline; restart then requires the same task count).
 	SPMDMode bool
+	// AnchorEvery > 1 enables chained checkpointing: generations are
+	// written in the chained piece format, every AnchorEvery-th one a
+	// self-contained anchor and the ones between deltas that carry
+	// unchanged pieces forward by back-pointer. 0 or 1 (the default)
+	// keeps the classic self-contained v1 format — deltas need a bounded
+	// anchor interval, so they are never taken without one. Ignored in
+	// SPMD mode.
+	AnchorEvery int
+	// Codec selects the piece codec for chained checkpoints
+	// (ckpt.CodecAuto: compress when the bandwidth model says it pays).
+	// Setting it to a non-auto value also switches on the chained format
+	// even when AnchorEvery is unset (anchors only, compressed).
+	Codec ckpt.CodecMode
 	// Fault, when non-nil, wraps the application's transport in a
 	// deterministic fault injector (tests): the victim rank dies at the
 	// configured operation, or when the injector is armed. The injector
@@ -207,6 +222,10 @@ type Task struct {
 	sg      *seg.Segment
 	arrays  []ckpt.ArrayRef
 	pending bool // restore waiting for the first SOP
+	// rots caches one rotation view per checkpoint prefix, so repeated
+	// SOPs don't re-list the checkpoint directory every time. Only rank
+	// 0 queries them (it is the rotation's single writer).
+	rots map[string]*ckpt.RotationView
 	// LastMeta holds the metadata of the checkpoint most recently taken
 	// or restored by this task.
 	LastMeta ckpt.Meta
@@ -315,8 +334,22 @@ func (t *Task) IncrementalCheckpoint(prefix string) (Status, int, error) {
 	// Refresh the newest committed state reachable from the prefix —
 	// the rotated generation when ReconfigCheckpoint wrote it, the
 	// prefix itself otherwise. In-place refresh is this call's contract
-	// (§6 trades the crash window for writing only changed pieces).
+	// (§6 trades the crash window for writing only changed pieces) —
+	// except for chained states, whose per-generation piece files other
+	// generations back-point into cannot be rewritten in place; those
+	// take the next delta generation of the chain instead. The dispatch
+	// reads shared storage, so every task decides identically.
 	target, _ := ckpt.Resolve(t.cfg.FS, prefix)
+	chainTarget := false
+	if m, err := ckpt.ReadMeta(t.cfg.FS, target, t.Rank()); err == nil && m.Chained() {
+		chainTarget = true
+	}
+	if chainTarget || t.chained() {
+		if err := t.writeGen(prefix); err != nil {
+			return Failed, 0, err
+		}
+		return Continued, 0, nil
+	}
 	t.sg.Ctx.SOP = prefix
 	if _, err := ckpt.WriteDRMSIncremental(t.cfg.FS, target, t.comm, t.sg, t.arrays, t.cfg.Stream); err != nil {
 		return Failed, 0, err
@@ -334,31 +367,98 @@ func (t *Task) IncrementalCheckpoint(prefix string) (Status, int, error) {
 // window of Table 2). Rank 0 picks the generation and broadcasts it (one
 // agreed name, no dependence on concurrent file-system scans), and only
 // after the new generation's meta commit are older ones pruned.
-func (t *Task) write(prefix string) error {
-	rot := ckpt.Rotation{Base: prefix, Keep: max(t.cfg.Keep, 1)}
-	var gen string
-	if t.Rank() == 0 {
-		gen = rot.NextPrefix(t.cfg.FS)
+func (t *Task) write(prefix string) error { return t.writeGen(prefix) }
+
+// chained reports whether this run writes checkpoints in the chained
+// piece format (deltas and/or per-piece codecs).
+func (t *Task) chained() bool {
+	return !t.cfg.SPMDMode && (t.cfg.AnchorEvery > 1 || t.cfg.Codec != ckpt.CodecAuto)
+}
+
+// rotation returns the cached rotation view for a prefix (rank 0 only:
+// the view assumes a single writer).
+func (t *Task) rotation(prefix string) *ckpt.RotationView {
+	if t.rots == nil {
+		t.rots = map[string]*ckpt.RotationView{}
 	}
-	b, err := t.comm.Bcast(0, []byte(gen))
+	v, ok := t.rots[prefix]
+	if !ok {
+		v = ckpt.NewRotationView(ckpt.Rotation{Base: prefix, Keep: max(t.cfg.Keep, 1)})
+		t.rots[prefix] = v
+	}
+	return v
+}
+
+// genHeader is rank 0's per-checkpoint decision, broadcast so all tasks
+// write the same generation the same way.
+type genHeader struct {
+	Gen   string // the fresh generation prefix
+	Prev  string // chain predecessor ("" = none)
+	Delta bool   // write a delta against Prev instead of a full anchor
+}
+
+func (t *Task) writeGen(prefix string) error {
+	chained := t.chained()
+	var hdr genHeader
+	var prevMeta *ckpt.Meta
+	if t.Rank() == 0 {
+		view := t.rotation(prefix)
+		hdr.Gen = view.NextPrefix(t.cfg.FS)
+		if chained {
+			if _, prev, ok := view.Latest(t.cfg.FS); ok {
+				hdr.Prev = prev
+				// The base is usually the generation this rank committed
+				// last time; the view hands its meta back without a read.
+				prevMeta = view.CommittedMeta(prev)
+				// Delta unless the anchor interval is due (or unbounded
+				// chains would result). WriteDRMSChained re-checks
+				// compatibility and silently demotes to an anchor.
+				if t.cfg.AnchorEvery > 1 {
+					m := prevMeta
+					if m == nil {
+						if read, err := ckpt.ReadMeta(t.cfg.FS, prev, 0); err == nil {
+							m = &read
+						}
+					}
+					if m != nil && m.ChainLen+1 < t.cfg.AnchorEvery {
+						hdr.Delta = true
+					}
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(hdr); err != nil {
+		return err
+	}
+	b, err := t.comm.Bcast(0, buf.Bytes())
 	if err != nil {
 		return err
 	}
-	gen = string(b)
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&hdr); err != nil {
+		return err
+	}
 	t.sg.Ctx.SOP = prefix
-	if t.cfg.SPMDMode {
-		_, err = ckpt.WriteSPMD(t.cfg.FS, gen, t.comm, t.sg, t.arrays, t.cfg.Stream)
-	} else {
-		_, err = ckpt.WriteDRMS(t.cfg.FS, gen, t.comm, t.sg, t.arrays, t.cfg.Stream)
+	var st ckpt.Stats
+	switch {
+	case t.cfg.SPMDMode:
+		st, err = ckpt.WriteSPMD(t.cfg.FS, hdr.Gen, t.comm, t.sg, t.arrays, t.cfg.Stream)
+	case chained:
+		st, err = ckpt.WriteDRMSChained(t.cfg.FS, hdr.Gen, t.comm, t.sg, t.arrays, t.cfg.Stream,
+			ckpt.ChainOptions{Prev: hdr.Prev, Delta: hdr.Delta, Codec: t.cfg.Codec, PrevMeta: prevMeta})
+	default:
+		st, err = ckpt.WriteDRMS(t.cfg.FS, hdr.Gen, t.comm, t.sg, t.arrays, t.cfg.Stream)
 	}
 	if err != nil {
 		return err
 	}
 	if t.Rank() == 0 {
-		rot.Prune(t.cfg.FS)
+		view := t.rotation(prefix)
+		view.NoteCommittedMeta(hdr.Gen, st.Meta)
+		view.Prune(t.cfg.FS)
 		rtsCheckpoints.Inc()
 	}
-	t.handle.noteGeneration(gen)
+	t.handle.noteGeneration(hdr.Gen)
 	return nil
 }
 

@@ -36,7 +36,23 @@ var (
 		"Redistribution bytes sent during two-phase exchanges.")
 	streamSkippedBytes = obs.GetCounter("drms_stream_skipped_bytes_total",
 		"Piece bytes elided by incremental checkpoints (SkipPiece).")
+	streamStoredBytes = obs.GetCounter("drms_stream_stored_bytes_total",
+		"Piece bytes actually written to storage (after EncodePiece; skipped pieces excluded).")
+	streamWriteIOSeconds = obs.GetHistogram("drms_stream_write_io_seconds",
+		"Service time of individual piece file writes (the async stage of the pipeline).", obs.LatencyBuckets)
 )
+
+// WriteBandwidth returns this process's observed storage write bandwidth
+// in bytes/second — stored piece bytes over the summed service time of
+// their file writes — and ok=false before any write has been timed. The
+// checkpoint layer's codec model reads it to price a byte saved.
+func WriteBandwidth() (bps float64, ok bool) {
+	sec := streamWriteIOSeconds.Sum()
+	if streamWriteIOSeconds.Count() == 0 || sec <= 0 {
+		return 0, false
+	}
+	return float64(streamStoredBytes.Value()) / sec, true
+}
 
 func init() {
 	// The streaming plan cache keeps its own counters (tests reset them);
@@ -60,4 +76,5 @@ func observeStream(ops *obs.Counter, seconds *obs.Histogram, start time.Time, st
 	seconds.ObserveSince(start)
 	streamNetBytes.Add(uint64(st.NetBytes))
 	streamSkippedBytes.Add(uint64(st.SkippedBytes))
+	streamStoredBytes.Add(uint64(st.StoredBytes))
 }

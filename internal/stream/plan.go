@@ -32,7 +32,11 @@ type streamPlan struct {
 // section and global signatures are the canonical String renderings,
 // which uniquely encode a slice. ioTask is -1 for the parallel path
 // (round pieces land on tasks 0..writers-1) or the designated I/O task of
-// the sequential-channel path (every piece lands there).
+// the sequential-channel path (every piece lands there). pieces is empty
+// for the full plan, or the rendered piece-index subset of a filtered
+// write (Options.Pieces) — a delta checkpoint's dirty set repeats
+// whenever the application revisits a working set, so filtered round
+// distributions are worth caching too.
 type streamKey struct {
 	comm       *msg.Comm
 	global     string
@@ -42,6 +46,7 @@ type streamKey struct {
 	pieceBytes int
 	order      rangeset.Order
 	ioTask     int
+	pieces     string
 }
 
 // Streaming plans are few (one per checkpointed array configuration) but
@@ -117,16 +122,28 @@ func buildStreamPlan(tasks int, global, x rangeset.Slice, elemSize, writers, ioT
 		sp.offsets[i] = off
 		off += int64(p.Size()) * int64(elemSize)
 	}
-	// One canonical distribution per round: task p's assigned and mapped
-	// section is the round's piece p (or the designated I/O task's piece,
-	// for sequential streaming); tasks beyond the round get empty sections
-	// (they still participate in the redistribution, as they may hold
-	// elements of the pieces — Fig. 5b resets their slices to empty each
-	// iteration).
+	var err error
+	sp.rounds, err = buildRounds(tasks, global, sp.pieces, writers, ioTask)
+	if err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// buildRounds computes one canonical distribution per round of writers
+// pieces: task p's assigned and mapped section is the round's piece p
+// (or the designated I/O task's piece, for sequential streaming); tasks
+// beyond the round get empty sections (they still participate in the
+// redistribution, as they may hold elements of the pieces — Fig. 5b
+// resets their slices to empty each iteration). The pieces may be any
+// subset of a plan's partition: a filtered delta write rounds over only
+// its dirty pieces.
+func buildRounds(tasks int, global rangeset.Slice, pieces []rangeset.Slice, writers, ioTask int) ([]*dist.Distribution, error) {
 	empty := global.EmptyLike()
 	assigned := make([]rangeset.Slice, tasks)
-	for base := 0; base < len(sp.pieces); base += writers {
-		round := sp.pieces[base:min(base+writers, len(sp.pieces))]
+	var rounds []*dist.Distribution
+	for base := 0; base < len(pieces); base += writers {
+		round := pieces[base:min(base+writers, len(pieces))]
 		for i := range assigned {
 			assigned[i] = empty
 		}
@@ -141,9 +158,50 @@ func buildStreamPlan(tasks int, global, x rangeset.Slice, elemSize, writers, ioT
 		if err != nil {
 			return nil, fmt.Errorf("stream: building canonical distribution: %w", err)
 		}
-		sp.rounds = append(sp.rounds, ad)
+		rounds = append(rounds, ad)
 	}
-	return sp, nil
+	return rounds, nil
+}
+
+// filteredPlanFor returns the sub-plan of a filtered write: the full
+// plan's pieces at the given (ascending, in-range) indices, with their
+// own round distributions. Cached under the full plan's key extended
+// with the index subset, so a recurring dirty set replays cached rounds
+// — and, through stable distribution pointers, cached array plans.
+func filteredPlanFor(comm *msg.Comm, global, x rangeset.Slice, full *streamPlan, idx []int, elemSize int, o Options) (*streamPlan, error) {
+	k := streamKey{
+		comm:       comm,
+		global:     global.String(),
+		section:    x.String(),
+		elemSize:   elemSize,
+		writers:    o.writers(comm.Size()),
+		pieceBytes: o.pieceBytes(),
+		order:      o.Order,
+		ioTask:     -1,
+		pieces:     fmt.Sprint(idx),
+	}
+	if sp, ok := streamPlans.Get(k); ok {
+		return sp, nil
+	}
+	sub := &streamPlan{
+		pieces:  make([]rangeset.Slice, len(idx)),
+		offsets: make([]int64, len(idx)),
+		total:   full.total,
+	}
+	for j, i := range idx {
+		if i < 0 || i >= len(full.pieces) || (j > 0 && i <= idx[j-1]) {
+			return nil, fmt.Errorf("stream: piece filter %v is not an ascending subset of the %d-piece plan", idx, len(full.pieces))
+		}
+		sub.pieces[j] = full.pieces[i]
+		sub.offsets[j] = full.offsets[i]
+	}
+	rounds, err := buildRounds(comm.Size(), global, sub.pieces, o.writers(comm.Size()), -1)
+	if err != nil {
+		return nil, err
+	}
+	sub.rounds = rounds
+	streamPlans.Add(k, sub)
+	return sub, nil
 }
 
 // PlanSig returns a stable signature of the piece plan Write uses for

@@ -1,0 +1,33 @@
+package stream
+
+import "sync"
+
+// piecePool recycles piece buffers across streaming operations. Every
+// Write/Read (and the sequential WriteTo/ReadFrom) needs one or two
+// piece-sized scratch buffers; at steady state — one checkpoint per
+// interval, every array streamed each time — those buffers are the
+// dominant per-operation allocation. Operations borrow at their first
+// piece and recycle on return; the pool is shared process-wide, so
+// concurrent tasks of one application recycle each other's buffers.
+var piecePool sync.Pool
+
+// borrowBuf returns a buffer of length n, reusing a pooled one when its
+// capacity suffices. An undersized pooled buffer is dropped for the GC
+// rather than re-pooled: piece sizes within one run are stable, so after
+// warm-up the pool converges on full-size buffers.
+func borrowBuf(n int) []byte {
+	if p, _ := piecePool.Get().(*[]byte); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+
+// recycleBuf returns a buffer to the pool. Safe on nil/empty slices, so
+// operations can recycle unconditionally on exit.
+func recycleBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	piecePool.Put(&b)
+}

@@ -49,6 +49,7 @@ func WriteTo[T array.Elem](a *array.Array[T], x rangeset.Slice, w io.Writer, ioT
 		aux *array.Array[T]
 		buf []byte
 	)
+	defer func() { recycleBuf(buf) }()
 	for i, piece := range sp.pieces {
 		ad := sp.rounds[i]
 		if aux, err = bindAux(a, aux, ad); err != nil {
@@ -69,6 +70,7 @@ func WriteTo[T array.Elem](a *array.Array[T], x rangeset.Slice, w io.Writer, ioT
 			if _, err := w.Write(b); err != nil {
 				return st, fmt.Errorf("stream: sequential write of piece %d: %w", i, err)
 			}
+			st.StoredBytes += int64(len(b))
 		}
 	}
 	return st, nil
@@ -100,6 +102,7 @@ func ReadFrom[T array.Elem](a *array.Array[T], x rangeset.Slice, r io.Reader, io
 		aux *array.Array[T]
 		buf []byte
 	)
+	defer func() { recycleBuf(buf) }()
 	for i, piece := range sp.pieces {
 		ad := sp.rounds[i]
 		if aux, err = bindAux(a, aux, ad); err != nil {

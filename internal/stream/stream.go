@@ -50,6 +50,17 @@ type Options struct {
 	// BaseOffset is the byte position in the file where the stream
 	// begins; the checkpoint layer places headers before it.
 	BaseOffset int64
+	// Pieces, if non-nil, restricts Write to the listed piece indices of
+	// the full plan (ascending, in range). The piece partition and byte
+	// offsets are those of the unfiltered plan — hooks still see original
+	// indices and stream offsets — but rounds are built over only the
+	// listed pieces, so unlisted pieces cost neither redistribution nor
+	// I/O. An empty (non-nil) list streams nothing at all. The chained
+	// checkpoint layer passes the dirty piece set of a delta generation
+	// here; the bytes of unlisted pieces are expected to already exist
+	// (back-pointers). Ignored by Read, which always serves the full
+	// section.
+	Pieces []int
 	// PieceHook, if non-nil, is invoked by the writing (or reading) task
 	// with each piece's index, stream-relative byte offset, and contents,
 	// before the buffer is reused. The checkpoint layer uses it to
@@ -63,6 +74,36 @@ type Options struct {
 	// extents. The redistribution still happens and PieceHook still
 	// fires, so checksums stay complete. Ignored by Read.
 	SkipPiece func(index int, offset int64, data []byte) bool
+	// EncodePiece, if non-nil, transforms a written piece and chooses
+	// where its bytes land (compressed chained checkpoints). It runs
+	// synchronously on the writing task after PieceHook/SkipPiece and
+	// before the piece's file write is issued — so the encode of piece
+	// r+1 overlaps the still-in-flight asynchronous file write of piece
+	// r, extending the two-phase pipeline by one stage. At most one
+	// write is in flight at a time; the returned Data (which may alias
+	// the input or an encoder-owned buffer) must therefore stay valid
+	// until the next-but-one EncodePiece call — double buffering on the
+	// encoder side satisfies this. Ignored by Read.
+	EncodePiece func(index int, offset int64, data []byte) (Encoded, error)
+	// FetchPiece, if non-nil, replaces Read's file access: fill dst with
+	// the stream bytes [offset, offset+len(dst)). A reader may have
+	// replanned with a different piece decomposition than the writer, so
+	// implementations must serve arbitrary extents, and — because Read
+	// prefetches the next piece concurrently — must be safe for
+	// concurrent use. Ignored by Write.
+	FetchPiece func(index int, offset int64, dst []byte) error
+}
+
+// Encoded is EncodePiece's answer: the bytes to store and where. With
+// File == "" the piece is written to the stream's own file at its
+// natural offset and Data must keep the piece's length (in-place
+// transform); with File set, Data (any length) is written to that file
+// at Off — the chained-checkpoint layer uses this to append compressed
+// pieces to per-task piece files.
+type Encoded struct {
+	Data []byte
+	File string
+	Off  int64
 }
 
 // Stats reports what a streaming operation moved.
@@ -76,6 +117,11 @@ type Stats struct {
 	Pieces int
 	// SkippedBytes counts piece bytes this task elided via SkipPiece.
 	SkippedBytes int64
+	// StoredBytes counts the bytes this task actually wrote to storage:
+	// piece bytes after EncodePiece (compression), excluding skipped
+	// pieces. Equal to the written piece bytes when no encoder is set;
+	// zero for reads.
+	StoredBytes int64
 }
 
 func (o Options) pieceBytes() int {
@@ -117,6 +163,18 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 	st = Stats{StreamBytes: sp.total, Pieces: len(sp.pieces)}
 	me := comm.Rank()
 
+	// A filtered write (delta checkpoint) rounds over a subset of the
+	// plan's pieces; indices and offsets reported to the hooks stay those
+	// of the full plan, so the stream's byte layout is identical across
+	// filtered and unfiltered generations.
+	run, orig := sp, func(i int) int { return i }
+	if o.Pieces != nil {
+		if run, err = filteredPlanFor(comm, a.Global(), x, sp, o.Pieces, es, o); err != nil {
+			return st, err
+		}
+		orig = func(i int) int { return o.Pieces[i] }
+	}
+
 	// Round state is allocated once and recycled: one auxiliary array
 	// rebound per round, two piece buffers, and at most one write in
 	// flight, so the file I/O of round r overlaps the redistribution of
@@ -128,7 +186,8 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 		wg   sync.WaitGroup
 		werr error
 	)
-	defer wg.Wait() // never leak an in-flight write, even on error returns
+	defer func() { recycleBuf(bufs[0]); recycleBuf(bufs[1]) }()
+	defer wg.Wait() // never leak an in-flight write, even on error returns; runs before the recycle above
 	join := func() error {
 		t0 := time.Now()
 		wg.Wait()
@@ -136,9 +195,9 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 		return werr
 	}
 
-	for ri, base := 0, 0; base < len(sp.pieces); ri, base = ri+1, base+p {
-		round := sp.pieces[base:min(base+p, len(sp.pieces))]
-		ad := sp.rounds[ri]
+	for ri, base := 0, 0; base < len(run.pieces); ri, base = ri+1, base+p {
+		round := run.pieces[base:min(base+p, len(run.pieces))]
+		ad := run.rounds[ri]
 		if aux, err = bindAux(a, aux, ad); err != nil {
 			return st, err
 		}
@@ -156,25 +215,44 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 			if err := aux.PackSectionInto(round[me], o.Order, buf); err != nil {
 				return st, err
 			}
-			rel := sp.offsets[base+me]
+			gi := orig(base + me)
+			rel := run.offsets[base+me]
 			if o.PieceHook != nil {
-				o.PieceHook(base+me, rel, buf)
+				o.PieceHook(gi, rel, buf)
 			}
-			if o.SkipPiece != nil && o.SkipPiece(base+me, rel, buf) {
+			if o.SkipPiece != nil && o.SkipPiece(gi, rel, buf) {
 				st.SkippedBytes += int64(len(buf))
 			} else {
+				// Encode (compress, checksum, choose placement) while the
+				// previous piece's file write is still in flight — the
+				// encode stage of the pipeline.
+				out, file, foff := buf, name, rel+o.BaseOffset
+				if o.EncodePiece != nil {
+					enc, eerr := o.EncodePiece(gi, rel, buf)
+					if eerr != nil {
+						return st, eerr
+					}
+					out = enc.Data
+					if enc.File != "" {
+						file, foff = enc.File, enc.Off
+					}
+				}
 				if err := join(); err != nil {
 					return st, err
 				}
 				streamPieces.Inc()
 				streamPieceBytes.Add(uint64(len(buf)))
+				st.StoredBytes += int64(len(out))
 				wg.Add(1)
-				go func(buf []byte, off int64) {
+				go func(out []byte, file string, off int64) {
 					defer wg.Done()
-					if err := fs.WriteAt(me, name, buf, off); err != nil {
+					t0 := time.Now()
+					if err := fs.WriteAt(me, file, out, off); err != nil {
 						werr = err
+						return
 					}
-				}(buf, rel+o.BaseOffset)
+					streamWriteIOSeconds.ObserveSince(t0)
+				}(out, file, foff)
 				flip = 1 - flip
 			}
 		}
@@ -212,7 +290,17 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 		perr    error
 		pending bool
 	)
-	defer wg.Wait() // never leak an in-flight prefetch, even on error returns
+	defer func() { recycleBuf(bufs[0]); recycleBuf(bufs[1]) }()
+	defer wg.Wait() // never leak an in-flight prefetch, even on error returns; runs before the recycle above
+	// fetchPiece reads piece idx's stream extent into dst: from the
+	// caller's fetcher when set (chained checkpoints resolve pieces
+	// across generations and codecs), from the stream file otherwise.
+	fetchPiece := func(idx int, dst []byte) error {
+		if o.FetchPiece != nil {
+			return o.FetchPiece(idx, sp.offsets[idx], dst)
+		}
+		return fs.ReadAt(me, name, dst, sp.offsets[idx]+o.BaseOffset)
+	}
 
 	for ri, base := 0, 0; base < len(sp.pieces); ri, base = ri+1, base+p {
 		round := sp.pieces[base:min(base+p, len(sp.pieces))]
@@ -236,7 +324,7 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 				buf = bufs[flip][:n]
 			} else {
 				buf = sizeBuf(&bufs[flip], n)
-				if err := fs.ReadAt(me, name, buf, sp.offsets[base+me]+o.BaseOffset); err != nil {
+				if err := fetchPiece(base+me, buf); err != nil {
 					return st, err
 				}
 			}
@@ -248,10 +336,10 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 			nbuf := sizeBuf(&bufs[1-flip], sp.pieces[idx].Size()*es)
 			wg.Add(1)
 			pending = true
-			go func(off int64) {
+			go func(idx int) {
 				defer wg.Done()
-				perr = fs.ReadAt(me, name, nbuf, off)
-			}(sp.offsets[idx] + o.BaseOffset)
+				perr = fetchPiece(idx, nbuf)
+			}(idx)
 			flip = 1 - flip
 		}
 		if hasPiece {
@@ -295,11 +383,13 @@ func bindAux[T array.Elem](a, aux *array.Array[T], ad *dist.Distribution) (*arra
 	return aux, aux.Reset(ad)
 }
 
-// sizeBuf returns *b resized to n bytes, reallocating only when the
-// capacity is insufficient, so piece buffers are recycled across rounds.
+// sizeBuf returns *b resized to n bytes, drawing a pooled buffer only
+// when the capacity is insufficient, so piece buffers are recycled both
+// across rounds (in place) and across operations (via the pool).
 func sizeBuf(b *[]byte, n int) []byte {
 	if cap(*b) < n {
-		*b = make([]byte, n)
+		recycleBuf(*b)
+		*b = borrowBuf(n)
 	}
 	*b = (*b)[:n]
 	return *b
