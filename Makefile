@@ -48,7 +48,7 @@ race:
 # reproducible, and the whole drill is bounded well under two minutes.
 chaos:
 	$(GO) test -race -count=1 -timeout 110s \
-		-run 'TestChaosSoakConvergesUnderRandomKills|TestSupervisor' \
+		-run 'TestChaosSoak|TestSupervisor' \
 		./internal/coord
 
 # The scrape smoke test: the full daemon stack through a
@@ -58,8 +58,10 @@ chaos:
 smoke:
 	$(GO) test -count=1 -run TestDaemonObservabilityEndToEnd ./cmd/drmsd
 
-# Benchmarks plus the chained-checkpoint steady-state comparison, whose
-# JSON artifact (BENCH_6.json) CI archives for before/after tracking.
+# Benchmarks plus the chained-checkpoint steady-state comparison and the
+# memory-tier restore-latency comparison, whose JSON artifacts
+# (BENCH_6.json, BENCH_7.json) CI archives for before/after tracking.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 	$(GO) run ./cmd/drmsbench -bench6 BENCH_6.json
+	$(GO) run ./cmd/drmsbench -bench7 BENCH_7.json

@@ -27,7 +27,20 @@ func main() {
 	classFlag := flag.String("class", "A", "problem class: S, W, A, or B")
 	ablation := flag.Bool("ablation", false, "also run the §3.2 design-choice ablations (piece size, writer count)")
 	bench6 := flag.String("bench6", "", "run the chained-checkpoint steady-state comparison and write its JSON artifact to this path")
+	bench7 := flag.String("bench7", "", "run the memory-tier vs pfs restore-latency comparison and write its JSON artifact to this path")
 	flag.Parse()
+
+	if *bench7 != "" {
+		fmt.Fprintln(os.Stderr, "running the memory-tier restore-latency comparison (hot and pfs paths)...")
+		r, err := bench.MeasureBench7(bench.DefaultBench7())
+		check(err)
+		js, err := bench.Bench7JSON(r)
+		check(err)
+		check(os.WriteFile(*bench7, append(js, '\n'), 0o644))
+		fmt.Print(bench.RenderBench7(r))
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *bench7)
+		return
+	}
 
 	if *bench6 != "" {
 		fmt.Fprintln(os.Stderr, "running the chained-checkpoint steady-state comparison (both schemes)...")

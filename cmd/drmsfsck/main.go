@@ -12,6 +12,19 @@
 //	drmsfsck -state /tmp/state.pfs [-repair] [prefix ...]
 //
 // With no prefixes, every checkpoint base in the snapshot is checked.
+//
+// With -tier, a peer-memory tier snapshot (written by drmsrun
+// -tier-state) is loaded alongside the file-system snapshot, and
+// memory-resident payloads — diskless generations and TierMem piece
+// locations — verify against their surviving replicas instead of
+// failing outright. Without -tier, a memory-resident generation is
+// (correctly) reported corrupt: its bytes live nowhere the snapshot
+// can see.
+//
+// With -tiers, each generation's storage-tier residency is listed
+// before it is checked: which tier the segment and each array's pieces
+// live in, and — when -tier supplies a snapshot — how many CRC-valid
+// replicas of each payload survive in peer memory.
 // With -repair, corrupt generations are quarantined (renamed under
 // "<gen>.bad.") exactly as the recovery supervisor would do at restart
 // time, and the snapshot is saved back.
@@ -55,15 +68,25 @@ func main() {
 	state := flag.String("state", "", "pfs snapshot file to check")
 	repair := flag.Bool("repair", false, "quarantine corrupt generations and save the snapshot back")
 	squash := flag.Bool("squash", false, "fold each verified delta chain into a self-contained anchor and save the snapshot back")
+	tierState := flag.String("tier", "", "peer-memory tier snapshot (drmsrun -tier-state); memory-resident payloads then verify against surviving replicas")
+	tiers := flag.Bool("tiers", false, "list each generation's storage-tier residency and replica counts before checking it")
 	flag.Parse()
 	if *state == "" {
-		fmt.Fprintln(os.Stderr, "usage: drmsfsck -state <snapshot> [-repair] [-squash] [prefix ...]")
+		fmt.Fprintln(os.Stderr, "usage: drmsfsck -state <snapshot> [-tier <snapshot>] [-tiers] [-repair] [-squash] [prefix ...]")
 		os.Exit(exitUsage)
 	}
 	fs := pfs.NewSystem(pfs.DefaultConfig())
 	if err := fs.LoadFile(*state); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(exitUsage)
+	}
+	var tier *ckpt.MemTier
+	if *tierState != "" {
+		var err error
+		if tier, err = ckpt.LoadTierFile(*tierState); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(exitUsage)
+		}
 	}
 
 	prefixes := flag.Args()
@@ -78,7 +101,10 @@ func main() {
 	exit := exitClean
 	repaired := false
 	for _, p := range prefixes {
-		res := checkPrefix(fs, p, *repair, &repaired)
+		if *tiers {
+			listTiers(fs, tier, p)
+		}
+		res := checkPrefix(fs, tier, p, *repair, &repaired)
 		switch res {
 		case exitUnrecoverable:
 			exit = exitUnrecoverable
@@ -160,18 +186,89 @@ func discoverPrefixes(fs *pfs.System) []string {
 	return out
 }
 
-// checkPrefix verifies every committed generation reachable from one
-// user-facing prefix and returns its classification. repair quarantines
-// the corrupt generations; *dirty is set when it moved anything.
-func checkPrefix(fs *pfs.System, prefix string, repair bool, dirty *bool) int {
-	// A plain (non-rotated) checkpoint is a single generation with no
-	// fallback behind it.
-	var gens []string
+// generations returns the committed generations reachable from one
+// user-facing prefix: a plain (non-rotated) checkpoint is a single
+// generation with no fallback behind it.
+func generations(fs *pfs.System, prefix string) []string {
 	if fs.Exists(prefix + ".meta") {
-		gens = []string{prefix}
-	} else {
-		gens = ckpt.Rotation{Base: prefix}.Generations(fs)
+		return []string{prefix}
 	}
+	return ckpt.Rotation{Base: prefix}.Generations(fs)
+}
+
+// genTier classifies one generation's payload residency from its
+// metadata: "pfs" (every byte in piece/segment files), "mem" (diskless
+// — segment and every stored piece live only in peer memory), or
+// "mixed" (a delta whose locations span tiers, e.g. a disk generation
+// carrying memory-resident pieces forward by back-pointer).
+func genTier(m *ckpt.Meta) string {
+	mem, pfsN := 0, 0
+	if m.SegWhere == ckpt.TierMem {
+		mem++
+	} else {
+		pfsN++
+	}
+	for _, locs := range m.PieceLocs {
+		for _, l := range locs {
+			if l.Where == ckpt.TierMem {
+				mem++
+			} else {
+				pfsN++
+			}
+		}
+	}
+	switch {
+	case mem == 0:
+		return "pfs"
+	case pfsN == 0:
+		return "mem"
+	default:
+		return "mixed"
+	}
+}
+
+// listTiers prints each generation's storage-tier residency: the tier
+// classification from its metadata, and — when a tier snapshot is
+// loaded — the surviving replica counts of its memory-resident
+// payloads. A memory-resident generation with no surviving replicas is
+// flagged: it will fail the integrity check that follows.
+func listTiers(fs *pfs.System, tier *ckpt.MemTier, prefix string) {
+	for _, g := range generations(fs, prefix) {
+		m, err := ckpt.ReadMeta(fs, g, 0)
+		if err != nil {
+			fmt.Printf("%-12s tier=?      meta unreadable: %v\n", g, err)
+			continue
+		}
+		line := fmt.Sprintf("%-12s tier=%-5s", g, genTier(&m))
+		ents := tier.Entries(g)
+		if len(ents) > 0 {
+			var bytes int64
+			minRep := -1
+			for _, e := range ents {
+				bytes += e.Bytes
+				if minRep < 0 || e.Replicas < minRep {
+					minRep = e.Replicas
+				}
+			}
+			line += fmt.Sprintf(" resident: %d payloads %.1fMB min-replicas=%d",
+				len(ents), float64(bytes)/(1<<20), minRep)
+			if minRep == 0 {
+				line += "  REPLICAS LOST"
+			}
+		} else if genTier(&m) != "pfs" {
+			line += " resident: NONE (memory-resident payloads have no surviving replica)"
+		}
+		fmt.Println(line)
+	}
+}
+
+// checkPrefix verifies every committed generation reachable from one
+// user-facing prefix and returns its classification. Memory-resident
+// payloads verify against tier (nil: they fail, and the generation
+// falls back like any other corruption). repair quarantines the
+// corrupt generations; *dirty is set when it moved anything.
+func checkPrefix(fs *pfs.System, tier *ckpt.MemTier, prefix string, repair bool, dirty *bool) int {
+	gens := generations(fs, prefix)
 	if len(gens) == 0 {
 		fmt.Printf("%-12s UNRECOVERABLE: no committed generations\n", prefix)
 		return exitUnrecoverable
@@ -182,7 +279,7 @@ func checkPrefix(fs *pfs.System, prefix string, repair bool, dirty *bool) int {
 	for _, g := range gens {
 		m, err := ckpt.ReadMeta(fs, g, 0)
 		if err == nil {
-			err = ckpt.Verify(fs, g, 0)
+			err = ckpt.VerifyTier(fs, tier, g, 0)
 		}
 		status := "OK"
 		if err != nil {

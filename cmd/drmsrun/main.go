@@ -32,6 +32,9 @@ func main() {
 	tcp := flag.Bool("tcp", false, "run tasks over the TCP transport")
 	loadState := flag.String("load-state", "", "restore the file system from this snapshot before running")
 	saveState := flag.String("save-state", "", "save the file system to this snapshot after running")
+	replicas := flag.Int("replicas", 0, "enable the hot in-memory checkpoint tier, replicating each payload into this many peer memories beyond its owner")
+	demoteEvery := flag.Int("demote-every", 0, "write only every Nth generation through to the pfs; the ones between live in peer memory only (needs -replicas)")
+	tierState := flag.String("tier-state", "", "save the in-memory checkpoint tier to this snapshot after running (audit with drmsfsck -tier)")
 	flag.Parse()
 
 	k, err := apps.ByName(*appName)
@@ -46,17 +49,27 @@ func main() {
 		check(fs.LoadFile(*loadState))
 		fmt.Printf("loaded file-system snapshot %s (%d files)\n", *loadState, len(fs.List("")))
 	}
+	var tier *ckpt.MemTier
+	if *replicas > 0 || *demoteEvery > 1 || *tierState != "" {
+		tier = ckpt.NewMemTier()
+	}
 	defer func() {
 		if *saveState != "" {
 			check(fs.SaveFile(*saveState))
 			fmt.Printf("saved file-system snapshot to %s\n", *saveState)
+		}
+		if *tierState != "" {
+			check(tier.SaveFile(*tierState))
+			fmt.Printf("saved tier snapshot to %s (%.1f MB resident)\n",
+				*tierState, float64(tier.ResidentBytes())/(1<<20))
 		}
 	}()
 	const prefix = "ck"
 
 	// First run: execute to completion, checkpointing along the way.
 	out := make(chan float64, 1)
-	cfg := drms.Config{Tasks: *tasks, FS: fs, SPMDMode: *spmd, TCP: *tcp}
+	cfg := drms.Config{Tasks: *tasks, FS: fs, SPMDMode: *spmd, TCP: *tcp,
+		Tier: tier, Replicas: *replicas, DemoteEvery: *demoteEvery}
 	fmt.Printf("running %s class %c on %d tasks (%d iterations, checkpoint every %d)...\n",
 		*appName, class, *tasks, *iters, *ckEvery)
 	err = drms.Run(cfg, k.App(apps.RunConfig{

@@ -90,6 +90,12 @@ func (c *ckptTimes) add(d time.Duration) {
 // once. Under the chained scheme the table's pieces — and every clean
 // window of the iterated array — ride along as back-pointers.
 func (o Bench6Opts) app(rec *ckptTimes) func(*drms.Task) error {
+	return o.appUnder("bench6", rec)
+}
+
+// appUnder is app with the checkpoint prefix parameterized (bench 7
+// reuses the workload under its own prefix).
+func (o Bench6Opts) appUnder(prefix string, rec *ckptTimes) func(*drms.Task) error {
 	return func(t *drms.Task) error {
 		g := rangeset.NewSlice(rangeset.Span(0, o.Elems-1))
 		d, err := dist.Block(g, []int{t.Tasks()})
@@ -111,7 +117,7 @@ func (o Bench6Opts) app(rec *ckptTimes) func(*drms.Task) error {
 
 		for ; iter < o.Ckpts; iter++ {
 			start := time.Now()
-			if _, _, err := t.ReconfigCheckpoint("bench6"); err != nil {
+			if _, _, err := t.ReconfigCheckpoint(prefix); err != nil {
 				return err
 			}
 			if t.Rank() == 0 {

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"drms/internal/ckpt"
+	"drms/internal/dist"
+	"drms/internal/drms"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/sim"
+	"drms/internal/stream"
+)
+
+// Bench 7 is the repository's evaluation of the hot in-memory checkpoint
+// tier (DESIGN.md §3h): the same sparse steady-state workload as Bench 6
+// is checkpointed with peer-memory replication enabled (every generation
+// written through to the pfs, so both restore paths resolve the *same*
+// newest generation), and the restore latency is measured twice per pool
+// size — once served from surviving peers' memory (hot) and once with
+// the tier disabled, forcing every payload through the parallel file
+// system. As in Tables 5/6, the headline numbers are the recorded I/O
+// traces replayed through the calibrated 1997 SP model, where the pfs
+// read bandwidth is the cost the tier removes; the hot restore's trace
+// holds only the metadata reads. Wall time on the in-memory test file
+// system is reported for transparency.
+
+// Bench7Opts sizes the workload.
+type Bench7Opts struct {
+	Elems       int // logical length of the iterated array (float64)
+	Ckpts       int // checkpoints taken before measuring restores
+	Window      int // elements each task rewrites per iteration
+	PieceBytes  int
+	AnchorEvery int
+	Pools       []int // task counts to measure
+	Restores    int   // restores averaged per (pool, tier) cell
+}
+
+// DefaultBench7 is the configuration `drmsbench -bench7` runs. The
+// state is larger than bench 6's and the pieces coarser: restore cost
+// should be dominated by payload bytes, not by the chain's metadata
+// reads, which the hot path still pays from the pfs.
+func DefaultBench7() Bench7Opts {
+	return Bench7Opts{Elems: 1 << 18, Ckpts: 8, Window: 2048,
+		PieceBytes: 32 << 10, AnchorEvery: 8, Pools: []int{2, 4, 8}, Restores: 3}
+}
+
+// Bench7Restore is one restore path's measured latency at one pool size.
+type Bench7Restore struct {
+	Tier             string  `json:"tier"`                // "mem" or "pfs"
+	MsPerRestore     float64 `json:"ms_per_restore"`      // trace replayed through the SP model
+	WallMsPerRestore float64 `json:"wall_ms_per_restore"` // in-memory wall time
+}
+
+// Bench7Pool is the hot-vs-pfs comparison at one pool size.
+type Bench7Pool struct {
+	Tasks       int           `json:"tasks"`
+	Hot         Bench7Restore `json:"hot"`
+	PFS         Bench7Restore `json:"pfs"`
+	Speedup     float64       `json:"speedup"`      // modeled pfs/hot
+	WallSpeedup float64       `json:"wall_speedup"` // wall pfs/hot
+}
+
+// Bench7Result is the comparison emitted as BENCH_7.json.
+type Bench7Result struct {
+	Workload     string       `json:"workload"`
+	LogicalBytes int64        `json:"logical_state_bytes"`
+	Pools        []Bench7Pool `json:"pools"`
+	MinSpeedup   float64      `json:"min_speedup"` // worst modeled speedup across pools
+}
+
+// restoreBody is the measured restart: declare bench 6's state shape
+// (block-distributed iterated array plus lookup table), restore at the
+// first SOP, record rank 0's wall latency, exit.
+func (o Bench7Opts) restoreBody(rec *ckptTimes) func(*drms.Task) error {
+	return func(t *drms.Task) error {
+		g := rangeset.NewSlice(rangeset.Span(0, o.Elems-1))
+		d, err := dist.Block(g, []int{t.Tasks()})
+		if err != nil {
+			return err
+		}
+		if _, err := drms.NewArray[float64](t, "u", d); err != nil {
+			return err
+		}
+		if _, err := drms.NewArray[int32](t, "tab", d); err != nil {
+			return err
+		}
+		iter := 0
+		t.Register("iter", &iter)
+		start := time.Now()
+		status, _, err := t.ReconfigCheckpoint("bench7")
+		if err != nil {
+			return err
+		}
+		if status != drms.Restored {
+			return fmt.Errorf("bench7: restore SOP returned %v, want restored", status)
+		}
+		if t.Rank() == 0 {
+			rec.add(time.Since(start))
+		}
+		return nil
+	}
+}
+
+// measureRestore restores the newest committed generation Restores times
+// with the given tier (nil = pfs path) and returns the averaged modeled
+// and wall latency.
+func (o Bench7Opts) measureRestore(p Platform, fs *pfs.System, tier *ckpt.MemTier, tasks int, name string) (Bench7Restore, error) {
+	rec := &ckptTimes{}
+	tr := fs.StartTrace()
+	for i := 0; i < o.Restores; i++ {
+		cfg := drms.Config{Tasks: tasks, FS: fs, RestartFrom: "bench7",
+			Tier:   tier,
+			Stream: stream.Options{PieceBytes: o.PieceBytes}}
+		if err := drms.Run(cfg, o.restoreBody(rec)); err != nil {
+			return Bench7Restore{}, err
+		}
+	}
+	fs.StopTrace()
+
+	r := Bench7Restore{Tier: name}
+	resident := make([]int64, tasks)
+	for i := range resident {
+		resident[i] = int64(o.Elems) * (8 + 4) / int64(tasks)
+	}
+	res, err := p.Model.Replay(tr, p.FSCfg, sim.SPCluster(p.Nodes, tasks), resident)
+	if err != nil {
+		return Bench7Restore{}, err
+	}
+	r.MsPerRestore = res.Total() * 1000 / float64(o.Restores)
+
+	var sum time.Duration
+	for _, d := range rec.ds {
+		sum += d
+	}
+	if len(rec.ds) > 0 {
+		r.WallMsPerRestore = float64(sum) / float64(len(rec.ds)) / float64(time.Millisecond)
+	}
+	return r, nil
+}
+
+// MeasureBench7 runs the full comparison: per pool size, write the
+// steady-state chain with replication on (every generation written
+// through), then time the same restore hot (peer memory) and cold (pfs).
+func MeasureBench7(o Bench7Opts) (Bench7Result, error) {
+	p := SPPlatform()
+	r := Bench7Result{
+		Workload: fmt.Sprintf(
+			"sparse steady state: %d x float64 + static %d x int32, %d checkpoints, %d-element windows, %dKiB pieces, anchors every %d, k=1 replication",
+			o.Elems, o.Elems, o.Ckpts, o.Window, o.PieceBytes>>10, o.AnchorEvery),
+		LogicalBytes: int64(o.Elems) * (8 + 4),
+		MinSpeedup:   math.Inf(1),
+	}
+	for _, tasks := range o.Pools {
+		fs := pfs.NewSystem(p.FSCfg)
+		tier := ckpt.NewMemTier()
+
+		// Write phase: the chain the restores will resolve. DemoteEvery
+		// stays unset so every generation is also complete on disk — the
+		// pfs path restores the *same* state, making the comparison fair.
+		wcfg := drms.Config{Tasks: tasks, FS: fs, Keep: 2,
+			AnchorEvery: o.AnchorEvery, Codec: ckpt.CodecRaw,
+			Tier: tier, Replicas: 1,
+			Stream: stream.Options{PieceBytes: o.PieceBytes}}
+		w := Bench6Opts{Elems: o.Elems, Tasks: tasks, Ckpts: o.Ckpts,
+			Window: o.Window, PieceBytes: o.PieceBytes, AnchorEvery: o.AnchorEvery}
+		if err := drms.Run(wcfg, w.appUnder("bench7", &ckptTimes{})); err != nil {
+			return Bench7Result{}, err
+		}
+
+		hot, err := o.measureRestore(p, fs, tier, tasks, "mem")
+		if err != nil {
+			return Bench7Result{}, err
+		}
+		cold, err := o.measureRestore(p, fs, nil, tasks, "pfs")
+		if err != nil {
+			return Bench7Result{}, err
+		}
+		pool := Bench7Pool{Tasks: tasks, Hot: hot, PFS: cold}
+		pool.Speedup = cold.MsPerRestore / math.Max(hot.MsPerRestore, 1e-6)
+		if hot.WallMsPerRestore > 0 {
+			pool.WallSpeedup = cold.WallMsPerRestore / hot.WallMsPerRestore
+		}
+		r.Pools = append(r.Pools, pool)
+		if pool.Speedup < r.MinSpeedup {
+			r.MinSpeedup = pool.Speedup
+		}
+	}
+	return r, nil
+}
+
+// Bench7JSON renders the result as the BENCH_7.json artifact.
+func Bench7JSON(r Bench7Result) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RenderBench7 formats the comparison for the terminal.
+func RenderBench7(r Bench7Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bench 7: hot-tier vs pfs restore latency\n%s\n", r.Workload)
+	fmt.Fprintf(&b, "%-6s %16s %16s %10s %12s %12s %12s\n",
+		"tasks", "hot ms(SP)", "pfs ms(SP)", "speedup", "hot wall ms", "pfs wall ms", "wall x")
+	for _, pl := range r.Pools {
+		fmt.Fprintf(&b, "%-6d %16.3f %16.1f %9.0fx %12.3f %12.3f %11.1fx\n",
+			pl.Tasks, pl.Hot.MsPerRestore, pl.PFS.MsPerRestore, pl.Speedup,
+			pl.Hot.WallMsPerRestore, pl.PFS.WallMsPerRestore, pl.WallSpeedup)
+	}
+	fmt.Fprintf(&b, "min modeled speedup: %.0fx\n", r.MinSpeedup)
+	return b.String()
+}

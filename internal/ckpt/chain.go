@@ -62,6 +62,7 @@ type PieceLoc struct {
 	FileBytes int64  // stored length (== Bytes raw, usually smaller under flate)
 	Codec     uint8  // codec.ID of the stored representation
 	StoredCRC uint64 // CRC-64/ECMA of the stored bytes as they sit in the file
+	Where     uint8  // storage tier of the bytes (gob zero TierPFS: piece file)
 }
 
 // CodecMode selects how chained checkpoints encode pieces.
@@ -108,17 +109,84 @@ type ChainOptions struct {
 	// of Prev; compatibility is still validated. Ignored on other tasks,
 	// which receive the delta base by broadcast either way.
 	PrevMeta *Meta
+	// Tier, if non-nil, is the hot in-memory checkpoint tier: every
+	// written piece and the segment payload are replicated into
+	// Replicas+1 peers' memory, overlapped with the file write (the
+	// publish runs in the pipeline's encode stage, while the previous
+	// piece's file write is in flight).
+	Tier *MemTier
+	// Replicas is k, the count of extra replica holders per payload
+	// beyond the writer's own node (k+1 copies total). Clamped to the
+	// communicator size minus one. Placement is round-robin from the
+	// writer's rank over the communicator — deterministic and
+	// layout-independent, since it reuses the cached piece partition.
+	Replicas int
+	// Holders maps rank -> holder (node) id for tier placement, so
+	// replicas land in node memory rather than task memory. nil, or a
+	// length other than the communicator size, uses ranks directly.
+	Holders []int
+	// MemOnly writes a diskless generation: piece and segment payloads
+	// live only in the tier, and only the (tiny) metadata commit record
+	// touches the file system. Restoring such a generation requires the
+	// tier; verification quarantines it once its replicas are gone.
+	MemOnly bool
 }
 
-// locPieceFile resolves the piece file a location points into: the
+// locPrefix resolves the generation prefix a location belongs to: the
 // checkpoint's own prefix for its own generation, a sibling generation
-// of the same rotation base otherwise.
-func locPieceFile(base, self string, selfGen int, arr string, l PieceLoc) string {
-	p := self
+// of the same rotation base otherwise. Tier payloads are keyed by this
+// prefix too, so memory and disk residency resolve identically.
+func locPrefix(base, self string, selfGen int, l PieceLoc) string {
 	if l.Gen != selfGen && l.Gen >= 0 {
-		p = fmt.Sprintf("%s.g%d", base, l.Gen)
+		return fmt.Sprintf("%s.g%d", base, l.Gen)
 	}
-	return pieceFile(p, arr, l.Task)
+	return self
+}
+
+// locPieceFile resolves the piece file a location points into.
+func locPieceFile(base, self string, selfGen int, arr string, l PieceLoc) string {
+	return pieceFile(locPrefix(base, self, selfGen, l), arr, l.Task)
+}
+
+// tierHolders is the replica placement: anchor rank w replicates into
+// the nodes of ranks w, w+1, …, w+k (mod size) — k+1 copies on distinct
+// nodes, so only the loss of k+1 specific nodes can lose a payload. For
+// array pieces the anchor is the piece's majority *owner* under the
+// array's distribution (stream.Options.PieceOwners), so an equal-layout
+// restart finds nearly every byte in its own node's store; the writer
+// rank anchors payloads with no owner (the segment, or when no owner
+// map was received). Placement is deterministic either way.
+func tierHolders(co ChainOptions, size, w int) []int {
+	if co.Tier == nil {
+		return nil
+	}
+	k := co.Replicas
+	if k < 0 {
+		k = 0
+	}
+	if k > size-1 {
+		k = size - 1
+	}
+	hs := make([]int, 0, k+1)
+	for j := 0; j <= k; j++ {
+		r := (w + j) % size
+		if len(co.Holders) == size {
+			hs = append(hs, co.Holders[r])
+		} else {
+			hs = append(hs, r)
+		}
+	}
+	return hs
+}
+
+// holderNode maps a rank to its tier store (node) id: through the
+// rank->node map when one of the right length was supplied, identity
+// otherwise.
+func holderNode(holders []int, size, rank int) int {
+	if len(holders) == size && rank >= 0 && rank < size {
+		return holders[rank]
+	}
+	return rank
 }
 
 // WriteDRMSChained takes a reconfigurable checkpoint in the chained
@@ -177,9 +245,33 @@ func WriteDRMSChained(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Seg
 		}
 	}
 
+	// A write-through generation must be a complete pfs fallback: any
+	// carried-forward location still pointing into a memory-only
+	// generation is force-dirtied so its bytes land on disk now
+	// (demotion). Deterministic — every task derives the same set from
+	// the broadcast delta base.
+	if !co.MemOnly {
+		for i := range arrays {
+			if !eligible[i] {
+				continue
+			}
+			have := make(map[int]bool, len(dirty[i]))
+			for _, pi := range dirty[i] {
+				have[pi] = true
+			}
+			for _, l := range prev.PieceLocs[i] {
+				if l.Where == TierMem && !have[l.Index] {
+					dirty[i] = append(dirty[i], l.Index)
+					have[l.Index] = true
+				}
+			}
+			sort.Ints(dirty[i])
+		}
+	}
+
 	// Phase 1: the selected task writes the data segment (always raw,
 	// always rewritten — it is small next to the arrays).
-	segBytes, segCRC, err := writeSegmentPhase(fs, prefix, comm, sg)
+	segBytes, segCRC, err := writeSegmentPhase(fs, prefix, comm, sg, co)
 	if err != nil {
 		return st, err
 	}
@@ -191,18 +283,30 @@ func WriteDRMSChained(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Seg
 	crcs := make([]uint64, len(arrays))
 	locLists := make([][]PieceLoc, len(arrays))
 	secLists := make([][]stream.SectionSum, len(arrays))
+	holders := tierHolders(co, comm.Size(), me)
 	for i, a := range arrays {
 		fs.BeginPhase("arrays:" + a.Name())
 		opts := o
 		col := &locCollector{
-			fs:   fs,
-			file: pieceFile(prefix, a.Name(), me),
-			gen:  selfGen,
-			task: me,
-			id:   chooseCodec(co.Codec),
+			fs:       fs,
+			file:     pieceFile(prefix, a.Name(), me),
+			gen:      selfGen,
+			task:     me,
+			id:       chooseCodec(co.Codec),
+			tier:     co.Tier,
+			holders:  holders,
+			co:       co,
+			size:     comm.Size(),
+			selfNode: holderNode(co.Holders, comm.Size(), me),
+			prefix:   prefix,
+			arr:      a.Name(),
+			memOnly:  co.MemOnly,
 		}
 		opts.PieceHook = chainPieceHooks(o.PieceHook, col.hook)
 		opts.EncodePiece = col.encode
+		if co.Tier != nil {
+			opts.PieceOwners = func(owners []int) { col.owners = owners }
+		}
 		if eligible[i] {
 			opts.Pieces = dirty[i]
 			if opts.Pieces == nil {
@@ -250,10 +354,14 @@ func WriteDRMSChained(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Seg
 		if delta {
 			chainLen = prev.ChainLen + 1
 		}
+		segWhere := TierPFS
+		if co.MemOnly {
+			segWhere = TierMem
+		}
 		m := Meta{Version: chainVersion, Mode: ModeDRMS, Tasks: comm.Size(),
 			Ctx: sg.Ctx, Arrays: metas, SegBytes: []int64{segBytes},
-			SegCRC: []uint64{segCRC}, ArrayCRC: crcs, PlanSigs: sigs,
-			ChainLen: chainLen, Deps: depsOf(locLists, selfGen),
+			SegCRC: []uint64{segCRC}, SegWhere: segWhere, ArrayCRC: crcs,
+			PlanSigs: sigs, ChainLen: chainLen, Deps: depsOf(locLists, selfGen),
 			PieceLocs: locLists, Sections: secLists}
 		if err := writeMeta(fs, prefix, me, m); err != nil {
 			return st, err
@@ -273,8 +381,11 @@ func WriteDRMSChained(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Seg
 
 // writeSegmentPhase runs checkpoint phase 1 — the selected task writes
 // the single data segment — and synchronizes. segBytes/segCRC are
-// meaningful on rank 0 only.
-func writeSegmentPhase(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment) (segBytes int64, segCRC uint64, err error) {
+// meaningful on rank 0 only. With a tier configured the raw payload is
+// also replicated into peer memory; a MemOnly generation publishes only
+// there, records the payload CRC (not a padded-file CRC) in the meta,
+// and still reports the modeled file size so state accounting holds.
+func writeSegmentPhase(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, co ChainOptions) (segBytes int64, segCRC uint64, err error) {
 	fs.BeginPhase("segment")
 	if comm.Rank() == 0 {
 		payload, err := sg.Encode()
@@ -282,7 +393,30 @@ func writeSegmentPhase(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Se
 			return 0, 0, err
 		}
 		segBytes = sg.FileSize(len(payload))
-		if segCRC, err = writeSegmentFile(fs, segFile(prefix), comm.Rank(), payload, segBytes); err != nil {
+		if co.Tier != nil {
+			// The segment is shared state every rank decodes at restore,
+			// so it is broadcast into every node's store at write time —
+			// charged as network here — rather than replicated k+1 ways
+			// and re-pulled by the non-holder ranks on every restore.
+			hs := make([]int, comm.Size())
+			for r := range hs {
+				hs[r] = holderNode(co.Holders, comm.Size(), r)
+			}
+			co.Tier.Publish(hs, prefix, "", segIndex, payload, crcOf(payload))
+			self := holderNode(co.Holders, comm.Size(), 0)
+			var remote int64
+			for _, h := range hs {
+				if h != self {
+					remote++
+				}
+			}
+			if remote > 0 {
+				fs.RecordNet(0, remote*int64(len(payload)))
+			}
+		}
+		if co.MemOnly {
+			segCRC = crcOf(payload)
+		} else if segCRC, err = writeSegmentFile(fs, segFile(prefix), comm.Rank(), payload, segBytes); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -301,6 +435,16 @@ type locCollector struct {
 	gen  int
 	task int
 	id   codec.ID
+
+	tier     *MemTier     // nil: no hot tier
+	holders  []int        // writer-anchored holder set (fallback placement)
+	owners   []int        // per-piece majority owners (stream.PieceOwners)
+	co       ChainOptions // replica count and rank->node map for placement
+	size     int          // communicator size
+	selfNode int          // this writer's node id
+	prefix   string       // generation prefix (tier key)
+	arr      string       // array name (tier key)
+	memOnly  bool         // diskless generation: publish only, skip the file write
 
 	locs    []PieceLoc
 	last    PieceSum // logical identity of the piece most recently hooked
@@ -321,6 +465,38 @@ func (c *locCollector) hook(idx int, off int64, data []byte) {
 // compress if it pays, and place the piece at the file append cursor.
 // It runs while the previous piece's file write is still in flight.
 func (c *locCollector) encode(idx int, off int64, data []byte) (stream.Encoded, error) {
+	// Replicate the raw logical bytes into peer memory first — the
+	// publish overlaps the in-flight file write exactly like the codec
+	// below does, extending the pipeline's encode stage. Write-through
+	// generations publish too: their tier copies are the hot cache the
+	// restore path prefers over a pfs reread. Placement anchors at the
+	// piece's majority owner, and the copies pushed to other nodes are
+	// charged as network traffic in the I/O trace.
+	if c.tier != nil {
+		hs := c.holders
+		if idx < len(c.owners) {
+			hs = tierHolders(c.co, c.size, c.owners[idx])
+		}
+		c.tier.Publish(hs, c.prefix, c.arr, idx, data, c.last.CRC)
+		var remote int64
+		for _, h := range hs {
+			if h != c.selfNode {
+				remote++
+			}
+		}
+		if remote > 0 {
+			c.fs.RecordNet(c.task, remote*int64(len(data)))
+		}
+	}
+	if c.memOnly {
+		// Diskless piece: the tier holds the only copies. The location
+		// records the logical form (raw codec, logical CRC and length)
+		// so tiling, dependency, and checksum machinery work unchanged.
+		c.locs = append(c.locs, PieceLoc{PieceSum: c.last, Gen: c.gen,
+			Task: c.task, FileBytes: c.last.Bytes, Codec: uint8(codec.Raw),
+			StoredCRC: c.last.CRC, Where: TierMem})
+		return stream.Encoded{Skip: true}, nil
+	}
 	loc := PieceLoc{PieceSum: c.last, Gen: c.gen, Task: c.task, FileOff: c.off}
 	id, out := c.id, data
 	if id == codec.Flate {
@@ -624,13 +800,18 @@ func chooseCodec(mode CodecMode) codec.ID {
 // into the destination on an exact match, via a small decoded cache for
 // straddling reads. Safe for concurrent use (Read prefetches).
 type pieceFetcher struct {
-	fs      *pfs.System
-	client  int
-	base    string
-	self    string
-	selfGen int
-	arr     string
-	locs    []PieceLoc // sorted by stream offset
+	fs       *pfs.System
+	client   int
+	selfNode int // this reader's tier store id (replica locality)
+	base     string
+	self     string
+	selfGen  int
+	arr      string
+	locs     []PieceLoc // sorted by stream offset
+	tier     *MemTier   // nil: disk only
+
+	memBytes atomic.Int64 // logical bytes served from peer memory
+	pfsBytes atomic.Int64 // logical bytes served from pfs piece files
 
 	mu    sync.Mutex
 	cache map[int][]byte // piece index -> decoded bytes
@@ -642,22 +823,49 @@ type pieceFetcher struct {
 // neighbors' extents — a few entries suffice.
 const fetcherCacheSize = 4
 
-func newPieceFetcher(fs *pfs.System, prefix, arr string, locs []PieceLoc, client int) *pieceFetcher {
+func newPieceFetcher(fs *pfs.System, tier *MemTier, prefix, arr string, locs []PieceLoc, client, selfNode int) *pieceFetcher {
 	base, selfGen, ok := GenOf(prefix)
 	if !ok {
 		base, selfGen = prefix, -1
 	}
 	sorted := append([]PieceLoc(nil), locs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Off < sorted[j].Off })
-	return &pieceFetcher{fs: fs, client: client, base: base, self: prefix,
-		selfGen: selfGen, arr: arr, locs: sorted, cache: map[int][]byte{}}
+	return &pieceFetcher{fs: fs, client: client, selfNode: selfNode, base: base,
+		self: prefix, selfGen: selfGen, arr: arr, locs: sorted, tier: tier,
+		cache: map[int][]byte{}}
+}
+
+// allResident reports whether every stored piece of this array has a
+// CRC-valid replica in the tier — the precondition for the coarse
+// owner-aligned read plan that restores without touching the pfs or the
+// redistribution exchange.
+func (f *pieceFetcher) allResident() bool {
+	if f.tier == nil {
+		return false
+	}
+	for _, l := range f.locs {
+		if !f.tier.Check(f.prefixOf(l), f.arr, l.Index, l.CRC) {
+			return false
+		}
+	}
+	return true
 }
 
 func (f *pieceFetcher) fileOf(l PieceLoc) string {
 	return locPieceFile(f.base, f.self, f.selfGen, f.arr, l)
 }
 
-// fetch fills dst with the stream bytes [off, off+len(dst)).
+func (f *pieceFetcher) prefixOf(l PieceLoc) string {
+	return locPrefix(f.base, f.self, f.selfGen, l)
+}
+
+// fetch fills dst with the stream bytes [off, off+len(dst)). Peer
+// memory is tried first for every location — disk-resident pieces have
+// tier copies too when they were written under a tier (hot cache) — and
+// the CRC-checked replica serves any sub-extent with a memory copy. A
+// memory-only location with no surviving replica is an integrity error
+// (the caller falls back to an older, disk-resident generation); a
+// disk-resident location just falls through to the pfs read.
 func (f *pieceFetcher) fetch(_ int, off int64, dst []byte) error {
 	pos, end := off, off+int64(len(dst))
 	i := sort.Search(len(f.locs), func(i int) bool { return f.locs[i].Off+f.locs[i].Bytes > pos })
@@ -669,6 +877,23 @@ func (f *pieceFetcher) fetch(_ int, off int64, dst []byte) error {
 		lo := pos - l.Off
 		n := min(end, l.Off+l.Bytes) - pos
 		out := dst[pos-off : pos-off+n]
+		if data, local, ok := f.tier.LookupPrefer(f.selfNode, f.prefixOf(l), f.arr, l.Index, l.CRC); ok {
+			copy(out, data[lo:lo+n])
+			f.memBytes.Add(n)
+			if !local {
+				// The replica lives in a peer node's memory: the bytes
+				// cross the interconnect, and the trace charges them.
+				f.fs.RecordNet(f.client, n)
+			}
+			pos += n
+			i++
+			continue
+		}
+		if l.Where == TierMem {
+			tierLostPieces.Inc()
+			return corrupt(f.self, f.fileOf(l), l.Index,
+				"memory-resident piece of %q has no surviving replica", f.arr)
+		}
 		switch {
 		case codec.ID(l.Codec) == codec.Raw:
 			if err := f.fs.ReadAt(f.client, f.fileOf(l), out, l.FileOff+lo); err != nil {
@@ -686,6 +911,7 @@ func (f *pieceFetcher) fetch(_ int, off int64, dst []byte) error {
 			}
 			copy(out, dec[lo:lo+n])
 		}
+		f.pfsBytes.Add(n)
 		pos += n
 		i++
 	}
@@ -753,8 +979,12 @@ func recycleStored(b []byte) {
 // fails verification of every generation built on it. For each piece:
 // the stored bytes must match StoredCRC, compressed pieces must decode
 // to exactly their logical length and CRC, and the pieces together must
-// tile the array's stream.
-func verifyChained(fs *pfs.System, prefix string, m *Meta, client int) error {
+// tile the array's stream. Memory-resident pieces verify against the
+// tier instead: at least one CRC-valid replica must survive. With a nil
+// tier every memory-resident piece is unverifiable — exactly right for
+// a restart that lost all peer memory: the generation quarantines and
+// resolution falls back to the newest disk-resident one.
+func verifyChained(fs *pfs.System, tier *MemTier, prefix string, m *Meta, client int) error {
 	base, selfGen, ok := GenOf(prefix)
 	if !ok {
 		base, selfGen = prefix, -1
@@ -770,6 +1000,13 @@ func verifyChained(fs *pfs.System, prefix string, m *Meta, client int) error {
 				return corrupt(prefix, name, l.Index, "array %q pieces leave a gap at stream offset %d", am.Name, next)
 			}
 			next = l.Off + l.Bytes
+			if l.Where == TierMem {
+				if !tier.Check(locPrefix(base, prefix, selfGen, l), am.Name, l.Index, l.CRC) {
+					return corrupt(prefix, name, l.Index,
+						"memory-resident piece of %q has no surviving replica", am.Name)
+				}
+				continue
+			}
 			stored := borrowStored(l.FileBytes)
 			if err := fs.ReadAt(client, name, stored, l.FileOff); err != nil {
 				recycleStored(stored)
@@ -826,6 +1063,16 @@ func Squash(fs *pfs.System, base string, client int) (prefix string, squashed bo
 	}
 	if m.Version < chainVersion || len(m.Deps) == 0 {
 		return cur, false, nil
+	}
+	if m.SegWhere == TierMem {
+		return "", false, fmt.Errorf("ckpt: %s is memory-resident; demote it to disk before squashing", cur)
+	}
+	for i := range m.PieceLocs {
+		for _, l := range m.PieceLocs[i] {
+			if l.Where == TierMem {
+				return "", false, fmt.Errorf("ckpt: %s references memory-resident pieces; demote before squashing", cur)
+			}
+		}
 	}
 	_, curGen, _ := GenOf(cur)
 	dst := rot.NextPrefix(fs)

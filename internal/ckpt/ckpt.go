@@ -67,6 +67,11 @@ type Meta struct {
 	Arrays   []ArrayMeta
 	SegBytes []int64  // per-task segment file sizes (one entry for DRMS)
 	SegCRC   []uint64 // CRC-64/ECMA of each segment file
+	// SegWhere is the segment payload's storage tier. TierMem marks a
+	// diskless generation: SegCRC[0] is then the CRC of the raw payload
+	// (there is no padded file to checksum) and SegBytes[0] the modeled
+	// file size. Decodes as TierPFS from older metadata.
+	SegWhere uint8
 	ArrayCRC []uint64 // CRC-64/ECMA of each array stream, aligned with Arrays
 	// ArrayPieces holds each array's per-piece checksums (DRMS mode):
 	// the diff base for incremental checkpoints.
@@ -146,6 +151,12 @@ type Stats struct {
 	// so the next delta's base — which task 0 itself just wrote — needs
 	// no storage read.
 	Meta *Meta
+	// TierMemBytes/TierPFSBytes split a restore's logical bytes by the
+	// tier that served them (peer memory vs pfs). ReadDRMSOpts reduces
+	// them cluster-wide, so every task reports identical totals and the
+	// restore-source classification is collective.
+	TierMemBytes int64
+	TierPFSBytes int64
 }
 
 // Total returns segment plus array bytes.
@@ -337,6 +348,16 @@ type RestoreOptions struct {
 	// damage the moment it is read. The recovery supervisor and drmsfsck
 	// share this path.
 	Verify bool
+	// Tier, if non-nil, lets the restore serve pieces and the segment
+	// from surviving peers' memory (CRC-checked) instead of rereading
+	// pfs — required for memory-only generations, a fast path for
+	// disk-resident ones.
+	Tier *MemTier
+	// Holders maps rank -> tier store (node) id, the same mapping the
+	// checkpoint was written with, so replica locality is attributed to
+	// nodes rather than task ranks. nil, or a length other than the
+	// communicator size, uses ranks directly.
+	Holders []int
 }
 
 // ReadDRMS restores a DRMS checkpoint into the calling application, which
@@ -354,7 +375,7 @@ func ReadDRMS(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, ar
 // verification).
 func ReadDRMSOpts(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options, ro RestoreOptions) (m Meta, st Stats, err error) {
 	start := time.Now()
-	defer func() { observeRead(comm.Rank(), start, err) }()
+	defer func() { observeRead(comm.Rank(), st, start, err) }()
 	m, err = ReadMeta(fs, prefix, comm.Rank())
 	if err != nil {
 		return m, st, err
@@ -364,15 +385,16 @@ func ReadDRMSOpts(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment
 	}
 
 	// Every task loads the one saved data segment (§2.2), verifying its
-	// checksum in passing.
+	// checksum in passing — from peer memory when the tier holds it,
+	// from the file otherwise.
 	fs.BeginPhase("segment")
-	payload, segCRC, err := readSegmentFile(fs, segFile(prefix), comm.Rank(), m.SegBytes[0])
+	payload, segMem, segPFS, err := readSegment(fs, ro.Tier, prefix, comm.Rank(),
+		holderNode(ro.Holders, comm.Size(), comm.Rank()), &m)
 	if err != nil {
 		return m, st, err
 	}
-	if len(m.SegCRC) > 0 && segCRC != m.SegCRC[0] {
-		return m, st, corrupt(prefix, segFile(prefix), -1, "segment crc %016x, metadata %016x", segCRC, m.SegCRC[0])
-	}
+	st.TierMemBytes += segMem
+	st.TierPFSBytes += segPFS
 	if err := sg.Decode(payload); err != nil {
 		return m, st, err
 	}
@@ -405,12 +427,43 @@ func ReadDRMSOpts(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment
 		opts := o
 		hook, pieces := crcCollector()
 		opts.PieceHook = chainPieceHooks(o.PieceHook, hook)
+		var fetcher *pieceFetcher
 		if m.Version >= chainVersion && len(m.PieceLocs) > i {
 			// Chained checkpoint: the array's bytes live in per-writer
 			// piece files, possibly compressed and possibly in earlier
-			// generations (deltas). The fetcher maps whatever extents this
+			// generations (deltas) — or, tier permitting, in surviving
+			// peers' memory. The fetcher maps whatever extents this
 			// restore's own piece plan asks for onto the stored pieces.
-			opts.FetchPiece = newPieceFetcher(fs, prefix, am.Name, m.PieceLocs[i], comm.Rank()).fetch
+			fetcher = newPieceFetcher(fs, ro.Tier, prefix, am.Name, m.PieceLocs[i],
+				comm.Rank(), holderNode(ro.Holders, comm.Size(), comm.Rank()))
+			opts.FetchPiece = fetcher.fetch
+
+			// Hot restore plan: when every piece of the array survives in
+			// peer memory (all tasks must agree — stores can drop under a
+			// concurrent node loss), replan with one owner-sized piece per
+			// rank. The coarse plan's round distribution coincides with an
+			// equal-layout block distribution, so the redistribution
+			// exchange degenerates to local copies, and with owner-aligned
+			// placement the tier serves nearly every byte from the reading
+			// rank's own store: the restore costs metadata reads plus DRAM
+			// copies — the millisecond path. A changed layout or pool size
+			// just turns some of those copies into charged network pulls;
+			// correctness is unaffected.
+			hot := 0.0
+			if fetcher.allResident() {
+				hot = 1
+			}
+			agreed, err := comm.AllreduceF64(hot, msg.Min)
+			if err != nil {
+				return m, st, err
+			}
+			if agreed == 1 {
+				if elems := a.GlobalShape().Size(); elems > 0 && am.Bytes%int64(elems) == 0 {
+					es := int(am.Bytes / int64(elems))
+					per := (elems + comm.Size() - 1) / comm.Size()
+					opts.PieceBytes = per * es
+				}
+			}
 		}
 		var pieceVerify *pieceVerifier
 		if ro.Verify {
@@ -431,6 +484,10 @@ func ReadDRMSOpts(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment
 		}
 		st.ArrayBytes += s.StreamBytes
 		st.NetBytes += s.NetBytes
+		if fetcher != nil {
+			st.TierMemBytes += fetcher.memBytes.Load()
+			st.TierPFSBytes += fetcher.pfsBytes.Load()
+		}
 		if err := comm.Barrier(); err != nil { // phase boundary
 			return m, st, err
 		}
@@ -458,10 +515,73 @@ func ReadDRMSOpts(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment
 	for n := range byName {
 		return m, st, fmt.Errorf("ckpt: application array %q not present in checkpoint", n)
 	}
+	// Agree cluster-wide on where the restored bytes came from, so the
+	// restore-source classification (observeRead's tier counter, the
+	// supervisor's last-restore-source gauge) is identical on every
+	// task regardless of which ranks happened to hit peer memory.
+	memTotal, err := comm.AllreduceF64(float64(st.TierMemBytes), msg.Sum)
+	if err != nil {
+		return m, st, err
+	}
+	pfsTotal, err := comm.AllreduceF64(float64(st.TierPFSBytes), msg.Sum)
+	if err != nil {
+		return m, st, err
+	}
+	st.TierMemBytes, st.TierPFSBytes = int64(memTotal), int64(pfsTotal)
 	if err := comm.Barrier(); err != nil {
 		return m, st, err
 	}
 	return m, st, nil
+}
+
+// readSegment loads the one saved segment payload of a DRMS restore,
+// returning how many logical bytes each tier served. A memory-only
+// generation must come from peer memory (its payload CRC is in the
+// meta); a disk generation prefers a self-consistent tier copy — but
+// only after reconstructing the padded file's CRC from the payload
+// alone (header CRC + payload CRC + zero-run CRC, all combinable) and
+// matching it against the metadata — and falls back to the full padded
+// pfs reread.
+func readSegment(fs *pfs.System, tier *MemTier, prefix string, client, selfNode int, m *Meta) (payload []byte, memBytes, pfsBytes int64, err error) {
+	var want uint64
+	if len(m.SegCRC) > 0 {
+		want = m.SegCRC[0]
+	}
+	if m.SegWhere == TierMem {
+		data, local, ok := tier.LookupPrefer(selfNode, prefix, "", segIndex, want)
+		if !ok {
+			tierLostPieces.Inc()
+			return nil, 0, 0, corrupt(prefix, segFile(prefix), -1,
+				"memory-resident segment has no surviving replica")
+		}
+		if !local {
+			fs.RecordNet(client, int64(len(data)))
+		}
+		return data, int64(len(data)), 0, nil
+	}
+	if tier != nil && len(m.SegCRC) > 0 {
+		if data, local, ok := tier.LookupSelf(selfNode, prefix, "", segIndex); ok {
+			hdr := make([]byte, segHeader)
+			binary.LittleEndian.PutUint64(hdr, uint64(len(data)))
+			crc := crcCombine(crcOf(hdr), crcOf(data), int64(len(data)))
+			pad := m.SegBytes[0] - segHeader - int64(len(data))
+			if pad >= 0 && crcCombine(crc, crcZeros(pad), pad) == want {
+				if !local {
+					fs.RecordNet(client, int64(len(data)))
+				}
+				return data, int64(len(data)), 0, nil
+			}
+		}
+	}
+	payload, segCRC, err := readSegmentFile(fs, segFile(prefix), client, m.SegBytes[0])
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(m.SegCRC) > 0 && segCRC != want {
+		return nil, 0, 0, corrupt(prefix, segFile(prefix), -1,
+			"segment crc %016x, metadata %016x", segCRC, want)
+	}
+	return payload, 0, m.SegBytes[0], nil
 }
 
 // WriteSPMD takes a conventional checkpoint: every task writes its entire
@@ -524,7 +644,7 @@ func WriteSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, a
 func ReadSPMD(fs *pfs.System, prefix string, comm *msg.Comm, sg *seg.Segment, arrays []ArrayRef, o stream.Options) (m Meta, st Stats, err error) {
 	me := comm.Rank()
 	start := time.Now()
-	defer func() { observeRead(me, start, err) }()
+	defer func() { observeRead(me, st, start, err) }()
 	m, err = ReadMeta(fs, prefix, me)
 	if err != nil {
 		return m, st, err

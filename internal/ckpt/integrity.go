@@ -198,6 +198,16 @@ func corrupt(prefix, file string, piece int, format string, args ...any) *Corrup
 // checksums — so callers (the recovery supervisor, drmsfsck) can
 // quarantine the generation and fall back.
 func Verify(fs *pfs.System, prefix string, client int) error {
+	return VerifyTier(fs, nil, prefix, client)
+}
+
+// VerifyTier is Verify with the hot in-memory tier available: memory-
+// resident payloads (diskless generations, TierMem locations) verify
+// against surviving peer replicas instead of files. With a nil tier
+// every memory-resident payload fails verification — the correct answer
+// when peer memory is gone: the generation quarantines and resolution
+// falls back to the newest disk-resident one.
+func VerifyTier(fs *pfs.System, tier *MemTier, prefix string, client int) error {
 	// Accept a user-facing prefix for a rotated checkpoint: verify the
 	// newest committed generation.
 	prefix, _ = Resolve(fs, prefix)
@@ -207,13 +217,18 @@ func Verify(fs *pfs.System, prefix string, client int) error {
 	}
 	switch m.Mode {
 	case ModeDRMS:
-		if err := verifyFile(fs, prefix, segFile(prefix), client, m.SegBytes[0], m.SegCRC[0]); err != nil {
+		if m.SegWhere == TierMem {
+			if !tier.Check(prefix, "", segIndex, m.SegCRC[0]) {
+				return corrupt(prefix, segFile(prefix), -1,
+					"memory-resident segment has no surviving replica")
+			}
+		} else if err := verifyFile(fs, prefix, segFile(prefix), client, m.SegBytes[0], m.SegCRC[0]); err != nil {
 			return err
 		}
 		if m.Version >= chainVersion && len(m.PieceLocs) > 0 {
 			// Chained checkpoints store pieces, not whole array files;
 			// verify each stored extent, across the whole chain.
-			return verifyChained(fs, prefix, &m, client)
+			return verifyChained(fs, tier, prefix, &m, client)
 		}
 		for i, am := range m.Arrays {
 			// Array files are exactly the stream bytes.

@@ -49,6 +49,10 @@ var (
 		"Wall time of individual piece encodes.", obs.LatencyBuckets)
 	ckptSquashes = obs.GetCounter("drms_ckpt_squashes_total",
 		"Delta chains folded into fresh self-contained anchors (Squash).")
+	ckptTierRestoreMem = obs.GetCounter(`drms_ckpt_tier_restore_total{tier="mem"}`,
+		"Completed restores by the tier that served them.")
+	ckptTierRestorePFS = obs.GetCounter(`drms_ckpt_tier_restore_total{tier="pfs"}`,
+		"Completed restores by the tier that served them.")
 )
 
 // lastCommitNano is the wall time of the most recent checkpoint commit
@@ -102,8 +106,11 @@ func observeWrite(rank int, st Stats, start time.Time, err error) {
 	markCommit()
 }
 
-// observeRead records one restore attempt's outcome on rank 0.
-func observeRead(rank int, start time.Time, err error) {
+// observeRead records one restore attempt's outcome on rank 0,
+// classifying completed restores by serving tier: "mem" only when every
+// restored byte came from peer memory (the agreed cluster totals in st),
+// "pfs" when any byte needed the file system.
+func observeRead(rank int, st Stats, start time.Time, err error) {
 	if rank != 0 {
 		return
 	}
@@ -113,4 +120,9 @@ func observeRead(rank int, start time.Time, err error) {
 	}
 	ckptReads.Inc()
 	ckptReadSeconds.ObserveSince(start)
+	if st.TierMemBytes > 0 && st.TierPFSBytes == 0 {
+		ckptTierRestoreMem.Inc()
+	} else {
+		ckptTierRestorePFS.Inc()
+	}
 }

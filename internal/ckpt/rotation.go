@@ -24,6 +24,12 @@ import (
 type Rotation struct {
 	Base string
 	Keep int // generations retained (minimum 1)
+	// Tier, if non-nil, is the hot in-memory tier holding this
+	// rotation's diskless generations: pruning and torn-state cleanup
+	// drop a generation's peer-memory replicas alongside its files, and
+	// the prune's retention logic is tier-aware (a run of memory-only
+	// generations always pins a disk-resident fallback).
+	Tier *MemTier
 }
 
 // quarantineMark is the path component that moves a generation's files
@@ -123,59 +129,89 @@ func (r Rotation) Prune(fs *pfs.System) {
 	r.pruneGens(fs, r.committed(fs), nil)
 }
 
+// genInfo is what the prune needs to know about one committed
+// generation: its chain dependencies and whether it is memory-resident
+// (a diskless generation whose payloads live only in the tier).
+type genInfo struct {
+	deps []int
+	mem  bool
+}
+
 // pruneGens removes the prunable prefix of gens (the committed
 // generations, ascending), retaining the newest Keep plus —
 // transitively — every generation a retained one depends on for
 // carried-forward pieces. The walk is a fixpoint because retained
 // dependencies are themselves fallback candidates for recovery, so
-// their own dependencies must survive too. deps, if non-nil, resolves a
-// generation's chain dependencies (a caller-side cache); nil reads the
-// meta. Returns the generations actually removed.
-func (r Rotation) pruneGens(fs *pfs.System, gens []int, deps func(g int) []int) []int {
-	if deps == nil {
-		deps = func(g int) []int { return chainDeps(fs, r.generation(g)) }
+// their own dependencies must survive too.
+//
+// The retention is tier-aware: when every retained generation is
+// memory-resident (volatile — a node failure can void them all), the
+// newest disk-resident generation and its transitive dependencies are
+// pinned as well, so the rotation never loses its last durable restart
+// point to a prune. This covers memory-resident anchors too, which
+// carry no dependency edge to any disk generation.
+//
+// info, if non-nil, resolves a generation's genInfo (a caller-side
+// cache); nil reads the meta. Returns the generations actually removed.
+func (r Rotation) pruneGens(fs *pfs.System, gens []int, info func(g int) genInfo) []int {
+	if info == nil {
+		info = func(g int) genInfo { return chainInfo(fs, r.generation(g)) }
 	}
 	keep := max(r.Keep, 1)
 	if len(gens) <= keep {
 		return nil
 	}
 	need := map[int]bool{}
-	frontier := gens[len(gens)-keep:]
-	for _, g := range frontier {
+	memSeen, diskSeen := false, false
+	var expand func(g int)
+	expand = func(g int) {
+		if need[g] {
+			return
+		}
 		need[g] = true
+		gi := info(g)
+		if gi.mem {
+			memSeen = true
+		} else {
+			diskSeen = true
+		}
+		for _, d := range gi.deps {
+			expand(d)
+		}
 	}
-	for len(frontier) > 0 {
-		var next []int
-		for _, g := range frontier {
-			for _, d := range deps(g) {
-				if !need[d] {
-					need[d] = true
-					next = append(next, d)
-				}
+	for _, g := range gens[len(gens)-keep:] {
+		expand(g)
+	}
+	if memSeen && !diskSeen {
+		for i := len(gens) - 1; i >= 0; i-- {
+			if g := gens[i]; !need[g] && !info(g).mem {
+				expand(g)
+				break
 			}
 		}
-		frontier = next
 	}
 	var removed []int
 	for _, g := range gens[:len(gens)-keep] {
 		if !need[g] {
-			Remove(fs, r.generation(g))
+			p := r.generation(g)
+			Remove(fs, p)
+			r.Tier.Remove(p)
 			removed = append(removed, g)
 		}
 	}
 	return removed
 }
 
-// chainDeps returns the generations a checkpoint depends on for
-// carried-forward pieces: nil for v1 checkpoints, anchors, and
-// unreadable metas (a committed generation's meta is atomic, so an
-// unreadable one is already unrecoverable — nothing to pin).
-func chainDeps(fs *pfs.System, prefix string) []int {
+// chainInfo reads the prune-relevant facts of one generation: nil deps
+// for v1 checkpoints, anchors, and unreadable metas (a committed
+// generation's meta is atomic, so an unreadable one is already
+// unrecoverable — nothing to pin), plus its memory residency.
+func chainInfo(fs *pfs.System, prefix string) genInfo {
 	m, err := ReadMeta(fs, prefix, 0)
 	if err != nil {
-		return nil
+		return genInfo{}
 	}
-	return m.Deps
+	return genInfo{deps: m.Deps, mem: m.SegWhere == TierMem}
 }
 
 // CleanIncomplete deletes the files of generations that were started but
@@ -202,6 +238,7 @@ func (r Rotation) CleanIncomplete(fs *pfs.System) []string {
 			}
 		}
 		if torn {
+			r.Tier.Remove(p) // a torn generation's replicas are garbage too
 			cleaned = append(cleaned, p)
 		}
 	}
@@ -251,8 +288,21 @@ func Quarantine(fs *pfs.System, prefix string) []string {
 // exists — firstErr then carries the first integrity failure seen, the
 // root cause to report upward.
 func ResolveVerified(fs *pfs.System, prefix string) (chosen string, quarantined []string, ok bool, firstErr error) {
+	return ResolveVerifiedTier(fs, nil, prefix)
+}
+
+// ResolveVerifiedTier is ResolveVerified with the hot in-memory tier
+// available: memory-resident generations resolve from surviving peers'
+// replica sets (CRC-checked, chain-aware), and fall out of contention —
+// quarantined, their stale replicas dropped — exactly like corrupt disk
+// generations when fewer than one replica of some payload survived. The
+// supervisor's restart path goes through here: a healthy tier resolves
+// the newest (usually memory-only) generation for a millisecond peer
+// restore; after node losses the walk falls back to the newest
+// verifiable disk generation.
+func ResolveVerifiedTier(fs *pfs.System, tier *MemTier, prefix string) (chosen string, quarantined []string, ok bool, firstErr error) {
 	if existsDirect(fs, prefix) {
-		if err := Verify(fs, prefix, 0); err != nil {
+		if err := VerifyTier(fs, tier, prefix, 0); err != nil {
 			return prefix, nil, false, err
 		}
 		return prefix, nil, true, nil
@@ -261,17 +311,26 @@ func ResolveVerified(fs *pfs.System, prefix string) (chosen string, quarantined 
 	gens := rot.committed(fs)
 	for i := len(gens) - 1; i >= 0; i-- {
 		p := rot.generation(gens[i])
-		err := Verify(fs, p, 0)
+		err := VerifyTier(fs, tier, p, 0)
 		if err == nil {
 			return p, quarantined, true, firstErr
 		}
 		if firstErr == nil {
 			firstErr = err
 		}
-		Quarantine(fs, p)
+		QuarantineTier(fs, tier, p)
 		quarantined = append(quarantined, p)
 	}
 	return prefix, quarantined, false, firstErr
+}
+
+// QuarantineTier is Quarantine plus the tier half: the generation's
+// peer-memory replicas are dropped — they failed to verify or belong to
+// a state no longer trusted, and unlike the renamed files they occupy
+// memory worth reclaiming immediately.
+func QuarantineTier(fs *pfs.System, tier *MemTier, prefix string) []string {
+	tier.Remove(prefix)
+	return Quarantine(fs, prefix)
 }
 
 // RotationView is a Rotation plus a cached directory scan, for the
@@ -292,12 +351,13 @@ type RotationView struct {
 	scanned bool
 	gens    []int // committed generations, ascending
 	maxSeen int   // highest generation number ever observed or reserved
-	// deps caches each committed generation's chain dependencies: the
-	// meta of a committed generation is immutable, so its Deps list is
-	// too. Without the cache the chain-aware prune re-reads one meta per
-	// retained generation per commit — on a long chain that is the
-	// dominant metadata cost of a delta checkpoint.
-	deps map[int][]int
+	// info caches each committed generation's prune-relevant facts
+	// (chain dependencies, tier residency): the meta of a committed
+	// generation is immutable, so both are too. Without the cache the
+	// chain-aware prune re-reads one meta per retained generation per
+	// commit — on a long chain that is the dominant metadata cost of a
+	// delta checkpoint.
+	info map[int]genInfo
 	// lastMeta/lastGen cache the newest committed generation's metadata
 	// when the writer hands it over (NoteCommittedMeta): the next delta
 	// checkpoint's base is exactly what this writer just wrote, so the
@@ -324,7 +384,7 @@ func (v *RotationView) load(fs *pfs.System) {
 // or repaired what they describe — so the next query re-lists storage.
 func (v *RotationView) Invalidate() {
 	v.scanned = false
-	v.deps = nil
+	v.info = nil
 	v.lastMeta = nil
 }
 
@@ -373,10 +433,10 @@ func (v *RotationView) NoteCommittedMeta(prefix string, m *Meta) {
 		return
 	}
 	if _, g, ok := GenOf(prefix); ok {
-		if v.deps == nil {
-			v.deps = map[int][]int{}
+		if v.info == nil {
+			v.info = map[int]genInfo{}
 		}
-		v.deps[g] = m.Deps
+		v.info[g] = genInfo{deps: m.Deps, mem: m.SegWhere == TierMem}
 		v.lastMeta, v.lastGen = m, g
 	}
 }
@@ -391,23 +451,23 @@ func (v *RotationView) CommittedMeta(prefix string) *Meta {
 	return nil
 }
 
-// Prune mirrors Rotation.Prune (chain-aware) on the cached listing and
-// removes the pruned generations from the cache. Chain dependencies are
-// resolved through the view's dep cache, so at steady state each commit
-// costs one meta read (the new generation's) instead of one per
-// retained generation.
+// Prune mirrors Rotation.Prune (chain-aware, tier-aware) on the cached
+// listing and removes the pruned generations from the cache. Generation
+// facts are resolved through the view's info cache, so at steady state
+// each commit costs one meta read (the new generation's) instead of one
+// per retained generation.
 func (v *RotationView) Prune(fs *pfs.System) {
 	v.load(fs)
-	if v.deps == nil {
-		v.deps = map[int][]int{}
+	if v.info == nil {
+		v.info = map[int]genInfo{}
 	}
-	removed := v.Rot.pruneGens(fs, v.gens, func(g int) []int {
-		d, ok := v.deps[g]
+	removed := v.Rot.pruneGens(fs, v.gens, func(g int) genInfo {
+		gi, ok := v.info[g]
 		if !ok {
-			d = chainDeps(fs, v.Rot.generation(g))
-			v.deps[g] = d
+			gi = chainInfo(fs, v.Rot.generation(g))
+			v.info[g] = gi
 		}
-		return d
+		return gi
 	})
 	if len(removed) == 0 {
 		return
@@ -415,7 +475,7 @@ func (v *RotationView) Prune(fs *pfs.System) {
 	rm := map[int]bool{}
 	for _, g := range removed {
 		rm[g] = true
-		delete(v.deps, g)
+		delete(v.info, g)
 	}
 	kept := v.gens[:0]
 	for _, g := range v.gens {

@@ -1,6 +1,10 @@
 package coord
 
-import "drms/internal/obs"
+import (
+	"strings"
+
+	"drms/internal/obs"
+)
 
 // Control-plane metrics (drms_coord_*). Gauges reflect the most recent
 // RC update in this process: drmsd runs exactly one RC, so they are the
@@ -32,6 +36,32 @@ var (
 	coordTerminalEventsDropped = obs.GetCounter("drms_coord_terminal_events_dropped_total",
 		"Terminal/settle events dropped — must stay 0; delivery of terminal telemetry is guaranteed.")
 )
+
+// registerRestoreSourceGauge exposes, per application, which tier served
+// its last restore: -1 before any restore, 0 for the parallel file
+// system, 1 for peer memory. Relaunching an application name replaces
+// the gauge's closure (obs.GaugeFunc re-registration), so the metric
+// follows the live appState. The value reads the handle cell, not
+// rc.mu, so a metrics scrape never contends with the control plane.
+func registerRestoreSourceGauge(name string, app *appState) {
+	label := strings.NewReplacer(`"`, ``, `\`, ``, "\n", ``).Replace(name)
+	obs.GaugeFunc(`drms_coord_app_last_restore_source{app="`+label+`"}`,
+		"Tier that served the application's last restore: -1 none yet, 0 pfs, 1 peer memory.",
+		func() float64 {
+			h := app.hcell.Load()
+			if h == nil {
+				return -1
+			}
+			src, ok := h.LastRestoreSource()
+			if !ok {
+				return -1
+			}
+			if src == "mem" {
+				return 1
+			}
+			return 0
+		})
+}
 
 // statsLocked refreshes the pool/application gauges. rc.mu must be held.
 func (rc *RC) statsLocked() {

@@ -153,6 +153,19 @@ type AppSpec struct {
 	// Codec selects the piece codec for chained checkpoints
 	// (drms.Config.Codec).
 	Codec ckpt.CodecMode
+	// Replicas > 0 enables the hot in-memory checkpoint tier for this
+	// application: at commit time each canonical piece is replicated
+	// into Replicas peers' memory beyond the writer (k+1 replication),
+	// and restores are served from surviving peer memory when possible —
+	// the millisecond restart path. Replicas of a piece land on the
+	// distinct nodes of the incarnation's pool, so they die exactly with
+	// node failures.
+	Replicas int
+	// DemoteEvery > 1 makes the rotation span tiers: every
+	// DemoteEvery-th generation is written through to the pfs, the ones
+	// between live only in peer memory (drms.Config.DemoteEvery).
+	// Requires Replicas > 0.
+	DemoteEvery int
 	// FaultNext, when non-nil, injects a deterministic fault into each
 	// incarnation (the chaos harness): it is asked once per launch, with
 	// the incarnation number and pool size, and may return nil for "let
@@ -215,6 +228,11 @@ type appState struct {
 	attempts     int
 	lastResolved int
 	firstCause   error // root cause of the first failure, kept for Stalled
+
+	// hcell hands the current incarnation's handle to the per-app
+	// last-restore-source gauge without taking rc.mu on the metrics
+	// render path.
+	hcell atomic.Pointer[drms.Handle]
 }
 
 // RC is the resource coordinator.
@@ -223,6 +241,12 @@ type RC struct {
 	ln        net.Listener
 	hbTimeout time.Duration
 	stop      chan struct{} // closed by Close; aborts recovery backoffs
+	// tier is the cluster's hot in-memory checkpoint tier, modeling the
+	// per-node memory the TC daemons would hold replicas in. It outlives
+	// application incarnations (a process death does not erase peer
+	// memory) but a node's store dies with its TC registration
+	// (DropStore on connection loss or goodbye).
+	tier *ckpt.MemTier
 
 	subMu      sync.Mutex
 	subs       []*eventSub
@@ -249,6 +273,7 @@ func NewRC(fs *pfs.System, hbTimeout time.Duration) (*RC, error) {
 		ln:        ln,
 		hbTimeout: hbTimeout,
 		stop:      make(chan struct{}),
+		tier:      ckpt.NewMemTier(),
 		tcs:       make(map[int]*tcState),
 		apps:      make(map[string]*appState),
 		busy:      make(map[int]string),
@@ -402,13 +427,15 @@ func (rc *RC) serveTC(conn net.Conn) {
 		case "hb":
 			// heartbeat: deadline already refreshed
 		case "bye":
-			// Graceful deregistration: not a failure.
+			// Graceful deregistration: not a failure — but the node's
+			// memory leaves with it, so its tier store goes too.
 			rc.mu.Lock()
 			if rc.tcs[node] == st {
 				delete(rc.tcs, node)
 			}
 			rc.statsLocked()
 			rc.mu.Unlock()
+			rc.tier.DropStore(node)
 			rc.emit(Event{Kind: EventTCBye, Node: node})
 			conn.Close()
 			return
@@ -434,6 +461,9 @@ func (rc *RC) onTCLost(st *tcState, why string) {
 	st.alive = false
 	coordTCFailures.Inc()
 	rc.statsLocked()
+	// The failed node's memory is gone: every checkpoint replica it held
+	// dies with it. Payloads whose other replicas survive stay hot.
+	rc.tier.DropStore(node)
 	// Step 1: which application and TC pool is involved?
 	appName, hasApp := rc.busy[node]
 	var handle *drms.Handle
@@ -519,6 +549,7 @@ func (rc *RC) Launch(spec AppSpec, tasks int, restart bool) error {
 	rc.apps[spec.Name] = app
 	rc.statsLocked()
 	rc.mu.Unlock()
+	registerRestoreSourceGauge(spec.Name, app)
 
 	rc.emit(Event{Kind: EventAppStarted, App: spec.Name,
 		Detail: fmt.Sprintf("%d tasks on %v (restart=%v)", tasks, app.nodes, restart)})
@@ -540,6 +571,15 @@ func (rc *RC) launchIncarnationLocked(app *appState, nodes []int, restartFrom st
 	cfg := drms.Config{Tasks: tasks, FS: rc.fs, Stream: spec.Stream, SPMDMode: spec.SPMD,
 		RestartFrom: restartFrom, Keep: keep, Verify: spec.Verify || supervised,
 		AnchorEvery: spec.AnchorEvery, Codec: spec.Codec}
+	if spec.Replicas > 0 && !spec.SPMD {
+		// Hot tier: ranks replicate into the pool's node memories, so a
+		// replica set spans distinct failure domains and DropStore on a
+		// node loss removes exactly what that failure destroyed.
+		cfg.Tier = rc.tier
+		cfg.Replicas = spec.Replicas
+		cfg.TierHolders = append([]int(nil), nodes...)
+		cfg.DemoteEvery = spec.DemoteEvery
+	}
 	var cell atomic.Pointer[drms.Handle]
 	if spec.FaultNext != nil {
 		if f := spec.FaultNext(app.incarnation, tasks); f != nil {
@@ -566,6 +606,7 @@ func (rc *RC) launchIncarnationLocked(app *appState, nodes []int, restartFrom st
 	}
 	cell.Store(h)
 	app.handle = h
+	app.hcell.Store(h)
 	app.nodes = nodes
 	app.tasks = tasks
 	app.unwound = make(chan struct{})
@@ -688,14 +729,19 @@ func (rc *RC) recoverApp(app *appState, cause error) bool {
 		// The dead incarnation may have been killed mid-checkpoint: sweep
 		// its torn (meta-less) generation first. Safe here — the
 		// incarnation has fully unwound, so no checkpoint is in flight.
-		ckpt.Rotation{Base: app.spec.Name}.CleanIncomplete(rc.fs)
+		ckpt.Rotation{Base: app.spec.Name, Tier: rc.tier}.CleanIncomplete(rc.fs)
 
 		// Restart point: the newest generation that passes a full
-		// integrity check. Corrupt generations are quarantined (renamed
-		// under ".bad", their numbers burned) and the next older one is
-		// tried. No verifiable checkpoint at all means restarting from
-		// scratch — all progress to date is lost but the run continues.
-		chosen, quarantined, ok, verr := ckpt.ResolveVerified(rc.fs, app.spec.Name)
+		// integrity check — tier-aware: a memory-only generation resolves
+		// from surviving peers' replica sets, so the common case after a
+		// single node loss is a millisecond peer-memory restore of the
+		// newest generation. Corrupt or replica-less generations are
+		// quarantined (renamed under ".bad", their numbers burned, stale
+		// replicas dropped) and the next older one is tried — falling back
+		// to the pfs when fewer than one replica of some piece survived.
+		// No verifiable checkpoint at all means restarting from scratch —
+		// all progress to date is lost but the run continues.
+		chosen, quarantined, ok, verr := ckpt.ResolveVerifiedTier(rc.fs, rc.tier, app.spec.Name)
 		for _, q := range quarantined {
 			d := "failed integrity check; moved aside"
 			if verr != nil {

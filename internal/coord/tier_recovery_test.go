@@ -1,0 +1,205 @@
+package coord
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"drms/internal/ckpt"
+	"drms/internal/drms"
+	"drms/internal/msg"
+	"drms/internal/obs"
+	"drms/internal/pfs"
+)
+
+// TestTierHotRestoreAfterSingleNodeLoss is the happy path of the hot
+// tier: with k=1 replication a single node failure leaves at least one
+// replica of every payload, so the supervisor restores the new
+// incarnation entirely from peer memory — the millisecond path — and
+// the per-app gauge records the "mem" source.
+func TestTierHotRestoreAfterSingleNodeLoss(t *testing.T) {
+	const n, iters, ckEvery = 24, 12, 2
+	want := cleanChecksum(t, 4, n, iters, ckEvery)
+
+	_, rc, tcs := newCluster(t, 4)
+	var gate atomic.Bool
+	out := make(chan float64, 1)
+	p := appParams{n: n, iters: iters, ckEvery: ckEvery, gateAt: 7, gate: &gate, result: out}
+	spec := p.spec("hotjob")
+	spec.Recovery = fastPolicy(10)
+	spec.Recovery.Pool = func(available, previous int) int { return available }
+	spec.Replicas = 1
+	spec.DemoteEvery = 3
+
+	if err := rc.Launch(spec, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	// Park after four generations (g0 disk, g1/g2 diskless, g3 demoted
+	// to disk), then lose one node: every payload keeps a replica.
+	waitFor(t, "four generations", func() bool {
+		return len(ckpt.Rotation{Base: "hotjob"}.Generations(rc.fs)) >= 2
+	})
+	waitFor(t, "parked at gate", func() bool {
+		gens := ckpt.Rotation{Base: "hotjob"}.Generations(rc.fs)
+		if len(gens) == 0 {
+			return false
+		}
+		_, g, _ := ckpt.GenOf(gens[len(gens)-1])
+		return g >= 3
+	})
+	tcs[2].Fail()
+
+	waitFor(t, "recovered incarnation", func() bool {
+		info, ok := rc.App("hotjob")
+		return ok && info.Status == StatusRunning && info.Incarnation >= 1
+	})
+	gate.Store(true)
+	status, err := rc.WaitApp("hotjob")
+	if err != nil || status != StatusFinished {
+		t.Fatalf("app ended %s err=%v, want finished", status, err)
+	}
+	if got := <-out; got != want {
+		t.Fatalf("checksum %v != fault-free %v", got, want)
+	}
+	if src, ok := obs.Default.Value(`drms_coord_app_last_restore_source{app="hotjob"}`); !ok || src != 1 {
+		t.Fatalf("last restore source = %v ok=%v, want 1 (mem)", src, ok)
+	}
+	for _, tc := range tcs {
+		tc.Stop()
+	}
+}
+
+// TestChaosSoakKillsReplicaHolders is the kill-k+1 arm: with k=1
+// replication, failing two adjacent holder nodes destroys every replica
+// of some pieces, so the diskless generations become unverifiable. The
+// supervisor must quarantine them and fall back to the newest
+// write-through (pfs) generation — and the run must still converge to
+// the bitwise fault-free checksum.
+func TestChaosSoakKillsReplicaHolders(t *testing.T) {
+	const n, iters, ckEvery = 24, 12, 2
+	want := cleanChecksum(t, 4, n, iters, ckEvery)
+
+	fs, rc, tcs := newCluster(t, 4)
+	var gate atomic.Bool
+	out := make(chan float64, 1)
+	p := appParams{n: n, iters: iters, ckEvery: ckEvery, gateAt: 5, gate: &gate, result: out}
+	spec := p.spec("k1job")
+	spec.Recovery = fastPolicy(10)
+	spec.Recovery.Pool = func(available, previous int) int { return available }
+	spec.Replicas = 1
+	spec.DemoteEvery = 4
+
+	if err := rc.Launch(spec, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	// Park with diskless generations newest (g0 disk, g1/g2 diskless),
+	// then kill two adjacent replica holders: rank 1's pieces lived on
+	// exactly those two nodes, so the memory generations are gone.
+	waitFor(t, "diskless generations", func() bool {
+		gens := ckpt.Rotation{Base: "k1job"}.Generations(fs)
+		if len(gens) == 0 {
+			return false
+		}
+		_, g, _ := ckpt.GenOf(gens[len(gens)-1])
+		return g >= 2
+	})
+	tcs[1].Fail()
+	tcs[2].Fail()
+
+	waitFor(t, "recovered incarnation", func() bool {
+		info, ok := rc.App("k1job")
+		return ok && info.Status == StatusRunning && info.Incarnation >= 1
+	})
+	gate.Store(true)
+	status, err := rc.WaitApp("k1job")
+	if err != nil || status != StatusFinished {
+		t.Fatalf("app ended %s err=%v, want finished", status, err)
+	}
+	if got := <-out; got != want {
+		t.Fatalf("pfs-fallback checksum %v != fault-free %v", got, want)
+	}
+	// The diskless generations were quarantined, the restore came from
+	// the file system, and what survives on storage verifies.
+	evs := drainEvents(rc)
+	if q := countEvents(evs, EventCkptQuarantined); q < 1 {
+		t.Fatalf("no generation quarantined; losing k+1 holders must void diskless generations")
+	}
+	if src, ok := obs.Default.Value(`drms_coord_app_last_restore_source{app="k1job"}`); !ok || src != 0 {
+		t.Fatalf("last restore source = %v ok=%v, want 0 (pfs)", src, ok)
+	}
+	for _, gen := range (ckpt.Rotation{Base: "k1job"}).Generations(fs) {
+		if err := ckpt.VerifyTier(fs, rc.tier, gen, 0); err != nil {
+			t.Fatalf("surviving generation %s fails verification: %v", gen, err)
+		}
+	}
+	for _, tc := range tcs {
+		tc.Stop()
+	}
+}
+
+// TestChaosSoakTierConverges is the tier arm of the chaos soak: the
+// supervised application writes multi-level generations (every 3rd to
+// disk, the rest to peer memory, k=1 replication, flate pieces) while a
+// seeded schedule kills ranks at random operation counts. Every
+// recovery resolves tier-aware — peer-memory restore when replicas
+// survive, quarantine + pfs fallback when they don't — and the run must
+// converge to the bitwise fault-free checksum.
+func TestChaosSoakTierConverges(t *testing.T) {
+	const n, iters, ckEvery, seed = 24, 160, 3, 7777
+
+	ref := &chaosApp{n: n, iters: iters, ckEvery: ckEvery, result: make(chan float64, 1)}
+	if err := drms.Run(drms.Config{Tasks: 3, FS: pfs.NewSystem(pfs.Config{Servers: 4, StripeUnit: 256})},
+		ref.body); err != nil {
+		t.Fatal(err)
+	}
+	want := <-ref.result
+
+	fs, rc, tcs := newCluster(t, 4)
+	plan := msg.NewChaosPlan(seed, 3, 40, 220)
+	ca := &chaosApp{n: n, iters: iters, ckEvery: ckEvery, result: make(chan float64, 1)}
+	spec := AppSpec{Name: "soak", Body: ca.body, Stream: ca.stream(),
+		Recovery: fastPolicy(50), AnchorEvery: 3, Codec: ckpt.CodecFlate,
+		Replicas: 1, DemoteEvery: 3,
+		FaultNext: func(incarnation, tasks int) *msg.FaultSpec {
+			return plan.Next(tasks)
+		}}
+	spec.Recovery.Pool = func(available, previous int) int { return available }
+
+	if err := rc.Launch(spec, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	status, err := rc.WaitApp("soak")
+	if err != nil {
+		t.Fatalf("soak ended with error: %v", err)
+	}
+	if status != StatusFinished {
+		t.Fatalf("soak ended %s, want finished", status)
+	}
+	if got := <-ca.result; got != want {
+		t.Fatalf("tier chaos checksum %v != fault-free %v", got, want)
+	}
+	if k := plan.Kills(); k != 3 {
+		t.Fatalf("seeded plan issued %d kills, want 3", k)
+	}
+	if !ca.restored.Load() {
+		t.Fatal("no incarnation ever restored from a checkpoint")
+	}
+	if recovered := countEvents(drainEvents(rc), EventAppRecovered); recovered < 3 {
+		t.Fatalf("only %d recoveries; the schedule kills 3 times", recovered)
+	}
+
+	// Every surviving generation verifies tier-aware; at least one
+	// diskless generation should be part of the surviving rotation or
+	// history (DemoteEvery=3 makes two of every three diskless).
+	gens := (ckpt.Rotation{Base: "soak"}).Generations(fs)
+	if len(gens) == 0 {
+		t.Fatal("no committed generation survived the soak")
+	}
+	for _, gen := range gens {
+		if err := ckpt.VerifyTier(fs, rc.tier, gen, 0); err != nil {
+			t.Fatalf("surviving generation %s fails verification: %v", gen, err)
+		}
+	}
+	for _, tc := range tcs {
+		tc.Stop()
+	}
+}

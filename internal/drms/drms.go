@@ -121,6 +121,30 @@ type Config struct {
 	// Setting it to a non-auto value also switches on the chained format
 	// even when AnchorEvery is unset (anchors only, compressed).
 	Codec ckpt.CodecMode
+	// Tier, when non-nil, enables the hot in-memory checkpoint tier: at
+	// commit time every canonical piece is replicated into peers' memory
+	// (overlapped with the pfs write pipeline), restores are served from
+	// peer memory when every byte survives there, and — with DemoteEvery
+	// set — intermediate generations skip the pfs entirely. Setting Tier
+	// switches on the chained piece format, which carries the per-piece
+	// location tables the tier needs.
+	Tier *ckpt.MemTier
+	// Replicas is how many peers beyond the writer hold each payload
+	// (k in the k+1 replication of DESIGN.md §3h). 0 means the writer's
+	// own node only; values are clamped to the task count.
+	Replicas int
+	// TierHolders maps task rank to holder (node) id for tier placement.
+	// The recovery supervisor passes the incarnation's node ids so
+	// replicas land in distinct nodes' memory and die with them. Empty or
+	// mismatched lengths fall back to rank ids.
+	TierHolders []int
+	// DemoteEvery > 1 makes the rotation span tiers: every DemoteEvery-th
+	// generation is written through to the pfs, the ones between live
+	// only in peer memory (diskless). The first generation of a prefix is
+	// always written through, so a durable fallback always exists. 0 or 1
+	// writes every generation through (the tier is then purely a restore
+	// accelerator).
+	DemoteEvery int
 	// Fault, when non-nil, wraps the application's transport in a
 	// deterministic fault injector (tests): the victim rank dies at the
 	// configured operation, or when the injector is armed. The injector
@@ -151,6 +175,23 @@ type Handle struct {
 	// the application made checkpoint progress since the last restart —
 	// the livelock signal that burns the retry budget faster.
 	committed atomic.Int64
+	// restoreSrc records which tier served this run's restore:
+	// 0 = no restore, 1 = pfs, 2 = peer memory.
+	restoreSrc atomic.Int32
+}
+
+// LastRestoreSource reports the tier that served this run's restore
+// ("mem" when every byte came from peer memory, "pfs" otherwise);
+// ok=false when the run has not restored. The observability layer
+// exposes it per application as the last-restore-source gauge.
+func (h *Handle) LastRestoreSource() (src string, ok bool) {
+	switch h.restoreSrc.Load() {
+	case 2:
+		return "mem", true
+	case 1:
+		return "pfs", true
+	}
+	return "", false
 }
 
 // noteGeneration records checkpoint progress: the newest generation this
@@ -226,6 +267,10 @@ type Task struct {
 	// SOPs don't re-list the checkpoint directory every time. Only rank
 	// 0 queries them (it is the rotation's single writer).
 	rots map[string]*ckpt.RotationView
+	// memRun counts, per prefix, the consecutive memory-only generations
+	// since the last write-through — rank 0's state behind the
+	// DemoteEvery rotation decision.
+	memRun map[string]int
 	// LastMeta holds the metadata of the checkpoint most recently taken
 	// or restored by this task.
 	LastMeta ckpt.Meta
@@ -372,7 +417,8 @@ func (t *Task) write(prefix string) error { return t.writeGen(prefix) }
 // chained reports whether this run writes checkpoints in the chained
 // piece format (deltas and/or per-piece codecs).
 func (t *Task) chained() bool {
-	return !t.cfg.SPMDMode && (t.cfg.AnchorEvery > 1 || t.cfg.Codec != ckpt.CodecAuto)
+	return !t.cfg.SPMDMode &&
+		(t.cfg.AnchorEvery > 1 || t.cfg.Codec != ckpt.CodecAuto || t.cfg.Tier != nil)
 }
 
 // rotation returns the cached rotation view for a prefix (rank 0 only:
@@ -383,7 +429,7 @@ func (t *Task) rotation(prefix string) *ckpt.RotationView {
 	}
 	v, ok := t.rots[prefix]
 	if !ok {
-		v = ckpt.NewRotationView(ckpt.Rotation{Base: prefix, Keep: max(t.cfg.Keep, 1)})
+		v = ckpt.NewRotationView(ckpt.Rotation{Base: prefix, Keep: max(t.cfg.Keep, 1), Tier: t.cfg.Tier})
 		t.rots[prefix] = v
 	}
 	return v
@@ -395,6 +441,7 @@ type genHeader struct {
 	Gen   string // the fresh generation prefix
 	Prev  string // chain predecessor ("" = none)
 	Delta bool   // write a delta against Prev instead of a full anchor
+	Mem   bool   // diskless generation: payloads go to peer memory only
 }
 
 func (t *Task) writeGen(prefix string) error {
@@ -426,6 +473,15 @@ func (t *Task) writeGen(prefix string) error {
 				}
 			}
 		}
+		// Multi-level rotation: with DemoteEvery set, a generation is
+		// diskless unless the write-through interval is due. The first
+		// generation of a prefix always hits the pfs — a durable fallback
+		// must exist before anything is allowed to live only in volatile
+		// peer memory.
+		if t.cfg.Tier != nil && t.cfg.DemoteEvery > 1 && hdr.Prev != "" &&
+			t.memRun[prefix]+1 < t.cfg.DemoteEvery {
+			hdr.Mem = true
+		}
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(hdr); err != nil {
@@ -445,7 +501,8 @@ func (t *Task) writeGen(prefix string) error {
 		st, err = ckpt.WriteSPMD(t.cfg.FS, hdr.Gen, t.comm, t.sg, t.arrays, t.cfg.Stream)
 	case chained:
 		st, err = ckpt.WriteDRMSChained(t.cfg.FS, hdr.Gen, t.comm, t.sg, t.arrays, t.cfg.Stream,
-			ckpt.ChainOptions{Prev: hdr.Prev, Delta: hdr.Delta, Codec: t.cfg.Codec, PrevMeta: prevMeta})
+			ckpt.ChainOptions{Prev: hdr.Prev, Delta: hdr.Delta, Codec: t.cfg.Codec, PrevMeta: prevMeta,
+				Tier: t.cfg.Tier, Replicas: t.cfg.Replicas, Holders: t.cfg.TierHolders, MemOnly: hdr.Mem})
 	default:
 		st, err = ckpt.WriteDRMS(t.cfg.FS, hdr.Gen, t.comm, t.sg, t.arrays, t.cfg.Stream)
 	}
@@ -457,6 +514,14 @@ func (t *Task) writeGen(prefix string) error {
 		view.NoteCommittedMeta(hdr.Gen, st.Meta)
 		view.Prune(t.cfg.FS)
 		rtsCheckpoints.Inc()
+		if t.memRun == nil {
+			t.memRun = map[string]int{}
+		}
+		if hdr.Mem {
+			t.memRun[prefix]++
+		} else {
+			t.memRun[prefix] = 0
+		}
 	}
 	t.handle.noteGeneration(hdr.Gen)
 	return nil
@@ -466,13 +531,15 @@ func (t *Task) restore() (Status, int, error) {
 	t.pending = false
 	var (
 		m   ckpt.Meta
+		st  ckpt.Stats
 		err error
 	)
 	if t.cfg.SPMDMode {
-		m, _, err = ckpt.ReadSPMD(t.cfg.FS, t.cfg.RestartFrom, t.comm, t.sg, t.arrays, t.cfg.Stream)
+		m, st, err = ckpt.ReadSPMD(t.cfg.FS, t.cfg.RestartFrom, t.comm, t.sg, t.arrays, t.cfg.Stream)
 	} else {
-		m, _, err = ckpt.ReadDRMSOpts(t.cfg.FS, t.cfg.RestartFrom, t.comm, t.sg, t.arrays,
-			t.cfg.Stream, ckpt.RestoreOptions{Verify: t.cfg.Verify})
+		m, st, err = ckpt.ReadDRMSOpts(t.cfg.FS, t.cfg.RestartFrom, t.comm, t.sg, t.arrays,
+			t.cfg.Stream, ckpt.RestoreOptions{Verify: t.cfg.Verify, Tier: t.cfg.Tier,
+				Holders: t.cfg.TierHolders})
 	}
 	if err != nil {
 		return Failed, 0, fmt.Errorf("drms: restoring %q: %w", t.cfg.RestartFrom, err)
@@ -482,6 +549,13 @@ func (t *Task) restore() (Status, int, error) {
 	if t.Rank() == 0 {
 		rtsRestores.Inc()
 		rtsLastReconfigDelta.Set(float64(t.Tasks() - m.Tasks))
+		// The tier byte totals in st are cluster-agreed, so rank 0's
+		// verdict is the collective one.
+		if st.TierMemBytes > 0 && st.TierPFSBytes == 0 {
+			t.handle.restoreSrc.Store(2)
+		} else {
+			t.handle.restoreSrc.Store(1)
+		}
 	}
 	return Restored, t.Tasks() - m.Tasks, nil
 }
@@ -503,7 +577,7 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 		// generation ("job.g3") skips the cleanup: the caller chose an
 		// exact state, and sibling generations are not ours to touch.
 		if _, _, pinned := ckpt.GenOf(cfg.RestartFrom); !pinned {
-			ckpt.Rotation{Base: cfg.RestartFrom}.CleanIncomplete(cfg.FS)
+			ckpt.Rotation{Base: cfg.RestartFrom, Tier: cfg.Tier}.CleanIncomplete(cfg.FS)
 		}
 		if p, ok := ckpt.Resolve(cfg.FS, cfg.RestartFrom); ok {
 			cfg.RestartFrom = p

@@ -53,13 +53,60 @@ func NewRegistry() *Registry {
 // registers into; drmsd exports it over HTTP.
 var Default = NewRegistry()
 
+// validName accepts a bare metric name, or — for scalar metrics — a name
+// carrying one fixed label block, e.g.
+// drms_ckpt_tier_restore_total{tier="mem"}. A labeled name is a distinct
+// registry entry whose label block is part of its identity: the registry
+// stays a flat map and the hot path stays a single atomic, which is all
+// the fixed-cardinality label sets the runtime needs (restore source,
+// scheme, tier). Histograms reject label blocks: their renderer appends
+// _bucket{le=...} suffixes that cannot nest inside an existing block.
 func validName(name string) bool {
+	base, labels, ok := splitLabels(name)
+	if !ok || !validBareName(base) {
+		return false
+	}
+	return labels == "" || validLabels(labels)
+}
+
+func validBareName(name string) bool {
 	if name == "" {
 		return false
 	}
 	for i, r := range name {
 		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
 		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// splitLabels separates a metric name from its optional {…} label block.
+// ok=false when braces are present but malformed (no closing brace at the
+// end, or an opening brace mid-name).
+func splitLabels(name string) (base, labels string, ok bool) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, "", !strings.Contains(name, "}")
+	}
+	if !strings.HasSuffix(name, "}") {
+		return name, "", false
+	}
+	return name[:i], name[i+1 : len(name)-1], true
+}
+
+// validLabels checks a label block's interior: comma-separated
+// key="value" pairs, keys in the metric-name charset, values free of
+// quotes, backslashes, and newlines (no escaping machinery).
+func validLabels(labels string) bool {
+	for _, pair := range strings.Split(labels, ",") {
+		k, v, found := strings.Cut(pair, "=")
+		if !found || !validBareName(k) {
+			return false
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' ||
+			strings.ContainsAny(v[1:len(v)-1], "\"\\\n") {
 			return false
 		}
 	}
@@ -190,6 +237,9 @@ func (h *Histogram) render(w io.Writer, name string) {
 // Histogram registers (or finds) a histogram with the given upper
 // bounds (must be sorted ascending; +Inf is implicit).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if strings.ContainsAny(name, "{}") {
+		panic("obs: histogram " + name + " cannot carry a label block")
+	}
 	return r.register(name, help, func() metric {
 		b := append([]float64(nil), bounds...)
 		if !sort.Float64sAreSorted(b) {
@@ -276,12 +326,20 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 	r.mu.Unlock()
 	sort.Strings(names)
+	// Labeled variants of one base metric (name{k="v"}) sort adjacently
+	// after the bare base; HELP/TYPE describe the base series once, not
+	// once per label combination.
+	lastBase := ""
 	for _, name := range names {
 		e := entries[name]
-		if e.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", name, e.help)
+		base, _, _ := splitLabels(name)
+		if base != lastBase {
+			if e.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", base, e.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, e.m.metricType())
+			lastBase = base
 		}
-		fmt.Fprintf(w, "# TYPE %s %s\n", name, e.m.metricType())
 		e.m.render(w, name)
 	}
 }

@@ -249,3 +249,51 @@ func get(t *testing.T, url string) (body string, code int, contentType string) {
 	}
 	return string(b), resp.StatusCode, resp.Header.Get("Content-Type")
 }
+
+func TestLabeledMetricNames(t *testing.T) {
+	r := NewRegistry()
+	mem := r.Counter(`drms_test_restore_total{tier="mem"}`, "by tier")
+	pfs := r.Counter(`drms_test_restore_total{tier="pfs"}`, "by tier")
+	if mem == pfs {
+		t.Fatal("distinct label sets returned the same counter")
+	}
+	mem.Add(3)
+	pfs.Inc()
+
+	out := r.Render()
+	for _, want := range []string{
+		"drms_test_restore_total{tier=\"mem\"} 3\n",
+		"drms_test_restore_total{tier=\"pfs\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE are emitted once per base name, not per labeled variant.
+	if got := strings.Count(out, "# TYPE drms_test_restore_total counter"); got != 1 {
+		t.Errorf("TYPE emitted %d times, want 1:\n%s", got, out)
+	}
+
+	// Malformed label blocks are rejected like any invalid name.
+	for _, bad := range []string{
+		`x{tier=mem}`, `x{tier="a`, `x{="v"}`, `x{}extra`, "x}y", `x{tier="a"b"}`,
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("registering %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "bad")
+		}()
+	}
+
+	// Histograms render their own {le=...} series and cannot carry a
+	// label block of their own.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("labeled histogram registration did not panic")
+		}
+	}()
+	r.Histogram(`drms_test_h_seconds{tier="mem"}`, "bad", []float64{1})
+}

@@ -92,6 +92,15 @@ type Options struct {
 	// prefetches the next piece concurrently — must be safe for
 	// concurrent use. Ignored by Write.
 	FetchPiece func(index int, offset int64, dst []byte) error
+	// PieceOwners, if non-nil, is told each full-plan piece's majority
+	// owner before streaming begins: owners[idx] is the rank holding the
+	// largest share of piece idx's section under the array's current
+	// distribution. The checkpoint layer uses it to place in-memory
+	// replicas on the ranks that will need the bytes after an
+	// equal-layout restart. Every task receives the same slice contents
+	// (the plan and the distribution are collective state). Ignored by
+	// Read.
+	PieceOwners func(owners []int)
 }
 
 // Encoded is EncodePiece's answer: the bytes to store and where. With
@@ -104,6 +113,12 @@ type Encoded struct {
 	Data []byte
 	File string
 	Off  int64
+	// Skip elides the file write entirely: the encoder has placed the
+	// piece's bytes somewhere the stream layer does not manage (the
+	// in-memory checkpoint tier). Unlike SkipPiece, the piece still
+	// counts as streamed — it was redistributed, hooked, and encoded —
+	// and contributes nothing to StoredBytes or SkippedBytes.
+	Skip bool
 }
 
 // Stats reports what a streaming operation moved.
@@ -162,6 +177,20 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 	}
 	st = Stats{StreamBytes: sp.total, Pieces: len(sp.pieces)}
 	me := comm.Rank()
+
+	if o.PieceOwners != nil {
+		owners := make([]int, len(sp.pieces))
+		for i, pc := range sp.pieces {
+			best, bestN := 0, -1
+			for r := 0; r < comm.Size(); r++ {
+				if n := pc.Intersect(a.Dist().Assigned(r)).Size(); n > bestN {
+					best, bestN = r, n
+				}
+			}
+			owners[i] = best
+		}
+		o.PieceOwners(owners)
+	}
 
 	// A filtered write (delta checkpoint) rounds over a subset of the
 	// plan's pieces; indices and offsets reported to the hooks stay those
@@ -231,6 +260,11 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 					enc, eerr := o.EncodePiece(gi, rel, buf)
 					if eerr != nil {
 						return st, eerr
+					}
+					if enc.Skip {
+						streamPieces.Inc()
+						streamPieceBytes.Add(uint64(len(buf)))
+						continue
 					}
 					out = enc.Data
 					if enc.File != "" {
