@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint test race chaos bench smoke
+.PHONY: check fmt vet lint test race chaos bench smoke soak-controlplane
 
 # The full pre-merge gauntlet: formatting, static checks, all tests,
 # the race detector over the concurrency-bearing packages, and the
@@ -29,6 +29,14 @@ lint:
 	@out=$$(grep -rn '"drms/' --include='*.go' internal/codec || true); \
 	if [ -n "$$out" ]; then \
 		echo "internal/codec must stay stdlib-only (piece codecs decode anywhere, including fsck):"; echo "$$out"; exit 1; fi
+	@out=$$(grep -rn --include='*.go' --exclude='*_test.go' --exclude-dir=coord --exclude-dir=drms --exclude-dir=msg \
+		-E '\.(EnableCheckpoint|RequestStop|Kill)\(' cmd internal || true); \
+	if [ -n "$$out" ]; then \
+		echo "RC internals reached around outside internal/coord (use the versioned API —"; \
+		echo "OpenApp/CheckpointApp/StopApp/KillApp — or the control protocol):"; echo "$$out"; exit 1; fi
+	@out=$$(grep -rln --include='*.go' '^package coord' cmd internal | grep -v '^internal/coord/' || true); \
+	if [ -n "$$out" ]; then \
+		echo "package coord declared outside internal/coord (no backdoor into the RC's tables):"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -50,6 +58,17 @@ chaos:
 	$(GO) test -race -count=1 -timeout 110s \
 		-run 'TestChaosSoak|TestSupervisor' \
 		./internal/coord
+
+# The nightly control-plane soak: hundreds of supervised applications
+# launched in waves while the coordinator is repeatedly crashed and
+# recovered from its own checkpoint generations — re-adoptions proved by
+# lease, resumed recoveries, zero spurious restarts, and the
+# terminal-event-loss counter asserted 0 — with the race detector on.
+# The schedule is seeded, so a failure replays with the same command.
+# DRMS_SOAK_APPS scales the run (the plain test suite uses 8).
+soak-controlplane:
+	DRMS_SOAK_APPS=$${DRMS_SOAK_APPS:-300} $(GO) test -race -count=1 -timeout 580s \
+		-run TestChaosSoakControlPlane ./internal/coord
 
 # The scrape smoke test: the full daemon stack through a
 # checkpoint/fail/recover cycle with /metrics, /healthz, and the stats

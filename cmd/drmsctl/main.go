@@ -13,6 +13,18 @@
 //
 // Events from the RC (the user-interface surface) are printed as they
 // arrive.
+//
+// Exit codes (remote mode), in the drmsfsck discipline of one meaning
+// per code:
+//
+//	0  the operation succeeded
+//	1  the daemon answered but the operation failed (unknown
+//	   application, stale handle, quota, protocol error, ...)
+//	2  usage error (bad flags or scenario)
+//	3  daemon unreachable: nothing is listening at -connect — the
+//	   daemon is down or the address is wrong. Distinguished from 1 so
+//	   scripts and health checks can tell "drmsd died" from "my request
+//	   was bad" without parsing messages.
 package main
 
 import (
@@ -31,7 +43,7 @@ func main() {
 	scenario := flag.String("scenario", "failure", "local demo: failure, reconfigure, or schedule")
 	nodes := flag.Int("nodes", 4, "processors in the machine (local demos)")
 	connect := flag.String("connect", "", "address of a running drmsd; switches to remote mode")
-	op := flag.String("op", "apps", "remote op: nodes, apps, status, wait, submit, checkpoint, stop, reconfigure, failnode, verify, events, stats")
+	op := flag.String("op", "apps", "remote op: nodes, apps, status, wait, submit, open, checkpoint, stop, reconfigure, failnode, verify, events, stats")
 	name := flag.String("name", "", "remote: application name")
 	kernel := flag.String("kernel", "bt", "remote submit: bt, lu, sp")
 	class := flag.String("class", "S", "remote submit: problem class")
@@ -43,14 +55,14 @@ func main() {
 	prefix := flag.String("prefix", "", "remote verify: checkpoint prefix")
 	timeout := flag.Duration("timeout", 60*time.Second, "remote wait: how long to block for the application to settle")
 	recoverJob := flag.Bool("recover", false, "remote submit: run the job under the recovery supervisor")
+	version := flag.Uint64("version", 0, "remote checkpoint/stop: state version from a prior 'open' — the op is rejected if the application has moved past it (0 = unversioned)")
 	flag.Parse()
 
 	if *connect != "" {
 		if *op == "wait" {
 			// The event-driven wait: one blocking round trip parks the
 			// server on the application's settle channel — no polling.
-			cl, err := coord.DialControl(*connect)
-			check(err)
+			cl := dialDaemon(*connect)
 			defer cl.Close()
 			status, err := cl.WaitStatus(*name, *timeout)
 			check(err)
@@ -59,7 +71,7 @@ func main() {
 		}
 		remote(*connect, coord.Request{Op: *op, Name: *name, Kernel: *kernel,
 			Class: *class, Min: *minT, Max: *maxT, Tasks: *tasks, Iters: *iters,
-			Node: *node, Prefix: *prefix, Recover: *recoverJob})
+			Node: *node, Prefix: *prefix, Recover: *recoverJob, Version: *version})
 		return
 	}
 
@@ -91,7 +103,7 @@ func main() {
 		scheduleScenario(rc)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	time.Sleep(100 * time.Millisecond) // let the event printer drain
 }
@@ -161,11 +173,30 @@ func scheduleScenario(rc *coord.RC) {
 	fmt.Printf("second: %s, checksum %.6e\n", st, <-outB)
 }
 
+// Exit codes of the remote mode (see the command comment).
+const (
+	exitErr   = 1 // daemon answered; the operation failed
+	exitUsage = 2 // bad flags or scenario
+	exitDown  = 3 // daemon unreachable at -connect
+)
+
+// dialDaemon connects to the control address or exits with the
+// documented "daemon down" code — a dial failure means nothing is
+// listening there, which callers must be able to tell from an op the
+// daemon rejected.
+func dialDaemon(addr string) *coord.ControlClient {
+	cl, err := coord.DialControl(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drmsctl: daemon unreachable at %s: %v\n", addr, err)
+		os.Exit(exitDown)
+	}
+	return cl
+}
+
 // remote executes one control-protocol request against a drmsd and prints
 // the reply.
 func remote(addr string, req coord.Request) {
-	cl, err := coord.DialControl(addr)
-	check(err)
+	cl := dialDaemon(addr)
 	defer cl.Close()
 	resp, err := cl.Do(req)
 	check(err)
@@ -184,6 +215,11 @@ func remote(addr string, req coord.Request) {
 		}
 	case "status":
 		printApp(*resp.App)
+	case "open":
+		printApp(*resp.App)
+		fmt.Printf("version: %d (pass to -op checkpoint/stop via -version)\n", resp.Version)
+	case "checkpoint", "stop":
+		fmt.Printf("ok (version %d)\n", resp.Version)
 	case "events":
 		for _, e := range resp.Events {
 			fmt.Printf("%-14s app=%-8s node=%d %s%s\n", e.Kind, e.App, e.Node, e.Detail, recoveryInfo(e))
@@ -224,6 +260,6 @@ func recoveryInfo(e coord.Event) string {
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitErr)
 	}
 }

@@ -18,6 +18,16 @@
 // that passes integrity verification (quarantining corrupt ones), and
 // restarts — retrying under an exponential-backoff budget set by
 // -max-retries and -backoff before declaring the job stalled.
+//
+// With -shards N > 1, the daemon runs fleet mode: N resource
+// coordinator replicas, each owning a deterministic hash-slice of the
+// application namespace and an equal slice of the processors, fronted
+// by a stateless gateway on -listen that routes control ops to the
+// owning shard and merges fleet-wide reads. Each shard
+// self-checkpoints its control-plane state under "rcstate.s<i>"
+// (always on in fleet mode; -rc-state enables it for a solo
+// coordinator too), and -quota caps how many applications one tenant —
+// the name prefix before the first "/" — may have admitted per shard.
 package main
 
 import (
@@ -36,13 +46,16 @@ import (
 
 func main() {
 	nodes := flag.Int("nodes", 4, "processors in the machine")
-	listen := flag.String("listen", "127.0.0.1:0", "control protocol listen address")
+	listen := flag.String("listen", "127.0.0.1:0", "control protocol listen address (the gateway, in fleet mode)")
 	state := flag.String("state", "", "file-system snapshot to load at start and save at exit")
 	hbTimeout := flag.Duration("hb-timeout", 2*time.Second, "heartbeat timeout for failure detection")
 	autoRecover := flag.Bool("auto-recover", false, "supervise submitted jobs: restart from the newest verified checkpoint after failures")
 	maxRetries := flag.Int("max-retries", 5, "restart budget per supervised job before it is declared stalled")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "initial restart backoff; doubles per attempt with jitter")
 	obsAddr := flag.String("obs", "", "observability listen address (e.g. 127.0.0.1:9090): serves /metrics, /healthz, and /debug/pprof; off when empty")
+	shards := flag.Int("shards", 1, "control-plane shards; > 1 runs fleet mode behind a stateless gateway")
+	quota := flag.Int("quota", 0, "per-tenant admission quota per shard (0 = unlimited); tenant = name prefix before '/'")
+	rcState := flag.Bool("rc-state", false, "self-checkpoint the coordinator's control-plane state (always on in fleet mode)")
 	flag.Parse()
 
 	fs := pfs.NewSystem(pfs.DefaultConfig())
@@ -51,33 +64,86 @@ func main() {
 			fmt.Printf("loaded state from %s\n", *state)
 		}
 	}
-
-	rc, err := coord.NewRC(fs, *hbTimeout)
-	check(err)
-	defer rc.Close()
-	tcs, err := coord.Pool(rc, *nodes, *hbTimeout/10, 30*time.Second)
-	check(err)
-	jsa := coord.NewJSA(rc)
-	srv := &coord.ControlServer{RC: rc, JSA: jsa, FailNode: func(n int) error {
-		if n < 0 || n >= len(tcs) {
-			return fmt.Errorf("no processor %d", n)
-		}
-		tcs[n].Fail()
-		return nil
-	}}
-	if *autoRecover {
-		srv.Recovery = &coord.RecoveryPolicy{Budget: *maxRetries, Backoff: *backoff}
+	if *shards < 1 {
+		*shards = 1
 	}
-	addr, err := srv.Serve(*listen)
-	check(err)
-	defer srv.Close()
+	if *nodes < *shards {
+		check(fmt.Errorf("drmsd: %d processors cannot cover %d shards", *nodes, *shards))
+	}
+
+	var recovery *coord.RecoveryPolicy
+	if *autoRecover {
+		recovery = &coord.RecoveryPolicy{Budget: *maxRetries, Backoff: *backoff}
+	}
+
+	// Bring up one coordinator (+ TC slice + scheduler + control server)
+	// per shard. Solo mode is the 1-shard special case served directly,
+	// with no gateway hop.
+	shardAddrs := make([]string, *shards)
+	rcs := make([]*coord.RC, *shards)
+	var servers []*coord.ControlServer
+	tcByNode := make(map[int]*coord.TC)
+	for s := 0; s < *shards; s++ {
+		opt := coord.RCOptions{HBTimeout: *hbTimeout, Shard: s, Shards: *shards}
+		if *shards > 1 || *rcState {
+			opt.StatePrefix = fmt.Sprintf("rcstate.s%d", s)
+		}
+		rc, err := coord.NewRCOpts(fs, opt)
+		check(err)
+		defer rc.Close()
+		rcs[s] = rc
+
+		// The shard's processor slice: node n belongs to shard n % shards,
+		// so every shard gets a near-equal share of any machine size.
+		var slice []int
+		for n := s; n < *nodes; n += *shards {
+			slice = append(slice, n)
+		}
+		tcs, err := coord.PoolNodes(rc, slice, *hbTimeout/10, 30*time.Second)
+		check(err)
+		for _, tc := range tcs {
+			tcByNode[tc.Node()] = tc
+		}
+
+		srv := &coord.ControlServer{RC: rc, JSA: coord.NewJSA(rc),
+			Recovery: recovery, Quota: *quota, Shard: s,
+			FailNode: func(n int) error {
+				tc, ok := tcByNode[n]
+				if !ok {
+					return fmt.Errorf("no processor %d", n)
+				}
+				tc.Fail()
+				return nil
+			}}
+		servers = append(servers, srv)
+		shardListen := "127.0.0.1:0"
+		if *shards == 1 {
+			shardListen = *listen
+		}
+		addr, err := srv.Serve(shardListen)
+		check(err)
+		defer srv.Close()
+		shardAddrs[s] = addr
+	}
+
+	addr := shardAddrs[0]
+	if *shards > 1 {
+		gw, err := coord.NewGateway(shardAddrs)
+		check(err)
+		addr, err = gw.Serve(*listen)
+		check(err)
+		defer gw.Close()
+	}
+
 	if *obsAddr != "" {
 		ln, err := net.Listen("tcp", *obsAddr)
 		check(err)
 		defer ln.Close()
 		go http.Serve(ln, obs.Default.Handler(func() error {
-			if rc.Closed() {
-				return fmt.Errorf("resource coordinator is shut down")
+			for _, rc := range rcs {
+				if rc.Closed() {
+					return fmt.Errorf("a resource coordinator shard is shut down")
+				}
 			}
 			return nil
 		}))
@@ -86,6 +152,13 @@ func main() {
 	mode := ""
 	if *autoRecover {
 		mode = fmt.Sprintf(", auto-recover on (budget %d, backoff %s)", *maxRetries, *backoff)
+	}
+	if *shards > 1 {
+		mode += fmt.Sprintf(", fleet mode (%d shards", *shards)
+		if *quota > 0 {
+			mode += fmt.Sprintf(", quota %d/tenant/shard", *quota)
+		}
+		mode += ")"
 	}
 	fmt.Printf("drmsd: %d processors, control protocol on %s%s\n", *nodes, addr, mode)
 

@@ -1,0 +1,285 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"drms/internal/pfs"
+)
+
+// Control-plane snapshots. A StateStore persists a small table of named
+// records (the resource coordinator's authoritative state: application
+// specs, incarnations, recovery budgets, leases) through the same
+// machinery application checkpoints use — rotated generations with
+// meta-written-last commits, CRC-verified resolution with quarantine
+// and fallback, chained deltas between periodic anchors, and pruning
+// that keeps a delta's base generations alive. The control plane eats
+// its own dogfood: a crashed coordinator restarts from its latest
+// verifiable generation exactly the way the applications it supervises
+// do.
+//
+// On storage a generation is an ordinary checkpoint with a segment and
+// no arrays: <base>.gN.seg holds the gob-encoded stateImage, and
+// <base>.gN.meta is the commit record carrying the segment's size and
+// CRC plus, for deltas, the chain fields (ChainLen, Deps). Verify,
+// ResolveVerified, Rotation.Prune, CleanIncomplete, and drmsfsck all
+// work on it unmodified.
+
+// StateStore writes and resolves control-plane snapshot generations
+// under one base prefix. The zero value needs Base; Keep and
+// AnchorEvery default to 4 and 8. A StateStore is safe for one writer;
+// Load is independent and may run in a different process lifetime.
+type StateStore struct {
+	// Base is the user-facing prefix generations rotate under
+	// ("rcstate.s0.g12" for shard 0's 13th snapshot).
+	Base string
+	// Keep is how many committed generations to retain (minimum 2, so a
+	// corrupt newest generation leaves a fallback).
+	Keep int
+	// AnchorEvery bounds the delta chain: every AnchorEvery-th
+	// generation is a self-contained anchor holding every record; the
+	// ones between store only records that changed (plus tombstones for
+	// deleted ones) and back-point to their base. <= 1 writes anchors
+	// only.
+	AnchorEvery int
+
+	mu       sync.Mutex
+	lastGen  int               // newest generation this store committed; -1 none
+	chainLen int               // committed chain length at lastGen
+	lastCRC  map[string]uint64 // record CRCs at lastGen (delta dirty detection)
+	deps     []int             // generations lastGen's chain spans (ascending, incl. lastGen's anchor)
+	loaded   bool
+}
+
+// stateImage is one generation's payload.
+type stateImage struct {
+	Full    bool              // anchor: Records is the complete table
+	Base    int               // delta: the generation this extends (-1 for anchors)
+	Records map[string][]byte // full table, or the dirty subset
+	Deleted []string          // delta: records removed since Base
+}
+
+func (s *StateStore) withDefaults() (keep, anchor int) {
+	keep = s.Keep
+	if keep < 2 {
+		keep = 4
+	}
+	anchor = s.AnchorEvery
+	if anchor < 1 {
+		anchor = 8
+	}
+	return keep, anchor
+}
+
+// Commit writes one snapshot generation holding the given records and
+// returns its generation number. The write follows the checkpoint
+// commit discipline — payload first, meta last via atomic rename — so
+// a crash mid-commit never promotes torn state; CleanIncomplete sweeps
+// the leftovers at the next startup. Consecutive commits write deltas
+// (only records whose bytes changed, plus tombstones) until the anchor
+// interval forces a full image. Older generations beyond Keep are
+// pruned, chain dependencies pinned.
+func (s *StateStore) Commit(fs *pfs.System, records map[string][]byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep, anchor := s.withDefaults()
+	if !s.loaded {
+		s.lastGen = -1
+		s.loaded = true
+	}
+	rot := Rotation{Base: s.Base, Keep: keep}
+	prefix := rot.NextPrefix(fs)
+	_, gen, _ := GenOf(prefix)
+
+	crcs := make(map[string]uint64, len(records))
+	for name, rec := range records {
+		crcs[name] = crcOf(rec)
+	}
+
+	full := s.lastGen < 0 || s.chainLen+1 >= anchor
+	img := stateImage{Full: true, Base: -1, Records: records}
+	var deps []int
+	if !full {
+		dirty := make(map[string][]byte)
+		for name, rec := range records {
+			if prev, ok := s.lastCRC[name]; !ok || prev != crcs[name] {
+				dirty[name] = rec
+			}
+		}
+		var deleted []string
+		for name := range s.lastCRC {
+			if _, ok := records[name]; !ok {
+				deleted = append(deleted, name)
+			}
+		}
+		sort.Strings(deleted)
+		img = stateImage{Base: s.lastGen, Records: dirty, Deleted: deleted}
+		deps = append(append([]int(nil), s.deps...), s.lastGen)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&img); err != nil {
+		return -1, fmt.Errorf("ckpt: state image for %q: %w", s.Base, err)
+	}
+	payload := buf.Bytes()
+	total := int64(segHeader + len(payload))
+	crc, err := writeSegmentFile(fs, segFile(prefix), 0, payload, total)
+	if err != nil {
+		return -1, err
+	}
+	m := Meta{Version: version, Mode: ModeDRMS, Tasks: 1,
+		SegBytes: []int64{total}, SegCRC: []uint64{crc}}
+	if !full {
+		m.ChainLen = s.chainLen + 1
+		m.Deps = deps
+	}
+	if err := writeMeta(fs, prefix, 0, m); err != nil {
+		return -1, err
+	}
+
+	s.lastGen = gen
+	s.lastCRC = crcs
+	if full {
+		s.chainLen, s.deps = 0, nil
+	} else {
+		s.chainLen, s.deps = m.ChainLen, deps
+	}
+	rot.Prune(fs)
+	return gen, nil
+}
+
+// Load resolves the newest generation whose whole chain passes
+// verification and returns its record table, generation number, and the
+// prefixes quarantined on the way there. Resolution is the recovery
+// supervisor's: the newest committed generation is verified (size and
+// CRC against its meta); a generation that fails — or whose delta chain
+// references a base that is missing or corrupt — is quarantined
+// (renamed under ".bad.", its number burned) and the next older one is
+// tried. ok=false when no verifiable snapshot exists at all.
+//
+// Load also primes the store for subsequent Commits: the first commit
+// after a Load writes a delta against the loaded generation when the
+// anchor interval allows it.
+func (s *StateStore) Load(fs *pfs.System) (records map[string][]byte, gen int, quarantined []string, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	Rotation{Base: s.Base}.CleanIncomplete(fs)
+	for {
+		chosen, q, found, verr := ResolveVerified(fs, s.Base)
+		quarantined = append(quarantined, q...)
+		if err == nil {
+			err = verr
+		}
+		if !found {
+			s.lastGen, s.loaded = -1, true
+			s.lastCRC, s.chainLen, s.deps = nil, 0, nil
+			return nil, -1, quarantined, false, err
+		}
+		recs, chain, cerr := s.loadChain(fs, chosen)
+		if cerr != nil {
+			// The head verified but its chain did not resolve: quarantine
+			// the head and fall back to an older generation.
+			if err == nil {
+				err = cerr
+			}
+			quarantined = append(quarantined, Quarantine(fs, chosen)...)
+			continue
+		}
+		_, g, _ := GenOf(chosen)
+		crcs := make(map[string]uint64, len(recs))
+		for name, rec := range recs {
+			crcs[name] = crcOf(rec)
+		}
+		s.lastGen, s.loaded = g, true
+		s.lastCRC = crcs
+		s.chainLen = len(chain)
+		s.deps = chain
+		return recs, g, quarantined, true, err
+	}
+}
+
+// loadChain materializes the record table at the given generation by
+// walking its delta chain down to the anchor and overlaying each
+// delta's dirty records and tombstones in order. Every generation on
+// the chain is verified before its payload is trusted. Returns the base
+// generation numbers the head depends on (ascending, excluding the
+// head itself).
+func (s *StateStore) loadChain(fs *pfs.System, prefix string) (map[string][]byte, []int, error) {
+	// Collect the chain head-first.
+	var links []stateImage
+	var chain []int
+	cur := prefix
+	for depth := 0; ; depth++ {
+		if depth > maxStateChain {
+			return nil, nil, fmt.Errorf("ckpt: state chain under %q exceeds %d links", s.Base, maxStateChain)
+		}
+		img, err := readStateImage(fs, cur)
+		if err != nil {
+			return nil, nil, err
+		}
+		links = append(links, img)
+		if img.Full {
+			break
+		}
+		cur = fmt.Sprintf("%s.g%d", s.Base, img.Base)
+		if err := Verify(fs, cur, 0); err != nil {
+			return nil, nil, err
+		}
+		chain = append(chain, img.Base)
+	}
+	// Overlay anchor-first.
+	records := make(map[string][]byte)
+	for i := len(links) - 1; i >= 0; i-- {
+		img := links[i]
+		for _, name := range img.Deleted {
+			delete(records, name)
+		}
+		for name, rec := range img.Records {
+			records[name] = rec
+		}
+	}
+	sort.Ints(chain) // walked newest-first; return ascending
+	return records, chain, nil
+}
+
+// maxStateChain bounds a delta walk: far beyond any real anchor
+// interval, it turns a corrupt back-pointer cycle into an error instead
+// of a hang.
+const maxStateChain = 1024
+
+// readStateImage reads and decodes one generation's payload.
+func readStateImage(fs *pfs.System, prefix string) (stateImage, error) {
+	var img stateImage
+	m, err := ReadMeta(fs, prefix, 0)
+	if err != nil {
+		return img, err
+	}
+	if m.Mode != ModeDRMS || len(m.SegBytes) == 0 {
+		return img, fmt.Errorf("ckpt: %q is not a control-plane snapshot", prefix)
+	}
+	payload, crc, err := readSegmentFile(fs, segFile(prefix), 0, m.SegBytes[0])
+	if err != nil {
+		return img, err
+	}
+	if crc != m.SegCRC[0] {
+		return img, corrupt(prefix, segFile(prefix), -1, "state crc %016x, metadata %016x", crc, m.SegCRC[0])
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img); err != nil {
+		return img, fmt.Errorf("ckpt: corrupt state image %q: %w", prefix, err)
+	}
+	return img, nil
+}
+
+// LastGen reports the newest generation this store has committed or
+// loaded (-1 when none).
+func (s *StateStore) LastGen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.loaded {
+		return -1
+	}
+	return s.lastGen
+}

@@ -1,0 +1,257 @@
+package ckpt
+
+import (
+	"fmt"
+	"testing"
+
+	"drms/internal/pfs"
+)
+
+func newStateFS() *pfs.System {
+	return pfs.NewSystem(pfs.Config{Servers: 4, StripeUnit: 256})
+}
+
+func recs(kv ...string) map[string][]byte {
+	m := make(map[string][]byte, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = []byte(kv[i+1])
+	}
+	return m
+}
+
+func sameRecords(t *testing.T, got, want map[string][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d (%v vs %v)", len(got), len(want), keys(got), keys(want))
+	}
+	for name, rec := range want {
+		if string(got[name]) != string(rec) {
+			t.Fatalf("record %q = %q, want %q", name, got[name], rec)
+		}
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestStateStoreRoundTrip(t *testing.T) {
+	fs := newStateFS()
+	st := &StateStore{Base: "rcstate", Keep: 3, AnchorEvery: 4}
+	want := recs("a", "alpha", "b", "beta")
+	gen, err := st.Commit(fs, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 0 {
+		t.Fatalf("first generation = %d, want 0", gen)
+	}
+
+	// A fresh store (a restarted coordinator) loads the same table.
+	fresh := &StateStore{Base: "rcstate"}
+	got, g, quarantined, ok, err := fresh.Load(fs)
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	if g != 0 || len(quarantined) != 0 {
+		t.Fatalf("loaded gen %d quarantined %v", g, quarantined)
+	}
+	sameRecords(t, got, want)
+}
+
+func TestStateStoreDeltaChainAndAnchors(t *testing.T) {
+	fs := newStateFS()
+	st := &StateStore{Base: "rcstate", Keep: 8, AnchorEvery: 3}
+	table := recs("a", "v0", "b", "v0", "c", "v0")
+	if _, err := st.Commit(fs, table); err != nil { // g0: anchor
+		t.Fatal(err)
+	}
+	table["a"] = []byte("v1")
+	if _, err := st.Commit(fs, table); err != nil { // g1: delta {a}
+		t.Fatal(err)
+	}
+	delete(table, "c")
+	table["b"] = []byte("v2")
+	if _, err := st.Commit(fs, table); err != nil { // g2: delta {b} + tombstone c
+		t.Fatal(err)
+	}
+	// g2 must be a delta: its meta carries chain fields.
+	m, err := ReadMeta(fs, "rcstate.g2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ChainLen != 2 || len(m.Deps) != 2 {
+		t.Fatalf("g2 chain fields = len %d deps %v, want 2/[0 1]", m.ChainLen, m.Deps)
+	}
+	// A delta generation is smaller than its anchor.
+	anchorBytes := StateBytes(fs, "rcstate.g0")
+	deltaBytes := StateBytes(fs, "rcstate.g2")
+	if deltaBytes >= anchorBytes {
+		t.Fatalf("delta %d B not smaller than anchor %d B", deltaBytes, anchorBytes)
+	}
+
+	table["d"] = []byte("v0")
+	if _, err := st.Commit(fs, table); err != nil { // g3: anchor again (interval 3)
+		t.Fatal(err)
+	}
+	if m, err := ReadMeta(fs, "rcstate.g3", 0); err != nil || m.ChainLen != 0 {
+		t.Fatalf("g3 should be an anchor: chainlen %d err %v", m.ChainLen, err)
+	}
+
+	fresh := &StateStore{Base: "rcstate"}
+	got, g, _, ok, err := fresh.Load(fs)
+	if err != nil || !ok || g != 3 {
+		t.Fatalf("Load: gen=%d ok=%v err=%v", g, ok, err)
+	}
+	sameRecords(t, got, table)
+}
+
+func TestStateStoreLoadResolvesDeltaHead(t *testing.T) {
+	fs := newStateFS()
+	st := &StateStore{Base: "rcstate", Keep: 8, AnchorEvery: 8}
+	table := recs("a", "v0")
+	for i := 1; i <= 3; i++ {
+		table["a"] = []byte(fmt.Sprintf("v%d", i))
+		if _, err := st.Commit(fs, table); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := &StateStore{Base: "rcstate"}
+	got, g, _, ok, err := fresh.Load(fs)
+	if err != nil || !ok || g != 2 {
+		t.Fatalf("Load: gen=%d ok=%v err=%v", g, ok, err)
+	}
+	sameRecords(t, got, recs("a", "v3"))
+	// The primed store continues the chain instead of re-anchoring.
+	table["a"] = []byte("v4")
+	if _, err := fresh.Commit(fs, table); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := ReadMeta(fs, "rcstate.g3", 0); err != nil || m.ChainLen != 3 {
+		t.Fatalf("post-load commit chainlen = %d err %v, want 3", m.ChainLen, err)
+	}
+}
+
+// A corrupt newest generation quarantines and resolution falls back —
+// and a delta head whose base was damaged falls all the way back to a
+// generation whose whole chain verifies.
+func TestStateStoreQuarantineFallback(t *testing.T) {
+	fs := newStateFS()
+	st := &StateStore{Base: "rcstate", Keep: 8, AnchorEvery: 8}
+	table := recs("a", "v0")
+	if _, err := st.Commit(fs, table); err != nil { // g0 anchor
+		t.Fatal(err)
+	}
+	table["a"] = []byte("v1")
+	if _, err := st.Commit(fs, table); err != nil { // g1 delta on g0
+		t.Fatal(err)
+	}
+	// Flip a byte in the newest generation's segment.
+	corruptFile(t, fs, "rcstate.g1.seg")
+
+	fresh := &StateStore{Base: "rcstate"}
+	got, g, quarantined, ok, err := fresh.Load(fs)
+	if !ok || g != 0 {
+		t.Fatalf("Load after corruption: gen=%d ok=%v err=%v", g, ok, err)
+	}
+	sameRecords(t, got, recs("a", "v0"))
+	if len(quarantined) == 0 {
+		t.Fatal("corrupt generation was not quarantined")
+	}
+	// The damaged generation left the committed namespace (its files
+	// carry the .bad. mark now), so the next commit never reuses g1.
+	if fs.Exists("rcstate.g1.meta") {
+		t.Fatal("corrupt generation still committed after quarantine")
+	}
+	if len(fs.List("rcstate.g1.bad.")) == 0 {
+		t.Fatal("quarantined files not renamed under .bad.")
+	}
+}
+
+// Damaging a delta's base (which the head's own meta verification does
+// not cover) must quarantine the head during Load, not produce a
+// half-materialized table.
+func TestStateStoreBrokenChainQuarantinesHead(t *testing.T) {
+	fs := newStateFS()
+	st := &StateStore{Base: "rcstate", Keep: 8, AnchorEvery: 8}
+	if _, err := st.Commit(fs, recs("a", "v0", "b", "v0")); err != nil { // g0 anchor
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(fs, recs("a", "v1", "b", "v0")); err != nil { // g1 delta
+		t.Fatal(err)
+	}
+	corruptFile(t, fs, "rcstate.g0.seg") // the anchor the delta needs
+
+	fresh := &StateStore{Base: "rcstate"}
+	_, _, quarantined, ok, _ := fresh.Load(fs)
+	if ok {
+		t.Fatal("Load succeeded with no intact chain")
+	}
+	if len(quarantined) == 0 {
+		t.Fatal("nothing quarantined despite a broken chain")
+	}
+}
+
+// A torn commit (segment written, meta missing) is swept at Load and
+// never resolved to.
+func TestStateStoreTornCommitIgnored(t *testing.T) {
+	fs := newStateFS()
+	st := &StateStore{Base: "rcstate"}
+	if _, err := st.Commit(fs, recs("a", "v0")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-commit of g1: payload present, no meta.
+	fs.Create("rcstate.g1.seg")
+	if err := fs.WriteAt(0, "rcstate.g1.seg", []byte("torn"), 0); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &StateStore{Base: "rcstate"}
+	got, g, _, ok, err := fresh.Load(fs)
+	if err != nil || !ok || g != 0 {
+		t.Fatalf("Load: gen=%d ok=%v err=%v", g, ok, err)
+	}
+	sameRecords(t, got, recs("a", "v0"))
+	if fs.Exists("rcstate.g1.seg") {
+		t.Fatal("torn segment not swept by Load")
+	}
+}
+
+// Pruning keeps Keep generations but never breaks a retained delta's
+// chain: the anchor an old delta depends on survives.
+func TestStateStorePruneKeepsChainDeps(t *testing.T) {
+	fs := newStateFS()
+	st := &StateStore{Base: "rcstate", Keep: 2, AnchorEvery: 16}
+	table := recs("a", "v0")
+	for i := 0; i < 6; i++ {
+		table["a"] = []byte(fmt.Sprintf("v%d", i))
+		if _, err := st.Commit(fs, table); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// g0 (the anchor) must still exist: every retained delta chains to it.
+	if !fs.Exists("rcstate.g0.meta") {
+		t.Fatal("prune deleted the anchor a retained delta depends on")
+	}
+	fresh := &StateStore{Base: "rcstate"}
+	got, _, _, ok, err := fresh.Load(fs)
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	sameRecords(t, got, recs("a", "v5"))
+}
+
+func corruptFile(t *testing.T, fs *pfs.System, name string) {
+	t.Helper()
+	b := make([]byte, 1)
+	if err := fs.ReadAt(0, name, b, 9); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if err := fs.WriteAt(0, name, b, 9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The versioned control-plane API. Every application carries a
+// monotonically increasing state version that advances on each control-
+// plane mutation (launch, status transition, new incarnation, armed
+// checkpoint, stop request). Controllers address the application
+// through an AppHandle — the application's name plus the version the
+// controller last observed — and every mutating operation validates the
+// handle against the live version before acting: a stale handle is
+// rejected with ErrStaleHandle instead of applying an operation decided
+// on outdated state. Successful mutations return the handle at its new
+// version, so a controller can chain operations (arm a checkpoint, then
+// request a stop) without re-reading, while any concurrent mutation —
+// another controller's, or the supervisor's own recovery cycle —
+// invalidates the chain at the next call. This is the optimistic
+// handle/commit concurrency model of the vic port-layer design, applied
+// to the coordinator's tables.
+
+// AppHandle addresses one application at one observed state version.
+type AppHandle struct {
+	App     string
+	Version uint64
+}
+
+// ErrStaleHandle is returned by mutating API calls whose handle's
+// version no longer matches the application's state: the state advanced
+// since the handle was opened. Re-open the application to observe the
+// new state and retry if the operation still makes sense.
+var ErrStaleHandle = errors.New("coord: stale handle (state version advanced; re-open the application)")
+
+// ErrNotRunning is returned by mutating API calls against an
+// application that is not in the running state.
+var ErrNotRunning = errors.New("coord: application not running")
+
+// OpenApp opens a versioned handle on the named application, returning
+// the handle and the state snapshot it was opened against.
+func (rc *RC) OpenApp(name string) (AppHandle, AppInfo, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	app, ok := rc.apps[name]
+	if !ok {
+		return AppHandle{}, AppInfo{}, fmt.Errorf("coord: unknown application %q", name)
+	}
+	return AppHandle{App: name, Version: app.version}, appInfoLocked(name, app), nil
+}
+
+// checkHandleLocked validates a handle against the live application
+// state; rc.mu must be held. Returns the appState on success.
+func (rc *RC) checkHandleLocked(h AppHandle) (*appState, error) {
+	app, ok := rc.apps[h.App]
+	if !ok {
+		return nil, fmt.Errorf("coord: unknown application %q", h.App)
+	}
+	if app.version != h.Version {
+		coordStaleRejections.Inc()
+		return nil, fmt.Errorf("coord: %q at version %d, handle carries %d: %w",
+			h.App, app.version, h.Version, ErrStaleHandle)
+	}
+	return app, nil
+}
+
+// CheckpointApp arms a system-initiated checkpoint at the application's
+// next enabling SOP. The mutation advances the state version; the
+// returned handle carries it.
+func (rc *RC) CheckpointApp(h AppHandle) (AppHandle, error) {
+	rc.mu.Lock()
+	app, err := rc.checkHandleLocked(h)
+	if err != nil {
+		rc.mu.Unlock()
+		return h, err
+	}
+	if app.status != StatusRunning {
+		rc.mu.Unlock()
+		return h, fmt.Errorf("coord: %q is %s: %w", h.App, app.status, ErrNotRunning)
+	}
+	app.handle.EnableCheckpoint()
+	app.version++
+	rc.dirtyLocked()
+	nh := AppHandle{App: h.App, Version: app.version}
+	rc.mu.Unlock()
+	return nh, nil
+}
+
+// StopApp asks the application to exit at its next SOP. The mutation
+// advances the state version; the returned handle carries it.
+func (rc *RC) StopApp(h AppHandle) (AppHandle, error) {
+	rc.mu.Lock()
+	app, err := rc.checkHandleLocked(h)
+	if err != nil {
+		rc.mu.Unlock()
+		return h, err
+	}
+	if app.status != StatusRunning {
+		rc.mu.Unlock()
+		return h, fmt.Errorf("coord: %q is %s: %w", h.App, app.status, ErrNotRunning)
+	}
+	app.handle.RequestStop()
+	app.version++
+	rc.dirtyLocked()
+	nh := AppHandle{App: h.App, Version: app.version}
+	rc.mu.Unlock()
+	return nh, nil
+}
+
+// KillApp terminates the application's current incarnation the way a
+// processor failure would (communicator revocation), under handle
+// validation. A supervised application then enters its recovery cycle;
+// an unsupervised one settles terminated.
+func (rc *RC) KillApp(h AppHandle) (AppHandle, error) {
+	rc.mu.Lock()
+	app, err := rc.checkHandleLocked(h)
+	if err != nil {
+		rc.mu.Unlock()
+		return h, err
+	}
+	if app.status != StatusRunning {
+		rc.mu.Unlock()
+		return h, fmt.Errorf("coord: %q is %s: %w", h.App, app.status, ErrNotRunning)
+	}
+	handle := app.handle
+	app.version++
+	rc.dirtyLocked()
+	nh := AppHandle{App: h.App, Version: app.version}
+	rc.mu.Unlock()
+	handle.Kill()
+	return nh, nil
+}

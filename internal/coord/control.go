@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -51,6 +52,12 @@ type Request struct {
 	// TimeoutMS bounds a blocking op ("wait"): how long the server may
 	// park before replying with the still-running state.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Version carries the caller's observed state version into a mutating
+	// op ("checkpoint", "stop"): the server rejects the op if the
+	// application's state has advanced past it (see api.go). 0 means
+	// unversioned — the server opens a fresh handle itself, preserving
+	// the old last-writer-wins CLI behavior.
+	Version uint64 `json:"version,omitempty"`
 }
 
 // Response is the reply to one Request.
@@ -66,6 +73,14 @@ type Response struct {
 	// registry, rendered in the Prometheus text format — the same view
 	// the opt-in /metrics listener serves.
 	Stats string `json:"stats,omitempty"`
+	// Version is the application's state version after this op ("open"
+	// and successful versioned mutations) — feed it into the next
+	// mutation's Request.Version to chain ops race-free.
+	Version uint64 `json:"version,omitempty"`
+	// Shard identifies the control-plane shard that served the request
+	// (0 for a solo coordinator); the gateway passes it through so
+	// clients can see where their application landed.
+	Shard int `json:"shard,omitempty"`
 }
 
 // ControlServer exposes an RC/JSA pair over the control protocol.
@@ -81,6 +96,16 @@ type ControlServer struct {
 	// set opts a single job in even when this is nil, under the zero
 	// policy (all defaults).
 	Recovery *RecoveryPolicy
+	// Quota, when > 0, caps how many applications one tenant may have
+	// admitted (queued or not yet settled) on this shard at once. The
+	// tenant is the application name's prefix before the first "/"
+	// ("acme/solver" belongs to acme); names without one share the
+	// "default" tenant. Enforced at the owning shard, where the
+	// authoritative tables live.
+	Quota int
+	// Shard is stamped into every response so gateway clients can see
+	// which control-plane shard served them.
+	Shard int
 
 	ln net.Listener
 
@@ -146,6 +171,38 @@ func (s *ControlServer) serveConn(conn net.Conn) {
 }
 
 func (s *ControlServer) handle(req Request) Response {
+	resp := s.handleOp(req)
+	resp.Shard = s.Shard
+	return resp
+}
+
+// tenantOf maps an application name to its admission tenant: the prefix
+// before the first "/", or "default" for unprefixed names.
+func tenantOf(name string) string {
+	if i := strings.IndexByte(name, '/'); i > 0 {
+		return name[:i]
+	}
+	return "default"
+}
+
+// admittedLocked counts the tenant's applications that currently hold an
+// admission slot on this shard: queued in the JSA or not yet settled in
+// the RC. rc.mu must be held.
+func (rc *RC) admittedLocked(tenant string) int {
+	n := 0
+	for name, app := range rc.apps {
+		if tenantOf(name) != tenant {
+			continue
+		}
+		switch app.status {
+		case StatusRunning, StatusRecovering:
+			n++
+		}
+	}
+	return n
+}
+
+func (s *ControlServer) handleOp(req Request) Response {
 	fail := func(err error) Response { return Response{Error: err.Error()} }
 	switch req.Op {
 	case "nodes":
@@ -219,26 +276,53 @@ func (s *ControlServer) handle(req Request) Response {
 		case req.Recover:
 			spec.Recovery = &RecoveryPolicy{}
 		}
+		if s.Quota > 0 {
+			tenant := tenantOf(req.Name)
+			s.RC.mu.Lock()
+			admitted := s.RC.admittedLocked(tenant)
+			s.RC.mu.Unlock()
+			admitted += s.JSA.QueuedFor(tenant)
+			if admitted >= s.Quota {
+				coordQuotaRejections.Inc()
+				return fail(fmt.Errorf("tenant %q at admission quota (%d of %d applications admitted on this shard)",
+					tenant, admitted, s.Quota))
+			}
+		}
 		if err := s.JSA.Submit(Job{Spec: spec, Min: minT, Max: maxT}); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true, Queued: s.JSA.Queued()}
 
-	case "checkpoint":
-		h, ok := s.RC.Handle(req.Name)
-		if !ok {
-			return fail(fmt.Errorf("application %q not running", req.Name))
+	case "open":
+		// Open a versioned handle: the response's Version feeds the next
+		// mutating op, which is then rejected if anyone got there first.
+		h, info, err := s.RC.OpenApp(req.Name)
+		if err != nil {
+			return fail(err)
 		}
-		h.EnableCheckpoint()
-		return Response{OK: true}
+		return Response{OK: true, App: &info, Version: h.Version}
+
+	case "checkpoint":
+		h, err := s.openFor(req)
+		if err != nil {
+			return fail(err)
+		}
+		nh, err := s.RC.CheckpointApp(h)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Version: nh.Version}
 
 	case "stop":
-		h, ok := s.RC.Handle(req.Name)
-		if !ok {
-			return fail(fmt.Errorf("application %q not running", req.Name))
+		h, err := s.openFor(req)
+		if err != nil {
+			return fail(err)
 		}
-		h.RequestStop()
-		return Response{OK: true}
+		nh, err := s.RC.StopApp(h)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Version: nh.Version}
 
 	case "reconfigure":
 		if err := s.JSA.Reconfigure(req.Name, req.Tasks, 60*time.Second); err != nil {
@@ -277,18 +361,24 @@ func (s *ControlServer) handle(req Request) Response {
 	return fail(fmt.Errorf("unknown op %q", req.Op))
 }
 
+// openFor resolves a request's handle: a versioned request (Version > 0)
+// is taken at its word and will be rejected downstream if stale; an
+// unversioned one opens the application fresh (last-writer-wins).
+func (s *ControlServer) openFor(req Request) (AppHandle, error) {
+	if req.Version > 0 {
+		return AppHandle{App: req.Name, Version: req.Version}, nil
+	}
+	h, _, err := s.RC.OpenApp(req.Name)
+	return h, err
+}
+
 // Apps returns a snapshot of every application the RC knows about.
 func (rc *RC) Apps() []AppInfo {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	out := make([]AppInfo, 0, len(rc.apps))
 	for name, app := range rc.apps {
-		info := AppInfo{Name: name, Status: app.status, Tasks: app.tasks,
-			Nodes: append([]int(nil), app.nodes...), Incarnation: app.incarnation}
-		if app.err != nil {
-			info.Err = app.err.Error()
-		}
-		out = append(out, info)
+		out = append(out, appInfoLocked(name, app))
 	}
 	return out
 }
@@ -317,6 +407,21 @@ func (c *ControlClient) Close() { c.conn.Close() }
 // Do sends one request and waits for its response. A response with OK
 // false is returned as an error.
 func (c *ControlClient) Do(req Request) (Response, error) {
+	resp, err := c.DoRaw(req)
+	if err != nil {
+		return resp, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("coord: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// DoRaw sends one request and returns the response as the server sent
+// it — an application-level failure (OK false) is the caller's to
+// interpret, not an error. The gateway uses it to relay shard responses
+// verbatim.
+func (c *ControlClient) DoRaw(req Request) (Response, error) {
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, err
 	}
@@ -326,9 +431,6 @@ func (c *ControlClient) Do(req Request) (Response, error) {
 	var resp Response
 	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
 		return Response{}, err
-	}
-	if !resp.OK {
-		return resp, fmt.Errorf("coord: %s", resp.Error)
 	}
 	return resp, nil
 }

@@ -149,10 +149,20 @@ func (s *eventSub) close() {
 
 // Subscribe returns an independent event stream with the default
 // non-terminal bound. cancel releases the subscription; the channel is
-// never closed (like Events()), it just stops receiving.
+// never closed (like Events()), it just stops receiving. Subscribing
+// after (or racing) Close is safe: the subscription is stillborn — its
+// pump exits immediately instead of leaking, and the channel simply
+// never receives.
 func (rc *RC) Subscribe() (events <-chan Event, cancel func()) {
 	s := newEventSub(defaultEventBound)
 	rc.subMu.Lock()
+	if rc.subsClosed {
+		// Shutdown already swept the subscriber list; registering now
+		// would leave a pump goroutine nobody ever closes.
+		rc.subMu.Unlock()
+		s.close()
+		return s.ch, func() {}
+	}
 	rc.subs = append(rc.subs, s)
 	rc.subMu.Unlock()
 	return s.ch, func() {

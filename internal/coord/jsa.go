@@ -89,6 +89,20 @@ func (j *JSA) Queued() int {
 	return len(j.queue)
 }
 
+// QueuedFor returns how many queued jobs belong to the given admission
+// tenant (the name prefix before the first "/").
+func (j *JSA) QueuedFor(tenant string) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, job := range j.queue {
+		if tenantOf(job.Spec.Name) == tenant {
+			n++
+		}
+	}
+	return n
+}
+
 // Reconfigure moves a running application to a new task count through the
 // checkpoint/restart path: it arms a system-initiated checkpoint, asks
 // the application to stop at its next SOP, waits for it to exit, and
@@ -96,8 +110,8 @@ func (j *JSA) Queued() int {
 // application must use ReconfigChkEnable at its SOP and honor
 // StopRequested (the AppSpec convention).
 func (j *JSA) Reconfigure(name string, newTasks int, timeout time.Duration) error {
-	h, ok := j.rc.Handle(name)
-	if !ok {
+	h, info, err := j.rc.OpenApp(name)
+	if err != nil || info.Status != StatusRunning {
 		return fmt.Errorf("jsa: application %q not running", name)
 	}
 	j.mu.Lock()
@@ -110,8 +124,18 @@ func (j *JSA) Reconfigure(name string, newTasks int, timeout time.Duration) erro
 		return fmt.Errorf("jsa: %d tasks outside job range [%d, %d]", newTasks, job.Min, job.Max)
 	}
 
-	h.EnableCheckpoint()
-	h.RequestStop()
+	// Versioned mutations: arming the checkpoint advances the state
+	// version and the returned handle chains into the stop. A concurrent
+	// mutation (another controller, or the supervisor) invalidates the
+	// chain — the reconfiguration then fails cleanly instead of stopping
+	// an application whose state it no longer understands.
+	h, err = j.rc.CheckpointApp(h)
+	if err != nil {
+		return fmt.Errorf("jsa: reconfiguring %q: %w", name, err)
+	}
+	if _, err := j.rc.StopApp(h); err != nil {
+		return fmt.Errorf("jsa: reconfiguring %q: %w", name, err)
+	}
 	status, err := waitSettle(j.rc, name, timeout)
 	if err != nil {
 		return err

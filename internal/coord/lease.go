@@ -1,0 +1,322 @@
+package coord
+
+import (
+	"fmt"
+	"sort"
+
+	"drms/internal/ckpt"
+	"drms/internal/drms"
+	"drms/internal/pfs"
+)
+
+// Coordinator crash and recovery. The control plane eats its own
+// dogfood: a crashed RC restarts from its latest verified snapshot
+// generation (store.go) the same way the applications it supervises
+// restart from theirs — and, critically, it re-adopts work that
+// survived the crash instead of killing it. A coordinator death is not
+// an application failure: the incarnations keep computing, the TCs keep
+// their processors, and only the bookkeeping needs to be rebuilt.
+//
+// Re-adoption is proved, not assumed, through leases. Every incarnation
+// is stamped with a unique lease epoch at launch (drms.Config.Lease),
+// recorded in the persisted appRecord; every TC hello carries its
+// connection lineage's epoch. A restarted coordinator matches a
+// surviving handle's lease against its record before re-adopting: a
+// match means this is exactly the incarnation on file; a mismatch (or a
+// missing survivor) means the recorded incarnation died with the crash,
+// and the supervisor resumes its recovery cycle from the persisted
+// budget and attempt counters.
+
+// survivor is one application incarnation that outlived the coordinator.
+type survivor struct {
+	handle *drms.Handle
+	nodes  []int
+	tasks  int
+}
+
+// Remnant captures what survives a coordinator crash in the cluster
+// itself: the running incarnations (reachable through their handles —
+// in a distributed deployment, through their TC pools) and the
+// peer-memory checkpoint tier (node memory does not die with the
+// coordinator). Pass it to RecoverRC so the restarted coordinator can
+// reconcile its persisted records against reality.
+type Remnant struct {
+	// Tier is the surviving peer-memory checkpoint tier.
+	Tier *ckpt.MemTier
+
+	apps map[string]*survivor
+}
+
+// Crash simulates an abrupt coordinator death: listeners and TC
+// connections drop, subscriber streams close, and — unlike Close — no
+// final state flush happens, so recovery works from whatever the
+// persister last committed. It returns the Remnant of cluster state
+// that outlives the coordinator process. Running applications are NOT
+// killed: a coordinator death is not an application failure.
+func (rc *RC) Crash() *Remnant {
+	rem := &Remnant{Tier: rc.tier, apps: make(map[string]*survivor)}
+	rc.mu.Lock()
+	for name, app := range rc.apps {
+		// Every incarnation with a live handle survives the coordinator —
+		// including one that already exited but whose settle was not yet
+		// persisted (the successor re-adopts it and settles it instantly
+		// from the handle's recorded exit, instead of misreading the stale
+		// "running" record as a lost incarnation and restarting a finished
+		// application). Only a recovering app is excluded: its handle is
+		// the incarnation that is known dead.
+		if app.handle != nil && app.status != StatusRecovering {
+			rem.apps[name] = &survivor{handle: app.handle,
+				nodes: append([]int(nil), app.nodes...), tasks: app.tasks}
+		}
+	}
+	rc.mu.Unlock()
+	rc.shutdown(true)
+	return rem
+}
+
+// RecoveryReport summarizes what RecoverRC reconstructed.
+type RecoveryReport struct {
+	// Gen is the snapshot generation restored from (-1: none found; the
+	// coordinator then starts empty).
+	Gen int
+	// Quarantined lists snapshot generations moved aside during verified
+	// resolution.
+	Quarantined []string
+	// Readopted are applications whose incarnations survived the crash
+	// with matching leases and continue without a restart.
+	Readopted []string
+	// Resumed are supervised applications whose incarnations died with
+	// (or before) the crash; their recovery cycles were resumed from the
+	// persisted budget and attempt counters.
+	Resumed []string
+	// Orphaned are recorded applications that could be neither re-adopted
+	// nor relaunched (no surviving incarnation and no catalog entry to
+	// re-bind a runnable spec); they settle terminated, state preserved.
+	Orphaned []string
+}
+
+// RecoverRC restarts a crashed coordinator from its latest verifiable
+// control-plane snapshot under opt.StatePrefix, reconciling the
+// persisted records against the surviving cluster state in rem (nil:
+// nothing survived). Applications whose incarnation survived with a
+// matching lease are re-adopted untouched; supervised applications
+// whose incarnation did not survive resume their recovery cycle through
+// the spec opt.Catalog re-binds; everything else settles with its
+// recorded terminal state. The new coordinator listens on a fresh
+// address — surviving TCs rejoin via TC.Reconnect.
+func RecoverRC(fs *pfs.System, opt RCOptions, rem *Remnant) (*RC, *RecoveryReport, error) {
+	if opt.StatePrefix == "" {
+		return nil, nil, fmt.Errorf("coord: RecoverRC needs RCOptions.StatePrefix")
+	}
+	if opt.Tier == nil && rem != nil {
+		opt.Tier = rem.Tier
+	}
+	rc, err := newRC(fs, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &RecoveryReport{Gen: -1}
+
+	records, gen, quarantined, ok, lerr := rc.store.Load(fs)
+	report.Quarantined = quarantined
+	if ok {
+		report.Gen = gen
+		coordStateRestores.Inc()
+	} else if lerr != nil && len(quarantined) == 0 {
+		// Load trouble that is not just corrupt generations (they
+		// quarantine and fall back) — refuse to start on a broken store.
+		rc.ln.Close()
+		return nil, nil, lerr
+	}
+
+	if raw, okRC := records[rcRecordKey]; okRC {
+		rec, err := decodeRCRecord(raw)
+		if err != nil {
+			rc.ln.Close()
+			return nil, nil, err
+		}
+		rc.leaseSeq = rec.LeaseSeq
+	}
+
+	// Rebuild the application table, newest decisions first: re-adopt,
+	// resume recovery, or settle.
+	var resume []*appState
+	var resumeCause []error
+	names := make([]string, 0, len(records))
+	for key := range records {
+		if len(key) > 4 && key[:4] == "app/" {
+			names = append(names, key[4:])
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rec, err := decodeAppRecord(records[appRecordKey(name)])
+		if err != nil {
+			rc.ln.Close()
+			return nil, nil, err
+		}
+		app := appFromRecord(rec, opt.Catalog)
+		sv := rem.survivorOf(name)
+		switch {
+		case (rec.Status == StatusRunning || rec.Status == StatusRecovering) &&
+			sv != nil && sv.handle.Lease() == rec.Lease:
+			// Lease matched: this is exactly the incarnation on file.
+			rc.adoptLocked(name, app, sv)
+			report.Readopted = append(report.Readopted, name)
+		case (rec.Status == StatusRunning || rec.Status == StatusRecovering) &&
+			app.spec.Recovery != nil && app.spec.Body != nil:
+			// The incarnation died with the crash (or was already down):
+			// resume the supervisor's cycle from the persisted counters.
+			app.status = StatusRecovering
+			rc.apps[name] = app
+			cause := fmt.Errorf("coord: incarnation lease %d of %q did not survive the coordinator crash",
+				rec.Lease, name)
+			if app.err == nil {
+				app.err = cause
+			}
+			resume = append(resume, app)
+			resumeCause = append(resumeCause, cause)
+			report.Resumed = append(report.Resumed, name)
+		case rec.Status == StatusRunning || rec.Status == StatusRecovering:
+			// Nothing survived and nothing can relaunch it.
+			app.status = StatusTerminated
+			if app.err == nil {
+				app.err = fmt.Errorf("coord: %q lost its incarnation in a coordinator crash and no catalog entry can relaunch it", name)
+			}
+			close(app.done)
+			rc.apps[name] = app
+			report.Orphaned = append(report.Orphaned, name)
+		default:
+			// Terminal on record: preserved as-is.
+			close(app.done)
+			rc.apps[name] = app
+		}
+	}
+
+	// Survivors the snapshot never saw: a crash can land between an
+	// incarnation's launch and its first flush. The handle is alive and
+	// leased — adopt it; its record appears at the next snapshot.
+	if rem != nil {
+		orphans := make([]string, 0)
+		for name := range rem.apps {
+			if _, known := rc.apps[name]; !known {
+				orphans = append(orphans, name)
+			}
+		}
+		sort.Strings(orphans)
+		for _, name := range orphans {
+			sv := rem.apps[name]
+			app := appFromRecord(appRecord{Schema: stateSchemaVersion, Name: name,
+				Status: StatusRunning, Tasks: sv.tasks, Lease: sv.handle.Lease()}, opt.Catalog)
+			rc.adoptLocked(name, app, sv)
+			if sv.handle.Lease() > rc.leaseSeq {
+				rc.leaseSeq = sv.handle.Lease()
+			}
+			report.Readopted = append(report.Readopted, name)
+		}
+	}
+
+	rc.dirty = true // the reconciled state is the new truth; snapshot it
+	rc.statsLocked()
+	rc.start()
+	for _, name := range report.Readopted {
+		app := rc.apps[name]
+		registerRestoreSourceGauge(name, app)
+		rc.emit(Event{Kind: EventAppReadopted, App: name,
+			Detail: fmt.Sprintf("lease %d matched; incarnation %d continues on %d tasks",
+				app.lease, app.incarnation, app.tasks)})
+		go rc.watchApp(app)
+	}
+	for i, app := range resume {
+		registerRestoreSourceGauge(app.spec.Name, app)
+		go rc.resumeRecovery(app, resumeCause[i])
+	}
+	rc.flushState()
+	return rc, report, nil
+}
+
+// survivorOf looks one application up in the remnant (nil-safe).
+func (rem *Remnant) survivorOf(name string) *survivor {
+	if rem == nil {
+		return nil
+	}
+	return rem.apps[name]
+}
+
+// appFromRecord rebuilds an appState from its persisted record,
+// re-binding the runnable spec parts through the catalog when it has
+// the name. Called before the coordinator's goroutines start, so no
+// locking.
+func appFromRecord(rec appRecord, catalog func(string) (AppSpec, bool)) *appState {
+	spec := AppSpec{Name: rec.Name, Keep: rec.Keep, Verify: rec.Verify,
+		AnchorEvery: rec.AnchorEvery, Replicas: rec.Replicas,
+		DemoteEvery: rec.DemoteEvery, SPMD: rec.SPMD}
+	if rec.Supervised {
+		spec.Recovery = &RecoveryPolicy{Budget: rec.PolicyBudget, Backoff: rec.Backoff,
+			BackoffMax: rec.BackoffMax, StallPenalty: rec.StallPenalty}
+	}
+	if catalog != nil {
+		if cat, ok := catalog(rec.Name); ok {
+			cat.Name = rec.Name
+			spec = cat
+		}
+	}
+	app := &appState{
+		spec:         spec,
+		status:       rec.Status,
+		tasks:        rec.Tasks,
+		nodes:        append([]int(nil), rec.Nodes...),
+		incarnation:  rec.Incarnation,
+		version:      rec.Version,
+		lease:        rec.Lease,
+		budget:       rec.Budget,
+		attempts:     rec.Attempts,
+		lastResolved: rec.LastResolved,
+		done:         make(chan struct{}),
+	}
+	if rec.Attempts == 0 {
+		if rec.LastResolved == 0 {
+			app.lastResolved = -2 // zero-value/synthesized record: no recovery yet
+		}
+		if rec.Budget == 0 && spec.Recovery != nil {
+			app.budget = spec.Recovery.withDefaults().Budget
+		}
+	}
+	if rec.Err != "" {
+		app.err = fmt.Errorf("%s", rec.Err)
+	}
+	if rec.FirstCause != "" {
+		app.firstCause = fmt.Errorf("%s", rec.FirstCause)
+	}
+	return app
+}
+
+// adoptLocked wires one surviving incarnation into the (not yet
+// started) coordinator's tables. Called before rc.start, so no locking.
+func (rc *RC) adoptLocked(name string, app *appState, sv *survivor) {
+	app.status = StatusRunning
+	app.err = nil
+	app.handle = sv.handle
+	app.hcell.Store(sv.handle)
+	app.nodes = append([]int(nil), sv.nodes...)
+	app.tasks = sv.tasks
+	app.unwound = make(chan struct{})
+	app.version++
+	rc.apps[name] = app
+	for _, n := range sv.nodes {
+		rc.busy[n] = name
+	}
+	coordReadoptions.Inc()
+}
+
+// resumeRecovery continues a supervised application's recovery cycle
+// after a coordinator restart: the same loop watchApp would have run,
+// entered from the recovering state the snapshot recorded.
+func (rc *RC) resumeRecovery(app *appState, cause error) {
+	if !rc.recoverApp(app, cause) {
+		close(app.done)
+		rc.changed()
+		return
+	}
+	rc.watchApp(app)
+}

@@ -1,7 +1,9 @@
 package coord
 
 import (
+	"fmt"
 	"strings"
+	"time"
 
 	"drms/internal/obs"
 )
@@ -35,6 +37,16 @@ var (
 		"Control-plane events dropped on slow consumers (non-terminal only; coalesced oldest-first).")
 	coordTerminalEventsDropped = obs.GetCounter("drms_coord_terminal_events_dropped_total",
 		"Terminal/settle events dropped — must stay 0; delivery of terminal telemetry is guaranteed.")
+	coordStaleRejections = obs.GetCounter("drms_coord_stale_handle_rejections_total",
+		"Versioned-API mutations rejected because the handle's state version was stale.")
+	coordStateSnapshots = obs.GetCounter("drms_coord_state_snapshots_total",
+		"Control-plane snapshot generations committed through the state store.")
+	coordStateRestores = obs.GetCounter("drms_coord_state_restores_total",
+		"Coordinator restarts that loaded a control-plane snapshot generation.")
+	coordReadoptions = obs.GetCounter("drms_coord_readoptions_total",
+		"Applications re-adopted alive across a coordinator restart (lease matched; no restart).")
+	coordQuotaRejections = obs.GetCounter("drms_coord_quota_rejections_total",
+		"Application submissions rejected by per-tenant admission quotas.")
 )
 
 // registerRestoreSourceGauge exposes, per application, which tier served
@@ -63,6 +75,33 @@ func registerRestoreSourceGauge(name string, app *appState) {
 		})
 }
 
+// registerSnapshotAgeGauge exposes how stale the coordinator's persisted
+// state is: seconds since the last committed control-plane snapshot
+// generation (-1 before the first commit). Re-registration on restart
+// replaces the closure, so the metric follows the live coordinator.
+func registerSnapshotAgeGauge(rc *RC) {
+	obs.GaugeFunc("drms_coord_state_snapshot_age_seconds",
+		"Seconds since the last committed control-plane snapshot (-1 before the first).",
+		func() float64 {
+			ns := rc.lastSnap.Load()
+			if ns == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		})
+}
+
+// shardGauges returns the per-shard pool and application gauges for one
+// member of a sharded fleet. drmsd runs all shards in one process, so
+// the fleet's state is scrapeable shard by shard.
+func shardGauges(shard int) (tcsLive, apps *obs.Gauge) {
+	label := fmt.Sprintf(`{shard="%d"}`, shard)
+	return obs.GetGauge("drms_coord_shard_tcs_live"+label,
+			"Live task coordinator registrations owned by this shard."),
+		obs.GetGauge("drms_coord_shard_apps_running"+label,
+			"Applications in the running state on this shard.")
+}
+
 // statsLocked refreshes the pool/application gauges. rc.mu must be held.
 func (rc *RC) statsLocked() {
 	live := 0
@@ -79,4 +118,8 @@ func (rc *RC) statsLocked() {
 		}
 	}
 	coordAppsRunning.Set(float64(running))
+	if rc.shardTCsLive != nil {
+		rc.shardTCsLive.Set(float64(live))
+		rc.shardApps.Set(float64(running))
+	}
 }

@@ -33,6 +33,7 @@ import (
 	"drms/internal/ckpt"
 	"drms/internal/drms"
 	"drms/internal/msg"
+	"drms/internal/obs"
 	"drms/internal/pfs"
 	"drms/internal/stream"
 )
@@ -58,6 +59,10 @@ const (
 	EventAppRecovered    EventKind = "app-recovered"
 	EventAppStalled      EventKind = "app-stalled"
 	EventCkptQuarantined EventKind = "ckpt-quarantined"
+	// EventAppReadopted fires when a restarted coordinator re-adopts a
+	// still-running incarnation whose lease matched its persisted record:
+	// the application continues without a restart.
+	EventAppReadopted EventKind = "app-readopted"
 )
 
 // Event is a user-visible notification from the RC (the UIC surface).
@@ -191,6 +196,8 @@ const (
 
 // AppInfo is a snapshot of an application's state. Incarnation counts
 // supervised restarts: 0 for the initial launch, +1 per recovery.
+// Version is the control-plane state version the snapshot was taken at;
+// a handle opened at this version is valid until the next mutation.
 type AppInfo struct {
 	Name        string
 	Status      AppStatus
@@ -198,12 +205,18 @@ type AppInfo struct {
 	Nodes       []int
 	Err         string
 	Incarnation int
+	Version     uint64
 }
 
 type tcState struct {
 	node  int
 	conn  net.Conn
 	alive bool
+	// epoch is the registration's lease epoch: a TC increments it on
+	// every (re)connection, so a reconnect after a coordinator restart
+	// proves it is the same registration lineage, not a new processor
+	// claiming the node id. Zero when the TC predates lease epochs.
+	epoch int64
 }
 
 type appState struct {
@@ -214,6 +227,16 @@ type appState struct {
 	status AppStatus
 	err    error
 	done   chan struct{} // closed when the app reaches a terminal state
+
+	// version is the application's control-plane state version: it
+	// advances on every mutation (launch, status change, incarnation,
+	// armed checkpoint, stop request), and the versioned API rejects
+	// mutations carrying a stale version (see api.go). lease identifies
+	// the current incarnation across coordinator restarts: it is stamped
+	// into the incarnation's drms.Handle at launch, persisted in the
+	// control-plane snapshot, and matched during re-adoption.
+	version uint64
+	lease   int64
 
 	// Supervisor state. unwound belongs to the current incarnation: it
 	// closes when that incarnation's tasks have fully unwound and its
@@ -235,12 +258,19 @@ type appState struct {
 	hcell atomic.Pointer[drms.Handle]
 }
 
-// RC is the resource coordinator.
+// RC is the resource coordinator: one shard of the control plane. Its
+// authoritative tables (applications, incarnations, recovery budgets,
+// leases) are mutated only through the versioned API (api.go) and —
+// when RCOptions.StatePrefix is set — persisted through the repo's own
+// checkpoint machinery (store.go), so a crashed coordinator restarts
+// from its latest verified snapshot generation and re-adopts still-live
+// work (lease.go) instead of killing it.
 type RC struct {
 	fs        *pfs.System
 	ln        net.Listener
 	hbTimeout time.Duration
-	stop      chan struct{} // closed by Close; aborts recovery backoffs
+	opt       RCOptions
+	stop      chan struct{} // closed by Close/Crash; aborts recovery backoffs
 	// tier is the cluster's hot in-memory checkpoint tier, modeling the
 	// per-node memory the TC daemons would hold replicas in. It outlives
 	// application incarnations (a process death does not erase peer
@@ -250,38 +280,120 @@ type RC struct {
 
 	subMu      sync.Mutex
 	subs       []*eventSub
+	subsClosed bool // set by shutdown before subs close: late Subscribe gets a dead sub, not a leak
 	defaultSub *eventSub
 
-	mu     sync.Mutex
-	tcs    map[int]*tcState
-	apps   map[string]*appState
-	busy   map[int]string // node -> app name
-	notify []func()
-	closed bool
+	// Control-plane persistence (nil store = self-checkpointing off).
+	store       *ckpt.StateStore
+	persistWake chan struct{}
+	persistDone chan struct{}
+	lastSnap    atomic.Int64 // unixnano of the last committed snapshot
+
+	// Per-shard gauges, registered once at construction (nil when the
+	// coordinator is not part of a sharded fleet).
+	shardTCsLive, shardApps *obs.Gauge
+
+	mu       sync.Mutex
+	tcs      map[int]*tcState
+	apps     map[string]*appState
+	busy     map[int]string // node -> app name
+	notify   []func()
+	leaseSeq int64 // incarnation lease allocator; persisted
+	dirty    bool  // control-plane state changed since the last snapshot
+	closed   bool
+	crashed  bool // shutdown was a simulated crash: skip the final flush
+}
+
+// RCOptions configures one resource coordinator.
+type RCOptions struct {
+	// HBTimeout is how long a silent TC connection is tolerated before
+	// the processor is declared failed.
+	HBTimeout time.Duration
+	// StatePrefix, when non-empty, turns on control-plane
+	// self-checkpointing: the coordinator's authoritative tables are
+	// persisted under this prefix through ckpt.StateStore (rotated,
+	// CRC-verified, chained-delta generations) on every mutation, and
+	// RecoverRC restarts from the newest verifiable generation.
+	StatePrefix string
+	// StateKeep / StateAnchorEvery tune the snapshot rotation (defaults
+	// 4 generations kept, anchors every 8).
+	StateKeep        int
+	StateAnchorEvery int
+	// Shard / Shards place this coordinator in a sharded fleet: it owns
+	// the applications the shard map assigns to Shard of Shards (shard.go).
+	// Shards <= 1 means a solo coordinator that owns everything.
+	Shard, Shards int
+	// Tier supplies the cluster's surviving peer-memory tier on restart
+	// (RecoverRC); nil creates a fresh one.
+	Tier *ckpt.MemTier
+	// Catalog maps application names back to runnable specs after a
+	// coordinator restart: a recorded application whose incarnation did
+	// not survive the crash is relaunched from the spec the catalog
+	// returns. nil (or a miss) settles such applications as terminated —
+	// their state is preserved, but nothing can run them.
+	Catalog func(name string) (AppSpec, bool)
 }
 
 // NewRC starts a resource coordinator listening on loopback. hbTimeout is
 // how long a silent TC connection is tolerated before the processor is
 // declared failed.
 func NewRC(fs *pfs.System, hbTimeout time.Duration) (*RC, error) {
+	return NewRCOpts(fs, RCOptions{HBTimeout: hbTimeout})
+}
+
+// NewRCOpts starts a resource coordinator with full options.
+func NewRCOpts(fs *pfs.System, opt RCOptions) (*RC, error) {
+	rc, err := newRC(fs, opt)
+	if err != nil {
+		return nil, err
+	}
+	rc.start()
+	return rc, nil
+}
+
+// newRC builds a coordinator without starting its goroutines, so
+// RecoverRC can restore state into it first.
+func newRC(fs *pfs.System, opt RCOptions) (*RC, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
+	tier := opt.Tier
+	if tier == nil {
+		tier = ckpt.NewMemTier()
+	}
 	rc := &RC{
 		fs:        fs,
 		ln:        ln,
-		hbTimeout: hbTimeout,
+		hbTimeout: opt.HBTimeout,
+		opt:       opt,
 		stop:      make(chan struct{}),
-		tier:      ckpt.NewMemTier(),
+		tier:      tier,
 		tcs:       make(map[int]*tcState),
 		apps:      make(map[string]*appState),
 		busy:      make(map[int]string),
 	}
+	if opt.StatePrefix != "" {
+		rc.store = &ckpt.StateStore{Base: opt.StatePrefix,
+			Keep: opt.StateKeep, AnchorEvery: opt.StateAnchorEvery}
+		rc.persistWake = make(chan struct{}, 1)
+		rc.persistDone = make(chan struct{})
+		registerSnapshotAgeGauge(rc)
+	}
+	if opt.Shards > 1 {
+		rc.shardTCsLive, rc.shardApps = shardGauges(opt.Shard)
+	}
 	rc.defaultSub = newEventSub(defaultEventBound)
 	rc.subs = append(rc.subs, rc.defaultSub)
-	go rc.acceptLoop()
 	return rc, nil
+}
+
+// start launches the coordinator's service goroutines.
+func (rc *RC) start() {
+	go rc.acceptLoop()
+	if rc.store != nil {
+		go rc.persister()
+	}
 }
 
 // Addr returns the RC's listen address for TCs to dial.
@@ -304,11 +416,18 @@ func (rc *RC) OnChange(f func()) {
 	rc.mu.Unlock()
 }
 
-// Close shuts the RC down. In-flight recoveries abort: their
-// applications settle as terminated.
-func (rc *RC) Close() {
+// Close shuts the RC down cleanly. In-flight recoveries abort: their
+// applications settle as terminated. With self-checkpointing on, the
+// final state is flushed to storage before Close returns.
+func (rc *RC) Close() { rc.shutdown(false) }
+
+// shutdown is the shared teardown. crash=true simulates an abrupt
+// coordinator death (RC.Crash): no final state flush, so recovery must
+// work from whatever the persister last committed.
+func (rc *RC) shutdown(crash bool) {
 	rc.mu.Lock()
 	if !rc.closed {
+		rc.crashed = crash
 		close(rc.stop)
 	}
 	rc.closed = true
@@ -324,10 +443,14 @@ func (rc *RC) Close() {
 		c.Close()
 	}
 	rc.subMu.Lock()
+	rc.subsClosed = true
 	subs := append([]*eventSub(nil), rc.subs...)
 	rc.subMu.Unlock()
 	for _, s := range subs {
 		s.close()
+	}
+	if rc.persistDone != nil {
+		<-rc.persistDone // persister exits (final flush unless crashing)
 	}
 }
 
@@ -348,10 +471,15 @@ func (rc *RC) changed() {
 	}
 }
 
-// tcMsg is the TC→RC wire message (JSON lines).
+// tcMsg is the TC→RC wire message (JSON lines). Epoch is the lease
+// epoch of a hello: incremented by the TC on every (re)connection, it
+// lets a restarted coordinator tell a reconnecting survivor from a new
+// claimant of the node id (lease reconciliation). Absent (0) from TCs
+// that predate lease epochs.
 type tcMsg struct {
-	Kind string `json:"kind"` // "hello", "hb", "bye"
-	Node int    `json:"node"`
+	Kind  string `json:"kind"` // "hello", "hb", "bye"
+	Node  int    `json:"node"`
+	Epoch int64  `json:"epoch,omitempty"`
 }
 
 func (rc *RC) acceptLoop() {
@@ -399,7 +527,7 @@ func (rc *RC) serveTC(conn net.Conn) {
 	// timeout. The old goroutine's loss notice is a no-op — onTCLost
 	// acts only while its registration still owns the node's slot.
 	old := rc.tcs[node]
-	st := &tcState{node: node, conn: conn, alive: true}
+	st := &tcState{node: node, conn: conn, alive: true, epoch: hello.Epoch}
 	rc.tcs[node] = st
 	rc.statsLocked()
 	rc.mu.Unlock()
@@ -551,6 +679,9 @@ func (rc *RC) Launch(spec AppSpec, tasks int, restart bool) error {
 	rc.mu.Unlock()
 	registerRestoreSourceGauge(spec.Name, app)
 
+	// Persist before announcing: a coordinator that crashes right after
+	// this launch must know the application exists to re-adopt it.
+	rc.flushState()
 	rc.emit(Event{Kind: EventAppStarted, App: spec.Name,
 		Detail: fmt.Sprintf("%d tasks on %v (restart=%v)", tasks, app.nodes, restart)})
 	go rc.watchApp(app)
@@ -600,8 +731,15 @@ func (rc *RC) launchIncarnationLocked(app *appState, nodes []int, restartFrom st
 			}
 		}
 	}
+	// Lease the incarnation: the handle is stamped with a unique epoch
+	// that the control-plane snapshot records, so a restarted
+	// coordinator can prove a surviving handle IS the incarnation it
+	// has on file before re-adopting it.
+	rc.leaseSeq++
+	cfg.Lease = rc.leaseSeq
 	h, err := drms.Start(cfg, spec.Body)
 	if err != nil {
+		rc.leaseSeq--
 		return err
 	}
 	cell.Store(h)
@@ -609,7 +747,10 @@ func (rc *RC) launchIncarnationLocked(app *appState, nodes []int, restartFrom st
 	app.hcell.Store(h)
 	app.nodes = nodes
 	app.tasks = tasks
+	app.lease = cfg.Lease
 	app.unwound = make(chan struct{})
+	app.version++
+	rc.dirtyLocked()
 	for _, n := range nodes {
 		rc.busy[n] = spec.Name
 	}
@@ -648,6 +789,8 @@ func (rc *RC) watchApp(app *appState) {
 		if app.firstCause == nil {
 			app.firstCause = err
 		}
+		app.version++
+		rc.dirtyLocked()
 		var freed []int
 		for _, n := range app.nodes {
 			if tc, ok := rc.tcs[n]; ok && tc.alive {
@@ -662,6 +805,15 @@ func (rc *RC) watchApp(app *appState) {
 		unwound := app.unwound
 		rc.statsLocked()
 		rc.mu.Unlock()
+
+		// Persist before announcing, like Launch: once the settle is on
+		// storage, a coordinator crash after the event cannot resurrect a
+		// finished application (the spurious-restart hazard), and a crash
+		// before the event loses only the notification, never the truth —
+		// the restarted coordinator restores the terminal state.
+		if !recovering {
+			rc.flushState()
+		}
 
 		kind := EventAppFinished
 		detail := ""
@@ -720,6 +872,8 @@ func (rc *RC) recoverApp(app *appState, cause error) bool {
 			rc.mu.Lock()
 			app.status = StatusTerminated
 			app.err = cause
+			app.version++
+			rc.dirtyLocked()
 			rc.mu.Unlock()
 			return false
 		case <-t.C:
@@ -773,10 +927,16 @@ func (rc *RC) recoverApp(app *appState, cause error) bool {
 		}
 		if app.budget < cost {
 			app.status = StatusStalled
+			firstCause := app.firstCause
+			if firstCause == nil {
+				firstCause = cause
+			}
 			app.err = fmt.Errorf("coord: recovery budget exhausted after %d restarts of %q (last restart point: gen %d): %w",
-				app.attempts, app.spec.Name, app.lastResolved, app.firstCause)
+				app.attempts, app.spec.Name, app.lastResolved, firstCause)
 			err := app.err
 			coordStalls.Inc()
+			app.version++
+			rc.dirtyLocked()
 			rc.statsLocked()
 			rc.mu.Unlock()
 			rc.emit(Event{Kind: EventAppStalled, App: app.spec.Name,
@@ -786,6 +946,8 @@ func (rc *RC) recoverApp(app *appState, cause error) bool {
 		app.budget -= cost
 		app.attempts++
 		app.lastResolved = gen
+		app.version++
+		rc.dirtyLocked()
 		coordRecoveryAttempts.Inc()
 
 		// Pool: reconfigure onto whatever the policy picks from the
@@ -810,6 +972,7 @@ func (rc *RC) recoverApp(app *appState, cause error) bool {
 		attempt, inc := app.attempts, app.incarnation
 		rc.statsLocked()
 		rc.mu.Unlock()
+		rc.flushState() // the new incarnation's lease must be on storage
 
 		// Stamp the recovery telemetry the paper's Tables 3-5 measure:
 		// TTR, the generation restarted from, and how stale that restart
@@ -849,17 +1012,26 @@ func (rc *RC) App(name string) (AppInfo, bool) {
 	if !ok {
 		return AppInfo{}, false
 	}
-	info := AppInfo{Name: name, Status: app.status, Tasks: app.tasks,
-		Nodes: append([]int(nil), app.nodes...), Incarnation: app.incarnation}
-	if app.err != nil {
-		info.Err = app.err.Error()
-	}
+	info := appInfoLocked(name, app)
 	return info, true
 }
 
-// Handle exposes the control handle of a running application (for
-// system-initiated checkpoints).
-func (rc *RC) Handle(name string) (*drms.Handle, bool) {
+// appInfoLocked renders one application's snapshot; rc.mu must be held.
+func appInfoLocked(name string, app *appState) AppInfo {
+	info := AppInfo{Name: name, Status: app.status, Tasks: app.tasks,
+		Nodes: append([]int(nil), app.nodes...), Incarnation: app.incarnation,
+		Version: app.version}
+	if app.err != nil {
+		info.Err = app.err.Error()
+	}
+	return info
+}
+
+// handleOf exposes the raw control handle of a running application.
+// Deliberately unexported: outside callers go through the versioned API
+// (OpenApp/CheckpointApp/StopApp), which is the only mutation surface —
+// make lint enforces the boundary.
+func (rc *RC) handleOf(name string) (*drms.Handle, bool) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	app, ok := rc.apps[name]

@@ -328,7 +328,7 @@ func TestWaitAppSettledObservesRecoveryNotTerminal(t *testing.T) {
 		i, ok := rc.App("phoenix")
 		return ok && i.Status == StatusRunning
 	})
-	if h, ok := rc.Handle("phoenix"); ok {
+	if h, ok := rc.handleOf("phoenix"); ok {
 		h.RequestStop()
 	}
 	rc.WaitApp("phoenix")
@@ -514,7 +514,7 @@ func TestChaosSoakConvergesUnderRandomKills(t *testing.T) {
 	// pieces, tearing the in-flight generation.
 	waitFor(t, "restored incarnation", func() bool { return ca.restored.Load() })
 	waitFor(t, "gated incarnation's injector", func() bool {
-		h, ok := rc.Handle("soak")
+		h, ok := rc.handleOf("soak")
 		if !ok || h.Fault() == nil {
 			return false
 		}

@@ -1,0 +1,243 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+)
+
+// Control-plane persistence. With RCOptions.StatePrefix set, the
+// coordinator's authoritative tables — the application records
+// (status, pool, incarnation, lease, recovery budget, state version)
+// and the lease allocator — are serialized into a ckpt.StateStore on
+// every mutation, asynchronously batched by a persister goroutine, with
+// synchronous flushes at the moments a crash must not forget (a launch
+// before its announcement, a recovery relaunch before its event). The
+// snapshot schema is deliberately plain data: function-valued spec
+// fields (Body, Stream hooks, FaultNext, Pool) cannot cross a process
+// lifetime, so a restarted coordinator re-binds them through
+// RCOptions.Catalog (lease.go).
+
+// stateSchemaVersion guards the gob record layout. A decoder seeing a
+// newer record than it understands refuses the snapshot rather than
+// misreading it.
+const stateSchemaVersion = 1
+
+// appRecord is one application's persisted control-plane state.
+type appRecord struct {
+	Schema      int
+	Name        string
+	Status      AppStatus
+	Tasks       int
+	Nodes       []int
+	Err         string
+	Incarnation int
+	Version     uint64
+	Lease       int64
+
+	// Supervisor state.
+	Supervised   bool
+	Budget       int
+	Attempts     int
+	LastResolved int
+	FirstCause   string
+
+	// Spec knobs that are plain data (the runnable parts — Body, Stream,
+	// FaultNext, Pool — come back through the catalog).
+	Keep        int
+	Verify      bool
+	AnchorEvery int
+	Replicas    int
+	DemoteEvery int
+	SPMD        bool
+
+	// Recovery policy numbers, valid when Supervised.
+	PolicyBudget int
+	Backoff      time.Duration
+	BackoffMax   time.Duration
+	StallPenalty int
+}
+
+// rcRecord is the coordinator's own persisted state.
+type rcRecord struct {
+	Schema   int
+	LeaseSeq int64
+	Shard    int
+	Shards   int
+}
+
+const rcRecordKey = "rc"
+
+func appRecordKey(name string) string { return "app/" + name }
+
+// dirtyLocked marks the control-plane state changed and rings the
+// persister's doorbell. rc.mu must be held. A no-op without a store.
+func (rc *RC) dirtyLocked() {
+	if rc.store == nil {
+		return
+	}
+	rc.dirty = true
+	select {
+	case rc.persistWake <- struct{}{}:
+	default:
+	}
+}
+
+// snapshotLocked renders the authoritative tables as the state store's
+// record map. rc.mu must be held.
+func (rc *RC) snapshotLocked() (map[string][]byte, error) {
+	records := make(map[string][]byte, len(rc.apps)+1)
+	var buf bytes.Buffer
+	put := func(key string, v any) error {
+		buf.Reset()
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			return fmt.Errorf("coord: encoding state record %q: %w", key, err)
+		}
+		records[key] = append([]byte(nil), buf.Bytes()...)
+		return nil
+	}
+	if err := put(rcRecordKey, rcRecord{Schema: stateSchemaVersion,
+		LeaseSeq: rc.leaseSeq, Shard: rc.opt.Shard, Shards: rc.opt.Shards}); err != nil {
+		return nil, err
+	}
+	for name, app := range rc.apps {
+		rec := appRecord{
+			Schema:      stateSchemaVersion,
+			Name:        name,
+			Status:      app.status,
+			Tasks:       app.tasks,
+			Nodes:       append([]int(nil), app.nodes...),
+			Incarnation: app.incarnation,
+			Version:     app.version,
+			Lease:       app.lease,
+
+			Budget:       app.budget,
+			Attempts:     app.attempts,
+			LastResolved: app.lastResolved,
+
+			Keep:        app.spec.Keep,
+			Verify:      app.spec.Verify,
+			AnchorEvery: app.spec.AnchorEvery,
+			Replicas:    app.spec.Replicas,
+			DemoteEvery: app.spec.DemoteEvery,
+			SPMD:        app.spec.SPMD,
+		}
+		if app.err != nil {
+			rec.Err = app.err.Error()
+		}
+		if app.firstCause != nil {
+			rec.FirstCause = app.firstCause.Error()
+		}
+		if p := app.spec.Recovery; p != nil {
+			pol := p.withDefaults()
+			rec.Supervised = true
+			rec.PolicyBudget = pol.Budget
+			rec.Backoff = pol.Backoff
+			rec.BackoffMax = pol.BackoffMax
+			rec.StallPenalty = pol.StallPenalty
+		}
+		if err := put(appRecordKey(name), rec); err != nil {
+			return nil, err
+		}
+	}
+	return records, nil
+}
+
+// flushState commits a snapshot generation if the state is dirty.
+// Synchronous call sites are the crash-consistency points: a launch
+// persists before its started event, a recovery relaunch before its
+// recovered event, so a coordinator crash can never forget an
+// application it already announced or a lease it already issued.
+func (rc *RC) flushState() {
+	if rc.store == nil {
+		return
+	}
+	rc.mu.Lock()
+	// A crashed coordinator writes nothing more: its successor (RecoverRC)
+	// owns the store now, and a lingering watcher goroutine of the dead
+	// instance must not clobber the successor's newer generations.
+	if !rc.dirty || rc.crashed {
+		rc.mu.Unlock()
+		return
+	}
+	records, err := rc.snapshotLocked()
+	if err != nil {
+		// Unserializable state is a programming error; leave dirty set so
+		// the persister keeps retrying (and the error is loud in tests).
+		rc.mu.Unlock()
+		return
+	}
+	rc.dirty = false
+	rc.mu.Unlock()
+
+	if _, err := rc.store.Commit(rc.fs, records); err != nil {
+		// Storage trouble: mark dirty again so the next wake retries.
+		rc.mu.Lock()
+		rc.dirty = true
+		rc.mu.Unlock()
+		return
+	}
+	coordStateSnapshots.Inc()
+	rc.lastSnap.Store(time.Now().UnixNano())
+}
+
+// persister batches asynchronous snapshot commits: every mutation rings
+// the doorbell, the persister coalesces however many arrived since its
+// last commit into one generation. On clean shutdown it flushes the
+// final state; on a simulated crash it does not — recovery must work
+// from whatever was already committed.
+func (rc *RC) persister() {
+	defer close(rc.persistDone)
+	for {
+		select {
+		case <-rc.persistWake:
+			rc.flushState()
+		case <-rc.stop:
+			rc.mu.Lock()
+			crashed := rc.crashed
+			rc.mu.Unlock()
+			if !crashed {
+				rc.flushState()
+			}
+			return
+		}
+	}
+}
+
+// SyncState forces a synchronous snapshot commit of any pending state
+// and reports the store's newest generation. ok=false when
+// self-checkpointing is off.
+func (rc *RC) SyncState() (gen int, ok bool) {
+	if rc.store == nil {
+		return -1, false
+	}
+	rc.flushState()
+	return rc.store.LastGen(), true
+}
+
+// decodeAppRecord decodes one persisted application record.
+func decodeAppRecord(b []byte) (appRecord, error) {
+	var rec appRecord
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rec); err != nil {
+		return rec, err
+	}
+	if rec.Schema > stateSchemaVersion {
+		return rec, fmt.Errorf("coord: app record schema %d newer than this coordinator (%d)",
+			rec.Schema, stateSchemaVersion)
+	}
+	return rec, nil
+}
+
+// decodeRCRecord decodes the coordinator's own persisted record.
+func decodeRCRecord(b []byte) (rcRecord, error) {
+	var rec rcRecord
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rec); err != nil {
+		return rec, err
+	}
+	if rec.Schema > stateSchemaVersion {
+		return rec, fmt.Errorf("coord: rc record schema %d newer than this coordinator (%d)",
+			rec.Schema, stateSchemaVersion)
+	}
+	return rec, nil
+}

@@ -16,9 +16,10 @@ import (
 // a distributed deployment would.
 type TC struct {
 	node int
-	conn net.Conn
 
 	mu      sync.Mutex
+	conn    net.Conn
+	epoch   int64 // lease epoch: bumped on every (re)connection
 	stopped bool
 	ticker  *time.Ticker
 	done    chan struct{}
@@ -32,8 +33,9 @@ func StartTC(rcAddr string, node int, interval time.Duration) (*TC, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coord: TC %d cannot reach RC: %w", node, err)
 	}
-	tc := &TC{node: node, conn: conn, ticker: time.NewTicker(interval), done: make(chan struct{})}
-	if err := tc.send(tcMsg{Kind: "hello", Node: node}); err != nil {
+	tc := &TC{node: node, conn: conn, epoch: 1,
+		ticker: time.NewTicker(interval), done: make(chan struct{})}
+	if err := tc.send(tcMsg{Kind: "hello", Node: node, Epoch: 1}); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -43,6 +45,14 @@ func StartTC(rcAddr string, node int, interval time.Duration) (*TC, error) {
 
 // Node returns the processor this TC controls.
 func (tc *TC) Node() int { return tc.node }
+
+// Epoch returns the TC's current lease epoch (1 on first connection,
+// +1 per Reconnect).
+func (tc *TC) Epoch() int64 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.epoch
+}
 
 func (tc *TC) send(m tcMsg) error {
 	b, err := json.Marshal(m)
@@ -58,15 +68,43 @@ func (tc *TC) send(m tcMsg) error {
 	return err
 }
 
+// Reconnect re-registers this TC with a (possibly restarted, possibly
+// different) coordinator. The hello carries the next lease epoch, so
+// the coordinator can tell this surviving registration lineage from a
+// new claimant of the node id. The heartbeat loop carries over to the
+// new connection.
+func (tc *TC) Reconnect(rcAddr string) error {
+	conn, err := net.Dial("tcp", rcAddr)
+	if err != nil {
+		return fmt.Errorf("coord: TC %d cannot reach RC: %w", tc.node, err)
+	}
+	tc.mu.Lock()
+	if tc.stopped {
+		tc.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("coord: TC %d stopped", tc.node)
+	}
+	old := tc.conn
+	tc.conn = conn
+	tc.epoch++
+	epoch := tc.epoch
+	tc.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return tc.send(tcMsg{Kind: "hello", Node: tc.node, Epoch: epoch})
+}
+
 func (tc *TC) heartbeatLoop() {
 	for {
 		select {
 		case <-tc.done:
 			return
 		case <-tc.ticker.C:
-			if err := tc.send(tcMsg{Kind: "hb", Node: tc.node}); err != nil {
-				return
-			}
+			// A send error is not fatal to the loop: the connection may be
+			// mid-Reconnect after a coordinator restart, and the next tick
+			// heartbeats the replacement. Stop/Fail end the loop via done.
+			tc.send(tcMsg{Kind: "hb", Node: tc.node})
 		}
 	}
 }
@@ -101,19 +139,30 @@ func (tc *TC) halt() {
 // bring-up of a whole machine. It waits until the RC has registered all
 // of them (via its available-node count) or the timeout elapses.
 func Pool(rc *RC, n int, interval, timeout time.Duration) ([]*TC, error) {
-	tcs := make([]*TC, n)
-	for i := 0; i < n; i++ {
-		tc, err := StartTC(rc.Addr(), i, interval)
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return PoolNodes(rc, nodes, interval, timeout)
+}
+
+// PoolNodes starts TCs for the given processor ids against one RC — the
+// bring-up of one shard's slice of a machine. It waits until the RC has
+// at least len(nodes) free processors or the timeout elapses.
+func PoolNodes(rc *RC, nodes []int, interval, timeout time.Duration) ([]*TC, error) {
+	tcs := make([]*TC, 0, len(nodes))
+	for _, n := range nodes {
+		tc, err := StartTC(rc.Addr(), n, interval)
 		if err != nil {
 			return nil, err
 		}
-		tcs[i] = tc
+		tcs = append(tcs, tc)
 	}
 	deadline := time.Now().Add(timeout)
-	for len(rc.AvailableNodes()) < n {
+	for len(rc.AvailableNodes()) < len(nodes) {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("coord: only %d of %d TCs registered in %v",
-				len(rc.AvailableNodes()), n, timeout)
+				len(rc.AvailableNodes()), len(nodes), timeout)
 		}
 		time.Sleep(time.Millisecond)
 	}

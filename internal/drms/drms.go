@@ -157,6 +157,12 @@ type Config struct {
 	// restart) on injected faults; wiring it here, before tasks launch,
 	// avoids the registration race a post-Start OnKill call would have.
 	OnFault func()
+	// Lease identifies this incarnation to the control plane across
+	// coordinator restarts: the coordinator stamps a unique epoch here,
+	// records it in its own persisted state, and a restarted coordinator
+	// re-adopts a surviving handle only when the leases match. 0 = not
+	// leased (unmanaged runs).
+	Lease int64
 }
 
 // Handle controls a running application (the system side of the
@@ -164,7 +170,7 @@ type Config struct {
 // resource coordinator for failure handling).
 type Handle struct {
 	enable  atomic.Bool
-	errs    chan error
+	exitErr error // set before done closes; read by Wait (any number of callers)
 	done    chan struct{}
 	stopReq atomic.Bool
 	runner  *msg.Runner
@@ -178,7 +184,16 @@ type Handle struct {
 	// restoreSrc records which tier served this run's restore:
 	// 0 = no restore, 1 = pfs, 2 = peer memory.
 	restoreSrc atomic.Int32
+	// lease is the control plane's incarnation lease (Config.Lease),
+	// immutable after Start.
+	lease int64
 }
+
+// Lease returns the incarnation lease the control plane stamped into
+// this run (0 when unleased). A restarted coordinator matches it
+// against its persisted records to prove a surviving handle is the
+// incarnation it has on file.
+func (h *Handle) Lease() int64 { return h.lease }
 
 // LastRestoreSource reports the tier that served this run's restore
 // ("mem" when every byte came from peer memory, "pfs" otherwise);
@@ -245,14 +260,12 @@ func (h *Handle) Killed() bool { return h.runner.Killed() }
 func (h *Handle) Done() <-chan struct{} { return h.done }
 
 // Wait blocks until the application exits and returns its first error.
+// Idempotent across callers: every waiter sees the same exit status, so
+// a coordinator re-adopting a surviving run can Wait alongside (or
+// after) the dead coordinator's watcher without racing for the error.
 func (h *Handle) Wait() error {
 	<-h.done
-	select {
-	case err := <-h.errs:
-		return err
-	default:
-		return nil
-	}
+	return h.exitErr
 }
 
 // Task is one task's view of the DRMS run-time system.
@@ -596,7 +609,7 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &Handle{errs: make(chan error, 1), done: make(chan struct{}), runner: runner}
+	h := &Handle{done: make(chan struct{}), runner: runner, lease: cfg.Lease}
 	if cfg.Fault != nil {
 		h.fault = runner.InjectFault(*cfg.Fault)
 		if cfg.OnFault != nil {
@@ -608,16 +621,16 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 		return app(t)
 	}
 	go func() {
-		defer close(h.done)
 		// The runner folds every task's outcome into one root-cause error:
 		// the first real failure, with peers' secondary revocation errors
 		// subsumed (a task failing revokes the communicator, so the others
 		// unwind with msg.ErrRevoked). That single cause is the
 		// application's exit status — the input to the restart-at-first-SOP
-		// decision.
+		// decision. Stored before done closes, so every Wait caller sees it.
 		if err := runner.Run(body); err != nil {
-			h.errs <- fmt.Errorf("drms: application died: %w", err)
+			h.exitErr = fmt.Errorf("drms: application died: %w", err)
 		}
+		close(h.done)
 	}()
 	return h, nil
 }
