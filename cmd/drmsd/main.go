@@ -81,7 +81,7 @@ func main() {
 	// with no gateway hop.
 	shardAddrs := make([]string, *shards)
 	rcs := make([]*coord.RC, *shards)
-	var servers []*coord.ControlServer
+	servers := make([]*coord.ControlServer, *shards)
 	tcByNode := make(map[int]*coord.TC)
 	for s := 0; s < *shards; s++ {
 		opt := coord.RCOptions{HBTimeout: *hbTimeout, Shard: s, Shards: *shards}
@@ -105,7 +105,7 @@ func main() {
 			tcByNode[tc.Node()] = tc
 		}
 
-		srv := &coord.ControlServer{RC: rc, JSA: coord.NewJSA(rc),
+		servers[s] = &coord.ControlServer{RC: rc, JSA: coord.NewJSA(rc),
 			Recovery: recovery, Quota: *quota, Shard: s,
 			FailNode: func(n int) error {
 				tc, ok := tcByNode[n]
@@ -115,7 +115,12 @@ func main() {
 				tc.Fail()
 				return nil
 			}}
-		servers = append(servers, srv)
+	}
+	// Serve only after every shard's bring-up finished writing tcByNode:
+	// the FailNode closures read the map from connection goroutines as
+	// soon as a listener opens, so all writes must be done first (the map
+	// is read-only from here on).
+	for s, srv := range servers {
 		shardListen := "127.0.0.1:0"
 		if *shards == 1 {
 			shardListen = *listen

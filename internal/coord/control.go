@@ -185,9 +185,10 @@ func tenantOf(name string) string {
 	return "default"
 }
 
-// admittedLocked counts the tenant's applications that currently hold an
-// admission slot on this shard: queued in the JSA or not yet settled in
-// the RC. rc.mu must be held.
+// admittedLocked counts the tenant's applications not yet settled in
+// the RC — the coordinator's half of the admission count (the JSA adds
+// its queued and in-flight jobs, see JSA.admittedLocked). rc.mu must be
+// held.
 func (rc *RC) admittedLocked(tenant string) int {
 	n := 0
 	for name, app := range rc.apps {
@@ -276,19 +277,10 @@ func (s *ControlServer) handleOp(req Request) Response {
 		case req.Recover:
 			spec.Recovery = &RecoveryPolicy{}
 		}
-		if s.Quota > 0 {
-			tenant := tenantOf(req.Name)
-			s.RC.mu.Lock()
-			admitted := s.RC.admittedLocked(tenant)
-			s.RC.mu.Unlock()
-			admitted += s.JSA.QueuedFor(tenant)
-			if admitted >= s.Quota {
-				coordQuotaRejections.Inc()
-				return fail(fmt.Errorf("tenant %q at admission quota (%d of %d applications admitted on this shard)",
-					tenant, admitted, s.Quota))
-			}
-		}
-		if err := s.JSA.Submit(Job{Spec: spec, Min: minT, Max: maxT}); err != nil {
+		// Quota enforcement lives inside the JSA's submit path, atomic with
+		// the enqueue — two concurrent submits for one tenant serialize
+		// there instead of both passing a pre-check.
+		if err := s.JSA.SubmitQuota(Job{Spec: spec, Min: minT, Max: maxT}, s.Quota); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true, Queued: s.JSA.Queued()}

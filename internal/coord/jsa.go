@@ -40,15 +40,55 @@ func NewJSA(rc *RC) *JSA {
 // Submit queues a job and immediately tries to place it. Jobs dispatch in
 // submission order (FCFS) with as many processors as available, capped at
 // Max and never below Min.
-func (j *JSA) Submit(job Job) error {
+func (j *JSA) Submit(job Job) error { return j.SubmitQuota(job, 0) }
+
+// SubmitQuota is Submit under a per-tenant admission quota (0 = no
+// quota). The tenant's admission count and the enqueue happen under one
+// critical section, so concurrent submits for the same tenant serialize
+// and can never jointly exceed the quota (no check-then-act window).
+func (j *JSA) SubmitQuota(job Job, quota int) error {
 	if job.Min < 1 || job.Max < job.Min {
 		return fmt.Errorf("jsa: invalid task range [%d, %d]", job.Min, job.Max)
 	}
 	j.mu.Lock()
+	if quota > 0 {
+		tenant := tenantOf(job.Spec.Name)
+		if admitted := j.admittedLocked(tenant); admitted >= quota {
+			j.mu.Unlock()
+			coordQuotaRejections.Inc()
+			return fmt.Errorf("jsa: tenant %q at admission quota (%d of %d applications admitted on this shard)",
+				tenant, admitted, quota)
+		}
+	}
 	j.queue = append(j.queue, job)
 	j.mu.Unlock()
 	j.dispatch()
 	return nil
+}
+
+// admittedLocked counts the admission slots a tenant holds on this
+// shard: queued jobs, dispatched jobs whose launch is still in flight,
+// and applications not yet settled in the RC. j.mu must be held; it
+// takes rc.mu inside, matching dispatch's j.mu -> rc.mu lock order.
+func (j *JSA) admittedLocked(tenant string) int {
+	n := 0
+	for _, q := range j.queue {
+		if tenantOf(q.Spec.Name) == tenant {
+			n++
+		}
+	}
+	j.rc.mu.Lock()
+	n += j.rc.admittedLocked(tenant)
+	for name := range j.running {
+		if tenantOf(name) != tenant {
+			continue
+		}
+		if _, known := j.rc.apps[name]; !known {
+			n++ // dequeued by dispatch, Launch in flight: the slot is held
+		}
+	}
+	j.rc.mu.Unlock()
+	return n
 }
 
 // dispatch places queued jobs onto free processors, FCFS.
@@ -87,20 +127,6 @@ func (j *JSA) Queued() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return len(j.queue)
-}
-
-// QueuedFor returns how many queued jobs belong to the given admission
-// tenant (the name prefix before the first "/").
-func (j *JSA) QueuedFor(tenant string) int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	n := 0
-	for _, job := range j.queue {
-		if tenantOf(job.Spec.Name) == tenant {
-			n++
-		}
-	}
-	return n
 }
 
 // Reconfigure moves a running application to a new task count through the

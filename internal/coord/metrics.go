@@ -41,12 +41,16 @@ var (
 		"Versioned-API mutations rejected because the handle's state version was stale.")
 	coordStateSnapshots = obs.GetCounter("drms_coord_state_snapshots_total",
 		"Control-plane snapshot generations committed through the state store.")
+	coordStateFlushErrors = obs.GetCounter("drms_coord_state_flush_errors_total",
+		"Control-plane snapshot flushes that failed (encode or storage); each leaves the state dirty and re-rings the persister.")
 	coordStateRestores = obs.GetCounter("drms_coord_state_restores_total",
 		"Coordinator restarts that loaded a control-plane snapshot generation.")
 	coordReadoptions = obs.GetCounter("drms_coord_readoptions_total",
 		"Applications re-adopted alive across a coordinator restart (lease matched; no restart).")
 	coordQuotaRejections = obs.GetCounter("drms_coord_quota_rejections_total",
 		"Application submissions rejected by per-tenant admission quotas.")
+	coordEpochRejections = obs.GetCounter("drms_coord_epoch_rejections_total",
+		"TC hellos rejected by lease-epoch reconciliation (epoch below a live same-node registration's).")
 )
 
 // registerRestoreSourceGauge exposes, per application, which tier served

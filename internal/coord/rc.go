@@ -215,7 +215,9 @@ type tcState struct {
 	// epoch is the registration's lease epoch: a TC increments it on
 	// every (re)connection, so a reconnect after a coordinator restart
 	// proves it is the same registration lineage, not a new processor
-	// claiming the node id. Zero when the TC predates lease epochs.
+	// claiming the node id. serveTC enforces it: a hello with a lower
+	// epoch than a live registration's is rejected. Zero when the TC
+	// predates lease epochs.
 	epoch int64
 }
 
@@ -284,7 +286,11 @@ type RC struct {
 	defaultSub *eventSub
 
 	// Control-plane persistence (nil store = self-checkpointing off).
+	// flushMu serializes snapshot+commit pairs end-to-end (store.go):
+	// the store numbers generations at commit time, so snapshot order
+	// must equal commit order. Never acquired with rc.mu held.
 	store       *ckpt.StateStore
+	flushMu     sync.Mutex
 	persistWake chan struct{}
 	persistDone chan struct{}
 	lastSnap    atomic.Int64 // unixnano of the last committed snapshot
@@ -521,12 +527,27 @@ func (rc *RC) serveTC(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	// Lease-epoch reconciliation: a TC lineage bumps its epoch on every
+	// (re)connection, so a reconnecting survivor always presents a higher
+	// epoch than any competing claimant of its node id. A hello whose
+	// epoch is BELOW a live registration's is stale — a new claimant
+	// racing a surviving TC, or a delayed duplicate of an older lineage —
+	// and is rejected so it cannot clobber the survivor's slot. Equal
+	// epochs supersede (the pre-epoch behavior: epoch-less TCs, and fresh
+	// claimants of a slot whose lineage never reconnected). A dead
+	// registration guards nothing — its node id is free to claim anew.
+	old := rc.tcs[node]
+	if old != nil && old.alive && hello.Epoch < old.epoch {
+		coordEpochRejections.Inc()
+		rc.mu.Unlock()
+		conn.Close()
+		return
+	}
 	// Same-node re-registration supersedes the old TC: close its
 	// connection now so the old conn and its serveTC goroutine are
 	// released immediately instead of leaking until the heartbeat
 	// timeout. The old goroutine's loss notice is a no-op — onTCLost
 	// acts only while its registration still owns the node's slot.
-	old := rc.tcs[node]
 	st := &tcState{node: node, conn: conn, alive: true, epoch: hello.Epoch}
 	rc.tcs[node] = st
 	rc.statsLocked()

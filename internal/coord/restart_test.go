@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"strconv"
@@ -136,6 +137,152 @@ func TestSubscribeAfterCloseIsStillborn(t *testing.T) {
 		runtime.GC()
 		return runtime.NumGoroutine() <= before+2
 	})
+}
+
+// TestLeaseEpochRejectsStaleClaimant is the regression test for
+// lease-epoch reconciliation on the coordinator side: a hello whose
+// epoch is below a live same-node registration's must be rejected (a
+// new claimant racing a surviving TC, or a delayed duplicate of an
+// older lineage), while the surviving lineage's own higher-epoch
+// reconnects keep superseding.
+func TestLeaseEpochRejectsStaleClaimant(t *testing.T) {
+	_, rc, tcs := newCluster(t, 1)
+	// Bump the survivor's epoch past a fresh claimant's by reconnecting
+	// the lineage to the same coordinator.
+	if err := tcs[0].Reconnect(rc.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	liveEpoch := func() int64 {
+		rc.mu.Lock()
+		defer rc.mu.Unlock()
+		st := rc.tcs[0]
+		if st == nil || !st.alive {
+			return -1
+		}
+		return st.epoch
+	}
+	waitFor(t, "epoch-2 registration", func() bool { return liveEpoch() == 2 })
+
+	// The stale claimant says hello with a lower epoch.
+	before := metric("drms_coord_epoch_rejections_total")
+	conn, err := net.Dial("tcp", rc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s\n", `{"kind":"hello","node":0,"epoch":1}`); err != nil {
+		t.Fatal(err)
+	}
+	// Rejection closes the claimant's connection; wait for that EOF so the
+	// server has definitely processed the hello before asserting.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server wrote to a TC connection; protocol change?")
+	}
+	if d := metric("drms_coord_epoch_rejections_total") - before; d != 1 {
+		t.Fatalf("epoch rejection counter moved by %v, want 1", d)
+	}
+	if e := liveEpoch(); e != 2 {
+		t.Fatalf("survivor lost its slot to a stale claimant: live epoch = %d, want 2", e)
+	}
+	// The survivor's next reconnect (epoch 3) supersedes as before.
+	if err := tcs[0].Reconnect(rc.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "epoch-3 registration", func() bool { return liveEpoch() == 3 })
+}
+
+// TestSyncFlushDurableUnderConcurrentFlushes is the regression test for
+// snapshot/commit ordering: the state store numbers generations at
+// commit time, so a synchronous flush racing the persister (or other
+// sync flushers) must not let an OLDER snapshot commit under a NEWER
+// generation — recovery would then restore stale state. The test storms
+// concurrent SyncState calls against a stream of versioned mutations,
+// takes one final synchronous flush, crashes the coordinator while the
+// storm is still in flight, and requires the recovered state to be at
+// least as new as that final flush guaranteed.
+func TestSyncFlushDurableUnderConcurrentFlushes(t *testing.T) {
+	fs := pfs.NewSystem(pfs.Config{Servers: 4, StripeUnit: 256})
+	opt := RCOptions{HBTimeout: hbTimeout, StatePrefix: "rcstate.flush"}
+	rc, err := NewRCOpts(fs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcs, err := Pool(rc, 1, hbInterval, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gate atomic.Bool
+	p := appParams{n: 8, iters: 8, ckEvery: 4, gateAt: 4, gate: &gate}
+	spec := p.spec("flushrace")
+	if err := rc.Launch(spec, 1, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// The storm: synchronous flushes racing the persister and each other.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					rc.SyncState()
+				}
+			}
+		}()
+	}
+
+	// Versioned mutations advance the state under the storm.
+	h, _, err := rc.OpenApp("flushrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if h, err = rc.CheckpointApp(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := h.Version
+	// This flush returns only once every mutation above is durable.
+	if _, ok := rc.SyncState(); !ok {
+		t.Fatal("self-checkpointing not active")
+	}
+	rem := rc.Crash() // mid-storm: racing flushes may still be in flight
+	close(stop)
+	wg.Wait()
+
+	rc2, report, err := RecoverRC(fs, opt, rem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rc2.Close)
+	if len(report.Readopted) != 1 {
+		t.Fatalf("readopted = %v, want [flushrace]", report.Readopted)
+	}
+	info, ok := rc2.App("flushrace")
+	// Re-adoption itself advances the version once; anything below the
+	// pre-crash watermark means a stale snapshot landed in a newer
+	// generation and recovery restored old state.
+	if !ok || info.Version < want {
+		t.Fatalf("recovered state version %d, want >= %d (stale snapshot committed over a newer one)",
+			info.Version, want)
+	}
+
+	for _, tc := range tcs {
+		if err := tc.Reconnect(rc2.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gate.Store(true)
+	if st, err := rc2.WaitApp("flushrace"); err != nil || st != StatusFinished {
+		t.Fatalf("settle after recovery: %s, %v", st, err)
+	}
 }
 
 // TestRCCrashRestartReadoptsRunningApp is the acceptance walk of the

@@ -3,6 +3,8 @@ package coord
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -44,6 +46,46 @@ func shardNamer(shards int) func(shard int, tenant string) string {
 				seq++
 				return n
 			}
+		}
+	}
+}
+
+// TestQuotaAtomicUnderConcurrentSubmits is the regression test for the
+// admission quota's atomicity: the count and the enqueue happen under
+// one lock in the JSA, so a burst of concurrent submits for one tenant
+// must admit exactly quota-many jobs — no check-then-act window lets two
+// racers both pass.
+func TestQuotaAtomicUnderConcurrentSubmits(t *testing.T) {
+	_, rc, _ := newCluster(t, 1)
+	jsa := NewJSA(rc)
+	var gate atomic.Bool
+	var admitted atomic.Int32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			p := appParams{n: 8, iters: 6, ckEvery: 3, gateAt: 2, gate: &gate}
+			spec := p.spec(fmt.Sprintf("acme/racer%d", g))
+			if err := jsa.SubmitQuota(Job{Spec: spec, Min: 1, Max: 1}, 1); err == nil {
+				admitted.Add(1)
+			} else if !strings.Contains(err.Error(), "quota") {
+				t.Errorf("unexpected submit error: %v", err)
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if n := admitted.Load(); n != 1 {
+		t.Fatalf("%d concurrent submits passed a quota of 1", n)
+	}
+	// Settle the one admitted application cleanly.
+	gate.Store(true)
+	for _, info := range rc.Apps() {
+		if st, err := rc.WaitApp(info.Name); err != nil || st != StatusFinished {
+			t.Fatalf("%s settled %s, %v", info.Name, st, err)
 		}
 	}
 }

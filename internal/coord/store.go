@@ -78,6 +78,12 @@ func (rc *RC) dirtyLocked() {
 		return
 	}
 	rc.dirty = true
+	rc.ringPersistWake()
+}
+
+// ringPersistWake rings the persister's doorbell (non-blocking; the
+// channel holds one pending wake). Safe under any lock.
+func (rc *RC) ringPersistWake() {
 	select {
 	case rc.persistWake <- struct{}{}:
 	default:
@@ -149,37 +155,57 @@ func (rc *RC) snapshotLocked() (map[string][]byte, error) {
 // persists before its started event, a recovery relaunch before its
 // recovered event, so a coordinator crash can never forget an
 // application it already announced or a lease it already issued.
-func (rc *RC) flushState() {
+//
+// flushMu is held across the whole snapshot+Commit pair, so snapshot
+// order equals commit order — the store assigns generation numbers at
+// commit time, and without the serialization a racing persister flush
+// could publish an OLDER snapshot under a NEWER generation, making
+// recovery restore stale state. It also gives synchronous callers their
+// durability guarantee: dirty is only observably false under flushMu
+// after the commit that cleared it finished (a failed commit sets it
+// back), so a sync caller that acquires flushMu and finds the state
+// clean knows the commit covering its mutation is already on storage —
+// it never returns, and announces, while that commit is still in flight.
+func (rc *RC) flushState() error {
 	if rc.store == nil {
-		return
+		return nil
 	}
+	rc.flushMu.Lock()
+	defer rc.flushMu.Unlock()
 	rc.mu.Lock()
 	// A crashed coordinator writes nothing more: its successor (RecoverRC)
 	// owns the store now, and a lingering watcher goroutine of the dead
 	// instance must not clobber the successor's newer generations.
 	if !rc.dirty || rc.crashed {
 		rc.mu.Unlock()
-		return
+		return nil
 	}
 	records, err := rc.snapshotLocked()
 	if err != nil {
-		// Unserializable state is a programming error; leave dirty set so
-		// the persister keeps retrying (and the error is loud in tests).
+		// Unserializable state is a programming error; leave dirty set and
+		// re-ring the doorbell so the persister keeps retrying instead of
+		// sitting silent until the next mutation.
 		rc.mu.Unlock()
-		return
+		coordStateFlushErrors.Inc()
+		rc.ringPersistWake()
+		return err
 	}
 	rc.dirty = false
 	rc.mu.Unlock()
 
 	if _, err := rc.store.Commit(rc.fs, records); err != nil {
-		// Storage trouble: mark dirty again so the next wake retries.
+		// Storage trouble: mark dirty again and re-ring so the retry does
+		// not depend on another mutation ever arriving.
 		rc.mu.Lock()
 		rc.dirty = true
 		rc.mu.Unlock()
-		return
+		coordStateFlushErrors.Inc()
+		rc.ringPersistWake()
+		return err
 	}
 	coordStateSnapshots.Inc()
 	rc.lastSnap.Store(time.Now().UnixNano())
+	return nil
 }
 
 // persister batches asynchronous snapshot commits: every mutation rings
@@ -192,16 +218,33 @@ func (rc *RC) persister() {
 	for {
 		select {
 		case <-rc.persistWake:
-			rc.flushState()
-		case <-rc.stop:
-			rc.mu.Lock()
-			crashed := rc.crashed
-			rc.mu.Unlock()
-			if !crashed {
-				rc.flushState()
+			if err := rc.flushState(); err != nil {
+				// The failed flush left dirty set and the doorbell rung;
+				// give storage a beat before retrying instead of spinning.
+				t := time.NewTimer(10 * time.Millisecond)
+				select {
+				case <-t.C:
+				case <-rc.stop:
+					t.Stop()
+					rc.finalFlush()
+					return
+				}
 			}
+		case <-rc.stop:
+			rc.finalFlush()
 			return
 		}
+	}
+}
+
+// finalFlush is the persister's shutdown flush: a clean Close persists
+// the final state, a simulated crash (RC.Crash) does not.
+func (rc *RC) finalFlush() {
+	rc.mu.Lock()
+	crashed := rc.crashed
+	rc.mu.Unlock()
+	if !crashed {
+		rc.flushState()
 	}
 }
 
