@@ -77,10 +77,12 @@ soak-controlplane:
 smoke:
 	$(GO) test -count=1 -run TestDaemonObservabilityEndToEnd ./cmd/drmsd
 
-# Benchmarks plus the chained-checkpoint steady-state comparison and the
-# memory-tier restore-latency comparison, whose JSON artifacts
-# (BENCH_6.json, BENCH_7.json) CI archives for before/after tracking.
+# Benchmarks plus the chained-checkpoint steady-state comparison, the
+# memory-tier restore-latency comparison, and the localized-vs-full
+# recovery TTR comparison, whose JSON artifacts (BENCH_6.json,
+# BENCH_7.json, BENCH_9.json) CI archives for before/after tracking.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 	$(GO) run ./cmd/drmsbench -bench6 BENCH_6.json
 	$(GO) run ./cmd/drmsbench -bench7 BENCH_7.json
+	$(GO) run ./cmd/drmsbench -bench9 BENCH_9.json

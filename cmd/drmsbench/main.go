@@ -28,7 +28,20 @@ func main() {
 	ablation := flag.Bool("ablation", false, "also run the §3.2 design-choice ablations (piece size, writer count)")
 	bench6 := flag.String("bench6", "", "run the chained-checkpoint steady-state comparison and write its JSON artifact to this path")
 	bench7 := flag.String("bench7", "", "run the memory-tier vs pfs restore-latency comparison and write its JSON artifact to this path")
+	bench9 := flag.String("bench9", "", "run the localized-vs-full recovery TTR comparison and write its JSON artifact to this path")
 	flag.Parse()
+
+	if *bench9 != "" {
+		fmt.Fprintln(os.Stderr, "running the localized-vs-full recovery comparison (partial and full paths)...")
+		r, err := bench.MeasureBench9(bench.DefaultBench9())
+		check(err)
+		js, err := bench.Bench9JSON(r)
+		check(err)
+		check(os.WriteFile(*bench9, append(js, '\n'), 0o644))
+		fmt.Print(bench.RenderBench9(r))
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *bench9)
+		return
+	}
 
 	if *bench7 != "" {
 		fmt.Fprintln(os.Stderr, "running the memory-tier restore-latency comparison (hot and pfs paths)...")

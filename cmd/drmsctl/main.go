@@ -242,8 +242,28 @@ func printApp(a coord.AppInfo) {
 
 // recoveryInfo renders the recovery telemetry an event may carry: the
 // restart attempt, the pool it relaunched on, the generation restored
-// (-1 = from scratch), and the failure-to-recovery latency.
+// (-1 = from scratch), and the failure-to-recovery latency. Localized
+// recoveries (app-partial-recovery) and coordinator re-adoptions
+// (app-readopted) have no attempt number — they are not restarts — and
+// render their own telemetry.
 func recoveryInfo(e coord.Event) string {
+	switch e.Kind {
+	case coord.EventAppPartialRecovery:
+		s := "  [localized"
+		if e.Tasks > 0 {
+			s += fmt.Sprintf(" tasks=%d", e.Tasks)
+		}
+		return s + fmt.Sprintf(" gen=%d ttr=%s]", e.Gen, e.TTR.Round(time.Millisecond))
+	case coord.EventAppReadopted:
+		s := "  [re-adopted"
+		if e.Tasks > 0 {
+			s += fmt.Sprintf(" tasks=%d", e.Tasks)
+		}
+		if e.Gen > 0 || e.Detail == "" {
+			s += fmt.Sprintf(" gen=%d", e.Gen)
+		}
+		return s + "]"
+	}
 	if e.Attempt == 0 {
 		return ""
 	}

@@ -70,9 +70,10 @@ func main() {
 	squash := flag.Bool("squash", false, "fold each verified delta chain into a self-contained anchor and save the snapshot back")
 	tierState := flag.String("tier", "", "peer-memory tier snapshot (drmsrun -tier-state); memory-resident payloads then verify against surviving replicas")
 	tiers := flag.Bool("tiers", false, "list each generation's storage-tier residency and replica counts before checking it")
+	coverage := flag.Int("coverage", 0, "report, for an N-task replacement distribution, which ranks' sections a partial restore could serve and from which tier")
 	flag.Parse()
 	if *state == "" {
-		fmt.Fprintln(os.Stderr, "usage: drmsfsck -state <snapshot> [-tier <snapshot>] [-tiers] [-repair] [-squash] [prefix ...]")
+		fmt.Fprintln(os.Stderr, "usage: drmsfsck -state <snapshot> [-tier <snapshot>] [-tiers] [-coverage N] [-repair] [-squash] [prefix ...]")
 		os.Exit(exitUsage)
 	}
 	fs := pfs.NewSystem(pfs.DefaultConfig())
@@ -103,6 +104,9 @@ func main() {
 	for _, p := range prefixes {
 		if *tiers {
 			listTiers(fs, tier, p)
+		}
+		if *coverage > 0 {
+			listCoverage(fs, tier, p, *coverage)
 		}
 		res := checkPrefix(fs, tier, p, *repair, &repaired)
 		switch res {
@@ -157,6 +161,35 @@ func squashPrefix(fs *pfs.System, prefix string, dirty *bool) bool {
 	*dirty = true
 	fmt.Printf("%-12s squashed chain into self-contained anchor %s\n", prefix, dst)
 	return true
+}
+
+// listCoverage answers the localized-recovery planning question for a
+// prefix's newest generation: if any rank of an N-task replacement
+// distribution had to restore its sections right now, which tier would
+// serve each needed piece — surviving peer memory, the pfs, or neither
+// (lost: a partial restore of that rank would fall back to full
+// restart)?
+func listCoverage(fs *pfs.System, tier *ckpt.MemTier, prefix string, tasks int) {
+	cov, err := ckpt.PartialCoverage(fs, tier, prefix, tasks)
+	if err != nil {
+		fmt.Printf("%-12s coverage: %v\n", prefix, err)
+		return
+	}
+	names := make([]string, 0, len(cov))
+	for n := range cov {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, rc := range cov[n] {
+			status := "restorable"
+			if rc.Lost > 0 {
+				status = "NOT RESTORABLE"
+			}
+			fmt.Printf("%-12s coverage %s rank %d: %d pieces (%d mem, %d disk, %d lost) %s\n",
+				prefix, n, rc.Rank, rc.Pieces, rc.Mem, rc.Disk, rc.Lost, status)
+		}
+	}
 }
 
 // discoverPrefixes lists the user-facing checkpoint prefixes in the

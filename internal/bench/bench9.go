@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"drms/internal/dist"
+	"drms/internal/drms"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/sim"
+	"drms/internal/stream"
+)
+
+// Bench 9 evaluates localized recovery (DESIGN.md §3j): the same block-
+// distributed iterated state is recovered from a single rank loss two
+// ways — the partial path (survivors park in place, only the lost rank's
+// replacement reads its assigned sections) and the classic full restart
+// (every rank re-reads its whole share). Both resolve the same newest
+// pfs generation. As in benches 6/7 the headline numbers are the
+// recorded I/O traces replayed through the calibrated 1997 SP model;
+// wall time on the in-memory test file system is reported for
+// transparency. The expected shape follows from the plan delta: a
+// partial recovery reads ~1/tasks of the payload, so its modeled TTR
+// should fall with the pool size while the full restart's stays flat.
+
+// Bench9Opts sizes the workload.
+type Bench9Opts struct {
+	Elems      int // logical length of the iterated array (float64 + int32 table)
+	CkEvery    int // checkpoint period in iterations
+	GateAt     int // iteration the run parks at for the recoveries
+	PieceBytes int
+	Pools      []int // task counts to measure
+	Recoveries int   // recoveries averaged per (pool, mode) cell
+}
+
+// DefaultBench9 is the configuration `drmsbench -bench9` runs.
+func DefaultBench9() Bench9Opts {
+	return Bench9Opts{Elems: 1 << 18, CkEvery: 4, GateAt: 9,
+		PieceBytes: 32 << 10, Pools: []int{4, 8, 16}, Recoveries: 3}
+}
+
+// Bench9Cell is one recovery mode's measured cost at one pool size.
+type Bench9Cell struct {
+	Mode          string  `json:"mode"`            // "partial" or "full"
+	MsPerRecovery float64 `json:"ms_per_recovery"` // trace replayed through the SP model
+	WallMsPerRec  float64 `json:"wall_ms_per_rec"` // in-memory wall time
+	PayloadBytes  int64   `json:"payload_bytes"`   // checkpoint payload read per recovery
+	RestoredShare float64 `json:"restored_share"`  // payload read / logical state
+}
+
+// Bench9Pool is the partial-vs-full comparison at one pool size.
+type Bench9Pool struct {
+	Tasks       int        `json:"tasks"`
+	Partial     Bench9Cell `json:"partial"`
+	Full        Bench9Cell `json:"full"`
+	Speedup     float64    `json:"speedup"`      // modeled full/partial
+	WallSpeedup float64    `json:"wall_speedup"` // wall full/partial
+}
+
+// Bench9Result is the comparison emitted as BENCH_9.json.
+type Bench9Result struct {
+	Workload     string       `json:"workload"`
+	LogicalBytes int64        `json:"logical_state_bytes"`
+	Pools        []Bench9Pool `json:"pools"`
+	MinSpeedup   float64      `json:"min_speedup"` // worst modeled speedup across pools
+}
+
+// bench9Body is the measured application: bench 7's state shape, a
+// mandatory checkpoint every CkEvery iterations, and a killable gate
+// spin at GateAt where the recoveries are injected. The run ends one
+// iteration after the gate, so the generation the recoveries resolve
+// stays the newest.
+func (o Bench9Opts) bench9Body(gate *atomic.Bool, atGate *atomic.Int64) func(*drms.Task) error {
+	return func(t *drms.Task) error {
+		g := rangeset.NewSlice(rangeset.Span(0, o.Elems-1))
+		d, err := dist.Block(g, []int{t.Tasks()})
+		if err != nil {
+			return err
+		}
+		u, err := drms.NewArray[float64](t, "u", d)
+		if err != nil {
+			return err
+		}
+		tab, err := drms.NewArray[int32](t, "tab", d)
+		if err != nil {
+			return err
+		}
+		iter := 0
+		t.Register("iter", &iter)
+		u.Fill(func(c []int) float64 { return float64(c[0]) * 0.001 })
+		tab.Fill(func(c []int) int32 { return int32(c[0]) })
+
+		for {
+			if iter%o.CkEvery == 0 {
+				if _, _, err := t.ReconfigCheckpoint("bench9"); err != nil {
+					return err
+				}
+			}
+			if iter > o.GateAt {
+				return nil
+			}
+			if iter == o.GateAt {
+				atGate.Add(1) // this rank finished every pre-gate SOP
+				for {
+					open := 0.0
+					if gate.Load() {
+						open = 1
+					}
+					agree, err := t.Comm().AllreduceF64(open, math.Min) // killable spin
+					if err != nil {
+						return err
+					}
+					if agree == 1 {
+						break
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			u.Assigned().Each(rangeset.ColMajor, func(c []int) {
+				u.Set(c, u.At(c)*0.75+float64(c[0])*0.01)
+			})
+			iter++
+			if err := t.Comm().Barrier(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// measurePartial parks a Partial-enabled run at the gate and times
+// Recoveries consecutive single-rank localized recoveries against it.
+func (o Bench9Opts) measurePartial(p Platform, fs *pfs.System, tasks int) (Bench9Cell, error) {
+	var gate atomic.Bool
+	var atGate atomic.Int64
+	h, err := drms.Start(drms.Config{Tasks: tasks, FS: fs, Partial: true, Keep: 2,
+		Stream: stream.Options{PieceBytes: o.PieceBytes}}, o.bench9Body(&gate, &atGate))
+	if err != nil {
+		return Bench9Cell{}, err
+	}
+	// Park the WHOLE pool at the gate before injecting: a kill landing
+	// while some rank is still inside the pre-gate SOP tears that rank's
+	// park snapshot, and the rollback (correctly) restores it from the
+	// checkpoint too — a different, larger experiment than the
+	// single-rank loss this bench measures. Each recovery re-runs every
+	// rank's body, so the gate count rises by the pool size per round.
+	waitParked := func(k int64) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for atGate.Load() < k {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench9: run never parked at its gate")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		return nil
+	}
+	if err := waitParked(int64(tasks)); err != nil {
+		return Bench9Cell{}, err
+	}
+	gen, ok := h.CommittedGen()
+	if !ok {
+		return Bench9Cell{}, fmt.Errorf("bench9: no committed generation at the gate")
+	}
+
+	c := Bench9Cell{Mode: "partial"}
+	tr := fs.StartTrace()
+	var wall time.Duration
+	for i := 0; i < o.Recoveries; i++ {
+		if err := waitParked(int64(tasks * (i + 1))); err != nil {
+			return Bench9Cell{}, err
+		}
+		start := time.Now()
+		stats, err := h.PartialRecover(drms.PartialRecoverSpec{
+			Dead: []int{1}, From: fmt.Sprintf("bench9.g%d", gen)})
+		if err != nil {
+			return Bench9Cell{}, err
+		}
+		wall += time.Since(start)
+		c.PayloadBytes += stats.TierMemBytes + stats.TierPFSBytes
+	}
+	fs.StopTrace()
+	gate.Store(true)
+	if err := h.Wait(); err != nil {
+		return Bench9Cell{}, err
+	}
+
+	res, err := p.Model.Replay(tr, p.FSCfg, sim.SPCluster(p.Nodes, tasks), o.resident(tasks))
+	if err != nil {
+		return Bench9Cell{}, err
+	}
+	c.MsPerRecovery = res.Total() * 1000 / float64(o.Recoveries)
+	c.WallMsPerRec = float64(wall) / float64(o.Recoveries) / float64(time.Millisecond)
+	c.PayloadBytes /= int64(o.Recoveries)
+	c.RestoredShare = float64(c.PayloadBytes) / float64(o.logicalBytes())
+	return c, nil
+}
+
+// measureFull times the classic recovery against the same checkpoints:
+// every rank restores its whole share at the first SOP.
+func (o Bench9Opts) measureFull(p Platform, fs *pfs.System, tasks int) (Bench9Cell, error) {
+	c := Bench9Cell{Mode: "full", PayloadBytes: o.logicalBytes(), RestoredShare: 1}
+	tr := fs.StartTrace()
+	var wall time.Duration
+	for i := 0; i < o.Recoveries; i++ {
+		start := time.Now()
+		err := drms.Run(drms.Config{Tasks: tasks, FS: fs, RestartFrom: "bench9",
+			Stream: stream.Options{PieceBytes: o.PieceBytes}},
+			func(t *drms.Task) error {
+				g := rangeset.NewSlice(rangeset.Span(0, o.Elems-1))
+				d, err := dist.Block(g, []int{t.Tasks()})
+				if err != nil {
+					return err
+				}
+				if _, err := drms.NewArray[float64](t, "u", d); err != nil {
+					return err
+				}
+				if _, err := drms.NewArray[int32](t, "tab", d); err != nil {
+					return err
+				}
+				iter := 0
+				t.Register("iter", &iter)
+				status, _, err := t.ReconfigCheckpoint("bench9")
+				if err != nil {
+					return err
+				}
+				if status != drms.Restored {
+					return fmt.Errorf("bench9: restore SOP returned %v, want restored", status)
+				}
+				return nil
+			})
+		if err != nil {
+			return Bench9Cell{}, err
+		}
+		wall += time.Since(start)
+	}
+	fs.StopTrace()
+
+	res, err := p.Model.Replay(tr, p.FSCfg, sim.SPCluster(p.Nodes, tasks), o.resident(tasks))
+	if err != nil {
+		return Bench9Cell{}, err
+	}
+	c.MsPerRecovery = res.Total() * 1000 / float64(o.Recoveries)
+	c.WallMsPerRec = float64(wall) / float64(o.Recoveries) / float64(time.Millisecond)
+	return c, nil
+}
+
+func (o Bench9Opts) logicalBytes() int64 { return int64(o.Elems) * (8 + 4) }
+
+func (o Bench9Opts) resident(tasks int) []int64 {
+	r := make([]int64, tasks)
+	for i := range r {
+		r[i] = o.logicalBytes() / int64(tasks)
+	}
+	return r
+}
+
+// MeasureBench9 runs the full comparison: per pool size, park one
+// Partial-enabled run and time its localized recoveries, then time the
+// classic full restart from the same checkpoints.
+func MeasureBench9(o Bench9Opts) (Bench9Result, error) {
+	p := SPPlatform()
+	r := Bench9Result{
+		Workload: fmt.Sprintf(
+			"localized vs full recovery of a single rank loss: %d x float64 + %d x int32, checkpoints every %d iterations, %dKiB pieces, pfs tier",
+			o.Elems, o.Elems, o.CkEvery, o.PieceBytes>>10),
+		LogicalBytes: o.logicalBytes(),
+		MinSpeedup:   math.Inf(1),
+	}
+	for _, tasks := range o.Pools {
+		fs := pfs.NewSystem(p.FSCfg)
+		partial, err := o.measurePartial(p, fs, tasks)
+		if err != nil {
+			return Bench9Result{}, err
+		}
+		full, err := o.measureFull(p, fs, tasks)
+		if err != nil {
+			return Bench9Result{}, err
+		}
+		pool := Bench9Pool{Tasks: tasks, Partial: partial, Full: full}
+		pool.Speedup = full.MsPerRecovery / math.Max(partial.MsPerRecovery, 1e-6)
+		if partial.WallMsPerRec > 0 {
+			pool.WallSpeedup = full.WallMsPerRec / partial.WallMsPerRec
+		}
+		r.Pools = append(r.Pools, pool)
+		if pool.Speedup < r.MinSpeedup {
+			r.MinSpeedup = pool.Speedup
+		}
+	}
+	return r, nil
+}
+
+// Bench9JSON renders the result as the BENCH_9.json artifact.
+func Bench9JSON(r Bench9Result) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RenderBench9 formats the comparison for the terminal.
+func RenderBench9(r Bench9Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bench 9: localized (partial) vs full recovery TTR\n%s\n", r.Workload)
+	fmt.Fprintf(&b, "%-6s %16s %16s %10s %12s %12s %8s\n",
+		"tasks", "partial ms(SP)", "full ms(SP)", "speedup", "part wall ms", "full wall ms", "share")
+	for _, pl := range r.Pools {
+		fmt.Fprintf(&b, "%-6d %16.3f %16.1f %9.1fx %12.3f %12.3f %7.1f%%\n",
+			pl.Tasks, pl.Partial.MsPerRecovery, pl.Full.MsPerRecovery, pl.Speedup,
+			pl.Partial.WallMsPerRec, pl.Full.WallMsPerRec, pl.Partial.RestoredShare*100)
+	}
+	fmt.Fprintf(&b, "min modeled speedup: %.1fx\n", r.MinSpeedup)
+	return b.String()
+}

@@ -37,6 +37,10 @@ type ArrayRef interface {
 	MappedElems() int
 	// ElemSize returns the element size in bytes.
 	ElemSize() int
+	// AssignedSection is the section of the index space the array's
+	// current distribution assigns to the given rank — the unit of the
+	// partial-restore planner's needed-piece computation.
+	AssignedSection(rank int) rangeset.Slice
 }
 
 type ref[T array.Elem] struct {
@@ -51,6 +55,8 @@ func (r ref[T]) Kind() string                { return array.ElemKind[T]() }
 func (r ref[T]) GlobalShape() rangeset.Slice { return r.a.Global() }
 func (r ref[T]) MappedElems() int            { return len(r.a.Local()) }
 func (r ref[T]) ElemSize() int               { return array.ElemSize[T]() }
+
+func (r ref[T]) AssignedSection(rank int) rangeset.Slice { return r.a.Dist().Assigned(rank) }
 
 func (r ref[T]) StreamWrite(fs *pfs.System, file string, o stream.Options) (stream.Stats, error) {
 	return stream.Write(r.a, r.a.Global(), fs, file, o)

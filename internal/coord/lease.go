@@ -222,7 +222,11 @@ func RecoverRC(fs *pfs.System, opt RCOptions, rem *Remnant) (*RC, *RecoveryRepor
 	for _, name := range report.Readopted {
 		app := rc.apps[name]
 		registerRestoreSourceGauge(name, app)
-		rc.emit(Event{Kind: EventAppReadopted, App: name,
+		gen := -1
+		if g, ok := app.handle.CommittedGen(); ok {
+			gen = g
+		}
+		rc.emit(Event{Kind: EventAppReadopted, App: name, Tasks: app.tasks, Gen: gen,
 			Detail: fmt.Sprintf("lease %d matched; incarnation %d continues on %d tasks",
 				app.lease, app.incarnation, app.tasks)})
 		go rc.watchApp(app)

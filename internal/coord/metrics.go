@@ -33,6 +33,14 @@ var (
 		"Checkpoint generation the last recovery restarted from (-1 = scratch).")
 	coordRestartGenAge = obs.GetGauge("drms_coord_restart_gen_age_seconds",
 		"Age of the restart point at the last recovery: seconds from its commit to the relaunch.")
+	coordPartialRecoveries = obs.GetCounter("drms_coord_partial_recoveries_total",
+		"Localized recoveries completed (survivors parked in place, only lost ranks restored).")
+	coordPartialFallbacks = obs.GetCounter("drms_coord_partial_fallbacks_total",
+		"Localized recovery attempts that fell back to the full-restart path.")
+	coordPartialRecoverySeconds = obs.GetHistogram("drms_coord_partial_recovery_seconds",
+		"Failure-to-recovery latency of localized (partial) recoveries.", obs.LatencyBuckets)
+	coordLastPartialTTR = obs.GetGauge("drms_coord_last_partial_ttr_seconds",
+		"TTR of the most recent localized recovery.")
 	coordEventsDropped = obs.GetCounter("drms_coord_events_dropped_total",
 		"Control-plane events dropped on slow consumers (non-terminal only; coalesced oldest-first).")
 	coordTerminalEventsDropped = obs.GetCounter("drms_coord_terminal_events_dropped_total",

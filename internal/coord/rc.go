@@ -63,6 +63,13 @@ const (
 	// still-running incarnation whose lease matched its persisted record:
 	// the application continues without a restart.
 	EventAppReadopted EventKind = "app-readopted"
+	// EventAppPartialRecovery fires when a localized recovery completes:
+	// the failed rank was replaced in place, survivors kept their state
+	// and rolled back to the last SOP, and the incarnation continues —
+	// no restart, no unwinding. Gen is the generation rolled back to,
+	// TTR the failure-to-recovery latency, and Detail the restored-byte
+	// accounting by tier.
+	EventAppPartialRecovery EventKind = "app-partial-recovery"
 )
 
 // Event is a user-visible notification from the RC (the UIC surface).
@@ -171,6 +178,15 @@ type AppSpec struct {
 	// between live only in peer memory (drms.Config.DemoteEvery).
 	// Requires Replicas > 0.
 	DemoteEvery int
+	// Partial enables localized recovery for a supervised application:
+	// when one of its processors fails, the RC first tries to replace
+	// just the lost rank — survivors park in place at the last SOP and
+	// keep their state, a spare processor (or, for an injected process
+	// death, the victim's own node) takes the dead rank, and only the
+	// replacement's sections are restored from the checkpoint. Any doubt
+	// about the plan's safety falls back to the classic kill-and-restart
+	// path. Requires Recovery; ignored for SPMD applications.
+	Partial bool
 	// FaultNext, when non-nil, injects a deterministic fault into each
 	// incarnation (the chaos harness): it is asked once per launch, with
 	// the incarnation number and pool size, and may return nil for "let
@@ -628,7 +644,15 @@ func (rc *RC) onTCLost(st *tcState, why string) {
 	rc.emit(Event{Kind: EventTCDown, Node: node, Detail: why})
 
 	if handle != nil {
-		// Step 2: kill all other processes of the application — by revoking
+		// Step 2a: localized recovery first, when the application opted
+		// in — replace just the lost rank with a spare processor while
+		// survivors park in place. Success means the incarnation
+		// continues; nothing to kill, nothing to unwind.
+		if rc.tryPartialRecovery(appName, handle, -1, node) {
+			rc.changed()
+			return
+		}
+		// Step 2b: kill all other processes of the application — by revoking
 		// its communicator first. Every task's pending and future operation
 		// returns msg.ErrRevoked, so tasks observe the failure and unwind to
 		// a clean state within the heartbeat timeout instead of being shot
@@ -645,6 +669,112 @@ func (rc *RC) onTCLost(st *tcState, why string) {
 		<-unwound
 	}
 	rc.changed()
+}
+
+// tryPartialRecovery attempts localized recovery for one failed rank of
+// a running application (DESIGN.md §3j): pin the roll-back generation,
+// pick the replacement — a free spare processor for a node loss
+// (deadNode >= 0, deadRank inferred from its pool slot), or the victim's
+// own surviving node for an injected process death (deadRank >= 0,
+// deadNode < 0) — and drive Handle.PartialRecover, which shrinks the
+// communicator and runs the rollback collective. Returns true when the
+// incarnation continues with the rank replaced; false means the caller
+// must take the classic kill-and-restart path. h guards against stale
+// callers: it must still be the app's current incarnation.
+func (rc *RC) tryPartialRecovery(appName string, h *drms.Handle, deadRank, deadNode int) bool {
+	rc.mu.Lock()
+	app := rc.apps[appName]
+	if app == nil || app.status != StatusRunning || app.handle != h ||
+		!app.spec.Partial || app.spec.Recovery == nil || app.spec.SPMD || rc.closed {
+		rc.mu.Unlock()
+		return false
+	}
+	if deadRank < 0 {
+		for i, n := range app.nodes {
+			if n == deadNode {
+				deadRank = i
+				break
+			}
+		}
+	}
+	if deadRank < 0 || deadRank >= len(app.nodes) {
+		rc.mu.Unlock()
+		return false
+	}
+	gen, ok := h.CommittedGen()
+	if !ok {
+		rc.mu.Unlock()
+		return false // nothing committed: nothing to roll back to
+	}
+	// The replacement pool: for a node loss, a free spare takes the dead
+	// node's slot (claimed provisionally so a concurrent launch cannot);
+	// an injected process death keeps the pool — the victim's node and
+	// its memory survive.
+	holders := append([]int(nil), app.nodes...)
+	spare := -1
+	if deadNode >= 0 {
+		free := rc.availableLocked()
+		if len(free) == 0 {
+			rc.mu.Unlock()
+			coordPartialFallbacks.Inc()
+			rc.emit(Event{Kind: EventAppRecovering, App: appName,
+				Detail: "partial recovery not possible: no spare processor; falling back to full restart"})
+			return false
+		}
+		spare = free[0]
+		rc.busy[spare] = appName
+		holders[deadRank] = spare
+	}
+	rc.mu.Unlock()
+
+	from := fmt.Sprintf("%s.g%d", app.spec.Name, gen)
+	start := time.Now()
+	stats, err := h.PartialRecover(drms.PartialRecoverSpec{
+		Dead: []int{deadRank}, From: from, Holders: holders})
+	if err != nil {
+		rc.mu.Lock()
+		if spare >= 0 && rc.busy[spare] == appName {
+			delete(rc.busy, spare)
+		}
+		rc.mu.Unlock()
+		coordPartialFallbacks.Inc()
+		rc.emit(Event{Kind: EventAppRecovering, App: appName, Gen: gen,
+			Detail: fmt.Sprintf("partial recovery failed (%v); falling back to full restart", err)})
+		return false
+	}
+	ttr := time.Since(start)
+
+	rc.mu.Lock()
+	app.nodes = holders
+	if deadNode >= 0 {
+		delete(rc.busy, deadNode) // the lost node rejoins the pool on TC reconnect
+	}
+	app.version++
+	appTasks := app.tasks
+	rc.dirtyLocked()
+	rc.statsLocked()
+	rc.mu.Unlock()
+	rc.flushState()
+	coordPartialRecoveries.Inc()
+	coordPartialRecoverySeconds.Observe(ttr.Seconds())
+	coordLastPartialTTR.Set(ttr.Seconds())
+	rc.emit(Event{Kind: EventAppPartialRecovery, App: appName, Node: deadNode,
+		Tasks: appTasks, Gen: gen, TTR: ttr,
+		Detail: fmt.Sprintf("rank %d replaced (node %d -> %d); survivors parked, rolled back to %s; restored ranks %v: %s from peer memory, %s from pfs",
+			deadRank, deadNode, holders[deadRank], from, stats.Ranks,
+			fmtBytes(stats.TierMemBytes), fmtBytes(stats.TierPFSBytes))})
+	return true
+}
+
+// fmtBytes renders a byte count at a human scale for event detail.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 // AvailableNodes returns the processors with a live TC and no application.
@@ -697,6 +827,9 @@ func (rc *RC) Launch(spec AppSpec, tasks int, restart bool) error {
 	}
 	rc.apps[spec.Name] = app
 	rc.statsLocked()
+	// Snapshot the pool under the lock: a partial recovery triggered by
+	// an injected fault can swap app.nodes before the announce below.
+	launchNodes := append([]int(nil), app.nodes...)
 	rc.mu.Unlock()
 	registerRestoreSourceGauge(spec.Name, app)
 
@@ -704,7 +837,7 @@ func (rc *RC) Launch(spec AppSpec, tasks int, restart bool) error {
 	// this launch must know the application exists to re-adopt it.
 	rc.flushState()
 	rc.emit(Event{Kind: EventAppStarted, App: spec.Name,
-		Detail: fmt.Sprintf("%d tasks on %v (restart=%v)", tasks, app.nodes, restart)})
+		Detail: fmt.Sprintf("%d tasks on %v (restart=%v)", tasks, launchNodes, restart)})
 	go rc.watchApp(app)
 	return nil
 }
@@ -722,7 +855,8 @@ func (rc *RC) launchIncarnationLocked(app *appState, nodes []int, restartFrom st
 	}
 	cfg := drms.Config{Tasks: tasks, FS: rc.fs, Stream: spec.Stream, SPMDMode: spec.SPMD,
 		RestartFrom: restartFrom, Keep: keep, Verify: spec.Verify || supervised,
-		AnchorEvery: spec.AnchorEvery, Codec: spec.Codec}
+		AnchorEvery: spec.AnchorEvery, Codec: spec.Codec,
+		Partial: spec.Partial && supervised && !spec.SPMD}
 	if spec.Replicas > 0 && !spec.SPMD {
 		// Hot tier: ranks replicate into the pool's node memories, so a
 		// replica set spans distinct failure domains and DropStore on a
@@ -741,9 +875,18 @@ func (rc *RC) launchIncarnationLocked(app *appState, nodes []int, restartFrom st
 			// communicator) so the whole application unwinds and the
 			// watcher takes over. The handle cell closes the tiny window
 			// between the victim's death and Start returning.
+			victim := f.Victim
 			cfg.OnFault = func() {
 				for {
 					if h := cell.Load(); h != nil {
+						// An injected death is a process failure: the node
+						// and its memory tier survive, so localized
+						// recovery can replace the victim's rank in place
+						// on its own node. Any doubt falls back to the
+						// kill-and-restart procedure below.
+						if rc.tryPartialRecovery(spec.Name, h, victim, -1) {
+							return
+						}
 						h.Kill()
 						return
 					}

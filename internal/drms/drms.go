@@ -35,9 +35,11 @@ package drms
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"drms/internal/array"
 	"drms/internal/ckpt"
@@ -157,6 +159,18 @@ type Config struct {
 	// restart) on injected faults; wiring it here, before tasks launch,
 	// avoids the registration race a post-Start OnKill call would have.
 	OnFault func()
+	// Partial enables localized recovery (DESIGN.md §3j): on
+	// Handle.PartialRecover the supervisor replaces only the dead ranks.
+	// Survivors park in place at the point of failure, keep their memory,
+	// and roll back to the last committed SOP from an in-process
+	// snapshot, while replacement tasks restore just their assigned
+	// sections of the checkpoint. Off (the default), any failure unwinds
+	// the whole incarnation — the classic full-restart path. Ignored in
+	// SPMD mode (partial restore needs the DRMS piece plan).
+	Partial bool
+	// PartialTimeout bounds how long PartialRecover waits for the
+	// rollback collective before declaring the attempt failed (0 = 30s).
+	PartialTimeout time.Duration
 	// Lease identifies this incarnation to the control plane across
 	// coordinator restarts: the coordinator stamps a unique epoch here,
 	// records it in its own persisted state, and a restarted coordinator
@@ -187,6 +201,14 @@ type Handle struct {
 	// lease is the control plane's incarnation lease (Config.Lease),
 	// immutable after Start.
 	lease int64
+	// Localized-recovery state: partialOK/partialTimeout are immutable
+	// after Start; partial is the armed recovery attempt and holders the
+	// current rank -> node map, both behind pmu.
+	partialOK      bool
+	partialTimeout time.Duration
+	pmu            sync.Mutex
+	partial        *partialState
+	holders        []int
 }
 
 // Lease returns the incarnation lease the control plane stamped into
@@ -276,6 +298,12 @@ type Task struct {
 	sg      *seg.Segment
 	arrays  []ckpt.ArrayRef
 	pending bool // restore waiting for the first SOP
+	// partialPending marks the first SOP of a replacement epoch: the
+	// rollback collective of a localized recovery runs there. snap is the
+	// task's park snapshot (nil for a replacement task, which restores
+	// from the checkpoint instead).
+	partialPending bool
+	snap           *parkSnapshot
 	// rots caches one rotation view per checkpoint prefix, so repeated
 	// SOPs don't re-list the checkpoint directory every time. Only rank
 	// 0 queries them (it is the rotation's single writer).
@@ -345,6 +373,9 @@ func (t *Task) ReconfigCheckpoint(prefix string) (Status, int, error) {
 	if t.pending {
 		return t.restore()
 	}
+	if t.partialPending {
+		return t.partialRestore()
+	}
 	if err := t.write(prefix); err != nil {
 		return Failed, 0, err
 	}
@@ -359,6 +390,9 @@ func (t *Task) ReconfigCheckpoint(prefix string) (Status, int, error) {
 func (t *Task) ReconfigChkEnable(prefix string) (Status, int, error) {
 	if t.pending {
 		return t.restore()
+	}
+	if t.partialPending {
+		return t.partialRestore()
 	}
 	var armed float64
 	if t.Rank() == 0 && t.handle.enable.Swap(false) {
@@ -385,6 +419,9 @@ func (t *Task) ReconfigChkEnable(prefix string) (Status, int, error) {
 func (t *Task) IncrementalCheckpoint(prefix string) (Status, int, error) {
 	if t.pending {
 		return t.restore()
+	}
+	if t.partialPending {
+		return t.partialRestore()
 	}
 	if t.cfg.SPMDMode {
 		return Failed, 0, fmt.Errorf("drms: incremental checkpointing requires the DRMS scheme")
@@ -537,6 +574,7 @@ func (t *Task) writeGen(prefix string) error {
 		}
 	}
 	t.handle.noteGeneration(hdr.Gen)
+	t.snapshot(hdr.Gen)
 	return nil
 }
 
@@ -559,6 +597,7 @@ func (t *Task) restore() (Status, int, error) {
 	}
 	t.LastMeta = m
 	t.handle.noteGeneration(t.cfg.RestartFrom)
+	t.snapshot(t.cfg.RestartFrom)
 	if t.Rank() == 0 {
 		rtsRestores.Inc()
 		rtsLastReconfigDelta.Set(float64(t.Tasks() - m.Tasks))
@@ -609,7 +648,12 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &Handle{done: make(chan struct{}), runner: runner, lease: cfg.Lease}
+	h := &Handle{done: make(chan struct{}), runner: runner, lease: cfg.Lease,
+		partialOK:      cfg.Partial && !cfg.SPMDMode,
+		partialTimeout: cfg.PartialTimeout}
+	if len(cfg.TierHolders) > 0 {
+		h.holders = append([]int(nil), cfg.TierHolders...)
+	}
 	if cfg.Fault != nil {
 		h.fault = runner.InjectFault(*cfg.Fault)
 		if cfg.OnFault != nil {
@@ -617,8 +661,51 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 		}
 	}
 	body := func(c *msg.Comm) error {
-		t := &Task{comm: c, cfg: cfg, handle: h, sg: seg.New(), pending: cfg.RestartFrom != ""}
-		return app(t)
+		// Each communicator epoch runs the application from its prologue:
+		// epoch 0 is the launch (with the RestartFrom restore, if any);
+		// every later epoch is a localized recovery's replacement epoch,
+		// entered by survivors re-parking here and by fresh goroutines for
+		// the replaced ranks. The park snapshot is the only state carried
+		// across epochs — a survivor keeps its memory, a replacement has
+		// none.
+		var snap *parkSnapshot
+		for {
+			t := &Task{comm: c, cfg: cfg, handle: h, sg: seg.New()}
+			if c.Epoch() == 0 {
+				t.pending = cfg.RestartFrom != ""
+			} else {
+				t.partialPending = true
+				t.snap = snap
+			}
+			if hh := h.currentHolders(); hh != nil {
+				t.cfg.TierHolders = hh
+			}
+			err := app(t)
+			snap = t.snap
+			if err == nil || !h.partialOK {
+				return err
+			}
+			if errors.Is(err, msg.ErrKilled) {
+				// The injected victim's process is dead. Exit quietly: in
+				// the localized-recovery model, the rank's fate — replace
+				// it or restart the run — is the supervisor's call, not an
+				// application error.
+				return nil
+			}
+			if !errors.Is(err, msg.ErrProcFailed) {
+				return err
+			}
+			nc, _, perr := runner.Park(c)
+			if perr != nil {
+				if errors.Is(perr, msg.ErrSuperseded) {
+					// A replacement goroutine owns this rank now; this
+					// one's state is conceptually lost with its node.
+					return nil
+				}
+				return perr // killed, or the run failed for good
+			}
+			c = nc
+		}
 	}
 	go func() {
 		// The runner folds every task's outcome into one root-cause error:

@@ -10,6 +10,8 @@ var (
 		"SOP checkpoints committed (ReconfigCheckpoint/ChkEnable/Incremental).")
 	rtsRestores = obs.GetCounter("drms_rts_restores_total",
 		"SOP restores completed (restarted incarnations reaching Restored).")
+	rtsPartialRestores = obs.GetCounter("drms_rts_partial_restores_total",
+		"Localized-recovery rollbacks completed (survivors parked, only lost ranks restored).")
 	rtsLastReconfigDelta = obs.GetGauge("drms_rts_last_reconfig_delta",
 		"Task-count delta of the last restore: current tasks - checkpointing tasks.")
 )

@@ -29,6 +29,8 @@ var (
 		"Latency of primitive collective operations.", obs.LatencyBuckets)
 	msgFaultsInjected = obs.GetCounter("drms_msg_faults_injected_total",
 		"Deterministic fault injections fired (FaultTransport kills).")
+	msgShrinks = obs.GetCounter("drms_msg_shrinks_total",
+		"Communicator shrinks installed (replacement epochs, ULFM-style).")
 )
 
 // observeCollective stamps one primitive collective's latency; used as

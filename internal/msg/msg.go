@@ -52,6 +52,17 @@ var (
 	// ErrKilled is what a fault-injected victim observes from its own
 	// operations once its configured death point is reached.
 	ErrKilled = errors.New("msg: rank killed by fault injection")
+	// ErrProcFailed reports that one or more ranks were declared dead and
+	// the communicator's epoch was shrunk (Runner.Shrink): survivors
+	// observe it from their pending operations and should Park to obtain
+	// the replacement communicator instead of unwinding (ULFM
+	// MPI_ERR_PROC_FAILED semantics).
+	ErrProcFailed = errors.New("msg: process failure, communicator shrunk")
+	// ErrSuperseded is Park's answer to a goroutine whose rank was
+	// declared dead while it was still running (the simulation's node
+	// loss does not kill goroutines): a fresh goroutine now owns the
+	// rank, so the superseded one must exit without rejoining.
+	ErrSuperseded = errors.New("msg: rank superseded by a replacement task")
 )
 
 // Comm is a task's endpoint into the parallel application: its rank, the
@@ -65,6 +76,10 @@ type Comm struct {
 	tr         Transport
 	st         *commState
 	ctx        context.Context // nil: no cancellation
+	// epoch numbers the communicator's incarnation within one Runner:
+	// 0 for the launch communicator, incremented by every Shrink. Comms
+	// derived with WithContext inherit it.
+	epoch int
 }
 
 // commState is the per-task state shared by a Comm and every Comm
@@ -107,6 +122,10 @@ var errRecvCanceled = errors.New("msg: receive canceled")
 
 // Rank returns this task's rank in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
+
+// Epoch returns the communicator's shrink epoch: 0 for the launch
+// communicator, one higher per Runner.Shrink that replaced it.
+func (c *Comm) Epoch() int { return c.epoch }
 
 // Size returns the number of tasks in the application.
 func (c *Comm) Size() int { return c.size }
@@ -514,13 +533,36 @@ func Run(n int, f func(c *Comm) error) error {
 // when a processor failure takes an application down (§4: "it kills all
 // other processes of that application").
 type Runner struct {
-	n      int
-	tr     Transport
-	tcp    *TCPTransport
-	killed atomic.Bool
+	n       int
+	tr      Transport // epoch-0 transport (the one InjectFault wraps)
+	tcp     *TCPTransport
+	useTCP  bool
+	killed  atomic.Bool
+	spawned atomic.Int64 // task goroutines ever started (launch + replacements)
 
 	mu    sync.Mutex
-	cause error // root cause of an aborted run
+	cond  *sync.Cond // signals epoch changes, task exits, kills
+	cause error      // root cause of an aborted run
+
+	// Shrink/Park state (all guarded by mu). Epoch 0 is the launch
+	// communicator; every Shrink retires the current epoch's transport
+	// and opens a fresh one at seq+1.
+	body   func(*Comm) error // the application body, set by Run
+	seq    int               // current epoch
+	curTr  Transport         // current epoch's transport
+	trs    []Transport       // every transport ever opened (abort on Kill/fail)
+	tcps   []*TCPTransport   // the TCP ones among trs, for shutdown
+	reborn map[int]int       // rank -> epoch of its newest goroutine (replacements only)
+	dead   []shrinkRec       // per-epoch replaced-rank records
+	active int               // live task goroutines across all epochs
+	ran    bool              // Run was called
+	fin    bool              // Run returned (no further Shrink allowed)
+}
+
+// shrinkRec records which ranks one Shrink replaced.
+type shrinkRec struct {
+	seq      int
+	replaced []int
 }
 
 // NewRunner builds a runner for n tasks; tcp selects the socket transport.
@@ -528,60 +570,99 @@ func NewRunner(n int, tcp bool) (*Runner, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("msg: runner of %d tasks", n)
 	}
+	r := &Runner{n: n, useTCP: tcp, reborn: map[int]int{}}
+	r.cond = sync.NewCond(&r.mu)
 	if tcp {
 		tr, err := NewTCPTransport(n)
 		if err != nil {
 			return nil, err
 		}
-		return &Runner{n: n, tr: tr, tcp: tr}, nil
+		r.tr, r.tcp = tr, tr
+		r.tcps = []*TCPTransport{tr}
+	} else {
+		r.tr = NewLocalTransport(n)
 	}
-	return &Runner{n: n, tr: NewLocalTransport(n)}, nil
+	r.curTr = r.tr
+	r.trs = []Transport{r.tr}
+	return r, nil
 }
 
 // InjectFault wraps the runner's transport in a deterministic
 // fault-injection layer (see FaultTransport) and returns it for arming.
-// Must be called before Run.
+// Must be called before Run. Only the launch epoch is wrapped: transports
+// opened by Shrink are fresh and fault-free.
 func (r *Runner) InjectFault(spec FaultSpec) *FaultTransport {
 	ft := NewFaultTransport(r.tr, spec)
 	r.tr = ft
+	r.mu.Lock()
+	r.curTr = ft
+	r.trs[0] = ft
+	r.mu.Unlock()
 	return ft
 }
 
 // Kill revokes the application's communicator from outside: every blocked
-// or future operation returns ErrRevoked, so all tasks unwind promptly at
-// their next communication. This is the paper's processor-failure action
-// (§4). Idempotent.
+// or future operation — on the current epoch and on any retired one —
+// returns ErrRevoked, so all tasks unwind promptly at their next
+// communication, and parked tasks wake and unwind too. This is the
+// paper's processor-failure action (§4). Idempotent.
 func (r *Runner) Kill() {
 	if r.killed.Swap(true) {
 		return
 	}
-	r.tr.Abort(ErrRevoked)
+	r.mu.Lock()
+	trs := append([]Transport(nil), r.trs...)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	for _, tr := range trs {
+		tr.Abort(ErrRevoked)
+	}
 }
 
 // Killed reports whether Kill was called.
 func (r *Runner) Killed() bool { return r.killed.Load() }
 
+// Spawned returns how many task goroutines the runner ever started: the
+// launch epoch's n plus one per rank replaced by a Shrink. A localized
+// recovery that truly parked its survivors shows exactly n + len(dead)
+// here — the observable proof that survivor goroutines persisted.
+func (r *Runner) Spawned() int64 { return r.spawned.Load() }
+
 func (r *Runner) shutdown() {
-	if r.tcp != nil {
-		r.tcp.Shutdown()
+	r.mu.Lock()
+	r.fin = true
+	trs := append([]Transport(nil), r.trs...)
+	tcps := append([]*TCPTransport(nil), r.tcps...)
+	r.mu.Unlock()
+	for _, t := range tcps {
+		t.Shutdown()
+	}
+	if len(tcps) > 0 {
 		return
 	}
-	for rank := 0; rank < r.n; rank++ {
-		r.tr.Close(rank)
+	for _, tr := range trs {
+		for rank := 0; rank < r.n; rank++ {
+			tr.Close(rank)
+		}
 	}
 }
 
-// fail records a task failure and revokes the communicator so every peer
-// unwinds. The root cause is the first failure that is not itself a
-// revocation echo: when task 3 dies and tasks 0-2 then observe
-// ErrRevoked, the run's error is task 3's.
+// fail records a task failure and revokes the communicator — every epoch
+// of it — so every peer, parked or running, unwinds. The root cause is
+// the first failure that is not itself a revocation echo: when task 3
+// dies and tasks 0-2 then observe ErrRevoked, the run's error is task
+// 3's.
 func (r *Runner) fail(err error) {
 	r.mu.Lock()
 	if r.cause == nil || (errors.Is(r.cause, ErrRevoked) && !errors.Is(err, ErrRevoked)) {
 		r.cause = err
 	}
+	trs := append([]Transport(nil), r.trs...)
+	r.cond.Broadcast()
 	r.mu.Unlock()
-	r.tr.Abort(ErrRevoked)
+	for _, tr := range trs {
+		tr.Abort(ErrRevoked)
+	}
 }
 
 // Err returns the run's root-cause error (nil while healthy or after a
@@ -592,27 +673,48 @@ func (r *Runner) Err() error {
 	return r.cause
 }
 
-// Run executes f on every rank and blocks until all return. The first
-// task failure — a returned error or a panic — revokes the communicator
+// runTask executes the application body for one rank on one epoch's
+// transport and folds its outcome into the run.
+func (r *Runner) runTask(rank, seq int, tr Transport) {
+	r.spawned.Add(1)
+	defer func() {
+		if p := recover(); p != nil {
+			r.fail(fmt.Errorf("task %d panicked: %v", rank, p))
+		}
+		r.mu.Lock()
+		r.active--
+		if r.active == 0 {
+			r.cond.Broadcast()
+		}
+		r.mu.Unlock()
+	}()
+	c := NewComm(rank, r.n, tr)
+	c.epoch = seq
+	if err := r.body(c); err != nil {
+		r.fail(fmt.Errorf("task %d: %w", rank, err))
+	}
+}
+
+// Run executes f on every rank and blocks until all return — including
+// any replacement tasks spawned by Shrink along the way. The first task
+// failure — a returned error or a panic — revokes the communicator
 // (releasing peers blocked mid-collective) and becomes the returned
 // error; peers' secondary ErrRevoked errors are subsumed by it.
 func (r *Runner) Run(f func(c *Comm) error) error {
 	defer r.shutdown()
-	var wg sync.WaitGroup
+	r.mu.Lock()
+	r.body = f
+	r.ran = true
+	seq, tr := r.seq, r.curTr
+	r.active += r.n
+	r.mu.Unlock()
 	for rank := 0; rank < r.n; rank++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					r.fail(fmt.Errorf("task %d panicked: %v", rank, p))
-				}
-			}()
-			if err := f(NewComm(rank, r.n, r.tr)); err != nil {
-				r.fail(fmt.Errorf("task %d: %w", rank, err))
-			}
-		}(rank)
+		go r.runTask(rank, seq, tr)
 	}
-	wg.Wait()
+	r.mu.Lock()
+	for r.active > 0 {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
 	return r.Err()
 }

@@ -1,0 +1,152 @@
+// Shrink/park: the ULFM MPI_Comm_shrink analog over the Revoke
+// machinery, the substrate of localized recovery (DESIGN.md §3j). When
+// the system declares ranks dead, it does not unwind the incarnation:
+// Runner.Shrink retires the current communicator epoch — pending
+// operations on it return ErrProcFailed, the localized-failure cousin of
+// ErrRevoked — opens a fresh same-size transport, and spawns replacement
+// goroutines for exactly the dead ranks. Survivors observe ErrProcFailed
+// from whatever operation they were blocked in, keep their memory, and
+// call Runner.Park to agree on the replacement communicator: Park blocks
+// until the shrink is installed and hands back a Comm of the new epoch
+// with the same rank. A goroutine whose own rank was declared dead while
+// it still ran (a lost node's task keeps running in the simulation)
+// parks into ErrSuperseded and must exit: a fresh goroutine owns the
+// rank now, and its state — conceptually lost with the node — must not
+// rejoin.
+//
+// Shrink may be called again while a previous shrink's rollback is still
+// in flight (a second failure mid-recovery): the in-flight epoch is
+// retired exactly like the launch epoch was, everyone re-parks, and the
+// replacement set grows.
+package msg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ShrinkInfo describes the epoch transition Park agreed on.
+type ShrinkInfo struct {
+	// Epoch is the new communicator's epoch.
+	Epoch int
+	// Replaced lists the ranks running fresh goroutines in the new epoch
+	// — every rank declared dead since the parked communicator's epoch,
+	// ascending. Survivors are exactly the complement.
+	Replaced []int
+}
+
+// Shrink declares the given ranks dead and installs a replacement
+// communicator epoch: the current epoch's transport is aborted with
+// ErrProcFailed (survivors unwind to Park instead of failing the run), a
+// fresh same-size transport becomes the current epoch, and one
+// replacement goroutine per dead rank is spawned running the same
+// application body. Returns the new epoch number. Idempotent per failure
+// only in the sense that repeated calls stack: each call retires the
+// then-current epoch. Errors when the run has not started, has already
+// finished, or was killed.
+func (r *Runner) Shrink(dead []int) (int, error) {
+	for _, d := range dead {
+		if d < 0 || d >= r.n {
+			return 0, fmt.Errorf("msg: shrink of rank %d in a %d-task run", d, r.n)
+		}
+	}
+	r.mu.Lock()
+	if !r.ran || r.body == nil {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("msg: Shrink before Run")
+	}
+	if r.fin || r.active == 0 {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("msg: Shrink after the run finished")
+	}
+	if r.killed.Load() || r.cause != nil {
+		r.mu.Unlock()
+		return 0, ErrRevoked
+	}
+	var ntr Transport
+	if r.useTCP {
+		t, err := NewTCPTransport(r.n)
+		if err != nil {
+			r.mu.Unlock()
+			return 0, err
+		}
+		ntr = t
+		r.tcps = append(r.tcps, t)
+	} else {
+		ntr = NewLocalTransport(r.n)
+	}
+	old := r.curTr
+	r.seq++
+	seq := r.seq
+	r.curTr = ntr
+	r.trs = append(r.trs, ntr)
+	rec := shrinkRec{seq: seq, replaced: append([]int(nil), dead...)}
+	sort.Ints(rec.replaced)
+	r.dead = append(r.dead, rec)
+	for _, d := range dead {
+		r.reborn[d] = seq
+		r.active++
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	// Retire the old epoch after the new one is installed, so a survivor
+	// that unwinds on ErrProcFailed always finds seq already advanced.
+	old.Abort(ErrProcFailed)
+	for _, d := range dead {
+		go r.runTask(d, seq, ntr)
+	}
+	msgShrinks.Inc()
+	return seq, nil
+}
+
+// Park blocks until a shrink newer than c's epoch is installed and
+// returns the caller's communicator in the new epoch, with the info of
+// the transition. It returns ErrSuperseded when the caller's rank was
+// itself declared dead (a replacement goroutine owns the rank now — the
+// caller must exit without touching shared state), and ErrRevoked when
+// the run was killed or failed for good while parked.
+func (r *Runner) Park(c *Comm) (*Comm, ShrinkInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.killed.Load() || r.cause != nil {
+			return nil, ShrinkInfo{}, ErrRevoked
+		}
+		if r.reborn[c.rank] > c.epoch {
+			return nil, ShrinkInfo{}, ErrSuperseded
+		}
+		if r.seq > c.epoch {
+			nc := NewComm(c.rank, r.n, r.curTr)
+			nc.epoch = r.seq
+			return nc, ShrinkInfo{Epoch: r.seq, Replaced: r.replacedSinceLocked(c.epoch)}, nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// Epoch returns the runner's current communicator epoch.
+func (r *Runner) Epoch() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// replacedSinceLocked returns the ascending union of ranks replaced by
+// every shrink after the given epoch. r.mu must be held.
+func (r *Runner) replacedSinceLocked(epoch int) []int {
+	seen := map[int]bool{}
+	for _, rec := range r.dead {
+		if rec.seq <= epoch {
+			continue
+		}
+		for _, d := range rec.replaced {
+			seen[d] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -204,6 +204,29 @@ func filteredPlanFor(comm *msg.Comm, global, x rangeset.Slice, full *streamPlan,
 	return sub, nil
 }
 
+// PieceSpans reproduces the piece partition and byte offsets of the plan
+// Write uses for section x with the given element size on a tasks-wide
+// application, without a communicator or the plan cache. The partial-
+// restore planner and drmsfsck's coverage check use it to map piece
+// indices to the array sections they carry: piece i holds exactly
+// spans[i]'s elements, linearized at stream offset offsets[i].
+func PieceSpans(x rangeset.Slice, elemSize, tasks int, o Options) (spans []rangeset.Slice, offsets []int64) {
+	if x.Empty() {
+		return nil, nil
+	}
+	total := int64(x.Size()) * int64(elemSize)
+	m := int((total + int64(o.pieceBytes()) - 1) / int64(o.pieceBytes()))
+	m = max(m, o.writers(tasks))
+	spans = x.Partition(m, o.Order)
+	offsets = make([]int64, len(spans))
+	var off int64
+	for i, p := range spans {
+		offsets[i] = off
+		off += int64(p.Size()) * int64(elemSize)
+	}
+	return spans, offsets
+}
+
 // PlanSig returns a stable signature of the piece plan Write uses for
 // section x with the given element size on a tasks-wide application. Two
 // streaming operations with equal signatures use the identical piece

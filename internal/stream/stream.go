@@ -50,16 +50,18 @@ type Options struct {
 	// BaseOffset is the byte position in the file where the stream
 	// begins; the checkpoint layer places headers before it.
 	BaseOffset int64
-	// Pieces, if non-nil, restricts Write to the listed piece indices of
-	// the full plan (ascending, in range). The piece partition and byte
-	// offsets are those of the unfiltered plan — hooks still see original
-	// indices and stream offsets — but rounds are built over only the
-	// listed pieces, so unlisted pieces cost neither redistribution nor
-	// I/O. An empty (non-nil) list streams nothing at all. The chained
-	// checkpoint layer passes the dirty piece set of a delta generation
-	// here; the bytes of unlisted pieces are expected to already exist
-	// (back-pointers). Ignored by Read, which always serves the full
-	// section.
+	// Pieces, if non-nil, restricts the operation to the listed piece
+	// indices of the full plan (ascending, in range). The piece partition
+	// and byte offsets are those of the unfiltered plan — hooks still see
+	// original indices and stream offsets — but rounds are built over
+	// only the listed pieces, so unlisted pieces cost neither
+	// redistribution nor I/O. An empty (non-nil) list streams nothing at
+	// all. The chained checkpoint layer passes the dirty piece set of a
+	// delta generation here on Write (the bytes of unlisted pieces are
+	// expected to already exist — back-pointers), and the needed piece
+	// set of a partial restore here on Read (array elements outside the
+	// listed pieces' sections are untouched beyond harmless bit-identical
+	// boundary overwrites).
 	Pieces []int
 	// PieceHook, if non-nil, is invoked by the writing (or reading) task
 	// with each piece's index, stream-relative byte offset, and contents,
@@ -298,7 +300,9 @@ func Write[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, na
 // inverse of Write. The file must hold the section's linearization (same
 // order and element type) starting at BaseOffset — it may have been
 // written with a different distribution and a different number of tasks.
-// Elements of a outside x are untouched. Collective.
+// Elements of a outside x are untouched. A filtered read (Options.Pieces)
+// loads only the listed pieces of the full plan — the partial-restore
+// path reads just the sections assigned to replacement ranks. Collective.
 func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, name string, o Options) (st Stats, err error) {
 	defer observeStream(streamReads, streamReadSeconds, time.Now(), &st, &err)
 	comm, err := commOf(a, x)
@@ -314,6 +318,18 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 	st = Stats{StreamBytes: sp.total, Pieces: len(sp.pieces)}
 	me := comm.Rank()
 
+	// A filtered read rounds over a subset of the plan's pieces exactly
+	// like a filtered write: hooks and fetches see the full plan's
+	// indices and byte offsets, so the bytes addressed are identical to
+	// an unfiltered read of those pieces.
+	run, orig := sp, func(i int) int { return i }
+	if o.Pieces != nil {
+		if run, err = filteredPlanFor(comm, a.Global(), x, sp, o.Pieces, es, o); err != nil {
+			return st, err
+		}
+		orig = func(i int) int { return o.Pieces[i] }
+	}
+
 	// Mirror image of Write's pipeline: this task's piece of round r+1 is
 	// prefetched from the file while round r's redistribution runs.
 	var (
@@ -326,19 +342,20 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 	)
 	defer func() { recycleBuf(bufs[0]); recycleBuf(bufs[1]) }()
 	defer wg.Wait() // never leak an in-flight prefetch, even on error returns; runs before the recycle above
-	// fetchPiece reads piece idx's stream extent into dst: from the
-	// caller's fetcher when set (chained checkpoints resolve pieces
-	// across generations and codecs), from the stream file otherwise.
+	// fetchPiece reads piece idx's stream extent into dst (idx indexes
+	// the running sub-plan): from the caller's fetcher when set (chained
+	// checkpoints resolve pieces across generations and codecs), from the
+	// stream file otherwise.
 	fetchPiece := func(idx int, dst []byte) error {
 		if o.FetchPiece != nil {
-			return o.FetchPiece(idx, sp.offsets[idx], dst)
+			return o.FetchPiece(orig(idx), run.offsets[idx], dst)
 		}
-		return fs.ReadAt(me, name, dst, sp.offsets[idx]+o.BaseOffset)
+		return fs.ReadAt(me, name, dst, run.offsets[idx]+o.BaseOffset)
 	}
 
-	for ri, base := 0, 0; base < len(sp.pieces); ri, base = ri+1, base+p {
-		round := sp.pieces[base:min(base+p, len(sp.pieces))]
-		ad := sp.rounds[ri]
+	for ri, base := 0, 0; base < len(run.pieces); ri, base = ri+1, base+p {
+		round := run.pieces[base:min(base+p, len(run.pieces))]
+		ad := run.rounds[ri]
 		if aux, err = bindAux(a, aux, ad); err != nil {
 			return st, err
 		}
@@ -366,8 +383,8 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 		// Issue the prefetch of this task's next piece into the spare
 		// buffer before entering the collective below, so the file read
 		// overlaps the redistribution.
-		if idx := base + p + me; me < p && idx < len(sp.pieces) && !sp.pieces[idx].Empty() {
-			nbuf := sizeBuf(&bufs[1-flip], sp.pieces[idx].Size()*es)
+		if idx := base + p + me; me < p && idx < len(run.pieces) && !run.pieces[idx].Empty() {
+			nbuf := sizeBuf(&bufs[1-flip], run.pieces[idx].Size()*es)
 			wg.Add(1)
 			pending = true
 			go func(idx int) {
@@ -380,7 +397,7 @@ func Read[T array.Elem](a *array.Array[T], x rangeset.Slice, fs *pfs.System, nam
 			streamPieces.Inc()
 			streamPieceBytes.Add(uint64(len(buf)))
 			if o.PieceHook != nil {
-				o.PieceHook(base+me, sp.offsets[base+me], buf)
+				o.PieceHook(orig(base+me), run.offsets[base+me], buf)
 			}
 			if err := aux.UnpackSection(round[me], o.Order, buf); err != nil {
 				return st, err
