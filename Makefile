@@ -29,7 +29,7 @@ lint:
 	@out=$$(grep -rn '"drms/' --include='*.go' internal/codec || true); \
 	if [ -n "$$out" ]; then \
 		echo "internal/codec must stay stdlib-only (piece codecs decode anywhere, including fsck):"; echo "$$out"; exit 1; fi
-	@out=$$(grep -rn --include='*.go' --exclude='*_test.go' --exclude-dir=coord --exclude-dir=drms --exclude-dir=msg \
+	@out=$$(grep -rn --include='*.go' --exclude='*_test.go' --exclude-dir=coord --exclude-dir=drms --exclude-dir=msg --exclude-dir=bench \
 		-E '\.(EnableCheckpoint|RequestStop|Kill)\(' cmd internal || true); \
 	if [ -n "$$out" ]; then \
 		echo "RC internals reached around outside internal/coord (use the versioned API —"; \
@@ -52,12 +52,19 @@ race:
 # The chaos soak: the recovery supervisor under a seeded fault injector
 # that kills random ranks mid-compute, mid-checkpoint, and during
 # recovery itself, across shrinking and growing pools, with the race
-# detector on. The seed is fixed in the test, so a failure here is
-# reproducible, and the whole drill is bounded well under two minutes.
+# detector on — plus the elasticity drills: mid-resize rank kills, the
+# autoscaler's grow/shrink cycle, and the live drmsctl elastic scenario
+# (autoscaler + in-flight resizes against the full daemon stack). The
+# seeds are fixed in the tests, so a failure here is reproducible, and
+# the whole drill is bounded well under two minutes.
 chaos:
 	$(GO) test -race -count=1 -timeout 110s \
 		-run 'TestChaosSoak|TestSupervisor' \
 		./internal/coord
+	$(GO) test -race -count=1 -timeout 110s \
+		-run 'TestResize|TestAutoscaler' \
+		./internal/drms ./internal/coord
+	$(GO) run ./cmd/drmsctl -scenario elastic
 
 # The nightly control-plane soak: hundreds of supervised applications
 # launched in waves while the coordinator is repeatedly crashed and
@@ -78,11 +85,13 @@ smoke:
 	$(GO) test -count=1 -run TestDaemonObservabilityEndToEnd ./cmd/drmsd
 
 # Benchmarks plus the chained-checkpoint steady-state comparison, the
-# memory-tier restore-latency comparison, and the localized-vs-full
-# recovery TTR comparison, whose JSON artifacts (BENCH_6.json,
-# BENCH_7.json, BENCH_9.json) CI archives for before/after tracking.
+# memory-tier restore-latency comparison, the localized-vs-full recovery
+# TTR comparison, and the in-flight-resize-vs-classic-reconfigure TTR
+# comparison, whose JSON artifacts (BENCH_6.json, BENCH_7.json,
+# BENCH_9.json, BENCH_10.json) CI archives for before/after tracking.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 	$(GO) run ./cmd/drmsbench -bench6 BENCH_6.json
 	$(GO) run ./cmd/drmsbench -bench7 BENCH_7.json
 	$(GO) run ./cmd/drmsbench -bench9 BENCH_9.json
+	$(GO) run ./cmd/drmsbench -bench10 BENCH_10.json

@@ -29,7 +29,20 @@ func main() {
 	bench6 := flag.String("bench6", "", "run the chained-checkpoint steady-state comparison and write its JSON artifact to this path")
 	bench7 := flag.String("bench7", "", "run the memory-tier vs pfs restore-latency comparison and write its JSON artifact to this path")
 	bench9 := flag.String("bench9", "", "run the localized-vs-full recovery TTR comparison and write its JSON artifact to this path")
+	bench10 := flag.String("bench10", "", "run the in-flight-resize-vs-classic-reconfigure TTR comparison and write its JSON artifact to this path")
 	flag.Parse()
+
+	if *bench10 != "" {
+		fmt.Fprintln(os.Stderr, "running the in-flight-resize-vs-classic-reconfigure comparison (both arms)...")
+		r, err := bench.MeasureBench10(bench.DefaultBench10())
+		check(err)
+		js, err := bench.Bench10JSON(r)
+		check(err)
+		check(os.WriteFile(*bench10, append(js, '\n'), 0o644))
+		fmt.Print(bench.RenderBench10(r))
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *bench10)
+		return
+	}
 
 	if *bench9 != "" {
 		fmt.Fprintln(os.Stderr, "running the localized-vs-full recovery comparison (partial and full paths)...")

@@ -10,6 +10,11 @@
 //	                       system-initiated checkpoint and restart
 //	-scenario schedule     two jobs compete for processors; the second
 //	                       queues until the first finishes
+//	-scenario elastic      the autoscaler expands a scale-managed job
+//	                       into the idle machine through in-flight
+//	                       resizes (no restart, same incarnation), then
+//	                       shrinks it to make room for a queued batch
+//	                       job
 //
 // Events from the RC (the user-interface surface) are printed as they
 // arrive.
@@ -40,16 +45,18 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "failure", "local demo: failure, reconfigure, or schedule")
+	scenario := flag.String("scenario", "failure", "local demo: failure, reconfigure, schedule, or elastic")
 	nodes := flag.Int("nodes", 4, "processors in the machine (local demos)")
 	connect := flag.String("connect", "", "address of a running drmsd; switches to remote mode")
-	op := flag.String("op", "apps", "remote op: nodes, apps, status, wait, submit, open, checkpoint, stop, reconfigure, failnode, verify, events, stats")
+	op := flag.String("op", "apps", "remote op: nodes, apps, status, wait, submit, open, checkpoint, stop, reconfigure, resize, failnode, verify, events, stats")
 	name := flag.String("name", "", "remote: application name")
 	kernel := flag.String("kernel", "bt", "remote submit: bt, lu, sp")
 	class := flag.String("class", "S", "remote submit: problem class")
 	minT := flag.Int("min", 1, "remote submit: minimum tasks")
 	maxT := flag.Int("max", 2, "remote submit: maximum tasks")
-	tasks := flag.Int("tasks", 0, "remote reconfigure: new task count")
+	tasks := flag.Int("tasks", 0, "remote reconfigure/resize: new task count")
+	scaleMin := flag.Int("scale-min", 0, "remote submit: autoscaler floor (with -scale-max; needs drmsd -autoscale)")
+	scaleMax := flag.Int("scale-max", 0, "remote submit: autoscaler ceiling; > 0 puts the job under the daemon's autoscaler")
 	iters := flag.Int("iters", 20, "remote submit: iterations")
 	node := flag.Int("node", 0, "remote failnode: processor")
 	prefix := flag.String("prefix", "", "remote verify: checkpoint prefix")
@@ -71,7 +78,8 @@ func main() {
 		}
 		remote(*connect, coord.Request{Op: *op, Name: *name, Kernel: *kernel,
 			Class: *class, Min: *minT, Max: *maxT, Tasks: *tasks, Iters: *iters,
-			Node: *node, Prefix: *prefix, Recover: *recoverJob, Version: *version})
+			Node: *node, Prefix: *prefix, Recover: *recoverJob, Version: *version,
+			ScaleMin: *scaleMin, ScaleMax: *scaleMax})
 		return
 	}
 
@@ -101,6 +109,8 @@ func main() {
 		reconfigureScenario(rc)
 	case "schedule":
 		scheduleScenario(rc)
+	case "elastic":
+		elasticScenario(rc)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(exitUsage)
@@ -173,6 +183,70 @@ func scheduleScenario(rc *coord.RC) {
 	fmt.Printf("second: %s, checksum %.6e\n", st, <-outB)
 }
 
+// elasticScenario demonstrates the in-flight resize under autoscaler
+// control: a scale-managed job launched on one processor expands into
+// the idle machine — each step is an app-resized event, no restart, the
+// incarnation never moves — then contracts when a batch job queues up,
+// and grows back once the batch finishes.
+func elasticScenario(rc *coord.RC) {
+	jsa := coord.NewJSA(rc)
+	k := apps.SP()
+	s := coord.AppSpec{Name: "elastic", Body: k.App(apps.RunConfig{
+		Class: apps.ClassS, Iters: 1 << 20, CkEvery: 3, Prefix: "elastic",
+	}), Scale: &coord.ScalePolicy{Min: 1, Max: 4, Interval: 100 * time.Millisecond}}
+	fmt.Println("launching an elastic SP job on 1 processor; the autoscaler expands it into the idle machine...")
+	check(rc.Launch(s, 1, false))
+	as := coord.NewAutoscaler(rc, jsa, 0)
+	defer as.Close()
+
+	waitTasks := func(want int, what string) {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if info, ok := rc.App("elastic"); ok && info.Tasks == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				check(fmt.Errorf("timeout waiting for %s", what))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitTasks(4, "the grow to the full machine")
+	info, _ := rc.App("elastic")
+	fmt.Printf("elastic job now at %d tasks, incarnation %d — grown in flight, never restarted\n",
+		info.Tasks, info.Incarnation)
+
+	outB := make(chan float64, 1)
+	b := coord.AppSpec{Name: "batch", Body: apps.LU().App(apps.RunConfig{
+		Class: apps.ClassS, Iters: 30, CkEvery: 10, Prefix: "batch", OnDone: outB})}
+	check(jsa.Submit(coord.Job{Spec: b, Min: 2, Max: 2}))
+	fmt.Println("a 2-task batch job queued; the autoscaler shrinks the elastic job to make room...")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, ok := rc.App("batch"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			check(fmt.Errorf("the batch job never dispatched"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, err := rc.WaitApp("batch")
+	check(err)
+	fmt.Printf("batch: %s, checksum %.6e\n", st, <-outB)
+
+	waitTasks(4, "the grow back after the batch finished")
+	as.Close()
+	h, _, err := rc.OpenApp("elastic")
+	check(err)
+	_, err = rc.StopApp(h)
+	check(err)
+	st, err = rc.WaitApp("elastic")
+	check(err)
+	info, _ = rc.App("elastic")
+	fmt.Printf("elastic: %s at incarnation %d after scaling 1->4->2->4 in flight\n", st, info.Incarnation)
+}
+
 // Exit codes of the remote mode (see the command comment).
 const (
 	exitErr   = 1 // daemon answered; the operation failed
@@ -218,7 +292,7 @@ func remote(addr string, req coord.Request) {
 	case "open":
 		printApp(*resp.App)
 		fmt.Printf("version: %d (pass to -op checkpoint/stop via -version)\n", resp.Version)
-	case "checkpoint", "stop":
+	case "checkpoint", "stop", "resize":
 		fmt.Printf("ok (version %d)\n", resp.Version)
 	case "events":
 		for _, e := range resp.Events {
@@ -263,6 +337,9 @@ func recoveryInfo(e coord.Event) string {
 			s += fmt.Sprintf(" gen=%d", e.Gen)
 		}
 		return s + "]"
+	case coord.EventAppResized:
+		return fmt.Sprintf("  [resized %d->%d ttr=%s]",
+			e.FromTasks, e.Tasks, e.TTR.Round(time.Millisecond))
 	}
 	if e.Attempt == 0 {
 		return ""

@@ -19,6 +19,13 @@
 // restarts — retrying under an exponential-backoff budget set by
 // -max-retries and -backoff before declaring the job stalled.
 //
+// With -autoscale, jobs submitted with a scale range (drmsctl -op submit
+// -scale-min/-scale-max) are managed by the autoscaler: their task count
+// follows pool pressure between the bounds through in-flight resizes —
+// checkpoint to the hot tier, communicator swap, redistribution — never
+// a restart; -scale-budget caps the processors all autoscaled jobs may
+// hold per shard.
+//
 // With -shards N > 1, the daemon runs fleet mode: N resource
 // coordinator replicas, each owning a deterministic hash-slice of the
 // application namespace and an equal slice of the processors, fronted
@@ -56,6 +63,8 @@ func main() {
 	shards := flag.Int("shards", 1, "control-plane shards; > 1 runs fleet mode behind a stateless gateway")
 	quota := flag.Int("quota", 0, "per-tenant admission quota per shard (0 = unlimited); tenant = name prefix before '/'")
 	rcState := flag.Bool("rc-state", false, "self-checkpoint the coordinator's control-plane state (always on in fleet mode)")
+	autoscale := flag.Bool("autoscale", false, "run the autoscaler: jobs submitted with a scale range resize elastically in flight with pool pressure")
+	scaleBudget := flag.Int("scale-budget", 0, "processor budget across all autoscaled jobs per shard (0 = uncapped)")
 	flag.Parse()
 
 	fs := pfs.NewSystem(pfs.DefaultConfig())
@@ -105,7 +114,12 @@ func main() {
 			tcByNode[tc.Node()] = tc
 		}
 
-		servers[s] = &coord.ControlServer{RC: rc, JSA: coord.NewJSA(rc),
+		jsa := coord.NewJSA(rc)
+		if *autoscale {
+			as := coord.NewAutoscaler(rc, jsa, *scaleBudget)
+			defer as.Close()
+		}
+		servers[s] = &coord.ControlServer{RC: rc, JSA: jsa,
 			Recovery: recovery, Quota: *quota, Shard: s,
 			FailNode: func(n int) error {
 				tc, ok := tcByNode[n]
@@ -157,6 +171,12 @@ func main() {
 	mode := ""
 	if *autoRecover {
 		mode = fmt.Sprintf(", auto-recover on (budget %d, backoff %s)", *maxRetries, *backoff)
+	}
+	if *autoscale {
+		mode += ", autoscale on"
+		if *scaleBudget > 0 {
+			mode += fmt.Sprintf(" (budget %d/shard)", *scaleBudget)
+		}
 	}
 	if *shards > 1 {
 		mode += fmt.Sprintf(", fleet mode (%d shards", *shards)

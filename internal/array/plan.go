@@ -24,9 +24,16 @@ import (
 // Distributions are immutable once constructed, so pointer identity is a
 // sound (and free) equality test; two structurally equal distributions
 // built separately simply plan twice. Invalidation falls out of the same
-// choice: Array.Reset rebinds a handle to a different distribution
-// pointer, and a reconfigured restart builds fresh communicators, so
-// stale entries are never reachable again and age out of the bounded LRU.
+// choice for distributions: Array.Reset rebinds a handle to a different
+// distribution pointer, so stale entries are never reachable again and
+// age out of the bounded LRU. Communicator pointers alone are NOT a
+// sound identity across the process lifetime: an in-flight resize
+// (drms §3k) retires a communicator and allocates new ones in the same
+// process, so a dead Comm's address can be recycled by the allocator
+// while a plan keyed on it is still cached. Keys therefore also carry
+// the communicator's (epoch, size): a recycled address lands in a new
+// epoch, misses, and replans — a stale plan is an eviction, never a
+// wrong-peer send.
 
 // xferRun is one maximal stride-1 run of a transfer section, resolved to
 // an element offset in a task's local storage (pack side: the source
@@ -68,17 +75,19 @@ type gatherPlan struct {
 }
 
 type assignKey struct {
-	src, dst *dist.Distribution
-	comm     *msg.Comm
-	es       int
+	src, dst    *dist.Distribution
+	comm        *msg.Comm
+	epoch, size int
+	es          int
 }
 
 type gatherKey struct {
-	d     *dist.Distribution
-	comm  *msg.Comm
-	root  int
-	order rangeset.Order
-	es    int
+	d           *dist.Distribution
+	comm        *msg.Comm
+	epoch, size int
+	root        int
+	order       rangeset.Order
+	es          int
 }
 
 // The caches are package-global and shared by all in-process tasks; keys
@@ -137,7 +146,7 @@ func sectionRuns(sec, mapped rangeset.Slice, order rangeset.Order) []xferRun {
 // assignPlanFor returns the cached plan of Assign(dst <- src) on c for
 // element size es, building and caching it on a miss.
 func assignPlanFor(src, dst *dist.Distribution, c *msg.Comm, es int) *assignPlan {
-	k := assignKey{src: src, dst: dst, comm: c, es: es}
+	k := assignKey{src: src, dst: dst, comm: c, epoch: c.Epoch(), size: c.Size(), es: es}
 	if pl, ok := assignPlans.Get(k); ok {
 		return pl
 	}
@@ -193,7 +202,7 @@ func buildAssignPlan(src, dst *dist.Distribution, rank, size, es int) *assignPla
 // gatherPlanFor returns the cached plan of Gather(root, order) on c for
 // distribution d and element size es.
 func gatherPlanFor(d *dist.Distribution, c *msg.Comm, root int, order rangeset.Order, es int) *gatherPlan {
-	k := gatherKey{d: d, comm: c, root: root, order: order, es: es}
+	k := gatherKey{d: d, comm: c, epoch: c.Epoch(), size: c.Size(), root: root, order: order, es: es}
 	if pl, ok := gatherPlans.Get(k); ok {
 		return pl
 	}

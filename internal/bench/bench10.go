@@ -1,0 +1,389 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"drms/internal/ckpt"
+	"drms/internal/dist"
+	"drms/internal/drms"
+	"drms/internal/pfs"
+	"drms/internal/rangeset"
+	"drms/internal/sim"
+	"drms/internal/stream"
+)
+
+// Bench 10 evaluates the in-flight resize (DESIGN.md §3k): the same
+// block-distributed iterated state is reconfigured between t/2 and t
+// tasks two ways — the in-flight path (checkpoint to the hot memory
+// tier, communicator swap, redistribution through cached plans, same
+// incarnation) and the classic reconfigurable restart (relaunch at the
+// new task count, full restore from the pfs). As in benches 7/9 the
+// headline numbers are the recorded I/O traces replayed through the
+// calibrated 1997 SP model; wall time on the in-memory test file system
+// is reported for transparency. Both timed windows span the whole SOP:
+// the in-flight arm pays its hot-tier checkpoint (replication charged as
+// network), the wait for the next SOP, the swap, and the redistribution;
+// the classic arm pays its pre-reconfigure checkpoint to the pfs, the
+// full restore at the new size, and — in the modeled number, following
+// Table 5's restart accounting — the startup component of the burned
+// incarnation. The classic wall number omits that startup (the in-memory
+// harness relaunch is nearly free), so wall_speedup understates the gap.
+
+// Bench10Opts sizes the workload.
+type Bench10Opts struct {
+	Elems      int // logical length of the iterated array (float64 + int32 table)
+	CkEvery    int // checkpoint period in iterations (bounds the wait for the swap SOP)
+	PieceBytes int
+	Pools      []int // post-grow task counts; each arm alternates tasks/2 <-> tasks
+	Rounds     int   // reconfigures averaged per (pool, mode) cell
+}
+
+// DefaultBench10 is the configuration `drmsbench -bench10` runs.
+func DefaultBench10() Bench10Opts {
+	return Bench10Opts{Elems: 1 << 18, CkEvery: 2,
+		PieceBytes: 32 << 10, Pools: []int{4, 8, 16}, Rounds: 3}
+}
+
+// Bench10Cell is one reconfigure mode's measured cost at one pool size.
+type Bench10Cell struct {
+	Mode          string  `json:"mode"`                 // "inflight" or "classic"
+	MsPerReconfig float64 `json:"ms_per_reconfig"`      // trace replayed through the SP model
+	WallMsPerRec  float64 `json:"wall_ms_per_reconfig"` // in-memory wall time
+	PayloadBytes  int64   `json:"payload_bytes"`        // checkpoint payload read per reconfigure
+	PFSBytes      int64   `json:"pfs_payload_bytes"`    // share of the payload served by the pfs
+	Restarts      int     `json:"process_restarts"`     // incarnations burned per cell
+	StartupMs     float64 `json:"restart_startup_ms"`   // modeled startup charged per restart (Table 5's "other")
+}
+
+// Bench10Pool is the in-flight-vs-classic comparison at one pool size.
+type Bench10Pool struct {
+	From        int         `json:"from_tasks"`
+	Tasks       int         `json:"tasks"`
+	InFlight    Bench10Cell `json:"inflight"`
+	Classic     Bench10Cell `json:"classic"`
+	Speedup     float64     `json:"speedup"`      // modeled classic/inflight
+	WallSpeedup float64     `json:"wall_speedup"` // wall classic/inflight
+}
+
+// Bench10Result is the comparison emitted as BENCH_10.json.
+type Bench10Result struct {
+	Workload       string        `json:"workload"`
+	LogicalBytes   int64         `json:"logical_state_bytes"`
+	Pools          []Bench10Pool `json:"pools"`
+	MinSpeedup     float64       `json:"min_speedup"`      // worst modeled speedup across pools
+	MinWallSpeedup float64       `json:"min_wall_speedup"` // worst wall speedup across pools
+}
+
+// elasticBody is the in-flight arm's application: a free-running
+// element-wise update with a mandatory checkpoint every CkEvery
+// iterations. Resizes are system-initiated (Handle.Resize) and land at
+// those SOPs; the body re-enters its prologue after each swap and the
+// first SOP of the new epoch redistributes. The run ends through the
+// SOP-collective stop verdict, so every rank exits at the same SOP.
+func (o Bench10Opts) elasticBody() func(*drms.Task) error {
+	return func(t *drms.Task) error {
+		g := rangeset.NewSlice(rangeset.Span(0, o.Elems-1))
+		d, err := dist.Block(g, []int{t.Tasks()})
+		if err != nil {
+			return err
+		}
+		u, err := drms.NewArray[float64](t, "u", d)
+		if err != nil {
+			return err
+		}
+		tab, err := drms.NewArray[int32](t, "tab", d)
+		if err != nil {
+			return err
+		}
+		iter := 0
+		t.Register("iter", &iter)
+		u.Fill(func(c []int) float64 { return float64(c[0]) * 0.001 })
+		tab.Fill(func(c []int) int32 { return int32(c[0]) })
+
+		for {
+			if iter%o.CkEvery == 0 {
+				if _, _, err := t.ReconfigCheckpoint("bench10"); err != nil {
+					return err
+				}
+				if t.StopRequested() {
+					return nil
+				}
+			}
+			u.Assigned().Each(rangeset.ColMajor, func(c []int) {
+				u.Set(c, u.At(c)*0.75+float64(c[0])*0.01)
+			})
+			iter++
+			if err := t.Comm().Barrier(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// classicBody is one classic-arm incarnation: declare the state, run the
+// first SOP (the seed write, or — relaunched with RestartFrom — the
+// reconfigure's restore), park at the round gate, and on the reconfigure
+// decision write the pre-reconfigure checkpoint and exit so the next
+// incarnation can relaunch at the new task count.
+func (o Bench10Opts) classicBody(restarted bool, myRound int64, round, arrived *atomic.Int64) func(*drms.Task) error {
+	return func(t *drms.Task) error {
+		g := rangeset.NewSlice(rangeset.Span(0, o.Elems-1))
+		d, err := dist.Block(g, []int{t.Tasks()})
+		if err != nil {
+			return err
+		}
+		u, err := drms.NewArray[float64](t, "u", d)
+		if err != nil {
+			return err
+		}
+		tab, err := drms.NewArray[int32](t, "tab", d)
+		if err != nil {
+			return err
+		}
+		iter := 0
+		t.Register("iter", &iter)
+		u.Fill(func(c []int) float64 { return float64(c[0]) * 0.001 })
+		tab.Fill(func(c []int) int32 { return int32(c[0]) })
+		status, _, err := t.ReconfigCheckpoint("bench10c")
+		if err != nil {
+			return err
+		}
+		if restarted && status != drms.Restored {
+			return fmt.Errorf("bench10: restore SOP returned %v, want restored", status)
+		}
+		arrived.Add(1)
+		for {
+			open := 0.0
+			if round.Load() >= myRound {
+				open = 1
+			}
+			agree, err := t.Comm().AllreduceF64(open, math.Min)
+			if err != nil {
+				return err
+			}
+			if agree == 1 {
+				break
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		if _, _, err := t.ReconfigCheckpoint("bench10c"); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// measureInFlight starts one elastic run on the hot memory tier and
+// times Rounds system-initiated resizes alternating tasks/2 <-> tasks.
+// The trace starts after the first generation commits (the only one the
+// tier writes through to the pfs), so the modeled cost holds what a
+// steady-state resize pays: metadata traffic, no payload.
+func (o Bench10Opts) measureInFlight(p Platform, fs *pfs.System, tasks int) (Bench10Cell, error) {
+	// DemoteEvery pins the run in the diskless steady state: only the
+	// first generation writes through to the pfs; every later one —
+	// including the resize generations — lives in peer memory.
+	tier := ckpt.NewMemTier()
+	h, err := drms.Start(drms.Config{Tasks: tasks / 2, FS: fs, Tier: tier,
+		Replicas: 1, Keep: 2, DemoteEvery: 1 << 20,
+		Stream: stream.Options{PieceBytes: o.PieceBytes}},
+		o.elasticBody())
+	if err != nil {
+		return Bench10Cell{}, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, ok := h.CommittedGen(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return Bench10Cell{}, fmt.Errorf("bench10: no committed generation")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	c := Bench10Cell{Mode: "inflight"}
+	tr := fs.StartTrace()
+	var wall time.Duration
+	cur := tasks / 2
+	for i := 0; i < o.Rounds; i++ {
+		target := tasks
+		if cur == tasks {
+			target = tasks / 2
+		}
+		start := time.Now()
+		stats, err := h.Resize(drms.ResizeSpec{Tasks: target})
+		if err != nil {
+			return Bench10Cell{}, err
+		}
+		wall += time.Since(start)
+		c.PayloadBytes += stats.TierMemBytes + stats.TierPFSBytes
+		c.PFSBytes += stats.TierPFSBytes
+		cur = target
+	}
+	fs.StopTrace()
+	h.RequestStop()
+	if err := h.Wait(); err != nil {
+		return Bench10Cell{}, err
+	}
+
+	res, err := p.Model.Replay(tr, p.FSCfg, sim.SPCluster(p.Nodes, tasks), o.resident(tasks))
+	if err != nil {
+		return Bench10Cell{}, err
+	}
+	c.MsPerReconfig = res.Total() * 1000 / float64(o.Rounds)
+	c.WallMsPerRec = float64(wall) / float64(o.Rounds) / float64(time.Millisecond)
+	c.PayloadBytes /= int64(o.Rounds)
+	c.PFSBytes /= int64(o.Rounds)
+	return c, nil
+}
+
+// measureClassic times the classic reconfigure SOP — pre-reconfigure
+// checkpoint to the pfs, stop, relaunch at the alternated task count,
+// full restore — against persistent gated incarnations. The trace of a
+// round holds exactly the final checkpoint write and the relaunch's
+// restore; the modeled cost additionally charges the paper's restart
+// startup component (sim.Model.StartupSeconds, as in Table 5) once per
+// burned incarnation.
+func (o Bench10Opts) measureClassic(p Platform, fs *pfs.System, tasks int) (Bench10Cell, error) {
+	var round, arrived atomic.Int64
+	cfg := func(n int, restart bool) drms.Config {
+		c := drms.Config{Tasks: n, FS: fs, Keep: 2,
+			Stream: stream.Options{PieceBytes: o.PieceBytes}}
+		if restart {
+			c.RestartFrom = "bench10c"
+		}
+		return c
+	}
+	waitArrived := func(n int) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for arrived.Load() < int64(n) {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench10: classic incarnation never parked at its gate")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		return nil
+	}
+	cur := tasks / 2
+	h, err := drms.Start(cfg(cur, false), o.classicBody(false, 1, &round, &arrived))
+	if err != nil {
+		return Bench10Cell{}, err
+	}
+	if err := waitArrived(cur); err != nil {
+		return Bench10Cell{}, err
+	}
+
+	c := Bench10Cell{Mode: "classic", PayloadBytes: o.logicalBytes(),
+		PFSBytes: o.logicalBytes(), Restarts: o.Rounds}
+	tr := fs.StartTrace()
+	var wall time.Duration
+	for i := 1; i <= o.Rounds; i++ {
+		target := tasks
+		if cur == tasks {
+			target = tasks / 2
+		}
+		start := time.Now()
+		round.Store(int64(i)) // old incarnation: final checkpoint, exit
+		if err := h.Wait(); err != nil {
+			return Bench10Cell{}, err
+		}
+		arrived.Store(0)
+		h, err = drms.Start(cfg(target, true), o.classicBody(true, int64(i+1), &round, &arrived))
+		if err != nil {
+			return Bench10Cell{}, err
+		}
+		if err := waitArrived(target); err != nil {
+			return Bench10Cell{}, err
+		}
+		wall += time.Since(start)
+		cur = target
+	}
+	fs.StopTrace()
+	round.Store(int64(o.Rounds + 1)) // release the last incarnation
+	if err := h.Wait(); err != nil {
+		return Bench10Cell{}, err
+	}
+
+	res, err := p.Model.Replay(tr, p.FSCfg, sim.SPCluster(p.Nodes, tasks), o.resident(tasks))
+	if err != nil {
+		return Bench10Cell{}, err
+	}
+	c.StartupMs = p.Model.StartupSeconds * 1000
+	c.MsPerReconfig = res.Total()*1000/float64(o.Rounds) + c.StartupMs
+	c.WallMsPerRec = float64(wall) / float64(o.Rounds) / float64(time.Millisecond)
+	return c, nil
+}
+
+func (o Bench10Opts) logicalBytes() int64 { return int64(o.Elems) * (8 + 4) }
+
+func (o Bench10Opts) resident(tasks int) []int64 {
+	r := make([]int64, tasks)
+	for i := range r {
+		r[i] = o.logicalBytes() / int64(tasks)
+	}
+	return r
+}
+
+// MeasureBench10 runs the full comparison: per pool size, one elastic
+// run timing its in-flight resizes, then the classic relaunch-and-
+// restore reconfigure over the same alternation on a fresh file system.
+func MeasureBench10(o Bench10Opts) (Bench10Result, error) {
+	p := SPPlatform()
+	r := Bench10Result{
+		Workload: fmt.Sprintf(
+			"in-flight resize vs classic reconfigurable restart, alternating t/2 <-> t: %d x float64 + %d x int32, checkpoints every %d iterations, %dKiB pieces, hot tier on the in-flight arm",
+			o.Elems, o.Elems, o.CkEvery, o.PieceBytes>>10),
+		LogicalBytes:   o.logicalBytes(),
+		MinSpeedup:     math.Inf(1),
+		MinWallSpeedup: math.Inf(1),
+	}
+	for _, tasks := range o.Pools {
+		inflight, err := o.measureInFlight(p, pfs.NewSystem(p.FSCfg), tasks)
+		if err != nil {
+			return Bench10Result{}, err
+		}
+		classic, err := o.measureClassic(p, pfs.NewSystem(p.FSCfg), tasks)
+		if err != nil {
+			return Bench10Result{}, err
+		}
+		pool := Bench10Pool{From: tasks / 2, Tasks: tasks, InFlight: inflight, Classic: classic}
+		pool.Speedup = classic.MsPerReconfig / math.Max(inflight.MsPerReconfig, 1e-3)
+		if inflight.WallMsPerRec > 0 {
+			pool.WallSpeedup = classic.WallMsPerRec / inflight.WallMsPerRec
+		}
+		r.Pools = append(r.Pools, pool)
+		if pool.Speedup < r.MinSpeedup {
+			r.MinSpeedup = pool.Speedup
+		}
+		if pool.WallSpeedup < r.MinWallSpeedup {
+			r.MinWallSpeedup = pool.WallSpeedup
+		}
+	}
+	return r, nil
+}
+
+// Bench10JSON renders the result as the BENCH_10.json artifact.
+func Bench10JSON(r Bench10Result) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RenderBench10 formats the comparison for the terminal.
+func RenderBench10(r Bench10Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bench 10: in-flight resize vs classic reconfigure TTR\n%s\n", r.Workload)
+	fmt.Fprintf(&b, "%-9s %16s %16s %10s %12s %12s %9s\n",
+		"tasks", "resize ms(SP)", "classic ms(SP)", "speedup", "rsz wall ms", "cls wall ms", "wall x")
+	for _, pl := range r.Pools {
+		fmt.Fprintf(&b, "%3d<->%-3d %16.3f %16.1f %9.1fx %12.3f %12.3f %8.1fx\n",
+			pl.From, pl.Tasks, pl.InFlight.MsPerReconfig, pl.Classic.MsPerReconfig,
+			pl.Speedup, pl.InFlight.WallMsPerRec, pl.Classic.WallMsPerRec, pl.WallSpeedup)
+	}
+	fmt.Fprintf(&b, "min modeled speedup: %.1fx   min wall speedup: %.1fx\n",
+		r.MinSpeedup, r.MinWallSpeedup)
+	return b.String()
+}

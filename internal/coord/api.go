@@ -3,6 +3,9 @@ package coord
 import (
 	"errors"
 	"fmt"
+	"time"
+
+	"drms/internal/drms"
 )
 
 // The versioned control-plane API. Every application carries a
@@ -104,6 +107,112 @@ func (rc *RC) StopApp(h AppHandle) (AppHandle, error) {
 	rc.dirtyLocked()
 	nh := AppHandle{App: h.App, Version: app.version}
 	rc.mu.Unlock()
+	return nh, nil
+}
+
+// ResizeApp changes a running application's task count in flight
+// (DESIGN.md §3k), under handle validation: the pool delta is claimed
+// from (grow) or released to (shrink) the free processors, and the
+// application checkpoints to the hot tier, swaps to a communicator of
+// the new size, and redistributes — same incarnation, no process
+// restart, no recovery-budget burn. Blocks until the application's next
+// checkpointing SOP carries the swap. On failure nothing changed: the
+// claimed processors are returned and the caller may fall back to the
+// classic checkpoint/stop/relaunch reconfigure (JSA.Reconfigure).
+func (rc *RC) ResizeApp(h AppHandle, tasks int) (AppHandle, error) {
+	rc.mu.Lock()
+	app, err := rc.checkHandleLocked(h)
+	if err != nil {
+		rc.mu.Unlock()
+		return h, err
+	}
+	if app.status != StatusRunning {
+		rc.mu.Unlock()
+		return h, fmt.Errorf("coord: %q is %s: %w", h.App, app.status, ErrNotRunning)
+	}
+	if app.spec.SPMD {
+		rc.mu.Unlock()
+		return h, fmt.Errorf("coord: %q is SPMD; in-flight resize requires the DRMS scheme", h.App)
+	}
+	if tasks < 1 {
+		rc.mu.Unlock()
+		return h, fmt.Errorf("coord: resize of %q to %d tasks", h.App, tasks)
+	}
+	before := app.tasks
+	if tasks == before {
+		rc.mu.Unlock()
+		return h, fmt.Errorf("coord: %q already runs %d tasks", h.App, tasks)
+	}
+	handle := app.handle
+	holders := append([]int(nil), app.nodes...)
+	var claimed, released []int
+	if tasks > before {
+		free := rc.availableLocked()
+		if len(free) < tasks-before {
+			rc.mu.Unlock()
+			return h, fmt.Errorf("coord: growing %q to %d tasks needs %d more processors, %d free",
+				h.App, tasks, tasks-before, len(free))
+		}
+		claimed = free[:tasks-before]
+		for _, n := range claimed {
+			rc.busy[n] = h.App // provisional: a concurrent launch cannot take them
+		}
+		holders = append(holders, claimed...)
+	} else {
+		released = append([]int(nil), holders[tasks:]...)
+		holders = holders[:tasks]
+	}
+	rc.mu.Unlock()
+
+	start := time.Now()
+	stats, rerr := handle.Resize(drms.ResizeSpec{Tasks: tasks, Holders: holders})
+
+	rc.mu.Lock()
+	// The incarnation may have failed while we waited: its watcher owns
+	// the bookkeeping of app.nodes then, and only our provisional claims
+	// need undoing.
+	if rerr == nil && (app.handle != handle || app.status != StatusRunning) {
+		rerr = fmt.Errorf("coord: application %q failed during resize", h.App)
+	}
+	if rerr != nil {
+		for _, n := range claimed {
+			if rc.busy[n] == h.App {
+				delete(rc.busy, n)
+			}
+		}
+		rc.mu.Unlock()
+		coordResizeFallbacks.Inc()
+		if len(claimed) > 0 {
+			rc.changed()
+		}
+		return h, fmt.Errorf("coord: in-flight resize of %q: %w", h.App, rerr)
+	}
+	ttr := time.Since(start)
+	app.nodes = holders
+	app.tasks = tasks
+	app.tasksCell.Store(int64(tasks))
+	for _, n := range released {
+		if rc.busy[n] == h.App {
+			delete(rc.busy, n)
+		}
+	}
+	app.version++
+	rc.dirtyLocked()
+	rc.statsLocked()
+	nh := AppHandle{App: h.App, Version: app.version}
+	rc.mu.Unlock()
+
+	rc.flushState()
+	coordResizes.Inc()
+	coordResizeSeconds.Observe(ttr.Seconds())
+	coordLastResizeTTR.Set(ttr.Seconds())
+	rc.emit(Event{Kind: EventAppResized, App: h.App,
+		FromTasks: before, Tasks: tasks, TTR: ttr,
+		Detail: fmt.Sprintf("resized in flight from %d to %d tasks via %s (no restart): %s from peer memory, %s from pfs",
+			before, tasks, stats.Gen, fmtBytes(stats.TierMemBytes), fmtBytes(stats.TierPFSBytes))})
+	if len(released) > 0 {
+		rc.changed() // freed processors: let the scheduler dispatch
+	}
 	return nh, nil
 }
 

@@ -52,6 +52,12 @@ type Request struct {
 	// TimeoutMS bounds a blocking op ("wait"): how long the server may
 	// park before replying with the still-running state.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// ScaleMin / ScaleMax, when ScaleMax > 0, put a submitted job under
+	// the daemon's autoscaler (drmsd -autoscale): the job's task count
+	// elastically follows pool pressure between the two bounds through
+	// in-flight resizes.
+	ScaleMin int `json:"scale_min,omitempty"`
+	ScaleMax int `json:"scale_max,omitempty"`
 	// Version carries the caller's observed state version into a mutating
 	// op ("checkpoint", "stop"): the server rejects the op if the
 	// application's state has advanced past it (see api.go). 0 means
@@ -277,6 +283,9 @@ func (s *ControlServer) handleOp(req Request) Response {
 		case req.Recover:
 			spec.Recovery = &RecoveryPolicy{}
 		}
+		if req.ScaleMax > 0 {
+			spec.Scale = &ScalePolicy{Min: req.ScaleMin, Max: req.ScaleMax}
+		}
 		// Quota enforcement lives inside the JSA's submit path, atomic with
 		// the enqueue — two concurrent submits for one tenant serialize
 		// there instead of both passing a pre-check.
@@ -321,6 +330,19 @@ func (s *ControlServer) handleOp(req Request) Response {
 			return fail(err)
 		}
 		return Response{OK: true}
+
+	case "resize":
+		// In-flight resize: the application changes task count at its next
+		// SOP without stopping — the elastic alternative to "reconfigure".
+		h, err := s.openFor(req)
+		if err != nil {
+			return fail(err)
+		}
+		nh, err := s.RC.ResizeApp(h, req.Tasks)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Version: nh.Version}
 
 	case "failnode":
 		if s.FailNode == nil {
@@ -477,12 +499,21 @@ func (c *ControlClient) WaitStatusCtx(ctx context.Context, name string) (AppStat
 		if resp.App == nil {
 			return "", fmt.Errorf("coord: wait reply carries no application state")
 		}
-		if resp.App.Status != StatusRunning {
+		switch resp.App.Status {
+		case StatusRunning, StatusRecovering:
+			// Not settled. A supervised application observed mid-recovery —
+			// or mid-resize, which never leaves the running state — is a
+			// transition, not a terminal verdict: re-park until the settle
+			// channel actually closes or the deadline passes. (A bounded
+			// server-side wait replies with whatever state it saw at its
+			// timeout, so "recovering" can surface here without the
+			// application being anywhere near settled.)
+		default:
 			return resp.App.Status, nil
 		}
 		if bounded && time.Until(deadline) <= 0 {
-			return StatusRunning, fmt.Errorf("coord: %q still running after %v",
-				name, time.Since(start).Round(time.Millisecond))
+			return resp.App.Status, fmt.Errorf("coord: %q still %s after %v",
+				name, resp.App.Status, time.Since(start).Round(time.Millisecond))
 		}
 		if err := ctx.Err(); err != nil {
 			return "", err

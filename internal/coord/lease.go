@@ -221,7 +221,7 @@ func RecoverRC(fs *pfs.System, opt RCOptions, rem *Remnant) (*RC, *RecoveryRepor
 	rc.start()
 	for _, name := range report.Readopted {
 		app := rc.apps[name]
-		registerRestoreSourceGauge(name, app)
+		registerAppGauges(name, app)
 		gen := -1
 		if g, ok := app.handle.CommittedGen(); ok {
 			gen = g
@@ -232,7 +232,7 @@ func RecoverRC(fs *pfs.System, opt RCOptions, rem *Remnant) (*RC, *RecoveryRepor
 		go rc.watchApp(app)
 	}
 	for i, app := range resume {
-		registerRestoreSourceGauge(app.spec.Name, app)
+		registerAppGauges(app.spec.Name, app)
 		go rc.resumeRecovery(app, resumeCause[i])
 	}
 	rc.flushState()
@@ -292,6 +292,7 @@ func appFromRecord(rec appRecord, catalog func(string) (AppSpec, bool)) *appStat
 	if rec.FirstCause != "" {
 		app.firstCause = fmt.Errorf("%s", rec.FirstCause)
 	}
+	app.tasksCell.Store(int64(rec.Tasks))
 	return app
 }
 
@@ -304,6 +305,7 @@ func (rc *RC) adoptLocked(name string, app *appState, sv *survivor) {
 	app.hcell.Store(sv.handle)
 	app.nodes = append([]int(nil), sv.nodes...)
 	app.tasks = sv.tasks
+	app.tasksCell.Store(int64(sv.tasks))
 	app.unwound = make(chan struct{})
 	app.version++
 	rc.apps[name] = app

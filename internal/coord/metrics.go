@@ -59,7 +59,40 @@ var (
 		"Application submissions rejected by per-tenant admission quotas.")
 	coordEpochRejections = obs.GetCounter("drms_coord_epoch_rejections_total",
 		"TC hellos rejected by lease-epoch reconciliation (epoch below a live same-node registration's).")
+	coordResizes = obs.GetCounter("drms_coord_resizes_total",
+		"In-flight resizes completed (task count changed within one incarnation, no restart).")
+	coordResizeFallbacks = obs.GetCounter("drms_coord_resize_fallbacks_total",
+		"In-flight resize attempts that failed; callers fall back to checkpoint/stop/relaunch.")
+	coordResizeSeconds = obs.GetHistogram("drms_coord_resize_seconds",
+		"Request-to-redistributed latency of in-flight resizes.", obs.LatencyBuckets)
+	coordLastResizeTTR = obs.GetGauge("drms_coord_last_resize_ttr_seconds",
+		"Latency of the most recent in-flight resize.")
+	coordScaleDecisions = obs.GetCounter("drms_coord_scale_decisions_total",
+		"Autoscaler policy decisions that initiated a resize.")
+	coordScaleDenied = obs.GetCounter("drms_coord_scale_denied_total",
+		"Autoscaler grow decisions denied by the fleet-wide processor budget.")
 )
+
+// registerAppGauges registers the per-application gauges at launch,
+// readoption, and recovery resume. Both read lock-free cells on the
+// appState, never rc.mu, so a metrics scrape cannot contend with the
+// control plane — and both follow in-flight resizes, which mutate the
+// cells without any relaunch-time re-registration (no incarnation bump).
+func registerAppGauges(name string, app *appState) {
+	registerRestoreSourceGauge(name, app)
+	registerAppTasksGauge(name, app)
+}
+
+// registerAppTasksGauge exposes, per application, the task count of its
+// current communicator epoch. Re-stamped by launch, readoption, AND
+// in-flight resize, so the scraped value reflects the post-resize pool
+// even though the incarnation never changed.
+func registerAppTasksGauge(name string, app *appState) {
+	label := strings.NewReplacer(`"`, ``, `\`, ``, "\n", ``).Replace(name)
+	obs.GaugeFunc(`drms_coord_app_tasks{app="`+label+`"}`,
+		"Task count of the application's current communicator epoch (follows in-flight resizes).",
+		func() float64 { return float64(app.tasksCell.Load()) })
+}
 
 // registerRestoreSourceGauge exposes, per application, which tier served
 // its last restore: -1 before any restore, 0 for the parallel file

@@ -70,6 +70,12 @@ const (
 	// TTR the failure-to-recovery latency, and Detail the restored-byte
 	// accounting by tier.
 	EventAppPartialRecovery EventKind = "app-partial-recovery"
+	// EventAppResized fires when an in-flight resize completes: the
+	// application checkpointed to the hot tier, swapped to a communicator
+	// of the new size, and redistributed — same incarnation, no process
+	// restart. FromTasks/Tasks are the before/after counts, TTR the
+	// request-to-redistributed latency.
+	EventAppResized EventKind = "app-resized"
 )
 
 // Event is a user-visible notification from the RC (the UIC surface).
@@ -83,10 +89,11 @@ type Event struct {
 	Node   int
 	Detail string
 
-	Attempt int           `json:",omitempty"` // restart attempt number (1-based)
-	Tasks   int           `json:",omitempty"` // pool size of the new incarnation
-	Gen     int           `json:",omitempty"` // generation restarted from; -1 = scratch
-	TTR     time.Duration `json:",omitempty"` // failure-to-recovery latency
+	Attempt   int           `json:",omitempty"` // restart attempt number (1-based)
+	Tasks     int           `json:",omitempty"` // pool size of the new incarnation
+	FromTasks int           `json:",omitempty"` // pool size before an in-flight resize
+	Gen       int           `json:",omitempty"` // generation restarted from; -1 = scratch
+	TTR       time.Duration `json:",omitempty"` // failure-to-recovery latency
 }
 
 // RecoveryPolicy makes an application supervised: after a failure kills
@@ -194,6 +201,12 @@ type AppSpec struct {
 	// procedure as a real processor failure — the RC revokes the
 	// communicator and the supervisor restarts the application.
 	FaultNext func(incarnation, tasks int) *msg.FaultSpec
+	// Scale, when non-nil, puts the application under the autoscaler
+	// (scaler.go): a policy loop watches the configured signal and
+	// shrinks or expands the application through in-flight resizes,
+	// under the autoscaler's fleet-wide processor budget. Requires a
+	// non-SPMD application; an Autoscaler must be running on the RC.
+	Scale *ScalePolicy
 }
 
 // AppStatus is the lifecycle state of an application under the RC.
@@ -272,8 +285,12 @@ type appState struct {
 
 	// hcell hands the current incarnation's handle to the per-app
 	// last-restore-source gauge without taking rc.mu on the metrics
-	// render path.
-	hcell atomic.Pointer[drms.Handle]
+	// render path; tasksCell does the same for the per-app task-count
+	// gauge, which must follow in-flight resizes (no incarnation bump
+	// re-registers anything, so the cell is re-stamped at every task-
+	// count mutation).
+	hcell     atomic.Pointer[drms.Handle]
+	tasksCell atomic.Int64
 }
 
 // RC is the resource coordinator: one shard of the control plane. Its
@@ -831,7 +848,7 @@ func (rc *RC) Launch(spec AppSpec, tasks int, restart bool) error {
 	// an injected fault can swap app.nodes before the announce below.
 	launchNodes := append([]int(nil), app.nodes...)
 	rc.mu.Unlock()
-	registerRestoreSourceGauge(spec.Name, app)
+	registerAppGauges(spec.Name, app)
 
 	// Persist before announcing: a coordinator that crashes right after
 	// this launch must know the application exists to re-adopt it.
@@ -911,6 +928,7 @@ func (rc *RC) launchIncarnationLocked(app *appState, nodes []int, restartFrom st
 	app.hcell.Store(h)
 	app.nodes = nodes
 	app.tasks = tasks
+	app.tasksCell.Store(int64(tasks))
 	app.lease = cfg.Lease
 	app.unwound = make(chan struct{})
 	app.version++

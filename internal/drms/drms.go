@@ -201,13 +201,16 @@ type Handle struct {
 	// lease is the control plane's incarnation lease (Config.Lease),
 	// immutable after Start.
 	lease int64
-	// Localized-recovery state: partialOK/partialTimeout are immutable
-	// after Start; partial is the armed recovery attempt and holders the
-	// current rank -> node map, both behind pmu.
+	// Localized-recovery and resize state: partialOK/resizeOK/
+	// partialTimeout are immutable after Start; partial and resize are
+	// the armed attempts and holders the current rank -> node map, all
+	// behind pmu.
 	partialOK      bool
+	resizeOK       bool
 	partialTimeout time.Duration
 	pmu            sync.Mutex
 	partial        *partialState
+	resize         *resizeState
 	holders        []int
 }
 
@@ -301,8 +304,11 @@ type Task struct {
 	// partialPending marks the first SOP of a replacement epoch: the
 	// rollback collective of a localized recovery runs there. snap is the
 	// task's park snapshot (nil for a replacement task, which restores
-	// from the checkpoint instead).
+	// from the checkpoint instead). resizePending marks the first SOP of
+	// a resize epoch instead: the full redistribution of the resize
+	// generation runs there.
 	partialPending bool
+	resizePending  bool
 	snap           *parkSnapshot
 	// rots caches one rotation view per checkpoint prefix, so repeated
 	// SOPs don't re-list the checkpoint directory every time. Only rank
@@ -312,6 +318,16 @@ type Task struct {
 	// since the last write-through — rank 0's state behind the
 	// DemoteEvery rotation decision.
 	memRun map[string]int
+	// sawSOP / stopSOP implement collective stop delivery: every SOP
+	// agrees (through rank 0's header broadcast, the enabling SOP's
+	// reduction, or an explicit agreement on the restore paths) whether
+	// the system's stop request is visible to this epoch, and the verdict
+	// is latched here. StopRequested returns the latched verdict once an
+	// SOP has run, so a stop landing between two ranks' polls cannot
+	// split the communicator — some tasks exiting while the rest block
+	// in the next collective.
+	sawSOP  bool
+	stopSOP bool
 	// LastMeta holds the metadata of the checkpoint most recently taken
 	// or restored by this task.
 	LastMeta ckpt.Meta
@@ -338,8 +354,42 @@ func (t *Task) Segment() *seg.Segment { return t.sg }
 func (t *Task) Register(name string, ptr any) { t.sg.Register(name, ptr) }
 
 // StopRequested reports whether the system asked the application to exit
-// at its next SOP.
-func (t *Task) StopRequested() bool { return t.handle.stopReq.Load() }
+// at its next SOP. The verdict is collective: once this task has passed
+// an SOP, the value is the one agreed there by all tasks, so every rank
+// observes the stop at the same SOP and the application exits together
+// (a raw per-rank read of the flag could split the communicator — the
+// ranks that saw the store exiting while the rest block in the next
+// collective). Before the first SOP the raw flag is returned.
+func (t *Task) StopRequested() bool {
+	if t.sawSOP {
+		return t.stopSOP
+	}
+	return t.handle.stopReq.Load()
+}
+
+// latchStop records an SOP's collectively-agreed stop verdict. The flag
+// is monotone, so a latched true sticks across later SOPs.
+func (t *Task) latchStop(stop bool) {
+	t.sawSOP = true
+	t.stopSOP = t.stopSOP || stop
+}
+
+// agreeStop collectively latches the stop request on SOP paths that have
+// no header broadcast to ride (the restore paths, the in-place
+// incremental refresh): rank 0 samples the flag and the reduction
+// delivers one verdict to every task.
+func (t *Task) agreeStop() error {
+	var stop float64
+	if t.Rank() == 0 && t.handle.stopReq.Load() {
+		stop = 1
+	}
+	agreed, err := t.comm.AllreduceF64(stop, msg.Max)
+	if err != nil {
+		return err
+	}
+	t.latchStop(agreed != 0)
+	return nil
+}
 
 // NewArray declares a distributed array in the application's global data
 // set and registers it with the run-time system for checkpoint/restart
@@ -376,6 +426,9 @@ func (t *Task) ReconfigCheckpoint(prefix string) (Status, int, error) {
 	if t.partialPending {
 		return t.partialRestore()
 	}
+	if t.resizePending {
+		return t.resizeRestore()
+	}
 	if err := t.write(prefix); err != nil {
 		return Failed, 0, err
 	}
@@ -394,15 +447,32 @@ func (t *Task) ReconfigChkEnable(prefix string) (Status, int, error) {
 	if t.partialPending {
 		return t.partialRestore()
 	}
-	var armed float64
-	if t.Rank() == 0 && t.handle.enable.Swap(false) {
-		armed = 1
+	if t.resizePending {
+		return t.resizeRestore()
 	}
-	agreed, err := t.comm.AllreduceF64(armed, msg.Max)
+	// Rank 0's decision word carries two agreed bits: bit 0 arms the
+	// checkpoint, bit 1 delivers the system's stop request collectively
+	// (even when no checkpoint is taken, the SOP must latch one stop
+	// verdict for every task).
+	var word float64
+	if t.Rank() == 0 {
+		if t.handle.enable.Swap(false) {
+			word = 1
+		} else if rs := t.handle.armedResize(); rs != nil && !rs.finished() {
+			// A pending system-initiated resize forces the checkpoint:
+			// the swap can only ride a committed generation.
+			word = 1
+		}
+		if t.handle.stopReq.Load() {
+			word += 2
+		}
+	}
+	agreed, err := t.comm.AllreduceF64(word, msg.Max)
 	if err != nil {
 		return Failed, 0, err
 	}
-	if agreed == 0 {
+	if int(agreed)&1 == 0 {
+		t.latchStop(agreed >= 2)
 		return Continued, 0, nil
 	}
 	if err := t.write(prefix); err != nil {
@@ -422,6 +492,9 @@ func (t *Task) IncrementalCheckpoint(prefix string) (Status, int, error) {
 	}
 	if t.partialPending {
 		return t.partialRestore()
+	}
+	if t.resizePending {
+		return t.resizeRestore()
 	}
 	if t.cfg.SPMDMode {
 		return Failed, 0, fmt.Errorf("drms: incremental checkpointing requires the DRMS scheme")
@@ -451,6 +524,9 @@ func (t *Task) IncrementalCheckpoint(prefix string) (Status, int, error) {
 	}
 	if t.Rank() == 0 {
 		rtsCheckpoints.Inc()
+	}
+	if err := t.agreeStop(); err != nil {
+		return Failed, 0, err
 	}
 	return Continued, 0, nil
 }
@@ -488,10 +564,12 @@ func (t *Task) rotation(prefix string) *ckpt.RotationView {
 // genHeader is rank 0's per-checkpoint decision, broadcast so all tasks
 // write the same generation the same way.
 type genHeader struct {
-	Gen   string // the fresh generation prefix
-	Prev  string // chain predecessor ("" = none)
-	Delta bool   // write a delta against Prev instead of a full anchor
-	Mem   bool   // diskless generation: payloads go to peer memory only
+	Gen    string // the fresh generation prefix
+	Prev   string // chain predecessor ("" = none)
+	Delta  bool   // write a delta against Prev instead of a full anchor
+	Mem    bool   // diskless generation: payloads go to peer memory only
+	Stop   bool   // the system's stop request, delivered collectively at this SOP
+	Resize int    // != 0: a resize generation — swap to this task count after commit
 }
 
 func (t *Task) writeGen(prefix string) error {
@@ -532,6 +610,24 @@ func (t *Task) writeGen(prefix string) error {
 			t.memRun[prefix]+1 < t.cfg.DemoteEvery {
 			hdr.Mem = true
 		}
+		// An armed resize rides this generation: commit it, then swap the
+		// communicator epoch to the new task count. The hot path prefers
+		// peer memory outright — no pfs round trip for a generation whose
+		// purpose is an in-memory relayout — but the first generation of a
+		// prefix still writes through (a durable fallback must exist
+		// before anything lives only in volatile peer memory).
+		if rs := t.handle.armedResize(); rs != nil && !rs.finished() {
+			switch {
+			case rs.target == t.Tasks():
+				rs.complete(ResizeStats{From: t.Tasks(), To: t.Tasks()}, nil)
+			case t.handle.resizeOK && rs.target >= 1:
+				hdr.Resize = rs.target
+				if t.cfg.Tier != nil && hdr.Prev != "" {
+					hdr.Mem = true
+				}
+			}
+		}
+		hdr.Stop = t.handle.stopReq.Load()
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(hdr); err != nil {
@@ -564,6 +660,7 @@ func (t *Task) writeGen(prefix string) error {
 		view.NoteCommittedMeta(hdr.Gen, st.Meta)
 		view.Prune(t.cfg.FS)
 		rtsCheckpoints.Inc()
+		rtsPoolTasks.Set(float64(t.Tasks()))
 		if t.memRun == nil {
 			t.memRun = map[string]int{}
 		}
@@ -575,6 +672,28 @@ func (t *Task) writeGen(prefix string) error {
 	}
 	t.handle.noteGeneration(hdr.Gen)
 	t.snapshot(hdr.Gen)
+	t.latchStop(hdr.Stop)
+	if hdr.Resize != 0 {
+		// The resize generation is committed (rank 0's return from the
+		// write implies the meta commit — and, for a memory-only
+		// generation, every peer's published replicas — are durable, the
+		// same meta-written-last invariant every checkpoint relies on).
+		// Record it for the resize epoch's restore, install the epoch, and
+		// unwind every task into Park via the errResize sentinel. A task
+		// still in the tail of the write collective when the old transport
+		// is retired observes ErrProcFailed instead; the body loop parks it
+		// all the same, and its write already contributed its durable
+		// bytes.
+		rs := t.handle.noteResizeCommitted(hdr.Gen, hdr.Resize)
+		if t.Rank() == 0 {
+			if _, err := t.handle.runner.Resize(hdr.Resize); err != nil {
+				ferr := fmt.Errorf("drms: installing the %d-task resize epoch: %w", hdr.Resize, err)
+				rs.complete(ResizeStats{}, ferr)
+				return ferr
+			}
+		}
+		return errResize
+	}
 	return nil
 }
 
@@ -601,6 +720,7 @@ func (t *Task) restore() (Status, int, error) {
 	if t.Rank() == 0 {
 		rtsRestores.Inc()
 		rtsLastReconfigDelta.Set(float64(t.Tasks() - m.Tasks))
+		rtsPoolTasks.Set(float64(t.Tasks()))
 		// The tier byte totals in st are cluster-agreed, so rank 0's
 		// verdict is the collective one.
 		if st.TierMemBytes > 0 && st.TierPFSBytes == 0 {
@@ -608,6 +728,9 @@ func (t *Task) restore() (Status, int, error) {
 		} else {
 			t.handle.restoreSrc.Store(1)
 		}
+	}
+	if err := t.agreeStop(); err != nil {
+		return Failed, 0, err
 	}
 	return Restored, t.Tasks() - m.Tasks, nil
 }
@@ -650,6 +773,7 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 	}
 	h := &Handle{done: make(chan struct{}), runner: runner, lease: cfg.Lease,
 		partialOK:      cfg.Partial && !cfg.SPMDMode,
+		resizeOK:       !cfg.SPMDMode,
 		partialTimeout: cfg.PartialTimeout}
 	if len(cfg.TierHolders) > 0 {
 		h.holders = append([]int(nil), cfg.TierHolders...)
@@ -663,17 +787,21 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 	body := func(c *msg.Comm) error {
 		// Each communicator epoch runs the application from its prologue:
 		// epoch 0 is the launch (with the RestartFrom restore, if any);
-		// every later epoch is a localized recovery's replacement epoch,
-		// entered by survivors re-parking here and by fresh goroutines for
-		// the replaced ranks. The park snapshot is the only state carried
-		// across epochs — a survivor keeps its memory, a replacement has
-		// none.
+		// every later epoch is either a localized recovery's replacement
+		// epoch or an in-flight resize's, entered by survivors re-parking
+		// here and by fresh goroutines for the replaced (or grown) ranks.
+		// The park snapshot is the only state carried across epochs — a
+		// survivor keeps its memory, a replacement has none, and a resize
+		// epoch redistributes from the resize generation instead.
 		var snap *parkSnapshot
 		for {
 			t := &Task{comm: c, cfg: cfg, handle: h, sg: seg.New()}
-			if c.Epoch() == 0 {
+			switch {
+			case c.Epoch() == 0:
 				t.pending = cfg.RestartFrom != ""
-			} else {
+			case runner.ResizedEpoch(c.Epoch()):
+				t.resizePending = true
+			default:
 				t.partialPending = true
 				t.snap = snap
 			}
@@ -682,24 +810,37 @@ func Start(cfg Config, app func(*Task) error) (*Handle, error) {
 			}
 			err := app(t)
 			snap = t.snap
-			if err == nil || !h.partialOK {
-				return err
+			if err == nil {
+				return nil
 			}
-			if errors.Is(err, msg.ErrKilled) {
+			switch {
+			case errors.Is(err, errResize):
+				// The resize SOP committed and the new epoch is (being)
+				// installed: park into it.
+			case errors.Is(err, msg.ErrKilled):
+				if !h.partialOK {
+					return err
+				}
 				// The injected victim's process is dead. Exit quietly: in
 				// the localized-recovery model, the rank's fate — replace
 				// it or restart the run — is the supervisor's call, not an
 				// application error.
 				return nil
-			}
-			if !errors.Is(err, msg.ErrProcFailed) {
+			case errors.Is(err, msg.ErrProcFailed) && runner.Epoch() > c.Epoch():
+				// A replacement epoch exists — a Shrink (localized
+				// recovery) or Resize installed it before retiring this
+				// one — so park into it instead of unwinding. The epoch
+				// check keeps a stray ErrProcFailed with no successor
+				// epoch from blocking in Park forever.
+			default:
 				return err
 			}
 			nc, _, perr := runner.Park(c)
 			if perr != nil {
 				if errors.Is(perr, msg.ErrSuperseded) {
-					// A replacement goroutine owns this rank now; this
-					// one's state is conceptually lost with its node.
+					// A replacement goroutine owns this rank now (or a
+					// shrinking resize retired it); its state is
+					// conceptually lost.
 					return nil
 				}
 				return perr // killed, or the run failed for good

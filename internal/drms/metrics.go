@@ -14,4 +14,10 @@ var (
 		"Localized-recovery rollbacks completed (survivors parked, only lost ranks restored).")
 	rtsLastReconfigDelta = obs.GetGauge("drms_rts_last_reconfig_delta",
 		"Task-count delta of the last restore: current tasks - checkpointing tasks.")
+	rtsResizes = obs.GetCounter("drms_rts_resizes_total",
+		"In-flight resize SOPs completed (task count changed without a restart).")
+	rtsPoolTasks = obs.GetGauge("drms_rts_pool_tasks",
+		"Task count of the most recent SOP commit or restore — re-stamped at "+
+			"every SOP, so it tracks in-flight resizes that change the task "+
+			"count within one incarnation.")
 )

@@ -143,6 +143,10 @@ func (h *Handle) PartialRecover(spec PartialRecoverSpec) (PartialStats, error) {
 		h.pmu.Unlock()
 		return PartialStats{}, fmt.Errorf("drms: a partial recovery is already in flight")
 	}
+	if h.resize != nil && !h.resize.finished() {
+		h.pmu.Unlock()
+		return PartialStats{}, fmt.Errorf("drms: a resize is in flight")
+	}
 	if len(spec.Holders) > 0 {
 		h.holders = append([]int(nil), spec.Holders...)
 		ps.holders = h.holders
@@ -269,6 +273,7 @@ func (t *Task) partialRestore() (Status, int, error) {
 	if t.Rank() == 0 {
 		rtsPartialRestores.Inc()
 		rtsLastReconfigDelta.Set(0)
+		rtsPoolTasks.Set(float64(t.Tasks()))
 		if st.TierMemBytes > 0 && st.TierPFSBytes == 0 {
 			t.handle.restoreSrc.Store(2)
 		} else {
@@ -278,5 +283,8 @@ func (t *Task) partialRestore() (Status, int, error) {
 	// Every rank completes with the same agreed stats; the first wins.
 	ps.complete(PartialStats{Gen: target, Ranks: ranks,
 		TierMemBytes: st.TierMemBytes, TierPFSBytes: st.TierPFSBytes}, nil)
+	if err := t.agreeStop(); err != nil {
+		return Failed, 0, err
+	}
 	return Restored, 0, nil
 }

@@ -1,0 +1,281 @@
+// In-flight resize (DESIGN.md §3k): the paper's t1→t2 reconfigurable
+// restart promoted to a live operation. At a checkpointing SOP the tasks
+// agree (through the same rank-0 header broadcast every checkpoint uses)
+// that this generation is a resize generation: it is written to the hot
+// memory tier when one is configured (no pfs round trip), the runner
+// installs a communicator epoch of the new task count via the shrink/park
+// machinery (growing spawns fresh rank goroutines, shrinking
+// parks-and-supersedes the retired ranks), and every task re-enters the
+// application prologue where the first SOP of the new epoch restores the
+// resize generation under the new distributions — the reconfigurable
+// restart's redistribution, executed through cached plans, with no
+// process restart and no incarnation bump.
+//
+// Fallback conditions are conservative, mirroring localized recovery:
+// the resize generation is a perfectly ordinary committed checkpoint, so
+// any failure after commit (a rank dying mid-swap, a torn tier replica)
+// unwinds the incarnation and the classic restart path restores the same
+// bytes; a failure before commit leaves the previous generation the
+// restart point, exactly like any torn checkpoint.
+package drms
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"drms/internal/ckpt"
+)
+
+// errResize is the sentinel a task returns from the resize SOP after the
+// new communicator epoch is installed: the body loop parks into the new
+// epoch instead of treating it as a failure. Applications propagate it
+// opaquely by returning the SOP's error, as with every other unwind.
+var errResize = errors.New("drms: in-flight resize epoch swap")
+
+// ResizeStats reports what one completed in-flight resize did.
+type ResizeStats struct {
+	// Gen is the resize generation everyone redistributed from.
+	Gen string
+	// From and To are the task counts before and after.
+	From, To int
+	// TierMemBytes / TierPFSBytes are the cluster-wide restored byte
+	// totals by serving tier: a hot-path resize shows TierPFSBytes == 0 —
+	// the state never touched the disk on its way to the new layout.
+	TierMemBytes int64
+	TierPFSBytes int64
+}
+
+// resizeState is one armed resize: written by Handle.Resize (system
+// initiated) or ReconfigResize (application initiated), read by rank 0's
+// checkpoint-header decision and by every task of the resize epoch,
+// completed exactly once.
+type resizeState struct {
+	target  int
+	holders []int
+
+	mu    sync.Mutex
+	gen   string // the committed resize generation, set at the swap SOP
+	fin   bool
+	err   error
+	stats ResizeStats
+	done  chan struct{}
+}
+
+func (rs *resizeState) complete(stats ResizeStats, err error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.fin {
+		return
+	}
+	rs.fin, rs.stats, rs.err = true, stats, err
+	close(rs.done)
+}
+
+func (rs *resizeState) finished() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.fin
+}
+
+func (rs *resizeState) setGen(gen string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.gen == "" {
+		rs.gen = gen
+	}
+}
+
+func (rs *resizeState) genOf() string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.gen
+}
+
+// ResizeSpec describes one system-initiated in-flight resize request.
+type ResizeSpec struct {
+	// Tasks is the new task count.
+	Tasks int
+	// Holders, when non-empty, is the updated rank -> node map for the
+	// new task count, applied to tier lookups of the redistribution and
+	// replica placement of future checkpoints.
+	Holders []int
+	// Timeout bounds the wait for the application to reach a
+	// checkpointing SOP and complete the swap (0 = Config.PartialTimeout,
+	// itself defaulting to 30s).
+	Timeout time.Duration
+}
+
+// Resize asks the application to change its task count in flight: at its
+// next checkpointing SOP the tasks checkpoint (to the memory tier when
+// one is configured), swap to a communicator of the new size, and
+// redistribute — same incarnation, no process restart. Blocks until the
+// swap completes, the application exits, or the timeout passes. On any
+// error the incarnation is NOT killed; the caller decides whether to
+// fall back to the classic checkpoint/stop/relaunch reconfigure.
+func (h *Handle) Resize(spec ResizeSpec) (ResizeStats, error) {
+	if !h.resizeOK {
+		return ResizeStats{}, fmt.Errorf("drms: in-flight resize requires the DRMS scheme (not SPMDMode)")
+	}
+	if spec.Tasks < 1 {
+		return ResizeStats{}, fmt.Errorf("drms: resize to %d tasks", spec.Tasks)
+	}
+	if spec.Tasks == h.runner.Size() {
+		return ResizeStats{}, fmt.Errorf("drms: application already runs %d tasks", spec.Tasks)
+	}
+	timeout := spec.Timeout
+	if timeout <= 0 {
+		timeout = h.partialTimeout
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	rs := &resizeState{target: spec.Tasks, done: make(chan struct{})}
+	h.pmu.Lock()
+	if h.partial != nil && !h.partial.finished() {
+		h.pmu.Unlock()
+		return ResizeStats{}, fmt.Errorf("drms: a partial recovery is in flight")
+	}
+	if h.resize != nil && !h.resize.finished() {
+		h.pmu.Unlock()
+		return ResizeStats{}, fmt.Errorf("drms: a resize is already in flight")
+	}
+	if len(spec.Holders) > 0 {
+		h.holders = append([]int(nil), spec.Holders...)
+		rs.holders = h.holders
+	}
+	h.resize = rs
+	h.pmu.Unlock()
+	select {
+	case <-rs.done:
+		return rs.stats, rs.err
+	case <-h.done:
+		return ResizeStats{}, fmt.Errorf("drms: application exited during resize: %v", h.exitErr)
+	case <-time.After(timeout):
+		err := fmt.Errorf("drms: resize timed out after %v", timeout)
+		// Mark the attempt failed so a late swap cannot retroactively
+		// flip the caller's verdict.
+		rs.complete(ResizeStats{}, err)
+		return ResizeStats{}, err
+	}
+}
+
+func (h *Handle) armedResize() *resizeState {
+	h.pmu.Lock()
+	defer h.pmu.Unlock()
+	return h.resize
+}
+
+// armResizeLocal arms an application-initiated resize if no attempt is
+// already in flight (a pending system-initiated one keeps its target).
+// Called on rank 0 from ReconfigResize, before the header decision.
+func (h *Handle) armResizeLocal(target int) {
+	h.pmu.Lock()
+	defer h.pmu.Unlock()
+	if h.resize != nil && !h.resize.finished() {
+		return
+	}
+	h.resize = &resizeState{target: target, done: make(chan struct{})}
+}
+
+// noteResizeCommitted records, on every task, that the resize generation
+// gen was committed and the swap to target tasks is about to be (or was
+// just) installed. It creates the armed state when the task's handle has
+// none (non-rank-0 tasks of an application-initiated resize learn the
+// decision from the broadcast header). Returns the armed state.
+func (h *Handle) noteResizeCommitted(gen string, target int) *resizeState {
+	h.pmu.Lock()
+	if h.resize == nil || h.resize.finished() {
+		h.resize = &resizeState{target: target, done: make(chan struct{})}
+	}
+	rs := h.resize
+	h.pmu.Unlock()
+	rs.setGen(gen)
+	return rs
+}
+
+// ReconfigResize is the application-initiated resize SOP
+// (drms_reconfig_resize): it behaves like ReconfigCheckpoint — including
+// serving a pending restore or rollback first — but additionally asks
+// the runtime to continue with newTasks tasks. When newTasks differs
+// from the current task count the call does not return Continued: the
+// checkpoint commits, the communicator epoch swaps, and the call's error
+// unwinds the task into the new epoch (return it, exactly like any other
+// SOP error); the application re-runs its prologue and its first SOP in
+// the new epoch returns (Restored, newTasks-oldTasks). Collective: every
+// task must pass the same newTasks.
+func (t *Task) ReconfigResize(prefix string, newTasks int) (Status, int, error) {
+	if t.pending {
+		return t.restore()
+	}
+	if t.partialPending {
+		return t.partialRestore()
+	}
+	if t.resizePending {
+		return t.resizeRestore()
+	}
+	if t.cfg.SPMDMode {
+		return Failed, 0, fmt.Errorf("drms: in-flight resize requires the DRMS scheme")
+	}
+	if newTasks < 1 {
+		return Failed, 0, fmt.Errorf("drms: resize to %d tasks", newTasks)
+	}
+	if t.Rank() == 0 && newTasks != t.Tasks() {
+		t.handle.armResizeLocal(newTasks)
+	}
+	if err := t.write(prefix); err != nil {
+		return Failed, 0, err
+	}
+	return Continued, 0, nil
+}
+
+// resizeRestore is the redistribution at the first SOP of a resize
+// epoch: a full reconfigurable restore of the resize generation under
+// the new task count's distributions. Unlike a localized recovery there
+// is no park-snapshot shortcut — the distributions changed, so every
+// task's assigned sections did too — but the read is served from the
+// memory tier when the resize generation lives there, and the
+// redistribution schedules come from the plan caches.
+func (t *Task) resizeRestore() (Status, int, error) {
+	t.resizePending = false
+	rs := t.handle.armedResize()
+	if rs == nil {
+		return Failed, 0, fmt.Errorf("drms: resize epoch with no armed resize")
+	}
+	target := rs.genOf()
+	if target == "" {
+		return Failed, 0, fmt.Errorf("drms: resize epoch with no committed resize generation")
+	}
+	if hh := t.handle.currentHolders(); hh != nil {
+		t.cfg.TierHolders = hh
+	}
+	m, st, err := ckpt.ReadDRMSOpts(t.cfg.FS, target, t.comm, t.sg, t.arrays,
+		t.cfg.Stream, ckpt.RestoreOptions{Verify: t.cfg.Verify, Tier: t.cfg.Tier,
+			Holders: t.cfg.TierHolders})
+	if err != nil {
+		ferr := fmt.Errorf("drms: resize restore of %q: %w", target, err)
+		rs.complete(ResizeStats{}, ferr)
+		return Failed, 0, ferr
+	}
+	t.LastMeta = m
+	t.handle.noteGeneration(target)
+	t.snapshot(target)
+	if t.Rank() == 0 {
+		rtsResizes.Inc()
+		rtsRestores.Inc()
+		rtsLastReconfigDelta.Set(float64(t.Tasks() - m.Tasks))
+		rtsPoolTasks.Set(float64(t.Tasks()))
+		if st.TierMemBytes > 0 && st.TierPFSBytes == 0 {
+			t.handle.restoreSrc.Store(2)
+		} else {
+			t.handle.restoreSrc.Store(1)
+		}
+	}
+	rs.complete(ResizeStats{Gen: target, From: m.Tasks, To: t.Tasks(),
+		TierMemBytes: st.TierMemBytes, TierPFSBytes: st.TierPFSBytes}, nil)
+	if err := t.agreeStop(); err != nil {
+		return Failed, 0, err
+	}
+	return Restored, t.Tasks() - m.Tasks, nil
+}

@@ -1,0 +1,75 @@
+package drms
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStopDeliveredCollectively pins the SOP-collective stop contract:
+// a stop request landing between two ranks' StopRequested polls must not
+// split the communicator. The test forces the exact interleaving — rank
+// 1 polls before the request is made, rank 0 polls after — that, with a
+// raw per-rank flag read, made rank 0 exit while rank 1 blocked forever
+// in the next Barrier. With the SOP-latched verdict both ranks observe
+// the stop at the same (next) SOP and exit together.
+func TestStopDeliveredCollectively(t *testing.T) {
+	fs := testFS()
+	var rank1Polled, stopStored atomic.Bool
+	var exitIter [2]atomic.Int64
+	h, err := Start(Config{Tasks: 2, FS: fs}, func(t *Task) error {
+		iter := 0
+		t.Register("iter", &iter)
+		for {
+			if iter%2 == 0 {
+				if _, _, err := t.ReconfigCheckpoint("job"); err != nil {
+					return err
+				}
+				if iter == 0 {
+					// Serialize the polls around the stop request: rank 1
+					// before it, rank 0 after it.
+					if t.Rank() == 1 {
+						if t.StopRequested() {
+							return fmt.Errorf("stop visible before it was requested")
+						}
+						rank1Polled.Store(true)
+					} else {
+						for !stopStored.Load() {
+							time.Sleep(time.Millisecond)
+						}
+					}
+				}
+				if t.StopRequested() {
+					exitIter[t.Rank()].Store(int64(iter))
+					return nil
+				}
+			}
+			iter++
+			if iter > 100 {
+				return fmt.Errorf("stop request never observed")
+			}
+			if err := t.Comm().Barrier(); err != nil {
+				return err
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !rank1Polled.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	h.RequestStop()
+	stopStored.Store(true)
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0's poll ran strictly after RequestStop, but its SOP-latched
+	// verdict (agreed at iteration 0, before the request) must say no —
+	// both ranks ride to the next SOP and exit there together.
+	e0, e1 := exitIter[0].Load(), exitIter[1].Load()
+	if e0 != 2 || e1 != 2 {
+		t.Fatalf("ranks exited at iterations %d and %d, want both at 2", e0, e1)
+	}
+}

@@ -31,6 +31,8 @@ var (
 		"Deterministic fault injections fired (FaultTransport kills).")
 	msgShrinks = obs.GetCounter("drms_msg_shrinks_total",
 		"Communicator shrinks installed (replacement epochs, ULFM-style).")
+	msgResizes = obs.GetCounter("drms_msg_resizes_total",
+		"Communicator resize epochs installed (task count changed in flight).")
 )
 
 // observeCollective stamps one primitive collective's latency; used as

@@ -77,8 +77,8 @@ type Comm struct {
 	st         *commState
 	ctx        context.Context // nil: no cancellation
 	// epoch numbers the communicator's incarnation within one Runner:
-	// 0 for the launch communicator, incremented by every Shrink. Comms
-	// derived with WithContext inherit it.
+	// 0 for the launch communicator, incremented by every Shrink or
+	// Resize. Comms derived with WithContext inherit it.
 	epoch int
 }
 
@@ -123,8 +123,9 @@ var errRecvCanceled = errors.New("msg: receive canceled")
 // Rank returns this task's rank in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
 
-// Epoch returns the communicator's shrink epoch: 0 for the launch
-// communicator, one higher per Runner.Shrink that replaced it.
+// Epoch returns the communicator's epoch: 0 for the launch
+// communicator, one higher per Runner.Shrink or Runner.Resize that
+// replaced it.
 func (c *Comm) Epoch() int { return c.epoch }
 
 // Size returns the number of tasks in the application.
@@ -544,25 +545,35 @@ type Runner struct {
 	cond  *sync.Cond // signals epoch changes, task exits, kills
 	cause error      // root cause of an aborted run
 
-	// Shrink/Park state (all guarded by mu). Epoch 0 is the launch
-	// communicator; every Shrink retires the current epoch's transport
-	// and opens a fresh one at seq+1.
+	// Shrink/Park/Resize state (all guarded by mu). Epoch 0 is the
+	// launch communicator; every Shrink or Resize retires the current
+	// epoch's transport and opens a fresh one at seq+1. size is the task
+	// count of the current epoch: it starts at n and changes only through
+	// Resize, so transports of different epochs may have different sizes
+	// (trN records each one's, for shutdown).
 	body   func(*Comm) error // the application body, set by Run
 	seq    int               // current epoch
+	size   int               // current epoch's task count
 	curTr  Transport         // current epoch's transport
 	trs    []Transport       // every transport ever opened (abort on Kill/fail)
+	trN    []int             // task count of each transport in trs
 	tcps   []*TCPTransport   // the TCP ones among trs, for shutdown
-	reborn map[int]int       // rank -> epoch of its newest goroutine (replacements only)
+	reborn map[int]int       // rank -> epoch of its newest goroutine (replacements and retirements)
 	dead   []shrinkRec       // per-epoch replaced-rank records
 	active int               // live task goroutines across all epochs
 	ran    bool              // Run was called
 	fin    bool              // Run returned (no further Shrink allowed)
 }
 
-// shrinkRec records which ranks one Shrink replaced.
+// shrinkRec records one epoch transition: which ranks got fresh
+// goroutines (Shrink's dead ranks, or the ranks a growing Resize added)
+// and whether the transition was a Resize — the runtime dispatches a
+// freshly parked or spawned task to the resize-restore path exactly when
+// its communicator epoch was installed by one.
 type shrinkRec struct {
 	seq      int
 	replaced []int
+	resized  bool
 }
 
 // NewRunner builds a runner for n tasks; tcp selects the socket transport.
@@ -570,7 +581,7 @@ func NewRunner(n int, tcp bool) (*Runner, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("msg: runner of %d tasks", n)
 	}
-	r := &Runner{n: n, useTCP: tcp, reborn: map[int]int{}}
+	r := &Runner{n: n, size: n, useTCP: tcp, reborn: map[int]int{}}
 	r.cond = sync.NewCond(&r.mu)
 	if tcp {
 		tr, err := NewTCPTransport(n)
@@ -584,6 +595,7 @@ func NewRunner(n int, tcp bool) (*Runner, error) {
 	}
 	r.curTr = r.tr
 	r.trs = []Transport{r.tr}
+	r.trN = []int{n}
 	return r, nil
 }
 
@@ -632,6 +644,7 @@ func (r *Runner) shutdown() {
 	r.mu.Lock()
 	r.fin = true
 	trs := append([]Transport(nil), r.trs...)
+	trN := append([]int(nil), r.trN...)
 	tcps := append([]*TCPTransport(nil), r.tcps...)
 	r.mu.Unlock()
 	for _, t := range tcps {
@@ -640,8 +653,8 @@ func (r *Runner) shutdown() {
 	if len(tcps) > 0 {
 		return
 	}
-	for _, tr := range trs {
-		for rank := 0; rank < r.n; rank++ {
+	for i, tr := range trs {
+		for rank := 0; rank < trN[i]; rank++ {
 			tr.Close(rank)
 		}
 	}
@@ -674,8 +687,8 @@ func (r *Runner) Err() error {
 }
 
 // runTask executes the application body for one rank on one epoch's
-// transport and folds its outcome into the run.
-func (r *Runner) runTask(rank, seq int, tr Transport) {
+// transport (of that epoch's size) and folds its outcome into the run.
+func (r *Runner) runTask(rank, seq, size int, tr Transport) {
 	r.spawned.Add(1)
 	defer func() {
 		if p := recover(); p != nil {
@@ -688,7 +701,7 @@ func (r *Runner) runTask(rank, seq int, tr Transport) {
 		}
 		r.mu.Unlock()
 	}()
-	c := NewComm(rank, r.n, tr)
+	c := NewComm(rank, size, tr)
 	c.epoch = seq
 	if err := r.body(c); err != nil {
 		r.fail(fmt.Errorf("task %d: %w", rank, err))
@@ -709,7 +722,7 @@ func (r *Runner) Run(f func(c *Comm) error) error {
 	r.active += r.n
 	r.mu.Unlock()
 	for rank := 0; rank < r.n; rank++ {
-		go r.runTask(rank, seq, tr)
+		go r.runTask(rank, seq, r.n, tr)
 	}
 	r.mu.Lock()
 	for r.active > 0 {

@@ -45,12 +45,14 @@ type ShrinkInfo struct {
 // then-current epoch. Errors when the run has not started, has already
 // finished, or was killed.
 func (r *Runner) Shrink(dead []int) (int, error) {
+	r.mu.Lock()
 	for _, d := range dead {
-		if d < 0 || d >= r.n {
-			return 0, fmt.Errorf("msg: shrink of rank %d in a %d-task run", d, r.n)
+		if d < 0 || d >= r.size {
+			n := r.size
+			r.mu.Unlock()
+			return 0, fmt.Errorf("msg: shrink of rank %d in a %d-task run", d, n)
 		}
 	}
-	r.mu.Lock()
 	if !r.ran || r.body == nil {
 		r.mu.Unlock()
 		return 0, fmt.Errorf("msg: Shrink before Run")
@@ -63,23 +65,18 @@ func (r *Runner) Shrink(dead []int) (int, error) {
 		r.mu.Unlock()
 		return 0, ErrRevoked
 	}
-	var ntr Transport
-	if r.useTCP {
-		t, err := NewTCPTransport(r.n)
-		if err != nil {
-			r.mu.Unlock()
-			return 0, err
-		}
-		ntr = t
-		r.tcps = append(r.tcps, t)
-	} else {
-		ntr = NewLocalTransport(r.n)
+	size := r.size
+	ntr, err := r.openTransportLocked(size)
+	if err != nil {
+		r.mu.Unlock()
+		return 0, err
 	}
 	old := r.curTr
 	r.seq++
 	seq := r.seq
 	r.curTr = ntr
 	r.trs = append(r.trs, ntr)
+	r.trN = append(r.trN, size)
 	rec := shrinkRec{seq: seq, replaced: append([]int(nil), dead...)}
 	sort.Ints(rec.replaced)
 	r.dead = append(r.dead, rec)
@@ -93,18 +90,131 @@ func (r *Runner) Shrink(dead []int) (int, error) {
 	// that unwinds on ErrProcFailed always finds seq already advanced.
 	old.Abort(ErrProcFailed)
 	for _, d := range dead {
-		go r.runTask(d, seq, ntr)
+		go r.runTask(d, seq, size, ntr)
 	}
 	msgShrinks.Inc()
 	return seq, nil
 }
 
-// Park blocks until a shrink newer than c's epoch is installed and
-// returns the caller's communicator in the new epoch, with the info of
-// the transition. It returns ErrSuperseded when the caller's rank was
-// itself declared dead (a replacement goroutine owns the rank now — the
-// caller must exit without touching shared state), and ErrRevoked when
-// the run was killed or failed for good while parked.
+// openTransportLocked builds a fresh transport of the given size for a
+// new epoch. r.mu must be held.
+func (r *Runner) openTransportLocked(size int) (Transport, error) {
+	if r.useTCP {
+		t, err := NewTCPTransport(size)
+		if err != nil {
+			return nil, err
+		}
+		r.tcps = append(r.tcps, t)
+		return t, nil
+	}
+	return NewLocalTransport(size), nil
+}
+
+// Resize installs a communicator epoch with a different task count — the
+// substrate of the in-flight resize SOP (DESIGN.md §3k). Like Shrink it
+// retires the current epoch's transport with ErrProcFailed so every
+// running task unwinds to Park; unlike Shrink no rank is declared dead:
+//
+//   - growing (newN > current): ranks [current, newN) get fresh
+//     goroutines running the same application body; survivors park into
+//     the wider communicator with their rank and memory intact.
+//   - shrinking (newN < current): ranks [newN, current) are retired —
+//     their Park returns ErrSuperseded and they must exit; the remaining
+//     ranks park into the narrower communicator.
+//
+// Returns the new epoch number. The caller is responsible for having
+// made the tasks' state recoverable at newN tasks first (the resize SOP
+// checkpoints before swapping). Errors when the run has not started, has
+// finished, was killed, or newN equals the current size.
+func (r *Runner) Resize(newN int) (int, error) {
+	if newN < 1 {
+		return 0, fmt.Errorf("msg: resize to %d tasks", newN)
+	}
+	r.mu.Lock()
+	if !r.ran || r.body == nil {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("msg: Resize before Run")
+	}
+	if r.fin || r.active == 0 {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("msg: Resize after the run finished")
+	}
+	if r.killed.Load() || r.cause != nil {
+		r.mu.Unlock()
+		return 0, ErrRevoked
+	}
+	cur := r.size
+	if newN == cur {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("msg: resize to the current size %d", newN)
+	}
+	ntr, err := r.openTransportLocked(newN)
+	if err != nil {
+		r.mu.Unlock()
+		return 0, err
+	}
+	old := r.curTr
+	r.seq++
+	seq := r.seq
+	r.size = newN
+	r.curTr = ntr
+	r.trs = append(r.trs, ntr)
+	r.trN = append(r.trN, newN)
+	var grown []int
+	if newN > cur {
+		for d := cur; d < newN; d++ {
+			grown = append(grown, d)
+			r.reborn[d] = seq
+			r.active++
+		}
+	} else {
+		// Retired ranks are superseded exactly like a shrink's dead ranks,
+		// but nothing replaces them: their goroutines exit through Park.
+		for d := newN; d < cur; d++ {
+			r.reborn[d] = seq
+		}
+	}
+	r.dead = append(r.dead, shrinkRec{seq: seq, replaced: grown, resized: true})
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	old.Abort(ErrProcFailed)
+	for _, d := range grown {
+		go r.runTask(d, seq, newN, ntr)
+	}
+	msgResizes.Inc()
+	return seq, nil
+}
+
+// ResizedEpoch reports whether the given epoch was installed by Resize
+// (as opposed to the launch or a Shrink). The record is written before
+// the epoch's transport is published and before any of its goroutines
+// start, so a task may ask about its own communicator's epoch without a
+// race.
+func (r *Runner) ResizedEpoch(epoch int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rec := range r.dead {
+		if rec.seq == epoch {
+			return rec.resized
+		}
+	}
+	return false
+}
+
+// Size returns the task count of the current communicator epoch.
+func (r *Runner) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Park blocks until an epoch newer than c's is installed (by Shrink or
+// Resize) and returns the caller's communicator in the new epoch, with
+// the info of the transition. It returns ErrSuperseded when the caller's
+// rank was itself declared dead or retired by a shrinking Resize (the
+// rank no longer belongs to the caller — it must exit without touching
+// shared state), and ErrRevoked when the run was killed or failed for
+// good while parked.
 func (r *Runner) Park(c *Comm) (*Comm, ShrinkInfo, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -116,7 +226,7 @@ func (r *Runner) Park(c *Comm) (*Comm, ShrinkInfo, error) {
 			return nil, ShrinkInfo{}, ErrSuperseded
 		}
 		if r.seq > c.epoch {
-			nc := NewComm(c.rank, r.n, r.curTr)
+			nc := NewComm(c.rank, r.size, r.curTr)
 			nc.epoch = r.seq
 			return nc, ShrinkInfo{Epoch: r.seq, Replaced: r.replacedSinceLocked(c.epoch)}, nil
 		}

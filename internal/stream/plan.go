@@ -27,8 +27,11 @@ type streamPlan struct {
 	rounds  []*dist.Distribution // rounds[i] binds pieces[i*writers:...]
 }
 
-// streamKey identifies a plan. The communicator pointer scopes entries to
-// one application instance (a reconfigured restart gets fresh plans); the
+// streamKey identifies a plan. The communicator pointer plus its
+// (epoch, size) scope entries to one communicator incarnation: the
+// pointer alone would not survive an in-flight resize, which retires
+// communicators and allocates new ones in the same process — a recycled
+// address must miss and replan, not replay a stale piece schedule. The
 // section and global signatures are the canonical String renderings,
 // which uniquely encode a slice. ioTask is -1 for the parallel path
 // (round pieces land on tasks 0..writers-1) or the designated I/O task of
@@ -38,15 +41,16 @@ type streamPlan struct {
 // whenever the application revisits a working set, so filtered round
 // distributions are worth caching too.
 type streamKey struct {
-	comm       *msg.Comm
-	global     string
-	section    string
-	elemSize   int
-	writers    int
-	pieceBytes int
-	order      rangeset.Order
-	ioTask     int
-	pieces     string
+	comm        *msg.Comm
+	epoch, size int
+	global      string
+	section     string
+	elemSize    int
+	writers     int
+	pieceBytes  int
+	order       rangeset.Order
+	ioTask      int
+	pieces      string
 }
 
 // Streaming plans are few (one per checkpointed array configuration) but
@@ -81,6 +85,8 @@ func planForSeq(comm *msg.Comm, global, x rangeset.Slice, elemSize, ioTask int, 
 func lookupPlan(comm *msg.Comm, global, x rangeset.Slice, elemSize, writers, ioTask int, o Options) (*streamPlan, error) {
 	k := streamKey{
 		comm:       comm,
+		epoch:      comm.Epoch(),
+		size:       comm.Size(),
 		global:     global.String(),
 		section:    x.String(),
 		elemSize:   elemSize,
@@ -171,6 +177,8 @@ func buildRounds(tasks int, global rangeset.Slice, pieces []rangeset.Slice, writ
 func filteredPlanFor(comm *msg.Comm, global, x rangeset.Slice, full *streamPlan, idx []int, elemSize int, o Options) (*streamPlan, error) {
 	k := streamKey{
 		comm:       comm,
+		epoch:      comm.Epoch(),
+		size:       comm.Size(),
 		global:     global.String(),
 		section:    x.String(),
 		elemSize:   elemSize,
